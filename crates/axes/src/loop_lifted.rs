@@ -1,0 +1,167 @@
+//! Loop-lifted staircase join.
+//!
+//! Pathfinder compiles XQuery `for`-loops into *loop-lifted* relational
+//! plans: instead of evaluating an axis step once per binding, the whole
+//! sequence of bindings is processed in one operator invocation over an
+//! `(iter, pre)` relation — "the combination of efficient nested XPath
+//! axis evaluation with loop-lifted staircase join" is what gives
+//! MonetDB/XQuery its interactive XMark times (§1). The XMark query
+//! plans in `mbxq-xmark` use this form for their nested `for` clauses.
+
+use crate::{step, Axis, NodeTest};
+use mbxq_storage::TreeView;
+
+/// A loop-lifted context: parallel `(iter, pre)` columns, sorted by
+/// `(iter, pre)` with no duplicate pairs. `iter` identifies the
+/// surrounding `for`-loop binding the node belongs to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContextSeq {
+    /// Loop-iteration ids (non-decreasing).
+    pub iters: Vec<u32>,
+    /// Pre ranks, ascending within each iteration.
+    pub pres: Vec<u64>,
+}
+
+impl ContextSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-iteration context holding `pres` (must be sorted).
+    pub fn single_iter(pres: Vec<u64>) -> Self {
+        ContextSeq {
+            iters: vec![0; pres.len()],
+            pres,
+        }
+    }
+
+    /// Lifts each node of a flat context into its own iteration — the
+    /// relational image of entering a `for`-loop over the node sequence.
+    pub fn lift(pres: &[u64]) -> Self {
+        ContextSeq {
+            iters: (0..pres.len() as u32).collect(),
+            pres: pres.to_vec(),
+        }
+    }
+
+    /// Number of `(iter, pre)` pairs.
+    pub fn len(&self) -> usize {
+        self.pres.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pres.is_empty()
+    }
+
+    /// Iterates `(iter, pre)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.iters.iter().copied().zip(self.pres.iter().copied())
+    }
+
+    /// Appends one pair (must preserve the sort order).
+    pub fn push(&mut self, iter: u32, pre: u64) {
+        debug_assert!(
+            self.iters.last().is_none_or(|&last| last <= iter),
+            "iters must be non-decreasing"
+        );
+        self.iters.push(iter);
+        self.pres.push(pre);
+    }
+
+    /// The pre ranks of one iteration (ascending).
+    pub fn pres_of_iter(&self, iter: u32) -> &[u64] {
+        let lo = self.iters.partition_point(|&i| i < iter);
+        let hi = self.iters.partition_point(|&i| i <= iter);
+        &self.pres[lo..hi]
+    }
+
+    /// Distinct iteration ids in order.
+    pub fn iter_ids(&self) -> Vec<u32> {
+        let mut ids = self.iters.clone();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Evaluates one axis step per iteration group in a single pass over the
+/// groups — the loop-lifted operator. Results keep their iteration tags,
+/// sorted by `(iter, pre)`.
+pub fn step_lifted<V: TreeView + ?Sized>(
+    view: &V,
+    ctx: &ContextSeq,
+    axis: Axis,
+    test: &NodeTest,
+) -> ContextSeq {
+    let mut out = ContextSeq::new();
+    let mut start = 0usize;
+    while start < ctx.len() {
+        let iter = ctx.iters[start];
+        let mut end = start;
+        while end < ctx.len() && ctx.iters[end] == iter {
+            end += 1;
+        }
+        let result = step(view, &ctx.pres[start..end], axis, test);
+        for pre in result {
+            out.push(iter, pre);
+        }
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbxq_storage::ReadOnlyDoc;
+
+    const PAPER_DOC: &str =
+        "<a><b><c><d></d><e></e></c></b><f><g></g><h><i></i><j></j></h></f></a>";
+
+    #[test]
+    fn lift_assigns_one_iter_per_node() {
+        let ctx = ContextSeq::lift(&[1, 5]);
+        assert_eq!(ctx.iter_ids(), vec![0, 1]);
+        assert_eq!(ctx.pres_of_iter(0), &[1]);
+        assert_eq!(ctx.pres_of_iter(1), &[5]);
+    }
+
+    #[test]
+    fn lifted_step_keeps_iterations_separate() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        // for $x in (b, f) return $x/child::*
+        let ctx = ContextSeq::lift(&[1, 5]);
+        let out = step_lifted(&d, &ctx, Axis::Child, &NodeTest::AnyElement);
+        assert_eq!(out.pres_of_iter(0), &[2]); // b -> c
+        assert_eq!(out.pres_of_iter(1), &[6, 7]); // f -> g, h
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn single_iter_merges_results() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        let ctx = ContextSeq::single_iter(vec![1, 5]);
+        let out = step_lifted(&d, &ctx, Axis::Child, &NodeTest::AnyElement);
+        assert_eq!(out.pres, vec![2, 6, 7]);
+        assert_eq!(out.iters, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn nested_lift_composes() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        // for $x in (a)/* return $x/descendant::*
+        let kids = step(&d, &[0], Axis::Child, &NodeTest::AnyElement);
+        let ctx = ContextSeq::lift(&kids);
+        let out = step_lifted(&d, &ctx, Axis::Descendant, &NodeTest::AnyElement);
+        assert_eq!(out.pres_of_iter(0), &[2, 3, 4]); // b's subtree
+        assert_eq!(out.pres_of_iter(1), &[6, 7, 8, 9]); // f's subtree
+    }
+
+    #[test]
+    fn empty_context_is_fine() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        let out = step_lifted(&d, &ContextSeq::new(), Axis::Child, &NodeTest::AnyNode);
+        assert!(out.is_empty());
+    }
+}

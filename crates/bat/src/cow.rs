@@ -1,0 +1,175 @@
+//! Page-granular copy-on-write overlays.
+//!
+//! MonetDB isolates a write transaction by giving it "a temporary view
+//! backed by a copy-on-write memory-map on the base table" (§3.2): all
+//! pages start out shared with the base table, and the OS transparently
+//! replaces each page the transaction writes with a private copy, so the
+//! base table is never altered before commit. [`CowPages`] is the explicit
+//! in-memory equivalent: reads fall through to the base slice unless the
+//! containing page has been privatized; the first write to a page copies
+//! it.
+
+use std::collections::BTreeMap;
+
+/// A copy-on-write page overlay over a borrowed base column.
+///
+/// The overlay owns only the pages that were written; everything else
+/// reads through to the base. `BTreeMap` keeps the touched-page set
+/// ordered, which makes commit application deterministic.
+#[derive(Debug, Clone)]
+pub struct CowPages<T> {
+    page_size: usize,
+    overlay: BTreeMap<usize, Vec<T>>,
+}
+
+impl<T: Copy> CowPages<T> {
+    /// Creates an empty overlay for pages of `page_size` values.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero or not a power of two.
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size.is_power_of_two(),
+            "copy-on-write page size must be a power of two, got {page_size}"
+        );
+        CowPages {
+            page_size,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    /// Number of pages that have been privatized.
+    pub fn pages_touched(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Whether any page has been written.
+    pub fn is_clean(&self) -> bool {
+        self.overlay.is_empty()
+    }
+
+    /// Reads index `i`, preferring the private copy of its page.
+    ///
+    /// Returns `None` if `i` is outside `base` (and no overlay page covers
+    /// it) — the caller decides whether that is an error.
+    pub fn get(&self, base: &[T], i: usize) -> Option<T> {
+        let page = i / self.page_size;
+        if let Some(p) = self.overlay.get(&page) {
+            return p.get(i % self.page_size).copied();
+        }
+        base.get(i).copied()
+    }
+
+    /// Writes index `i`, privatizing its page on first touch.
+    ///
+    /// The page is copied from `base`; indexes past the end of `base` on
+    /// the page are filled with `fill` (new pages appended by the
+    /// transaction start out as padding, like the NULL-padded appends of
+    /// Figure 4).
+    pub fn set(&mut self, base: &[T], i: usize, value: T, fill: T) {
+        let page = i / self.page_size;
+        let ps = self.page_size;
+        let p = self.overlay.entry(page).or_insert_with(|| {
+            let start = (page * ps).min(base.len());
+            let mut v = Vec::with_capacity(ps);
+            let avail = base.len().saturating_sub(start).min(ps);
+            v.extend_from_slice(&base[start..start + avail]);
+            v.resize(ps, fill);
+            v
+        });
+        p[i % self.page_size] = value;
+    }
+
+    /// Carries all private pages through into `base` (commit path),
+    /// growing `base` with `fill` padding if an overlay page lies past its
+    /// current end.
+    pub fn apply_to(&self, base: &mut Vec<T>, fill: T) {
+        for (&page, data) in &self.overlay {
+            let start = page * self.page_size;
+            let end = start + self.page_size;
+            if base.len() < end {
+                base.resize(end, fill);
+            }
+            base[start..end].copy_from_slice(data);
+        }
+    }
+
+    /// Iterates the privatized page indexes in ascending order.
+    pub fn touched_pages(&self) -> impl Iterator<Item = usize> + '_ {
+        self.overlay.keys().copied()
+    }
+
+    /// Discards all private pages (abort path).
+    pub fn clear(&mut self) {
+        self.overlay.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_fall_through_until_written() {
+        let base = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
+        let mut cow = CowPages::new(4);
+        assert_eq!(cow.get(&base, 5), Some(6));
+        cow.set(&base, 5, 60, 0);
+        assert_eq!(cow.get(&base, 5), Some(60));
+        // same page, unwritten index still sees base data via the copy
+        assert_eq!(cow.get(&base, 4), Some(5));
+        // other page untouched
+        assert_eq!(cow.get(&base, 1), Some(2));
+        assert_eq!(cow.pages_touched(), 1);
+    }
+
+    #[test]
+    fn base_is_never_altered_before_apply() {
+        let base = vec![1u32, 2, 3, 4];
+        let mut cow = CowPages::new(4);
+        cow.set(&base, 0, 99, 0);
+        assert_eq!(base, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn apply_carries_pages_through() {
+        let mut base = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
+        let mut cow = CowPages::new(4);
+        cow.set(&base, 2, 30, 0);
+        cow.set(&base, 7, 80, 0);
+        cow.apply_to(&mut base, 0);
+        assert_eq!(base, vec![1, 2, 30, 4, 5, 6, 7, 80]);
+    }
+
+    #[test]
+    fn writes_past_end_extend_with_fill() {
+        let mut base = vec![1u32, 2];
+        let mut cow = CowPages::new(4);
+        cow.set(&base, 6, 70, 9);
+        assert_eq!(cow.get(&base, 6), Some(70));
+        assert_eq!(cow.get(&base, 4), Some(9)); // padding on the new page
+        assert_eq!(cow.get(&base, 3), None); // page 0 untouched, base too short
+        cow.apply_to(&mut base, 9);
+        assert_eq!(base, vec![1, 2, 9, 9, 9, 9, 70, 9]);
+    }
+
+    #[test]
+    fn partial_last_page_is_padded_on_copy() {
+        let base = vec![1u32, 2, 3, 4, 5]; // page 1 holds only one value
+        let mut cow = CowPages::new(4);
+        cow.set(&base, 5, 50, 0);
+        assert_eq!(cow.get(&base, 4), Some(5));
+        assert_eq!(cow.get(&base, 6), Some(0)); // fill
+        assert_eq!(cow.get(&base, 5), Some(50));
+    }
+
+    #[test]
+    fn clear_discards_private_pages() {
+        let base = vec![1u32, 2, 3, 4];
+        let mut cow = CowPages::new(4);
+        cow.set(&base, 0, 99, 0);
+        cow.clear();
+        assert!(cow.is_clean());
+        assert_eq!(cow.get(&base, 0), Some(1));
+    }
+}

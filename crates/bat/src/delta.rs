@@ -1,0 +1,163 @@
+//! Differential lists (MonetDB delta tables).
+//!
+//! While a transaction runs, it never touches base tables: every change is
+//! recorded in a *differential list* and only carried through at commit,
+//! under the short global write lock (Figure 8). Keeping the old value in
+//! each update record makes the list trivially revertible, which the WAL
+//! recovery path and transaction abort both rely on.
+
+use crate::{Oid, Result, VoidBat};
+
+/// One entry of a differential list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp<T> {
+    /// In-place update of the tuple at `oid`.
+    Update {
+        /// Head oid of the updated tuple.
+        oid: Oid,
+        /// Tail value before the update (for rollback).
+        old: T,
+        /// Tail value after the update.
+        new: T,
+    },
+    /// Append of a fresh tuple (its oid is implicit at apply time but
+    /// recorded for verification).
+    Append {
+        /// Head oid the tuple is expected to receive.
+        oid: Oid,
+        /// Appended tail value.
+        value: T,
+    },
+}
+
+/// An ordered list of changes against one void-headed BAT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaList<T> {
+    ops: Vec<DeltaOp<T>>,
+}
+
+impl<T> Default for DeltaList<T> {
+    fn default() -> Self {
+        DeltaList { ops: Vec::new() }
+    }
+}
+
+impl<T: Copy + PartialEq> DeltaList<T> {
+    /// Creates an empty differential list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Records an in-place update.
+    pub fn record_update(&mut self, oid: Oid, old: T, new: T) {
+        self.ops.push(DeltaOp::Update { oid, old, new });
+    }
+
+    /// Records an append.
+    pub fn record_append(&mut self, oid: Oid, value: T) {
+        self.ops.push(DeltaOp::Append { oid, value });
+    }
+
+    /// Iterates the recorded operations in order.
+    pub fn iter(&self) -> impl Iterator<Item = &DeltaOp<T>> {
+        self.ops.iter()
+    }
+
+    /// Carries the differential list through into `base` (commit path).
+    ///
+    /// Appends must arrive in oid order and match the BAT's append point;
+    /// a mismatch signals a protocol bug and is reported as an error.
+    pub fn apply_to(&self, base: &mut VoidBat<T>) -> Result<()> {
+        for op in &self.ops {
+            match *op {
+                DeltaOp::Update { oid, new, .. } => {
+                    *base.find_mut(oid)? = new;
+                }
+                DeltaOp::Append { oid, value } => {
+                    let got = base.append(value);
+                    debug_assert_eq!(got, oid, "append oid drifted from recording");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reverts the differential list from `base` (recovery of a torn
+    /// apply): updates are restored to their old values, appends truncated.
+    pub fn revert_from(&self, base: &mut VoidBat<T>) -> Result<()> {
+        for op in self.ops.iter().rev() {
+            match *op {
+                DeltaOp::Update { oid, old, .. } => {
+                    *base.find_mut(oid)? = old;
+                }
+                DeltaOp::Append { .. } => {
+                    base.truncate(base.len() - 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops all recorded operations (abort path — nothing ever touched
+    /// the base, so forgetting the list is the whole rollback).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_updates_and_appends() {
+        let mut base = VoidBat::from_tail(0, vec![1u32, 2, 3]);
+        let mut d = DeltaList::new();
+        d.record_update(1, 2, 20);
+        d.record_append(3, 40);
+        d.record_append(4, 50);
+        d.apply_to(&mut base).unwrap();
+        assert_eq!(base.tail(), &[1, 20, 3, 40, 50]);
+    }
+
+    #[test]
+    fn revert_restores_base() {
+        let original = VoidBat::from_tail(0, vec![1u32, 2, 3]);
+        let mut base = original.clone();
+        let mut d = DeltaList::new();
+        d.record_update(0, 1, 10);
+        d.record_update(2, 3, 30);
+        d.record_append(3, 99);
+        d.apply_to(&mut base).unwrap();
+        assert_ne!(base, original);
+        d.revert_from(&mut base).unwrap();
+        assert_eq!(base, original);
+    }
+
+    #[test]
+    fn update_on_missing_oid_errors() {
+        let mut base = VoidBat::from_tail(0, vec![1u32]);
+        let mut d = DeltaList::new();
+        d.record_update(5, 0, 9);
+        assert!(d.apply_to(&mut base).is_err());
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut d = DeltaList::new();
+        d.record_update(0, 1u8, 2);
+        assert_eq!(d.len(), 1);
+        d.clear();
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Void-headed BATs whose tail admits NULL values.
+
+use crate::{Oid, Result, VoidBat};
+
+/// A [`VoidBat`] whose tail values may be NULL, stored as a dense value
+/// vector plus a validity bitmap (one bit per tuple).
+///
+/// Two columns in the updateable schema need NULLs (§3, Figure 4/6):
+///
+/// * `level` — `NULL` marks an **unused tuple** inside a logical page;
+/// * `node→pos` — `NULL` marks a node id whose node was deleted.
+///
+/// A bitmap keeps the value vector dense so positional access stays a
+/// simple array index (plus one bit probe), preserving the kernel's O(1)
+/// lookup property.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NullableBat<T> {
+    values: VoidBat<T>,
+    /// One bit per tuple; set = valid (non-NULL).
+    valid: Vec<u64>,
+}
+
+impl<T: Copy + Default> NullableBat<T> {
+    /// Creates an empty nullable BAT with head starting at `seqbase`.
+    pub fn new(seqbase: Oid) -> Self {
+        NullableBat {
+            values: VoidBat::new(seqbase),
+            valid: Vec::new(),
+        }
+    }
+
+    /// Creates a nullable BAT from a vector of options.
+    pub fn from_options(seqbase: Oid, opts: Vec<Option<T>>) -> Self {
+        let mut b = NullableBat::new(seqbase);
+        for o in opts {
+            b.append(o);
+        }
+        b
+    }
+
+    /// Number of tuples (including NULL ones).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the BAT holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// First oid of the head sequence.
+    pub fn seqbase(&self) -> Oid {
+        self.values.seqbase()
+    }
+
+    /// One-past-the-last head oid.
+    pub fn hseqend(&self) -> Oid {
+        self.values.hseqend()
+    }
+
+    /// Appends a (possibly NULL) tuple, returning its head oid.
+    pub fn append(&mut self, value: Option<T>) -> Oid {
+        let idx = self.values.len();
+        let oid = match value {
+            Some(v) => self.values.append(v),
+            None => self.values.append(T::default()),
+        };
+        if idx / 64 >= self.valid.len() {
+            self.valid.push(0);
+        }
+        if value.is_some() {
+            self.valid[idx / 64] |= 1 << (idx % 64);
+        }
+        oid
+    }
+
+    /// Positional lookup. `Ok(None)` means the tuple exists but is NULL.
+    #[inline]
+    pub fn get(&self, oid: Oid) -> Result<Option<T>> {
+        let idx = self.values.index_of(oid)?;
+        if self.is_valid_idx(idx) {
+            Ok(Some(self.values.tail()[idx]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Sets the tuple at `oid` to a new (possibly NULL) value.
+    pub fn set(&mut self, oid: Oid, value: Option<T>) -> Result<()> {
+        let idx = self.values.index_of(oid)?;
+        match value {
+            Some(v) => {
+                self.values.tail_mut()[idx] = v;
+                self.valid[idx / 64] |= 1 << (idx % 64);
+            }
+            None => {
+                self.values.tail_mut()[idx] = T::default();
+                self.valid[idx / 64] &= !(1 << (idx % 64));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the tuple at `oid` is non-NULL.
+    pub fn is_valid(&self, oid: Oid) -> Result<bool> {
+        Ok(self.is_valid_idx(self.values.index_of(oid)?))
+    }
+
+    #[inline]
+    fn is_valid_idx(&self, idx: usize) -> bool {
+        (self.valid[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Iterates `(oid, Option<value>)` in head order.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, Option<T>)> + '_ {
+        (0..self.len()).map(move |idx| {
+            let oid = self.seqbase() + idx as Oid;
+            let v = if self.is_valid_idx(idx) {
+                Some(self.values.tail()[idx])
+            } else {
+                None
+            };
+            (oid, v)
+        })
+    }
+
+    /// Scans for the first NULL tuple in head range `lo..hi`, returning its
+    /// oid. The paper uses this to recycle node numbers inside a logical
+    /// page ("scanning for NULL pos values", §3.1).
+    pub fn find_null_in(&self, lo: Oid, hi: Oid) -> Option<Oid> {
+        let lo = lo.max(self.seqbase());
+        let hi = hi.min(self.hseqend());
+        (lo..hi).find(|&oid| {
+            let idx = (oid - self.seqbase()) as usize;
+            !self.is_valid_idx(idx)
+        })
+    }
+
+    /// Number of NULL tuples.
+    pub fn null_count(&self) -> usize {
+        let mut nulls = self.len();
+        for (i, word) in self.valid.iter().enumerate() {
+            let bits = if (i + 1) * 64 <= self.len() {
+                word.count_ones() as usize
+            } else {
+                (word & ((1u64 << (self.len() % 64)) - 1)).count_ones() as usize
+            };
+            nulls -= bits;
+        }
+        nulls
+    }
+
+    /// Truncates to `len` tuples (transaction abort path).
+    pub fn truncate(&mut self, len: usize) {
+        self.values.truncate(len);
+        let words = len.div_ceil(64);
+        self.valid.truncate(words);
+        if !len.is_multiple_of(64) {
+            if let Some(last) = self.valid.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_get_round_trip() {
+        let mut b = NullableBat::new(0);
+        b.append(Some(5u32));
+        b.append(None);
+        b.append(Some(7));
+        assert_eq!(b.get(0), Ok(Some(5)));
+        assert_eq!(b.get(1), Ok(None));
+        assert_eq!(b.get(2), Ok(Some(7)));
+        assert!(b.get(3).is_err());
+    }
+
+    #[test]
+    fn set_toggles_nullness() {
+        let mut b = NullableBat::from_options(0, vec![Some(1u8), None]);
+        b.set(0, None).unwrap();
+        b.set(1, Some(9)).unwrap();
+        assert_eq!(b.get(0), Ok(None));
+        assert_eq!(b.get(1), Ok(Some(9)));
+    }
+
+    #[test]
+    fn bitmap_spans_word_boundaries() {
+        let mut b = NullableBat::new(0);
+        for i in 0..200u32 {
+            b.append(if i % 3 == 0 { None } else { Some(i) });
+        }
+        for i in 0..200u64 {
+            let expect = if i % 3 == 0 { None } else { Some(i as u32) };
+            assert_eq!(b.get(i).unwrap(), expect, "at {i}");
+        }
+        assert_eq!(b.null_count(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn find_null_in_scans_range() {
+        let b = NullableBat::from_options(0, vec![Some(1), Some(2), None, Some(3), None]);
+        assert_eq!(b.find_null_in(0, 5), Some(2));
+        assert_eq!(b.find_null_in(3, 5), Some(4));
+        assert_eq!(b.find_null_in(0, 2), None);
+        assert_eq!(b.find_null_in(10, 20), None);
+    }
+
+    #[test]
+    fn truncate_clears_stale_validity_bits() {
+        let mut b = NullableBat::new(0);
+        for i in 0..10u32 {
+            b.append(Some(i));
+        }
+        b.truncate(3);
+        assert_eq!(b.len(), 3);
+        // Re-appending must start with clean bits.
+        b.append(None);
+        assert_eq!(b.get(3), Ok(None));
+        assert_eq!(b.null_count(), 1);
+    }
+
+    #[test]
+    fn iter_reports_options() {
+        let b = NullableBat::from_options(5, vec![Some('a'), None]);
+        let v: Vec<_> = b.iter().collect();
+        assert_eq!(v, vec![(5, Some('a')), (6, None)]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Logical-page order indirection (the paper's `pageOffset` table).
+//!
+//! The updateable schema stores tuples in *logical pages*. New pages are
+//! only ever **appended** to the physical table, but a separate table
+//! records each page's *logical* position, so an overflow page appended at
+//! the physical end can appear "halfway" in the `pre/size/level` view
+//! (§3). In MonetDB this view is realized by mapping the table's virtual
+//! memory pages in logical order; here the same indirection is an explicit
+//! in-memory permutation, exercised on exactly the same operations:
+//!
+//! * `pre → pos` when the query engine dereferences a view position, and
+//! * `pos → pre` ("swizzling", §3.1) when a node id is translated back to
+//!   a pre rank: `pre = pageOffset[pos >> S] << S | (pos & (2^S - 1))`.
+
+use crate::{BatError, Result};
+
+/// Identifier of a *physical* page (its index in physical append order).
+pub type PageId = usize;
+
+/// A permutation between physical pages and logical page order.
+///
+/// Maintains both directions so that `pre → pos` (view dereference) and
+/// `pos → pre` (node swizzle) are each a single array lookup plus
+/// shift/mask arithmetic, exactly as the paper describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMap {
+    /// Tuples per logical page; a power of two so the swizzle is shift/mask.
+    page_size: usize,
+    shift: u32,
+    /// logical page index → physical page id.
+    logical: Vec<PageId>,
+    /// physical page id → logical page index (the `pageOffset` table).
+    offset: Vec<usize>,
+}
+
+impl PageMap {
+    /// Creates an empty map for pages of `page_size` tuples.
+    ///
+    /// `page_size` must be a power of two (the paper sets it to the virtual
+    /// memory-mapping granularity, 65536; benchmarks here use smaller
+    /// powers of two so scaled documents still span many pages).
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero or not a power of two — this is a
+    /// configuration error, not a data error.
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size.is_power_of_two(),
+            "logical page size must be a power of two, got {page_size}"
+        );
+        PageMap {
+            page_size,
+            shift: page_size.trailing_zeros(),
+            logical: Vec::new(),
+            offset: Vec::new(),
+        }
+    }
+
+    /// Tuples per logical page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages (physical == logical; the permutation is total).
+    pub fn num_pages(&self) -> usize {
+        self.logical.len()
+    }
+
+    /// Total tuple capacity covered by the map.
+    pub fn capacity(&self) -> usize {
+        self.num_pages() * self.page_size
+    }
+
+    /// Appends a fresh physical page at the **end** of the logical order
+    /// (initial shredding path). Returns its physical page id.
+    pub fn append_page(&mut self) -> PageId {
+        let phys = self.offset.len();
+        self.offset.push(self.logical.len());
+        self.logical.push(phys);
+        phys
+    }
+
+    /// Appends a fresh physical page and splices it into the logical order
+    /// at logical index `at` (case 2b of Figure 7: a page overflow insert).
+    ///
+    /// The physical table only grows at the end; the logical index of every
+    /// page at or after `at` is incremented — this is the "increment the
+    /// offset of all pages after the insert point" step and its cost is
+    /// O(#pages), *not* O(#tuples).
+    ///
+    /// Returns the new page's physical id.
+    pub fn insert_page_at(&mut self, at: usize) -> Result<PageId> {
+        if at > self.logical.len() {
+            return Err(BatError::BadPage {
+                page: at,
+                pages: self.logical.len(),
+            });
+        }
+        let phys = self.offset.len();
+        self.logical.insert(at, phys);
+        // Rebuild offsets for the shifted suffix.
+        self.offset.push(at);
+        for (lidx, &p) in self.logical.iter().enumerate().skip(at) {
+            self.offset[p] = lidx;
+        }
+        Ok(phys)
+    }
+
+    /// Physical page id of the page at logical index `lp`.
+    #[inline]
+    pub fn logical_to_physical(&self, lp: usize) -> Result<PageId> {
+        self.logical.get(lp).copied().ok_or(BatError::BadPage {
+            page: lp,
+            pages: self.logical.len(),
+        })
+    }
+
+    /// Logical index of physical page `pp` (a `pageOffset` lookup).
+    #[inline]
+    pub fn physical_to_logical(&self, pp: PageId) -> Result<usize> {
+        self.offset.get(pp).copied().ok_or(BatError::BadPage {
+            page: pp,
+            pages: self.offset.len(),
+        })
+    }
+
+    /// Translates a view position (`pre`-side) to a physical position
+    /// (`pos`-side): one lookup + shift/mask.
+    #[inline]
+    pub fn pre_to_pos(&self, pre: u64) -> Result<u64> {
+        let lp = (pre >> self.shift) as usize;
+        let phys = self.logical_to_physical(lp)?;
+        Ok(((phys as u64) << self.shift) | (pre & (self.page_size as u64 - 1)))
+    }
+
+    /// Swizzles a physical position to a view position:
+    /// `pre = pageOffset[pos >> S] << S | (pos & (2^S - 1))` (§3.1).
+    #[inline]
+    pub fn pos_to_pre(&self, pos: u64) -> Result<u64> {
+        let pp = (pos >> self.shift) as usize;
+        let lp = self.physical_to_logical(pp)?;
+        Ok(((lp as u64) << self.shift) | (pos & (self.page_size as u64 - 1)))
+    }
+
+    /// Iterates physical page ids in logical order.
+    pub fn pages_in_logical_order(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.logical.iter().copied()
+    }
+
+    /// Checks internal consistency: the two directions must be inverse
+    /// permutations. Used by the storage invariant checker and tests.
+    pub fn check_consistency(&self) -> bool {
+        self.logical.len() == self.offset.len()
+            && self
+                .logical
+                .iter()
+                .enumerate()
+                .all(|(lidx, &p)| self.offset.get(p) == Some(&lidx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = PageMap::new(100);
+    }
+
+    #[test]
+    fn append_keeps_identity_order() {
+        let mut m = PageMap::new(8);
+        m.append_page();
+        m.append_page();
+        m.append_page();
+        assert_eq!(m.num_pages(), 3);
+        for i in 0..3 {
+            assert_eq!(m.logical_to_physical(i).unwrap(), i);
+            assert_eq!(m.physical_to_logical(i).unwrap(), i);
+        }
+        // Identity permutation: pre == pos.
+        for p in 0..24 {
+            assert_eq!(m.pre_to_pos(p).unwrap(), p);
+            assert_eq!(m.pos_to_pre(p).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn splice_makes_appended_page_appear_midway() {
+        let mut m = PageMap::new(4);
+        m.append_page(); // phys 0, logical 0
+        m.append_page(); // phys 1, logical 1
+        let new = m.insert_page_at(1).unwrap(); // phys 2 spliced at logical 1
+        assert_eq!(new, 2);
+        assert_eq!(m.logical_to_physical(0).unwrap(), 0);
+        assert_eq!(m.logical_to_physical(1).unwrap(), 2);
+        assert_eq!(m.logical_to_physical(2).unwrap(), 1);
+        assert!(m.check_consistency());
+        // pre 4..8 now lives in physical page 2 → pos 8..12.
+        assert_eq!(m.pre_to_pos(4).unwrap(), 8);
+        assert_eq!(m.pre_to_pos(7).unwrap(), 11);
+        // and the old physical page 1 shifted to pre 8..12.
+        assert_eq!(m.pos_to_pre(4).unwrap(), 8);
+        assert_eq!(m.pos_to_pre(8).unwrap(), 4);
+    }
+
+    #[test]
+    fn splice_at_bounds() {
+        let mut m = PageMap::new(4);
+        m.append_page();
+        assert!(m.insert_page_at(2).is_err());
+        m.insert_page_at(0).unwrap(); // prepend
+        assert_eq!(m.logical_to_physical(0).unwrap(), 1);
+        assert_eq!(m.logical_to_physical(1).unwrap(), 0);
+        m.insert_page_at(2).unwrap(); // append via splice
+        assert_eq!(m.logical_to_physical(2).unwrap(), 2);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn swizzle_round_trips_after_many_splices() {
+        let mut m = PageMap::new(16);
+        for _ in 0..4 {
+            m.append_page();
+        }
+        m.insert_page_at(2).unwrap();
+        m.insert_page_at(0).unwrap();
+        m.insert_page_at(5).unwrap();
+        assert!(m.check_consistency());
+        for pre in 0..(m.capacity() as u64) {
+            let pos = m.pre_to_pos(pre).unwrap();
+            assert_eq!(m.pos_to_pre(pos).unwrap(), pre);
+        }
+    }
+
+    proptest::proptest! {
+        /// Any sequence of appends and splices keeps the permutation
+        /// consistent and the swizzle bijective.
+        #[test]
+        fn random_splices_keep_bijection(ops in proptest::collection::vec(0usize..16, 1..24)) {
+            let mut m = PageMap::new(8);
+            for &op in &ops {
+                if op == 0 || m.num_pages() == 0 {
+                    m.append_page();
+                } else {
+                    let at = op % (m.num_pages() + 1);
+                    m.insert_page_at(at).unwrap();
+                }
+            }
+            proptest::prop_assert!(m.check_consistency());
+            let mut seen = std::collections::HashSet::new();
+            for pre in 0..m.capacity() as u64 {
+                let pos = m.pre_to_pos(pre).unwrap();
+                proptest::prop_assert!(seen.insert(pos), "pos {pos} duplicated");
+                proptest::prop_assert_eq!(m.pos_to_pre(pos).unwrap(), pre);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_positions_error() {
+        let mut m = PageMap::new(4);
+        m.append_page();
+        assert!(m.pre_to_pos(4).is_err());
+        assert!(m.pos_to_pre(4).is_err());
+    }
+}

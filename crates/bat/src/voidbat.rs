@@ -1,0 +1,254 @@
+//! BATs with a virtual (void) head column.
+
+use crate::{BatError, Oid, Result};
+
+/// A Binary Association Table whose head is a **void column**: a densely
+/// ascending oid sequence `seqbase, seqbase+1, …` that is never stored.
+///
+/// The tail is a plain dense vector, so a lookup by head oid is a single
+/// array index — MonetDB's *positional lookup*. This is the property the
+/// paper identifies as "the prime reason for the performance advantage of
+/// MonetDB/XQuery over other XQuery systems" (§2.2), and the property that
+/// makes naive structural updates impossible (void columns may never be
+/// modified — only appended to).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoidBat<T> {
+    seqbase: Oid,
+    tail: Vec<T>,
+}
+
+impl<T> Default for VoidBat<T> {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl<T> VoidBat<T> {
+    /// Creates an empty BAT whose head sequence starts at `seqbase`.
+    pub fn new(seqbase: Oid) -> Self {
+        VoidBat {
+            seqbase,
+            tail: Vec::new(),
+        }
+    }
+
+    /// Creates a BAT from an existing tail vector with head `seqbase..`.
+    pub fn from_tail(seqbase: Oid, tail: Vec<T>) -> Self {
+        VoidBat { seqbase, tail }
+    }
+
+    /// Creates an empty BAT with pre-reserved tail capacity.
+    pub fn with_capacity(seqbase: Oid, cap: usize) -> Self {
+        VoidBat {
+            seqbase,
+            tail: Vec::with_capacity(cap),
+        }
+    }
+
+    /// First oid of the virtual head sequence.
+    pub fn seqbase(&self) -> Oid {
+        self.seqbase
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Whether the BAT holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tail.is_empty()
+    }
+
+    /// One-past-the-last oid of the head sequence.
+    pub fn hseqend(&self) -> Oid {
+        self.seqbase + self.tail.len() as Oid
+    }
+
+    /// Appends a tuple; its head oid is implicit (`hseqend` before the
+    /// append). Returns that oid. Void heads only ever grow at the end —
+    /// this is the only mutation MonetDB permits on them.
+    pub fn append(&mut self, value: T) -> Oid {
+        let oid = self.hseqend();
+        self.tail.push(value);
+        oid
+    }
+
+    /// Appends many tuples at once (bulk load path of the shredder).
+    pub fn append_from<I: IntoIterator<Item = T>>(&mut self, values: I) {
+        self.tail.extend(values);
+    }
+
+    /// Positional lookup: the tail value associated with head oid `oid`.
+    pub fn find(&self, oid: Oid) -> Result<&T> {
+        self.index_of(oid).map(|i| &self.tail[i])
+    }
+
+    /// Positional lookup returning a mutable reference.
+    ///
+    /// Mutating tail values in place is allowed (only the *head* is
+    /// immutable); the transaction layer restricts when this may happen.
+    pub fn find_mut(&mut self, oid: Oid) -> Result<&mut T> {
+        let i = self.index_of(oid)?;
+        Ok(&mut self.tail[i])
+    }
+
+    /// Translates a head oid to a dense tail index.
+    #[inline]
+    pub fn index_of(&self, oid: Oid) -> Result<usize> {
+        if oid < self.seqbase || oid >= self.hseqend() {
+            return Err(BatError::OutOfRange {
+                oid,
+                seqbase: self.seqbase,
+                count: self.tail.len(),
+            });
+        }
+        Ok((oid - self.seqbase) as usize)
+    }
+
+    /// Positional range select: tail values for head oids `lo..hi`
+    /// (clamped to the BAT's head range). This is MonetDB's positional
+    /// select — an O(1) slice, no scan.
+    pub fn positional_select(&self, lo: Oid, hi: Oid) -> &[T] {
+        let end = self.hseqend();
+        let lo = lo.clamp(self.seqbase, end);
+        let hi = hi.clamp(lo, end);
+        &self.tail[(lo - self.seqbase) as usize..(hi - self.seqbase) as usize]
+    }
+
+    /// Direct slice access to the whole tail.
+    pub fn tail(&self) -> &[T] {
+        &self.tail
+    }
+
+    /// Mutable slice access to the whole tail (bulk update path).
+    pub fn tail_mut(&mut self) -> &mut [T] {
+        &mut self.tail
+    }
+
+    /// Consumes the BAT and returns its tail vector.
+    pub fn into_tail(self) -> Vec<T> {
+        self.tail
+    }
+
+    /// Iterates `(oid, &value)` pairs in head order.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &T)> {
+        self.tail
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (self.seqbase + i as Oid, v))
+    }
+
+    /// Truncates the BAT to `len` tuples (used by transaction abort to
+    /// roll back appends).
+    pub fn truncate(&mut self, len: usize) {
+        self.tail.truncate(len);
+    }
+}
+
+impl<T: Copy> VoidBat<T> {
+    /// Positional join (MonetDB `leftfetchjoin` with a void-headed right
+    /// operand): for every oid in `probe`, fetch the associated tail value.
+    ///
+    /// The cost is one array access per probe value — this is the operation
+    /// the updateable schema performs through the `node→pos` table each
+    /// time an attribute is looked up after an XPath step (§4.1).
+    pub fn positional_join(&self, probe: &[Oid]) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(probe.len());
+        for &oid in probe {
+            out.push(*self.find(oid)?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`VoidBat::positional_join`] but skipping probe oids outside
+    /// the head range instead of failing.
+    pub fn positional_join_lenient(&self, probe: &[Oid]) -> Vec<T> {
+        probe
+            .iter()
+            .filter_map(|&oid| self.find(oid).ok().copied())
+            .collect()
+    }
+
+    /// Returns the tail value at head oid `oid` by value.
+    #[inline]
+    pub fn get(&self, oid: Oid) -> Result<T> {
+        self.find(oid).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bat_has_no_tuples() {
+        let b: VoidBat<u32> = VoidBat::new(10);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.seqbase(), 10);
+        assert_eq!(b.hseqend(), 10);
+    }
+
+    #[test]
+    fn append_assigns_dense_oids() {
+        let mut b = VoidBat::new(5);
+        assert_eq!(b.append("a"), 5);
+        assert_eq!(b.append("b"), 6);
+        assert_eq!(b.append("c"), 7);
+        assert_eq!(b.find(6), Ok(&"b"));
+    }
+
+    #[test]
+    fn find_out_of_range_is_error() {
+        let mut b = VoidBat::new(0);
+        b.append(1u8);
+        assert!(matches!(b.find(1), Err(BatError::OutOfRange { .. })));
+        assert!(matches!(
+            VoidBat::<u8>::new(3).find(0),
+            Err(BatError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn positional_select_clamps() {
+        let b = VoidBat::from_tail(100, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.positional_select(101, 103), &[1, 2]);
+        assert_eq!(b.positional_select(0, 1000), &[0, 1, 2, 3, 4]);
+        assert_eq!(b.positional_select(200, 300), &[] as &[i32]);
+        // hi < lo clamps to empty
+        assert_eq!(b.positional_select(104, 101), &[] as &[i32]);
+    }
+
+    #[test]
+    fn positional_join_fetches_per_probe() {
+        let b = VoidBat::from_tail(0, vec![10u32, 20, 30]);
+        assert_eq!(b.positional_join(&[2, 0, 1, 1]).unwrap(), vec![30, 10, 20, 20]);
+        assert!(b.positional_join(&[3]).is_err());
+        assert_eq!(b.positional_join_lenient(&[2, 9, 0]), vec![30, 10]);
+    }
+
+    #[test]
+    fn iter_yields_head_tail_pairs() {
+        let b = VoidBat::from_tail(7, vec!['x', 'y']);
+        let v: Vec<_> = b.iter().collect();
+        assert_eq!(v, vec![(7, &'x'), (8, &'y')]);
+    }
+
+    #[test]
+    fn find_mut_updates_in_place() {
+        let mut b = VoidBat::from_tail(0, vec![1, 2, 3]);
+        *b.find_mut(1).unwrap() = 99;
+        assert_eq!(b.tail(), &[1, 99, 3]);
+    }
+
+    #[test]
+    fn truncate_rolls_back_appends() {
+        let mut b = VoidBat::from_tail(0, vec![1, 2]);
+        b.append(3);
+        b.append(4);
+        b.truncate(2);
+        assert_eq!(b.tail(), &[1, 2]);
+        assert_eq!(b.hseqend(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 7 ablation: within-page insert (case 2a) vs page-overflow
+//! insert (case 2b), as a function of the insert volume around the free
+//! space of one page.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mbxq_storage::{InsertCase, InsertPosition, PageConfig, PagedDoc};
+use mbxq_xml::Document;
+
+fn flat_doc(children: usize) -> String {
+    let mut s = String::from("<root>");
+    for i in 0..children {
+        s.push_str(&format!("<c{i}/>"));
+    }
+    s.push_str("</root>");
+    s
+}
+
+fn subtree(n: usize) -> mbxq_xml::Node {
+    let mut s = String::from("<sub>");
+    for i in 0..n.saturating_sub(1) {
+        s.push_str(&format!("<x{i}/>"));
+    }
+    s.push_str("</sub>");
+    Document::parse_fragment(&s).unwrap()
+}
+
+fn bench_cases(c: &mut Criterion) {
+    // Page of 256 tuples filled to 80 % → ~51 free slots per page.
+    let cfg = PageConfig::new(256, 80).unwrap();
+    let base = PagedDoc::parse_str(&flat_doc(2000), cfg).unwrap();
+    let target = base.pre_to_node(100).unwrap();
+    let mut g = c.benchmark_group("insert_cases");
+    g.sample_size(20);
+    for &volume in &[8usize, 32, 48, 64, 128, 512] {
+        let sub = subtree(volume);
+        // Classify once for the label.
+        let case = {
+            let mut d = base.clone();
+            let r = d.insert(InsertPosition::After(target), &sub).unwrap();
+            match r.case {
+                InsertCase::WithinPage => "2a",
+                InsertCase::PageOverflow => "2b",
+            }
+        };
+        g.bench_with_input(
+            BenchmarkId::new(format!("case{case}"), volume),
+            &volume,
+            |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut d| d.insert(InsertPosition::After(target), &sub).unwrap(),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cases);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion version of the Figure 3 ablation: insert cost on the naive
+//! shifting store (O(N)) vs the paged store (O(update volume)) as the
+//! document grows.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mbxq_bench::paper_page_config;
+use mbxq_storage::{InsertPosition, Kind, NaiveDoc, PagedDoc, TreeView};
+use mbxq_xmark::{generate, XMarkConfig};
+use mbxq_xml::Document;
+
+fn bench_insert(c: &mut Criterion) {
+    let subtree = Document::parse_fragment("<k><l/><m/></k>").unwrap();
+    let mut g = c.benchmark_group("insert_cost");
+    g.sample_size(15);
+    for &scale in &[0.002, 0.008, 0.032] {
+        let xml = generate(&XMarkConfig::scaled(scale, 7));
+        let naive0 = NaiveDoc::parse_str(&xml).unwrap();
+        let paged0 = PagedDoc::parse_str(&xml, paper_page_config()).unwrap();
+        let nodes = naive0.len();
+        let mid = (nodes as u64) / 2;
+        let target_pre = (0..=mid)
+            .rev()
+            .find(|&p| naive0.kind(p) == Some(Kind::Element))
+            .unwrap();
+        let target = naive0.pre_to_node(target_pre).unwrap();
+        g.bench_with_input(BenchmarkId::new("naive", nodes), &nodes, |b, _| {
+            b.iter_batched(
+                || naive0.clone(),
+                |mut d| {
+                    d.insert(InsertPosition::LastChildOf(target), &subtree)
+                        .unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("paged", nodes), &nodes, |b, _| {
+            b.iter_batched(
+                || paged0.clone(),
+                |mut d| {
+                    d.insert(InsertPosition::LastChildOf(target), &subtree)
+                        .unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

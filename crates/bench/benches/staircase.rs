@@ -1,0 +1,72 @@
+//! §2.2 ablation: staircase-join axis steps (with size-based skipping
+//! and unused-run skipping) vs a naive full-scan baseline, on both
+//! schemas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbxq_axes::{step, Axis, NodeTest};
+use mbxq_bench::build_both;
+use mbxq_storage::{Kind, TreeView};
+use mbxq_xml::QName;
+use mbxq_xpath::XPath;
+
+/// Full-scan child "join": test every tuple in the document instead of
+/// jumping sibling to sibling.
+fn child_full_scan<V: TreeView>(view: &V, ctx: &[u64], name: &QName) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &c in ctx {
+        let lvl = view.level(c).unwrap();
+        for p in 0..view.pre_end() {
+            if view.level(p) == Some(lvl + 1)
+                && view.kind(p) == Some(Kind::Element)
+                && view.parent_of(p) == Some(c)
+                && view
+                    .name_id(p)
+                    .and_then(|q| view.pool().qname(q))
+                    .is_some_and(|q| q == name)
+            {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+fn bench_staircase(c: &mut Criterion) {
+    let (ro, up, _) = build_both(0.004, 42);
+    let items_ro = XPath::parse("//item").unwrap().select_from_root(&ro).unwrap();
+    let items_up = XPath::parse("//item").unwrap().select_from_root(&up).unwrap();
+    let name = QName::local("name");
+    let test = NodeTest::Name(name.clone());
+
+    let mut g = c.benchmark_group("staircase");
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::new("child_staircase", "ro"), |b| {
+        b.iter(|| step(&ro, &items_ro, Axis::Child, &test))
+    });
+    g.bench_function(BenchmarkId::new("child_staircase", "up"), |b| {
+        b.iter(|| step(&up, &items_up, Axis::Child, &test))
+    });
+    g.bench_function(BenchmarkId::new("child_fullscan", "ro"), |b| {
+        b.iter(|| child_full_scan(&ro, &items_ro, &name))
+    });
+    // Verify equivalence once.
+    assert_eq!(
+        step(&ro, &items_ro, Axis::Child, &test),
+        child_full_scan(&ro, &items_ro, &name)
+    );
+
+    // Descendant step from the root: the skipping-over-unused-tuples
+    // path of the updateable view.
+    let root_ro: Vec<u64> = ro.root_pre().into_iter().collect();
+    let root_up: Vec<u64> = up.root_pre().into_iter().collect();
+    g.bench_function(BenchmarkId::new("descendant_item", "ro"), |b| {
+        b.iter(|| step(&ro, &root_ro, Axis::Descendant, &test))
+    });
+    g.bench_function(BenchmarkId::new("descendant_item", "up"), |b| {
+        b.iter(|| step(&up, &root_up, Axis::Descendant, &test))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_staircase);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion version of the Figure 9 measurement: every XMark query on
+//! both schemas at a fixed small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbxq_bench::build_both;
+use mbxq_xmark::{run_query, QUERY_COUNT};
+
+fn bench_queries(c: &mut Criterion) {
+    let (ro, up, _) = build_both(0.004, 42);
+    let mut g = c.benchmark_group("xmark");
+    g.sample_size(20);
+    for q in 1..=QUERY_COUNT {
+        g.bench_with_input(BenchmarkId::new("ro", q), &q, |b, &q| {
+            b.iter(|| run_query(&ro, q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("up", q), &q, |b, &q| {
+            b.iter(|| run_query(&up, q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

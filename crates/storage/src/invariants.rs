@@ -1,0 +1,251 @@
+//! Deep consistency checking for the paged store.
+//!
+//! The commit pipeline of Figure 8 runs "XML document validation" before
+//! taking the global write lock; this module is the structural half of
+//! that validation (schema/type checks per \[GK04\] are out of the paper's
+//! scope). It verifies every representation invariant the update
+//! algorithms must preserve; property tests run it after every random
+//! update sequence.
+
+use crate::paged::{PagedDoc, NO_NODE};
+use crate::types::StorageError;
+use crate::view::TreeView;
+use crate::Result;
+
+/// Checks all representation invariants of a [`PagedDoc`].
+///
+/// * the `pageOffset` permutation is consistent in both directions;
+/// * unused runs are encoded exactly (forward lengths and backward
+///   indexes), never crossing page boundaries;
+/// * `used_count` matches the bitmap;
+/// * `node→pos` and the `node` column are inverse on live nodes, and no
+///   two slots share a node id;
+/// * the used tuples in view order form a well-shaped tree: the first has
+///   level 0, levels step by at most +1, and every `size` equals the
+///   number of used tuples in the node's region;
+/// * every attribute-index entry points at rows owned by a live node.
+pub fn check_paged(doc: &PagedDoc) -> Result<()> {
+    fn corrupt(message: String) -> StorageError {
+        StorageError::Corrupt { message }
+    }
+
+    if !doc.pages.check_consistency() {
+        return Err(corrupt("pageOffset permutation inconsistent".into()));
+    }
+    let page_size = doc.cfg.page_size;
+    let slots = doc.size.len();
+    if slots != doc.pages.num_pages() * page_size {
+        return Err(corrupt(format!(
+            "column length {slots} does not cover {} pages of {page_size}",
+            doc.pages.num_pages()
+        )));
+    }
+
+    // Run encodings, page by page (physical order is fine here).
+    let mut used_count = 0u64;
+    for page in 0..doc.pages.num_pages() {
+        let base = page * page_size;
+        let mut i = base;
+        while i < base + page_size {
+            if doc.used[i] {
+                used_count += 1;
+                i += 1;
+                continue;
+            }
+            let run_start = i;
+            while i < base + page_size && !doc.used[i] {
+                i += 1;
+            }
+            for (k, pos) in (run_start..i).enumerate() {
+                if doc.size[pos] != (i - pos) as u64 {
+                    return Err(corrupt(format!(
+                        "unused slot {pos}: forward run {} (expected {})",
+                        doc.size[pos],
+                        i - pos
+                    )));
+                }
+                if doc.name[pos] != (k + 1) as u32 {
+                    return Err(corrupt(format!(
+                        "unused slot {pos}: backward index {} (expected {})",
+                        doc.name[pos],
+                        k + 1
+                    )));
+                }
+                if doc.node[pos] != NO_NODE {
+                    return Err(corrupt(format!("unused slot {pos} still carries a node id")));
+                }
+            }
+        }
+    }
+    if used_count != doc.used_count {
+        return Err(corrupt(format!(
+            "used_count {} but bitmap has {used_count}",
+            doc.used_count
+        )));
+    }
+
+    // node→pos bijectivity on live nodes.
+    let mut seen = std::collections::HashMap::new();
+    for pos in 0..slots {
+        if doc.used[pos] {
+            let node = doc.node[pos];
+            if let Some(prev) = seen.insert(node, pos) {
+                return Err(corrupt(format!(
+                    "node id {node} appears at positions {prev} and {pos}"
+                )));
+            }
+            match doc.node_pos.get(node) {
+                Ok(Some(p)) if p == pos as u64 => {}
+                other => {
+                    return Err(corrupt(format!(
+                        "node→pos for node {node} is {other:?}, tuple sits at {pos}"
+                    )))
+                }
+            }
+        }
+    }
+    for (node, entry) in doc.node_pos.iter() {
+        if let Some(pos) = entry {
+            let pos = pos as usize;
+            if pos >= slots || !doc.used[pos] || doc.node[pos] != node {
+                return Err(corrupt(format!(
+                    "node→pos entry for node {node} points at bad slot {pos}"
+                )));
+            }
+        }
+    }
+
+    // Tree shape over the view, via an explicit ancestor stack.
+    // stack entries: (level, remaining_size).
+    let mut stack: Vec<(u16, u64)> = Vec::new();
+    let mut p = 0u64;
+    let mut first = true;
+    while let Some(q) = doc.next_used_at_or_after(p) {
+        let lvl = doc.level(q).expect("used tuple");
+        let sz = TreeView::size(doc, q);
+        if first {
+            if lvl != 0 {
+                return Err(corrupt(format!("first used tuple has level {lvl}, not 0")));
+            }
+            first = false;
+        } else {
+            // Pop completed subtrees.
+            while let Some(&(top_lvl, rem)) = stack.last() {
+                if lvl > top_lvl {
+                    break;
+                }
+                if rem != 0 {
+                    return Err(corrupt(format!(
+                        "node at level {top_lvl} closed with {rem} descendants missing \
+                         before pre {q}"
+                    )));
+                }
+                stack.pop();
+            }
+            match stack.last() {
+                Some(&(top_lvl, _)) if lvl == top_lvl + 1 => {}
+                Some(&(top_lvl, _)) => {
+                    return Err(corrupt(format!(
+                        "level jump from {top_lvl} to {lvl} at pre {q}"
+                    )))
+                }
+                None => {
+                    return Err(corrupt(format!(
+                        "second root at pre {q} (level {lvl})"
+                    )))
+                }
+            }
+            // This tuple consumes one descendant slot in every open
+            // ancestor.
+            for (_, rem) in stack.iter_mut() {
+                if *rem == 0 {
+                    return Err(corrupt(format!(
+                        "ancestor size exhausted before pre {q}"
+                    )));
+                }
+                *rem -= 1;
+            }
+        }
+        stack.push((lvl, sz));
+        p = q + 1;
+    }
+    while let Some((lvl, rem)) = stack.pop() {
+        if rem != 0 {
+            return Err(corrupt(format!(
+                "node at level {lvl} ends the document with {rem} descendants missing"
+            )));
+        }
+    }
+
+    // Attribute index points at live nodes and matching rows.
+    for (&node, rows) in &doc.attr_index {
+        match doc.node_pos.get(node) {
+            Ok(Some(_)) => {}
+            _ => {
+                return Err(corrupt(format!(
+                    "attribute index entry for dead node {node}"
+                )))
+            }
+        }
+        for &r in rows {
+            if r as usize >= doc.attr_node.len() || doc.attr_node[r as usize] != node {
+                return Err(corrupt(format!(
+                    "attribute row {r} does not belong to node {node}"
+                )));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PageConfig;
+    use crate::update::InsertPosition;
+    use crate::PagedDoc;
+    use mbxq_xml::Document;
+
+    const PAPER_DOC: &str =
+        "<a><b><c><d></d><e></e></c></b><f><g></g><h><i></i><j></j></h></f></a>";
+
+    #[test]
+    fn fresh_doc_passes() {
+        let d = PagedDoc::parse_str(PAPER_DOC, PageConfig::new(8, 88).unwrap()).unwrap();
+        check_paged(&d).unwrap();
+    }
+
+    #[test]
+    fn passes_after_update_sequence() {
+        let mut d = PagedDoc::parse_str(PAPER_DOC, PageConfig::new(8, 88).unwrap()).unwrap();
+        let g = d.pre_to_node(6).unwrap();
+        let sub = Document::parse_fragment("<k><l/><m/></k>").unwrap();
+        d.insert(InsertPosition::LastChildOf(g), &sub).unwrap();
+        check_paged(&d).unwrap();
+        let b = d.pre_to_node(1).unwrap();
+        d.delete(b).unwrap();
+        check_paged(&d).unwrap();
+    }
+
+    #[test]
+    fn detects_corrupted_size() {
+        let mut d = PagedDoc::parse_str(PAPER_DOC, PageConfig::new(8, 88).unwrap()).unwrap();
+        d.size[0] = 3; // root claims 3 descendants instead of 9
+        assert!(check_paged(&d).is_err());
+    }
+
+    #[test]
+    fn detects_corrupted_node_map() {
+        let mut d = PagedDoc::parse_str(PAPER_DOC, PageConfig::new(8, 88).unwrap()).unwrap();
+        d.set_node_pos(0, Some(5));
+        assert!(check_paged(&d).is_err());
+    }
+
+    #[test]
+    fn detects_corrupted_run() {
+        let mut d = PagedDoc::parse_str(PAPER_DOC, PageConfig::new(8, 88).unwrap()).unwrap();
+        d.size[7] = 99; // slot 7 is the unused tail of page 0
+        assert!(check_paged(&d).is_err());
+    }
+}

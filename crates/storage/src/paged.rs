@@ -1,0 +1,657 @@
+//! The updateable storage schema (Figures 4 and 6).
+//!
+//! The base table is `pos/size/level/node`, divided into **logical pages**
+//! of a fixed tuple count. The shredder fills each page only to a
+//! configurable fill factor, leaving the remainder as *unused tuples*
+//! (`level = NULL`; `size` = remaining run length). New pages are only
+//! ever appended physically; a [`PageMap`] (the `pageOffset` table) gives
+//! the pages' *logical* order, and the `pre/size/level` **view** the
+//! query engine sees — the [`TreeView`] impl here — reads through that
+//! indirection. Because `pre` is the (virtual) position in the view, all
+//! pre numbers after an insert point shift "at no update cost at all"
+//! when a page is spliced in (§3).
+//!
+//! Each tuple additionally carries an immutable **node id**; the
+//! `node→pos` table maps ids back to physical positions, and the
+//! attribute table refers to node ids instead of pre values (Figure 6),
+//! so attribute rows never need maintenance when positions shift.
+
+use crate::types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
+use crate::values::{PropId, QnId, ValuePool};
+use crate::view::TreeView;
+use crate::Result;
+use mbxq_bat::{NullableBat, PageMap};
+use mbxq_xml::{Document, Node};
+use std::collections::HashMap;
+
+/// Sentinel stored in the `name` column of non-element used tuples.
+pub(crate) const NO_NAME: u32 = u32::MAX;
+/// Sentinel stored in the `node` column of unused tuples.
+pub(crate) const NO_NODE: u64 = u64::MAX;
+
+/// Staged tuple data, used while shredding and while preparing inserts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tuple {
+    pub size: u64,
+    pub level: u16,
+    pub kind: Kind,
+    pub name: u32,
+    pub value: u32,
+    pub node: u64,
+}
+
+/// A document in the updateable paged encoding.
+#[derive(Debug, Clone)]
+pub struct PagedDoc {
+    pub(crate) cfg: PageConfig,
+    pub(crate) shift: u32,
+    // ---- base table, indexed by physical pos ----
+    pub(crate) size: Vec<u64>,
+    pub(crate) level: Vec<u16>,
+    /// Whether the slot holds a node (`level = NULL` ⇔ `!used`).
+    pub(crate) used: Vec<bool>,
+    pub(crate) kind: Vec<Kind>,
+    /// `qn` id for elements; 1-based backward run index for unused slots.
+    pub(crate) name: Vec<u32>,
+    pub(crate) value: Vec<u32>,
+    pub(crate) node: Vec<u64>,
+    /// The `pageOffset` table: logical order of physical pages.
+    pub(crate) pages: PageMap,
+    /// node id → physical pos (NULL = deleted node).
+    pub(crate) node_pos: NullableBat<u64>,
+    // ---- attribute table, keyed by node id (Figure 6) ----
+    pub(crate) attr_node: Vec<u64>,
+    pub(crate) attr_qn: Vec<QnId>,
+    pub(crate) attr_prop: Vec<PropId>,
+    /// node id → attribute row indexes (document order).
+    pub(crate) attr_index: HashMap<u64, Vec<u32>>,
+    pub(crate) pool: ValuePool,
+    pub(crate) used_count: u64,
+}
+
+/// Size/occupancy statistics (for the §4.1 storage-overhead experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedStats {
+    /// Number of logical pages.
+    pub pages: usize,
+    /// Total slots (used + unused).
+    pub capacity: u64,
+    /// Slots holding document nodes.
+    pub used: u64,
+    /// Unused slots.
+    pub unused: u64,
+    /// Approximate bytes of the tree + node/pos + attr tables.
+    pub table_bytes: usize,
+}
+
+impl PagedDoc {
+    /// Shreds XML text into the paged encoding.
+    pub fn parse_str(input: &str, cfg: PageConfig) -> Result<Self> {
+        let doc = Document::parse(input).map_err(|e| StorageError::InvalidTarget {
+            message: format!("XML parse: {e}"),
+        })?;
+        Self::from_tree(&doc.root, cfg)
+    }
+
+    /// Shreds an owned tree into the paged encoding, leaving
+    /// `100 - fill_percent` percent of every page unused (§3: "the
+    /// document shredder already leaves a certain (configurable)
+    /// percentage of tuples unused in each logical page").
+    pub fn from_tree(root: &Node, cfg: PageConfig) -> Result<Self> {
+        PageConfig::new(cfg.page_size, cfg.fill_percent)?;
+        let mut doc = PagedDoc {
+            cfg,
+            shift: cfg.page_size.trailing_zeros(),
+            size: Vec::new(),
+            level: Vec::new(),
+            used: Vec::new(),
+            kind: Vec::new(),
+            name: Vec::new(),
+            value: Vec::new(),
+            node: Vec::new(),
+            pages: PageMap::new(cfg.page_size),
+            node_pos: NullableBat::new(0),
+            attr_node: Vec::new(),
+            attr_qn: Vec::new(),
+            attr_prop: Vec::new(),
+            attr_index: HashMap::new(),
+            pool: ValuePool::new(),
+            used_count: 0,
+        };
+        // Stage the whole tuple stream first (sizes require postorder),
+        // then lay out page by page.
+        let mut staged = Vec::with_capacity(root.tuple_count() as usize);
+        let mut attrs = Vec::new();
+        doc.stage_subtree(root, 0, &mut staged, &mut attrs);
+        let fill = cfg.fill_target();
+        for chunk in staged.chunks(fill) {
+            let page = doc.append_physical_page();
+            let base = page * cfg.page_size;
+            for (i, t) in chunk.iter().enumerate() {
+                doc.write_tuple(base + i, *t);
+                doc.node_pos.append(Some((base + i) as u64));
+            }
+            doc.rebuild_runs_in_page(page);
+        }
+        if staged.is_empty() {
+            // An element-only root always stages at least one tuple, so
+            // this cannot happen for parsed documents.
+            return Err(StorageError::InvalidTarget {
+                message: "cannot shred an empty tree".into(),
+            });
+        }
+        doc.used_count = staged.len() as u64;
+        for (node, qn, prop) in attrs {
+            doc.push_attr(node, qn, prop);
+        }
+        Ok(doc)
+    }
+
+    /// One past the highest allocated node id.
+    pub fn node_alloc_end(&self) -> u64 {
+        self.node_pos.hseqend()
+    }
+
+    /// Recursively stages `node` and its subtree with ids continuing the
+    /// current allocation; returns the number of staged tuples. Node ids
+    /// are allocated in document order, so at shredding time node ==
+    /// pos-rank (§3.1).
+    pub(crate) fn stage_subtree(
+        &mut self,
+        node: &Node,
+        level: u16,
+        out: &mut Vec<Tuple>,
+        attrs: &mut Vec<(u64, QnId, PropId)>,
+    ) -> u64 {
+        let base = self.node_pos.hseqend();
+        self.stage_subtree_with_base(node, level, base, out, attrs)
+    }
+
+    /// Recursively stages `node` and its subtree with ids starting at
+    /// `base + out.len()`.
+    pub(crate) fn stage_subtree_with_base(
+        &mut self,
+        node: &Node,
+        level: u16,
+        base: u64,
+        out: &mut Vec<Tuple>,
+        attrs: &mut Vec<(u64, QnId, PropId)>,
+    ) -> u64 {
+        let node_id = base + out.len() as u64;
+        match node {
+            Node::Element {
+                name,
+                attributes,
+                children,
+            } => {
+                let qn = self.pool.intern_qname(name);
+                let idx = out.len();
+                out.push(Tuple {
+                    size: 0,
+                    level,
+                    kind: Kind::Element,
+                    name: qn.0,
+                    value: NO_NAME,
+                    node: node_id,
+                });
+                for (aname, avalue) in attributes {
+                    let aqn = self.pool.intern_qname(aname);
+                    let prop = self.pool.intern_prop(avalue);
+                    attrs.push((node_id, aqn, prop));
+                }
+                let mut sz = 0;
+                for c in children {
+                    sz += self.stage_subtree_with_base(c, level + 1, base, out, attrs);
+                }
+                out[idx].size = sz;
+                sz + 1
+            }
+            Node::Text(t) => {
+                let v = self.pool.intern_text(t);
+                out.push(Tuple {
+                    size: 0,
+                    level,
+                    kind: Kind::Text,
+                    name: NO_NAME,
+                    value: v,
+                    node: node_id,
+                });
+                1
+            }
+            Node::Comment(c) => {
+                let v = self.pool.intern_comment(c);
+                out.push(Tuple {
+                    size: 0,
+                    level,
+                    kind: Kind::Comment,
+                    name: NO_NAME,
+                    value: v,
+                    node: node_id,
+                });
+                1
+            }
+            Node::ProcessingInstruction { target, data } => {
+                let v = self.pool.intern_instruction(target, data);
+                out.push(Tuple {
+                    size: 0,
+                    level,
+                    kind: Kind::ProcessingInstruction,
+                    name: NO_NAME,
+                    value: v,
+                    node: node_id,
+                });
+                1
+            }
+        }
+    }
+
+    /// Appends a fresh physical page (all slots unused) at the end of the
+    /// logical order, growing every base column. Returns its physical id.
+    pub(crate) fn append_physical_page(&mut self) -> usize {
+        let page = self.pages.append_page();
+        self.grow_columns();
+        page
+    }
+
+    /// Appends a fresh physical page spliced into the logical order at
+    /// logical index `at` (case 2b of Figure 7). Returns its physical id.
+    pub(crate) fn splice_physical_page(&mut self, at: usize) -> Result<usize> {
+        let page = self.pages.insert_page_at(at)?;
+        self.grow_columns();
+        Ok(page)
+    }
+
+    fn grow_columns(&mut self) {
+        let new_len = self.size.len() + self.cfg.page_size;
+        self.size.resize(new_len, 0);
+        self.level.resize(new_len, 0);
+        self.used.resize(new_len, false);
+        self.kind.resize(new_len, Kind::Element);
+        self.name.resize(new_len, 0);
+        self.value.resize(new_len, NO_NAME);
+        self.node.resize(new_len, NO_NODE);
+    }
+
+    /// Writes a staged tuple at physical position `pos`.
+    pub(crate) fn write_tuple(&mut self, pos: usize, t: Tuple) {
+        self.size[pos] = t.size;
+        self.level[pos] = t.level;
+        self.used[pos] = true;
+        self.kind[pos] = t.kind;
+        self.name[pos] = t.name;
+        self.value[pos] = t.value;
+        self.node[pos] = t.node;
+    }
+
+    /// Reads the staged form of the used tuple at physical `pos`.
+    pub(crate) fn read_tuple(&self, pos: usize) -> Tuple {
+        debug_assert!(self.used[pos]);
+        Tuple {
+            size: self.size[pos],
+            level: self.level[pos],
+            kind: self.kind[pos],
+            name: self.name[pos],
+            value: self.value[pos],
+            node: self.node[pos],
+        }
+    }
+
+    /// Marks physical `pos` unused. Run encodings must be rebuilt for the
+    /// page afterwards.
+    pub(crate) fn clear_slot(&mut self, pos: usize) {
+        self.used[pos] = false;
+        self.node[pos] = NO_NODE;
+        self.size[pos] = 0;
+        self.name[pos] = 0;
+        self.value[pos] = NO_NAME;
+        self.level[pos] = 0;
+    }
+
+    /// Recomputes the unused-run encodings of one physical page: for each
+    /// unused slot, `size` = remaining consecutive unused slots in the
+    /// page including itself, `name` = 1-based index within the run
+    /// (backward skip support). Runs never cross page boundaries — page
+    /// maintenance stays local to the touched page.
+    pub(crate) fn rebuild_runs_in_page(&mut self, page: usize) {
+        let base = page * self.cfg.page_size;
+        let end = base + self.cfg.page_size;
+        let mut i = base;
+        while i < end {
+            if self.used[i] {
+                i += 1;
+                continue;
+            }
+            let run_start = i;
+            while i < end && !self.used[i] {
+                i += 1;
+            }
+            let run_end = i;
+            for (k, pos) in (run_start..run_end).enumerate() {
+                self.size[pos] = (run_end - pos) as u64;
+                self.name[pos] = (k + 1) as u32;
+                self.node[pos] = NO_NODE;
+            }
+        }
+    }
+
+    /// Number of unused slots on physical page `page`.
+    pub fn free_in_page(&self, page: usize) -> usize {
+        let base = page * self.cfg.page_size;
+        (base..base + self.cfg.page_size)
+            .filter(|&p| !self.used[p])
+            .count()
+    }
+
+    /// Adds an attribute row for `node`.
+    pub(crate) fn push_attr(&mut self, node: u64, qn: QnId, prop: PropId) {
+        let row = u32::try_from(self.attr_node.len()).expect("attr table overflow");
+        self.attr_node.push(node);
+        self.attr_qn.push(qn);
+        self.attr_prop.push(prop);
+        self.attr_index.entry(node).or_default().push(row);
+    }
+
+    // ------------------------------------------------------------------
+    // Public accessors
+    // ------------------------------------------------------------------
+
+    /// The page configuration.
+    pub fn config(&self) -> PageConfig {
+        self.cfg
+    }
+
+    /// Translates a node id to its current pre rank, via the `node→pos`
+    /// table and the `pageOffset` swizzle (§3.1).
+    pub fn node_to_pre(&self, node: NodeId) -> Result<u64> {
+        let pos = self
+            .node_pos
+            .get(node.0)
+            .map_err(|_| StorageError::BadNode { node })?
+            .ok_or(StorageError::BadNode { node })?;
+        Ok(self.pages.pos_to_pre(pos)?)
+    }
+
+    /// Translates a pre rank to the node id stored there.
+    pub fn pre_to_node(&self, pre: u64) -> Result<NodeId> {
+        let pos = self.pages.pre_to_pos(pre)? as usize;
+        if !self.used[pos] {
+            return Err(StorageError::BadPre {
+                pre,
+                context: "resolving a node id",
+            });
+        }
+        Ok(NodeId(self.node[pos]))
+    }
+
+    /// Physical position of a view position.
+    #[inline]
+    pub(crate) fn pos_of_pre(&self, pre: u64) -> Option<usize> {
+        self.pages.pre_to_pos(pre).ok().map(|p| p as usize)
+    }
+
+    /// Mutable access to the value pool.
+    pub fn pool_mut(&mut self) -> &mut ValuePool {
+        &mut self.pool
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> PagedStats {
+        let capacity = self.size.len() as u64;
+        PagedStats {
+            pages: self.pages.num_pages(),
+            capacity,
+            used: self.used_count,
+            unused: capacity - self.used_count,
+            table_bytes: self.size.len() * (8 + 2 + 1 + 1 + 4 + 4 + 8)
+                + self.node_pos.len() * 9
+                + self.attr_node.len() * (8 + 4 + 4)
+                + self.pages.num_pages() * 8,
+        }
+    }
+
+    /// Allocates a fresh immutable node id (appending a NULL `node→pos`
+    /// entry that the caller must fill).
+    pub(crate) fn alloc_node_id(&mut self) -> u64 {
+        self.node_pos.append(None)
+    }
+
+    /// Updates the `node→pos` entry of `node` after its tuple moved.
+    pub(crate) fn set_node_pos(&mut self, node: u64, pos: Option<u64>) {
+        self.node_pos
+            .set(node, pos)
+            .expect("node id allocated before use");
+    }
+}
+
+impl TreeView for PagedDoc {
+    fn pre_end(&self) -> u64 {
+        self.size.len() as u64
+    }
+
+    fn level(&self, pre: u64) -> Option<u16> {
+        let pos = self.pos_of_pre(pre)?;
+        if self.used[pos] {
+            Some(self.level[pos])
+        } else {
+            None
+        }
+    }
+
+    fn size(&self, pre: u64) -> u64 {
+        match self.pos_of_pre(pre) {
+            Some(pos) => self.size[pos],
+            None => 0,
+        }
+    }
+
+    fn kind(&self, pre: u64) -> Option<Kind> {
+        let pos = self.pos_of_pre(pre)?;
+        if self.used[pos] {
+            Some(self.kind[pos])
+        } else {
+            None
+        }
+    }
+
+    fn name_id(&self, pre: u64) -> Option<QnId> {
+        let pos = self.pos_of_pre(pre)?;
+        if self.used[pos] && self.kind[pos] == Kind::Element {
+            Some(QnId(self.name[pos]))
+        } else {
+            None
+        }
+    }
+
+    fn value_ref(&self, pre: u64) -> Option<ValueRef> {
+        let pos = self.pos_of_pre(pre)?;
+        if self.used[pos] && self.kind[pos] != Kind::Element {
+            Some(ValueRef(self.value[pos]))
+        } else {
+            None
+        }
+    }
+
+    fn node_id(&self, pre: u64) -> Option<NodeId> {
+        let pos = self.pos_of_pre(pre)?;
+        if self.used[pos] {
+            Some(NodeId(self.node[pos]))
+        } else {
+            None
+        }
+    }
+
+    fn back_run(&self, pre: u64) -> u64 {
+        match self.pos_of_pre(pre) {
+            Some(pos) if !self.used[pos] => self.name[pos] as u64,
+            _ => 0,
+        }
+    }
+
+    fn attributes(&self, pre: u64) -> Vec<(QnId, PropId)> {
+        let Some(pos) = self.pos_of_pre(pre) else {
+            return Vec::new();
+        };
+        if !self.used[pos] {
+            return Vec::new();
+        }
+        match self.attr_index.get(&self.node[pos]) {
+            Some(rows) => rows
+                .iter()
+                .map(|&r| (self.attr_qn[r as usize], self.attr_prop[r as usize]))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    fn used_count(&self) -> u64 {
+        self.used_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_DOC: &str =
+        "<a><b><c><d></d><e></e></c></b><f><g></g><h><i></i><j></j></h></f></a>";
+
+    /// Figure 4's layout: page size 8, shredder leaves pages partly
+    /// unused. With fill 7/8 the ten nodes land as a..g on page 0 and
+    /// h,i,j on page 1, exactly like the paper's figure.
+    fn figure4_doc() -> PagedDoc {
+        let cfg = PageConfig::new(8, 88).unwrap(); // fill_target = 7
+        assert_eq!(cfg.fill_target(), 7);
+        PagedDoc::parse_str(PAPER_DOC, cfg).unwrap()
+    }
+
+    #[test]
+    fn figure4_initial_layout() {
+        let d = figure4_doc();
+        assert_eq!(d.stats().pages, 2);
+        assert_eq!(d.stats().used, 10);
+        assert_eq!(d.stats().unused, 6);
+        // Page 0: a b c d e f g + 1 unused; page 1: h i j + 5 unused.
+        let names: Vec<Option<String>> = (0..16)
+            .map(|p| {
+                d.name_id(p)
+                    .map(|q| d.pool().qname(q).unwrap().local.clone())
+            })
+            .collect();
+        let expect: Vec<Option<&str>> = vec![
+            Some("a"),
+            Some("b"),
+            Some("c"),
+            Some("d"),
+            Some("e"),
+            Some("f"),
+            Some("g"),
+            None,
+            Some("h"),
+            Some("i"),
+            Some("j"),
+            None,
+            None,
+            None,
+            None,
+            None,
+        ];
+        assert_eq!(
+            names,
+            expect
+                .into_iter()
+                .map(|o| o.map(str::to_string))
+                .collect::<Vec<_>>()
+        );
+        // Sizes unchanged from the read-only encoding (Figure 4).
+        assert_eq!(TreeView::size(&d, 0), 9); // a
+        assert_eq!(TreeView::size(&d, 5), 4); // f
+        assert_eq!(TreeView::size(&d, 8), 2); // h
+        // Unused run lengths: slot 7 run of 1; slots 11..16 run of 5.
+        assert_eq!(TreeView::size(&d, 7), 1);
+        assert_eq!(TreeView::size(&d, 11), 5);
+        assert_eq!(TreeView::size(&d, 12), 4);
+        assert_eq!(TreeView::size(&d, 15), 1);
+        assert_eq!(d.back_run(11), 1);
+        assert_eq!(d.back_run(15), 5);
+    }
+
+    #[test]
+    fn levels_and_unused_null() {
+        let d = figure4_doc();
+        assert_eq!(TreeView::level(&d, 0), Some(0));
+        assert_eq!(TreeView::level(&d, 6), Some(2)); // g
+        assert_eq!(TreeView::level(&d, 7), None); // unused
+        assert_eq!(TreeView::level(&d, 8), Some(2)); // h
+        assert_eq!(TreeView::level(&d, 99), None); // out of range
+    }
+
+    #[test]
+    fn navigation_skips_holes() {
+        let d = figure4_doc();
+        // f's region spans the hole at pre 7: descendants g,h,i,j.
+        assert_eq!(d.region_end(5), 11);
+        // next/prev used skip runs in O(1).
+        assert_eq!(d.next_used_at_or_after(7), Some(8));
+        assert_eq!(d.prev_used_at_or_before(15), Some(10));
+        // parent of h (pre 8) is f (pre 5), across the hole.
+        assert_eq!(d.parent_of(8), Some(5));
+        assert_eq!(d.parent_of(0), None);
+    }
+
+    #[test]
+    fn node_pre_round_trip() {
+        let d = figure4_doc();
+        for pre in [0u64, 5, 6, 8, 10] {
+            let node = d.pre_to_node(pre).unwrap();
+            assert_eq!(d.node_to_pre(node).unwrap(), pre);
+        }
+        assert!(d.pre_to_node(7).is_err()); // unused slot
+        assert!(d.node_to_pre(NodeId(999)).is_err());
+    }
+
+    #[test]
+    fn view_equals_readonly_on_used_tuples() {
+        let ro = crate::ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        let up = figure4_doc();
+        let mut pre_up = 0u64;
+        for pre_ro in 0..ro.pre_end() {
+            let q = up.next_used_at_or_after(pre_up).expect("same node count");
+            assert_eq!(TreeView::size(&ro, pre_ro), TreeView::size(&up, q));
+            assert_eq!(TreeView::level(&ro, pre_ro), TreeView::level(&up, q));
+            assert_eq!(ro.kind(pre_ro), up.kind(q));
+            pre_up = q + 1;
+        }
+    }
+
+    #[test]
+    fn attributes_via_node_ids() {
+        let cfg = PageConfig::new(8, 75).unwrap();
+        let d = PagedDoc::parse_str(r#"<a x="1"><b y="2" z="3"/></a>"#, cfg).unwrap();
+        assert_eq!(d.attributes(0).len(), 1);
+        assert_eq!(d.attributes(1).len(), 2);
+        assert_eq!(
+            d.attribute_value(1, &mbxq_xml::QName::local("y")),
+            Some("2".to_string())
+        );
+    }
+
+    #[test]
+    fn string_value_spans_pages() {
+        let cfg = PageConfig::new(4, 50).unwrap(); // fill 2 per page
+        let d = PagedDoc::parse_str("<a>x<b>y</b>z</a>", cfg).unwrap();
+        assert_eq!(d.string_value(0), "xyz");
+    }
+
+    #[test]
+    fn single_page_small_doc() {
+        let cfg = PageConfig::default();
+        let d = PagedDoc::parse_str("<r><x/></r>", cfg).unwrap();
+        assert_eq!(d.stats().pages, 1);
+        assert_eq!(d.stats().used, 2);
+        assert_eq!(d.root_pre(), Some(0));
+    }
+}

@@ -1,0 +1,390 @@
+//! The original read-only storage schema (Figure 5).
+//!
+//! One dense `pre/size/level` table with a void `pre` column, an `attr`
+//! table whose rows point back at owner `pre` values, and the interned
+//! side tables. Produced by the event-based document shredder; immutable
+//! thereafter — exactly "the storage scheme used until now in
+//! MonetDB/XQuery, … a read-only solution" (§2.2).
+
+use crate::types::{Kind, NodeId, StorageError, ValueRef};
+use crate::values::{PropId, QnId, ValuePool};
+use crate::view::TreeView;
+use crate::Result;
+use mbxq_bat::VoidBat;
+use mbxq_xml::{Event, Node, Parser};
+
+/// A shredded document in the dense read-only encoding.
+///
+/// The `pre` column is *virtual* (void): a tuple's pre rank is its
+/// position. `post` is not stored; it is recovered as
+/// `post = pre + size - level` (§2.2) — see [`ReadOnlyDoc::post`].
+#[derive(Debug, Clone, Default)]
+pub struct ReadOnlyDoc {
+    /// Subtree sizes (descendant tuple counts), void-keyed by pre.
+    size: VoidBat<u64>,
+    /// Tree depths, void-keyed by pre.
+    level: VoidBat<u16>,
+    /// Node kinds, void-keyed by pre.
+    kind: VoidBat<Kind>,
+    /// `qn` id for elements (`u32::MAX` for non-elements).
+    name: VoidBat<u32>,
+    /// Value-table reference for non-elements (`u32::MAX` for elements).
+    value: VoidBat<u32>,
+    /// Attribute table: owner pre (ascending — attrs are emitted in
+    /// document order, enabling binary-search range lookup).
+    attr_owner: VoidBat<u64>,
+    /// Attribute names.
+    attr_qn: VoidBat<QnId>,
+    /// Attribute values (`prop` references).
+    attr_prop: VoidBat<PropId>,
+    /// Interned side tables.
+    pool: ValuePool,
+}
+
+impl ReadOnlyDoc {
+    /// Shreds XML text into the read-only encoding.
+    pub fn parse_str(input: &str) -> Result<Self> {
+        let mut doc = ReadOnlyDoc::default();
+        let mut parser = Parser::new(input);
+        // Stack of (pre, tuples_emitted_when_opened).
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        let mut emitted: u64 = 0;
+        while let Some(ev) = parser
+            .next_event()
+            .map_err(|e| StorageError::InvalidTarget {
+                message: format!("XML parse: {e}"),
+            })?
+        {
+            match ev {
+                Event::StartElement { name, attributes } => {
+                    let pre = emitted;
+                    emitted += 1;
+                    let level = stack.len() as u16;
+                    let qn = doc.pool.intern_qname(&name);
+                    doc.push_tuple(0, level, Kind::Element, qn.0, u32::MAX);
+                    for (aname, avalue) in &attributes {
+                        let aqn = doc.pool.intern_qname(aname);
+                        let prop = doc.pool.intern_prop(avalue);
+                        doc.attr_owner.append(pre);
+                        doc.attr_qn.append(aqn);
+                        doc.attr_prop.append(prop);
+                    }
+                    stack.push((pre, emitted));
+                }
+                Event::EndElement { .. } => {
+                    let (pre, opened_at) = stack.pop().expect("parser guarantees balance");
+                    *doc.size.find_mut(pre)? = emitted - opened_at;
+                }
+                Event::Text(t) => {
+                    let level = stack.len() as u16;
+                    let v = doc.pool.intern_text(&t);
+                    doc.push_tuple(0, level, Kind::Text, u32::MAX, v);
+                    emitted += 1;
+                }
+                Event::Comment(c) => {
+                    let level = stack.len() as u16;
+                    let v = doc.pool.intern_comment(&c);
+                    doc.push_tuple(0, level, Kind::Comment, u32::MAX, v);
+                    emitted += 1;
+                }
+                Event::ProcessingInstruction { target, data } => {
+                    let level = stack.len() as u16;
+                    let v = doc.pool.intern_instruction(&target, &data);
+                    doc.push_tuple(0, level, Kind::ProcessingInstruction, u32::MAX, v);
+                    emitted += 1;
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Shreds an owned tree (used when both schemas must be loaded from
+    /// the identical document object).
+    pub fn from_tree(root: &Node) -> Result<Self> {
+        let mut doc = ReadOnlyDoc::default();
+        doc.shred_node(root, 0)?;
+        Ok(doc)
+    }
+
+    fn shred_node(&mut self, node: &Node, level: u16) -> Result<u64> {
+        match node {
+            Node::Element {
+                name,
+                attributes,
+                children,
+            } => {
+                let pre = self.size.len() as u64;
+                let qn = self.pool.intern_qname(name);
+                self.push_tuple(0, level, Kind::Element, qn.0, u32::MAX);
+                for (aname, avalue) in attributes {
+                    let aqn = self.pool.intern_qname(aname);
+                    let prop = self.pool.intern_prop(avalue);
+                    self.attr_owner.append(pre);
+                    self.attr_qn.append(aqn);
+                    self.attr_prop.append(prop);
+                }
+                let mut sz = 0;
+                for c in children {
+                    sz += self.shred_node(c, level + 1)?;
+                }
+                *self.size.find_mut(pre)? = sz;
+                Ok(sz + 1)
+            }
+            Node::Text(t) => {
+                let v = self.pool.intern_text(t);
+                self.push_tuple(0, level, Kind::Text, u32::MAX, v);
+                Ok(1)
+            }
+            Node::Comment(c) => {
+                let v = self.pool.intern_comment(c);
+                self.push_tuple(0, level, Kind::Comment, u32::MAX, v);
+                Ok(1)
+            }
+            Node::ProcessingInstruction { target, data } => {
+                let v = self.pool.intern_instruction(target, data);
+                self.push_tuple(0, level, Kind::ProcessingInstruction, u32::MAX, v);
+                Ok(1)
+            }
+        }
+    }
+
+    fn push_tuple(&mut self, size: u64, level: u16, kind: Kind, name: u32, value: u32) {
+        self.size.append(size);
+        self.level.append(level);
+        self.kind.append(kind);
+        self.name.append(name);
+        self.value.append(value);
+    }
+
+    /// Number of tuples (document nodes).
+    pub fn len(&self) -> usize {
+        self.size.len()
+    }
+
+    /// Whether the document is empty (never true for parsed documents —
+    /// they have at least a root).
+    pub fn is_empty(&self) -> bool {
+        self.size.is_empty()
+    }
+
+    /// The post rank of the node at `pre`: `post = pre + size - level`
+    /// (§2.2, Figure 2). Only meaningful in this dense encoding.
+    pub fn post(&self, pre: u64) -> Result<u64> {
+        let size = self.size.get(pre)?;
+        let level = self.level.get(pre)? as u64;
+        Ok(pre + size - level)
+    }
+
+    /// Mutable access to the value pool (the shredder interns; queries
+    /// only read).
+    pub fn pool_mut(&mut self) -> &mut ValuePool {
+        &mut self.pool
+    }
+
+    /// Approximate heap footprint of the tree + attribute tables in bytes
+    /// (for the storage-overhead experiment; excludes the shared pool).
+    pub fn table_bytes(&self) -> usize {
+        self.len() * (8 + 2 + 1 + 4 + 4) + self.attr_owner.len() * (8 + 4 + 4)
+    }
+}
+
+impl TreeView for ReadOnlyDoc {
+    fn pre_end(&self) -> u64 {
+        self.size.len() as u64
+    }
+
+    fn level(&self, pre: u64) -> Option<u16> {
+        self.level.get(pre).ok()
+    }
+
+    fn size(&self, pre: u64) -> u64 {
+        self.size.get(pre).unwrap_or(0)
+    }
+
+    fn kind(&self, pre: u64) -> Option<Kind> {
+        self.kind.get(pre).ok()
+    }
+
+    fn name_id(&self, pre: u64) -> Option<QnId> {
+        match self.name.get(pre) {
+            Ok(id) if id != u32::MAX => Some(QnId(id)),
+            _ => None,
+        }
+    }
+
+    fn value_ref(&self, pre: u64) -> Option<ValueRef> {
+        match self.value.get(pre) {
+            Ok(v) if v != u32::MAX => Some(ValueRef(v)),
+            _ => None,
+        }
+    }
+
+    fn node_id(&self, pre: u64) -> Option<NodeId> {
+        // "At shredding time, node numbers are identical to pos numbers"
+        // (§3.1); the read-only schema never updates, so they stay equal.
+        if pre < self.pre_end() {
+            Some(NodeId(pre))
+        } else {
+            None
+        }
+    }
+
+    fn back_run(&self, _pre: u64) -> u64 {
+        0 // no unused slots in the dense encoding
+    }
+
+    fn attributes(&self, pre: u64) -> Vec<(QnId, PropId)> {
+        let owners = self.attr_owner.tail();
+        let lo = owners.partition_point(|&o| o < pre);
+        let hi = owners.partition_point(|&o| o <= pre);
+        (lo..hi)
+            .map(|i| (self.attr_qn.tail()[i], self.attr_prop.tail()[i]))
+            .collect()
+    }
+
+    fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    fn used_count(&self) -> u64 {
+        self.len() as u64
+    }
+
+    // Dense encoding: every slot used, so the generic helpers collapse.
+    fn next_used_at_or_after(&self, pre: u64) -> Option<u64> {
+        if pre < self.pre_end() {
+            Some(pre)
+        } else {
+            None
+        }
+    }
+
+    fn prev_used_at_or_before(&self, pre: u64) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(pre.min(self.pre_end() - 1))
+        }
+    }
+
+    fn region_end(&self, pre: u64) -> u64 {
+        // Hole-free: the classic O(1) jump.
+        pre + self.size(pre) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example, Figure 2.
+    const PAPER_DOC: &str =
+        "<a><b><c><d></d><e></e></c></b><f><g></g><h><i></i><j></j></h></f></a>";
+
+    #[test]
+    fn figure2_pre_size_level() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        assert_eq!(d.len(), 10);
+        // Figure 2(iv): pre | size | level
+        let expect: [(u64, u64, u16); 10] = [
+            (0, 9, 0), // a
+            (1, 3, 1), // b
+            (2, 2, 2), // c
+            (3, 0, 3), // d
+            (4, 0, 3), // e
+            (5, 4, 1), // f
+            (6, 0, 2), // g
+            (7, 2, 2), // h
+            (8, 0, 3), // i
+            (9, 0, 3), // j
+        ];
+        for (pre, size, level) in expect {
+            assert_eq!(TreeView::size(&d, pre), size, "size of pre {pre}");
+            assert_eq!(TreeView::level(&d, pre), Some(level), "level of pre {pre}");
+        }
+    }
+
+    #[test]
+    fn figure2_post_equals_pre_plus_size_minus_level() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        // Figure 2(ii): post ranks for a..j.
+        let post: [u64; 10] = [9, 3, 2, 0, 1, 8, 4, 7, 5, 6];
+        for (pre, &want) in post.iter().enumerate() {
+            assert_eq!(d.post(pre as u64).unwrap(), want, "post of pre {pre}");
+        }
+    }
+
+    #[test]
+    fn element_names_resolve() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        let names: Vec<_> = (0..10)
+            .map(|p| d.pool().qname(d.name_id(p).unwrap()).unwrap().local.clone())
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
+    }
+
+    #[test]
+    fn text_nodes_and_string_values() {
+        let d = ReadOnlyDoc::parse_str("<a>x<b>y</b>z</a>").unwrap();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.kind(1), Some(Kind::Text));
+        assert_eq!(d.string_value(0), "xyz");
+        assert_eq!(d.string_value(2), "y");
+        assert_eq!(d.string_value(1), "x");
+    }
+
+    #[test]
+    fn attributes_found_by_owner() {
+        let d = ReadOnlyDoc::parse_str(r#"<a x="1"><b y="2" z="3"/><c/></a>"#).unwrap();
+        let a0 = d.attributes(0);
+        assert_eq!(a0.len(), 1);
+        assert_eq!(d.pool().prop(a0[0].1), Some("1"));
+        let a1 = d.attributes(1);
+        assert_eq!(a1.len(), 2);
+        assert_eq!(d.attributes(2), vec![]);
+        assert_eq!(
+            d.attribute_value(1, &mbxq_xml::QName::local("z")),
+            Some("3".to_string())
+        );
+        assert_eq!(d.attribute_value(1, &mbxq_xml::QName::local("q")), None);
+    }
+
+    #[test]
+    fn parent_of_walks_levels() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        assert_eq!(d.parent_of(0), None); // a is root
+        assert_eq!(d.parent_of(3), Some(2)); // d -> c
+        assert_eq!(d.parent_of(7), Some(5)); // h -> f
+        assert_eq!(d.parent_of(9), Some(7)); // j -> h
+    }
+
+    #[test]
+    fn region_end_matches_size() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        for pre in 0..10 {
+            assert_eq!(d.region_end(pre), pre + TreeView::size(&d, pre) + 1);
+        }
+    }
+
+    #[test]
+    fn from_tree_matches_parse() {
+        let tree = mbxq_xml::Document::parse(PAPER_DOC).unwrap();
+        let d1 = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        let d2 = ReadOnlyDoc::from_tree(&tree.root).unwrap();
+        assert_eq!(d1.len(), d2.len());
+        for p in 0..d1.pre_end() {
+            assert_eq!(TreeView::size(&d1, p), TreeView::size(&d2, p));
+            assert_eq!(TreeView::level(&d1, p), TreeView::level(&d2, p));
+            assert_eq!(d1.kind(p), d2.kind(p));
+        }
+    }
+
+    #[test]
+    fn node_ids_equal_pre_at_shred_time() {
+        let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
+        for p in 0..10 {
+            assert_eq!(d.node_id(p), Some(NodeId(p)));
+        }
+        assert_eq!(d.node_id(10), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Interned side tables: `qn`, `prop`, and the node-value tables.
+//!
+//! Figure 5: "`prop`, holding all unique attribute values (as strings)"
+//! and "`qn`, with one tuple for each qualified name (element or
+//! attribute)". Both are append-only interning tables keyed by a void
+//! column, so lookups from tree tuples are positional. The text, comment
+//! and instruction tables hold node values, also void-keyed.
+
+use mbxq_xml::QName;
+use std::collections::HashMap;
+
+/// Id of a qualified name in the `qn` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QnId(pub u32);
+
+/// Id of a unique attribute value in the `prop` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PropId(pub u32);
+
+/// An append-only string interner backing one side table.
+#[derive(Debug, Clone, Default)]
+struct Interner {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("interner overflow");
+        self.values.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    fn get(&self, id: u32) -> Option<&str> {
+        self.values.get(id as usize).map(String::as_str)
+    }
+
+    fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.values.iter().map(|s| s.len() + 24).sum::<usize>() * 2
+    }
+}
+
+/// All interned side tables shared by a document store.
+///
+/// Grouped in one struct because every schema variant (read-only, paged,
+/// naive) needs the identical set, and the *same* pool instance lets the
+/// ro-vs-up benchmarks rule out interning differences.
+#[derive(Debug, Clone, Default)]
+pub struct ValuePool {
+    qnames: Vec<QName>,
+    qname_index: HashMap<QName, u32>,
+    props: Interner,
+    texts: Interner,
+    comments: Interner,
+    instructions: Interner,
+}
+
+impl ValuePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a qualified name, returning its `qn` id.
+    pub fn intern_qname(&mut self, name: &QName) -> QnId {
+        if let Some(&id) = self.qname_index.get(name) {
+            return QnId(id);
+        }
+        let id = u32::try_from(self.qnames.len()).expect("qn table overflow");
+        self.qnames.push(name.clone());
+        self.qname_index.insert(name.clone(), id);
+        QnId(id)
+    }
+
+    /// The qualified name behind a `qn` id.
+    pub fn qname(&self, id: QnId) -> Option<&QName> {
+        self.qnames.get(id.0 as usize)
+    }
+
+    /// Looks up a name without interning (query-side: an XPath name test
+    /// for a name that was never interned matches nothing).
+    pub fn lookup_qname(&self, name: &QName) -> Option<QnId> {
+        self.qname_index.get(name).copied().map(QnId)
+    }
+
+    /// Interns an attribute value into `prop`.
+    pub fn intern_prop(&mut self, value: &str) -> PropId {
+        PropId(self.props.intern(value))
+    }
+
+    /// The attribute value behind a `prop` id.
+    pub fn prop(&self, id: PropId) -> Option<&str> {
+        self.props.get(id.0)
+    }
+
+    /// Looks up an attribute value without interning.
+    pub fn lookup_prop(&self, value: &str) -> Option<PropId> {
+        self.props.lookup(value).map(PropId)
+    }
+
+    /// Interns a text-node value, returning its row in the text table.
+    pub fn intern_text(&mut self, value: &str) -> u32 {
+        self.texts.intern(value)
+    }
+
+    /// Text value by id.
+    pub fn text(&self, id: u32) -> Option<&str> {
+        self.texts.get(id)
+    }
+
+    /// Interns a comment value.
+    pub fn intern_comment(&mut self, value: &str) -> u32 {
+        self.comments.intern(value)
+    }
+
+    /// Comment value by id.
+    pub fn comment(&self, id: u32) -> Option<&str> {
+        self.comments.get(id)
+    }
+
+    /// Interns a processing instruction as `target data` (single string;
+    /// the target is the prefix up to the first space).
+    pub fn intern_instruction(&mut self, target: &str, data: &str) -> u32 {
+        let combined = if data.is_empty() {
+            target.to_string()
+        } else {
+            format!("{target} {data}")
+        };
+        self.instructions.intern(&combined)
+    }
+
+    /// Instruction `(target, data)` by id.
+    pub fn instruction(&self, id: u32) -> Option<(&str, &str)> {
+        self.instructions.get(id).map(|s| match s.find(' ') {
+            Some(i) => (&s[..i], &s[i + 1..]),
+            None => (s, ""),
+        })
+    }
+
+    /// Number of interned qualified names.
+    pub fn qname_count(&self) -> usize {
+        self.qnames.len()
+    }
+
+    /// Approximate heap footprint (for the storage-overhead experiment).
+    pub fn approx_bytes(&self) -> usize {
+        self.qnames
+            .iter()
+            .map(|q| q.prefix.len() + q.local.len() + 48)
+            .sum::<usize>()
+            + self.props.heap_bytes()
+            + self.texts.heap_bytes()
+            + self.comments.heap_bytes()
+            + self.instructions.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qnames_intern_once() {
+        let mut p = ValuePool::new();
+        let a = p.intern_qname(&QName::local("item"));
+        let b = p.intern_qname(&QName::local("item"));
+        let c = p.intern_qname(&QName::local("name"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.qname(a).unwrap().local, "item");
+        assert_eq!(p.qname_count(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut p = ValuePool::new();
+        assert_eq!(p.lookup_qname(&QName::local("x")), None);
+        let id = p.intern_qname(&QName::local("x"));
+        assert_eq!(p.lookup_qname(&QName::local("x")), Some(id));
+    }
+
+    #[test]
+    fn props_are_unique_strings() {
+        let mut p = ValuePool::new();
+        let a = p.intern_prop("person0");
+        let b = p.intern_prop("person0");
+        assert_eq!(a, b);
+        assert_eq!(p.prop(a), Some("person0"));
+        assert_eq!(p.lookup_prop("nope"), None);
+    }
+
+    #[test]
+    fn instruction_splits_target_and_data() {
+        let mut p = ValuePool::new();
+        let a = p.intern_instruction("php", "echo 1");
+        assert_eq!(p.instruction(a), Some(("php", "echo 1")));
+        let b = p.intern_instruction("bare", "");
+        assert_eq!(p.instruction(b), Some(("bare", "")));
+    }
+}

@@ -1,0 +1,216 @@
+//! The uniform pre-plane interface both storage schemas expose.
+//!
+//! The paper's central engineering trick is that the query processor
+//! (staircase join) runs **unmodified** on the updateable schema because
+//! the memory-mapped view re-creates a `pre/size/level` table (§4). We
+//! capture that contract in a trait: `mbxq-axes` is written once against
+//! [`TreeView`], and both [`crate::ReadOnlyDoc`] and [`crate::PagedDoc`]
+//! (whose view interposes the `pageOffset` indirection) implement it.
+//!
+//! # Semantics
+//!
+//! The pre plane is a sequence of *slots* `0..pre_end()`. A slot is either
+//! **used** (holds a document node) or **unused** (free space inside a
+//! logical page; only the paged schema has these). For unused slots,
+//! `level` is `None` and `size` holds the number of remaining consecutive
+//! unused slots *including the slot itself*, so `pre + size(pre)` lands on
+//! the first slot after the run — an O(1) skip, as required for staircase
+//! join "to skip over unused tuples quickly" (§3).
+
+use crate::types::{Kind, NodeId, ValueRef};
+use crate::values::{PropId, QnId, ValuePool};
+
+/// Read access to a document in pre/size/level form.
+pub trait TreeView {
+    /// One past the last pre slot (total slots, used + unused).
+    fn pre_end(&self) -> u64;
+
+    /// Tree depth of the node at `pre`; `None` when the slot is unused or
+    /// out of range (`level = NULL` marks unused tuples, §3).
+    fn level(&self, pre: u64) -> Option<u16>;
+
+    /// For used slots: the number of **used** descendant tuples.
+    /// For unused slots: the remaining run length including this slot.
+    /// Out of range: 0.
+    fn size(&self, pre: u64) -> u64;
+
+    /// Node kind at `pre` (`None` for unused slots).
+    fn kind(&self, pre: u64) -> Option<Kind>;
+
+    /// `qn` id of the element at `pre` (`None` for non-elements/unused).
+    fn name_id(&self, pre: u64) -> Option<QnId>;
+
+    /// Value-table reference of the node at `pre` (`None` for elements
+    /// and unused slots).
+    fn value_ref(&self, pre: u64) -> Option<ValueRef>;
+
+    /// Immutable node id of the node at `pre` (`None` for unused slots;
+    /// the read-only schema reports `NodeId(pre)` since at shredding time
+    /// node numbers equal pre/pos numbers, §3.1).
+    fn node_id(&self, pre: u64) -> Option<NodeId>;
+
+    /// For an unused slot: its 1-based index inside its run (1 = first
+    /// slot of the run), enabling O(1) *backward* skipping. 0 for used
+    /// slots. (Implementation refinement over the paper — see crate docs.)
+    fn back_run(&self, pre: u64) -> u64;
+
+    /// Attributes `(name, value)` of the element at `pre`, in document
+    /// order. Empty for non-elements.
+    fn attributes(&self, pre: u64) -> Vec<(QnId, PropId)>;
+
+    /// The shared interned side tables.
+    fn pool(&self) -> &ValuePool;
+
+    // ------------------------------------------------------------------
+    // Derived navigation helpers (identical for both schemas).
+    // ------------------------------------------------------------------
+
+    /// Whether the slot holds a document node.
+    #[inline]
+    fn is_used(&self, pre: u64) -> bool {
+        self.level(pre).is_some()
+    }
+
+    /// Number of used tuples (document nodes).
+    fn used_count(&self) -> u64;
+
+    /// First used slot at or after `pre`, skipping unused runs in O(1)
+    /// per run.
+    fn next_used_at_or_after(&self, pre: u64) -> Option<u64> {
+        let end = self.pre_end();
+        let mut p = pre;
+        while p < end {
+            if self.is_used(p) {
+                return Some(p);
+            }
+            let run = self.size(p).max(1);
+            p += run;
+        }
+        None
+    }
+
+    /// Last used slot at or before `pre`, skipping unused runs in O(1)
+    /// per run (via [`TreeView::back_run`]).
+    fn prev_used_at_or_before(&self, pre: u64) -> Option<u64> {
+        let mut p = pre.min(self.pre_end().checked_sub(1)?);
+        loop {
+            if self.is_used(p) {
+                return Some(p);
+            }
+            let back = self.back_run(p).max(1);
+            p = p.checked_sub(back)?;
+        }
+    }
+
+    /// Pre rank of the document root (first used slot).
+    fn root_pre(&self) -> Option<u64> {
+        self.next_used_at_or_after(0)
+    }
+
+    /// First slot after the last used descendant of the used node at
+    /// `pre` (the end of its subtree *region* in the view).
+    ///
+    /// Uses the classic staircase-join skip `q + size(q) + 1` from each
+    /// visited descendant. With interior holes that jump can land *short*
+    /// (still inside the subtree — `size` counts used tuples only, holes
+    /// stretch the span), never *past* a non-descendant, so a level check
+    /// on the next used slot keeps the walk correct: on hole-free regions
+    /// this is O(right-spine), and each hole run costs one extra O(1)
+    /// skip.
+    fn region_end(&self, pre: u64) -> u64 {
+        let Some(lvl) = self.level(pre) else {
+            return pre + 1;
+        };
+        let mut end = pre + 1;
+        let mut p = pre + 1;
+        loop {
+            let Some(q) = self.next_used_at_or_after(p) else {
+                return end;
+            };
+            match self.level(q) {
+                Some(ql) if ql > lvl => {
+                    end = q + self.size(q) + 1;
+                    p = end;
+                }
+                _ => return end,
+            }
+        }
+    }
+
+    /// The parent of the used node at `pre`: the nearest preceding used
+    /// slot with a smaller level.
+    fn parent_of(&self, pre: u64) -> Option<u64> {
+        let lvl = self.level(pre)?;
+        if lvl == 0 {
+            return None;
+        }
+        let mut p = pre.checked_sub(1)?;
+        loop {
+            p = self.prev_used_at_or_before(p)?;
+            if self.level(p)? < lvl {
+                return Some(p);
+            }
+            p = p.checked_sub(1)?;
+        }
+    }
+
+    /// The concatenated text of all descendant text nodes (XPath string
+    /// value) of the node at `pre`.
+    fn string_value(&self, pre: u64) -> String {
+        let mut out = String::new();
+        if !self.is_used(pre) {
+            return out;
+        }
+        match self.kind(pre) {
+            Some(Kind::Element) => {
+                let end = self.region_end(pre);
+                let mut p = pre + 1;
+                while let Some(q) = self.next_used_at_or_after(p) {
+                    if q >= end {
+                        break;
+                    }
+                    if self.kind(q) == Some(Kind::Text) {
+                        if let Some(ValueRef(v)) = self.value_ref(q) {
+                            if let Some(t) = self.pool().text(v) {
+                                out.push_str(t);
+                            }
+                        }
+                    }
+                    p = q + 1;
+                }
+            }
+            Some(Kind::Text) => {
+                if let Some(ValueRef(v)) = self.value_ref(pre) {
+                    if let Some(t) = self.pool().text(v) {
+                        out.push_str(t);
+                    }
+                }
+            }
+            Some(Kind::Comment) => {
+                if let Some(ValueRef(v)) = self.value_ref(pre) {
+                    if let Some(t) = self.pool().comment(v) {
+                        out.push_str(t);
+                    }
+                }
+            }
+            Some(Kind::ProcessingInstruction) => {
+                if let Some(ValueRef(v)) = self.value_ref(pre) {
+                    if let Some((_, d)) = self.pool().instruction(v) {
+                        out.push_str(d);
+                    }
+                }
+            }
+            None => {}
+        }
+        out
+    }
+
+    /// Attribute value of `name` on the element at `pre`, if present.
+    fn attribute_value(&self, pre: u64, name: &mbxq_xml::QName) -> Option<String> {
+        let qn = self.pool().lookup_qname(name)?;
+        self.attributes(pre)
+            .into_iter()
+            .find(|(n, _)| *n == qn)
+            .and_then(|(_, p)| self.pool().prop(p).map(str::to_string))
+    }
+}

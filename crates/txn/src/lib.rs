@@ -1,0 +1,843 @@
+//! `mbxq-txn` — ACID transactions over the paged XML store (§3.2).
+//!
+//! The paper's transaction protocol (Figure 8) combines:
+//!
+//! * **multi-version isolation** — writers work against a copy-on-write
+//!   view; readers "just acquire a global read-lock while they run". Here
+//!   readers take an [`Arc`] snapshot of the committed document (the
+//!   in-memory equivalent of MonetDB's copy-on-write memory maps: the
+//!   snapshot shares all state until a commit installs a new version), so
+//!   they never block and never see intermediate states.
+//! * **strict two-phase page locking between writers** — a write
+//!   transaction read-locks the pages its XPath selections touch and
+//!   write-locks the pages it updates, holding all locks until commit.
+//! * **commutative delta-increments for ancestor sizes** — the key trick
+//!   that keeps the document root from becoming a lock bottleneck: a
+//!   transaction never locks its ancestors' pages (in
+//!   [`AncestorLockMode::Delta`] mode); ancestor `size` values are
+//!   adjusted by *deltas* at commit, under the short global write lock,
+//!   and "as delta operations are commutative, it does not matter in
+//!   which order they are executed". The [`AncestorLockMode::Exclusive`]
+//!   baseline write-locks the whole ancestor chain instead — the
+//!   strawman the concurrency benchmark compares against.
+//! * **write-ahead logging** — the commit's crucial stage is a single
+//!   WAL append holding the transaction's logical redo records; recovery
+//!   replays the committed prefix (module [`wal`] / [`recover`]).
+//!
+//! Commit applies the staged operations to the master document under the
+//! global write lock and publishes a fresh `Arc` version; because node
+//! ids are immutable and operations are logged logically (by node id),
+//! replay order = commit order reproduces the exact same state.
+
+pub mod locks;
+pub mod op;
+pub mod recover;
+pub mod wal;
+
+use mbxq_storage::{InsertPosition, NodeId, PagedDoc, StorageError, TreeView};
+use mbxq_xml::Node;
+use mbxq_xpath::XPath;
+use op::Op;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use wal::{Wal, WalRecord};
+
+/// How a write transaction treats the pages of its targets' ancestors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AncestorLockMode {
+    /// The paper's scheme: ancestors are *not* locked; their sizes are
+    /// updated by commutative delta-increments at commit.
+    Delta,
+    /// The strawman: write-lock every ancestor's page (the root's page is
+    /// an ancestor page of every node, so all writers serialize).
+    Exclusive,
+}
+
+/// Transaction identifiers.
+pub type TxnId = u64;
+
+/// Errors of the transaction layer.
+#[derive(Debug)]
+pub enum TxnError {
+    /// A page lock could not be acquired in time (conflict/deadlock).
+    LockTimeout {
+        /// The contended logical page.
+        page: usize,
+    },
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// XPath failure during selection.
+    Path(mbxq_xpath::XPathError),
+    /// WAL I/O failure (including injected crashes).
+    Wal(wal::WalError),
+    /// Commit-time validation failed; the transaction was aborted.
+    ValidationFailed {
+        /// What the validator reported.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TxnError::LockTimeout { page } => write!(f, "lock timeout on logical page {page}"),
+            TxnError::Storage(e) => write!(f, "storage: {e}"),
+            TxnError::Path(e) => write!(f, "xpath: {e}"),
+            TxnError::Wal(e) => write!(f, "wal: {e}"),
+            TxnError::ValidationFailed { message } => write!(f, "validation failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<StorageError> for TxnError {
+    fn from(e: StorageError) -> Self {
+        TxnError::Storage(e)
+    }
+}
+
+impl From<mbxq_xpath::XPathError> for TxnError {
+    fn from(e: mbxq_xpath::XPathError) -> Self {
+        TxnError::Path(e)
+    }
+}
+
+impl From<wal::WalError> for TxnError {
+    fn from(e: wal::WalError) -> Self {
+        TxnError::Wal(e)
+    }
+}
+
+/// Result alias for transaction operations.
+pub type Result<T> = std::result::Result<T, TxnError>;
+
+/// Configuration of a transactional store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Ancestor locking strategy.
+    pub ancestor_mode: AncestorLockMode,
+    /// Lock acquisition timeout (doubles as deadlock detection).
+    pub lock_timeout: Duration,
+    /// Run the structural invariant checker before every commit (the
+    /// "XML document validation" stage of Figure 8). Expensive; on by
+    /// default in tests, off in benchmarks.
+    pub validate_on_commit: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            ancestor_mode: AncestorLockMode::Delta,
+            lock_timeout: Duration::from_secs(5),
+            validate_on_commit: false,
+        }
+    }
+}
+
+/// Outcome statistics of a successful commit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitInfo {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Operations applied.
+    pub ops: usize,
+    /// Tuples inserted.
+    pub inserted: u64,
+    /// Tuples deleted.
+    pub deleted: u64,
+    /// Distinct ancestors that received size deltas.
+    pub ancestors_touched: u64,
+}
+
+/// A transactional, versioned XML document store.
+pub struct Store {
+    /// The committed version; readers clone the `Arc` (MVCC snapshot).
+    doc: RwLock<Arc<PagedDoc>>,
+    /// The global write lock of Figure 8 — held only for the short
+    /// commit critical section.
+    commit_lock: Mutex<()>,
+    wal: Mutex<Wal>,
+    locks: locks::LockManager,
+    next_txn: AtomicU64,
+    /// Shared node-id allocation point: transactions reserve id ranges
+    /// here at staging time, so ids are identical in the transaction's
+    /// workspace, at commit replay, and during recovery.
+    next_node: AtomicU64,
+    config: StoreConfig,
+}
+
+impl Store {
+    /// Opens a store over an already-shredded document.
+    pub fn open(doc: PagedDoc, wal: Wal, config: StoreConfig) -> Store {
+        let next_node = doc.node_alloc_end();
+        Store {
+            doc: RwLock::new(Arc::new(doc)),
+            commit_lock: Mutex::new(()),
+            wal: Mutex::new(wal),
+            locks: locks::LockManager::new(),
+            next_txn: AtomicU64::new(1),
+            next_node: AtomicU64::new(next_node),
+            config,
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Takes a consistent read snapshot (a read-only transaction). Cheap:
+    /// one atomic refcount increment; the snapshot stays valid and
+    /// immutable no matter what commits afterwards.
+    pub fn snapshot(&self) -> Arc<PagedDoc> {
+        self.doc.read().clone()
+    }
+
+    /// Begins a write transaction.
+    pub fn begin(&self) -> WriteTxn<'_> {
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        WriteTxn {
+            store: self,
+            id,
+            snapshot: self.snapshot(),
+            work: None,
+            ops: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Consumes the store, returning the current document and the WAL.
+    pub fn into_parts(self) -> (PagedDoc, Wal) {
+        let doc = Arc::try_unwrap(self.doc.into_inner())
+            .unwrap_or_else(|arc| (*arc).clone());
+        (doc, self.wal.into_inner())
+    }
+
+    /// Runs `f` with the committed document (convenience for queries that
+    /// do not need a long-lived snapshot).
+    pub fn with_doc<R>(&self, f: impl FnOnce(&PagedDoc) -> R) -> R {
+        f(&self.snapshot())
+    }
+}
+
+/// An in-flight write transaction.
+///
+/// Updates are *staged* (and locked) during the transaction and applied
+/// to the master document only at commit — before that, no other
+/// transaction (and no reader) can observe them, which is exactly the
+/// isolation contract of the copy-on-write views in Figure 8.
+pub struct WriteTxn<'s> {
+    store: &'s Store,
+    id: TxnId,
+    snapshot: Arc<PagedDoc>,
+    /// Private working copy — the paper's copy-on-write view. Created on
+    /// the first update so that later operations (and XUpdate commands)
+    /// of the same transaction see earlier ones; readers and other
+    /// transactions never see it.
+    work: Option<Box<PagedDoc>>,
+    ops: Vec<Op>,
+    finished: bool,
+}
+
+impl WriteTxn<'_> {
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The transaction's current view: its private workspace once it has
+    /// written anything, else the begin-time snapshot.
+    pub fn view(&self) -> &PagedDoc {
+        match &self.work {
+            Some(w) => w,
+            None => &self.snapshot,
+        }
+    }
+
+    /// The begin-time snapshot (ignores workspace changes).
+    pub fn snapshot(&self) -> &PagedDoc {
+        &self.snapshot
+    }
+
+    /// Materializes the private working copy (the copy-on-write view of
+    /// Figure 8) on first write.
+    fn work_mut(&mut self) -> &mut PagedDoc {
+        if self.work.is_none() {
+            self.work = Some(Box::new((*self.snapshot).clone()));
+        }
+        self.work.as_mut().expect("just materialized")
+    }
+
+    /// Evaluates an XPath selection against the transaction's view,
+    /// read-locking the pages of the result nodes ("read-lock pages
+    /// during XPath execution", Figure 8). Returns the targets pinned by
+    /// node id.
+    pub fn select(&mut self, path: &XPath) -> Result<Vec<NodeId>> {
+        let pres = path.select_from_root(self.view())?;
+        let shift = self.view().config().page_size.trailing_zeros();
+        let mut pages = Vec::with_capacity(pres.len());
+        let mut nodes = Vec::with_capacity(pres.len());
+        for pre in pres {
+            pages.push((pre >> shift) as usize);
+            nodes.push(self.view().pre_to_node(pre)?);
+        }
+        for page in pages {
+            self.store
+                .locks
+                .acquire_read(self.id, page, self.store.config.lock_timeout)
+                .map_err(|page| TxnError::LockTimeout { page })?;
+        }
+        Ok(nodes)
+    }
+
+    /// Stages and locally applies a structural insert (write-locking the
+    /// target's page and, in [`AncestorLockMode::Exclusive`], every
+    /// ancestor page).
+    pub fn insert(&mut self, position: InsertPosition, subtree: &Node) -> Result<()> {
+        let target = match position {
+            InsertPosition::Before(n)
+            | InsertPosition::After(n)
+            | InsertPosition::LastChildOf(n)
+            | InsertPosition::ChildAt(n, _) => n,
+        };
+        self.lock_for_write(target)?;
+        // Reserve the id range from the shared counter so every replay
+        // of this op allocates identically.
+        let n = subtree.tuple_count();
+        let first_node = self.store.next_node.fetch_add(n, Ordering::Relaxed);
+        self.work_mut()
+            .insert_with_base(position, subtree, first_node)?;
+        self.ops.push(Op::Insert {
+            position,
+            subtree: subtree.clone(),
+            first_node,
+        });
+        Ok(())
+    }
+
+    /// Stages and locally applies a structural delete (write-locking
+    /// every page the target's region spans).
+    pub fn delete(&mut self, target: NodeId) -> Result<()> {
+        let pre = self.view().node_to_pre(target)?;
+        let end = self.view().region_end(pre);
+        let shift = self.view().config().page_size.trailing_zeros();
+        for page in (pre >> shift) as usize..=(end.saturating_sub(1).max(pre) >> shift) as usize {
+            self.store
+                .locks
+                .acquire_write(self.id, page, self.store.config.lock_timeout)
+                .map_err(|page| TxnError::LockTimeout { page })?;
+        }
+        self.lock_ancestors_if_exclusive(target)?;
+        self.work_mut().delete(target)?;
+        self.ops.push(Op::Delete { node: target });
+        Ok(())
+    }
+
+    /// Stages and locally applies a value update.
+    pub fn update_value(&mut self, target: NodeId, value: &str) -> Result<()> {
+        self.lock_for_write(target)?;
+        self.work_mut().update_value(target, value)?;
+        self.ops.push(Op::UpdateValue {
+            node: target,
+            value: value.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Stages and locally applies an element rename.
+    pub fn rename(&mut self, target: NodeId, name: &mbxq_xml::QName) -> Result<()> {
+        self.lock_for_write(target)?;
+        self.work_mut().rename(target, name)?;
+        self.ops.push(Op::Rename {
+            node: target,
+            name: name.clone(),
+        });
+        Ok(())
+    }
+
+    /// Stages and locally applies an attribute write.
+    pub fn set_attribute(
+        &mut self,
+        target: NodeId,
+        name: &mbxq_xml::QName,
+        value: &str,
+    ) -> Result<()> {
+        self.lock_for_write(target)?;
+        self.work_mut().set_attribute(target, name, value)?;
+        self.ops.push(Op::SetAttr {
+            node: target,
+            name: name.clone(),
+            value: value.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Stages and locally applies an attribute removal.
+    pub fn remove_attribute(&mut self, target: NodeId, name: &mbxq_xml::QName) -> Result<()> {
+        self.lock_for_write(target)?;
+        self.work_mut().remove_attribute(target, name)?;
+        self.ops.push(Op::RemoveAttr {
+            node: target,
+            name: name.clone(),
+        });
+        Ok(())
+    }
+
+    /// Number of staged operations.
+    pub fn staged_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn lock_for_write(&mut self, target: NodeId) -> Result<()> {
+        let pre = self.view().node_to_pre(target)?;
+        let shift = self.view().config().page_size.trailing_zeros();
+        let page = (pre >> shift) as usize;
+        self.store
+            .locks
+            .acquire_write(self.id, page, self.store.config.lock_timeout)
+            .map_err(|page| TxnError::LockTimeout { page })?;
+        self.lock_ancestors_if_exclusive(target)
+    }
+
+    /// In `Exclusive` mode, write-locks the page of every ancestor — the
+    /// root's page included, which is what makes the root "a locking
+    /// bottleneck" (§2.2). In `Delta` mode this is a no-op.
+    fn lock_ancestors_if_exclusive(&mut self, target: NodeId) -> Result<()> {
+        if self.store.config.ancestor_mode != AncestorLockMode::Exclusive {
+            return Ok(());
+        }
+        let shift = self.view().config().page_size.trailing_zeros();
+        let mut pre = self.view().node_to_pre(target)?;
+        while let Some(parent) = self.view().parent_of(pre) {
+            let page = (parent >> shift) as usize;
+            self.store
+                .locks
+                .acquire_write(self.id, page, self.store.config.lock_timeout)
+                .map_err(|page| TxnError::LockTimeout { page })?;
+            pre = parent;
+        }
+        Ok(())
+    }
+
+    /// Commits: validation → global write lock → WAL append → carry the
+    /// staged operations into the master document → publish the new
+    /// version → release all locks (Figure 8, bottom half).
+    pub fn commit(mut self) -> Result<CommitInfo> {
+        self.finished = true;
+        let store = self.store;
+        let ops = std::mem::take(&mut self.ops);
+        if ops.is_empty() {
+            store.locks.release_all(self.id);
+            return Ok(CommitInfo {
+                txn: self.id,
+                ..CommitInfo::default()
+            });
+        }
+
+        // ---- global write lock: the short critical section ----
+        let _global = store.commit_lock.lock();
+
+        // Build the new version by applying the logical redo ops. Node
+        // ids pin the targets, so ops staged against the snapshot apply
+        // correctly to the current master even if other transactions
+        // committed in between (their page locks guaranteed disjointness;
+        // ancestor sizes are adjusted by the storage layer as *deltas*
+        // on the current values — the commutative operations of §3.2).
+        let mut info = CommitInfo {
+            txn: self.id,
+            ops: ops.len(),
+            ..CommitInfo::default()
+        };
+        let current = store.doc.read().clone();
+        let mut new_doc = (*current).clone();
+        for op in &ops {
+            let (ins, del, anc) = op.apply(&mut new_doc)?;
+            info.inserted += ins;
+            info.deleted += del;
+            info.ancestors_touched += anc;
+        }
+
+        // Validation ("run XML document validation … if this fails, the
+        // transaction is aborted").
+        if store.config.validate_on_commit {
+            if let Err(e) = mbxq_storage::invariants::check_paged(&new_doc) {
+                store.locks.release_all(self.id);
+                return Err(TxnError::ValidationFailed {
+                    message: e.to_string(),
+                });
+            }
+        }
+
+        // WAL: "writing the WAL is the crucial stage in transaction
+        // commit, it consists of a single I/O" — one logical record
+        // carrying all redo entries plus the commit marker.
+        {
+            let mut wal = store.wal.lock();
+            let res = wal.append(&WalRecord::Commit {
+                txn: self.id,
+                ops: ops.clone(),
+            });
+            if let Err(e) = res {
+                // Crash (or I/O failure) before the commit record hit
+                // the log: the transaction never happened.
+                store.locks.release_all(self.id);
+                return Err(TxnError::Wal(e));
+            }
+        }
+
+        // Publish.
+        *store.doc.write() = Arc::new(new_doc);
+        store.locks.release_all(self.id);
+        Ok(info)
+    }
+
+    /// Aborts: staged operations are simply forgotten — nothing ever
+    /// touched the master document.
+    pub fn abort(mut self) {
+        self.finished = true;
+        self.store.locks.release_all(self.id);
+    }
+}
+
+impl mbxq_storage::TreeView for WriteTxn<'_> {
+    fn pre_end(&self) -> u64 {
+        self.view().pre_end()
+    }
+    fn level(&self, pre: u64) -> Option<u16> {
+        self.view().level(pre)
+    }
+    fn size(&self, pre: u64) -> u64 {
+        mbxq_storage::TreeView::size(self.view(), pre)
+    }
+    fn kind(&self, pre: u64) -> Option<mbxq_storage::Kind> {
+        self.view().kind(pre)
+    }
+    fn name_id(&self, pre: u64) -> Option<mbxq_storage::QnId> {
+        self.view().name_id(pre)
+    }
+    fn value_ref(&self, pre: u64) -> Option<mbxq_storage::ValueRef> {
+        self.view().value_ref(pre)
+    }
+    fn node_id(&self, pre: u64) -> Option<NodeId> {
+        self.view().node_id(pre)
+    }
+    fn back_run(&self, pre: u64) -> u64 {
+        self.view().back_run(pre)
+    }
+    fn attributes(&self, pre: u64) -> Vec<(mbxq_storage::QnId, mbxq_storage::PropId)> {
+        self.view().attributes(pre)
+    }
+    fn pool(&self) -> &mbxq_storage::ValuePool {
+        self.view().pool()
+    }
+    fn used_count(&self) -> u64 {
+        self.view().used_count()
+    }
+}
+
+fn demote(e: TxnError) -> StorageError {
+    match e {
+        TxnError::Storage(e) => e,
+        other => StorageError::Kernel(other.to_string()),
+    }
+}
+
+/// Lets a whole XUpdate command script run *inside* one transaction:
+/// selections and later commands see the effects of earlier ones (via
+/// the private workspace), nothing is visible outside until commit.
+impl mbxq_xupdate::UpdateTarget for WriteTxn<'_> {
+    fn xu_insert(
+        &mut self,
+        position: InsertPosition,
+        subtree: &Node,
+    ) -> mbxq_storage::Result<u64> {
+        let n = subtree.tuple_count();
+        self.insert(position, subtree).map_err(demote)?;
+        Ok(n)
+    }
+
+    fn xu_delete(&mut self, target: NodeId) -> mbxq_storage::Result<u64> {
+        let pre = self.view().node_to_pre(target)?;
+        let lvl = self.view().level(pre).unwrap_or(0);
+        let _ = lvl;
+        // Count the victims before deleting (for the summary).
+        let end = self.view().region_end(pre);
+        let mut count = 0u64;
+        let mut p = pre;
+        while let Some(q) = self.view().next_used_at_or_after(p) {
+            if q >= end {
+                break;
+            }
+            count += 1;
+            p = q + 1;
+        }
+        self.delete(target).map_err(demote)?;
+        Ok(count)
+    }
+
+    fn xu_update_value(&mut self, target: NodeId, value: &str) -> mbxq_storage::Result<()> {
+        self.update_value(target, value).map_err(demote)
+    }
+
+    fn xu_rename(&mut self, target: NodeId, name: &mbxq_xml::QName) -> mbxq_storage::Result<()> {
+        self.rename(target, name).map_err(demote)
+    }
+
+    fn xu_set_attribute(
+        &mut self,
+        target: NodeId,
+        name: &mbxq_xml::QName,
+        value: &str,
+    ) -> mbxq_storage::Result<()> {
+        self.set_attribute(target, name, value).map_err(demote)
+    }
+
+    fn xu_node_to_pre(&self, node: NodeId) -> mbxq_storage::Result<u64> {
+        self.view().node_to_pre(node)
+    }
+
+    fn xu_pre_to_node(&self, pre: u64) -> mbxq_storage::Result<NodeId> {
+        self.view().pre_to_node(pre)
+    }
+}
+
+impl WriteTxn<'_> {
+    /// Executes a parsed XUpdate script inside this transaction, with
+    /// full sequential semantics (command *n+1* sees command *n*'s
+    /// effects through the workspace).
+    pub fn execute_xupdate(
+        &mut self,
+        mods: &mbxq_xupdate::Modifications,
+    ) -> Result<mbxq_xupdate::ExecutionSummary> {
+        mbxq_xupdate::execute(self, mods).map_err(|e| match e {
+            mbxq_xupdate::XUpdateError::Storage(se) => TxnError::Storage(se),
+            mbxq_xupdate::XUpdateError::Path(pe) => TxnError::Path(pe),
+            other => TxnError::Storage(StorageError::Kernel(other.to_string())),
+        })
+    }
+}
+
+impl Drop for WriteTxn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.store.locks.release_all(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbxq_storage::serialize::to_xml;
+    use mbxq_storage::PageConfig;
+    use mbxq_xml::Document;
+
+    /// Shreds (page size 8, fill 6) as: page 0 = site, people, person,
+    /// name, text, regions; page 1 = africa + its five children; page 2 =
+    /// asia + its two children. So africa and asia live on *different*
+    /// pages while sharing all ancestors — the shape the delta-locking
+    /// tests need.
+    const DOC: &str = r#"<site><people><person id="p0"><name>Ann</name></person></people><regions><africa><m1/><m2/><m3/><m4/><m5/></africa><asia><n1/><n2/></asia></regions></site>"#;
+
+    fn store(mode: AncestorLockMode) -> Store {
+        let doc = PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap();
+        Store::open(
+            doc,
+            Wal::in_memory(),
+            StoreConfig {
+                ancestor_mode: mode,
+                lock_timeout: Duration::from_millis(200),
+                validate_on_commit: true,
+            },
+        )
+    }
+
+    #[test]
+    fn commit_becomes_visible_atomically() {
+        let s = store(AncestorLockMode::Delta);
+        let before = s.snapshot();
+        let mut t = s.begin();
+        let people = t
+            .select(&XPath::parse("/site/people").unwrap())
+            .unwrap();
+        let frag = Document::parse_fragment("<person id=\"p9\"/>").unwrap();
+        t.insert(InsertPosition::LastChildOf(people[0]), &frag)
+            .unwrap();
+        // Not visible before commit — neither in old snapshots nor new.
+        assert!(!to_xml(s.snapshot().as_ref()).unwrap().contains("p9"));
+        let info = t.commit().unwrap();
+        assert_eq!(info.inserted, 1);
+        assert!(to_xml(s.snapshot().as_ref()).unwrap().contains("p9"));
+        // The old snapshot is immutable (multi-version).
+        assert!(!to_xml(before.as_ref()).unwrap().contains("p9"));
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let s = store(AncestorLockMode::Delta);
+        let before = to_xml(s.snapshot().as_ref()).unwrap();
+        let mut t = s.begin();
+        let person = t
+            .select(&XPath::parse("//person").unwrap())
+            .unwrap();
+        t.delete(person[0]).unwrap();
+        t.abort();
+        assert_eq!(to_xml(s.snapshot().as_ref()).unwrap(), before);
+        // Locks were released: a new writer can proceed.
+        let mut t2 = s.begin();
+        let person = t2.select(&XPath::parse("//person").unwrap()).unwrap();
+        t2.delete(person[0]).unwrap();
+        t2.commit().unwrap();
+        assert!(!to_xml(s.snapshot().as_ref()).unwrap().contains("person"));
+    }
+
+    #[test]
+    fn conflicting_writers_serialize_on_page_locks() {
+        let s = store(AncestorLockMode::Delta);
+        let mut t1 = s.begin();
+        let p1 = t1.select(&XPath::parse("//person").unwrap()).unwrap();
+        t1.update_value(
+            {
+                // the text node under name
+                let pre = t1.snapshot().node_to_pre(p1[0]).unwrap();
+                let text_pre = pre + 2;
+                t1.snapshot().pre_to_node(text_pre).unwrap()
+            },
+            "Eve",
+        )
+        .unwrap();
+        // Second writer wants the same page — must time out while t1
+        // holds the write lock.
+        let mut t2 = s.begin();
+        let p2 = t2.select(&XPath::parse("//person").unwrap());
+        // select read-locks the page, which already conflicts:
+        assert!(matches!(p2, Err(TxnError::LockTimeout { .. })));
+        drop(t2);
+        t1.commit().unwrap();
+        // Now t3 can proceed.
+        let mut t3 = s.begin();
+        assert!(t3.select(&XPath::parse("//person").unwrap()).is_ok());
+        t3.abort();
+    }
+
+    #[test]
+    fn delta_mode_leaves_root_page_unlocked() {
+        // Two writers in *different* pages commit concurrently even
+        // though they share every ancestor (the root).
+        let s = store(AncestorLockMode::Delta);
+        // africa and asia live on page 1 together; force them apart with
+        // a bigger doc: instead verify lock sets directly.
+        let mut t1 = s.begin();
+        let africa = t1.select(&XPath::parse("//africa").unwrap()).unwrap();
+        let frag = Document::parse_fragment("<item/>").unwrap();
+        t1.insert(InsertPosition::LastChildOf(africa[0]), &frag)
+            .unwrap();
+        // Root lives on page 0; in Delta mode page 0 must not be
+        // write-locked by t1 (africa is on page 1).
+        let root_page_write_locked = s.locks.is_write_locked(0);
+        assert!(!root_page_write_locked);
+        t1.commit().unwrap();
+        // Sizes still correct: root grew by 1.
+        let d = s.snapshot();
+        assert_eq!(TreeView::size(d.as_ref(), 0), 15);
+    }
+
+    #[test]
+    fn exclusive_mode_blocks_on_the_root() {
+        let s = store(AncestorLockMode::Exclusive);
+        let mut t1 = s.begin();
+        let africa = t1.select(&XPath::parse("//africa").unwrap()).unwrap();
+        let frag = Document::parse_fragment("<item/>").unwrap();
+        t1.insert(InsertPosition::LastChildOf(africa[0]), &frag)
+            .unwrap();
+        // Root page (0) is now write-locked by t1.
+        assert!(s.locks.is_write_locked(0));
+        // A second writer in a *disjoint* subtree still blocks.
+        let mut t2 = s.begin();
+        let asia = t2.select(&XPath::parse("//asia").unwrap()).unwrap();
+        let res = t2.insert(InsertPosition::LastChildOf(asia[0]), &frag);
+        assert!(matches!(res, Err(TxnError::LockTimeout { .. })));
+        drop(t2);
+        t1.commit().unwrap();
+    }
+
+    #[test]
+    fn commutative_deltas_from_sequential_commits() {
+        // Two transactions inserting under different parents; their
+        // ancestor deltas add up regardless of commit order.
+        for order in [true, false] {
+            let s = store(AncestorLockMode::Delta);
+            let frag2 = Document::parse_fragment("<x><y/></x>").unwrap();
+            let frag3 = Document::parse_fragment("<u><v/><w/></u>").unwrap();
+            let mut ta = s.begin();
+            let africa = ta.select(&XPath::parse("//africa").unwrap()).unwrap();
+            ta.insert(InsertPosition::LastChildOf(africa[0]), &frag2)
+                .unwrap();
+            let mut tb = s.begin();
+            let asia = tb.select(&XPath::parse("//asia").unwrap()).unwrap();
+            tb.insert(InsertPosition::LastChildOf(asia[0]), &frag3)
+                .unwrap();
+            if order {
+                ta.commit().unwrap();
+                tb.commit().unwrap();
+            } else {
+                tb.commit().unwrap();
+                ta.commit().unwrap();
+            }
+            let d = s.snapshot();
+            // root size: 14 original descendants + 2 + 3.
+            assert_eq!(TreeView::size(d.as_ref(), 0), 19, "order={order}");
+            mbxq_storage::invariants::check_paged(d.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn wal_records_committed_transactions() {
+        let s = store(AncestorLockMode::Delta);
+        let mut t = s.begin();
+        let person = t.select(&XPath::parse("//person").unwrap()).unwrap();
+        t.set_attribute(person[0], &mbxq_xml::QName::local("vip"), "yes")
+            .unwrap();
+        t.commit().unwrap();
+        let (_, wal) = s.into_parts();
+        let records = wal.read_all().unwrap();
+        assert_eq!(records.len(), 1);
+        match &records[0] {
+            WalRecord::Commit { ops, .. } => assert_eq!(ops.len(), 1),
+        }
+    }
+
+    #[test]
+    fn empty_commit_is_a_no_op() {
+        let s = store(AncestorLockMode::Delta);
+        let t = s.begin();
+        let info = t.commit().unwrap();
+        assert_eq!(info.ops, 0);
+        let (_, wal) = s.into_parts();
+        assert!(wal.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn reader_snapshot_survives_many_commits() {
+        let s = store(AncestorLockMode::Delta);
+        let snap = s.snapshot();
+        let baseline = to_xml(snap.as_ref()).unwrap();
+        for i in 0..5 {
+            let mut t = s.begin();
+            let people = t.select(&XPath::parse("/site/people").unwrap()).unwrap();
+            let frag =
+                Document::parse_fragment(&format!("<person id=\"g{i}\"/>")).unwrap();
+            t.insert(InsertPosition::LastChildOf(people[0]), &frag)
+                .unwrap();
+            t.commit().unwrap();
+        }
+        assert_eq!(to_xml(snap.as_ref()).unwrap(), baseline);
+        assert_eq!(
+            to_xml(s.snapshot().as_ref()).unwrap().matches("person").count(),
+            baseline.matches("person").count() + 5 // 5 self-closing elements
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Page-granular two-phase lock manager.
+//!
+//! Lock units are **logical pages** — the same granularity at which the
+//! paper isolates bulk updates ("write-lock all pages that need to be
+//! updated", Figure 8). Shared (read) and exclusive (write) modes with
+//! upgrade, blocking waits with timeout (which doubles as deadlock
+//! resolution: a waiter that times out aborts its transaction).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use crate::TxnId;
+
+#[derive(Debug, Default)]
+struct PageLock {
+    readers: HashSet<TxnId>,
+    writer: Option<TxnId>,
+}
+
+impl PageLock {
+    fn can_read(&self, txn: TxnId) -> bool {
+        match self.writer {
+            Some(w) => w == txn,
+            None => true,
+        }
+    }
+
+    fn can_write(&self, txn: TxnId) -> bool {
+        let other_writer = self.writer.is_some_and(|w| w != txn);
+        let other_readers = self.readers.iter().any(|&r| r != txn);
+        !other_writer && !other_readers
+    }
+
+    fn is_free(&self) -> bool {
+        self.readers.is_empty() && self.writer.is_none()
+    }
+}
+
+/// The lock table. One condvar serves all pages — contention on the
+/// condvar itself is irrelevant next to the waits it mediates.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: Mutex<HashMap<usize, PageLock>>,
+    released: Condvar,
+}
+
+impl LockManager {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires a shared lock on `page` for `txn`, waiting up to
+    /// `timeout`. Err carries the page for diagnostics.
+    pub fn acquire_read(
+        &self,
+        txn: TxnId,
+        page: usize,
+        timeout: Duration,
+    ) -> std::result::Result<(), usize> {
+        let deadline = Instant::now() + timeout;
+        let mut table = self.table.lock();
+        loop {
+            let lock = table.entry(page).or_default();
+            if lock.can_read(txn) {
+                lock.readers.insert(txn);
+                return Ok(());
+            }
+            if self.released.wait_until(&mut table, deadline).timed_out() {
+                return Err(page);
+            }
+        }
+    }
+
+    /// Acquires an exclusive lock on `page` for `txn` (upgrading a read
+    /// lock it already holds), waiting up to `timeout`.
+    pub fn acquire_write(
+        &self,
+        txn: TxnId,
+        page: usize,
+        timeout: Duration,
+    ) -> std::result::Result<(), usize> {
+        let deadline = Instant::now() + timeout;
+        let mut table = self.table.lock();
+        loop {
+            let lock = table.entry(page).or_default();
+            if lock.can_write(txn) {
+                lock.readers.remove(&txn); // upgrade
+                lock.writer = Some(txn);
+                return Ok(());
+            }
+            if self.released.wait_until(&mut table, deadline).timed_out() {
+                return Err(page);
+            }
+        }
+    }
+
+    /// Releases every lock `txn` holds (strict 2PL: all at end of
+    /// transaction).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut table = self.table.lock();
+        table.retain(|_, lock| {
+            lock.readers.remove(&txn);
+            if lock.writer == Some(txn) {
+                lock.writer = None;
+            }
+            !lock.is_free()
+        });
+        self.released.notify_all();
+    }
+
+    /// Whether `page` is currently write-locked (test/diagnostic hook).
+    pub fn is_write_locked(&self, page: usize) -> bool {
+        self.table
+            .lock()
+            .get(&page)
+            .is_some_and(|l| l.writer.is_some())
+    }
+
+    /// Number of pages with any lock held.
+    pub fn locked_pages(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(50);
+
+    #[test]
+    fn readers_share() {
+        let lm = LockManager::new();
+        lm.acquire_read(1, 0, T).unwrap();
+        lm.acquire_read(2, 0, T).unwrap();
+        assert!(!lm.is_write_locked(0));
+    }
+
+    #[test]
+    fn writer_excludes_others() {
+        let lm = LockManager::new();
+        lm.acquire_write(1, 0, T).unwrap();
+        assert!(lm.acquire_read(2, 0, T).is_err());
+        assert!(lm.acquire_write(2, 0, T).is_err());
+        // Same txn re-enters freely.
+        lm.acquire_write(1, 0, T).unwrap();
+        lm.acquire_read(1, 0, T).unwrap();
+    }
+
+    #[test]
+    fn upgrade_when_sole_reader() {
+        let lm = LockManager::new();
+        lm.acquire_read(1, 0, T).unwrap();
+        lm.acquire_write(1, 0, T).unwrap();
+        assert!(lm.is_write_locked(0));
+        // Another reader blocks now.
+        assert!(lm.acquire_read(2, 0, T).is_err());
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_readers() {
+        let lm = LockManager::new();
+        lm.acquire_read(1, 0, T).unwrap();
+        lm.acquire_read(2, 0, T).unwrap();
+        assert!(lm.acquire_write(1, 0, T).is_err());
+    }
+
+    #[test]
+    fn release_wakes_waiters() {
+        let lm = std::sync::Arc::new(LockManager::new());
+        lm.acquire_write(1, 7, T).unwrap();
+        let lm2 = lm.clone();
+        let h = std::thread::spawn(move || {
+            lm2.acquire_write(2, 7, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        lm.release_all(1);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn release_all_clears_table() {
+        let lm = LockManager::new();
+        lm.acquire_write(1, 0, T).unwrap();
+        lm.acquire_read(1, 1, T).unwrap();
+        assert_eq!(lm.locked_pages(), 2);
+        lm.release_all(1);
+        assert_eq!(lm.locked_pages(), 0);
+    }
+
+    #[test]
+    fn disjoint_pages_do_not_conflict() {
+        let lm = LockManager::new();
+        lm.acquire_write(1, 0, T).unwrap();
+        lm.acquire_write(2, 1, T).unwrap();
+        assert!(lm.is_write_locked(0) && lm.is_write_locked(1));
+    }
+}

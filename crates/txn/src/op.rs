@@ -1,0 +1,305 @@
+//! Logical redo operations — the payload of WAL commit records.
+//!
+//! Operations address their targets by **immutable node id** (never by
+//! `pre`/`pos`, which shift under updates), so a committed log replayed
+//! in commit order reproduces the exact same document and the exact same
+//! node-id allocation, regardless of how pre ranks moved in between.
+
+use crate::{Result, TxnError};
+use mbxq_storage::{InsertPosition, NodeId, PagedDoc};
+use mbxq_xml::{Document, Node, QName};
+use std::fmt::Write as _;
+
+/// One logical update operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Structural insert of a constructed subtree.
+    Insert {
+        /// Placement relative to an existing node.
+        position: InsertPosition,
+        /// The subtree to shred in.
+        subtree: Node,
+        /// First node id of the inserted range (reserved at staging
+        /// time from the store's shared counter, so workspace, commit
+        /// replay and recovery assign identical ids).
+        first_node: u64,
+    },
+    /// Structural delete of a whole subtree.
+    Delete {
+        /// Root of the doomed subtree.
+        node: NodeId,
+    },
+    /// Content replacement on a text/comment/instruction node.
+    UpdateValue {
+        /// The value node.
+        node: NodeId,
+        /// New content.
+        value: String,
+    },
+    /// Element rename.
+    Rename {
+        /// The element.
+        node: NodeId,
+        /// New name.
+        name: QName,
+    },
+    /// Attribute set/replace.
+    SetAttr {
+        /// The element.
+        node: NodeId,
+        /// Attribute name.
+        name: QName,
+        /// Attribute value.
+        value: String,
+    },
+    /// Attribute removal.
+    RemoveAttr {
+        /// The element.
+        node: NodeId,
+        /// Attribute name.
+        name: QName,
+    },
+}
+
+impl Op {
+    /// Applies the operation to `doc`; returns
+    /// `(inserted, deleted, ancestors_touched)`.
+    pub fn apply(&self, doc: &mut PagedDoc) -> Result<(u64, u64, u64)> {
+        match self {
+            Op::Insert {
+                position,
+                subtree,
+                first_node,
+            } => {
+                let r = doc.insert_with_base(*position, subtree, *first_node)?;
+                Ok((r.inserted, 0, r.ancestors_updated as u64))
+            }
+            Op::Delete { node } => {
+                let r = doc.delete(*node)?;
+                Ok((0, r.deleted, r.ancestors_updated as u64))
+            }
+            Op::UpdateValue { node, value } => {
+                doc.update_value(*node, value)?;
+                Ok((0, 0, 0))
+            }
+            Op::Rename { node, name } => {
+                doc.rename(*node, name)?;
+                Ok((0, 0, 0))
+            }
+            Op::SetAttr { node, name, value } => {
+                doc.set_attribute(*node, name, value)?;
+                Ok((0, 0, 0))
+            }
+            Op::RemoveAttr { node, name } => {
+                doc.remove_attribute(*node, name)?;
+                Ok((0, 0, 0))
+            }
+        }
+    }
+
+    /// Serializes the op into the WAL text format (length-prefixed
+    /// strings; no escaping needed).
+    pub(crate) fn encode(&self, out: &mut String) {
+        fn put_str(out: &mut String, s: &str) {
+            let _ = write!(out, "{}:", s.len());
+            out.push_str(s);
+        }
+        match self {
+            Op::Insert {
+                position,
+                subtree,
+                first_node,
+            } => {
+                let (tag, node, extra) = match position {
+                    InsertPosition::Before(n) => ("before", n.0, 0),
+                    InsertPosition::After(n) => ("after", n.0, 0),
+                    InsertPosition::LastChildOf(n) => ("lastchild", n.0, 0),
+                    InsertPosition::ChildAt(n, k) => ("childat", n.0, *k as u64),
+                };
+                let mut xml = String::new();
+                mbxq_xml::serialize_node(subtree, &mut xml);
+                let _ = write!(out, "I {tag} {node} {extra} {first_node} ");
+                put_str(out, &xml);
+            }
+            Op::Delete { node } => {
+                let _ = write!(out, "D {}", node.0);
+            }
+            Op::UpdateValue { node, value } => {
+                let _ = write!(out, "V {} ", node.0);
+                put_str(out, value);
+            }
+            Op::Rename { node, name } => {
+                let _ = write!(out, "R {} ", node.0);
+                put_str(out, &name.to_string());
+            }
+            Op::SetAttr { node, name, value } => {
+                let _ = write!(out, "S {} ", node.0);
+                put_str(out, &name.to_string());
+                out.push(' ');
+                put_str(out, value);
+            }
+            Op::RemoveAttr { node, name } => {
+                let _ = write!(out, "X {} ", node.0);
+                put_str(out, &name.to_string());
+            }
+        }
+    }
+
+    /// Parses one encoded op.
+    pub(crate) fn decode(input: &str) -> Result<Op> {
+        let bad = |m: &str| TxnError::Wal(crate::wal::WalError::Corrupt {
+            message: m.to_string(),
+        });
+        let mut rest = input;
+        let mut next_token = || -> Result<&str> {
+            rest = rest.trim_start();
+            let end = rest.find(' ').unwrap_or(rest.len());
+            let (tok, r) = rest.split_at(end);
+            rest = r;
+            if tok.is_empty() {
+                Err(bad("truncated op"))
+            } else {
+                Ok(tok)
+            }
+        };
+        let kind = next_token()?.to_string();
+        let parse_u64 = |s: &str| s.parse::<u64>().map_err(|_| bad("bad number"));
+        // Length-prefixed string reader over `rest`.
+        fn take_str<'a>(rest: &mut &'a str) -> Option<&'a str> {
+            let r = rest.trim_start();
+            let colon = r.find(':')?;
+            let len: usize = r[..colon].parse().ok()?;
+            let start = colon + 1;
+            if r.len() < start + len {
+                return None;
+            }
+            let s = &r[start..start + len];
+            *rest = &r[start + len..];
+            Some(s)
+        }
+        match kind.as_str() {
+            "I" => {
+                let tag = next_token()?.to_string();
+                let node = NodeId(parse_u64(next_token()?)?);
+                let extra = parse_u64(next_token()?)? as usize;
+                let first_node = parse_u64(next_token()?)?;
+                let xml = take_str(&mut rest).ok_or_else(|| bad("bad insert payload"))?;
+                let subtree = Document::parse_fragment(xml)
+                    .map_err(|e| bad(&format!("bad subtree xml: {e}")))?;
+                let position = match tag.as_str() {
+                    "before" => InsertPosition::Before(node),
+                    "after" => InsertPosition::After(node),
+                    "lastchild" => InsertPosition::LastChildOf(node),
+                    "childat" => InsertPosition::ChildAt(node, extra),
+                    other => return Err(bad(&format!("bad insert tag '{other}'"))),
+                };
+                Ok(Op::Insert {
+                    position,
+                    subtree,
+                    first_node,
+                })
+            }
+            "D" => Ok(Op::Delete {
+                node: NodeId(parse_u64(next_token()?)?),
+            }),
+            "V" => {
+                let node = NodeId(parse_u64(next_token()?)?);
+                let value = take_str(&mut rest).ok_or_else(|| bad("bad value payload"))?;
+                Ok(Op::UpdateValue {
+                    node,
+                    value: value.to_string(),
+                })
+            }
+            "R" => {
+                let node = NodeId(parse_u64(next_token()?)?);
+                let name = take_str(&mut rest).ok_or_else(|| bad("bad rename payload"))?;
+                Ok(Op::Rename {
+                    node,
+                    name: QName::parse(name).ok_or_else(|| bad("bad qname"))?,
+                })
+            }
+            "S" => {
+                let node = NodeId(parse_u64(next_token()?)?);
+                let name = take_str(&mut rest).ok_or_else(|| bad("bad attr name"))?;
+                let name = QName::parse(name).ok_or_else(|| bad("bad qname"))?;
+                let value = take_str(&mut rest).ok_or_else(|| bad("bad attr value"))?;
+                Ok(Op::SetAttr {
+                    node,
+                    name,
+                    value: value.to_string(),
+                })
+            }
+            "X" => {
+                let node = NodeId(parse_u64(next_token()?)?);
+                let name = take_str(&mut rest).ok_or_else(|| bad("bad attr name"))?;
+                Ok(Op::RemoveAttr {
+                    node,
+                    name: QName::parse(name).ok_or_else(|| bad("bad qname"))?,
+                })
+            }
+            other => Err(bad(&format!("unknown op kind '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(op: Op) {
+        let mut s = String::new();
+        op.encode(&mut s);
+        let back = Op::decode(&s).unwrap();
+        assert_eq!(op, back, "encoded as: {s}");
+    }
+
+    #[test]
+    fn all_ops_round_trip() {
+        round_trip(Op::Delete { node: NodeId(42) });
+        round_trip(Op::UpdateValue {
+            node: NodeId(7),
+            value: "contains spaces: and 12:34 colons".into(),
+        });
+        round_trip(Op::Rename {
+            node: NodeId(0),
+            name: QName::prefixed("ns", "thing"),
+        });
+        round_trip(Op::SetAttr {
+            node: NodeId(3),
+            name: QName::local("id"),
+            value: "x y z".into(),
+        });
+        round_trip(Op::RemoveAttr {
+            node: NodeId(3),
+            name: QName::local("id"),
+        });
+        let subtree = Document::parse_fragment("<k a=\"1\"><l/>text<m/></k>").unwrap();
+        round_trip(Op::Insert {
+            position: InsertPosition::ChildAt(NodeId(9), 2),
+            subtree: subtree.clone(),
+            first_node: 100,
+        });
+        round_trip(Op::Insert {
+            position: InsertPosition::After(NodeId(1)),
+            subtree,
+            first_node: 0,
+        });
+    }
+
+    #[test]
+    fn payload_with_xmlish_content_survives() {
+        round_trip(Op::UpdateValue {
+            node: NodeId(1),
+            value: "</fake> <xml & entities>".into(),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Op::decode("").is_err());
+        assert!(Op::decode("Z 1").is_err());
+        assert!(Op::decode("D notanumber").is_err());
+        assert!(Op::decode("V 3 99:short").is_err());
+        assert!(Op::decode("I sideways 1 0 9 4:<x/>").is_err());
+    }
+}

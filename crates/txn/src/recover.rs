@@ -1,0 +1,168 @@
+//! Crash recovery: rebuild the committed document state from a base
+//! checkpoint plus the WAL.
+//!
+//! "In case of a crash during commit, we may lose the new version of the
+//! pageOffset table, the new size values of all ancestors, and parts of
+//! the changes … All this information is present in the WAL, such that
+//! during recovery an up-to-date version of the database can be
+//! restored" (§3.2). Because our WAL holds *logical* redo records keyed
+//! by immutable node ids, recovery is: shred the checkpoint, then replay
+//! every complete commit record in log order. Node-id allocation is
+//! deterministic, so replay reproduces the ids later records refer to.
+
+use crate::wal::{decode_log, WalError, WalRecord};
+use crate::{Result, TxnError};
+use mbxq_storage::{PageConfig, PagedDoc};
+
+/// Rebuilds the document from checkpoint XML and the raw WAL bytes.
+///
+/// Torn trailing records (a crash mid-commit) are ignored — those
+/// transactions never committed. A corrupt record *before* valid ones is
+/// reported as an error (real corruption, not a crash artifact).
+pub fn recover(checkpoint_xml: &str, cfg: PageConfig, wal_bytes: &[u8]) -> Result<PagedDoc> {
+    let mut doc = PagedDoc::parse_str(checkpoint_xml, cfg)?;
+    let records = decode_log(wal_bytes).map_err(TxnError::Wal)?;
+    for record in records {
+        let WalRecord::Commit { txn, ops } = record;
+        for op in &ops {
+            op.apply(&mut doc).map_err(|e| {
+                TxnError::Wal(WalError::Corrupt {
+                    message: format!("replay of txn {txn} failed: {e}"),
+                })
+            })?;
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::Wal;
+    use crate::{AncestorLockMode, Store, StoreConfig};
+    use mbxq_storage::serialize::to_xml;
+    use mbxq_storage::{InsertPosition, TreeView};
+    use mbxq_xml::Document;
+    use mbxq_xpath::XPath;
+
+    const DOC: &str = r#"<site><people><person id="p0"><name>Ann</name></person></people><regions><africa/><asia/></regions></site>"#;
+
+    fn cfg() -> PageConfig {
+        PageConfig::new(8, 75).unwrap()
+    }
+
+    /// Runs a scripted workload against a fresh store, returning the
+    /// final document XML and the raw WAL.
+    fn run_workload(crash_at: Option<usize>) -> (Option<String>, Vec<u8>) {
+        let doc = PagedDoc::parse_str(DOC, cfg()).unwrap();
+        let mut wal = Wal::in_memory();
+        if let Some(limit) = crash_at {
+            wal.crash_after_bytes(limit);
+        }
+        let store = Store::open(doc, wal, StoreConfig {
+            ancestor_mode: AncestorLockMode::Delta,
+            lock_timeout: std::time::Duration::from_millis(200),
+            validate_on_commit: true,
+        });
+        let mut final_xml = None;
+        let mut crashed = false;
+        for i in 0..4 {
+            let mut t = store.begin();
+            let people = match t.select(&XPath::parse("/site/people").unwrap()) {
+                Ok(p) => p,
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            };
+            let frag =
+                Document::parse_fragment(&format!("<person id=\"g{i}\"><name>N{i}</name></person>"))
+                    .unwrap();
+            t.insert(InsertPosition::LastChildOf(people[0]), &frag)
+                .unwrap();
+            if i == 2 {
+                // Mix in a delete of the second generated person's name.
+                let victims = t
+                    .select(&XPath::parse("//person[@id='g0']/name").unwrap())
+                    .unwrap();
+                t.delete(victims[0]).unwrap();
+            }
+            match t.commit() {
+                Ok(_) => {}
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        if !crashed {
+            final_xml = Some(to_xml(store.snapshot().as_ref()).unwrap());
+        }
+        let (_, wal) = store.into_parts();
+        let raw = wal.raw().unwrap();
+        (final_xml, raw)
+    }
+
+    #[test]
+    fn recovery_reproduces_the_committed_state() {
+        let (final_xml, raw) = run_workload(None);
+        let recovered = recover(DOC, cfg(), &raw).unwrap();
+        assert_eq!(to_xml(&recovered).unwrap(), final_xml.unwrap());
+        mbxq_storage::invariants::check_paged(&recovered).unwrap();
+    }
+
+    #[test]
+    fn recovery_after_crash_yields_a_committed_prefix() {
+        // First measure the intact log, then crash at every record-ish
+        // boundary and a few interior byte positions.
+        let (_, intact) = run_workload(None);
+        for cut in [0, 1, intact.len() / 4, intact.len() / 2, intact.len() - 1] {
+            let (_, raw) = run_workload(Some(cut));
+            let recovered = recover(DOC, cfg(), &raw).unwrap();
+            mbxq_storage::invariants::check_paged(&recovered).unwrap();
+            // Whatever was recovered must be a prefix of the committed
+            // history: g_i present implies g_{i-1} present.
+            let xml = to_xml(&recovered).unwrap();
+            let mut seen_gap = false;
+            for i in 0..4 {
+                let present = xml.contains(&format!("id=\"g{i}\""));
+                if !present {
+                    seen_gap = true;
+                } else {
+                    assert!(!seen_gap, "g{i} present after a missing earlier commit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_replays_deterministic_node_ids() {
+        // The workload's third transaction deletes a node *created by an
+        // earlier transaction* — replay only works if node ids come out
+        // identically. Covered by full-state equality, but assert the
+        // specific condition too.
+        let (final_xml, raw) = run_workload(None);
+        let recovered = recover(DOC, cfg(), &raw).unwrap();
+        assert!(final_xml.unwrap().contains("id=\"g0\""));
+        // g0's name was deleted:
+        assert!(!to_xml(&recovered).unwrap().contains("N0"));
+        assert!(to_xml(&recovered).unwrap().contains("N1"));
+    }
+
+    #[test]
+    fn empty_wal_recovers_the_checkpoint() {
+        let recovered = recover(DOC, cfg(), b"").unwrap();
+        assert_eq!(
+            to_xml(&recovered).unwrap(),
+            to_xml(&PagedDoc::parse_str(DOC, cfg()).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn sizes_and_page_offsets_rebuilt() {
+        let (_, raw) = run_workload(None);
+        let recovered = recover(DOC, cfg(), &raw).unwrap();
+        // Root size: 7 original + 4 inserts × 3 tuples − 2 deleted.
+        assert_eq!(TreeView::size(&recovered, 0), 7 + 12 - 2);
+    }
+}

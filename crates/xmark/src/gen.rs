@@ -1,0 +1,464 @@
+//! Deterministic XMark-shaped document generator.
+//!
+//! Reproduces the structure the XMark benchmark's `xmlgen` emits (an
+//! internet-auction site) with the element proportions of the published
+//! benchmark: per scale factor 1.0 approximately 21750 items, 25500
+//! persons, 12000 open and 9750 closed auctions and 1000 categories.
+//! All randomness flows from one seeded [`StdRng`], so a `(scale, seed)`
+//! pair always yields byte-identical XML — the `ro` and `up` schemas in
+//! the Figure 9 harness load exactly the same document.
+
+use crate::text;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XMarkConfig {
+    /// XMark scale factor (1.0 ≈ 100 MB in the original benchmark).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl XMarkConfig {
+    /// A scaled configuration.
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        XMarkConfig { scale, seed }
+    }
+
+    /// A very small document (hundreds of nodes) for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        XMarkConfig {
+            scale: 0.0008,
+            seed,
+        }
+    }
+
+    fn count(&self, base: f64, min: usize) -> usize {
+        ((base * self.scale).round() as usize).max(min)
+    }
+
+    /// Number of items across all regions.
+    pub fn items(&self) -> usize {
+        self.count(21750.0, 6)
+    }
+
+    /// Number of persons.
+    pub fn persons(&self) -> usize {
+        self.count(25500.0, 8)
+    }
+
+    /// Number of open auctions.
+    pub fn open_auctions(&self) -> usize {
+        self.count(12000.0, 4)
+    }
+
+    /// Number of closed auctions.
+    pub fn closed_auctions(&self) -> usize {
+        self.count(9750.0, 4)
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.count(1000.0, 3)
+    }
+}
+
+/// Shares of items per region, mirroring XMark's continental skew.
+const REGIONS: &[(&str, f64)] = &[
+    ("africa", 0.10),
+    ("asia", 0.30),
+    ("australia", 0.05),
+    ("europe", 0.25),
+    ("namerica", 0.25),
+    ("samerica", 0.05),
+];
+
+/// Generates the document as XML text.
+pub fn generate(cfg: &XMarkConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity((cfg.scale * 100_000_000.0) as usize / 2 + 4096);
+    let g = &mut Gen {
+        rng: &mut rng,
+        cfg: *cfg,
+        out: &mut out,
+    };
+    g.site();
+    out
+}
+
+/// Generates and parses into an owned tree (convenience for shredders).
+pub fn generate_tree(cfg: &XMarkConfig) -> mbxq_xml::Node {
+    let xml = generate(cfg);
+    mbxq_xml::Document::parse(&xml)
+        .expect("generator output is well-formed")
+        .root
+}
+
+struct Gen<'a> {
+    rng: &'a mut StdRng,
+    cfg: XMarkConfig,
+    out: &'a mut String,
+}
+
+impl Gen<'_> {
+    fn site(&mut self) {
+        self.out.push_str("<site>");
+        self.regions();
+        self.categories();
+        self.catgraph();
+        self.people();
+        self.open_auctions();
+        self.closed_auctions();
+        self.out.push_str("</site>");
+    }
+
+    fn regions(&mut self) {
+        let total = self.cfg.items();
+        self.out.push_str("<regions>");
+        let mut next_item = 0usize;
+        for (i, &(region, share)) in REGIONS.iter().enumerate() {
+            let n = if i + 1 == REGIONS.len() {
+                total - next_item
+            } else {
+                ((total as f64) * share).round() as usize
+            };
+            let _ = write!(self.out, "<{region}>");
+            for _ in 0..n.min(total - next_item) {
+                self.item(next_item);
+                next_item += 1;
+            }
+            let _ = write!(self.out, "</{region}>");
+        }
+        self.out.push_str("</regions>");
+    }
+
+    fn item(&mut self, id: usize) {
+        let country = text::COUNTRIES[self.rng.gen_range(0..text::COUNTRIES.len())];
+        let quantity = self.rng.gen_range(1..6);
+        let _ = write!(
+            self.out,
+            "<item id=\"item{id}\"><location>{country}</location>\
+             <quantity>{quantity}</quantity><name>{}</name>\
+             <payment>Creditcard</payment>",
+            text::words(self.rng, 3)
+        );
+        self.description();
+        self.out.push_str("<shipping>Will ship internationally</shipping>");
+        let ncat = self.rng.gen_range(1..4).min(self.cfg.categories());
+        for _ in 0..ncat {
+            let c = self.rng.gen_range(0..self.cfg.categories());
+            let _ = write!(self.out, "<incategory category=\"category{c}\"/>");
+        }
+        self.out.push_str("<mailbox>");
+        for _ in 0..self.rng.gen_range(0..3) {
+            let _ = write!(
+                self.out,
+                "<mail><from>{} {}</from><to>{} {}</to>\
+                 <date>{}</date><text>{}</text></mail>",
+                first(self.rng),
+                last(self.rng),
+                first(self.rng),
+                last(self.rng),
+                date(self.rng),
+                text::sentence(self.rng)
+            );
+        }
+        self.out.push_str("</mailbox></item>");
+    }
+
+    /// `<description>` with either flat text or the nested
+    /// `parlist/listitem` markup Q15/Q16 traverse.
+    fn description(&mut self) {
+        self.out.push_str("<description>");
+        if self.rng.gen_bool(0.4) {
+            // Nested markup, two levels deep.
+            let _ = write!(
+                self.out,
+                "<parlist><listitem><text>{} <keyword>{}</keyword> {} <bold>{}</bold></text>\
+                 </listitem><listitem><parlist><listitem><text><emph><keyword>{}</keyword>\
+                 </emph> {}</text></listitem></parlist></listitem></parlist>",
+                text::sentence(self.rng),
+                text::word(self.rng),
+                text::sentence(self.rng),
+                text::word(self.rng),
+                text::word(self.rng),
+                text::sentence(self.rng),
+            );
+        } else {
+            let _ = write!(self.out, "<text>{}</text>", text::sentence(self.rng));
+        }
+        self.out.push_str("</description>");
+    }
+
+    fn categories(&mut self) {
+        self.out.push_str("<categories>");
+        for c in 0..self.cfg.categories() {
+            let _ = write!(
+                self.out,
+                "<category id=\"category{c}\"><name>{}</name>",
+                text::words(self.rng, 2)
+            );
+            self.description();
+            self.out.push_str("</category>");
+        }
+        self.out.push_str("</categories>");
+    }
+
+    fn catgraph(&mut self) {
+        let n = self.cfg.categories();
+        self.out.push_str("<catgraph>");
+        for _ in 0..n.saturating_mul(2) {
+            let from = self.rng.gen_range(0..n);
+            let to = self.rng.gen_range(0..n);
+            let _ = write!(
+                self.out,
+                "<edge from=\"category{from}\" to=\"category{to}\"/>"
+            );
+        }
+        self.out.push_str("</catgraph>");
+    }
+
+    fn people(&mut self) {
+        self.out.push_str("<people>");
+        for p in 0..self.cfg.persons() {
+            let fname = first(self.rng);
+            let lname = last(self.rng);
+            let _ = write!(
+                self.out,
+                "<person id=\"person{p}\"><name>{fname} {lname}</name>\
+                 <emailaddress>mailto:{fname}.{lname}@example.net</emailaddress>",
+            );
+            if self.rng.gen_bool(0.6) {
+                let _ = write!(
+                    self.out,
+                    "<phone>+{} ({}) {}</phone>",
+                    self.rng.gen_range(1..99),
+                    self.rng.gen_range(100..999),
+                    self.rng.gen_range(1_000_000..9_999_999)
+                );
+            }
+            if self.rng.gen_bool(0.5) {
+                let city = text::CITIES[self.rng.gen_range(0..text::CITIES.len())];
+                let country = text::COUNTRIES[self.rng.gen_range(0..text::COUNTRIES.len())];
+                let _ = write!(
+                    self.out,
+                    "<address><street>{} {} St</street><city>{city}</city>\
+                     <country>{country}</country><zipcode>{}</zipcode></address>",
+                    self.rng.gen_range(1..99),
+                    text::word(self.rng),
+                    self.rng.gen_range(10000..99999)
+                );
+            }
+            if self.rng.gen_bool(0.5) {
+                let _ = write!(
+                    self.out,
+                    "<homepage>http://www.example.net/~{lname}{p}</homepage>"
+                );
+            }
+            if self.rng.gen_bool(0.7) {
+                let _ = write!(
+                    self.out,
+                    "<creditcard>{} {} {} {}</creditcard>",
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999)
+                );
+            }
+            // Profile; income drives Q11/Q12/Q20. About 10 % of profiles
+            // carry no income attribute (Q20's fourth bracket).
+            if self.rng.gen_bool(0.9) {
+                let income =
+                    (self.rng.gen_range(20_000.0..150_000.0f64) * 100.0).round() / 100.0;
+                let _ = write!(self.out, "<profile income=\"{income:.2}\">");
+            } else {
+                self.out.push_str("<profile>");
+            }
+            for _ in 0..self.rng.gen_range(0..4usize) {
+                let c = self.rng.gen_range(0..self.cfg.categories());
+                let _ = write!(self.out, "<interest category=\"category{c}\"/>");
+            }
+            if self.rng.gen_bool(0.4) {
+                let _ = write!(self.out, "<education>Graduate School</education>");
+            }
+            if self.rng.gen_bool(0.5) {
+                let g = if self.rng.gen_bool(0.5) { "male" } else { "female" };
+                let _ = write!(self.out, "<gender>{g}</gender>");
+            }
+            let _ = write!(
+                self.out,
+                "<business>{}</business>",
+                if self.rng.gen_bool(0.5) { "Yes" } else { "No" }
+            );
+            if self.rng.gen_bool(0.6) {
+                let _ = write!(self.out, "<age>{}</age>", self.rng.gen_range(18..80));
+            }
+            self.out.push_str("</profile>");
+            // Watches reference open auctions.
+            self.out.push_str("<watches>");
+            for _ in 0..self.rng.gen_range(0..3usize) {
+                let a = self.rng.gen_range(0..self.cfg.open_auctions());
+                let _ = write!(self.out, "<watch open_auction=\"open_auction{a}\"/>");
+            }
+            self.out.push_str("</watches></person>");
+        }
+        self.out.push_str("</people>");
+    }
+
+    fn open_auctions(&mut self) {
+        self.out.push_str("<open_auctions>");
+        for a in 0..self.cfg.open_auctions() {
+            let initial = (self.rng.gen_range(1.0..100.0f64) * 100.0).round() / 100.0;
+            let _ = write!(
+                self.out,
+                "<open_auction id=\"open_auction{a}\"><initial>{initial:.2}</initial>"
+            );
+            let nbid = self.rng.gen_range(0..6usize);
+            let mut current = initial;
+            for _ in 0..nbid {
+                let p = self.rng.gen_range(0..self.cfg.persons());
+                let inc = (self.rng.gen_range(1.5..12.0f64) * 100.0).round() / 100.0;
+                current += inc;
+                let _ = write!(
+                    self.out,
+                    "<bidder><date>{}</date><time>{}</time>\
+                     <personref person=\"person{p}\"/><increase>{inc:.2}</increase></bidder>",
+                    date(self.rng),
+                    time(self.rng)
+                );
+            }
+            let _ = write!(self.out, "<current>{current:.2}</current>");
+            if self.rng.gen_bool(0.3) {
+                self.out.push_str("<privacy>Yes</privacy>");
+            }
+            let item = self.rng.gen_range(0..self.cfg.items());
+            let seller = self.rng.gen_range(0..self.cfg.persons());
+            let _ = write!(
+                self.out,
+                "<itemref item=\"item{item}\"/><seller person=\"person{seller}\"/>"
+            );
+            self.annotation();
+            let _ = write!(
+                self.out,
+                "<quantity>{}</quantity><type>Regular</type>\
+                 <interval><start>{}</start><end>{}</end></interval></open_auction>",
+                self.rng.gen_range(1..4),
+                date(self.rng),
+                date(self.rng)
+            );
+        }
+        self.out.push_str("</open_auctions>");
+    }
+
+    fn closed_auctions(&mut self) {
+        self.out.push_str("<closed_auctions>");
+        for _ in 0..self.cfg.closed_auctions() {
+            let seller = self.rng.gen_range(0..self.cfg.persons());
+            let buyer = self.rng.gen_range(0..self.cfg.persons());
+            let item = self.rng.gen_range(0..self.cfg.items());
+            let price = (self.rng.gen_range(5.0..200.0f64) * 100.0).round() / 100.0;
+            let _ = write!(
+                self.out,
+                "<closed_auction><seller person=\"person{seller}\"/>\
+                 <buyer person=\"person{buyer}\"/><itemref item=\"item{item}\"/>\
+                 <price>{price:.2}</price><date>{}</date>\
+                 <quantity>{}</quantity><type>Regular</type>",
+                date(self.rng),
+                self.rng.gen_range(1..4)
+            );
+            self.annotation();
+            self.out.push_str("</closed_auction>");
+        }
+        self.out.push_str("</closed_auctions>");
+    }
+
+    fn annotation(&mut self) {
+        let p = self.rng.gen_range(0..self.cfg.persons());
+        let _ = write!(
+            self.out,
+            "<annotation><author person=\"person{p}\"/>"
+        );
+        self.description();
+        let _ = write!(
+            self.out,
+            "<happiness>{}</happiness></annotation>",
+            self.rng.gen_range(1..11)
+        );
+    }
+}
+
+fn first(rng: &mut StdRng) -> &'static str {
+    text::FIRST_NAMES[rng.gen_range(0..text::FIRST_NAMES.len())]
+}
+
+fn last(rng: &mut StdRng) -> &'static str {
+    text::LAST_NAMES[rng.gen_range(0..text::LAST_NAMES.len())]
+}
+
+fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..13),
+        rng.gen_range(1..29),
+        rng.gen_range(1998..2006)
+    )
+}
+
+fn time(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}:{:02}:{:02}",
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_with_factor() {
+        let c = XMarkConfig::scaled(0.01, 1);
+        assert_eq!(c.items(), 218);
+        assert_eq!(c.persons(), 255);
+        assert_eq!(c.open_auctions(), 120);
+        assert_eq!(c.closed_auctions(), 98);
+        assert_eq!(c.categories(), 10);
+    }
+
+    #[test]
+    fn minimums_keep_tiny_docs_non_degenerate() {
+        let c = XMarkConfig::scaled(0.00001, 1);
+        assert!(c.items() >= 6 && c.persons() >= 8);
+    }
+
+    #[test]
+    fn output_contains_the_expected_sections() {
+        let xml = generate(&XMarkConfig::tiny(9));
+        for marker in [
+            "<regions>",
+            "<africa>",
+            "<categories>",
+            "<catgraph>",
+            "<people>",
+            "<open_auctions>",
+            "<closed_auctions>",
+            "person0",
+            "<parlist>",
+        ] {
+            assert!(xml.contains(marker), "missing {marker}");
+        }
+    }
+
+    #[test]
+    fn size_tracks_scale_roughly() {
+        let s1 = generate(&XMarkConfig::scaled(0.002, 1)).len();
+        let s2 = generate(&XMarkConfig::scaled(0.004, 1)).len();
+        let ratio = s2 as f64 / s1 as f64;
+        assert!((1.5..2.6).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,82 @@
+//! `mbxq-xmark` — the XMark benchmark workload (§4.1 of the paper).
+//!
+//! The paper's evaluation runs "the XMark benchmark" at document sizes
+//! from 1.1 MB to 1.1 GB and reports, for queries Q1–Q20, the evaluation
+//! time on the read-only schema (`ro`) versus the updateable schema
+//! (`up`) — Figure 9. This crate supplies both halves of that workload:
+//!
+//! * [`gen`] — a deterministic, seeded generator that produces documents
+//!   with the XMark *shape* (an auction site: regions/items, people with
+//!   profiles and watches, open/closed auctions with bidders, categories
+//!   and a category graph, and the `parlist/listitem` description markup
+//!   the deep-path queries traverse). The original `xmlgen` is not
+//!   redistributable here, so this is a faithful synthetic equivalent;
+//!   the scale knob calibrates to approximate output bytes.
+//! * [`queries`] — hand-compiled plans for Q1–Q20 against the engine API
+//!   (staircase-join steps, loop-lifted joins, value scans). They play
+//!   the role of Pathfinder's compiled plans: both storage schemas run
+//!   the *identical* plan, which is precisely the comparison Figure 9
+//!   makes.
+
+pub mod gen;
+pub mod queries;
+mod text;
+
+pub use gen::{generate, generate_tree, XMarkConfig};
+pub use queries::{run_query, QueryResult, QUERY_COUNT};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbxq_storage::{PageConfig, PagedDoc, ReadOnlyDoc, TreeView};
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate(&XMarkConfig::tiny(42));
+        let b = generate(&XMarkConfig::tiny(42));
+        assert_eq!(a, b);
+        let c = generate(&XMarkConfig::tiny(7));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_document_parses_and_shreds() {
+        let xml = generate(&XMarkConfig::tiny(1));
+        let ro = ReadOnlyDoc::parse_str(&xml).unwrap();
+        assert!(ro.len() > 100);
+        let up = PagedDoc::parse_str(&xml, PageConfig::new(64, 80).unwrap()).unwrap();
+        mbxq_storage::invariants::check_paged(&up).unwrap();
+        assert_eq!(ro.len() as u64, up.used_count());
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(&XMarkConfig::scaled(0.001, 1));
+        let bigger = generate(&XMarkConfig::scaled(0.002, 1));
+        assert!(bigger.len() > small.len());
+    }
+
+    #[test]
+    fn all_twenty_queries_run_and_agree_across_schemas() {
+        let xml = generate(&XMarkConfig::tiny(3));
+        let ro = ReadOnlyDoc::parse_str(&xml).unwrap();
+        let up = PagedDoc::parse_str(&xml, PageConfig::new(64, 80).unwrap()).unwrap();
+        for q in 1..=QUERY_COUNT {
+            let a = run_query(&ro, q).unwrap_or_else(|e| panic!("Q{q} on ro: {e}"));
+            let b = run_query(&up, q).unwrap_or_else(|e| panic!("Q{q} on up: {e}"));
+            assert_eq!(a, b, "Q{q} diverged between read-only and paged schemas");
+        }
+    }
+
+    #[test]
+    fn queries_touch_real_data() {
+        // On a tiny but non-degenerate document, the structural queries
+        // must produce non-empty results.
+        let xml = generate(&XMarkConfig::tiny(5));
+        let ro = ReadOnlyDoc::parse_str(&xml).unwrap();
+        for q in [1usize, 2, 5, 6, 7, 8, 11, 13, 17, 19, 20] {
+            let r = run_query(&ro, q).unwrap();
+            assert!(r.rows > 0, "Q{q} returned no rows");
+        }
+    }
+}

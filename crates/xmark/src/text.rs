@@ -1,0 +1,86 @@
+//! Word material for the generator.
+//!
+//! The original XMark `xmlgen` fills text content with Shakespeare
+//! vocabulary; we use a fixed word list (with the marker words the
+//! queries grep for, e.g. `gold` for Q14) sampled by a seeded RNG, so
+//! documents are deterministic per seed and text-predicate selectivities
+//! are stable across runs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Vocabulary sampled for prose.
+pub(crate) const WORDS: &[&str] = &[
+    "against", "ancient", "argosies", "beseech", "bondman", "calamity", "candle", "caesar",
+    "disgrace", "dream", "emerald", "empire", "fortune", "gentle", "gold", "gracious",
+    "honour", "hollow", "juliet", "kingdom", "labour", "lament", "marble", "merchant",
+    "midnight", "mirth", "noble", "oracle", "orchard", "pageant", "purse", "quarrel",
+    "raiment", "reason", "romeo", "scepter", "shadow", "silver", "sonnet", "sovereign",
+    "tempest", "thunder", "treason", "twilight", "velvet", "venture", "whisper", "wonder",
+];
+
+/// Location / country names for addresses and item locations.
+pub(crate) const COUNTRIES: &[&str] = &[
+    "United States", "Germany", "Netherlands", "Japan", "Brazil", "Kenya", "Australia",
+    "India", "Canada", "France", "Italy", "Spain",
+];
+
+/// City names.
+pub(crate) const CITIES: &[&str] = &[
+    "Amsterdam", "Konstanz", "Kyoto", "Nairobi", "Recife", "Perth", "Pune", "Toronto",
+    "Lyon", "Turin", "Sevilla", "Boston",
+];
+
+/// Personal names (first) for `<name>` elements.
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Edsger", "Grace", "Hedy", "John", "Katherine", "Ken",
+    "Leslie", "Margaret", "Niklaus", "Radia", "Tony",
+];
+
+/// Personal names (last).
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Turing", "Liskov", "Dijkstra", "Hopper", "Lamarr", "Backus", "Johnson",
+    "Thompson", "Lamport", "Hamilton", "Wirth", "Perlman", "Hoare",
+];
+
+/// A random word.
+pub(crate) fn word(rng: &mut StdRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// `n` random words joined by spaces.
+pub(crate) fn words(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(word(rng));
+    }
+    out
+}
+
+/// A sentence of 4–14 words.
+pub(crate) fn sentence(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(4..15);
+    words(rng, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(words(&mut a, 20), words(&mut b, 20));
+    }
+
+    #[test]
+    fn gold_is_in_the_vocabulary() {
+        // Q14's text predicate depends on it.
+        assert!(WORDS.contains(&"gold"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Qualified names — the value domain of the paper's `qn` table.
+
+use std::fmt;
+
+/// A qualified XML name: an optional prefix and a local part.
+///
+/// The storage schema keeps "one tuple for each qualified name (element or
+/// attribute)" (§3.1, Figure 5); this type is what those tuples hold.
+/// Prefixes are stored verbatim — namespace URI resolution is not part of
+/// the paper's storage model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Namespace prefix (empty string = no prefix).
+    pub prefix: String,
+    /// Local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// Builds a name with no prefix.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName {
+            prefix: String::new(),
+            local: local.into(),
+        }
+    }
+
+    /// Builds a prefixed name.
+    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
+        QName {
+            prefix: prefix.into(),
+            local: local.into(),
+        }
+    }
+
+    /// Parses `prefix:local` or `local` lexical form.
+    ///
+    /// Returns `None` if the text is not a well-formed name (empty, more
+    /// than one colon, bad start character…).
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut parts = text.split(':');
+        let first = parts.next()?;
+        match (parts.next(), parts.next()) {
+            (None, _) => {
+                if is_name(first) {
+                    Some(QName::local(first))
+                } else {
+                    None
+                }
+            }
+            (Some(second), None) => {
+                if is_name(first) && is_name(second) {
+                    Some(QName::prefixed(first, second))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the name carries a prefix.
+    pub fn has_prefix(&self) -> bool {
+        !self.prefix.is_empty()
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefix.is_empty() {
+            write!(f, "{}", self.local)
+        } else {
+            write!(f, "{}:{}", self.prefix, self.local)
+        }
+    }
+}
+
+/// Whether `c` may start an XML name (simplified to the common subset:
+/// letters, `_`; production NameStartChar minus rarely-used planes is
+/// approximated by `char::is_alphabetic`).
+pub fn is_name_start_char(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Whether `c` may continue an XML name.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start_char(c) || c.is_ascii_digit() || c == '-' || c == '.' || c == '\u{B7}'
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start_char(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_local_names() {
+        assert_eq!(QName::parse("item"), Some(QName::local("item")));
+        assert_eq!(QName::parse("_a-b.c"), Some(QName::local("_a-b.c")));
+    }
+
+    #[test]
+    fn parses_prefixed_names() {
+        assert_eq!(
+            QName::parse("xupdate:remove"),
+            Some(QName::prefixed("xupdate", "remove"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        assert_eq!(QName::parse(""), None);
+        assert_eq!(QName::parse("1abc"), None);
+        assert_eq!(QName::parse("a:b:c"), None);
+        assert_eq!(QName::parse(":x"), None);
+        assert_eq!(QName::parse("x:"), None);
+        assert_eq!(QName::parse("a b"), None);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["item", "xu:remove"] {
+            assert_eq!(QName::parse(s).unwrap().to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! Evaluator: compiles the AST onto the staircase-join engine.
+
+use crate::ast::{ArithOp, CmpOp, Expr, PathExpr, Step, StepTest};
+use crate::{Result, XPathError};
+use mbxq_axes::{step as axis_step, Axis};
+use mbxq_storage::{QnId, TreeView};
+
+/// An XPath 1.0 value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Tree nodes in document order (pre ranks).
+    Nodes(Vec<u64>),
+    /// Attribute nodes as `(owner pre, attribute name id)` pairs.
+    Attrs(Vec<(u64, QnId)>),
+    /// A number.
+    Number(f64),
+    /// A boolean.
+    Boolean(bool),
+    /// A string.
+    Str(String),
+}
+
+impl Value {
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nodes(_) => "node-set",
+            Value::Attrs(_) => "attribute-set",
+            Value::Number(_) => "number",
+            Value::Boolean(_) => "boolean",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// XPath boolean coercion.
+    pub fn to_boolean(&self) -> bool {
+        match self {
+            Value::Nodes(ns) => !ns.is_empty(),
+            Value::Attrs(a) => !a.is_empty(),
+            Value::Number(n) => *n != 0.0 && !n.is_nan(),
+            Value::Boolean(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// XPath string coercion (first node's string value for node sets).
+    pub fn to_str<V: TreeView + ?Sized>(&self, view: &V) -> String {
+        match self {
+            Value::Nodes(ns) => ns.first().map_or(String::new(), |&p| view.string_value(p)),
+            Value::Attrs(a) => a
+                .first()
+                .and_then(|&(owner, qn)| attr_value(view, owner, qn))
+                .unwrap_or_default(),
+            Value::Number(n) => format_number(*n),
+            Value::Boolean(b) => b.to_string(),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// XPath number coercion.
+    pub fn to_number<V: TreeView + ?Sized>(&self, view: &V) -> f64 {
+        match self {
+            Value::Number(n) => *n,
+            Value::Boolean(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            other => str_to_number(&other.to_str(view)),
+        }
+    }
+
+    /// All string values (one per node/attribute; singleton otherwise).
+    fn string_values<V: TreeView + ?Sized>(&self, view: &V) -> Vec<String> {
+        match self {
+            Value::Nodes(ns) => ns.iter().map(|&p| view.string_value(p)).collect(),
+            Value::Attrs(a) => a
+                .iter()
+                .map(|&(owner, qn)| attr_value(view, owner, qn).unwrap_or_default())
+                .collect(),
+            other => vec![other.to_str(view)],
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        matches!(self, Value::Nodes(_) | Value::Attrs(_))
+    }
+}
+
+fn attr_value<V: TreeView + ?Sized>(view: &V, owner: u64, qn: QnId) -> Option<String> {
+    view.attributes(owner)
+        .into_iter()
+        .find(|&(n, _)| n == qn)
+        .and_then(|(_, p)| view.pool().prop(p).map(str::to_string))
+}
+
+fn str_to_number(s: &str) -> f64 {
+    s.trim().parse::<f64>().unwrap_or(f64::NAN)
+}
+
+fn format_number(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Evaluates `expr` with `context` as the context node set.
+pub(crate) fn eval_expr<V: TreeView + ?Sized>(
+    view: &V,
+    expr: &Expr,
+    context: &[u64],
+) -> Result<Value> {
+    match expr {
+        Expr::Or(a, b) => {
+            let va = eval_expr(view, a, context)?;
+            if va.to_boolean() {
+                return Ok(Value::Boolean(true));
+            }
+            Ok(Value::Boolean(eval_expr(view, b, context)?.to_boolean()))
+        }
+        Expr::And(a, b) => {
+            let va = eval_expr(view, a, context)?;
+            if !va.to_boolean() {
+                return Ok(Value::Boolean(false));
+            }
+            Ok(Value::Boolean(eval_expr(view, b, context)?.to_boolean()))
+        }
+        Expr::Compare(op, a, b) => {
+            let va = eval_expr(view, a, context)?;
+            let vb = eval_expr(view, b, context)?;
+            Ok(Value::Boolean(compare(view, *op, &va, &vb)))
+        }
+        Expr::Arith(op, a, b) => {
+            let x = eval_expr(view, a, context)?.to_number(view);
+            let y = eval_expr(view, b, context)?.to_number(view);
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x % y,
+            };
+            Ok(Value::Number(r))
+        }
+        Expr::Neg(e) => Ok(Value::Number(-eval_expr(view, e, context)?.to_number(view))),
+        Expr::Union(a, b) => {
+            let va = eval_expr(view, a, context)?;
+            let vb = eval_expr(view, b, context)?;
+            match (va, vb) {
+                (Value::Nodes(mut x), Value::Nodes(y)) => {
+                    x.extend(y);
+                    x.sort_unstable();
+                    x.dedup();
+                    Ok(Value::Nodes(x))
+                }
+                (Value::Attrs(mut x), Value::Attrs(y)) => {
+                    x.extend(y);
+                    x.sort_unstable_by_key(|&(p, q)| (p, q.0));
+                    x.dedup();
+                    Ok(Value::Attrs(x))
+                }
+                (a, b) => Err(XPathError::Eval {
+                    message: format!(
+                        "union requires node sets, got {} and {}",
+                        a.type_name(),
+                        b.type_name()
+                    ),
+                }),
+            }
+        }
+        Expr::Literal(s) => Ok(Value::Str(s.clone())),
+        Expr::Number(n) => Ok(Value::Number(*n)),
+        Expr::Call(name, args) => eval_call(view, name, args, context, None),
+        Expr::Path(p) => eval_path(view, p, context),
+    }
+}
+
+/// XPath 1.0 comparison semantics: if either side is a set, the
+/// comparison existentially quantifies over its string values.
+fn compare<V: TreeView + ?Sized>(view: &V, op: CmpOp, a: &Value, b: &Value) -> bool {
+    let num_cmp = |x: f64, y: f64| match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    };
+    let str_cmp = |x: &str, y: &str| match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        // Order comparisons always go through numbers in XPath 1.0.
+        _ => num_cmp(str_to_number(x), str_to_number(y)),
+    };
+    match (a.is_set(), b.is_set()) {
+        (true, true) => {
+            let xs = a.string_values(view);
+            let ys = b.string_values(view);
+            xs.iter().any(|x| ys.iter().any(|y| str_cmp(x, y)))
+        }
+        (true, false) => {
+            let xs = a.string_values(view);
+            match b {
+                Value::Number(n) => xs.iter().any(|x| num_cmp(str_to_number(x), *n)),
+                Value::Boolean(bb) => {
+                    let ab = a.to_boolean();
+                    num_cmp(ab as u8 as f64, *bb as u8 as f64)
+                }
+                _ => {
+                    let y = b.to_str(view);
+                    xs.iter().any(|x| str_cmp(x, &y))
+                }
+            }
+        }
+        (false, true) => {
+            let flipped = match op {
+                CmpOp::Eq => CmpOp::Eq,
+                CmpOp::Ne => CmpOp::Ne,
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+            };
+            compare(view, flipped, b, a)
+        }
+        (false, false) => match (a, b) {
+            (Value::Boolean(_), _) | (_, Value::Boolean(_)) => {
+                num_cmp(a.to_boolean() as u8 as f64, b.to_boolean() as u8 as f64)
+            }
+            (Value::Number(_), _) | (_, Value::Number(_)) => {
+                num_cmp(a.to_number(view), b.to_number(view))
+            }
+            _ => str_cmp(&a.to_str(view), &b.to_str(view)),
+        },
+    }
+}
+
+/// Position info available inside a predicate.
+struct PredicateCtx {
+    position: usize,
+    last: usize,
+}
+
+fn eval_path<V: TreeView + ?Sized>(view: &V, path: &PathExpr, context: &[u64]) -> Result<Value> {
+    let mut steps = path.steps.iter();
+    let mut current: Value = if let Some(start) = &path.start {
+        eval_expr(view, start, context)?
+    } else if path.absolute {
+        // Absolute paths start at the (virtual) *document node*, whose
+        // only tree child is the root element: `/site` matches the root
+        // element named `site`, and a bare `/` denotes the document node
+        // itself (approximated by the root element here, since the
+        // storage schema has no document-node tuple).
+        match steps.next() {
+            None => Value::Nodes(view.root_pre().into_iter().collect()),
+            Some(first) => eval_step_from_document(view, first)?,
+        }
+    } else {
+        Value::Nodes(context.to_vec())
+    };
+    for step in steps {
+        current = eval_step(view, &current, step)?;
+    }
+    Ok(current)
+}
+
+/// Evaluates the first step of an absolute path against the virtual
+/// document node.
+fn eval_step_from_document<V: TreeView + ?Sized>(view: &V, step: &Step) -> Result<Value> {
+    let root: Vec<u64> = view.root_pre().into_iter().collect();
+    match &step.test {
+        StepTest::Tree(Axis::Child | Axis::SelfAxis, test) => {
+            // The document node's only child is the root element; `/self`
+            // degenerates to the same singleton.
+            let mut cands: Vec<u64> = root
+                .into_iter()
+                .filter(|&r| test.matches(view, r))
+                .collect();
+            for pred in &step.predicates {
+                cands = filter_predicate(view, &cands, pred)?;
+            }
+            Ok(Value::Nodes(cands))
+        }
+        StepTest::Tree(Axis::Descendant | Axis::DescendantOrSelf, test) => {
+            // Every tree node descends from the document node.
+            let mut cands = axis_step(view, &root, Axis::DescendantOrSelf, test);
+            for pred in &step.predicates {
+                cands = filter_predicate(view, &cands, pred)?;
+            }
+            Ok(Value::Nodes(cands))
+        }
+        StepTest::Tree(axis, _) => Err(XPathError::Eval {
+            message: format!("axis {axis:?} cannot start from the document node"),
+        }),
+        StepTest::Attribute(_) => Err(XPathError::Eval {
+            message: "the document node has no attributes".into(),
+        }),
+    }
+}
+
+fn eval_step<V: TreeView + ?Sized>(view: &V, input: &Value, step: &Step) -> Result<Value> {
+    let nodes = match input {
+        Value::Nodes(ns) => ns,
+        other => {
+            return Err(XPathError::Eval {
+                message: format!("cannot apply a location step to a {}", other.type_name()),
+            })
+        }
+    };
+    match &step.test {
+        StepTest::Attribute(name) => {
+            if !step.predicates.is_empty() {
+                return Err(XPathError::Eval {
+                    message: "predicates on attribute steps are not supported".into(),
+                });
+            }
+            let mut out = Vec::new();
+            for &n in nodes {
+                for (qn, _) in view.attributes(n) {
+                    let keep = match name {
+                        Some(want) => view.pool().qname(qn).is_some_and(|q| q == want),
+                        None => true,
+                    };
+                    if keep {
+                        out.push((n, qn));
+                    }
+                }
+            }
+            Ok(Value::Attrs(out))
+        }
+        StepTest::Tree(axis, test) => {
+            // The reverse axes present candidates in document order here;
+            // positional predicates on them follow reverse order per the
+            // spec — supported by reversing the candidate list first.
+            let reverse = matches!(
+                axis,
+                Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling
+            );
+            if step.predicates.is_empty() {
+                return Ok(Value::Nodes(axis_step(view, nodes, *axis, test)));
+            }
+            // With predicates, position() is per context node.
+            let mut out = Vec::new();
+            for &c in nodes {
+                let mut cands = axis_step(view, &[c], *axis, test);
+                if reverse {
+                    cands.reverse();
+                }
+                for pred in &step.predicates {
+                    cands = filter_predicate(view, &cands, pred)?;
+                }
+                out.extend(cands);
+            }
+            out.sort_unstable();
+            out.dedup();
+            Ok(Value::Nodes(out))
+        }
+    }
+}
+
+fn filter_predicate<V: TreeView + ?Sized>(
+    view: &V,
+    candidates: &[u64],
+    pred: &Expr,
+) -> Result<Vec<u64>> {
+    let last = candidates.len();
+    let mut out = Vec::new();
+    for (i, &node) in candidates.iter().enumerate() {
+        let ctx = PredicateCtx {
+            position: i + 1,
+            last,
+        };
+        let v = eval_pred_expr(view, pred, node, &ctx)?;
+        let keep = match v {
+            // A bare number predicate means position() = n.
+            Value::Number(n) => (ctx.position as f64) == n,
+            other => other.to_boolean(),
+        };
+        if keep {
+            out.push(node);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates an expression inside a predicate, where `position()` /
+/// `last()` are defined and the context is a single node.
+fn eval_pred_expr<V: TreeView + ?Sized>(
+    view: &V,
+    expr: &Expr,
+    node: u64,
+    ctx: &PredicateCtx,
+) -> Result<Value> {
+    match expr {
+        Expr::Or(a, b) => {
+            if eval_pred_expr(view, a, node, ctx)?.to_boolean() {
+                return Ok(Value::Boolean(true));
+            }
+            Ok(Value::Boolean(
+                eval_pred_expr(view, b, node, ctx)?.to_boolean(),
+            ))
+        }
+        Expr::And(a, b) => {
+            if !eval_pred_expr(view, a, node, ctx)?.to_boolean() {
+                return Ok(Value::Boolean(false));
+            }
+            Ok(Value::Boolean(
+                eval_pred_expr(view, b, node, ctx)?.to_boolean(),
+            ))
+        }
+        Expr::Compare(op, a, b) => {
+            let va = eval_pred_expr(view, a, node, ctx)?;
+            let vb = eval_pred_expr(view, b, node, ctx)?;
+            Ok(Value::Boolean(compare(view, *op, &va, &vb)))
+        }
+        Expr::Arith(op, a, b) => {
+            let x = eval_pred_expr(view, a, node, ctx)?.to_number(view);
+            let y = eval_pred_expr(view, b, node, ctx)?.to_number(view);
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x % y,
+            };
+            Ok(Value::Number(r))
+        }
+        Expr::Neg(e) => Ok(Value::Number(
+            -eval_pred_expr(view, e, node, ctx)?.to_number(view),
+        )),
+        Expr::Call(name, args) => eval_call(view, name, args, &[node], Some(ctx)),
+        _ => eval_expr(view, expr, &[node]),
+    }
+}
+
+fn eval_call<V: TreeView + ?Sized>(
+    view: &V,
+    name: &str,
+    args: &[Expr],
+    context: &[u64],
+    pred: Option<&PredicateCtx>,
+) -> Result<Value> {
+    let eval_arg = |i: usize| -> Result<Value> {
+        match pred {
+            Some(ctx) if context.len() == 1 => eval_pred_expr(view, &args[i], context[0], ctx),
+            _ => eval_expr(view, &args[i], context),
+        }
+    };
+    let arity = |want: usize| -> Result<()> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(XPathError::Eval {
+                message: format!("{name}() expects {want} argument(s), got {}", args.len()),
+            })
+        }
+    };
+    match name {
+        "position" => {
+            arity(0)?;
+            let ctx = pred.ok_or(XPathError::Eval {
+                message: "position() outside a predicate".into(),
+            })?;
+            Ok(Value::Number(ctx.position as f64))
+        }
+        "last" => {
+            arity(0)?;
+            let ctx = pred.ok_or(XPathError::Eval {
+                message: "last() outside a predicate".into(),
+            })?;
+            Ok(Value::Number(ctx.last as f64))
+        }
+        "count" => {
+            arity(1)?;
+            match eval_arg(0)? {
+                Value::Nodes(ns) => Ok(Value::Number(ns.len() as f64)),
+                Value::Attrs(a) => Ok(Value::Number(a.len() as f64)),
+                other => Err(XPathError::Eval {
+                    message: format!("count() needs a node set, got {}", other.type_name()),
+                }),
+            }
+        }
+        "sum" => {
+            arity(1)?;
+            let v = eval_arg(0)?;
+            let total: f64 = v
+                .string_values(view)
+                .iter()
+                .map(|s| str_to_number(s))
+                .sum();
+            Ok(Value::Number(total))
+        }
+        "string" => {
+            if args.is_empty() {
+                return Ok(Value::Str(
+                    context
+                        .first()
+                        .map_or(String::new(), |&p| view.string_value(p)),
+                ));
+            }
+            arity(1)?;
+            Ok(Value::Str(eval_arg(0)?.to_str(view)))
+        }
+        "number" => {
+            if args.is_empty() {
+                return Ok(Value::Number(
+                    context
+                        .first()
+                        .map_or(f64::NAN, |&p| str_to_number(&view.string_value(p))),
+                ));
+            }
+            arity(1)?;
+            Ok(Value::Number(eval_arg(0)?.to_number(view)))
+        }
+        "boolean" => {
+            arity(1)?;
+            Ok(Value::Boolean(eval_arg(0)?.to_boolean()))
+        }
+        "not" => {
+            arity(1)?;
+            Ok(Value::Boolean(!eval_arg(0)?.to_boolean()))
+        }
+        "true" => {
+            arity(0)?;
+            Ok(Value::Boolean(true))
+        }
+        "false" => {
+            arity(0)?;
+            Ok(Value::Boolean(false))
+        }
+        "contains" => {
+            arity(2)?;
+            let a = eval_arg(0)?.to_str(view);
+            let b = eval_arg(1)?.to_str(view);
+            Ok(Value::Boolean(a.contains(&b)))
+        }
+        "starts-with" => {
+            arity(2)?;
+            let a = eval_arg(0)?.to_str(view);
+            let b = eval_arg(1)?.to_str(view);
+            Ok(Value::Boolean(a.starts_with(&b)))
+        }
+        "string-length" => {
+            arity(1)?;
+            Ok(Value::Number(eval_arg(0)?.to_str(view).chars().count() as f64))
+        }
+        "normalize-space" => {
+            arity(1)?;
+            let s = eval_arg(0)?.to_str(view);
+            Ok(Value::Str(
+                s.split_whitespace().collect::<Vec<_>>().join(" "),
+            ))
+        }
+        "concat" => {
+            if args.len() < 2 {
+                return Err(XPathError::Eval {
+                    message: "concat() needs at least two arguments".into(),
+                });
+            }
+            let mut out = String::new();
+            for i in 0..args.len() {
+                out.push_str(&eval_arg(i)?.to_str(view));
+            }
+            Ok(Value::Str(out))
+        }
+        "substring" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(XPathError::Eval {
+                    message: "substring() takes 2 or 3 arguments".into(),
+                });
+            }
+            let s = eval_arg(0)?.to_str(view);
+            let start = eval_arg(1)?.to_number(view).round() as i64;
+            let chars: Vec<char> = s.chars().collect();
+            let from = (start - 1).max(0) as usize;
+            let to = if args.len() == 3 {
+                let len = eval_arg(2)?.to_number(view).round() as i64;
+                ((start - 1 + len).max(0) as usize).min(chars.len())
+            } else {
+                chars.len()
+            };
+            Ok(Value::Str(chars[from.min(chars.len())..to].iter().collect()))
+        }
+        "substring-before" => {
+            arity(2)?;
+            let a = eval_arg(0)?.to_str(view);
+            let b = eval_arg(1)?.to_str(view);
+            Ok(Value::Str(
+                a.find(&b).map(|i| a[..i].to_string()).unwrap_or_default(),
+            ))
+        }
+        "substring-after" => {
+            arity(2)?;
+            let a = eval_arg(0)?.to_str(view);
+            let b = eval_arg(1)?.to_str(view);
+            Ok(Value::Str(
+                a.find(&b)
+                    .map(|i| a[i + b.len()..].to_string())
+                    .unwrap_or_default(),
+            ))
+        }
+        "translate" => {
+            arity(3)?;
+            let s = eval_arg(0)?.to_str(view);
+            let from: Vec<char> = eval_arg(1)?.to_str(view).chars().collect();
+            let to: Vec<char> = eval_arg(2)?.to_str(view).chars().collect();
+            let out: String = s
+                .chars()
+                .filter_map(|c| match from.iter().position(|&f| f == c) {
+                    Some(i) => to.get(i).copied(),
+                    None => Some(c),
+                })
+                .collect();
+            Ok(Value::Str(out))
+        }
+        "floor" => {
+            arity(1)?;
+            Ok(Value::Number(eval_arg(0)?.to_number(view).floor()))
+        }
+        "ceiling" => {
+            arity(1)?;
+            Ok(Value::Number(eval_arg(0)?.to_number(view).ceil()))
+        }
+        "round" => {
+            arity(1)?;
+            Ok(Value::Number(eval_arg(0)?.to_number(view).round()))
+        }
+        "name" | "local-name" => {
+            let target = if args.is_empty() {
+                context.first().copied()
+            } else {
+                arity(1)?;
+                match eval_arg(0)? {
+                    Value::Nodes(ns) => ns.first().copied(),
+                    other => {
+                        return Err(XPathError::Eval {
+                            message: format!("{name}() needs a node set, got {}", other.type_name()),
+                        })
+                    }
+                }
+            };
+            let s = target
+                .and_then(|p| view.name_id(p))
+                .and_then(|q| view.pool().qname(q))
+                .map(|q| {
+                    if name == "local-name" {
+                        q.local.clone()
+                    } else {
+                        q.to_string()
+                    }
+                })
+                .unwrap_or_default();
+            Ok(Value::Str(s))
+        }
+        other => Err(XPathError::Eval {
+            message: format!("unknown function '{other}'"),
+        }),
+    }
+}

@@ -1,0 +1,413 @@
+//! Tokenizer for the XPath subset.
+
+use crate::{Result, XPathError};
+
+/// One token with its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Name or axis/function identifier (may contain `-` and `:` in
+    /// qualified names; axis separators `::` are their own token).
+    Name(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Quoted string literal.
+    Literal(String),
+    Slash,
+    DoubleSlash,
+    Dot,
+    DotDot,
+    At,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Plus,
+    Minus,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    DoubleColon,
+}
+
+/// Lexes `src` into tokens.
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    out.push(Token {
+                        kind: TokenKind::DoubleSlash,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Slash,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token {
+                        kind: TokenKind::DotDot,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    // .5 style number
+                    let (n, len) = lex_number(&src[i..], start)?;
+                    out.push(Token {
+                        kind: TokenKind::Number(n),
+                        offset: start,
+                    });
+                    i += len;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Dot,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b'@' => {
+                out.push(Token {
+                    kind: TokenKind::At,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b']' => {
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'|' => {
+                out.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(XPathError::Parse {
+                        message: "'!' must be followed by '='".into(),
+                        offset: start,
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    out.push(Token {
+                        kind: TokenKind::DoubleColon,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(XPathError::Parse {
+                        message: "stray ':'".into(),
+                        offset: start,
+                    });
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(XPathError::Parse {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Literal(src[i + 1..j].to_string()),
+                    offset: start,
+                });
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let (n, len) = lex_number(&src[i..], start)?;
+                out.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: start,
+                });
+                i += len;
+            }
+            _ => {
+                // Names: letters, digits, '-', '_', '.', and ':' inside
+                // qualified names (but "::" terminates the name — it is
+                // an axis separator).
+                let rest = &src[i..];
+                let mut len = 0usize;
+                for (ci, c) in rest.char_indices() {
+                    let ok = if ci == 0 {
+                        c.is_alphabetic() || c == '_'
+                    } else if c == ':' {
+                        // lookahead: '::' ends the name
+                        !rest[ci + 1..].starts_with(':')
+                    } else {
+                        c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+                    };
+                    if ok {
+                        len = ci + c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                if len == 0 {
+                    return Err(XPathError::Parse {
+                        message: format!("unexpected character '{}'", &src[i..].chars().next().unwrap()),
+                        offset: start,
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Name(rest[..len].to_string()),
+                    offset: start,
+                });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(rest: &str, offset: usize) -> Result<(f64, usize)> {
+    let mut len = 0;
+    let mut seen_dot = false;
+    for (i, c) in rest.char_indices() {
+        if c.is_ascii_digit() {
+            len = i + 1;
+        } else if c == '.' && !seen_dot {
+            // A trailing ".." must not be consumed.
+            if rest[i + 1..].starts_with('.') {
+                break;
+            }
+            seen_dot = true;
+            len = i + 1;
+        } else {
+            break;
+        }
+    }
+    rest[..len]
+        .parse::<f64>()
+        .map(|n| (n, len))
+        .map_err(|_| XPathError::Parse {
+            message: format!("bad number '{}'", &rest[..len]),
+            offset,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paths() {
+        assert_eq!(
+            kinds("/site//item"),
+            vec![
+                TokenKind::Slash,
+                TokenKind::Name("site".into()),
+                TokenKind::DoubleSlash,
+                TokenKind::Name("item".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_axes_and_predicates() {
+        assert_eq!(
+            kinds("child::a[@id=\"x\"]"),
+            vec![
+                TokenKind::Name("child".into()),
+                TokenKind::DoubleColon,
+                TokenKind::Name("a".into()),
+                TokenKind::LBracket,
+                TokenKind::At,
+                TokenKind::Name("id".into()),
+                TokenKind::Eq,
+                TokenKind::Literal("x".into()),
+                TokenKind::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_operators() {
+        assert_eq!(
+            kinds("1.5 <= 2 != .5"),
+            vec![
+                TokenKind::Number(1.5),
+                TokenKind::Le,
+                TokenKind::Number(2.0),
+                TokenKind::Ne,
+                TokenKind::Number(0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_names_stay_whole() {
+        assert_eq!(
+            kinds("following-sibling::x"),
+            vec![
+                TokenKind::Name("following-sibling".into()),
+                TokenKind::DoubleColon,
+                TokenKind::Name("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_keep_single_colon() {
+        assert_eq!(
+            kinds("xu:remove"),
+            vec![TokenKind::Name("xu:remove".into())]
+        );
+    }
+
+    #[test]
+    fn dotdot_is_not_a_number() {
+        assert_eq!(kinds(".."), vec![TokenKind::DotDot]);
+        assert_eq!(
+            kinds("a/.."),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::Slash,
+                TokenKind::DotDot
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_bad_input() {
+        assert!(lex("a ! b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! `mbxq-xpath` — an XPath 1.0-subset engine over the pre plane.
+//!
+//! XUpdate addresses its targets with XPath expressions (`select="expr"`,
+//! §2.1), and the paper's whole query story is "XPath axes … expressed as
+//! simple comparisons on the pre and post columns" (§2.2). This crate
+//! provides the language layer: a lexer, a recursive-descent parser and
+//! an evaluator that compiles location steps onto the staircase-join
+//! engine of `mbxq-axes`, so every path evaluated here enjoys the same
+//! positional skipping on both storage schemas.
+//!
+//! Supported: absolute/relative location paths, all axes of
+//! [`mbxq_axes::Axis`] (by name) plus the abbreviations `//`, `.`, `..`
+//! and `@`, name and kind tests, predicates (including positional ones),
+//! the union operator, arithmetic/comparison/boolean operators with XPath
+//! 1.0 node-set comparison semantics, and a core function library
+//! (`position`, `last`, `count`, `string`, `number`, `boolean`, `not`,
+//! `true`, `false`, `contains`, `starts-with`, `string-length`,
+//! `normalize-space`, `name`, `local-name`, `concat`, `substring`,
+//! `substring-before`, `substring-after`, `translate`, `floor`,
+//! `ceiling`, `round`, `sum`).
+//!
+//! Out of scope (not needed by the paper's workloads): variables,
+//! namespace axes, `id()`/`key()`, and the number-formatting corners of
+//! the spec.
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{Expr, PathExpr, Step, StepTest};
+pub use eval::Value;
+
+use mbxq_storage::TreeView;
+
+/// A parsed, reusable XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPath {
+    expr: ast::Expr,
+    source: String,
+}
+
+/// Errors from parsing or evaluating an XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathError {
+    /// Lexical or syntactic problem, with byte offset.
+    Parse {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset in the source.
+        offset: usize,
+    },
+    /// Type or cardinality problem during evaluation.
+    Eval {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for XPathError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            XPathError::Parse { message, offset } => {
+                write!(f, "XPath parse error at offset {offset}: {message}")
+            }
+            XPathError::Eval { message } => write!(f, "XPath evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Result alias for XPath operations.
+pub type Result<T> = std::result::Result<T, XPathError>;
+
+impl XPath {
+    /// Parses an expression.
+    pub fn parse(source: &str) -> Result<XPath> {
+        let tokens = lexer::lex(source)?;
+        let expr = parser::parse(&tokens, source)?;
+        Ok(XPath {
+            expr,
+            source: source.to_string(),
+        })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Evaluates the expression with `context` as the context node set
+    /// (sorted pre ranks; for absolute paths the document root is used
+    /// regardless).
+    pub fn eval<V: TreeView + ?Sized>(&self, view: &V, context: &[u64]) -> Result<Value> {
+        eval::eval_expr(view, &self.expr, context)
+    }
+
+    /// Evaluates and coerces to a node set (tree nodes only, document
+    /// order). Errors if the expression yields a non-node value.
+    pub fn select<V: TreeView + ?Sized>(&self, view: &V, context: &[u64]) -> Result<Vec<u64>> {
+        match self.eval(view, context)? {
+            Value::Nodes(ns) => Ok(ns),
+            other => Err(XPathError::Eval {
+                message: format!(
+                    "expression '{}' yields {} — expected a node set",
+                    self.source,
+                    other.type_name()
+                ),
+            }),
+        }
+    }
+
+    /// Convenience: evaluate from the document root.
+    pub fn select_from_root<V: TreeView + ?Sized>(&self, view: &V) -> Result<Vec<u64>> {
+        let root: Vec<u64> = view.root_pre().into_iter().collect();
+        self.select(view, &root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbxq_storage::{PageConfig, PagedDoc, ReadOnlyDoc};
+
+    const DOC: &str = r#"<site><people><person id="p0"><name>Ann</name><age>37</age></person><person id="p1"><name>Bob</name><age>9</age></person><person id="p2"><name>Cer</name></person></people><regions><africa><item id="i0"><name>Mask</name></item></africa><asia><item id="i1"><name>Vase</name></item><item id="i2"><name>Bowl</name></item></asia></regions></site>"#;
+
+    fn doc() -> ReadOnlyDoc {
+        ReadOnlyDoc::parse_str(DOC).unwrap()
+    }
+
+    fn names<V: TreeView>(v: &V, pres: &[u64]) -> Vec<String> {
+        pres.iter()
+            .map(|&p| v.pool().qname(v.name_id(p).unwrap()).unwrap().local.clone())
+            .collect()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let d = doc();
+        let p = XPath::parse("/site/people/person").unwrap();
+        let got = p.select_from_root(&d).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(names(&d, &got), ["person", "person", "person"]);
+    }
+
+    #[test]
+    fn descendant_abbreviation() {
+        let d = doc();
+        let p = XPath::parse("//item").unwrap();
+        assert_eq!(p.select_from_root(&d).unwrap().len(), 3);
+        let p2 = XPath::parse("/site//name").unwrap();
+        assert_eq!(p2.select_from_root(&d).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        let d = doc();
+        let p = XPath::parse("/site/people/person[@id=\"p1\"]/name").unwrap();
+        let got = p.select_from_root(&d).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(d.string_value(got[0]), "Bob");
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = doc();
+        let p = XPath::parse("/site/people/person[2]").unwrap();
+        let got = p.select_from_root(&d).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            d.attribute_value(got[0], &mbxq_xml::QName::local("id")),
+            Some("p1".into())
+        );
+        let last = XPath::parse("/site/people/person[last()]").unwrap();
+        let got = last.select_from_root(&d).unwrap();
+        assert_eq!(
+            d.attribute_value(got[0], &mbxq_xml::QName::local("id")),
+            Some("p2".into())
+        );
+    }
+
+    #[test]
+    fn existence_and_value_predicates() {
+        let d = doc();
+        let p = XPath::parse("/site/people/person[age]").unwrap();
+        assert_eq!(p.select_from_root(&d).unwrap().len(), 2);
+        let p2 = XPath::parse("/site/people/person[age > 10]/name").unwrap();
+        let got = p2.select_from_root(&d).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(d.string_value(got[0]), "Ann");
+    }
+
+    #[test]
+    fn union_and_parent() {
+        let d = doc();
+        let p = XPath::parse("//africa/item | //asia/item").unwrap();
+        assert_eq!(p.select_from_root(&d).unwrap().len(), 3);
+        let p2 = XPath::parse("//item[@id=\"i2\"]/..").unwrap();
+        let got = p2.select_from_root(&d).unwrap();
+        assert_eq!(names(&d, &got), ["asia"]);
+    }
+
+    #[test]
+    fn functions() {
+        let d = doc();
+        let count = XPath::parse("count(//person)").unwrap();
+        assert_eq!(count.eval(&d, &[0]).unwrap(), Value::Number(3.0));
+        let contains = XPath::parse("//person[contains(name, \"nn\")]").unwrap();
+        assert_eq!(contains.select_from_root(&d).unwrap().len(), 1);
+        let sw = XPath::parse("//item[starts-with(name, \"B\")]").unwrap();
+        assert_eq!(sw.select_from_root(&d).unwrap().len(), 1);
+        let b = XPath::parse("not(count(//person) = 2)").unwrap();
+        assert_eq!(b.eval(&d, &[0]).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn string_and_number_coercions() {
+        let d = doc();
+        let s = XPath::parse("string(//person[1]/age)").unwrap();
+        assert_eq!(s.eval(&d, &[0]).unwrap(), Value::Str("37".into()));
+        let n = XPath::parse("number(//person[1]/age) + 3").unwrap();
+        assert_eq!(n.eval(&d, &[0]).unwrap(), Value::Number(40.0));
+        let arith = XPath::parse("(2 + 3) * 4 - 6 div 2").unwrap();
+        assert_eq!(arith.eval(&d, &[0]).unwrap(), Value::Number(17.0));
+        let m = XPath::parse("7 mod 3").unwrap();
+        assert_eq!(m.eval(&d, &[0]).unwrap(), Value::Number(1.0));
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let d = doc();
+        let p = XPath::parse("//item[@id=\"i1\"]/following-sibling::item").unwrap();
+        assert_eq!(p.select_from_root(&d).unwrap().len(), 1);
+        let p2 = XPath::parse("//name[ancestor::regions]").unwrap();
+        assert_eq!(p2.select_from_root(&d).unwrap().len(), 3);
+        let p3 = XPath::parse("//item[@id=\"i1\"]/ancestor-or-self::*").unwrap();
+        assert_eq!(
+            names(&d, &p3.select_from_root(&d).unwrap()),
+            ["site", "regions", "asia", "item"]
+        );
+    }
+
+    #[test]
+    fn text_nodes_selectable() {
+        let d = doc();
+        let p = XPath::parse("/site/people/person[1]/name/text()").unwrap();
+        let got = p.select_from_root(&d).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(d.string_value(got[0]), "Ann");
+    }
+
+    #[test]
+    fn attribute_selection_as_value() {
+        let d = doc();
+        // `//item[1]` is first-item-per-parent: i0 (africa) and i1 (asia).
+        let p = XPath::parse("//item[1]/@id").unwrap();
+        match p.eval(&d, &[0]).unwrap() {
+            Value::Attrs(attrs) => assert_eq!(attrs.len(), 2),
+            other => panic!("expected attrs, got {other:?}"),
+        }
+        let s = XPath::parse("string(//item[1]/@id)").unwrap();
+        assert_eq!(s.eval(&d, &[0]).unwrap(), Value::Str("i0".into()));
+    }
+
+    #[test]
+    fn same_results_on_paged_view() {
+        let ro = doc();
+        let up = PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap();
+        for src in [
+            "/site/people/person[@id=\"p1\"]/name",
+            "//item",
+            "/site//name",
+            "//person[age > 10]",
+            "//item[@id=\"i2\"]/..",
+            "//asia/item[2]",
+        ] {
+            let p = XPath::parse(src).unwrap();
+            let a = p.select_from_root(&ro).unwrap();
+            let b = p.select_from_root(&up).unwrap();
+            assert_eq!(
+                names(&ro, &a),
+                names(&up, &b),
+                "query {src} diverged between schemas"
+            );
+            let sa: Vec<String> = a.iter().map(|&x| ro.string_value(x)).collect();
+            let sb: Vec<String> = b.iter().map(|&x| up.string_value(x)).collect();
+            assert_eq!(sa, sb, "string values diverged for {src}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for bad in ["", "/site//", "//person[", "foo(", "1 +", "@", "//person]"] {
+            assert!(XPath::parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let d = doc();
+        let p = XPath::parse("//person[age and name]").unwrap();
+        assert_eq!(p.select_from_root(&d).unwrap().len(), 2);
+        let p2 = XPath::parse("//person[age or name]").unwrap();
+        assert_eq!(p2.select_from_root(&d).unwrap().len(), 3);
+        let p3 = XPath::parse("//person[age = 9 or age = 37]").unwrap();
+        assert_eq!(p3.select_from_root(&d).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn relative_paths_from_context() {
+        let d = doc();
+        let people = XPath::parse("/site/people")
+            .unwrap()
+            .select_from_root(&d)
+            .unwrap();
+        let rel = XPath::parse("person/name").unwrap();
+        let got = rel.select(&d, &people).unwrap();
+        assert_eq!(got.len(), 3);
+        let dot = XPath::parse(".").unwrap();
+        assert_eq!(dot.select(&d, &people).unwrap(), people);
+    }
+
+    #[test]
+    fn string_function_library() {
+        let d = doc();
+        let cases = [
+            ("substring-before(\"a-b\", \"-\")", Value::Str("a".into())),
+            ("substring-after(\"a-b\", \"-\")", Value::Str("b".into())),
+            ("substring-after(\"ab\", \"x\")", Value::Str("".into())),
+            ("translate(\"bar\", \"abc\", \"ABC\")", Value::Str("BAr".into())),
+            ("translate(\"bar\", \"ar\", \"A\")", Value::Str("bA".into())),
+            ("floor(2.7)", Value::Number(2.0)),
+            ("ceiling(2.1)", Value::Number(3.0)),
+            ("round(2.5)", Value::Number(3.0)),
+            ("substring(\"hello\", 2, 3)", Value::Str("ell".into())),
+            ("string-length(\"héllo\")", Value::Number(5.0)),
+            ("normalize-space(\"  a   b \")", Value::Str("a b".into())),
+            ("concat(\"x\", \"-\", \"y\")", Value::Str("x-y".into())),
+        ];
+        for (src, want) in cases {
+            let got = XPath::parse(src).unwrap().eval(&d, &[0]).unwrap();
+            assert_eq!(got, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn sum_function() {
+        let d = doc();
+        let p = XPath::parse("sum(//person/age)").unwrap();
+        assert_eq!(p.eval(&d, &[0]).unwrap(), Value::Number(46.0));
+    }
+}

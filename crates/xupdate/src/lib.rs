@@ -1,0 +1,328 @@
+//! `mbxq-xupdate` — the XUpdate language (§2.1 of the paper).
+//!
+//! "Until the W3C formulates a standard for XML updates, the most often
+//! used update language is XUpdate" — the paper defines its update
+//! workload in terms of XUpdate's structural commands, which this crate
+//! parses from their XML syntax and translates into the bulk operations
+//! of `mbxq-storage` (the rule framework sketched at the end of §3.1):
+//!
+//! * `<xupdate:remove select="expr"/>`
+//! * `<xupdate:insert-before select="expr">…</xupdate:insert-before>`
+//! * `<xupdate:insert-after select="expr">…</xupdate:insert-after>`
+//! * `<xupdate:append select="expr" child="n"?>…</xupdate:append>`
+//! * `<xupdate:update select="expr">new content</xupdate:update>`
+//! * `<xupdate:rename select="expr">new-name</xupdate:rename>`
+//!
+//! Content is built with the XUpdate constructors `<xupdate:element
+//! name="…">`, `<xupdate:attribute name="…">`, `<xupdate:text>`,
+//! `<xupdate:comment>`, `<xupdate:processing-instruction name="…">`, or
+//! with literal XML; `<xupdate:element>` "may contain nested XML, such
+//! that entire subtrees can be inserted".
+//!
+//! Execution is generic over [`UpdateTarget`], implemented by both the
+//! paged store and the naive shifting store — the randomized oracle tests
+//! replay identical command scripts against both and compare serialized
+//! documents.
+
+mod apply;
+mod parse;
+
+pub use apply::{execute, ExecutionSummary, UpdateTarget};
+pub use parse::parse_modifications;
+
+use mbxq_xml::{Node, QName};
+use mbxq_xpath::XPath;
+
+/// One XUpdate command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `<xupdate:remove select="…"/>`.
+    Remove {
+        /// Target selection.
+        select: XPath,
+    },
+    /// `<xupdate:insert-before select="…">content</…>`.
+    InsertBefore {
+        /// Target selection (the new content precedes each target).
+        select: XPath,
+        /// Constructed content, in document order.
+        content: Vec<Node>,
+        /// Attributes to add to each *target's parent*? No — XUpdate
+        /// attribute constructors at command level apply to the selected
+        /// element; kept for `append`.
+        attributes: Vec<(QName, String)>,
+    },
+    /// `<xupdate:insert-after select="…">content</…>`.
+    InsertAfter {
+        /// Target selection.
+        select: XPath,
+        /// Constructed content.
+        content: Vec<Node>,
+        /// Attribute constructors (applied to the selected element).
+        attributes: Vec<(QName, String)>,
+    },
+    /// `<xupdate:append select="…" child="n"?>content</…>`.
+    Append {
+        /// Target selection (content becomes children of each target).
+        select: XPath,
+        /// Optional 0-based child position ("the optional integer child
+        /// expression indicates the position of the new child node; by
+        /// default, it is appended as last child", §2.1).
+        child: Option<usize>,
+        /// Constructed content.
+        content: Vec<Node>,
+        /// Attribute constructors → `set_attribute` on the target.
+        attributes: Vec<(QName, String)>,
+    },
+    /// `<xupdate:update select="…">…</…>` — replaces the content of the
+    /// selected nodes (text for value nodes; children for elements).
+    Update {
+        /// Target selection.
+        select: XPath,
+        /// New content (for elements) or its string value (for others).
+        content: Vec<Node>,
+    },
+    /// `<xupdate:rename select="…">name</…>`.
+    Rename {
+        /// Target selection (elements).
+        select: XPath,
+        /// The new qualified name.
+        name: QName,
+    },
+}
+
+/// A parsed `<xupdate:modifications>` document: a command sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Modifications {
+    /// The commands, in document order.
+    pub commands: Vec<Command>,
+}
+
+/// Errors of parsing or executing XUpdate documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XUpdateError {
+    /// The command document is not well-formed XUpdate.
+    Parse {
+        /// Description.
+        message: String,
+    },
+    /// An embedded XPath failed to parse or evaluate.
+    Path(mbxq_xpath::XPathError),
+    /// The storage layer rejected an operation.
+    Storage(mbxq_storage::StorageError),
+}
+
+impl core::fmt::Display for XUpdateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            XUpdateError::Parse { message } => write!(f, "XUpdate parse error: {message}"),
+            XUpdateError::Path(e) => write!(f, "XUpdate path error: {e}"),
+            XUpdateError::Storage(e) => write!(f, "XUpdate storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XUpdateError {}
+
+impl From<mbxq_xpath::XPathError> for XUpdateError {
+    fn from(e: mbxq_xpath::XPathError) -> Self {
+        XUpdateError::Path(e)
+    }
+}
+
+impl From<mbxq_storage::StorageError> for XUpdateError {
+    fn from(e: mbxq_storage::StorageError) -> Self {
+        XUpdateError::Storage(e)
+    }
+}
+
+/// Result alias for XUpdate operations.
+pub type Result<T> = std::result::Result<T, XUpdateError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbxq_storage::serialize::to_xml;
+    use mbxq_storage::{NaiveDoc, PageConfig, PagedDoc};
+
+    const DOC: &str = r#"<site><people><person id="p0"><name>Ann</name></person><person id="p1"><name>Bob</name></person></people></site>"#;
+
+    fn paged() -> PagedDoc {
+        PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn remove_command() {
+        let mut d = paged();
+        let mods = parse_modifications(
+            r#"<xupdate:modifications version="1.0">
+                 <xupdate:remove select="/site/people/person[@id='p0']"/>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let summary = execute(&mut d, &mods).unwrap();
+        assert_eq!(summary.nodes_removed, 3); // person, name, text
+        assert_eq!(
+            to_xml(&d).unwrap(),
+            r#"<site><people><person id="p1"><name>Bob</name></person></people></site>"#
+        );
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let mut d = paged();
+        let mods = parse_modifications(
+            r#"<xupdate:modifications version="1.0">
+                 <xupdate:insert-before select="//person[@id='p1']">
+                   <xupdate:element name="person"><xupdate:attribute name="id">mid</xupdate:attribute></xupdate:element>
+                 </xupdate:insert-before>
+                 <xupdate:insert-after select="//person[@id='p1']">
+                   <xupdate:element name="person"><xupdate:attribute name="id">end</xupdate:attribute></xupdate:element>
+                 </xupdate:insert-after>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        execute(&mut d, &mods).unwrap();
+        assert_eq!(
+            to_xml(&d).unwrap(),
+            concat!(
+                r#"<site><people><person id="p0"><name>Ann</name></person>"#,
+                r#"<person id="mid"/><person id="p1"><name>Bob</name></person>"#,
+                r#"<person id="end"/></people></site>"#
+            )
+        );
+    }
+
+    #[test]
+    fn append_with_literal_xml_and_position() {
+        let mut d = paged();
+        // The paper's own example shape: append nested literal XML.
+        let mods = parse_modifications(
+            r#"<xupdate:modifications version="1.0">
+                 <xupdate:append select="/site/people/person[@id='p0']">
+                   <watches><watch open="yes"/></watches>
+                 </xupdate:append>
+                 <xupdate:append select="/site/people" child="0">
+                   <xupdate:element name="first"/>
+                 </xupdate:append>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        execute(&mut d, &mods).unwrap();
+        assert_eq!(
+            to_xml(&d).unwrap(),
+            concat!(
+                r#"<site><people><first/><person id="p0"><name>Ann</name>"#,
+                r#"<watches><watch open="yes"/></watches></person>"#,
+                r#"<person id="p1"><name>Bob</name></person></people></site>"#
+            )
+        );
+    }
+
+    #[test]
+    fn update_text_and_element_content() {
+        let mut d = paged();
+        let mods = parse_modifications(
+            r#"<xupdate:modifications version="1.0">
+                 <xupdate:update select="//person[@id='p0']/name/text()">Anna</xupdate:update>
+                 <xupdate:update select="//person[@id='p1']/name"><b>Bobby</b></xupdate:update>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        execute(&mut d, &mods).unwrap();
+        assert_eq!(
+            to_xml(&d).unwrap(),
+            concat!(
+                r#"<site><people><person id="p0"><name>Anna</name></person>"#,
+                r#"<person id="p1"><name><b>Bobby</b></name></person></people></site>"#
+            )
+        );
+    }
+
+    #[test]
+    fn rename_command() {
+        let mut d = paged();
+        let mods = parse_modifications(
+            r#"<xupdate:modifications version="1.0">
+                 <xupdate:rename select="//name">label</xupdate:rename>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let s = execute(&mut d, &mods).unwrap();
+        assert_eq!(s.nodes_renamed, 2);
+        assert!(to_xml(&d).unwrap().contains("<label>Ann</label>"));
+    }
+
+    #[test]
+    fn multi_target_insert() {
+        let mut d = paged();
+        // One command, two context nodes — "inserts an element node as a
+        // directly preceding sibling to all nodes in the result set".
+        let mods = parse_modifications(
+            r#"<xupdate:modifications version="1.0">
+                 <xupdate:append select="//person">
+                   <xupdate:element name="flag"/>
+                 </xupdate:append>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let s = execute(&mut d, &mods).unwrap();
+        assert_eq!(s.nodes_inserted, 2);
+        assert_eq!(to_xml(&d).unwrap().matches("<flag/>").count(), 2);
+    }
+
+    #[test]
+    fn same_script_on_paged_and_naive() {
+        let script = r#"<xupdate:modifications version="1.0">
+             <xupdate:append select="/site/people">
+               <xupdate:element name="person">
+                 <xupdate:attribute name="id">p2</xupdate:attribute>
+                 <name>Cyd</name>
+               </xupdate:element>
+             </xupdate:append>
+             <xupdate:remove select="//person[@id='p0']/name"/>
+             <xupdate:update select="//person[@id='p1']/name/text()">Rob</xupdate:update>
+           </xupdate:modifications>"#;
+        let mods = parse_modifications(script).unwrap();
+        let mut up = paged();
+        let mut nv = NaiveDoc::parse_str(DOC).unwrap();
+        execute(&mut up, &mods).unwrap();
+        execute(&mut nv, &mods).unwrap();
+        assert_eq!(to_xml(&up).unwrap(), to_xml(&nv).unwrap());
+        mbxq_storage::invariants::check_paged(&up).unwrap();
+    }
+
+    #[test]
+    fn malformed_commands_rejected() {
+        for bad in [
+            "<notxupdate/>",
+            r#"<xupdate:modifications version="1.0"><xupdate:remove/></xupdate:modifications>"#,
+            r#"<xupdate:modifications version="1.0"><xupdate:frobnicate select="/x"/></xupdate:modifications>"#,
+            r#"<xupdate:modifications version="1.0"><xupdate:remove select="][bad"/></xupdate:modifications>"#,
+            r#"<xupdate:modifications version="1.0"><xupdate:rename select="//name"><x/></xupdate:rename></xupdate:modifications>"#,
+        ] {
+            assert!(parse_modifications(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn single_command_without_wrapper() {
+        let mods =
+            parse_modifications(r#"<xupdate:remove select="//person[@id='p1']"/>"#).unwrap();
+        assert_eq!(mods.commands.len(), 1);
+        let mut d = paged();
+        execute(&mut d, &mods).unwrap();
+        assert!(!to_xml(&d).unwrap().contains("p1"));
+    }
+
+    #[test]
+    fn empty_selection_is_a_no_op() {
+        let mut d = paged();
+        let before = to_xml(&d).unwrap();
+        let mods =
+            parse_modifications(r#"<xupdate:remove select="//nonexistent"/>"#).unwrap();
+        let s = execute(&mut d, &mods).unwrap();
+        assert_eq!(s.nodes_removed, 0);
+        assert_eq!(to_xml(&d).unwrap(), before);
+    }
+}

@@ -1,0 +1,51 @@
+//! A guided replay of the paper's Figure 4: the example document
+//! `<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>` is shredded
+//! into logical pages of 8 tuples, then `<k><l/><m/></k>` is appended to
+//! `g`, and the physical table + the pre/size/level view are dumped at
+//! each step so the page splice and the automatic pre shifts are visible.
+//!
+//! Run with: `cargo run --example figure4_walkthrough`
+
+use mbxq::{InsertPosition, PageConfig, PagedDoc, TreeView, XmlDocument};
+
+const PAPER_DOC: &str = "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
+
+fn main() {
+    // Page size 8 with fill target 7 reproduces Figure 4's initial
+    // layout: page 0 = a..g + one unused slot, page 1 = h,i,j + five.
+    let cfg = PageConfig::new(8, 88).unwrap();
+    let mut doc = PagedDoc::parse_str(PAPER_DOC, cfg).unwrap();
+
+    println!("=== after shredding (Figure 4, left) ===\n");
+    println!("{}", doc.dump_physical());
+
+    // The paper's update: <xupdate:append select='/a/f/g'> <k><l/><m/></k>.
+    let g = doc.pre_to_node(6).expect("g sits at pre 6");
+    let subtree = XmlDocument::parse_fragment("<k><l/><m/></k>").unwrap();
+    let report = doc.insert(InsertPosition::LastChildOf(g), &subtree).unwrap();
+    println!(
+        "=== insert <k><l/><m/></k> under g: case {:?}, {} page(s) spliced ===\n",
+        report.case, report.pages_added
+    );
+
+    println!("--- physical layout (page 2 is new, spliced at logical 1) ---\n");
+    println!("{}", doc.dump_physical());
+
+    println!("--- pre/size/level view (pre of h..j shifted automatically) ---\n");
+    println!("{}", doc.dump_view());
+
+    // The headline numbers of Figure 3/4: ancestor sizes grew by the
+    // insert volume, nothing else was rewritten.
+    let a_pre = doc.node_to_pre(doc.pre_to_node(0).unwrap()).unwrap();
+    println!(
+        "size(a) = {} (was 9, +3), size(f) = {}, size(g) = {}",
+        TreeView::size(&doc, a_pre),
+        TreeView::size(&doc, doc.node_to_pre(mbxq::NodeId(5)).unwrap()),
+        TreeView::size(&doc, doc.node_to_pre(g).unwrap()),
+    );
+    println!(
+        "k sits at pre {} (page 0's free slot), l at pre {} (the spliced page)",
+        doc.node_to_pre(mbxq::NodeId(10)).unwrap(),
+        doc.node_to_pre(mbxq::NodeId(11)).unwrap(),
+    );
+}

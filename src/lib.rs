@@ -1,0 +1,5 @@
+//! Umbrella crate for the MonetDB/XQuery pre/post-plane reproduction.
+//!
+//! Re-exports the public facade from [`mbxq_core`] so examples and
+//! integration tests can use a single dependency.
+pub use mbxq_core::*;

@@ -1,0 +1,76 @@
+//! Shared helpers for the integration test suite.
+#![allow(dead_code)] // each test binary uses a subset
+
+use mbxq::{Node, PageConfig};
+use proptest::prelude::*;
+
+/// Page configurations exercised by cross-schema tests: tiny pages force
+/// many page boundaries; big pages exercise the single-page paths.
+pub fn page_configs() -> Vec<PageConfig> {
+    vec![
+        PageConfig::new(4, 50).unwrap(),
+        PageConfig::new(8, 88).unwrap(),
+        PageConfig::new(16, 75).unwrap(),
+        PageConfig::new(64, 80).unwrap(),
+        PageConfig::new(1024, 100).unwrap(),
+    ]
+}
+
+/// Strategy for element/attribute names (small alphabet so random trees
+/// share names and name tests actually select subsets).
+pub fn name_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "item", "name", "x"]).prop_map(str::to_string)
+}
+
+/// Strategy for text content (includes XML-hostile characters).
+pub fn text_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["t", "x < y", "a & b", "\"quoted\"", "uni—code", "  "])
+        .prop_map(str::to_string)
+}
+
+/// Strategy producing random well-formed element trees of bounded size.
+pub fn tree_strategy(max_depth: u32, max_children: usize) -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        name_strategy().prop_map(Node::element),
+        text_strategy().prop_map(Node::text),
+    ];
+    leaf.prop_recursive(max_depth, 64, max_children as u32, move |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..max_children),
+        )
+            .prop_map(|(name, attrs, children)| {
+                // Deduplicate attribute names (XML forbids repeats) and
+                // merge adjacent text nodes (the parser coalesces them, so
+                // round-trip comparisons need canonical trees).
+                let mut seen = std::collections::HashSet::new();
+                let attributes = attrs
+                    .into_iter()
+                    .filter(|(n, _)| seen.insert(n.clone()))
+                    .map(|(n, v)| (mbxq::QName::local(n), v))
+                    .collect();
+                let mut merged: Vec<Node> = Vec::new();
+                for c in children {
+                    match (merged.last_mut(), c) {
+                        (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                        (_, c) => merged.push(c),
+                    }
+                }
+                Node::Element {
+                    name: mbxq::QName::local(name),
+                    attributes,
+                    children: merged,
+                }
+            })
+    })
+    // The root must be an element.
+    .prop_filter("root is an element", |n| matches!(n, Node::Element { .. }))
+}
+
+/// Serializes a node to an XML string.
+pub fn to_xml_string(node: &Node) -> String {
+    let mut s = String::new();
+    mbxq_xml::serialize_node(node, &mut s);
+    s
+}

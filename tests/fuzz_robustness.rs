@@ -1,0 +1,107 @@
+//! Robustness fuzzing: none of the parsers/decoders may panic on
+//! arbitrary input — they either produce a value or a structured error.
+//! (The storage engine is allowed to *reject* garbage, never to crash
+//! on it.)
+
+mod common;
+
+use mbxq::XPath;
+use mbxq_txn::wal::decode_log;
+use mbxq_xml::Document;
+use mbxq_xupdate::parse_modifications;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_taglike_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "<a>", "</a>", "<b x='1'>", "</b>", "text", "<!--", "-->",
+                "<![CDATA[", "]]>", "&amp;", "&", "<?", "?>", "<!DOCTYPE",
+                "\"", "'", "<", ">", "/", "=",
+            ]),
+            0..24,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn xpath_parser_never_panics(input in ".{0,120}") {
+        let _ = XPath::parse(&input);
+    }
+
+    #[test]
+    fn xpath_parser_never_panics_on_tokeny_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "/", "//", "..", ".", "@", "*", "[", "]", "(", ")", "|",
+                "and", "or", "not", "person", "text()", "::", "child",
+                "=", "!=", "<", "1.5", "'lit'", ",", "-", "+",
+            ]),
+            0..16,
+        )
+    ) {
+        let input: String = parts.join("");
+        let _ = XPath::parse(&input);
+    }
+
+    #[test]
+    fn wal_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_log(&bytes);
+    }
+
+    #[test]
+    fn wal_decoder_never_panics_on_recordish_text(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "W ", "1 ", "2 ", "999 ", "\n", "I ", "D ", "V ", "before ",
+                "lastchild ", "4:<x/>", "0:", "99:", "\u{1f}", "<x/>", ":",
+            ]),
+            0..20,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = decode_log(input.as_bytes());
+    }
+
+    #[test]
+    fn xupdate_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_modifications(&input);
+    }
+
+    /// Valid XML that is not XUpdate must yield errors, not panics.
+    #[test]
+    fn xupdate_parser_rejects_random_xml(tree in common::tree_strategy(3, 3)) {
+        let xml = common::to_xml_string(&tree);
+        let _ = parse_modifications(&xml);
+    }
+
+    /// Random but *valid* XPath-shaped expressions evaluated against a
+    /// real document: evaluation must never panic.
+    #[test]
+    fn xpath_eval_never_panics_on_valid_parse(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "//a", "/a", "a", "*", "..", ".", "@x", "text()",
+                "[1]", "[last()]", "[@x='1']", "[a]",
+            ]),
+            1..6,
+        ),
+        tree in common::tree_strategy(3, 3),
+    ) {
+        let expr: String = parts.concat();
+        if let Ok(path) = XPath::parse(&expr) {
+            let doc = mbxq::ReadOnlyDoc::from_tree(&tree).unwrap();
+            let _ = path.select_from_root(&doc);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests on the storage substrate:
+//!
+//! * `serialize ∘ parse = id` for the XML layer on random trees;
+//! * shredding any tree into any schema and serializing it back yields
+//!   the same document;
+//! * the classic pre/post invariants of Figure 2 hold on the dense
+//!   encoding (`post = pre + size - level` is a permutation of ranks);
+//! * the paged store passes the deep invariant checker for every page
+//!   configuration.
+
+mod common;
+
+use common::{page_configs, to_xml_string, tree_strategy};
+use mbxq::{NaiveDoc, PagedDoc, ReadOnlyDoc, TreeView};
+use mbxq_xml::Document;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_parse_serialize_round_trip(tree in tree_strategy(4, 4)) {
+        let xml = to_xml_string(&tree);
+        let parsed = Document::parse(&xml).expect("serializer output parses");
+        prop_assert_eq!(&parsed.root, &tree);
+        // And a second round trip is byte-stable.
+        let xml2 = to_xml_string(&parsed.root);
+        prop_assert_eq!(xml, xml2);
+    }
+
+    #[test]
+    fn shred_serialize_round_trip_all_schemas(tree in tree_strategy(4, 4)) {
+        let xml = to_xml_string(&tree);
+        let ro = ReadOnlyDoc::from_tree(&tree).expect("shred ro");
+        prop_assert_eq!(mbxq_storage::serialize::to_xml(&ro).unwrap(), xml.clone());
+        let nv = NaiveDoc::from_tree(&tree).expect("shred naive");
+        prop_assert_eq!(mbxq_storage::serialize::to_xml(&nv).unwrap(), xml.clone());
+        for cfg in page_configs() {
+            let up = PagedDoc::from_tree(&tree, cfg).expect("shred paged");
+            mbxq_storage::invariants::check_paged(&up).expect("fresh invariants");
+            prop_assert_eq!(
+                mbxq_storage::serialize::to_xml(&up).unwrap(),
+                xml.clone(),
+                "page config {:?}", cfg
+            );
+        }
+    }
+
+    #[test]
+    fn pre_post_plane_invariants(tree in tree_strategy(4, 4)) {
+        let ro = ReadOnlyDoc::from_tree(&tree).expect("shred");
+        let n = ro.len() as u64;
+        // post = pre + size - level is a permutation of 0..n (each tag
+        // closes exactly once).
+        let mut posts: Vec<u64> = (0..n).map(|p| ro.post(p).unwrap()).collect();
+        posts.sort_unstable();
+        prop_assert_eq!(posts, (0..n).collect::<Vec<_>>());
+        // Region nesting: a child's region lies inside its parent's.
+        for pre in 0..n {
+            if let Some(parent) = ro.parent_of(pre) {
+                prop_assert!(ro.region_end(pre) <= ro.region_end(parent));
+                prop_assert!(parent < pre);
+            }
+            // size counts exactly the tuples of the region.
+            let end = ro.region_end(pre);
+            prop_assert_eq!(end - pre - 1, TreeView::size(&ro, pre));
+        }
+    }
+
+    #[test]
+    fn node_pre_translation_is_bijective(tree in tree_strategy(4, 4)) {
+        for cfg in page_configs() {
+            let up = PagedDoc::from_tree(&tree, cfg).expect("shred");
+            let mut p = 0;
+            while let Some(q) = up.next_used_at_or_after(p) {
+                let node = up.pre_to_node(q).expect("used slot has a node");
+                prop_assert_eq!(up.node_to_pre(node).unwrap(), q);
+                p = q + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn string_values_match_across_schemas(tree in tree_strategy(3, 3)) {
+        let ro = ReadOnlyDoc::from_tree(&tree).expect("shred ro");
+        let up = PagedDoc::from_tree(&tree, mbxq::PageConfig::new(8, 75).unwrap()).unwrap();
+        prop_assert_eq!(ro.string_value(0), up.string_value(up.root_pre().unwrap()));
+    }
+}

@@ -1,0 +1,153 @@
+//! Randomized update-sequence oracle: apply the same random sequence of
+//! structural and value updates to the paged store and to the naive
+//! shifting store; after every step both must serialize to the same
+//! document, the paged store must pass the deep invariant checker, and
+//! the claimed cost bounds must hold (paged inserts never touch more
+//! pre-existing tuples than one page can hold).
+
+mod common;
+
+use common::tree_strategy;
+use mbxq::{
+    InsertPosition, NaiveDoc, Node, PageConfig, PagedDoc, QName, TreeView,
+};
+use mbxq_storage::serialize::to_xml;
+use proptest::prelude::*;
+
+/// One random update operation, in terms of *dense node ranks* so the
+/// same op addresses the same logical node in both stores.
+#[derive(Debug, Clone)]
+enum RandomOp {
+    InsertBefore(usize, Node),
+    InsertAfter(usize, Node),
+    AppendChild(usize, Node),
+    Delete(usize),
+    SetAttr(usize, String, String),
+    Rename(usize, String),
+}
+
+fn op_strategy() -> impl Strategy<Value = RandomOp> {
+    prop_oneof![
+        (any::<prop::sample::Index>(), tree_strategy(2, 3))
+            .prop_map(|(i, t)| RandomOp::InsertBefore(i.index(1 << 16), t)),
+        (any::<prop::sample::Index>(), tree_strategy(2, 3))
+            .prop_map(|(i, t)| RandomOp::InsertAfter(i.index(1 << 16), t)),
+        (any::<prop::sample::Index>(), tree_strategy(2, 3))
+            .prop_map(|(i, t)| RandomOp::AppendChild(i.index(1 << 16), t)),
+        any::<prop::sample::Index>().prop_map(|i| RandomOp::Delete(i.index(1 << 16))),
+        (any::<prop::sample::Index>(), common::name_strategy(), common::text_strategy())
+            .prop_map(|(i, n, v)| RandomOp::SetAttr(i.index(1 << 16), n, v)),
+        (any::<prop::sample::Index>(), common::name_strategy())
+            .prop_map(|(i, n)| RandomOp::Rename(i.index(1 << 16), n)),
+    ]
+}
+
+/// The node id at dense rank `rank` (mod the current node count) in the
+/// paged store — node ids agree across stores because both allocate in
+/// document order and replay identical operations.
+fn nth_node(up: &PagedDoc, rank: usize) -> Option<mbxq::NodeId> {
+    let used = up.used_count() as usize;
+    if used == 0 {
+        return None;
+    }
+    let want = rank % used;
+    let mut seen = 0;
+    let mut p = 0;
+    while let Some(q) = up.next_used_at_or_after(p) {
+        if seen == want {
+            return up.pre_to_node(q).ok();
+        }
+        seen += 1;
+        p = q + 1;
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn paged_equals_naive_under_random_updates(
+        tree in tree_strategy(3, 4),
+        ops in prop::collection::vec(op_strategy(), 1..12),
+        cfg_idx in 0usize..3,
+    ) {
+        let cfg = [
+            PageConfig::new(4, 50).unwrap(),
+            PageConfig::new(8, 75).unwrap(),
+            PageConfig::new(64, 80).unwrap(),
+        ][cfg_idx];
+        let mut up = PagedDoc::from_tree(&tree, cfg).expect("shred paged");
+        let mut nv = NaiveDoc::from_tree(&tree).expect("shred naive");
+
+        for op in &ops {
+            // Resolve the target in the paged store, mirror by node id.
+            let apply = |up: &mut PagedDoc, nv: &mut NaiveDoc| -> Result<bool, TestCaseError> {
+                match op {
+                    RandomOp::InsertBefore(rank, sub) => {
+                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
+                        let a = up.insert(InsertPosition::Before(t), sub);
+                        let b = nv.insert(InsertPosition::Before(t), sub);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "insert-before disagree");
+                        if let Ok(r) = a {
+                            // Cost bound: moved tuples never exceed one page.
+                            prop_assert!(r.moved <= cfg.page_size as u64);
+                        }
+                    }
+                    RandomOp::InsertAfter(rank, sub) => {
+                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
+                        let a = up.insert(InsertPosition::After(t), sub);
+                        let b = nv.insert(InsertPosition::After(t), sub);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "insert-after disagree");
+                        if let Ok(r) = a {
+                            prop_assert!(r.moved <= cfg.page_size as u64);
+                        }
+                    }
+                    RandomOp::AppendChild(rank, sub) => {
+                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
+                        let a = up.insert(InsertPosition::LastChildOf(t), sub);
+                        let b = nv.insert(InsertPosition::LastChildOf(t), sub);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "append disagree");
+                        if let Ok(r) = a {
+                            prop_assert!(r.moved <= cfg.page_size as u64);
+                        }
+                    }
+                    RandomOp::Delete(rank) => {
+                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
+                        let a = up.delete(t);
+                        let b = nv.delete(t);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "delete disagree");
+                        if let Ok(r) = a {
+                            // Deletes never shift pre-existing tuples.
+                            prop_assert!(r.deleted > 0);
+                        }
+                    }
+                    RandomOp::SetAttr(rank, name, value) => {
+                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
+                        let q = QName::local(name.clone());
+                        let a = up.set_attribute(t, &q, value);
+                        let b = nv.set_attribute(t, &q, value);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "set-attr disagree");
+                    }
+                    RandomOp::Rename(rank, name) => {
+                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
+                        let q = QName::local(name.clone());
+                        let a = up.rename(t, &q);
+                        let b = nv.rename(t, &q);
+                        prop_assert_eq!(a.is_ok(), b.is_ok(), "rename disagree");
+                    }
+                }
+                Ok(true)
+            };
+            apply(&mut up, &mut nv)?;
+            mbxq_storage::invariants::check_paged(&up).expect("invariants hold");
+            prop_assert_eq!(
+                to_xml(&up).unwrap(),
+                to_xml(&nv).unwrap(),
+                "documents diverged after {:?}", op
+            );
+        }
+        // Final occupancy accounting.
+        prop_assert_eq!(up.used_count(), nv.used_count());
+    }
+}
