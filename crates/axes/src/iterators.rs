@@ -11,10 +11,7 @@ use mbxq_storage::TreeView;
 
 /// Iterates the direct children of the used node at `pre`, in document
 /// order.
-pub fn children<'a, V: TreeView + ?Sized>(
-    view: &'a V,
-    pre: u64,
-) -> impl Iterator<Item = u64> + 'a {
+pub fn children<'a, V: TreeView + ?Sized>(view: &'a V, pre: u64) -> impl Iterator<Item = u64> + 'a {
     let lvl = view.level(pre);
     let mut p = pre + 1;
     let mut done = lvl.is_none();
@@ -94,7 +91,11 @@ pub fn following_siblings<'a, V: TreeView + ?Sized>(
     pre: u64,
 ) -> impl Iterator<Item = u64> + 'a {
     let lvl = view.level(pre);
-    let mut p = if lvl.is_some() { view.region_end(pre) } else { 0 };
+    let mut p = if lvl.is_some() {
+        view.region_end(pre)
+    } else {
+        0
+    };
     let mut done = lvl.is_none();
     std::iter::from_fn(move || {
         if done {
@@ -176,7 +177,7 @@ mod tests {
         let a_children: Vec<_> = children(&d, 0).collect();
         assert_eq!(a_children.len(), 2); // b, f
         assert_eq!(descendants(&d, a_children[0]).count(), 0); // b is empty now
-        // f's children still found across holes.
+                                                               // f's children still found across holes.
         let f = a_children[1];
         assert_eq!(children(&d, f).count(), 2);
     }

@@ -329,16 +329,25 @@ mod tests {
         let doc = ro();
         let g = pre_of(&doc, "g");
         assert_eq!(
-            local_names(&doc, &step(&doc, &[g], Axis::Ancestor, &NodeTest::AnyElement)),
+            local_names(
+                &doc,
+                &step(&doc, &[g], Axis::Ancestor, &NodeTest::AnyElement)
+            ),
             ["a", "f"]
         );
         assert!(step(&doc, &[g], Axis::Descendant, &NodeTest::AnyElement).is_empty());
         assert_eq!(
-            local_names(&doc, &step(&doc, &[g], Axis::Following, &NodeTest::AnyElement)),
+            local_names(
+                &doc,
+                &step(&doc, &[g], Axis::Following, &NodeTest::AnyElement)
+            ),
             ["h", "i", "j"]
         );
         assert_eq!(
-            local_names(&doc, &step(&doc, &[g], Axis::Preceding, &NodeTest::AnyElement)),
+            local_names(
+                &doc,
+                &step(&doc, &[g], Axis::Preceding, &NodeTest::AnyElement)
+            ),
             ["b", "c", "d", "e"]
         );
     }
@@ -349,15 +358,24 @@ mod tests {
         let doc = paged();
         let g = pre_of(&doc, "g");
         assert_eq!(
-            local_names(&doc, &step(&doc, &[g], Axis::Ancestor, &NodeTest::AnyElement)),
+            local_names(
+                &doc,
+                &step(&doc, &[g], Axis::Ancestor, &NodeTest::AnyElement)
+            ),
             ["a", "f"]
         );
         assert_eq!(
-            local_names(&doc, &step(&doc, &[g], Axis::Following, &NodeTest::AnyElement)),
+            local_names(
+                &doc,
+                &step(&doc, &[g], Axis::Following, &NodeTest::AnyElement)
+            ),
             ["h", "i", "j"]
         );
         assert_eq!(
-            local_names(&doc, &step(&doc, &[g], Axis::Preceding, &NodeTest::AnyElement)),
+            local_names(
+                &doc,
+                &step(&doc, &[g], Axis::Preceding, &NodeTest::AnyElement)
+            ),
             ["b", "c", "d", "e"]
         );
     }
@@ -468,7 +486,10 @@ mod tests {
             0
         );
         assert_eq!(step(&doc, &[0], Axis::Child, &NodeTest::AnyNode).len(), 5);
-        assert_eq!(step(&doc, &[0], Axis::Child, &NodeTest::AnyElement).len(), 1);
+        assert_eq!(
+            step(&doc, &[0], Axis::Child, &NodeTest::AnyElement).len(),
+            1
+        );
     }
 
     /// Axis results on the paged view must equal the read-only results
@@ -520,11 +541,19 @@ mod tests {
     fn naive_matches_readonly() {
         let ro_doc = ro();
         let nv = NaiveDoc::parse_str(PAPER_DOC).unwrap();
-        for axis in [Axis::Child, Axis::Descendant, Axis::Following, Axis::Preceding] {
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
             let ctx_ro = pre_of(&ro_doc, "h");
             let ctx_nv = pre_of(&nv, "h");
             assert_eq!(
-                local_names(&ro_doc, &step(&ro_doc, &[ctx_ro], axis, &NodeTest::AnyElement)),
+                local_names(
+                    &ro_doc,
+                    &step(&ro_doc, &[ctx_ro], axis, &NodeTest::AnyElement)
+                ),
                 local_names(&nv, &step(&nv, &[ctx_nv], axis, &NodeTest::AnyElement)),
             );
         }
@@ -533,7 +562,12 @@ mod tests {
     #[test]
     fn empty_context_yields_empty() {
         let doc = ro();
-        for axis in [Axis::Child, Axis::Descendant, Axis::Following, Axis::Preceding] {
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
             assert!(step(&doc, &[], axis, &NodeTest::AnyNode).is_empty());
         }
     }

@@ -83,6 +83,79 @@ impl ContextSeq {
         ids.dedup();
         ids
     }
+
+    /// Flattens the relation into one duplicate-free, document-ordered
+    /// node sequence — the projection that ends a loop-lifted plan when
+    /// XPath semantics ask for a merged node set.
+    pub fn merged_pres(&self) -> Vec<u64> {
+        let mut out = self.pres.clone();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Per-row `(position(), last())` vectors: 1-based rank of each row
+    /// within its iteration group and the group size. `reverse` counts
+    /// positions from the group's end — the XPath rule for reverse axes,
+    /// whose candidates are stored here in document order.
+    pub fn positions(&self, reverse: bool) -> (Vec<f64>, Vec<f64>) {
+        let mut pos = Vec::with_capacity(self.len());
+        let mut last = Vec::with_capacity(self.len());
+        let mut start = 0usize;
+        while start < self.len() {
+            let iter = self.iters[start];
+            let mut end = start;
+            while end < self.len() && self.iters[end] == iter {
+                end += 1;
+            }
+            let n = end - start;
+            for k in 0..n {
+                let p = if reverse { n - k } else { k + 1 };
+                pos.push(p as f64);
+                last.push(n as f64);
+            }
+            start = end;
+        }
+        (pos, last)
+    }
+
+    /// Keeps only the rows whose flag is set (the relational `select`
+    /// that applies a predicate mask). Group tags are preserved.
+    pub fn retain_rows(&self, keep: &[bool]) -> ContextSeq {
+        debug_assert_eq!(keep.len(), self.len());
+        let mut out = ContextSeq::new();
+        for (&flag, (iter, pre)) in keep.iter().zip(self.iter()) {
+            if flag {
+                out.push(iter, pre);
+            }
+        }
+        out
+    }
+
+    /// Regroups rows under new iteration tags (`row_iters[k]` is row
+    /// `k`'s new tag, non-decreasing), merging rows that land in the same
+    /// iteration into sorted, duplicate-free groups — the back-mapping
+    /// after a nested scope expanded each row into its own iteration.
+    pub fn regroup(&self, row_iters: &[u32]) -> ContextSeq {
+        debug_assert_eq!(row_iters.len(), self.len());
+        let mut out = ContextSeq::new();
+        let mut start = 0usize;
+        while start < self.len() {
+            let target = row_iters[start];
+            let mut end = start;
+            while end < self.len() && row_iters[end] == target {
+                end += 1;
+            }
+            let mut group: Vec<u64> = self.pres[start..end].to_vec();
+            group.sort_unstable();
+            group.dedup();
+            for pre in group {
+                out.push(target, pre);
+            }
+            start = end;
+        }
+        out
+    }
 }
 
 /// Evaluates one axis step per iteration group in a single pass over the
@@ -163,5 +236,54 @@ mod tests {
         let d = ReadOnlyDoc::parse_str(PAPER_DOC).unwrap();
         let out = step_lifted(&d, &ContextSeq::new(), Axis::Child, &NodeTest::AnyNode);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merged_pres_flattens_and_dedups() {
+        let mut cs = ContextSeq::new();
+        cs.push(0, 4);
+        cs.push(0, 9);
+        cs.push(1, 2);
+        cs.push(1, 9);
+        assert_eq!(cs.merged_pres(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn positions_count_per_group_both_directions() {
+        let mut cs = ContextSeq::new();
+        cs.push(0, 1);
+        cs.push(0, 2);
+        cs.push(0, 3);
+        cs.push(2, 7);
+        let (pos, last) = cs.positions(false);
+        assert_eq!(pos, vec![1.0, 2.0, 3.0, 1.0]);
+        assert_eq!(last, vec![3.0, 3.0, 3.0, 1.0]);
+        let (rpos, rlast) = cs.positions(true);
+        assert_eq!(rpos, vec![3.0, 2.0, 1.0, 1.0]);
+        assert_eq!(rlast, vec![3.0, 3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn retain_rows_applies_mask_keeping_groups() {
+        let mut cs = ContextSeq::new();
+        cs.push(0, 1);
+        cs.push(0, 2);
+        cs.push(1, 5);
+        let kept = cs.retain_rows(&[true, false, true]);
+        assert_eq!(kept.iters, vec![0, 1]);
+        assert_eq!(kept.pres, vec![1, 5]);
+    }
+
+    #[test]
+    fn regroup_merges_rows_under_new_tags() {
+        // Rows 0..3 were expanded into their own iterations; map them
+        // back to outer iterations [0, 0, 4] and merge duplicates.
+        let mut cs = ContextSeq::new();
+        cs.push(0, 8);
+        cs.push(1, 3);
+        cs.push(2, 3);
+        let back = cs.regroup(&[0, 0, 4]);
+        assert_eq!(back.iters, vec![0, 0, 4]);
+        assert_eq!(back.pres, vec![3, 8, 3]);
     }
 }

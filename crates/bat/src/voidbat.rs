@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn positional_join_fetches_per_probe() {
         let b = VoidBat::from_tail(0, vec![10u32, 20, 30]);
-        assert_eq!(b.positional_join(&[2, 0, 1, 1]).unwrap(), vec![30, 10, 20, 20]);
+        assert_eq!(
+            b.positional_join(&[2, 0, 1, 1]).unwrap(),
+            vec![30, 10, 20, 20]
+        );
         assert!(b.positional_join(&[3]).is_err());
         assert_eq!(b.positional_join_lenient(&[2, 9, 0]), vec![30, 10]);
     }

@@ -2,7 +2,8 @@
 //! transactions into disjoint subtrees, under delta vs exclusive
 //! ancestor locking.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbxq_bench::harness::{BenchmarkId, Criterion};
+use mbxq_bench::{criterion_group, criterion_main};
 use mbxq_storage::{InsertPosition, PageConfig, PagedDoc};
 use mbxq_txn::{wal::Wal, AncestorLockMode, Store, StoreConfig};
 use mbxq_xml::Document;
@@ -44,7 +45,8 @@ fn run_burst(store: &Store) {
                 for _ in 0..TXNS_PER_WORKER {
                     let mut t = store.begin();
                     let target = t.select(&path).unwrap()[0];
-                    t.insert(InsertPosition::LastChildOf(target), &frag).unwrap();
+                    t.insert(InsertPosition::LastChildOf(target), &frag)
+                        .unwrap();
                     // Transaction read work performed while the locks
                     // are held — serialized by exclusive root locking,
                     // parallel under delta maintenance.
@@ -67,7 +69,7 @@ fn bench_concurrency(c: &mut Criterion) {
             b.iter_batched(
                 || build_store(mode),
                 |store| run_burst(&store),
-                criterion::BatchSize::PerIteration,
+                mbxq_bench::harness::BatchSize::PerIteration,
             )
         });
     }

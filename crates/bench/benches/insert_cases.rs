@@ -2,7 +2,8 @@
 //! insert (case 2b), as a function of the insert volume around the free
 //! space of one page.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mbxq_bench::harness::{BatchSize, BenchmarkId, Criterion};
+use mbxq_bench::{criterion_group, criterion_main};
 use mbxq_storage::{InsertCase, InsertPosition, PageConfig, PagedDoc};
 use mbxq_xml::Document;
 

@@ -2,8 +2,9 @@
 //! shifting store (O(N)) vs the paged store (O(update volume)) as the
 //! document grows.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mbxq_bench::harness::{BatchSize, BenchmarkId, Criterion};
 use mbxq_bench::paper_page_config;
+use mbxq_bench::{criterion_group, criterion_main};
 use mbxq_storage::{InsertPosition, Kind, NaiveDoc, PagedDoc, TreeView};
 use mbxq_xmark::{generate, XMarkConfig};
 use mbxq_xml::Document;

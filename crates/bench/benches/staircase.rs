@@ -2,9 +2,10 @@
 //! and unused-run skipping) vs a naive full-scan baseline, on both
 //! schemas.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mbxq_axes::{step, Axis, NodeTest};
 use mbxq_bench::build_both;
+use mbxq_bench::harness::{BenchmarkId, Criterion};
+use mbxq_bench::{criterion_group, criterion_main};
 use mbxq_storage::{Kind, TreeView};
 use mbxq_xml::QName;
 use mbxq_xpath::XPath;
@@ -33,8 +34,14 @@ fn child_full_scan<V: TreeView>(view: &V, ctx: &[u64], name: &QName) -> Vec<u64>
 
 fn bench_staircase(c: &mut Criterion) {
     let (ro, up, _) = build_both(0.004, 42);
-    let items_ro = XPath::parse("//item").unwrap().select_from_root(&ro).unwrap();
-    let items_up = XPath::parse("//item").unwrap().select_from_root(&up).unwrap();
+    let items_ro = XPath::parse("//item")
+        .unwrap()
+        .select_from_root(&ro)
+        .unwrap();
+    let items_up = XPath::parse("//item")
+        .unwrap()
+        .select_from_root(&up)
+        .unwrap();
     let name = QName::local("name");
     let test = NodeTest::Name(name.clone());
 

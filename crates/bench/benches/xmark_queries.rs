@@ -1,8 +1,9 @@
 //! Criterion version of the Figure 9 measurement: every XMark query on
 //! both schemas at a fixed small scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mbxq_bench::build_both;
+use mbxq_bench::harness::{BenchmarkId, Criterion};
+use mbxq_bench::{criterion_group, criterion_main};
 use mbxq_xmark::{run_query, QUERY_COUNT};
 
 fn bench_queries(c: &mut Criterion) {

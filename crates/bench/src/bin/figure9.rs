@@ -70,9 +70,7 @@ fn main() {
             );
         }
         let avg = overheads.iter().sum::<f64>() / overheads.len() as f64;
-        println!(
-            "average overhead: {avg:.1}%  (paper: <30% on average at 1.1 GB; ~15% at 11 MB)"
-        );
+        println!("average overhead: {avg:.1}%  (paper: <30% on average at 1.1 GB; ~15% at 11 MB)");
     }
 
     // Storage overhead comparison (the §4.1 "about 25% more space" claim

@@ -1,0 +1,151 @@
+//! Per-node vs loop-lifted axis evaluation on descendant-heavy XMark
+//! queries — the measurement behind the PR that routed the whole XPath
+//! engine through `step_lifted`. Emits `BENCH_lifted.json`.
+//!
+//! The per-node baseline is what `mbxq-xpath::eval` used to do: call the
+//! staircase join once per context node (`step(view, &[c], ..)`) inside a
+//! loop, then sort/dedup the union. The lifted plan pushes the whole
+//! context through one `step_lifted` invocation per location step.
+
+use mbxq_axes::{step, step_lifted, Axis, ContextSeq, NodeTest};
+use mbxq_bench::{build_both, time_min};
+use mbxq_storage::TreeView;
+use mbxq_xml::QName;
+use std::fmt::Write as _;
+
+struct Case {
+    name: &'static str,
+    steps: Vec<(Axis, NodeTest)>,
+}
+
+fn name_test(local: &str) -> NodeTest {
+    NodeTest::Name(QName::local(local))
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "//item/name",
+            steps: vec![
+                (Axis::Descendant, name_test("item")),
+                (Axis::Child, name_test("name")),
+            ],
+        },
+        Case {
+            name: "//description//keyword",
+            steps: vec![
+                (Axis::Descendant, name_test("description")),
+                (Axis::Descendant, name_test("keyword")),
+            ],
+        },
+        Case {
+            name: "//open_auction/bidder/increase",
+            steps: vec![
+                (Axis::Descendant, name_test("open_auction")),
+                (Axis::Child, name_test("bidder")),
+                (Axis::Child, name_test("increase")),
+            ],
+        },
+        Case {
+            name: "//regions//item//text()",
+            steps: vec![
+                (Axis::Descendant, name_test("regions")),
+                (Axis::Descendant, name_test("item")),
+                (Axis::Descendant, NodeTest::Text),
+            ],
+        },
+        // Nested context: every element is a context node, so the
+        // staircase pruning (skip regions covered by an earlier context
+        // node) only helps the set-at-a-time plan.
+        Case {
+            name: "//*//text()",
+            steps: vec![
+                (Axis::Descendant, NodeTest::AnyElement),
+                (Axis::Descendant, NodeTest::Text),
+            ],
+        },
+        // Following from a large context: the lifted staircase join
+        // needs one scan (the first context node covers the union); the
+        // per-node plan rescans the document tail per bidder.
+        Case {
+            name: "//bidder/following::increase",
+            steps: vec![
+                (Axis::Descendant, name_test("bidder")),
+                (Axis::Following, name_test("increase")),
+            ],
+        },
+    ]
+}
+
+/// The old evaluator's shape: one staircase join *per context node* per
+/// step, merged by sort + dedup.
+fn eval_per_node<V: TreeView + ?Sized>(
+    view: &V,
+    start: &[u64],
+    steps: &[(Axis, NodeTest)],
+) -> Vec<u64> {
+    let mut current: Vec<u64> = start.to_vec();
+    for (axis, test) in steps {
+        let mut out = Vec::new();
+        for &c in &current {
+            out.extend(step(view, &[c], *axis, test));
+        }
+        out.sort_unstable();
+        out.dedup();
+        current = out;
+    }
+    current
+}
+
+/// The lifted plan: the whole context flows through one `step_lifted`
+/// per step.
+fn eval_lifted<V: TreeView + ?Sized>(
+    view: &V,
+    start: &[u64],
+    steps: &[(Axis, NodeTest)],
+) -> Vec<u64> {
+    let mut current = ContextSeq::single_iter(start.to_vec());
+    for (axis, test) in steps {
+        current = step_lifted(view, &current, *axis, test);
+    }
+    current.pres
+}
+
+fn main() {
+    let reps = 7;
+    let mut json = String::from("[\n");
+    let mut first = true;
+    for &scale in &[0.01, 0.04] {
+        let (ro, up, bytes) = build_both(scale, 42);
+        println!("scale {scale} ({bytes} bytes of XML)");
+        for case in cases() {
+            for (view_name, view) in [("ro", &ro as &dyn TreeView), ("up", &up as &dyn TreeView)] {
+                let root: Vec<u64> = view.root_pre().into_iter().collect();
+                let expect = eval_per_node(view, &root, &case.steps);
+                let got = eval_lifted(view, &root, &case.steps);
+                assert_eq!(expect, got, "{} diverged on {view_name}", case.name);
+                let t_per_node =
+                    time_min(reps, || eval_per_node(view, &root, &case.steps)).as_nanos();
+                let t_lifted = time_min(reps, || eval_lifted(view, &root, &case.steps)).as_nanos();
+                let speedup = t_per_node as f64 / t_lifted.max(1) as f64;
+                println!(
+                    "  {:<32} {view_name}  per-node {:>10} ns  lifted {:>10} ns  speedup {speedup:.2}x  ({} rows)",
+                    case.name, t_per_node, t_lifted, got.len()
+                );
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    json,
+                    "  {{\"query\": \"{}\", \"view\": \"{view_name}\", \"scale\": {scale}, \"rows\": {}, \"per_node_ns\": {t_per_node}, \"lifted_ns\": {t_lifted}, \"speedup\": {speedup:.4}}}",
+                    case.name,
+                    got.len()
+                );
+            }
+        }
+    }
+    json.push_str("\n]\n");
+    std::fs::write("BENCH_lifted.json", &json).expect("write BENCH_lifted.json");
+    println!("wrote BENCH_lifted.json");
+}

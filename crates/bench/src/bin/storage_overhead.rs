@@ -13,7 +13,14 @@ fn main() {
     println!("Storage footprint: read-only vs updateable schema (§4.1)");
     println!(
         "{:>8} {:>10} | {:>9} {:>9} {:>10} | {:>12} {:>12} {:>10}",
-        "scale", "xml bytes", "ro slots", "up slots", "slot ovh", "ro bytes", "up bytes", "byte ovh"
+        "scale",
+        "xml bytes",
+        "ro slots",
+        "up slots",
+        "slot ovh",
+        "ro bytes",
+        "up bytes",
+        "byte ovh"
     );
     for &scale in &[0.001, 0.004, 0.016, 0.064] {
         let xml = generate(&XMarkConfig::scaled(scale, 42));

@@ -84,9 +84,9 @@ fn run_mode(mode: AncestorLockMode, workers: usize, secs: f64) -> (u64, u64) {
                         Ok(()) => {
                             let _ = scan.eval(t.view(), &[0]);
                             match t.commit() {
-                            Ok(_) => {
-                                commits.fetch_add(1, Ordering::Relaxed);
-                            }
+                                Ok(_) => {
+                                    commits.fetch_add(1, Ordering::Relaxed);
+                                }
                                 Err(_) => {
                                     timeouts.fetch_add(1, Ordering::Relaxed);
                                 }
@@ -130,7 +130,10 @@ fn main() {
         "Concurrent insert transactions, {workers} workers x {secs}s per mode \
          (disjoint target subtrees)"
     );
-    println!("{:>12} {:>12} {:>12} {:>14}", "mode", "commits", "timeouts", "commits/s");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14}",
+        "mode", "commits", "timeouts", "commits/s"
+    );
     for (label, mode) in [
         ("delta", AncestorLockMode::Delta),
         ("exclusive", AncestorLockMode::Exclusive),

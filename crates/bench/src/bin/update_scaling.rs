@@ -42,7 +42,9 @@ fn main() {
         let mut naive_touched = 0u64;
         let t_naive = time_min(5, || {
             let mut d = naive0.clone();
-            let r = d.insert(InsertPosition::LastChildOf(target), &subtree).unwrap();
+            let r = d
+                .insert(InsertPosition::LastChildOf(target), &subtree)
+                .unwrap();
             naive_touched = r.changed + r.shifted;
             d
         });
@@ -51,7 +53,9 @@ fn main() {
         let mut case = String::new();
         let t_paged = time_min(5, || {
             let mut d = paged0.clone();
-            let r = d.insert(InsertPosition::LastChildOf(target), &subtree).unwrap();
+            let r = d
+                .insert(InsertPosition::LastChildOf(target), &subtree)
+                .unwrap();
             paged_touched = r.inserted + r.moved;
             case = format!("{:?}", r.case);
             d
@@ -65,7 +69,8 @@ fn main() {
             t_naive.as_secs_f64() * 1e6,
             paged_touched,
             t_paged.as_secs_f64() * 1e6,
-            case.replace("WithinPage", "2a").replace("PageOverflow", "2b"),
+            case.replace("WithinPage", "2a")
+                .replace("PageOverflow", "2b"),
         );
     }
     println!(

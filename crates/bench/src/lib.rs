@@ -1,9 +1,12 @@
 //! Shared helpers for the benchmark harness.
 //!
 //! The binaries in `src/bin/` regenerate the paper's evaluation
-//! artifacts (see DESIGN.md §4 for the experiment index); the Criterion
-//! benches in `benches/` provide statistically robust versions of the
-//! same measurements at a fixed small scale.
+//! artifacts; the benches in `benches/` (running on the in-tree
+//! [`harness`], a Criterion-API subset — the build environment has no
+//! crates.io access) provide repeated-sample versions of the same
+//! measurements at a fixed small scale.
+
+pub mod harness;
 
 use mbxq_storage::{PageConfig, PagedDoc, ReadOnlyDoc};
 use mbxq_xmark::{generate, XMarkConfig};
@@ -47,26 +50,126 @@ pub type PaperRow = [Option<(f64, f64)>; 4];
 
 /// The `ro`/`up` table of Figure 9, indexed `[query-1]`.
 pub const FIGURE9: [PaperRow; 20] = [
-    [Some((0.034, 0.035)), Some((0.045, 0.053)), Some((0.170, 0.204)), Some((1.334, 1.939))],
-    [Some((0.043, 0.045)), Some((0.067, 0.088)), Some((0.317, 0.462)), Some((2.483, 4.136))],
-    [Some((0.120, 0.124)), Some((0.241, 0.283)), Some((1.458, 1.800)), Some((12.656, 16.427))],
-    [Some((0.053, 0.055)), Some((0.066, 0.069)), Some((0.459, 0.459)), Some((3.927, 4.190))],
-    [Some((0.039, 0.041)), Some((0.051, 0.063)), Some((0.163, 0.241)), Some((1.211, 2.254))],
-    [Some((0.020, 0.020)), Some((0.023, 0.023)), Some((0.060, 0.060)), Some((0.368, 0.408))],
-    [Some((0.024, 0.025)), Some((0.029, 0.029)), Some((0.083, 0.083)), Some((0.544, 0.607))],
-    [Some((0.071, 0.073)), Some((0.118, 0.133)), Some((0.730, 0.800)), Some((10.198, 11.268))],
-    [Some((0.109, 0.112)), Some((0.161, 0.191)), Some((0.873, 1.027)), Some((12.439, 14.575))],
-    [Some((0.279, 0.297)), Some((0.657, 0.825)), Some((5.088, 6.686)), Some((51.843, 67.198))],
-    [Some((0.083, 0.084)), Some((0.162, 0.186)), Some((3.426, 3.584)), None],
-    [Some((0.083, 0.086)), Some((0.127, 0.140)), Some((1.717, 1.750)), None],
-    [Some((0.050, 0.053)), Some((0.066, 0.087)), Some((0.208, 0.372)), Some((1.436, 3.341))],
-    [Some((0.050, 0.052)), Some((0.213, 0.221)), Some((1.789, 1.881)), Some((17.918, 18.371))],
-    [Some((0.065, 0.068)), Some((0.082, 0.099)), Some((0.255, 0.399)), Some((1.855, 3.736))],
-    [Some((0.072, 0.075)), Some((0.093, 0.101)), Some((0.253, 0.320)), Some((2.043, 2.879))],
-    [Some((0.047, 0.049)), Some((0.067, 0.085)), Some((0.307, 0.422)), Some((2.652, 4.137))],
-    [Some((0.032, 0.032)), Some((0.042, 0.047)), Some((0.136, 0.167)), Some((1.091, 1.577))],
-    [Some((0.064, 0.066)), Some((0.107, 0.138)), Some((0.583, 0.837)), Some((5.152, 7.940))],
-    [Some((0.130, 0.133)), Some((0.173, 0.174)), Some((0.578, 0.601)), Some((4.988, 5.507))],
+    [
+        Some((0.034, 0.035)),
+        Some((0.045, 0.053)),
+        Some((0.170, 0.204)),
+        Some((1.334, 1.939)),
+    ],
+    [
+        Some((0.043, 0.045)),
+        Some((0.067, 0.088)),
+        Some((0.317, 0.462)),
+        Some((2.483, 4.136)),
+    ],
+    [
+        Some((0.120, 0.124)),
+        Some((0.241, 0.283)),
+        Some((1.458, 1.800)),
+        Some((12.656, 16.427)),
+    ],
+    [
+        Some((0.053, 0.055)),
+        Some((0.066, 0.069)),
+        Some((0.459, 0.459)),
+        Some((3.927, 4.190)),
+    ],
+    [
+        Some((0.039, 0.041)),
+        Some((0.051, 0.063)),
+        Some((0.163, 0.241)),
+        Some((1.211, 2.254)),
+    ],
+    [
+        Some((0.020, 0.020)),
+        Some((0.023, 0.023)),
+        Some((0.060, 0.060)),
+        Some((0.368, 0.408)),
+    ],
+    [
+        Some((0.024, 0.025)),
+        Some((0.029, 0.029)),
+        Some((0.083, 0.083)),
+        Some((0.544, 0.607)),
+    ],
+    [
+        Some((0.071, 0.073)),
+        Some((0.118, 0.133)),
+        Some((0.730, 0.800)),
+        Some((10.198, 11.268)),
+    ],
+    [
+        Some((0.109, 0.112)),
+        Some((0.161, 0.191)),
+        Some((0.873, 1.027)),
+        Some((12.439, 14.575)),
+    ],
+    [
+        Some((0.279, 0.297)),
+        Some((0.657, 0.825)),
+        Some((5.088, 6.686)),
+        Some((51.843, 67.198)),
+    ],
+    [
+        Some((0.083, 0.084)),
+        Some((0.162, 0.186)),
+        Some((3.426, 3.584)),
+        None,
+    ],
+    [
+        Some((0.083, 0.086)),
+        Some((0.127, 0.140)),
+        Some((1.717, 1.750)),
+        None,
+    ],
+    [
+        Some((0.050, 0.053)),
+        Some((0.066, 0.087)),
+        Some((0.208, 0.372)),
+        Some((1.436, 3.341)),
+    ],
+    [
+        Some((0.050, 0.052)),
+        Some((0.213, 0.221)),
+        Some((1.789, 1.881)),
+        Some((17.918, 18.371)),
+    ],
+    [
+        Some((0.065, 0.068)),
+        Some((0.082, 0.099)),
+        Some((0.255, 0.399)),
+        Some((1.855, 3.736)),
+    ],
+    [
+        Some((0.072, 0.075)),
+        Some((0.093, 0.101)),
+        Some((0.253, 0.320)),
+        Some((2.043, 2.879)),
+    ],
+    [
+        Some((0.047, 0.049)),
+        Some((0.067, 0.085)),
+        Some((0.307, 0.422)),
+        Some((2.652, 4.137)),
+    ],
+    [
+        Some((0.032, 0.032)),
+        Some((0.042, 0.047)),
+        Some((0.136, 0.167)),
+        Some((1.091, 1.577)),
+    ],
+    [
+        Some((0.064, 0.066)),
+        Some((0.107, 0.138)),
+        Some((0.583, 0.837)),
+        Some((5.152, 7.940)),
+    ],
+    [
+        Some((0.130, 0.133)),
+        Some((0.173, 0.174)),
+        Some((0.578, 0.601)),
+        Some((4.988, 5.507)),
+    ],
 ];
 
 /// Labels for the paper's four document sizes.

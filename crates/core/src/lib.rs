@@ -104,7 +104,10 @@ impl core::fmt::Display for DbError {
         match self {
             DbError::NoSuchDocument { name } => write!(f, "no document named '{name}'"),
             DbError::ReadOnlyDocument { name } => {
-                write!(f, "document '{name}' is stored read-only; reload it as updatable")
+                write!(
+                    f,
+                    "document '{name}' is stored read-only; reload it as updatable"
+                )
             }
             DbError::Storage(e) => write!(f, "{e}"),
             DbError::Path(e) => write!(f, "{e}"),
@@ -317,13 +320,9 @@ fn eval_output<V: TreeView>(view: &V, path: &XPath) -> Result<QueryOutput> {
                     .and_then(|(_, p)| view.pool().prop(p).map(str::to_string))
             })
             .collect(),
-        Value::Number(n) => {
-            if n == n.trunc() && n.abs() < 1e15 {
-                vec![format!("{}", n as i64)]
-            } else {
-                vec![format!("{n}")]
-            }
-        }
+        // XPath string() rendering (integers without a decimal point,
+        // NaN/±Infinity spelled out) — one implementation, in mbxq-xpath.
+        Value::Number(n) => vec![Value::Number(n).to_str(view)],
         Value::Boolean(b) => vec![b.to_string()],
         Value::Str(s) => vec![s],
     };

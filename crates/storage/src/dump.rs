@@ -15,13 +15,18 @@ impl PagedDoc {
     pub fn dump_physical(&self) -> String {
         let mut out = String::new();
         let ps = self.cfg.page_size;
-        let _ = writeln!(out, "pos/size/level table ({} pages of {ps} slots)", self.pages.num_pages());
-        let _ = writeln!(out, "{:>6} {:>6} {:>6} {:>6}  content", "pos", "size", "level", "node");
+        let _ = writeln!(
+            out,
+            "pos/size/level table ({} pages of {ps} slots)",
+            self.pages.num_pages()
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>6} {:>6}  content",
+            "pos", "size", "level", "node"
+        );
         for page in 0..self.pages.num_pages() {
-            let logical = self
-                .pages
-                .physical_to_logical(page)
-                .expect("page exists");
+            let logical = self.pages.physical_to_logical(page).expect("page exists");
             let _ = writeln!(out, "-- physical page {page} (logical {logical}) --");
             for slot in 0..ps {
                 let pos = page * ps + slot;
@@ -120,8 +125,7 @@ mod tests {
     use crate::update::InsertPosition;
     use mbxq_xml::Document;
 
-    const PAPER_DOC: &str =
-        "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
+    const PAPER_DOC: &str = "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
 
     #[test]
     fn physical_dump_shows_pages_and_runs() {

@@ -72,7 +72,9 @@ pub fn check_paged(doc: &PagedDoc) -> Result<()> {
                     )));
                 }
                 if doc.node[pos] != NO_NODE {
-                    return Err(corrupt(format!("unused slot {pos} still carries a node id")));
+                    return Err(corrupt(format!(
+                        "unused slot {pos} still carries a node id"
+                    )));
                 }
             }
         }
@@ -149,19 +151,13 @@ pub fn check_paged(doc: &PagedDoc) -> Result<()> {
                         "level jump from {top_lvl} to {lvl} at pre {q}"
                     )))
                 }
-                None => {
-                    return Err(corrupt(format!(
-                        "second root at pre {q} (level {lvl})"
-                    )))
-                }
+                None => return Err(corrupt(format!("second root at pre {q} (level {lvl})"))),
             }
             // This tuple consumes one descendant slot in every open
             // ancestor.
             for (_, rem) in stack.iter_mut() {
                 if *rem == 0 {
-                    return Err(corrupt(format!(
-                        "ancestor size exhausted before pre {q}"
-                    )));
+                    return Err(corrupt(format!("ancestor size exhausted before pre {q}")));
                 }
                 *rem -= 1;
             }

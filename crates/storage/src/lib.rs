@@ -49,13 +49,13 @@ pub mod vacuum;
 pub mod values;
 pub mod view;
 
+pub use naive::{NaiveDoc, NaiveReport};
 pub use paged::{PagedDoc, PagedStats};
 pub use readonly::ReadOnlyDoc;
 pub use types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
-pub use naive::{NaiveDoc, NaiveReport};
 pub use update::{DeleteReport, InsertCase, InsertPosition, InsertReport};
-pub use values::{PropId, QnId, ValuePool};
 pub use vacuum::VacuumReport;
+pub use values::{PropId, QnId, ValuePool};
 pub use view::TreeView;
 
 /// Result alias for storage operations.

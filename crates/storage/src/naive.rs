@@ -252,7 +252,8 @@ impl NaiveDoc {
         let mut attrs = Vec::new();
         self.stage(subtree, base_level, &mut staged, &mut attrs);
         let n = staged.len() as u64;
-        self.node_pre.extend(std::iter::repeat_n(None, staged.len()));
+        self.node_pre
+            .extend(std::iter::repeat_n(None, staged.len()));
         for (node, qn, prop) in attrs {
             self.push_attr(node, qn, prop);
         }
@@ -519,9 +520,7 @@ mod tests {
         let mut d = NaiveDoc::parse_str(PAPER_DOC).unwrap();
         let g = d.pre_to_node(6).unwrap();
         let sub = Document::parse_fragment("<k><l/><m/></k>").unwrap();
-        let report = d
-            .insert(InsertPosition::LastChildOf(g), &sub)
-            .unwrap();
+        let report = d.insert(InsertPosition::LastChildOf(g), &sub).unwrap();
         assert_eq!(report.changed, 3);
         assert_eq!(report.shifted, 3); // h, i, j shift — O(following)
         assert_eq!(report.ancestors_updated, 3);

@@ -570,7 +570,7 @@ mod tests {
         assert_eq!(TreeView::size(&d, 0), 9); // a
         assert_eq!(TreeView::size(&d, 5), 4); // f
         assert_eq!(TreeView::size(&d, 8), 2); // h
-        // Unused run lengths: slot 7 run of 1; slots 11..16 run of 5.
+                                              // Unused run lengths: slot 7 run of 1; slots 11..16 run of 5.
         assert_eq!(TreeView::size(&d, 7), 1);
         assert_eq!(TreeView::size(&d, 11), 5);
         assert_eq!(TreeView::size(&d, 12), 4);

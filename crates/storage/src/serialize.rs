@@ -77,7 +77,9 @@ pub fn subtree_to_node<V: TreeView + ?Sized>(view: &V, pre: u64) -> Result<Node>
             let ValueRef(v) = view.value_ref(pre).ok_or(StorageError::Corrupt {
                 message: format!("comment at pre {pre} has no value"),
             })?;
-            Ok(Node::Comment(view.pool().comment(v).unwrap_or("").to_string()))
+            Ok(Node::Comment(
+                view.pool().comment(v).unwrap_or("").to_string(),
+            ))
         }
         Kind::ProcessingInstruction => {
             let ValueRef(v) = view.value_ref(pre).ok_or(StorageError::Corrupt {

@@ -233,7 +233,9 @@ impl PagedDoc {
     /// Replaces the content of the text/comment/instruction node `target`.
     pub fn update_value(&mut self, target: NodeId, new_value: &str) -> Result<()> {
         let pre = self.node_to_pre(target)?;
-        let pos = self.pos_of_pre(pre).ok_or(StorageError::BadNode { node: target })?;
+        let pos = self
+            .pos_of_pre(pre)
+            .ok_or(StorageError::BadNode { node: target })?;
         let v = match self.kind[pos] {
             Kind::Text => self.pool.intern_text(new_value),
             Kind::Comment => self.pool.intern_comment(new_value),
@@ -260,7 +262,9 @@ impl PagedDoc {
     /// Renames the element `target` (XUpdate `rename`).
     pub fn rename(&mut self, target: NodeId, name: &QName) -> Result<()> {
         let pre = self.node_to_pre(target)?;
-        let pos = self.pos_of_pre(pre).ok_or(StorageError::BadNode { node: target })?;
+        let pos = self
+            .pos_of_pre(pre)
+            .ok_or(StorageError::BadNode { node: target })?;
         if self.kind[pos] != Kind::Element {
             return Err(StorageError::InvalidTarget {
                 message: "rename targets an element".into(),
@@ -274,7 +278,9 @@ impl PagedDoc {
     /// Sets (adds or replaces) an attribute on the element `target`.
     pub fn set_attribute(&mut self, target: NodeId, name: &QName, value: &str) -> Result<()> {
         let pre = self.node_to_pre(target)?;
-        let pos = self.pos_of_pre(pre).ok_or(StorageError::BadNode { node: target })?;
+        let pos = self
+            .pos_of_pre(pre)
+            .ok_or(StorageError::BadNode { node: target })?;
         if self.kind[pos] != Kind::Element {
             return Err(StorageError::InvalidTarget {
                 message: "attributes can only be set on elements".into(),
@@ -299,7 +305,9 @@ impl PagedDoc {
     /// attribute was actually removed.
     pub fn remove_attribute(&mut self, target: NodeId, name: &QName) -> Result<bool> {
         let pre = self.node_to_pre(target)?;
-        let pos = self.pos_of_pre(pre).ok_or(StorageError::BadNode { node: target })?;
+        let pos = self
+            .pos_of_pre(pre)
+            .ok_or(StorageError::BadNode { node: target })?;
         let node = self.node[pos];
         let Some(qn) = self.pool.lookup_qname(name) else {
             return Ok(false);
@@ -336,10 +344,7 @@ impl PagedDoc {
     /// Resolves an [`InsertPosition`] to `(insert_pre, parent_pre,
     /// base_level)` in the current view. `insert_pre` is the view slot at
     /// which the subtree's first tuple must be placed.
-    fn resolve_insert(
-        &self,
-        position: InsertPosition,
-    ) -> Result<(u64, Option<u64>, u16)> {
+    fn resolve_insert(&self, position: InsertPosition) -> Result<(u64, Option<u64>, u16)> {
         match position {
             InsertPosition::Before(t) => {
                 let pre = self.node_to_pre(t)?;
@@ -606,7 +611,7 @@ mod tests {
         assert_eq!(k_pre, 7);
         let l_pre = d.node_to_pre(node_of(&d, "l")).unwrap();
         assert_eq!(l_pre, 8); // first slot of the spliced page
-        // h shifted from pre 8 to pre 16 purely through the view.
+                              // h shifted from pre 8 to pre 16 purely through the view.
         let h_pre = d.node_to_pre(node_of(&d, "h")).unwrap();
         assert_eq!(h_pre, 16);
         assert_eq!(d.stats().pages, 3);
@@ -678,7 +683,7 @@ mod tests {
         let report = d.delete(h).unwrap();
         assert_eq!(report.deleted, 3); // h, i, j
         assert_eq!(report.ancestors_updated, 2); // f, a
-        // No pre shifts for surviving nodes.
+                                                 // No pre shifts for surviving nodes.
         assert_eq!(d.node_to_pre(node_of(&d, "g")).unwrap(), g_pre_before);
         assert_eq!(names_in_order(&d), ["a", "b", "c", "d", "e", "f", "g"]);
         let a_pre = d.node_to_pre(node_of(&d, "a")).unwrap();

@@ -120,8 +120,7 @@ mod tests {
     use crate::update::InsertPosition;
     use mbxq_xml::Document;
 
-    const DOC: &str =
-        "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
+    const DOC: &str = "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
 
     fn fragmented_doc() -> PagedDoc {
         let cfg = PageConfig::new(8, 88).unwrap();
@@ -173,11 +172,8 @@ mod tests {
     #[test]
     fn vacuum_preserves_node_ids_and_attributes() {
         let cfg = PageConfig::new(8, 75).unwrap();
-        let mut d = PagedDoc::parse_str(
-            r#"<r><a id="one"/><b id="two"><c/></b></r>"#,
-            cfg,
-        )
-        .unwrap();
+        let mut d =
+            PagedDoc::parse_str(r#"<r><a id="one"/><b id="two"><c/></b></r>"#, cfg).unwrap();
         let a = d.pre_to_node(1).unwrap();
         let b = d.pre_to_node(2).unwrap();
         d.delete(a).unwrap();

@@ -38,9 +38,8 @@ use mbxq_storage::{InsertPosition, NodeId, PagedDoc, StorageError, TreeView};
 use mbxq_xml::Node;
 use mbxq_xpath::XPath;
 use op::Op;
-use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 use wal::{Wal, WalRecord};
 
@@ -193,7 +192,7 @@ impl Store {
     /// one atomic refcount increment; the snapshot stays valid and
     /// immutable no matter what commits afterwards.
     pub fn snapshot(&self) -> Arc<PagedDoc> {
-        self.doc.read().clone()
+        self.doc.read().unwrap().clone()
     }
 
     /// Begins a write transaction.
@@ -211,9 +210,9 @@ impl Store {
 
     /// Consumes the store, returning the current document and the WAL.
     pub fn into_parts(self) -> (PagedDoc, Wal) {
-        let doc = Arc::try_unwrap(self.doc.into_inner())
-            .unwrap_or_else(|arc| (*arc).clone());
-        (doc, self.wal.into_inner())
+        let doc =
+            Arc::try_unwrap(self.doc.into_inner().unwrap()).unwrap_or_else(|arc| (*arc).clone());
+        (doc, self.wal.into_inner().unwrap())
     }
 
     /// Runs `f` with the committed document (convenience for queries that
@@ -438,7 +437,7 @@ impl WriteTxn<'_> {
         }
 
         // ---- global write lock: the short critical section ----
-        let _global = store.commit_lock.lock();
+        let _global = store.commit_lock.lock().unwrap();
 
         // Build the new version by applying the logical redo ops. Node
         // ids pin the targets, so ops staged against the snapshot apply
@@ -451,7 +450,7 @@ impl WriteTxn<'_> {
             ops: ops.len(),
             ..CommitInfo::default()
         };
-        let current = store.doc.read().clone();
+        let current = store.doc.read().unwrap().clone();
         let mut new_doc = (*current).clone();
         for op in &ops {
             let (ins, del, anc) = op.apply(&mut new_doc)?;
@@ -475,7 +474,7 @@ impl WriteTxn<'_> {
         // commit, it consists of a single I/O" — one logical record
         // carrying all redo entries plus the commit marker.
         {
-            let mut wal = store.wal.lock();
+            let mut wal = store.wal.lock().unwrap();
             let res = wal.append(&WalRecord::Commit {
                 txn: self.id,
                 ops: ops.clone(),
@@ -489,7 +488,7 @@ impl WriteTxn<'_> {
         }
 
         // Publish.
-        *store.doc.write() = Arc::new(new_doc);
+        *store.doc.write().unwrap() = Arc::new(new_doc);
         store.locks.release_all(self.id);
         Ok(info)
     }
@@ -549,11 +548,7 @@ fn demote(e: TxnError) -> StorageError {
 /// selections and later commands see the effects of earlier ones (via
 /// the private workspace), nothing is visible outside until commit.
 impl mbxq_xupdate::UpdateTarget for WriteTxn<'_> {
-    fn xu_insert(
-        &mut self,
-        position: InsertPosition,
-        subtree: &Node,
-    ) -> mbxq_storage::Result<u64> {
+    fn xu_insert(&mut self, position: InsertPosition, subtree: &Node) -> mbxq_storage::Result<u64> {
         let n = subtree.tuple_count();
         self.insert(position, subtree).map_err(demote)?;
         Ok(n)
@@ -660,9 +655,7 @@ mod tests {
         let s = store(AncestorLockMode::Delta);
         let before = s.snapshot();
         let mut t = s.begin();
-        let people = t
-            .select(&XPath::parse("/site/people").unwrap())
-            .unwrap();
+        let people = t.select(&XPath::parse("/site/people").unwrap()).unwrap();
         let frag = Document::parse_fragment("<person id=\"p9\"/>").unwrap();
         t.insert(InsertPosition::LastChildOf(people[0]), &frag)
             .unwrap();
@@ -680,9 +673,7 @@ mod tests {
         let s = store(AncestorLockMode::Delta);
         let before = to_xml(s.snapshot().as_ref()).unwrap();
         let mut t = s.begin();
-        let person = t
-            .select(&XPath::parse("//person").unwrap())
-            .unwrap();
+        let person = t.select(&XPath::parse("//person").unwrap()).unwrap();
         t.delete(person[0]).unwrap();
         t.abort();
         assert_eq!(to_xml(s.snapshot().as_ref()).unwrap(), before);
@@ -828,15 +819,17 @@ mod tests {
         for i in 0..5 {
             let mut t = s.begin();
             let people = t.select(&XPath::parse("/site/people").unwrap()).unwrap();
-            let frag =
-                Document::parse_fragment(&format!("<person id=\"g{i}\"/>")).unwrap();
+            let frag = Document::parse_fragment(&format!("<person id=\"g{i}\"/>")).unwrap();
             t.insert(InsertPosition::LastChildOf(people[0]), &frag)
                 .unwrap();
             t.commit().unwrap();
         }
         assert_eq!(to_xml(snap.as_ref()).unwrap(), baseline);
         assert_eq!(
-            to_xml(s.snapshot().as_ref()).unwrap().matches("person").count(),
+            to_xml(s.snapshot().as_ref())
+                .unwrap()
+                .matches("person")
+                .count(),
             baseline.matches("person").count() + 5 // 5 self-closing elements
         );
     }

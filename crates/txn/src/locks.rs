@@ -6,8 +6,8 @@
 //! upgrade, blocking waits with timeout (which doubles as deadlock
 //! resolution: a waiter that times out aborts its transaction).
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::TxnId;
@@ -60,16 +60,18 @@ impl LockManager {
         timeout: Duration,
     ) -> std::result::Result<(), usize> {
         let deadline = Instant::now() + timeout;
-        let mut table = self.table.lock();
+        let mut table = self.table.lock().unwrap();
         loop {
             let lock = table.entry(page).or_default();
             if lock.can_read(txn) {
                 lock.readers.insert(txn);
                 return Ok(());
             }
-            if self.released.wait_until(&mut table, deadline).timed_out() {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(page);
             }
+            table = self.released.wait_timeout(table, deadline - now).unwrap().0;
         }
     }
 
@@ -82,7 +84,7 @@ impl LockManager {
         timeout: Duration,
     ) -> std::result::Result<(), usize> {
         let deadline = Instant::now() + timeout;
-        let mut table = self.table.lock();
+        let mut table = self.table.lock().unwrap();
         loop {
             let lock = table.entry(page).or_default();
             if lock.can_write(txn) {
@@ -90,16 +92,18 @@ impl LockManager {
                 lock.writer = Some(txn);
                 return Ok(());
             }
-            if self.released.wait_until(&mut table, deadline).timed_out() {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(page);
             }
+            table = self.released.wait_timeout(table, deadline - now).unwrap().0;
         }
     }
 
     /// Releases every lock `txn` holds (strict 2PL: all at end of
     /// transaction).
     pub fn release_all(&self, txn: TxnId) {
-        let mut table = self.table.lock();
+        let mut table = self.table.lock().unwrap();
         table.retain(|_, lock| {
             lock.readers.remove(&txn);
             if lock.writer == Some(txn) {
@@ -114,13 +118,14 @@ impl LockManager {
     pub fn is_write_locked(&self, page: usize) -> bool {
         self.table
             .lock()
+            .unwrap()
             .get(&page)
             .is_some_and(|l| l.writer.is_some())
     }
 
     /// Number of pages with any lock held.
     pub fn locked_pages(&self) -> usize {
-        self.table.lock().len()
+        self.table.lock().unwrap().len()
     }
 }
 
@@ -172,9 +177,7 @@ mod tests {
         let lm = std::sync::Arc::new(LockManager::new());
         lm.acquire_write(1, 7, T).unwrap();
         let lm2 = lm.clone();
-        let h = std::thread::spawn(move || {
-            lm2.acquire_write(2, 7, Duration::from_secs(5))
-        });
+        let h = std::thread::spawn(move || lm2.acquire_write(2, 7, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(20));
         lm.release_all(1);
         assert!(h.join().unwrap().is_ok());

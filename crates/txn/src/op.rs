@@ -147,9 +147,11 @@ impl Op {
 
     /// Parses one encoded op.
     pub(crate) fn decode(input: &str) -> Result<Op> {
-        let bad = |m: &str| TxnError::Wal(crate::wal::WalError::Corrupt {
-            message: m.to_string(),
-        });
+        let bad = |m: &str| {
+            TxnError::Wal(crate::wal::WalError::Corrupt {
+                message: m.to_string(),
+            })
+        };
         let mut rest = input;
         let mut next_token = || -> Result<&str> {
             rest = rest.trim_start();

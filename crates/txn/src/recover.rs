@@ -59,11 +59,15 @@ mod tests {
         if let Some(limit) = crash_at {
             wal.crash_after_bytes(limit);
         }
-        let store = Store::open(doc, wal, StoreConfig {
-            ancestor_mode: AncestorLockMode::Delta,
-            lock_timeout: std::time::Duration::from_millis(200),
-            validate_on_commit: true,
-        });
+        let store = Store::open(
+            doc,
+            wal,
+            StoreConfig {
+                ancestor_mode: AncestorLockMode::Delta,
+                lock_timeout: std::time::Duration::from_millis(200),
+                validate_on_commit: true,
+            },
+        );
         let mut final_xml = None;
         let mut crashed = false;
         for i in 0..4 {
@@ -75,9 +79,10 @@ mod tests {
                     break;
                 }
             };
-            let frag =
-                Document::parse_fragment(&format!("<person id=\"g{i}\"><name>N{i}</name></person>"))
-                    .unwrap();
+            let frag = Document::parse_fragment(&format!(
+                "<person id=\"g{i}\"><name>N{i}</name></person>"
+            ))
+            .unwrap();
             t.insert(InsertPosition::LastChildOf(people[0]), &frag)
                 .unwrap();
             if i == 2 {

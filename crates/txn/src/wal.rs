@@ -100,10 +100,7 @@ impl Wal {
             .map_err(|e| WalError::Io {
                 message: e.to_string(),
             })?;
-        let bytes_written = file
-            .metadata()
-            .map(|m| m.len() as usize)
-            .unwrap_or(0);
+        let bytes_written = file.metadata().map(|m| m.len() as usize).unwrap_or(0);
         Ok(Wal {
             backend: Backend::File(file, path.to_path_buf()),
             crash_after_bytes: None,
@@ -149,12 +146,13 @@ impl Wal {
                 buf.extend_from_slice(bytes);
                 Ok(())
             }
-            Backend::File(f, _) => f
-                .write_all(bytes)
-                .and_then(|_| f.flush())
-                .map_err(|e| WalError::Io {
-                    message: e.to_string(),
-                }),
+            Backend::File(f, _) => {
+                f.write_all(bytes)
+                    .and_then(|_| f.flush())
+                    .map_err(|e| WalError::Io {
+                        message: e.to_string(),
+                    })
+            }
         }
     }
 
@@ -338,10 +336,17 @@ mod tests {
     #[test]
     fn empty_payload_commit() {
         let mut wal = Wal::in_memory();
-        wal.append(&WalRecord::Commit { txn: 1, ops: vec![] }).unwrap();
+        wal.append(&WalRecord::Commit {
+            txn: 1,
+            ops: vec![],
+        })
+        .unwrap();
         assert_eq!(
             wal.read_all().unwrap(),
-            vec![WalRecord::Commit { txn: 1, ops: vec![] }]
+            vec![WalRecord::Commit {
+                txn: 1,
+                ops: vec![]
+            }]
         );
     }
 }

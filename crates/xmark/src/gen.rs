@@ -8,9 +8,8 @@
 //! pair always yields byte-identical XML — the `ro` and `up` schemas in
 //! the Figure 9 harness load exactly the same document.
 
+use crate::rng::StdRng;
 use crate::text;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write;
 
 /// Generator parameters.
@@ -146,8 +145,9 @@ impl Gen<'_> {
             text::words(self.rng, 3)
         );
         self.description();
-        self.out.push_str("<shipping>Will ship internationally</shipping>");
-        let ncat = self.rng.gen_range(1..4).min(self.cfg.categories());
+        self.out
+            .push_str("<shipping>Will ship internationally</shipping>");
+        let ncat = self.rng.gen_range(1..4usize).min(self.cfg.categories());
         for _ in 0..ncat {
             let c = self.rng.gen_range(0..self.cfg.categories());
             let _ = write!(self.out, "<incategory category=\"category{c}\"/>");
@@ -271,8 +271,7 @@ impl Gen<'_> {
             // Profile; income drives Q11/Q12/Q20. About 10 % of profiles
             // carry no income attribute (Q20's fourth bracket).
             if self.rng.gen_bool(0.9) {
-                let income =
-                    (self.rng.gen_range(20_000.0..150_000.0f64) * 100.0).round() / 100.0;
+                let income = (self.rng.gen_range(20_000.0..150_000.0f64) * 100.0).round() / 100.0;
                 let _ = write!(self.out, "<profile income=\"{income:.2}\">");
             } else {
                 self.out.push_str("<profile>");
@@ -285,7 +284,11 @@ impl Gen<'_> {
                 let _ = write!(self.out, "<education>Graduate School</education>");
             }
             if self.rng.gen_bool(0.5) {
-                let g = if self.rng.gen_bool(0.5) { "male" } else { "female" };
+                let g = if self.rng.gen_bool(0.5) {
+                    "male"
+                } else {
+                    "female"
+                };
                 let _ = write!(self.out, "<gender>{g}</gender>");
             }
             let _ = write!(
@@ -377,10 +380,7 @@ impl Gen<'_> {
 
     fn annotation(&mut self) {
         let p = self.rng.gen_range(0..self.cfg.persons());
-        let _ = write!(
-            self.out,
-            "<annotation><author person=\"person{p}\"/>"
-        );
+        let _ = write!(self.out, "<annotation><author person=\"person{p}\"/>");
         self.description();
         let _ = write!(
             self.out,

@@ -20,6 +20,7 @@
 
 pub mod gen;
 pub mod queries;
+pub mod rng;
 mod text;
 
 pub use gen::{generate, generate_tree, XMarkConfig};

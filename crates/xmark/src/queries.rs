@@ -12,7 +12,7 @@
 //! order-sensitive FNV checksum of its output values, so the benchmark
 //! harness can assert that both schemas computed identical answers.
 
-use mbxq_axes::{children, step, Axis, NodeTest};
+use mbxq_axes::{children, step, step_lifted, Axis, ContextSeq, NodeTest};
 use mbxq_storage::TreeView;
 use mbxq_xml::QName;
 use mbxq_xpath::XPath;
@@ -158,14 +158,22 @@ fn q1<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
     Ok(result_from(hits.len(), f))
 }
 
-/// Q2: the increase of the first bid of every open auction.
+/// Q2: the increase of the first bid of every open auction. The
+/// `for $a in //open_auction return $a/bidder[1]` loop runs as one
+/// loop-lifted child step over all auctions at once.
 fn q2<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
     let auctions = sel(view, "/site/open_auctions/open_auction")?;
+    let bidders = step_lifted(
+        view,
+        &ContextSeq::lift(&auctions),
+        Axis::Child,
+        &NodeTest::Name(QName::local("bidder")),
+    );
     let mut f = Fnv::new();
     let mut rows = 0;
-    for &a in &auctions {
-        if let Some(b) = child_named(view, a, "bidder") {
-            if let Some(inc) = child_named(view, b, "increase") {
+    for iter in bidders.iter_ids() {
+        if let Some(&first) = bidders.pres_of_iter(iter).first() {
+            if let Some(inc) = child_named(view, first, "increase") {
                 f.feed(&view.string_value(inc));
                 rows += 1;
             }
@@ -178,16 +186,22 @@ fn q2<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 /// bid; returns (first increase, last increase).
 fn q3<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
     let auctions = sel(view, "/site/open_auctions/open_auction")?;
+    let per_auction = step_lifted(
+        view,
+        &ContextSeq::lift(&auctions),
+        Axis::Child,
+        &NodeTest::Name(QName::local("bidder")),
+    );
     let mut f = Fnv::new();
     let mut rows = 0;
-    for &a in &auctions {
-        let bidders = children_named(view, a, "bidder");
+    for iter in per_auction.iter_ids() {
+        let bidders = per_auction.pres_of_iter(iter);
         if bidders.len() < 2 {
             continue;
         }
         let first_inc = child_named(view, bidders[0], "increase").map(|p| num(view, p));
-        let last_inc = child_named(view, bidders[bidders.len() - 1], "increase")
-            .map(|p| num(view, p));
+        let last_inc =
+            child_named(view, bidders[bidders.len() - 1], "increase").map(|p| num(view, p));
         if let (Some(x), Some(y)) = (first_inc, last_inc) {
             if x * 2.0 <= y {
                 f.feed(&format!("{x:.2}|{y:.2}"));
@@ -238,14 +252,15 @@ fn q5<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
     Ok(result_from(count.max(1), f))
 }
 
-/// Q6: number of items per region (descendant count under each region).
+/// Q6: number of items per region — one loop-lifted descendant staircase
+/// join for all regions, then a per-iteration count.
 fn q6<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
     let regions = sel(view, "/site/regions/*")?;
     let item = NodeTest::Name(QName::local("item"));
+    let items = step_lifted(view, &ContextSeq::lift(&regions), Axis::Descendant, &item);
     let mut f = Fnv::new();
-    for &r in &regions {
-        let n = step(view, &[r], Axis::Descendant, &item).len();
-        f.feed(&n.to_string());
+    for iter in 0..regions.len() as u32 {
+        f.feed(&items.pres_of_iter(iter).len().to_string());
     }
     Ok(result_from(regions.len(), f))
 }

@@ -6,35 +6,108 @@
 //! documents are deterministic per seed and text-predicate selectivities
 //! are stable across runs.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 
 /// Vocabulary sampled for prose.
 pub(crate) const WORDS: &[&str] = &[
-    "against", "ancient", "argosies", "beseech", "bondman", "calamity", "candle", "caesar",
-    "disgrace", "dream", "emerald", "empire", "fortune", "gentle", "gold", "gracious",
-    "honour", "hollow", "juliet", "kingdom", "labour", "lament", "marble", "merchant",
-    "midnight", "mirth", "noble", "oracle", "orchard", "pageant", "purse", "quarrel",
-    "raiment", "reason", "romeo", "scepter", "shadow", "silver", "sonnet", "sovereign",
-    "tempest", "thunder", "treason", "twilight", "velvet", "venture", "whisper", "wonder",
+    "against",
+    "ancient",
+    "argosies",
+    "beseech",
+    "bondman",
+    "calamity",
+    "candle",
+    "caesar",
+    "disgrace",
+    "dream",
+    "emerald",
+    "empire",
+    "fortune",
+    "gentle",
+    "gold",
+    "gracious",
+    "honour",
+    "hollow",
+    "juliet",
+    "kingdom",
+    "labour",
+    "lament",
+    "marble",
+    "merchant",
+    "midnight",
+    "mirth",
+    "noble",
+    "oracle",
+    "orchard",
+    "pageant",
+    "purse",
+    "quarrel",
+    "raiment",
+    "reason",
+    "romeo",
+    "scepter",
+    "shadow",
+    "silver",
+    "sonnet",
+    "sovereign",
+    "tempest",
+    "thunder",
+    "treason",
+    "twilight",
+    "velvet",
+    "venture",
+    "whisper",
+    "wonder",
 ];
 
 /// Location / country names for addresses and item locations.
 pub(crate) const COUNTRIES: &[&str] = &[
-    "United States", "Germany", "Netherlands", "Japan", "Brazil", "Kenya", "Australia",
-    "India", "Canada", "France", "Italy", "Spain",
+    "United States",
+    "Germany",
+    "Netherlands",
+    "Japan",
+    "Brazil",
+    "Kenya",
+    "Australia",
+    "India",
+    "Canada",
+    "France",
+    "Italy",
+    "Spain",
 ];
 
 /// City names.
 pub(crate) const CITIES: &[&str] = &[
-    "Amsterdam", "Konstanz", "Kyoto", "Nairobi", "Recife", "Perth", "Pune", "Toronto",
-    "Lyon", "Turin", "Sevilla", "Boston",
+    "Amsterdam",
+    "Konstanz",
+    "Kyoto",
+    "Nairobi",
+    "Recife",
+    "Perth",
+    "Pune",
+    "Toronto",
+    "Lyon",
+    "Turin",
+    "Sevilla",
+    "Boston",
 ];
 
 /// Personal names (first) for `<name>` elements.
 pub(crate) const FIRST_NAMES: &[&str] = &[
-    "Ada", "Alan", "Barbara", "Edsger", "Grace", "Hedy", "John", "Katherine", "Ken",
-    "Leslie", "Margaret", "Niklaus", "Radia", "Tony",
+    "Ada",
+    "Alan",
+    "Barbara",
+    "Edsger",
+    "Grace",
+    "Hedy",
+    "John",
+    "Katherine",
+    "Ken",
+    "Leslie",
+    "Margaret",
+    "Niklaus",
+    "Radia",
+    "Tony",
 ];
 
 /// Personal names (last).
@@ -62,14 +135,13 @@ pub(crate) fn words(rng: &mut StdRng, n: usize) -> String {
 
 /// A sentence of 4–14 words.
 pub(crate) fn sentence(rng: &mut StdRng) -> String {
-    let n = rng.gen_range(4..15);
+    let n = rng.gen_range(4..15usize);
     words(rng, n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn words_are_deterministic_per_seed() {

@@ -215,7 +215,11 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err(XmlError::UnexpectedEof { context: "attribute value" }),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "attribute value",
+                    })
+                }
                 Some(b) if b == quote => {
                     self.advance(1);
                     return Ok(out);
@@ -248,7 +252,9 @@ impl<'a> Parser<'a> {
                 loop {
                     match self.peek() {
                         None => {
-                            return Err(XmlError::UnexpectedEof { context: "element content" })
+                            return Err(XmlError::UnexpectedEof {
+                                context: "element content",
+                            })
                         }
                         Some(b'<') => {
                             if self.starts_with("<![CDATA[") {
@@ -387,7 +393,11 @@ impl<'a> Parser<'a> {
                 loop {
                     self.skip_whitespace();
                     match self.peek() {
-                        None => return Err(XmlError::UnexpectedEof { context: "start tag" }),
+                        None => {
+                            return Err(XmlError::UnexpectedEof {
+                                context: "start tag",
+                            })
+                        }
                         Some(b'>') => {
                             self.advance(1);
                             self.stack.push(name.clone());

@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn simple_round_trip() {
-        assert_eq!(round_trip("<a><b/>x<c k=\"v\"/></a>"), "<a><b/>x<c k=\"v\"/></a>");
+        assert_eq!(
+            round_trip("<a><b/>x<c k=\"v\"/></a>"),
+            "<a><b/>x<c k=\"v\"/></a>"
+        );
     }
 
     #[test]

@@ -145,11 +145,7 @@ impl Node {
     /// itself plus all descendants (attributes live in their own table
     /// and do not count, exactly like the paper's `size` column).
     pub fn tuple_count(&self) -> u64 {
-        1 + self
-            .children()
-            .iter()
-            .map(Node::tuple_count)
-            .sum::<u64>()
+        1 + self.children().iter().map(Node::tuple_count).sum::<u64>()
     }
 
     /// Concatenated descendant text (the XPath string value of an
@@ -280,12 +276,12 @@ mod tests {
         let d = Document::parse("<a><b><c/></b>text<b2 k=\"v\"/></a>").unwrap();
         assert_eq!(d.root.name().unwrap().local, "a");
         assert_eq!(d.root.children().len(), 3);
-        assert_eq!(d.root.children()[0].children()[0].name().unwrap().local, "c");
-        assert_eq!(d.root.children()[1], Node::Text("text".into()));
         assert_eq!(
-            d.root.children()[2].attributes()[0].1,
-            "v".to_string()
+            d.root.children()[0].children()[0].name().unwrap().local,
+            "c"
         );
+        assert_eq!(d.root.children()[1], Node::Text("text".into()));
+        assert_eq!(d.root.children()[2].attributes()[0].1, "v".to_string());
     }
 
     #[test]

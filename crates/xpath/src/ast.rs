@@ -69,6 +69,11 @@ pub struct PathExpr {
     pub absolute: bool,
     /// Optional primary-expression start (`(expr)/step/…`).
     pub start: Option<Box<Expr>>,
+    /// Filter predicates applied directly to the start expression
+    /// (`(expr)[pred]`). Unlike step predicates, these see the *whole*
+    /// start node-set as one context: `(//b)[2]` is the second `b` in
+    /// the document, not the second `b` per parent.
+    pub start_predicates: Vec<Expr>,
     /// The steps, applied left to right.
     pub steps: Vec<Step>,
 }

@@ -1,8 +1,21 @@
-//! Evaluator: compiles the AST onto the staircase-join engine.
+//! Evaluator: compiles the AST onto the loop-lifted staircase-join
+//! engine.
+//!
+//! Every location step — top-level or nested inside a predicate — is
+//! executed *set-at-a-time*: the whole context flows through
+//! [`step_lifted`] as a [`ContextSeq`] (an `(iter, pre)` relation) and
+//! each axis is evaluated in **one** operator invocation per step, never
+//! once per context node. Predicates follow the same discipline: the
+//! candidate relation is expanded so that every candidate becomes its own
+//! iteration (Pathfinder's loop-lifting of the implicit `for` over the
+//! context), the predicate expression is evaluated for *all* iterations
+//! in one pass ([`eval_lifted`]), and a row mask selects the survivors.
+//! Loop-invariant subexpressions (literals, absolute paths) are hoisted:
+//! they evaluate once and broadcast as [`Lifted::Const`].
 
 use crate::ast::{ArithOp, CmpOp, Expr, PathExpr, Step, StepTest};
 use crate::{Result, XPathError};
-use mbxq_axes::{step as axis_step, Axis};
+use mbxq_axes::{step_lifted, Axis, ContextSeq, NodeTest};
 use mbxq_storage::{QnId, TreeView};
 
 /// An XPath 1.0 value.
@@ -97,12 +110,31 @@ fn attr_value<V: TreeView + ?Sized>(view: &V, owner: u64, qn: QnId) -> Option<St
 }
 
 fn str_to_number(s: &str) -> f64 {
-    s.trim().parse::<f64>().unwrap_or(f64::NAN)
+    let t = s.trim();
+    // Rust's f64 parser accepts "inf"/"NaN" spellings XPath does not, and
+    // XPath numbers have no exponent syntax.
+    if t.is_empty()
+        || t.chars()
+            .any(|c| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        || t.matches('-').count() > 1
+        || (t.contains('-') && !t.starts_with('-'))
+    {
+        return f64::NAN;
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
 }
 
-fn format_number(n: f64) -> String {
+/// XPath 1.0 `string()` rendering of a number (§4.4 of the spec): `NaN`,
+/// signed `Infinity`, integers without a decimal point (negative zero
+/// renders as `0`), everything else in decimal form.
+pub(crate) fn format_number(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity" } else { "-Infinity" }.to_string()
+    } else if n == 0.0 {
+        // Covers -0.0: XPath renders both zeros as "0".
+        "0".to_string()
     } else if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
@@ -139,45 +171,64 @@ pub(crate) fn eval_expr<V: TreeView + ?Sized>(
         Expr::Arith(op, a, b) => {
             let x = eval_expr(view, a, context)?.to_number(view);
             let y = eval_expr(view, b, context)?.to_number(view);
-            let r = match op {
-                ArithOp::Add => x + y,
-                ArithOp::Sub => x - y,
-                ArithOp::Mul => x * y,
-                ArithOp::Div => x / y,
-                ArithOp::Mod => x % y,
-            };
-            Ok(Value::Number(r))
+            Ok(Value::Number(apply_arith(*op, x, y)))
         }
         Expr::Neg(e) => Ok(Value::Number(-eval_expr(view, e, context)?.to_number(view))),
         Expr::Union(a, b) => {
             let va = eval_expr(view, a, context)?;
             let vb = eval_expr(view, b, context)?;
-            match (va, vb) {
-                (Value::Nodes(mut x), Value::Nodes(y)) => {
-                    x.extend(y);
-                    x.sort_unstable();
-                    x.dedup();
-                    Ok(Value::Nodes(x))
-                }
-                (Value::Attrs(mut x), Value::Attrs(y)) => {
-                    x.extend(y);
-                    x.sort_unstable_by_key(|&(p, q)| (p, q.0));
-                    x.dedup();
-                    Ok(Value::Attrs(x))
-                }
-                (a, b) => Err(XPathError::Eval {
-                    message: format!(
-                        "union requires node sets, got {} and {}",
-                        a.type_name(),
-                        b.type_name()
-                    ),
-                }),
-            }
+            union_values(va, vb)
         }
         Expr::Literal(s) => Ok(Value::Str(s.clone())),
         Expr::Number(n) => Ok(Value::Number(*n)),
-        Expr::Call(name, args) => eval_call(view, name, args, context, None),
+        Expr::Call(name, args) => {
+            if name == "position" || name == "last" {
+                return Err(XPathError::Eval {
+                    message: format!("{name}() outside a predicate"),
+                });
+            }
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval_expr(view, a, context)?);
+            }
+            apply_fn(view, name, &argv, context.first().copied())
+        }
         Expr::Path(p) => eval_path(view, p, context),
+    }
+}
+
+fn apply_arith(op: ArithOp, x: f64, y: f64) -> f64 {
+    match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => x / y,
+        ArithOp::Mod => x % y,
+    }
+}
+
+/// The `|` operator on already-evaluated operands.
+fn union_values(a: Value, b: Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Nodes(mut x), Value::Nodes(y)) => {
+            x.extend(y);
+            x.sort_unstable();
+            x.dedup();
+            Ok(Value::Nodes(x))
+        }
+        (Value::Attrs(mut x), Value::Attrs(y)) => {
+            x.extend(y);
+            x.sort_unstable_by_key(|&(p, q)| (p, q.0));
+            x.dedup();
+            Ok(Value::Attrs(x))
+        }
+        (a, b) => Err(XPathError::Eval {
+            message: format!(
+                "union requires node sets, got {} and {}",
+                a.type_name(),
+                b.type_name()
+            ),
+        }),
     }
 }
 
@@ -241,16 +292,15 @@ fn compare<V: TreeView + ?Sized>(view: &V, op: CmpOp, a: &Value, b: &Value) -> b
     }
 }
 
-/// Position info available inside a predicate.
-struct PredicateCtx {
-    position: usize,
-    last: usize,
-}
+// ---------------------------------------------------------------------
+// Path evaluation — every step runs loop-lifted
+// ---------------------------------------------------------------------
 
 fn eval_path<V: TreeView + ?Sized>(view: &V, path: &PathExpr, context: &[u64]) -> Result<Value> {
     let mut steps = path.steps.iter();
     let mut current: Value = if let Some(start) = &path.start {
-        eval_expr(view, start, context)?
+        let v = eval_expr(view, start, context)?;
+        apply_filter_predicates(view, v, &path.start_predicates)?
     } else if path.absolute {
         // Absolute paths start at the (virtual) *document node*, whose
         // only tree child is the root element: `/site` matches the root
@@ -270,6 +320,29 @@ fn eval_path<V: TreeView + ?Sized>(view: &V, path: &PathExpr, context: &[u64]) -
     Ok(current)
 }
 
+/// Applies `(expr)[pred]` filter predicates: the whole node-set is one
+/// context sequence (one group, document order), unlike step predicates
+/// which scope `position()` per context node.
+fn apply_filter_predicates<V: TreeView + ?Sized>(
+    view: &V,
+    input: Value,
+    predicates: &[Expr],
+) -> Result<Value> {
+    if predicates.is_empty() {
+        return Ok(input);
+    }
+    let Value::Nodes(ns) = input else {
+        return Err(XPathError::Eval {
+            message: format!("cannot filter a {}", input.type_name()),
+        });
+    };
+    let mut seq = ContextSeq::single_iter(ns);
+    for pred in predicates {
+        seq = filter_predicate_lifted(view, seq, pred, false)?;
+    }
+    Ok(Value::Nodes(seq.pres))
+}
+
 /// Evaluates the first step of an absolute path against the virtual
 /// document node.
 fn eval_step_from_document<V: TreeView + ?Sized>(view: &V, step: &Step) -> Result<Value> {
@@ -278,22 +351,24 @@ fn eval_step_from_document<V: TreeView + ?Sized>(view: &V, step: &Step) -> Resul
         StepTest::Tree(Axis::Child | Axis::SelfAxis, test) => {
             // The document node's only child is the root element; `/self`
             // degenerates to the same singleton.
-            let mut cands: Vec<u64> = root
+            let cands: Vec<u64> = root
                 .into_iter()
                 .filter(|&r| test.matches(view, r))
                 .collect();
+            let mut seq = ContextSeq::single_iter(cands);
             for pred in &step.predicates {
-                cands = filter_predicate(view, &cands, pred)?;
+                seq = filter_predicate_lifted(view, seq, pred, false)?;
             }
-            Ok(Value::Nodes(cands))
+            Ok(Value::Nodes(seq.pres))
         }
         StepTest::Tree(Axis::Descendant | Axis::DescendantOrSelf, test) => {
             // Every tree node descends from the document node.
-            let mut cands = axis_step(view, &root, Axis::DescendantOrSelf, test);
+            let ctx = ContextSeq::single_iter(root);
+            let mut cands = step_lifted(view, &ctx, Axis::DescendantOrSelf, test);
             for pred in &step.predicates {
-                cands = filter_predicate(view, &cands, pred)?;
+                cands = filter_predicate_lifted(view, cands, pred, false)?;
             }
-            Ok(Value::Nodes(cands))
+            Ok(Value::Nodes(cands.pres))
         }
         StepTest::Tree(axis, _) => Err(XPathError::Eval {
             message: format!("axis {axis:?} cannot start from the document node"),
@@ -320,138 +395,547 @@ fn eval_step<V: TreeView + ?Sized>(view: &V, input: &Value, step: &Step) -> Resu
                     message: "predicates on attribute steps are not supported".into(),
                 });
             }
-            let mut out = Vec::new();
-            for &n in nodes {
-                for (qn, _) in view.attributes(n) {
-                    let keep = match name {
-                        Some(want) => view.pool().qname(qn).is_some_and(|q| q == want),
-                        None => true,
-                    };
-                    if keep {
-                        out.push((n, qn));
-                    }
-                }
-            }
-            Ok(Value::Attrs(out))
+            let seq = ContextSeq::single_iter(nodes.clone());
+            Ok(Value::Attrs(
+                lifted_attributes(view, &seq, name.as_ref()).attrs,
+            ))
         }
         StepTest::Tree(axis, test) => {
-            // The reverse axes present candidates in document order here;
-            // positional predicates on them follow reverse order per the
-            // spec — supported by reversing the candidate list first.
-            let reverse = matches!(
-                axis,
-                Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling
-            );
-            if step.predicates.is_empty() {
-                return Ok(Value::Nodes(axis_step(view, nodes, *axis, test)));
-            }
-            // With predicates, position() is per context node.
-            let mut out = Vec::new();
-            for &c in nodes {
-                let mut cands = axis_step(view, &[c], *axis, test);
-                if reverse {
-                    cands.reverse();
-                }
-                for pred in &step.predicates {
-                    cands = filter_predicate(view, &cands, pred)?;
-                }
-                out.extend(cands);
-            }
-            out.sort_unstable();
-            out.dedup();
-            Ok(Value::Nodes(out))
+            let ctx = ContextSeq::single_iter(nodes.clone());
+            let out = lifted_tree_step(view, &ctx, *axis, test, &step.predicates)?;
+            Ok(Value::Nodes(out.merged_pres()))
         }
     }
 }
 
-fn filter_predicate<V: TreeView + ?Sized>(
+/// One loop-lifted tree-axis step over a whole context relation,
+/// predicates included. With no predicates this is a single
+/// [`step_lifted`] invocation; with predicates, every `(iter, node)` row
+/// is first expanded into its own nested iteration so each context node
+/// owns its candidate list (the XPath `position()` scope), the
+/// predicates run set-at-a-time over that nested relation, and the
+/// survivors are regrouped under the outer iterations.
+fn lifted_tree_step<V: TreeView + ?Sized>(
     view: &V,
-    candidates: &[u64],
-    pred: &Expr,
-) -> Result<Vec<u64>> {
-    let last = candidates.len();
-    let mut out = Vec::new();
-    for (i, &node) in candidates.iter().enumerate() {
-        let ctx = PredicateCtx {
-            position: i + 1,
-            last,
-        };
-        let v = eval_pred_expr(view, pred, node, &ctx)?;
-        let keep = match v {
-            // A bare number predicate means position() = n.
-            Value::Number(n) => (ctx.position as f64) == n,
-            other => other.to_boolean(),
-        };
-        if keep {
-            out.push(node);
-        }
+    input: &ContextSeq,
+    axis: Axis,
+    test: &NodeTest,
+    predicates: &[Expr],
+) -> Result<ContextSeq> {
+    if predicates.is_empty() {
+        return Ok(step_lifted(view, input, axis, test));
     }
-    Ok(out)
+    // Reverse axes produce candidates here in document order; positional
+    // predicates on them count from the far end per the XPath spec.
+    let reverse = matches!(
+        axis,
+        Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling
+    );
+    let expanded = ContextSeq::lift(&input.pres);
+    let mut cands = step_lifted(view, &expanded, axis, test);
+    for pred in predicates {
+        cands = filter_predicate_lifted(view, cands, pred, reverse)?;
+    }
+    // Map the nested iterations (one per input row) back to the outer
+    // iteration ids and merge groups that share one.
+    let row_tags: Vec<u32> = cands
+        .iters
+        .iter()
+        .map(|&row| input.iters[row as usize])
+        .collect();
+    Ok(cands.regroup(&row_tags))
 }
 
-/// Evaluates an expression inside a predicate, where `position()` /
-/// `last()` are defined and the context is a single node.
-fn eval_pred_expr<V: TreeView + ?Sized>(
+/// Applies one predicate to a candidate relation in a single lifted
+/// pass: positions are computed per group, the expression is evaluated
+/// for all candidates at once (each candidate is the context node of its
+/// own iteration), and a row mask keeps the survivors.
+fn filter_predicate_lifted<V: TreeView + ?Sized>(
+    view: &V,
+    cands: ContextSeq,
+    pred: &Expr,
+    reverse: bool,
+) -> Result<ContextSeq> {
+    if cands.is_empty() {
+        return Ok(cands);
+    }
+    let (pos, last) = cands.positions(reverse);
+    let info = PredInfo {
+        pos: &pos,
+        last: &last,
+    };
+    let v = eval_lifted(view, pred, &cands.pres, Some(&info))?;
+    // A bare number predicate means position() = n.
+    let keep: Vec<bool> = match &v {
+        Lifted::Const(Value::Number(n)) => pos.iter().map(|&p| p == *n).collect(),
+        Lifted::Numbers(ns) => ns.iter().zip(&pos).map(|(&n, &p)| p == n).collect(),
+        other => (0..cands.len())
+            .map(|i| other.value_at(i).to_boolean())
+            .collect(),
+    };
+    Ok(cands.retain_rows(&keep))
+}
+
+// ---------------------------------------------------------------------
+// Lifted expression evaluation
+// ---------------------------------------------------------------------
+
+/// `position()` / `last()` vectors for the current predicate scope, one
+/// entry per iteration.
+struct PredInfo<'a> {
+    pos: &'a [f64],
+    last: &'a [f64],
+}
+
+/// Iteration-tagged attribute relation (`iter, owner pre, name id`).
+struct AttrSeq {
+    iters: Vec<u32>,
+    attrs: Vec<(u64, QnId)>,
+}
+
+impl AttrSeq {
+    fn of_iter(&self, iter: u32) -> Vec<(u64, QnId)> {
+        let lo = self.iters.partition_point(|&i| i < iter);
+        let hi = self.iters.partition_point(|&i| i <= iter);
+        self.attrs[lo..hi].to_vec()
+    }
+}
+
+/// The result of evaluating an expression over a whole iteration domain
+/// at once — one logical value per iteration.
+enum Lifted {
+    /// Loop-invariant: the same value in every iteration (computed once).
+    Const(Value),
+    /// Per-iteration node sets.
+    Nodes(ContextSeq),
+    /// Per-iteration attribute sets.
+    Attrs(AttrSeq),
+    /// One number per iteration.
+    Numbers(Vec<f64>),
+    /// One boolean per iteration.
+    Booleans(Vec<bool>),
+    /// One string per iteration.
+    Strs(Vec<String>),
+}
+
+impl Lifted {
+    /// Materializes iteration `i`'s value.
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            Lifted::Const(v) => v.clone(),
+            Lifted::Nodes(cs) => Value::Nodes(cs.pres_of_iter(i as u32).to_vec()),
+            Lifted::Attrs(a) => Value::Attrs(a.of_iter(i as u32)),
+            Lifted::Numbers(v) => Value::Number(v[i]),
+            Lifted::Booleans(v) => Value::Boolean(v[i]),
+            Lifted::Strs(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    fn is_const(&self) -> bool {
+        matches!(self, Lifted::Const(_))
+    }
+}
+
+/// Evaluates `expr` once for a whole iteration domain: iteration `i` has
+/// the single context node `ctx[i]` (and, inside a predicate,
+/// `pred.pos[i]` / `pred.last[i]`). This is the loop-lifted image of
+/// "evaluate the expression for every context node".
+fn eval_lifted<V: TreeView + ?Sized>(
     view: &V,
     expr: &Expr,
-    node: u64,
-    ctx: &PredicateCtx,
-) -> Result<Value> {
+    ctx: &[u64],
+    pred: Option<&PredInfo<'_>>,
+) -> Result<Lifted> {
+    let n = ctx.len();
     match expr {
         Expr::Or(a, b) => {
-            if eval_pred_expr(view, a, node, ctx)?.to_boolean() {
-                return Ok(Value::Boolean(true));
+            let va = eval_lifted(view, a, ctx, pred)?;
+            if let Lifted::Const(v) = &va {
+                if v.to_boolean() {
+                    return Ok(Lifted::Const(Value::Boolean(true)));
+                }
+                let vb = eval_lifted(view, b, ctx, pred)?;
+                return Ok(to_booleans(vb, n));
             }
-            Ok(Value::Boolean(
-                eval_pred_expr(view, b, node, ctx)?.to_boolean(),
-            ))
+            // XPath short-circuits per context node: evaluate the right
+            // operand only for the iterations the left one left
+            // undecided (restricting the loop relation, not looping).
+            let mut out: Vec<bool> = (0..n).map(|i| va.value_at(i).to_boolean()).collect();
+            let undecided: Vec<usize> = (0..n).filter(|&i| !out[i]).collect();
+            if !undecided.is_empty() {
+                let vb = eval_on_rows(view, b, ctx, pred, &undecided)?;
+                for (k, &i) in undecided.iter().enumerate() {
+                    out[i] = vb[k];
+                }
+            }
+            Ok(Lifted::Booleans(out))
         }
         Expr::And(a, b) => {
-            if !eval_pred_expr(view, a, node, ctx)?.to_boolean() {
-                return Ok(Value::Boolean(false));
+            let va = eval_lifted(view, a, ctx, pred)?;
+            if let Lifted::Const(v) = &va {
+                if !v.to_boolean() {
+                    return Ok(Lifted::Const(Value::Boolean(false)));
+                }
+                let vb = eval_lifted(view, b, ctx, pred)?;
+                return Ok(to_booleans(vb, n));
             }
-            Ok(Value::Boolean(
-                eval_pred_expr(view, b, node, ctx)?.to_boolean(),
-            ))
+            let mut out: Vec<bool> = (0..n).map(|i| va.value_at(i).to_boolean()).collect();
+            let undecided: Vec<usize> = (0..n).filter(|&i| out[i]).collect();
+            if !undecided.is_empty() {
+                let vb = eval_on_rows(view, b, ctx, pred, &undecided)?;
+                for (k, &i) in undecided.iter().enumerate() {
+                    out[i] = vb[k];
+                }
+            }
+            Ok(Lifted::Booleans(out))
         }
         Expr::Compare(op, a, b) => {
-            let va = eval_pred_expr(view, a, node, ctx)?;
-            let vb = eval_pred_expr(view, b, node, ctx)?;
-            Ok(Value::Boolean(compare(view, *op, &va, &vb)))
+            let va = eval_lifted(view, a, ctx, pred)?;
+            let vb = eval_lifted(view, b, ctx, pred)?;
+            if let (Lifted::Const(x), Lifted::Const(y)) = (&va, &vb) {
+                return Ok(Lifted::Const(Value::Boolean(compare(view, *op, x, y))));
+            }
+            Ok(Lifted::Booleans(
+                (0..n)
+                    .map(|i| compare(view, *op, &va.value_at(i), &vb.value_at(i)))
+                    .collect(),
+            ))
         }
         Expr::Arith(op, a, b) => {
-            let x = eval_pred_expr(view, a, node, ctx)?.to_number(view);
-            let y = eval_pred_expr(view, b, node, ctx)?.to_number(view);
-            let r = match op {
-                ArithOp::Add => x + y,
-                ArithOp::Sub => x - y,
-                ArithOp::Mul => x * y,
-                ArithOp::Div => x / y,
-                ArithOp::Mod => x % y,
-            };
-            Ok(Value::Number(r))
+            let va = eval_lifted(view, a, ctx, pred)?;
+            let vb = eval_lifted(view, b, ctx, pred)?;
+            if let (Lifted::Const(x), Lifted::Const(y)) = (&va, &vb) {
+                return Ok(Lifted::Const(Value::Number(apply_arith(
+                    *op,
+                    x.to_number(view),
+                    y.to_number(view),
+                ))));
+            }
+            Ok(Lifted::Numbers(
+                (0..n)
+                    .map(|i| {
+                        apply_arith(
+                            *op,
+                            va.value_at(i).to_number(view),
+                            vb.value_at(i).to_number(view),
+                        )
+                    })
+                    .collect(),
+            ))
         }
-        Expr::Neg(e) => Ok(Value::Number(
-            -eval_pred_expr(view, e, node, ctx)?.to_number(view),
-        )),
-        Expr::Call(name, args) => eval_call(view, name, args, &[node], Some(ctx)),
-        _ => eval_expr(view, expr, &[node]),
+        Expr::Neg(e) => {
+            let v = eval_lifted(view, e, ctx, pred)?;
+            if let Lifted::Const(x) = &v {
+                return Ok(Lifted::Const(Value::Number(-x.to_number(view))));
+            }
+            Ok(Lifted::Numbers(
+                (0..n).map(|i| -v.value_at(i).to_number(view)).collect(),
+            ))
+        }
+        Expr::Union(a, b) => {
+            let va = eval_lifted(view, a, ctx, pred)?;
+            let vb = eval_lifted(view, b, ctx, pred)?;
+            if va.is_const() && vb.is_const() {
+                return Ok(Lifted::Const(union_values(va.value_at(0), vb.value_at(0))?));
+            }
+            let mut nodes = ContextSeq::new();
+            let mut attrs: Option<AttrSeq> = None;
+            for i in 0..n {
+                match union_values(va.value_at(i), vb.value_at(i))? {
+                    Value::Nodes(ns) => {
+                        for p in ns {
+                            nodes.push(i as u32, p);
+                        }
+                    }
+                    Value::Attrs(ats) => {
+                        let acc = attrs.get_or_insert_with(|| AttrSeq {
+                            iters: Vec::new(),
+                            attrs: Vec::new(),
+                        });
+                        for at in ats {
+                            acc.iters.push(i as u32);
+                            acc.attrs.push(at);
+                        }
+                    }
+                    _ => unreachable!("union yields node sets"),
+                }
+            }
+            Ok(match attrs {
+                Some(a) => Lifted::Attrs(a),
+                None => Lifted::Nodes(nodes),
+            })
+        }
+        Expr::Literal(s) => Ok(Lifted::Const(Value::Str(s.clone()))),
+        Expr::Number(x) => Ok(Lifted::Const(Value::Number(*x))),
+        Expr::Call(name, args) => eval_call_lifted(view, name, args, ctx, pred),
+        Expr::Path(p) => eval_path_lifted(view, p, ctx, pred),
     }
 }
 
-fn eval_call<V: TreeView + ?Sized>(
+/// Evaluates `expr` over the sub-domain selected by `rows` (indices into
+/// the current domain) and returns one boolean per selected row — the
+/// restricted loop relation behind per-iteration short-circuiting.
+fn eval_on_rows<V: TreeView + ?Sized>(
+    view: &V,
+    expr: &Expr,
+    ctx: &[u64],
+    pred: Option<&PredInfo<'_>>,
+    rows: &[usize],
+) -> Result<Vec<bool>> {
+    let sub_ctx: Vec<u64> = rows.iter().map(|&i| ctx[i]).collect();
+    let sub_vectors = pred.map(|info| {
+        (
+            rows.iter().map(|&i| info.pos[i]).collect::<Vec<f64>>(),
+            rows.iter().map(|&i| info.last[i]).collect::<Vec<f64>>(),
+        )
+    });
+    let sub_info = sub_vectors
+        .as_ref()
+        .map(|(pos, last)| PredInfo { pos, last });
+    let v = eval_lifted(view, expr, &sub_ctx, sub_info.as_ref())?;
+    Ok((0..rows.len())
+        .map(|k| v.value_at(k).to_boolean())
+        .collect())
+}
+
+fn to_booleans(v: Lifted, n: usize) -> Lifted {
+    match v {
+        Lifted::Const(x) => Lifted::Const(Value::Boolean(x.to_boolean())),
+        Lifted::Booleans(b) => Lifted::Booleans(b),
+        other => Lifted::Booleans((0..n).map(|i| other.value_at(i).to_boolean()).collect()),
+    }
+}
+
+/// Lifted path evaluation. Absolute paths are loop-invariant — they
+/// evaluate once against the document and broadcast. Relative paths
+/// start from each iteration's context node and run every step through
+/// [`lifted_tree_step`].
+fn eval_path_lifted<V: TreeView + ?Sized>(
+    view: &V,
+    path: &PathExpr,
+    ctx: &[u64],
+    pred: Option<&PredInfo<'_>>,
+) -> Result<Lifted> {
+    let n = ctx.len();
+    if path.start.is_none() && path.absolute {
+        return Ok(Lifted::Const(eval_path(view, path, &[])?));
+    }
+    let mut current: ContextSeq = match &path.start {
+        Some(start) => {
+            let mut v = eval_lifted(view, start, ctx, pred)?;
+            if !path.start_predicates.is_empty() {
+                // Filter predicates see each iteration's whole node-set
+                // as one context sequence; an invariant set stays
+                // invariant (the predicate only reads the candidates).
+                v = match v {
+                    Lifted::Const(flat) => {
+                        Lifted::Const(apply_filter_predicates(view, flat, &path.start_predicates)?)
+                    }
+                    Lifted::Nodes(mut cs) => {
+                        for p in &path.start_predicates {
+                            cs = filter_predicate_lifted(view, cs, p, false)?;
+                        }
+                        Lifted::Nodes(cs)
+                    }
+                    other => {
+                        return Err(XPathError::Eval {
+                            message: format!("cannot filter a {}", lifted_type_name(&other)),
+                        })
+                    }
+                };
+            }
+            if path.steps.is_empty() {
+                return Ok(v);
+            }
+            match v {
+                Lifted::Nodes(cs) => cs,
+                Lifted::Const(Value::Nodes(ns)) => {
+                    // Broadcast the invariant set into every iteration.
+                    let mut cs = ContextSeq::new();
+                    for i in 0..n {
+                        for &p in &ns {
+                            cs.push(i as u32, p);
+                        }
+                    }
+                    cs
+                }
+                other => {
+                    return Err(XPathError::Eval {
+                        message: format!(
+                            "cannot apply a location step to a {}",
+                            lifted_type_name(&other)
+                        ),
+                    })
+                }
+            }
+        }
+        None => {
+            // Relative path: iteration i starts at its context node.
+            let mut cs = ContextSeq::new();
+            for (i, &p) in ctx.iter().enumerate() {
+                cs.push(i as u32, p);
+            }
+            cs
+        }
+    };
+    let mut attrs: Option<AttrSeq> = None;
+    for step in &path.steps {
+        if attrs.is_some() {
+            return Err(XPathError::Eval {
+                message: "cannot apply a location step to a attribute-set".into(),
+            });
+        }
+        match &step.test {
+            StepTest::Attribute(name) => {
+                if !step.predicates.is_empty() {
+                    return Err(XPathError::Eval {
+                        message: "predicates on attribute steps are not supported".into(),
+                    });
+                }
+                attrs = Some(lifted_attributes(view, &current, name.as_ref()));
+            }
+            StepTest::Tree(axis, test) => {
+                current = lifted_tree_step(view, &current, *axis, test, &step.predicates)?;
+            }
+        }
+    }
+    Ok(match attrs {
+        Some(a) => Lifted::Attrs(a),
+        None => Lifted::Nodes(current),
+    })
+}
+
+fn lifted_type_name(v: &Lifted) -> &'static str {
+    match v {
+        Lifted::Const(x) => x.type_name(),
+        Lifted::Nodes(_) => "node-set",
+        Lifted::Attrs(_) => "attribute-set",
+        Lifted::Numbers(_) => "number",
+        Lifted::Booleans(_) => "boolean",
+        Lifted::Strs(_) => "string",
+    }
+}
+
+/// The lifted attribute step: one pass over the `(iter, owner)` relation
+/// collecting (optionally name-filtered) attributes, tags preserved.
+fn lifted_attributes<V: TreeView + ?Sized>(
+    view: &V,
+    input: &ContextSeq,
+    name: Option<&mbxq_xml::QName>,
+) -> AttrSeq {
+    let mut out = AttrSeq {
+        iters: Vec::new(),
+        attrs: Vec::new(),
+    };
+    for (iter, owner) in input.iter() {
+        for (qn, _) in view.attributes(owner) {
+            let keep = match name {
+                Some(want) => view.pool().qname(qn).is_some_and(|q| q == want),
+                None => true,
+            };
+            if keep {
+                out.iters.push(iter);
+                out.attrs.push((owner, qn));
+            }
+        }
+    }
+    out
+}
+
+/// Lifted function application. `position()`/`last()` read the predicate
+/// vectors; every other function with loop-invariant arguments is hoisted
+/// and computed once; the rest apply element-wise across the domain.
+fn eval_call_lifted<V: TreeView + ?Sized>(
     view: &V,
     name: &str,
     args: &[Expr],
-    context: &[u64],
-    pred: Option<&PredicateCtx>,
-) -> Result<Value> {
-    let eval_arg = |i: usize| -> Result<Value> {
-        match pred {
-            Some(ctx) if context.len() == 1 => eval_pred_expr(view, &args[i], context[0], ctx),
-            _ => eval_expr(view, &args[i], context),
+    ctx: &[u64],
+    pred: Option<&PredInfo<'_>>,
+) -> Result<Lifted> {
+    match name {
+        "position" => {
+            let info = pred.ok_or(XPathError::Eval {
+                message: "position() outside a predicate".into(),
+            })?;
+            if !args.is_empty() {
+                return Err(XPathError::Eval {
+                    message: format!("position() expects 0 argument(s), got {}", args.len()),
+                });
+            }
+            Ok(Lifted::Numbers(info.pos.to_vec()))
         }
-    };
+        "last" => {
+            let info = pred.ok_or(XPathError::Eval {
+                message: "last() outside a predicate".into(),
+            })?;
+            if !args.is_empty() {
+                return Err(XPathError::Eval {
+                    message: format!("last() expects 0 argument(s), got {}", args.len()),
+                });
+            }
+            Ok(Lifted::Numbers(info.last.to_vec()))
+        }
+        _ => {
+            let mut largs = Vec::with_capacity(args.len());
+            for a in args {
+                largs.push(eval_lifted(view, a, ctx, pred)?);
+            }
+            // `string()` / `number()` / `name()` / `local-name()` with no
+            // arguments read the context node, so they cannot be hoisted.
+            let context_free =
+                !(args.is_empty() && matches!(name, "string" | "number" | "name" | "local-name"));
+            if context_free && largs.iter().all(Lifted::is_const) {
+                let flat: Vec<Value> = largs.iter().map(|a| a.value_at(0)).collect();
+                return Ok(Lifted::Const(apply_fn(view, name, &flat, None)?));
+            }
+            let mut vals = Vec::with_capacity(ctx.len());
+            for (i, &node) in ctx.iter().enumerate() {
+                let argv: Vec<Value> = largs.iter().map(|a| a.value_at(i)).collect();
+                vals.push(apply_fn(view, name, &argv, Some(node))?);
+            }
+            Ok(pack_values(vals))
+        }
+    }
+}
+
+/// Packs per-iteration scalar results into a columnar [`Lifted`]. All
+/// entries share one kind (each function has a fixed return type).
+fn pack_values(vals: Vec<Value>) -> Lifted {
+    match vals.first() {
+        None => Lifted::Booleans(Vec::new()),
+        Some(Value::Number(_)) => Lifted::Numbers(
+            vals.into_iter()
+                .map(|v| match v {
+                    Value::Number(x) => x,
+                    _ => f64::NAN,
+                })
+                .collect(),
+        ),
+        Some(Value::Boolean(_)) => Lifted::Booleans(
+            vals.into_iter()
+                .map(|v| matches!(v, Value::Boolean(true)))
+                .collect(),
+        ),
+        _ => Lifted::Strs(
+            vals.into_iter()
+                .map(|v| match v {
+                    Value::Str(s) => s,
+                    other => other.type_name().to_string(),
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// The core function library on already-evaluated arguments.
+/// `position()` and `last()` never reach here — both call sites resolve
+/// them against the predicate scope first.
+fn apply_fn<V: TreeView + ?Sized>(
+    view: &V,
+    name: &str,
+    args: &[Value],
+    ctx_node: Option<u64>,
+) -> Result<Value> {
     let arity = |want: usize| -> Result<()> {
         if args.len() == want {
             Ok(())
@@ -462,23 +946,9 @@ fn eval_call<V: TreeView + ?Sized>(
         }
     };
     match name {
-        "position" => {
-            arity(0)?;
-            let ctx = pred.ok_or(XPathError::Eval {
-                message: "position() outside a predicate".into(),
-            })?;
-            Ok(Value::Number(ctx.position as f64))
-        }
-        "last" => {
-            arity(0)?;
-            let ctx = pred.ok_or(XPathError::Eval {
-                message: "last() outside a predicate".into(),
-            })?;
-            Ok(Value::Number(ctx.last as f64))
-        }
         "count" => {
             arity(1)?;
-            match eval_arg(0)? {
+            match &args[0] {
                 Value::Nodes(ns) => Ok(Value::Number(ns.len() as f64)),
                 Value::Attrs(a) => Ok(Value::Number(a.len() as f64)),
                 other => Err(XPathError::Eval {
@@ -488,8 +958,7 @@ fn eval_call<V: TreeView + ?Sized>(
         }
         "sum" => {
             arity(1)?;
-            let v = eval_arg(0)?;
-            let total: f64 = v
+            let total: f64 = args[0]
                 .string_values(view)
                 .iter()
                 .map(|s| str_to_number(s))
@@ -499,32 +968,28 @@ fn eval_call<V: TreeView + ?Sized>(
         "string" => {
             if args.is_empty() {
                 return Ok(Value::Str(
-                    context
-                        .first()
-                        .map_or(String::new(), |&p| view.string_value(p)),
+                    ctx_node.map_or(String::new(), |p| view.string_value(p)),
                 ));
             }
             arity(1)?;
-            Ok(Value::Str(eval_arg(0)?.to_str(view)))
+            Ok(Value::Str(args[0].to_str(view)))
         }
         "number" => {
             if args.is_empty() {
                 return Ok(Value::Number(
-                    context
-                        .first()
-                        .map_or(f64::NAN, |&p| str_to_number(&view.string_value(p))),
+                    ctx_node.map_or(f64::NAN, |p| str_to_number(&view.string_value(p))),
                 ));
             }
             arity(1)?;
-            Ok(Value::Number(eval_arg(0)?.to_number(view)))
+            Ok(Value::Number(args[0].to_number(view)))
         }
         "boolean" => {
             arity(1)?;
-            Ok(Value::Boolean(eval_arg(0)?.to_boolean()))
+            Ok(Value::Boolean(args[0].to_boolean()))
         }
         "not" => {
             arity(1)?;
-            Ok(Value::Boolean(!eval_arg(0)?.to_boolean()))
+            Ok(Value::Boolean(!args[0].to_boolean()))
         }
         "true" => {
             arity(0)?;
@@ -536,23 +1001,23 @@ fn eval_call<V: TreeView + ?Sized>(
         }
         "contains" => {
             arity(2)?;
-            let a = eval_arg(0)?.to_str(view);
-            let b = eval_arg(1)?.to_str(view);
+            let a = args[0].to_str(view);
+            let b = args[1].to_str(view);
             Ok(Value::Boolean(a.contains(&b)))
         }
         "starts-with" => {
             arity(2)?;
-            let a = eval_arg(0)?.to_str(view);
-            let b = eval_arg(1)?.to_str(view);
+            let a = args[0].to_str(view);
+            let b = args[1].to_str(view);
             Ok(Value::Boolean(a.starts_with(&b)))
         }
         "string-length" => {
             arity(1)?;
-            Ok(Value::Number(eval_arg(0)?.to_str(view).chars().count() as f64))
+            Ok(Value::Number(args[0].to_str(view).chars().count() as f64))
         }
         "normalize-space" => {
             arity(1)?;
-            let s = eval_arg(0)?.to_str(view);
+            let s = args[0].to_str(view);
             Ok(Value::Str(
                 s.split_whitespace().collect::<Vec<_>>().join(" "),
             ))
@@ -564,8 +1029,8 @@ fn eval_call<V: TreeView + ?Sized>(
                 });
             }
             let mut out = String::new();
-            for i in 0..args.len() {
-                out.push_str(&eval_arg(i)?.to_str(view));
+            for a in args {
+                out.push_str(&a.to_str(view));
             }
             Ok(Value::Str(out))
         }
@@ -575,30 +1040,32 @@ fn eval_call<V: TreeView + ?Sized>(
                     message: "substring() takes 2 or 3 arguments".into(),
                 });
             }
-            let s = eval_arg(0)?.to_str(view);
-            let start = eval_arg(1)?.to_number(view).round() as i64;
+            let s = args[0].to_str(view);
+            let start = args[1].to_number(view).round() as i64;
             let chars: Vec<char> = s.chars().collect();
             let from = (start - 1).max(0) as usize;
             let to = if args.len() == 3 {
-                let len = eval_arg(2)?.to_number(view).round() as i64;
+                let len = args[2].to_number(view).round() as i64;
                 ((start - 1 + len).max(0) as usize).min(chars.len())
             } else {
                 chars.len()
             };
-            Ok(Value::Str(chars[from.min(chars.len())..to].iter().collect()))
+            Ok(Value::Str(
+                chars[from.min(chars.len())..to].iter().collect(),
+            ))
         }
         "substring-before" => {
             arity(2)?;
-            let a = eval_arg(0)?.to_str(view);
-            let b = eval_arg(1)?.to_str(view);
+            let a = args[0].to_str(view);
+            let b = args[1].to_str(view);
             Ok(Value::Str(
                 a.find(&b).map(|i| a[..i].to_string()).unwrap_or_default(),
             ))
         }
         "substring-after" => {
             arity(2)?;
-            let a = eval_arg(0)?.to_str(view);
-            let b = eval_arg(1)?.to_str(view);
+            let a = args[0].to_str(view);
+            let b = args[1].to_str(view);
             Ok(Value::Str(
                 a.find(&b)
                     .map(|i| a[i + b.len()..].to_string())
@@ -607,9 +1074,9 @@ fn eval_call<V: TreeView + ?Sized>(
         }
         "translate" => {
             arity(3)?;
-            let s = eval_arg(0)?.to_str(view);
-            let from: Vec<char> = eval_arg(1)?.to_str(view).chars().collect();
-            let to: Vec<char> = eval_arg(2)?.to_str(view).chars().collect();
+            let s = args[0].to_str(view);
+            let from: Vec<char> = args[1].to_str(view).chars().collect();
+            let to: Vec<char> = args[2].to_str(view).chars().collect();
             let out: String = s
                 .chars()
                 .filter_map(|c| match from.iter().position(|&f| f == c) {
@@ -621,26 +1088,29 @@ fn eval_call<V: TreeView + ?Sized>(
         }
         "floor" => {
             arity(1)?;
-            Ok(Value::Number(eval_arg(0)?.to_number(view).floor()))
+            Ok(Value::Number(args[0].to_number(view).floor()))
         }
         "ceiling" => {
             arity(1)?;
-            Ok(Value::Number(eval_arg(0)?.to_number(view).ceil()))
+            Ok(Value::Number(args[0].to_number(view).ceil()))
         }
         "round" => {
             arity(1)?;
-            Ok(Value::Number(eval_arg(0)?.to_number(view).round()))
+            Ok(Value::Number(args[0].to_number(view).round()))
         }
         "name" | "local-name" => {
             let target = if args.is_empty() {
-                context.first().copied()
+                ctx_node
             } else {
                 arity(1)?;
-                match eval_arg(0)? {
+                match &args[0] {
                     Value::Nodes(ns) => ns.first().copied(),
                     other => {
                         return Err(XPathError::Eval {
-                            message: format!("{name}() needs a node set, got {}", other.type_name()),
+                            message: format!(
+                                "{name}() needs a node set, got {}",
+                                other.type_name()
+                            ),
                         })
                     }
                 }
@@ -661,5 +1131,43 @@ fn eval_call<V: TreeView + ?Sized>(
         other => Err(XPathError::Eval {
             message: format!("unknown function '{other}'"),
         }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_number_integers_without_point() {
+        assert_eq!(format_number(0.0), "0");
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(-17.0), "-17");
+        assert_eq!(format_number(1e14), "100000000000000");
+    }
+
+    #[test]
+    fn format_number_special_values() {
+        assert_eq!(format_number(f64::NAN), "NaN");
+        assert_eq!(format_number(f64::INFINITY), "Infinity");
+        assert_eq!(format_number(f64::NEG_INFINITY), "-Infinity");
+        assert_eq!(format_number(-0.0), "0", "negative zero renders as 0");
+    }
+
+    #[test]
+    fn format_number_decimals() {
+        assert_eq!(format_number(1.5), "1.5");
+        assert_eq!(format_number(-0.25), "-0.25");
+    }
+
+    #[test]
+    fn str_to_number_rejects_rusty_spellings() {
+        assert!(str_to_number("inf").is_nan());
+        assert!(str_to_number("NaN").is_nan());
+        assert!(str_to_number("1e3").is_nan());
+        assert!(str_to_number("").is_nan());
+        assert_eq!(str_to_number(" 42 "), 42.0);
+        assert_eq!(str_to_number("-1.5"), -1.5);
+        assert!(str_to_number("1-2").is_nan());
     }
 }

@@ -277,7 +277,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>> {
                 }
                 if len == 0 {
                     return Err(XPathError::Parse {
-                        message: format!("unexpected character '{}'", &src[i..].chars().next().unwrap()),
+                        message: format!(
+                            "unexpected character '{}'",
+                            &src[i..].chars().next().unwrap()
+                        ),
                         offset: start,
                     });
                 }

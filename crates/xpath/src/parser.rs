@@ -53,9 +53,7 @@ impl Parser<'_> {
     }
 
     fn offset(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map_or(self.src_len, |t| t.offset)
+        self.tokens.get(self.pos).map_or(self.src_len, |t| t.offset)
     }
 
     fn bump(&mut self) -> Option<&TokenKind> {
@@ -195,26 +193,24 @@ impl Parser<'_> {
                 // `(expr)/more/steps` or `(expr)[pred]`…
                 if matches!(
                     self.peek(),
-                    Some(TokenKind::Slash) | Some(TokenKind::DoubleSlash) | Some(TokenKind::LBracket)
+                    Some(TokenKind::Slash)
+                        | Some(TokenKind::DoubleSlash)
+                        | Some(TokenKind::LBracket)
                 ) {
                     let mut steps = Vec::new();
-                    // Predicates directly on the parenthesized set.
-                    let mut start_preds = Vec::new();
+                    // Filter predicates directly on the parenthesized
+                    // set — they see the whole set as one context.
+                    let mut start_predicates = Vec::new();
                     while self.peek() == Some(&TokenKind::LBracket) {
                         self.pos += 1;
-                        start_preds.push(self.expr()?);
+                        start_predicates.push(self.expr()?);
                         self.expect(&TokenKind::RBracket, "']'")?;
-                    }
-                    if !start_preds.is_empty() {
-                        steps.push(Step {
-                            test: StepTest::Tree(Axis::SelfAxis, NodeTest::AnyNode),
-                            predicates: start_preds,
-                        });
                     }
                     self.relative_path_into(&mut steps)?;
                     Ok(Expr::Path(PathExpr {
                         absolute: false,
                         start: Some(Box::new(inner)),
+                        start_predicates,
                         steps,
                     }))
                 } else {
@@ -255,6 +251,7 @@ impl Parser<'_> {
                     return Ok(PathExpr {
                         absolute: true,
                         start: None,
+                        start_predicates: Vec::new(),
                         steps,
                     });
                 }
@@ -272,6 +269,7 @@ impl Parser<'_> {
         Ok(PathExpr {
             absolute,
             start: None,
+            start_predicates: Vec::new(),
             steps,
         })
     }
@@ -437,10 +435,7 @@ fn descendant_or_self_step() -> Step {
 }
 
 fn is_node_type(name: &str) -> bool {
-    matches!(
-        name,
-        "text" | "comment" | "node" | "processing-instruction"
-    )
+    matches!(name, "text" | "comment" | "node" | "processing-instruction")
 }
 
 enum AxisOrAttr {

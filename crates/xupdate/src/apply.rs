@@ -27,8 +27,7 @@ pub struct ExecutionSummary {
 /// Figure 3 ablation benchmark).
 pub trait UpdateTarget: TreeView {
     /// Inserts a subtree; returns the number of tuples inserted.
-    fn xu_insert(&mut self, position: InsertPosition, subtree: &Node)
-        -> mbxq_storage::Result<u64>;
+    fn xu_insert(&mut self, position: InsertPosition, subtree: &Node) -> mbxq_storage::Result<u64>;
     /// Deletes a subtree; returns the number of tuples removed.
     fn xu_delete(&mut self, target: NodeId) -> mbxq_storage::Result<u64>;
     /// Replaces the content of a non-element node.
@@ -49,11 +48,7 @@ pub trait UpdateTarget: TreeView {
 }
 
 impl UpdateTarget for PagedDoc {
-    fn xu_insert(
-        &mut self,
-        position: InsertPosition,
-        subtree: &Node,
-    ) -> mbxq_storage::Result<u64> {
+    fn xu_insert(&mut self, position: InsertPosition, subtree: &Node) -> mbxq_storage::Result<u64> {
         self.insert(position, subtree).map(|r| r.inserted)
     }
 
@@ -88,11 +83,7 @@ impl UpdateTarget for PagedDoc {
 }
 
 impl UpdateTarget for NaiveDoc {
-    fn xu_insert(
-        &mut self,
-        position: InsertPosition,
-        subtree: &Node,
-    ) -> mbxq_storage::Result<u64> {
+    fn xu_insert(&mut self, position: InsertPosition, subtree: &Node) -> mbxq_storage::Result<u64> {
         self.insert(position, subtree).map(|r| r.changed)
     }
 
@@ -189,8 +180,8 @@ pub fn execute<T: UpdateTarget>(doc: &mut T, mods: &Modifications) -> Result<Exe
                         }
                         Some(k) => {
                             for (i, item) in content.iter().enumerate() {
-                                summary.nodes_inserted += doc
-                                    .xu_insert(InsertPosition::ChildAt(node, k + i), item)?;
+                                summary.nodes_inserted +=
+                                    doc.xu_insert(InsertPosition::ChildAt(node, k + i), item)?;
                             }
                         }
                     }
@@ -203,10 +194,9 @@ pub fn execute<T: UpdateTarget>(doc: &mut T, mods: &Modifications) -> Result<Exe
                     match doc.kind(pre) {
                         Some(mbxq_storage::Kind::Element) => {
                             // Replace children: delete existing, append new.
-                            let child_nodes: Vec<NodeId> =
-                                mbxq_axes::children(doc, pre)
-                                    .map(|p| doc.xu_pre_to_node(p))
-                                    .collect::<mbxq_storage::Result<_>>()?;
+                            let child_nodes: Vec<NodeId> = mbxq_axes::children(doc, pre)
+                                .map(|p| doc.xu_pre_to_node(p))
+                                .collect::<mbxq_storage::Result<_>>()?;
                             for c in child_nodes {
                                 summary.nodes_removed += doc.xu_delete(c)?;
                             }
@@ -247,11 +237,7 @@ fn select_nodes<T: UpdateTarget>(doc: &T, path: &mbxq_xpath::XPath) -> Result<Ve
         .collect()
 }
 
-fn set_attrs<T: UpdateTarget>(
-    doc: &mut T,
-    node: NodeId,
-    attrs: &[(QName, String)],
-) -> Result<u64> {
+fn set_attrs<T: UpdateTarget>(doc: &mut T, node: NodeId, attrs: &[(QName, String)]) -> Result<u64> {
     for (name, value) in attrs {
         doc.xu_set_attribute(node, name, value)?;
     }

@@ -307,8 +307,7 @@ mod tests {
 
     #[test]
     fn single_command_without_wrapper() {
-        let mods =
-            parse_modifications(r#"<xupdate:remove select="//person[@id='p1']"/>"#).unwrap();
+        let mods = parse_modifications(r#"<xupdate:remove select="//person[@id='p1']"/>"#).unwrap();
         assert_eq!(mods.commands.len(), 1);
         let mut d = paged();
         execute(&mut d, &mods).unwrap();
@@ -319,8 +318,7 @@ mod tests {
     fn empty_selection_is_a_no_op() {
         let mut d = paged();
         let before = to_xml(&d).unwrap();
-        let mods =
-            parse_modifications(r#"<xupdate:remove select="//nonexistent"/>"#).unwrap();
+        let mods = parse_modifications(r#"<xupdate:remove select="//nonexistent"/>"#).unwrap();
         let s = execute(&mut d, &mods).unwrap();
         assert_eq!(s.nodes_removed, 0);
         assert_eq!(to_xml(&d).unwrap(), before);

@@ -119,8 +119,9 @@ fn parse_command(node: &Node) -> Result<Command> {
                     _ => return Err(parse_err("<xupdate:rename> content must be a name")),
                 }
             }
-            let qname = QName::parse(text.trim())
-                .ok_or_else(|| parse_err(format!("bad name '{}' in <xupdate:rename>", text.trim())))?;
+            let qname = QName::parse(text.trim()).ok_or_else(|| {
+                parse_err(format!("bad name '{}' in <xupdate:rename>", text.trim()))
+            })?;
             Ok(Command::Rename {
                 select: required_select(node, "rename")?,
                 name: qname,
@@ -255,10 +256,7 @@ mod tests {
         assert!(matches!(mods.commands[0], Command::Remove { .. }));
         assert!(matches!(
             mods.commands[3],
-            Command::Append {
-                child: Some(2),
-                ..
-            }
+            Command::Append { child: Some(2), .. }
         ));
     }
 

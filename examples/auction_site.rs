@@ -15,10 +15,7 @@ use mbxq_xmark::{generate, run_query, XMarkConfig};
 
 fn main() {
     let xml = generate(&XMarkConfig::scaled(0.002, 42));
-    println!(
-        "generated XMark document: {:.1} KB",
-        xml.len() as f64 / 1e3
-    );
+    println!("generated XMark document: {:.1} KB", xml.len() as f64 / 1e3);
 
     let mut db = Database::new();
     db.load("auctions", &xml, StorageMode::default_updatable())
@@ -101,9 +98,7 @@ fn main() {
         &mbxq::NodeTest::Name(mbxq::QName::local("bidder")),
     )
     .len();
-    println!(
-        "  pinned snapshot still sees {frozen_bidders} bidders (== {bids_before})"
-    );
+    println!("  pinned snapshot still sees {frozen_bidders} bidders (== {bids_before})");
     assert_eq!(frozen_bidders.to_string(), bids_before);
 
     let stats = db.stats("auctions").unwrap();
@@ -114,7 +109,10 @@ fn main() {
 }
 
 fn count(db: &Database, path: &str) -> String {
-    db.query("auctions", &format!("count({path})")).unwrap().items[0].clone()
+    db.query("auctions", &format!("count({path})"))
+        .unwrap()
+        .items[0]
+        .clone()
 }
 
 fn run_query_dyn(view: &dyn TreeView, q: usize) -> usize {

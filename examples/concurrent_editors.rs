@@ -68,10 +68,9 @@ fn main() {
                 for i in 0..TXNS_EACH {
                     let mut t = store.begin();
                     let section = t.select(&path).unwrap()[0];
-                    let frag = Document::parse_fragment(&format!(
-                        "<para id=\"s{w}new{i}\">edit</para>"
-                    ))
-                    .unwrap();
+                    let frag =
+                        Document::parse_fragment(&format!("<para id=\"s{w}new{i}\">edit</para>"))
+                            .unwrap();
                     t.insert(InsertPosition::LastChildOf(section), &frag)
                         .unwrap();
                     t.commit().unwrap();

@@ -74,16 +74,24 @@ fn main() {
         .unwrap()
         .eval(&recovered, &[0])
         .unwrap();
-    println!("recovered document: {}", mbxq_storage::serialize::to_xml(&recovered).unwrap());
+    println!(
+        "recovered document: {}",
+        mbxq_storage::serialize::to_xml(&recovered).unwrap()
+    );
     match accounts {
         mbxq::Value::Attrs(ids) => {
-            println!("accounts after recovery: {} (committed prefix only)", ids.len());
+            println!(
+                "accounts after recovery: {} (committed prefix only)",
+                ids.len()
+            );
             assert_eq!(ids.len(), 3, "a1 + two committed, no 'doomed'");
         }
         other => panic!("unexpected value {other:?}"),
     }
     assert_eq!(recovered.used_count(), 1 + 1 + 3 * 3);
-    assert!(!mbxq_storage::serialize::to_xml(&recovered).unwrap().contains("doomed"));
+    assert!(!mbxq_storage::serialize::to_xml(&recovered)
+        .unwrap()
+        .contains("doomed"));
     println!("the torn transaction left no trace — atomicity held.");
 
     let _ = std::fs::remove_file(&wal_path);

@@ -22,7 +22,9 @@ fn main() {
     // The paper's update: <xupdate:append select='/a/f/g'> <k><l/><m/></k>.
     let g = doc.pre_to_node(6).expect("g sits at pre 6");
     let subtree = XmlDocument::parse_fragment("<k><l/><m/></k>").unwrap();
-    let report = doc.insert(InsertPosition::LastChildOf(g), &subtree).unwrap();
+    let report = doc
+        .insert(InsertPosition::LastChildOf(g), &subtree)
+        .unwrap();
     println!(
         "=== insert <k><l/><m/></k> under g: case {:?}, {} page(s) spliced ===\n",
         report.case, report.pages_added

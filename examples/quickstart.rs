@@ -52,7 +52,10 @@ fn main() {
         "\nafter update, count = {}",
         db.query("library", "count(/library/book)").unwrap().items[0]
     );
-    println!("\nserialized document:\n{}", db.serialize("library").unwrap());
+    println!(
+        "\nserialized document:\n{}",
+        db.serialize("library").unwrap()
+    );
 
     // Storage statistics show the logical-page occupancy.
     let stats = db.stats("library").unwrap();

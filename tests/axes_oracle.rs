@@ -5,9 +5,8 @@
 
 mod common;
 
-use common::{to_xml_string, tree_strategy};
+use common::{rand_tree, to_xml_string, TestRng};
 use mbxq::{step, Axis, NaiveDoc, Node, NodeTest, PageConfig, PagedDoc, ReadOnlyDoc, TreeView};
-use proptest::prelude::*;
 
 /// DOM-side node identity: the index of the node in document order
 /// (elements and leaves alike), which equals the read-only pre rank.
@@ -57,7 +56,9 @@ fn dom_axis(root: &Node, ctx: usize, axis: Axis) -> Vec<usize> {
     };
     let mut out: Vec<usize> = match axis {
         Axis::SelfAxis => vec![ctx],
-        Axis::Child => (0..order.len()).filter(|&i| parent[i] == Some(ctx)).collect(),
+        Axis::Child => (0..order.len())
+            .filter(|&i| parent[i] == Some(ctx))
+            .collect(),
         Axis::Descendant => (0..order.len()).filter(|&i| in_subtree(ctx, i)).collect(),
         Axis::DescendantOrSelf => {
             let mut v = vec![ctx];
@@ -113,7 +114,7 @@ fn dense_rank_map<V: TreeView>(view: &V) -> Vec<u64> {
     map
 }
 
-fn check_axes<V: TreeView>(view: &V, root: &Node, label: &str) -> Result<(), TestCaseError> {
+fn check_axes<V: TreeView>(view: &V, root: &Node, label: &str) {
     let pres = dense_rank_map(view);
     for (ctx_idx, &ctx_pre) in pres.iter().enumerate() {
         for axis in ALL_AXES {
@@ -123,42 +124,48 @@ fn check_axes<V: TreeView>(view: &V, root: &Node, label: &str) -> Result<(), Tes
                 .map(|g| pres.binary_search(g).expect("result is a used slot"))
                 .collect();
             let want = dom_axis(root, ctx_idx, axis);
-            prop_assert_eq!(
-                &got_idx, &want,
-                "{} axis {:?} from node {} diverged", label, axis, ctx_idx
+            assert_eq!(
+                got_idx, want,
+                "{label} axis {axis:?} from node {ctx_idx} diverged"
             );
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn axes_match_dom_oracle(tree in tree_strategy(3, 4)) {
+#[test]
+fn axes_match_dom_oracle() {
+    for case in 0..24u64 {
+        let mut rng = TestRng::new(0xA0E5 + case);
+        let tree = rand_tree(&mut rng, 3, 4);
         let ro = ReadOnlyDoc::from_tree(&tree).expect("shred ro");
-        check_axes(&ro, &tree, "readonly")?;
+        check_axes(&ro, &tree, "readonly");
         let nv = NaiveDoc::from_tree(&tree).expect("shred naive");
-        check_axes(&nv, &tree, "naive")?;
-        for cfg in [PageConfig::new(4, 50).unwrap(), PageConfig::new(16, 75).unwrap()] {
+        check_axes(&nv, &tree, "naive");
+        for cfg in [
+            PageConfig::new(4, 50).unwrap(),
+            PageConfig::new(16, 75).unwrap(),
+        ] {
             let up = PagedDoc::from_tree(&tree, cfg).expect("shred paged");
-            check_axes(&up, &tree, "paged")?;
+            check_axes(&up, &tree, "paged");
         }
     }
+}
 
-    /// Same oracle after punching holes: delete a subtree from the paged
-    /// store, re-shred the expected tree, and compare every axis again.
-    #[test]
-    fn axes_match_dom_oracle_after_delete(
-        tree in tree_strategy(3, 4),
-        victim_seed in 0usize..32,
-    ) {
+/// Same oracle after punching holes: delete a subtree from the paged
+/// store, re-shred the expected tree, and compare every axis again.
+#[test]
+fn axes_match_dom_oracle_after_delete() {
+    for case in 0..24u64 {
+        let mut rng = TestRng::new(0xDE1E7E + case);
+        let tree = rand_tree(&mut rng, 3, 4);
+        let victim_seed = rng.below(32);
         let cfg = PageConfig::new(8, 75).unwrap();
         let mut up = PagedDoc::from_tree(&tree, cfg).expect("shred");
         // Pick a deletable node (any non-root).
         let pres = dense_rank_map(&up);
-        prop_assume!(pres.len() > 1);
+        if pres.len() <= 1 {
+            continue;
+        }
         let victim_pre = pres[1 + victim_seed % (pres.len() - 1)];
         let victim = up.pre_to_node(victim_pre).unwrap();
         up.delete(victim).expect("delete succeeds");
@@ -191,12 +198,12 @@ proptest! {
                 false
             }
             let mut next = 1;
-            prop_assert!(remove_at(&mut expected, victim_idx, &mut next));
+            assert!(remove_at(&mut expected, victim_idx, &mut next));
         }
-        prop_assert_eq!(
+        assert_eq!(
             mbxq_storage::serialize::to_xml(&up).unwrap(),
             to_xml_string(&expected)
         );
-        check_axes(&up, &expected, "paged-after-delete")?;
+        check_axes(&up, &expected, "paged-after-delete");
     }
 }

@@ -1,8 +1,13 @@
 //! Shared helpers for the integration test suite.
+//!
+//! The container build has no access to crates.io, so instead of
+//! proptest these tests use a small deterministic PRNG and hand-rolled
+//! generators: every `#[test]` loops over a fixed number of seeded
+//! cases, which keeps failures reproducible (the seed is part of the
+//! panic message).
 #![allow(dead_code)] // each test binary uses a subset
 
 use mbxq::{Node, PageConfig};
-use proptest::prelude::*;
 
 /// Page configurations exercised by cross-schema tests: tiny pages force
 /// many page boundaries; big pages exercise the single-page paths.
@@ -16,56 +21,89 @@ pub fn page_configs() -> Vec<PageConfig> {
     ]
 }
 
-/// Strategy for element/attribute names (small alphabet so random trees
-/// share names and name tests actually select subsets).
-pub fn name_strategy() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["a", "b", "c", "item", "name", "x"]).prop_map(str::to_string)
+/// Deterministic test randomness — a thin convenience wrapper around
+/// the engine's own seeded generator ([`mbxq_xmark::rng::StdRng`]), so
+/// the workspace carries exactly one PRNG implementation.
+#[derive(Debug, Clone)]
+pub struct TestRng(mbxq_xmark::rng::StdRng);
+
+impl TestRng {
+    /// Creates a generator for `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(mbxq_xmark::rng::StdRng::seed_from_u64(seed))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform value in `0..n` (`n` > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform pick from a slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
 }
 
-/// Strategy for text content (includes XML-hostile characters).
-pub fn text_strategy() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["t", "x < y", "a & b", "\"quoted\"", "uni—code", "  "])
-        .prop_map(str::to_string)
+/// Element/attribute names (small alphabet so random trees share names
+/// and name tests actually select subsets).
+pub fn rand_name(rng: &mut TestRng) -> String {
+    (*rng.pick(&["a", "b", "c", "item", "name", "x"])).to_string()
 }
 
-/// Strategy producing random well-formed element trees of bounded size.
-pub fn tree_strategy(max_depth: u32, max_children: usize) -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        name_strategy().prop_map(Node::element),
-        text_strategy().prop_map(Node::text),
-    ];
-    leaf.prop_recursive(max_depth, 64, max_children as u32, move |inner| {
-        (
-            name_strategy(),
-            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
-            prop::collection::vec(inner, 0..max_children),
-        )
-            .prop_map(|(name, attrs, children)| {
-                // Deduplicate attribute names (XML forbids repeats) and
-                // merge adjacent text nodes (the parser coalesces them, so
-                // round-trip comparisons need canonical trees).
-                let mut seen = std::collections::HashSet::new();
-                let attributes = attrs
-                    .into_iter()
-                    .filter(|(n, _)| seen.insert(n.clone()))
-                    .map(|(n, v)| (mbxq::QName::local(n), v))
-                    .collect();
-                let mut merged: Vec<Node> = Vec::new();
-                for c in children {
-                    match (merged.last_mut(), c) {
-                        (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
-                        (_, c) => merged.push(c),
-                    }
-                }
-                Node::Element {
-                    name: mbxq::QName::local(name),
-                    attributes,
-                    children: merged,
-                }
-            })
-    })
-    // The root must be an element.
-    .prop_filter("root is an element", |n| matches!(n, Node::Element { .. }))
+/// Text content (includes XML-hostile characters).
+pub fn rand_text(rng: &mut TestRng) -> String {
+    (*rng.pick(&["t", "x < y", "a & b", "\"quoted\"", "uni—code", "  "])).to_string()
+}
+
+/// Random well-formed element tree of bounded depth and fan-out. Adjacent
+/// text children are merged and attribute names deduplicated, matching
+/// what the parser produces so round-trip comparisons see canonical
+/// trees.
+pub fn rand_tree(rng: &mut TestRng, max_depth: u32, max_children: usize) -> Node {
+    fn element(rng: &mut TestRng, depth: u32, max_depth: u32, max_children: usize) -> Node {
+        let name = rand_name(rng);
+        let mut seen = std::collections::HashSet::new();
+        let mut attributes = Vec::new();
+        for _ in 0..rng.below(3) {
+            let n = rand_name(rng);
+            if seen.insert(n.clone()) {
+                attributes.push((mbxq::QName::local(n), rand_text(rng)));
+            }
+        }
+        let n_children = if depth >= max_depth {
+            0
+        } else {
+            rng.below(max_children + 1)
+        };
+        let mut children: Vec<Node> = Vec::new();
+        for _ in 0..n_children {
+            let child = if depth + 1 >= max_depth || rng.chance(1, 3) {
+                Node::text(rand_text(rng))
+            } else {
+                element(rng, depth + 1, max_depth, max_children)
+            };
+            match (children.last_mut(), child) {
+                (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                (_, c) => children.push(c),
+            }
+        }
+        Node::Element {
+            name: mbxq::QName::local(name),
+            attributes,
+            children,
+        }
+    }
+    element(rng, 0, max_depth, max_children)
 }
 
 /// Serializes a node to an XML string.

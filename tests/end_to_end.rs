@@ -5,8 +5,8 @@
 mod common;
 
 use mbxq::{
-    Database, InsertPosition, PageConfig, PagedDoc, StorageMode, Store, StoreConfig, TreeView,
-    Wal, XPath,
+    Database, InsertPosition, PageConfig, PagedDoc, StorageMode, Store, StoreConfig, TreeView, Wal,
+    XPath,
 };
 use mbxq_txn::recover::recover;
 use mbxq_xmark::{generate, run_query, XMarkConfig, QUERY_COUNT};
@@ -33,7 +33,8 @@ fn queries_survive_update_storms() {
     let xml = generate(&XMarkConfig::tiny(5));
     let db = {
         let mut db = Database::new();
-        db.load("x", &xml, StorageMode::default_updatable()).unwrap();
+        db.load("x", &xml, StorageMode::default_updatable())
+            .unwrap();
         db
     };
     for i in 0..10 {
@@ -158,7 +159,8 @@ fn facade_round_trip_with_xmark() {
     let xml = generate(&XMarkConfig::tiny(21));
     let mut db = Database::new();
     db.load("ro", &xml, StorageMode::ReadOnly).unwrap();
-    db.load("up", &xml, StorageMode::default_updatable()).unwrap();
+    db.load("up", &xml, StorageMode::default_updatable())
+        .unwrap();
     for path in [
         "count(//item)",
         "count(/site/people/person)",

@@ -10,80 +10,90 @@
 
 mod common;
 
-use common::{page_configs, to_xml_string, tree_strategy};
+use common::{page_configs, rand_tree, to_xml_string, TestRng};
 use mbxq::{NaiveDoc, PagedDoc, ReadOnlyDoc, TreeView};
 use mbxq_xml::Document;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn xml_parse_serialize_round_trip(tree in tree_strategy(4, 4)) {
+#[test]
+fn xml_parse_serialize_round_trip() {
+    for case in 0..64u64 {
+        let tree = rand_tree(&mut TestRng::new(0x1001 + case), 4, 4);
         let xml = to_xml_string(&tree);
         let parsed = Document::parse(&xml).expect("serializer output parses");
-        prop_assert_eq!(&parsed.root, &tree);
+        assert_eq!(parsed.root, tree, "case {case}");
         // And a second round trip is byte-stable.
         let xml2 = to_xml_string(&parsed.root);
-        prop_assert_eq!(xml, xml2);
+        assert_eq!(xml, xml2, "case {case}");
     }
+}
 
-    #[test]
-    fn shred_serialize_round_trip_all_schemas(tree in tree_strategy(4, 4)) {
+#[test]
+fn shred_serialize_round_trip_all_schemas() {
+    for case in 0..64u64 {
+        let tree = rand_tree(&mut TestRng::new(0x2002 + case), 4, 4);
         let xml = to_xml_string(&tree);
         let ro = ReadOnlyDoc::from_tree(&tree).expect("shred ro");
-        prop_assert_eq!(mbxq_storage::serialize::to_xml(&ro).unwrap(), xml.clone());
+        assert_eq!(mbxq_storage::serialize::to_xml(&ro).unwrap(), xml);
         let nv = NaiveDoc::from_tree(&tree).expect("shred naive");
-        prop_assert_eq!(mbxq_storage::serialize::to_xml(&nv).unwrap(), xml.clone());
+        assert_eq!(mbxq_storage::serialize::to_xml(&nv).unwrap(), xml);
         for cfg in page_configs() {
             let up = PagedDoc::from_tree(&tree, cfg).expect("shred paged");
             mbxq_storage::invariants::check_paged(&up).expect("fresh invariants");
-            prop_assert_eq!(
+            assert_eq!(
                 mbxq_storage::serialize::to_xml(&up).unwrap(),
-                xml.clone(),
-                "page config {:?}", cfg
+                xml,
+                "page config {cfg:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn pre_post_plane_invariants(tree in tree_strategy(4, 4)) {
+#[test]
+fn pre_post_plane_invariants() {
+    for case in 0..64u64 {
+        let tree = rand_tree(&mut TestRng::new(0x3003 + case), 4, 4);
         let ro = ReadOnlyDoc::from_tree(&tree).expect("shred");
         let n = ro.len() as u64;
         // post = pre + size - level is a permutation of 0..n (each tag
         // closes exactly once).
         let mut posts: Vec<u64> = (0..n).map(|p| ro.post(p).unwrap()).collect();
         posts.sort_unstable();
-        prop_assert_eq!(posts, (0..n).collect::<Vec<_>>());
+        assert_eq!(posts, (0..n).collect::<Vec<_>>());
         // Region nesting: a child's region lies inside its parent's.
         for pre in 0..n {
             if let Some(parent) = ro.parent_of(pre) {
-                prop_assert!(ro.region_end(pre) <= ro.region_end(parent));
-                prop_assert!(parent < pre);
+                assert!(ro.region_end(pre) <= ro.region_end(parent));
+                assert!(parent < pre);
             }
             // size counts exactly the tuples of the region.
             let end = ro.region_end(pre);
-            prop_assert_eq!(end - pre - 1, TreeView::size(&ro, pre));
+            assert_eq!(end - pre - 1, TreeView::size(&ro, pre));
         }
     }
+}
 
-    #[test]
-    fn node_pre_translation_is_bijective(tree in tree_strategy(4, 4)) {
+#[test]
+fn node_pre_translation_is_bijective() {
+    for case in 0..64u64 {
+        let tree = rand_tree(&mut TestRng::new(0x4004 + case), 4, 4);
         for cfg in page_configs() {
             let up = PagedDoc::from_tree(&tree, cfg).expect("shred");
             let mut p = 0;
             while let Some(q) = up.next_used_at_or_after(p) {
                 let node = up.pre_to_node(q).expect("used slot has a node");
-                prop_assert_eq!(up.node_to_pre(node).unwrap(), q);
+                assert_eq!(up.node_to_pre(node).unwrap(), q);
                 p = q + 1;
             }
         }
     }
+}
 
-    #[test]
-    fn string_values_match_across_schemas(tree in tree_strategy(3, 3)) {
+#[test]
+fn string_values_match_across_schemas() {
+    for case in 0..64u64 {
+        let tree = rand_tree(&mut TestRng::new(0x5005 + case), 3, 3);
         let ro = ReadOnlyDoc::from_tree(&tree).expect("shred ro");
         let up = PagedDoc::from_tree(&tree, mbxq::PageConfig::new(8, 75).unwrap()).unwrap();
-        prop_assert_eq!(ro.string_value(0), up.string_value(up.root_pre().unwrap()));
+        assert_eq!(ro.string_value(0), up.string_value(up.root_pre().unwrap()));
     }
 }

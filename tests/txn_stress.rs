@@ -1,9 +1,8 @@
 //! Transaction-layer stress: conflicting writers, aborts, timeouts and
 //! reader snapshots racing over one document, followed by exact
-//! accounting and an invariant check. Uses crossbeam's scoped threads to
+//! accounting and an invariant check. Uses std's scoped threads to
 //! coordinate the phases.
 
-use crossbeam::thread;
 use mbxq::{
     AncestorLockMode, InsertPosition, PageConfig, PagedDoc, Store, StoreConfig, TreeView, Wal,
     XPath,
@@ -43,12 +42,12 @@ fn conflicting_writers_all_conflicts_resolve() {
     );
     let committed = AtomicU64::new(0);
     let timed_out = AtomicU64::new(0);
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..4 {
             let store = &store;
             let committed = &committed;
             let timed_out = &timed_out;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let path = XPath::parse("/root/s0").unwrap();
                 let frag = Document::parse_fragment("<p/>").unwrap();
                 for _ in 0..5 {
@@ -74,8 +73,7 @@ fn conflicting_writers_all_conflicts_resolve() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let committed = committed.load(Ordering::Relaxed);
     let doc = store.snapshot();
     assert_eq!(doc.used_count(), 102 + committed);
@@ -99,25 +97,22 @@ fn mixed_workload_matches_recovery_under_concurrency() {
             validate_on_commit: false,
         },
     );
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..4usize {
             let store = &store;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let path = XPath::parse(&format!("/root/s{w}")).unwrap();
                 for i in 0..15 {
                     let mut t = store.begin();
                     let target = t.select(&path).unwrap()[0];
                     if i % 4 == 3 {
                         // Delete the section's first paragraph.
-                        let victim_path =
-                            XPath::parse(&format!("/root/s{w}/p[1]")).unwrap();
+                        let victim_path = XPath::parse(&format!("/root/s{w}/p[1]")).unwrap();
                         let victims = t.select(&victim_path).unwrap();
                         t.delete(victims[0]).unwrap();
                     } else {
-                        let frag = Document::parse_fragment(&format!(
-                            "<p id=\"w{w}gen{i}\"/>"
-                        ))
-                        .unwrap();
+                        let frag =
+                            Document::parse_fragment(&format!("<p id=\"w{w}gen{i}\"/>")).unwrap();
                         t.insert(InsertPosition::LastChildOf(target), &frag)
                             .unwrap();
                     }
@@ -125,8 +120,7 @@ fn mixed_workload_matches_recovery_under_concurrency() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let live = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
     mbxq_storage::invariants::check_paged(store.snapshot().as_ref()).unwrap();
 

@@ -7,12 +7,9 @@
 
 mod common;
 
-use common::tree_strategy;
-use mbxq::{
-    InsertPosition, NaiveDoc, Node, PageConfig, PagedDoc, QName, TreeView,
-};
+use common::{rand_name, rand_text, rand_tree, TestRng};
+use mbxq::{InsertPosition, NaiveDoc, Node, PageConfig, PagedDoc, QName, TreeView};
 use mbxq_storage::serialize::to_xml;
-use proptest::prelude::*;
 
 /// One random update operation, in terms of *dense node ranks* so the
 /// same op addresses the same logical node in both stores.
@@ -26,20 +23,16 @@ enum RandomOp {
     Rename(usize, String),
 }
 
-fn op_strategy() -> impl Strategy<Value = RandomOp> {
-    prop_oneof![
-        (any::<prop::sample::Index>(), tree_strategy(2, 3))
-            .prop_map(|(i, t)| RandomOp::InsertBefore(i.index(1 << 16), t)),
-        (any::<prop::sample::Index>(), tree_strategy(2, 3))
-            .prop_map(|(i, t)| RandomOp::InsertAfter(i.index(1 << 16), t)),
-        (any::<prop::sample::Index>(), tree_strategy(2, 3))
-            .prop_map(|(i, t)| RandomOp::AppendChild(i.index(1 << 16), t)),
-        any::<prop::sample::Index>().prop_map(|i| RandomOp::Delete(i.index(1 << 16))),
-        (any::<prop::sample::Index>(), common::name_strategy(), common::text_strategy())
-            .prop_map(|(i, n, v)| RandomOp::SetAttr(i.index(1 << 16), n, v)),
-        (any::<prop::sample::Index>(), common::name_strategy())
-            .prop_map(|(i, n)| RandomOp::Rename(i.index(1 << 16), n)),
-    ]
+fn random_op(rng: &mut TestRng) -> RandomOp {
+    let rank = rng.below(1 << 16);
+    match rng.below(6) {
+        0 => RandomOp::InsertBefore(rank, rand_tree(rng, 2, 3)),
+        1 => RandomOp::InsertAfter(rank, rand_tree(rng, 2, 3)),
+        2 => RandomOp::AppendChild(rank, rand_tree(rng, 2, 3)),
+        3 => RandomOp::Delete(rank),
+        4 => RandomOp::SetAttr(rank, rand_name(rng), rand_text(rng)),
+        _ => RandomOp::Rename(rank, rand_name(rng)),
+    }
 }
 
 /// The node id at dense rank `rank` (mod the current node count) in the
@@ -63,91 +56,97 @@ fn nth_node(up: &PagedDoc, rank: usize) -> Option<mbxq::NodeId> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn paged_equals_naive_under_random_updates(
-        tree in tree_strategy(3, 4),
-        ops in prop::collection::vec(op_strategy(), 1..12),
-        cfg_idx in 0usize..3,
-    ) {
+#[test]
+fn paged_equals_naive_under_random_updates() {
+    for case in 0..32u64 {
+        let mut rng = TestRng::new(0x0E5A + case);
+        let tree = rand_tree(&mut rng, 3, 4);
+        let n_ops = 1 + rng.below(11);
+        let ops: Vec<RandomOp> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let cfg = [
             PageConfig::new(4, 50).unwrap(),
             PageConfig::new(8, 75).unwrap(),
             PageConfig::new(64, 80).unwrap(),
-        ][cfg_idx];
+        ][rng.below(3)];
         let mut up = PagedDoc::from_tree(&tree, cfg).expect("shred paged");
         let mut nv = NaiveDoc::from_tree(&tree).expect("shred naive");
 
         for op in &ops {
             // Resolve the target in the paged store, mirror by node id.
-            let apply = |up: &mut PagedDoc, nv: &mut NaiveDoc| -> Result<bool, TestCaseError> {
-                match op {
-                    RandomOp::InsertBefore(rank, sub) => {
-                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
-                        let a = up.insert(InsertPosition::Before(t), sub);
-                        let b = nv.insert(InsertPosition::Before(t), sub);
-                        prop_assert_eq!(a.is_ok(), b.is_ok(), "insert-before disagree");
-                        if let Ok(r) = a {
-                            // Cost bound: moved tuples never exceed one page.
-                            prop_assert!(r.moved <= cfg.page_size as u64);
-                        }
-                    }
-                    RandomOp::InsertAfter(rank, sub) => {
-                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
-                        let a = up.insert(InsertPosition::After(t), sub);
-                        let b = nv.insert(InsertPosition::After(t), sub);
-                        prop_assert_eq!(a.is_ok(), b.is_ok(), "insert-after disagree");
-                        if let Ok(r) = a {
-                            prop_assert!(r.moved <= cfg.page_size as u64);
-                        }
-                    }
-                    RandomOp::AppendChild(rank, sub) => {
-                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
-                        let a = up.insert(InsertPosition::LastChildOf(t), sub);
-                        let b = nv.insert(InsertPosition::LastChildOf(t), sub);
-                        prop_assert_eq!(a.is_ok(), b.is_ok(), "append disagree");
-                        if let Ok(r) = a {
-                            prop_assert!(r.moved <= cfg.page_size as u64);
-                        }
-                    }
-                    RandomOp::Delete(rank) => {
-                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
-                        let a = up.delete(t);
-                        let b = nv.delete(t);
-                        prop_assert_eq!(a.is_ok(), b.is_ok(), "delete disagree");
-                        if let Ok(r) = a {
-                            // Deletes never shift pre-existing tuples.
-                            prop_assert!(r.deleted > 0);
-                        }
-                    }
-                    RandomOp::SetAttr(rank, name, value) => {
-                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
-                        let q = QName::local(name.clone());
-                        let a = up.set_attribute(t, &q, value);
-                        let b = nv.set_attribute(t, &q, value);
-                        prop_assert_eq!(a.is_ok(), b.is_ok(), "set-attr disagree");
-                    }
-                    RandomOp::Rename(rank, name) => {
-                        let Some(t) = nth_node(up, *rank) else { return Ok(false) };
-                        let q = QName::local(name.clone());
-                        let a = up.rename(t, &q);
-                        let b = nv.rename(t, &q);
-                        prop_assert_eq!(a.is_ok(), b.is_ok(), "rename disagree");
+            match op {
+                RandomOp::InsertBefore(rank, sub) => {
+                    let Some(t) = nth_node(&up, *rank) else {
+                        continue;
+                    };
+                    let a = up.insert(InsertPosition::Before(t), sub);
+                    let b = nv.insert(InsertPosition::Before(t), sub);
+                    assert_eq!(a.is_ok(), b.is_ok(), "insert-before disagree");
+                    if let Ok(r) = a {
+                        // Cost bound: moved tuples never exceed one page.
+                        assert!(r.moved <= cfg.page_size as u64);
                     }
                 }
-                Ok(true)
-            };
-            apply(&mut up, &mut nv)?;
+                RandomOp::InsertAfter(rank, sub) => {
+                    let Some(t) = nth_node(&up, *rank) else {
+                        continue;
+                    };
+                    let a = up.insert(InsertPosition::After(t), sub);
+                    let b = nv.insert(InsertPosition::After(t), sub);
+                    assert_eq!(a.is_ok(), b.is_ok(), "insert-after disagree");
+                    if let Ok(r) = a {
+                        assert!(r.moved <= cfg.page_size as u64);
+                    }
+                }
+                RandomOp::AppendChild(rank, sub) => {
+                    let Some(t) = nth_node(&up, *rank) else {
+                        continue;
+                    };
+                    let a = up.insert(InsertPosition::LastChildOf(t), sub);
+                    let b = nv.insert(InsertPosition::LastChildOf(t), sub);
+                    assert_eq!(a.is_ok(), b.is_ok(), "append disagree");
+                    if let Ok(r) = a {
+                        assert!(r.moved <= cfg.page_size as u64);
+                    }
+                }
+                RandomOp::Delete(rank) => {
+                    let Some(t) = nth_node(&up, *rank) else {
+                        continue;
+                    };
+                    let a = up.delete(t);
+                    let b = nv.delete(t);
+                    assert_eq!(a.is_ok(), b.is_ok(), "delete disagree");
+                    if let Ok(r) = a {
+                        // Deletes never shift pre-existing tuples.
+                        assert!(r.deleted > 0);
+                    }
+                }
+                RandomOp::SetAttr(rank, name, value) => {
+                    let Some(t) = nth_node(&up, *rank) else {
+                        continue;
+                    };
+                    let q = QName::local(name.clone());
+                    let a = up.set_attribute(t, &q, value);
+                    let b = nv.set_attribute(t, &q, value);
+                    assert_eq!(a.is_ok(), b.is_ok(), "set-attr disagree");
+                }
+                RandomOp::Rename(rank, name) => {
+                    let Some(t) = nth_node(&up, *rank) else {
+                        continue;
+                    };
+                    let q = QName::local(name.clone());
+                    let a = up.rename(t, &q);
+                    let b = nv.rename(t, &q);
+                    assert_eq!(a.is_ok(), b.is_ok(), "rename disagree");
+                }
+            }
             mbxq_storage::invariants::check_paged(&up).expect("invariants hold");
-            prop_assert_eq!(
+            assert_eq!(
                 to_xml(&up).unwrap(),
                 to_xml(&nv).unwrap(),
-                "documents diverged after {:?}", op
+                "case {case}: documents diverged after {op:?}"
             );
         }
         // Final occupancy accounting.
-        prop_assert_eq!(up.used_count(), nv.used_count());
+        assert_eq!(up.used_count(), nv.used_count());
     }
 }
