@@ -1,107 +1,326 @@
-//! Page-granular copy-on-write overlays.
+//! Page-granular copy-on-write columns.
 //!
 //! MonetDB isolates a write transaction by giving it "a temporary view
 //! backed by a copy-on-write memory-map on the base table" (§3.2): all
 //! pages start out shared with the base table, and the OS transparently
 //! replaces each page the transaction writes with a private copy, so the
-//! base table is never altered before commit. [`CowPages`] is the explicit
-//! in-memory equivalent: reads fall through to the base slice unless the
-//! containing page has been privatized; the first write to a page copies
-//! it.
+//! base table is never altered before commit. [`CowVec`] is the explicit
+//! in-memory equivalent: a column stored as a vector of
+//! reference-counted pages. Cloning the column clones only the page
+//! *pointers* (O(#pages) refcount bumps, no tuple data); the first write
+//! to a page through a given clone privatizes just that page
+//! ([`Arc::make_mut`]). Two clones therefore share every page neither of
+//! them has written — exactly the structural sharing that makes a
+//! transaction commit O(touched pages) instead of O(document).
+//!
+//! [`CowNullable`] layers a validity bitmap over a [`CowVec`], giving the
+//! `node→pos` map the same sharing discipline.
 
-use std::collections::BTreeMap;
+use crate::{BatError, Oid, Result};
+use std::ops::{Index, IndexMut};
+use std::sync::Arc;
 
-/// A copy-on-write page overlay over a borrowed base column.
+/// A column of `T` values stored as shared, individually copy-on-write
+/// pages.
 ///
-/// The overlay owns only the pages that were written; everything else
-/// reads through to the base. `BTreeMap` keeps the touched-page set
-/// ordered, which makes commit application deterministic.
+/// Every page except the last holds exactly `page_size` values; the last
+/// page may be shorter, so `push` is supported for append-mostly columns
+/// (like the attribute table). Reads go through [`Index`]; writes go
+/// through [`IndexMut`], which privatizes the containing page on first
+/// touch if it is shared with another clone.
 #[derive(Debug, Clone)]
-pub struct CowPages<T> {
+pub struct CowVec<T> {
     page_size: usize,
-    overlay: BTreeMap<usize, Vec<T>>,
+    shift: u32,
+    mask: usize,
+    len: usize,
+    pages: Vec<Arc<Vec<T>>>,
 }
 
-impl<T: Copy> CowPages<T> {
-    /// Creates an empty overlay for pages of `page_size` values.
+impl<T: Clone> CowVec<T> {
+    /// Creates an empty column with pages of `page_size` values.
     ///
     /// # Panics
-    /// Panics if `page_size` is zero or not a power of two.
+    /// Panics if `page_size` is zero or not a power of two (page
+    /// addressing is shift/mask, like the pre/pos swizzle).
     pub fn new(page_size: usize) -> Self {
         assert!(
             page_size.is_power_of_two(),
             "copy-on-write page size must be a power of two, got {page_size}"
         );
-        CowPages {
+        CowVec {
             page_size,
-            overlay: BTreeMap::new(),
+            shift: page_size.trailing_zeros(),
+            mask: page_size - 1,
+            len: 0,
+            pages: Vec::new(),
         }
     }
 
-    /// Number of pages that have been privatized.
-    pub fn pages_touched(&self) -> usize {
-        self.overlay.len()
+    /// Creates a column of `len` copies of `fill`.
+    pub fn filled(page_size: usize, len: usize, fill: T) -> Self {
+        let mut v = CowVec::new(page_size);
+        v.resize(len, fill);
+        v
     }
 
-    /// Whether any page has been written.
-    pub fn is_clean(&self) -> bool {
-        self.overlay.is_empty()
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        self.len
     }
 
-    /// Reads index `i`, preferring the private copy of its page.
-    ///
-    /// Returns `None` if `i` is outside `base` (and no overlay page covers
-    /// it) — the caller decides whether that is an error.
-    pub fn get(&self, base: &[T], i: usize) -> Option<T> {
-        let page = i / self.page_size;
-        if let Some(p) = self.overlay.get(&page) {
-            return p.get(i % self.page_size).copied();
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The page size the column was created with.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages currently backing the column.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads index `i`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
         }
-        base.get(i).copied()
+        Some(&self.pages[i >> self.shift][i & self.mask])
     }
 
-    /// Writes index `i`, privatizing its page on first touch.
+    /// Appends one value, growing the (possibly short) last page.
+    pub fn push(&mut self, value: T) {
+        let slot = self.len & self.mask;
+        if slot == 0 {
+            let mut page = Vec::with_capacity(self.page_size);
+            page.push(value);
+            self.pages.push(Arc::new(page));
+        } else {
+            Arc::make_mut(self.pages.last_mut().expect("partial page exists")).push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Resizes to `new_len` values, filling new slots with `fill`.
     ///
-    /// The page is copied from `base`; indexes past the end of `base` on
-    /// the page are filled with `fill` (new pages appended by the
-    /// transaction start out as padding, like the NULL-padded appends of
-    /// Figure 4).
-    pub fn set(&mut self, base: &[T], i: usize, value: T, fill: T) {
-        let page = i / self.page_size;
-        let ps = self.page_size;
-        let p = self.overlay.entry(page).or_insert_with(|| {
-            let start = (page * ps).min(base.len());
-            let mut v = Vec::with_capacity(ps);
-            let avail = base.len().saturating_sub(start).min(ps);
-            v.extend_from_slice(&base[start..start + avail]);
-            v.resize(ps, fill);
-            v
-        });
-        p[i % self.page_size] = value;
-    }
-
-    /// Carries all private pages through into `base` (commit path),
-    /// growing `base` with `fill` padding if an overlay page lies past its
-    /// current end.
-    pub fn apply_to(&self, base: &mut Vec<T>, fill: T) {
-        for (&page, data) in &self.overlay {
-            let start = page * self.page_size;
-            let end = start + self.page_size;
-            if base.len() < end {
-                base.resize(end, fill);
+    /// Growth touches only the (partial) last page plus freshly created
+    /// pages; fully shared interior pages stay shared. Shrinking drops
+    /// whole pages and truncates the new last page.
+    pub fn resize(&mut self, new_len: usize, fill: T) {
+        if new_len >= self.len {
+            // Top up the short last page first.
+            while self.len < new_len && self.len & self.mask != 0 {
+                Arc::make_mut(self.pages.last_mut().expect("partial page exists"))
+                    .push(fill.clone());
+                self.len += 1;
             }
-            base[start..end].copy_from_slice(data);
+            while self.len < new_len {
+                let count = (new_len - self.len).min(self.page_size);
+                self.pages.push(Arc::new(vec![fill.clone(); count]));
+                self.len += count;
+            }
+        } else {
+            let keep_pages = new_len.div_ceil(self.page_size);
+            self.pages.truncate(keep_pages);
+            let last_len = new_len - (keep_pages.saturating_sub(1)) * self.page_size;
+            if let Some(last) = self.pages.last_mut() {
+                if last.len() > last_len {
+                    Arc::make_mut(last).truncate(last_len);
+                }
+            }
+            self.len = new_len;
         }
     }
 
-    /// Iterates the privatized page indexes in ascending order.
-    pub fn touched_pages(&self) -> impl Iterator<Item = usize> + '_ {
-        self.overlay.keys().copied()
+    /// Iterates the values in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.pages.iter().flat_map(|p| p.iter())
     }
 
-    /// Discards all private pages (abort path).
-    pub fn clear(&mut self) {
-        self.overlay.clear();
+    /// Number of pages physically shared (same allocation) with `other`.
+    ///
+    /// The commit-cost benchmark and the MVCC tests use this to verify
+    /// that publishing a new version kept everything but the touched
+    /// pages shared with the previous version.
+    pub fn shared_pages_with(&self, other: &CowVec<T>) -> usize {
+        self.pages
+            .iter()
+            .zip(other.pages.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// A clone with every page privately copied — the "clone the world"
+    /// baseline the copy-on-write layout replaces. Benchmarks only.
+    pub fn deep_clone(&self) -> Self {
+        CowVec {
+            page_size: self.page_size,
+            shift: self.shift,
+            mask: self.mask,
+            len: self.len,
+            pages: self
+                .pages
+                .iter()
+                .map(|p| Arc::new(p.as_ref().clone()))
+                .collect(),
+        }
+    }
+}
+
+impl<T: Clone> Index<usize> for CowVec<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        &self.pages[i >> self.shift][i & self.mask]
+    }
+}
+
+impl<T: Clone> IndexMut<usize> for CowVec<T> {
+    /// Privatizes the containing page on first write through this clone.
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        &mut Arc::make_mut(&mut self.pages[i >> self.shift])[i & self.mask]
+    }
+}
+
+/// A nullable column over shared copy-on-write pages: a dense value
+/// [`CowVec`] plus a validity bitmap (one bit per tuple), the COW
+/// equivalent of [`crate::NullableBat`].
+///
+/// Backs the `node→pos` map of the paged schema, whose head is the dense
+/// node-id sequence starting at 0 and whose NULL entries mark deleted
+/// nodes.
+#[derive(Debug, Clone)]
+pub struct CowNullable<T> {
+    values: CowVec<T>,
+    /// One bit per tuple; set = valid (non-NULL).
+    valid: CowVec<u64>,
+}
+
+impl<T: Copy + Default> CowNullable<T> {
+    /// Creates an empty nullable column with value pages of `page_size`.
+    pub fn new(page_size: usize) -> Self {
+        CowNullable {
+            values: CowVec::new(page_size),
+            valid: CowVec::new(page_size),
+        }
+    }
+
+    /// Number of tuples (including NULL ones).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// One-past-the-last head oid (the head sequence starts at 0).
+    pub fn hseqend(&self) -> Oid {
+        self.values.len() as Oid
+    }
+
+    /// Appends a (possibly NULL) tuple, returning its head oid.
+    pub fn append(&mut self, value: Option<T>) -> Oid {
+        let idx = self.values.len();
+        self.values.push(value.unwrap_or_default());
+        if idx / 64 >= self.valid.len() {
+            self.valid.push(0);
+        }
+        if value.is_some() {
+            self.valid[idx / 64] |= 1 << (idx % 64);
+        }
+        idx as Oid
+    }
+
+    /// Positional lookup. `Ok(None)` means the tuple exists but is NULL.
+    #[inline]
+    pub fn get(&self, oid: Oid) -> Result<Option<T>> {
+        let idx = self.index_of(oid)?;
+        if self.is_valid_idx(idx) {
+            Ok(Some(self.values[idx]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Sets the tuple at `oid` to a new (possibly NULL) value.
+    pub fn set(&mut self, oid: Oid, value: Option<T>) -> Result<()> {
+        let idx = self.index_of(oid)?;
+        match value {
+            Some(v) => {
+                self.values[idx] = v;
+                self.valid[idx / 64] |= 1 << (idx % 64);
+            }
+            None => {
+                // Only the bitmap bit is cleared: reads check validity
+                // before consulting the value, so leaving the stale
+                // value in place keeps the (shared) value page untouched
+                // — a NULLing delete privatizes one bitmap page, not a
+                // full value page.
+                self.valid[idx / 64] &= !(1 << (idx % 64));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates `(oid, Option<value>)` in head order.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, Option<T>)> + '_ {
+        (0..self.len()).map(move |idx| {
+            let v = if self.is_valid_idx(idx) {
+                Some(self.values[idx])
+            } else {
+                None
+            };
+            (idx as Oid, v)
+        })
+    }
+
+    /// Value pages physically shared with `other` (bitmap pages not
+    /// counted; they follow the same sharing discipline).
+    pub fn shared_pages_with(&self, other: &CowNullable<T>) -> usize {
+        self.values.shared_pages_with(&other.values)
+    }
+
+    /// Number of value pages backing the column.
+    pub fn num_pages(&self) -> usize {
+        self.values.num_pages()
+    }
+
+    /// A clone with every page privately copied (benchmark baseline).
+    pub fn deep_clone(&self) -> Self {
+        CowNullable {
+            values: self.values.deep_clone(),
+            valid: self.valid.deep_clone(),
+        }
+    }
+
+    #[inline]
+    fn index_of(&self, oid: Oid) -> Result<usize> {
+        let idx = oid as usize;
+        if idx < self.values.len() {
+            Ok(idx)
+        } else {
+            Err(BatError::OutOfRange {
+                oid,
+                seqbase: 0,
+                count: self.values.len(),
+            })
+        }
+    }
+
+    #[inline]
+    fn is_valid_idx(&self, idx: usize) -> bool {
+        (self.valid[idx / 64] >> (idx % 64)) & 1 == 1
     }
 }
 
@@ -110,66 +329,123 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reads_fall_through_until_written() {
-        let base = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
-        let mut cow = CowPages::new(4);
-        assert_eq!(cow.get(&base, 5), Some(6));
-        cow.set(&base, 5, 60, 0);
-        assert_eq!(cow.get(&base, 5), Some(60));
-        // same page, unwritten index still sees base data via the copy
-        assert_eq!(cow.get(&base, 4), Some(5));
-        // other page untouched
-        assert_eq!(cow.get(&base, 1), Some(2));
-        assert_eq!(cow.pages_touched(), 1);
+    fn reads_and_writes_round_trip() {
+        let mut v = CowVec::filled(4, 10, 0u32);
+        for i in 0..10 {
+            v[i] = i as u32 * 10;
+        }
+        for i in 0..10 {
+            assert_eq!(v[i], i as u32 * 10);
+        }
+        assert_eq!(v.get(10), None);
+        assert_eq!(v.num_pages(), 3);
     }
 
     #[test]
-    fn base_is_never_altered_before_apply() {
-        let base = vec![1u32, 2, 3, 4];
-        let mut cow = CowPages::new(4);
-        cow.set(&base, 0, 99, 0);
-        assert_eq!(base, vec![1, 2, 3, 4]);
+    fn clones_share_pages_until_written() {
+        let mut a = CowVec::filled(4, 12, 1u64);
+        let b = a.clone();
+        assert_eq!(a.shared_pages_with(&b), 3);
+        a[5] = 99; // page 1 privatized
+        assert_eq!(a.shared_pages_with(&b), 2);
+        assert_eq!(b[5], 1, "the clone never sees the write");
+        assert_eq!(a[5], 99);
+        // Unwritten neighbors on the privatized page were copied over.
+        assert_eq!(a[4], 1);
     }
 
     #[test]
-    fn apply_carries_pages_through() {
-        let mut base = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
-        let mut cow = CowPages::new(4);
-        cow.set(&base, 2, 30, 0);
-        cow.set(&base, 7, 80, 0);
-        cow.apply_to(&mut base, 0);
-        assert_eq!(base, vec![1, 2, 30, 4, 5, 6, 7, 80]);
+    fn writing_the_same_page_twice_privatizes_once() {
+        let mut a = CowVec::filled(8, 16, 0u8);
+        let b = a.clone();
+        a[0] = 1;
+        a[1] = 2;
+        a[7] = 3;
+        assert_eq!(a.shared_pages_with(&b), 1);
     }
 
     #[test]
-    fn writes_past_end_extend_with_fill() {
-        let mut base = vec![1u32, 2];
-        let mut cow = CowPages::new(4);
-        cow.set(&base, 6, 70, 9);
-        assert_eq!(cow.get(&base, 6), Some(70));
-        assert_eq!(cow.get(&base, 4), Some(9)); // padding on the new page
-        assert_eq!(cow.get(&base, 3), None); // page 0 untouched, base too short
-        cow.apply_to(&mut base, 9);
-        assert_eq!(base, vec![1, 2, 9, 9, 9, 9, 70, 9]);
+    fn push_and_partial_last_page() {
+        let mut v: CowVec<u16> = CowVec::new(4);
+        for i in 0..6 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.num_pages(), 2);
+        assert_eq!(v[5], 5);
+        let w = v.clone();
+        v.push(6); // grows the shared partial page: must privatize it
+        assert_eq!(w.len(), 6);
+        assert_eq!(v[6], 6);
+        assert_eq!(v.shared_pages_with(&w), 1);
     }
 
     #[test]
-    fn partial_last_page_is_padded_on_copy() {
-        let base = vec![1u32, 2, 3, 4, 5]; // page 1 holds only one value
-        let mut cow = CowPages::new(4);
-        cow.set(&base, 5, 50, 0);
-        assert_eq!(cow.get(&base, 4), Some(5));
-        assert_eq!(cow.get(&base, 6), Some(0)); // fill
-        assert_eq!(cow.get(&base, 5), Some(50));
+    fn resize_grows_and_shrinks() {
+        let mut v = CowVec::filled(4, 3, 7u32);
+        v.resize(10, 9);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[2], 7);
+        assert_eq!(v[3], 9);
+        assert_eq!(v[9], 9);
+        v.resize(2, 0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(2), None);
+        // Regrowing refills with the new fill value.
+        v.resize(5, 4);
+        assert_eq!(v[2], 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![7, 7, 4, 4, 4]);
     }
 
     #[test]
-    fn clear_discards_private_pages() {
-        let base = vec![1u32, 2, 3, 4];
-        let mut cow = CowPages::new(4);
-        cow.set(&base, 0, 99, 0);
-        cow.clear();
-        assert!(cow.is_clean());
-        assert_eq!(cow.get(&base, 0), Some(1));
+    fn deep_clone_shares_nothing() {
+        let a = CowVec::filled(4, 8, 1u64);
+        let b = a.deep_clone();
+        assert_eq!(a.shared_pages_with(&b), 0);
+        assert_eq!(b[7], 1);
+    }
+
+    #[test]
+    fn nullable_round_trip() {
+        let mut n = CowNullable::new(4);
+        n.append(Some(5u64));
+        n.append(None);
+        n.append(Some(7));
+        assert_eq!(n.get(0), Ok(Some(5)));
+        assert_eq!(n.get(1), Ok(None));
+        assert_eq!(n.get(2), Ok(Some(7)));
+        assert!(n.get(3).is_err());
+        n.set(0, None).unwrap();
+        n.set(1, Some(9)).unwrap();
+        assert_eq!(n.get(0), Ok(None));
+        assert_eq!(n.get(1), Ok(Some(9)));
+        assert_eq!(n.hseqend(), 3);
+    }
+
+    #[test]
+    fn nullable_bitmap_spans_word_boundaries() {
+        let mut n = CowNullable::new(64);
+        for i in 0..200u32 {
+            n.append(if i % 3 == 0 { None } else { Some(i) });
+        }
+        for i in 0..200u64 {
+            let expect = if i % 3 == 0 { None } else { Some(i as u32) };
+            assert_eq!(n.get(i).unwrap(), expect, "at {i}");
+        }
+        let nulls = n.iter().filter(|(_, v)| v.is_none()).count();
+        assert_eq!(nulls, (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn nullable_clones_share_until_set() {
+        let mut a = CowNullable::new(4);
+        for i in 0..12u64 {
+            a.append(Some(i));
+        }
+        let b = a.clone();
+        assert_eq!(a.shared_pages_with(&b), 3);
+        a.set(5, Some(99)).unwrap();
+        assert_eq!(a.shared_pages_with(&b), 2);
+        assert_eq!(b.get(5), Ok(Some(5)));
     }
 }

@@ -23,8 +23,11 @@
 //!   overflow pages appear "halfway" in the `pre/size/level` view.
 //! * [`delta`] — differential lists (MonetDB's delta tables) used by the
 //!   transaction layer to isolate updates and propagate them at commit.
-//! * [`cow`] — page-granular copy-on-write overlays, the in-memory
-//!   equivalent of MonetDB's copy-on-write memory maps.
+//! * [`cow`] — page-granular copy-on-write columns ([`CowVec`],
+//!   [`CowNullable`]), the in-memory equivalent of MonetDB's
+//!   copy-on-write memory maps: clones share every page until one side
+//!   writes it, so publishing a new document version costs O(touched
+//!   pages).
 
 pub mod cow;
 pub mod delta;
@@ -33,7 +36,7 @@ pub mod pagemap;
 mod nullable;
 mod voidbat;
 
-pub use cow::CowPages;
+pub use cow::{CowNullable, CowVec};
 pub use delta::{DeltaList, DeltaOp};
 pub use nullable::NullableBat;
 pub use pagemap::{PageId, PageMap};

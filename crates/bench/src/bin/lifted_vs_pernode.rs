@@ -112,10 +112,15 @@ fn eval_lifted<V: TreeView + ?Sized>(
 }
 
 fn main() {
-    let reps = 7;
+    // `--smoke` runs a single tiny scale with few reps — the CI guard
+    // that the binary (and the lifted-vs-per-node equivalence asserts
+    // it carries) keeps working.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 2 } else { 7 };
+    let scales: &[f64] = if smoke { &[0.003] } else { &[0.01, 0.04] };
     let mut json = String::from("[\n");
     let mut first = true;
-    for &scale in &[0.01, 0.04] {
+    for &scale in scales {
         let (ro, up, bytes) = build_both(scale, 42);
         println!("scale {scale} ({bytes} bytes of XML)");
         for case in cases() {
@@ -146,6 +151,12 @@ fn main() {
         }
     }
     json.push_str("\n]\n");
-    std::fs::write("BENCH_lifted.json", &json).expect("write BENCH_lifted.json");
-    println!("wrote BENCH_lifted.json");
+    if smoke {
+        // Don't clobber the committed full-scale dataset with one tiny
+        // smoke row (CI and developers run --smoke from the repo root).
+        println!("smoke mode: skipping BENCH_lifted.json");
+    } else {
+        std::fs::write("BENCH_lifted.json", &json).expect("write BENCH_lifted.json");
+        println!("wrote BENCH_lifted.json");
+    }
 }

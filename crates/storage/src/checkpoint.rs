@@ -1,0 +1,373 @@
+//! Structure-preserving checkpoint serialization of a [`PagedDoc`].
+//!
+//! A checkpoint cannot round-trip through plain XML text: the parser
+//! coalesces adjacent text runs, but deletes legitimately leave adjacent
+//! *separate* text tuples behind (each with its own immutable node id
+//! that later WAL records may reference). Reparsing would then produce
+//! fewer tuples than the live document and recovery would desynchronize
+//! — fatally, since the checkpoint has already truncated the log.
+//!
+//! So a checkpoint dumps the **tuple stream** instead: one entry per
+//! used tuple in document order carrying its node id, level, kind and
+//! content, followed by the attribute rows. Sizes are recomputed from
+//! the level sequence on load (the same postorder walk the shredder
+//! uses), the `node→pos` map is rebuilt over the checkpointed id
+//! allocation point, and the page layout is re-shredded at the
+//! configured fill factor. Strings travel length-prefixed (`len:bytes`),
+//! the same escaping-free convention as the WAL op encoding.
+
+use crate::paged::{PagedDoc, Tuple};
+use crate::types::{Kind, PageConfig, StorageError};
+use crate::values::QnId;
+use crate::view::TreeView;
+use crate::Result;
+use mbxq_xml::QName;
+use std::fmt::Write as _;
+
+fn put_str(out: &mut String, s: &str) {
+    let _ = write!(out, "{}:", s.len());
+    out.push_str(s);
+    out.push(' ');
+}
+
+fn next_tok<'a>(rest: &mut &'a str) -> Option<&'a str> {
+    *rest = rest.trim_start();
+    if rest.is_empty() {
+        return None;
+    }
+    let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+    let (tok, r) = rest.split_at(end);
+    *rest = r;
+    Some(tok)
+}
+
+fn take_str<'a>(rest: &mut &'a str) -> Option<&'a str> {
+    let r = rest.trim_start();
+    let colon = r.find(':')?;
+    let len: usize = r[..colon].parse().ok()?;
+    let start = colon + 1;
+    if r.len() < start + len {
+        return None;
+    }
+    let s = &r[start..start + len];
+    *rest = &r[start + len..];
+    Some(s)
+}
+
+fn bad(message: impl Into<String>) -> StorageError {
+    StorageError::InvalidTarget {
+        message: message.into(),
+    }
+}
+
+impl PagedDoc {
+    /// Serializes the live tuples and attribute rows into the
+    /// checkpoint dump format (see the module docs). Lossless with
+    /// respect to structure *and* node ids — unlike XML text, which
+    /// merges adjacent text siblings on reparse.
+    pub fn checkpoint_dump(&self) -> String {
+        let mut out = String::new();
+        let mut p = 0u64;
+        while let Some(q) = self.next_used_at_or_after(p) {
+            let pos = self.pos_of_pre(q).expect("used slot resolves");
+            let node = self.node[pos];
+            let lvl = self.level[pos];
+            match self.kind[pos] {
+                Kind::Element => {
+                    let name = self
+                        .pool
+                        .qname(QnId(self.name[pos]))
+                        .map(QName::to_string)
+                        .unwrap_or_default();
+                    let _ = write!(out, "E {node} {lvl} ");
+                    put_str(&mut out, &name);
+                }
+                Kind::Text => {
+                    let _ = write!(out, "T {node} {lvl} ");
+                    put_str(&mut out, self.pool.text(self.value[pos]).unwrap_or(""));
+                }
+                Kind::Comment => {
+                    let _ = write!(out, "M {node} {lvl} ");
+                    put_str(&mut out, self.pool.comment(self.value[pos]).unwrap_or(""));
+                }
+                Kind::ProcessingInstruction => {
+                    let (target, data) = self.pool.instruction(self.value[pos]).unwrap_or(("", ""));
+                    let (target, data) = (target.to_string(), data.to_string());
+                    let _ = write!(out, "P {node} {lvl} ");
+                    put_str(&mut out, &target);
+                    put_str(&mut out, &data);
+                }
+            }
+            p = q + 1;
+        }
+        // Attribute rows, owner-major in document order (per-node row
+        // order is the attribute order).
+        let mut p = 0u64;
+        while let Some(q) = self.next_used_at_or_after(p) {
+            let pos = self.pos_of_pre(q).expect("used slot resolves");
+            let node = self.node[pos];
+            if let Some(rows) = self.attr_index.get(node) {
+                for &r in rows {
+                    let name = self
+                        .pool
+                        .qname(self.attr_qn[r as usize])
+                        .map(QName::to_string)
+                        .unwrap_or_default();
+                    let value = self
+                        .pool
+                        .prop(self.attr_prop[r as usize])
+                        .unwrap_or("")
+                        .to_string();
+                    let _ = write!(out, "A {node} ");
+                    put_str(&mut out, &name);
+                    put_str(&mut out, &value);
+                }
+            }
+            p = q + 1;
+        }
+        out
+    }
+
+    /// Rebuilds a document from a [`PagedDoc::checkpoint_dump`] and the
+    /// checkpointed id allocation point. Ids above the live set (deleted
+    /// nodes) stay NULL in `node→pos`, so WAL records logged *after* the
+    /// checkpoint still resolve their targets and id allocation resumes
+    /// exactly where the checkpointed store left off.
+    pub fn from_checkpoint_dump(dump: &str, cfg: PageConfig, alloc_end: u64) -> Result<Self> {
+        let mut doc = Self::empty(cfg)?;
+        let mut staged: Vec<Tuple> = Vec::new();
+        let mut attrs = Vec::new();
+        let mut rest = dump;
+        while let Some(tag) = next_tok(&mut rest) {
+            if tag == "A" {
+                let node = next_tok(&mut rest)
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .ok_or_else(|| bad("checkpoint attr row lacks a node id"))?;
+                let name = take_str(&mut rest)
+                    .and_then(QName::parse)
+                    .ok_or_else(|| bad("checkpoint attr row carries a bad name"))?;
+                let value =
+                    take_str(&mut rest).ok_or_else(|| bad("checkpoint attr row lacks a value"))?;
+                let qn = doc.pool.intern_qname(&name);
+                let prop = doc.pool.intern_prop(value);
+                attrs.push((node, qn, prop));
+                continue;
+            }
+            let node = next_tok(&mut rest)
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| bad("checkpoint tuple lacks a node id"))?;
+            let level = next_tok(&mut rest)
+                .and_then(|t| t.parse::<u16>().ok())
+                .ok_or_else(|| bad("checkpoint tuple lacks a level"))?;
+            let (kind, name, value) = match tag {
+                "E" => {
+                    let name = take_str(&mut rest)
+                        .and_then(QName::parse)
+                        .ok_or_else(|| bad("checkpoint element carries a bad name"))?;
+                    (Kind::Element, doc.pool.intern_qname(&name).0, u32::MAX)
+                }
+                "T" => {
+                    let text =
+                        take_str(&mut rest).ok_or_else(|| bad("checkpoint text lacks a value"))?;
+                    (Kind::Text, u32::MAX, doc.pool.intern_text(text))
+                }
+                "M" => {
+                    let c = take_str(&mut rest)
+                        .ok_or_else(|| bad("checkpoint comment lacks a value"))?;
+                    (Kind::Comment, u32::MAX, doc.pool.intern_comment(c))
+                }
+                "P" => {
+                    let target = take_str(&mut rest)
+                        .ok_or_else(|| bad("checkpoint instruction lacks a target"))?
+                        .to_string();
+                    let data = take_str(&mut rest)
+                        .ok_or_else(|| bad("checkpoint instruction lacks data"))?;
+                    (
+                        Kind::ProcessingInstruction,
+                        u32::MAX,
+                        doc.pool.intern_instruction(&target, data),
+                    )
+                }
+                other => return Err(bad(format!("unknown checkpoint entry '{other}'"))),
+            };
+            if node >= alloc_end {
+                return Err(bad(format!(
+                    "checkpoint node id {node} beyond allocation point {alloc_end}"
+                )));
+            }
+            staged.push(Tuple {
+                size: 0,
+                level,
+                kind,
+                name,
+                value,
+                node,
+            });
+        }
+        if staged.is_empty() {
+            return Err(bad("cannot load an empty checkpoint"));
+        }
+
+        // Recompute sizes from the level sequence (used descendants
+        // only), validating tree shape as we go.
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..staged.len() {
+            let lvl = staged[i].level;
+            if i == 0 {
+                if lvl != 0 {
+                    return Err(bad("checkpoint does not start at the root"));
+                }
+            } else {
+                while let Some(&top) = stack.last() {
+                    if staged[top].level >= lvl {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                match stack.last() {
+                    Some(&top) if staged[top].level + 1 == lvl => {}
+                    Some(&top) => {
+                        return Err(bad(format!(
+                            "checkpoint level jump from {} to {lvl}",
+                            staged[top].level
+                        )))
+                    }
+                    None => return Err(bad("checkpoint carries a second root")),
+                }
+                for &a in &stack {
+                    staged[a].size += 1;
+                }
+            }
+            stack.push(i);
+        }
+
+        // Page layout at the configured fill factor, node→pos over the
+        // full checkpointed id space.
+        let mut seen = std::collections::HashSet::with_capacity(staged.len());
+        for t in &staged {
+            if !seen.insert(t.node) {
+                return Err(bad(format!("checkpoint node id {} duplicated", t.node)));
+            }
+        }
+        for _ in 0..alloc_end {
+            doc.node_pos.append(None);
+        }
+        let fill = cfg.fill_target();
+        for chunk in staged.chunks(fill) {
+            let page = doc.append_physical_page();
+            let base = page * cfg.page_size;
+            for (i, t) in chunk.iter().enumerate() {
+                doc.write_tuple(base + i, *t);
+                doc.node_pos.set(t.node, Some((base + i) as u64))?;
+            }
+            doc.rebuild_runs_in_page(page);
+        }
+        doc.used_count = staged.len() as u64;
+        for (node, qn, prop) in attrs {
+            if doc.node_pos.get(node).ok().flatten().is_none() {
+                return Err(bad(format!("checkpoint attr row for dead node {node}")));
+            }
+            doc.push_attr(node, qn, prop);
+        }
+        doc.pool.compact();
+        doc.attr_index.compact();
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::to_xml;
+    use crate::update::InsertPosition;
+    use crate::view::TreeView;
+    use mbxq_xml::Document;
+
+    fn cfg() -> PageConfig {
+        PageConfig::new(8, 75).unwrap()
+    }
+
+    fn round_trip(doc: &PagedDoc) -> PagedDoc {
+        let dump = doc.checkpoint_dump();
+        let back = PagedDoc::from_checkpoint_dump(&dump, cfg(), doc.node_alloc_end()).unwrap();
+        crate::invariants::check_paged(&back).unwrap();
+        back
+    }
+
+    #[test]
+    fn dump_round_trips_structure_ids_and_attributes() {
+        let mut d = PagedDoc::parse_str(
+            r#"<r a="1"><x b="2">text</x><!--note--><?pi data?></r>"#,
+            cfg(),
+        )
+        .unwrap();
+        let x = d.pre_to_node(1).unwrap();
+        let sub = Document::parse_fragment("<y c=\"3\"/>").unwrap();
+        d.insert(InsertPosition::After(x), &sub).unwrap();
+        let back = round_trip(&d);
+        assert_eq!(to_xml(&back).unwrap(), to_xml(&d).unwrap());
+        assert_eq!(back.used_count(), d.used_count());
+        assert_eq!(back.node_alloc_end(), d.node_alloc_end());
+        // Node ids line up tuple by tuple.
+        let mut p = 0u64;
+        while let Some(q) = d.next_used_at_or_after(p) {
+            let node = d.pre_to_node(q).unwrap();
+            assert!(back.node_to_pre(node).is_ok(), "node {node:?} lost");
+            p = q + 1;
+        }
+    }
+
+    /// Regression: adjacent text tuples (left behind when the element
+    /// between them is deleted) must survive a checkpoint as *separate*
+    /// tuples with their original ids — XML text round-trips coalesce
+    /// them, which is exactly why checkpoints do not go through XML.
+    #[test]
+    fn adjacent_text_tuples_survive_with_their_ids() {
+        let mut d = PagedDoc::parse_str("<d>hello <kw/> world</d>", cfg()).unwrap();
+        let second_text = d.pre_to_node(3).unwrap();
+        let kw = d.pre_to_node(2).unwrap();
+        d.delete(kw).unwrap();
+        assert_eq!(d.used_count(), 3, "two adjacent text tuples remain");
+        let back = round_trip(&d);
+        assert_eq!(back.used_count(), 3);
+        // The second text node is still individually addressable.
+        let pre = back.node_to_pre(second_text).unwrap();
+        assert_eq!(back.kind(pre), Some(Kind::Text));
+        assert_eq!(to_xml(&back).unwrap(), to_xml(&d).unwrap());
+    }
+
+    #[test]
+    fn deleted_ids_stay_dead_and_allocation_resumes() {
+        let mut d = PagedDoc::parse_str("<r><a/><b/></r>", cfg()).unwrap();
+        let a = d.pre_to_node(1).unwrap();
+        d.delete(a).unwrap();
+        let back = round_trip(&d);
+        assert!(back.node_to_pre(a).is_err(), "deleted id must stay NULL");
+        assert_eq!(back.node_alloc_end(), d.node_alloc_end());
+    }
+
+    #[test]
+    fn malformed_dumps_are_rejected() {
+        assert!(PagedDoc::from_checkpoint_dump("", cfg(), 5).is_err());
+        assert!(PagedDoc::from_checkpoint_dump("E 0 1 2:ab ", cfg(), 5).is_err()); // root level 1
+        assert!(PagedDoc::from_checkpoint_dump("E 0 0 2:ab E 1 2 1:c ", cfg(), 5).is_err()); // jump
+        assert!(PagedDoc::from_checkpoint_dump("E 0 0 2:ab E 1 0 1:c ", cfg(), 5).is_err()); // 2 roots
+        assert!(PagedDoc::from_checkpoint_dump("E 9 0 2:ab ", cfg(), 5).is_err()); // id beyond alloc
+        assert!(PagedDoc::from_checkpoint_dump("E 0 0 2:ab A 3 1:k 1:v ", cfg(), 5).is_err()); // dead attr
+        assert!(PagedDoc::from_checkpoint_dump("Z 0 0 2:ab ", cfg(), 5).is_err()); // unknown tag
+        assert!(PagedDoc::from_checkpoint_dump("T 0 0 99:short ", cfg(), 5).is_err());
+        // torn string
+    }
+
+    #[test]
+    fn dump_strings_may_contain_newlines_and_separators() {
+        let d = PagedDoc::parse_str(
+            "<r a=\"x y\nz\">line one\nline 2:3 two</r>",
+            PageConfig::new(8, 100).unwrap(),
+        )
+        .unwrap();
+        let back = round_trip(&d);
+        assert_eq!(to_xml(&back).unwrap(), to_xml(&d).unwrap());
+    }
+}

@@ -174,7 +174,7 @@ pub fn check_paged(doc: &PagedDoc) -> Result<()> {
     }
 
     // Attribute index points at live nodes and matching rows.
-    for (&node, rows) in &doc.attr_index {
+    for (node, rows) in doc.attr_index.iter() {
         match doc.node_pos.get(node) {
             Ok(Some(_)) => {}
             _ => {

@@ -37,6 +37,7 @@
 //! slot of unused tuples; DESIGN.md records this as an implementation
 //! refinement.
 
+pub mod checkpoint;
 pub mod dump;
 pub mod invariants;
 pub mod naive;

@@ -15,14 +15,27 @@
 //! `node→pos` table maps ids back to physical positions, and the
 //! attribute table refers to node ids instead of pre values (Figure 6),
 //! so attribute rows never need maintenance when positions shift.
+//!
+//! # Copy-on-write column layout
+//!
+//! Every column is a [`CowVec`]/[`CowNullable`]: logical pages of values
+//! behind shared reference-counted pointers. `PagedDoc::clone` therefore
+//! copies only page *pointers* (plus the pool's and attribute index's
+//! small deltas), and a write privatizes exactly the page it lands in.
+//! This is the in-memory equivalent of MonetDB's copy-on-write memory
+//! maps (§3.2): a transaction commit builds its new version by cloning
+//! the current one and applying its operations, paying O(pages touched +
+//! ancestors delta-adjusted) instead of O(document), and publishes it by
+//! swapping one `Arc` under the store's short global lock.
 
 use crate::types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
 use crate::values::{PropId, QnId, ValuePool};
 use crate::view::TreeView;
 use crate::Result;
-use mbxq_bat::{NullableBat, PageMap};
+use mbxq_bat::{CowNullable, CowVec, PageMap};
 use mbxq_xml::{Document, Node};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Sentinel stored in the `name` column of non-element used tuples.
 pub(crate) const NO_NAME: u32 = u32::MAX;
@@ -40,33 +53,151 @@ pub(crate) struct Tuple {
     pub node: u64,
 }
 
+/// Page size (in entries) of the COW columns that are *not* divided
+/// into logical document pages: the `node→pos` map and the attribute
+/// table. Purely a sharing granularity; any power of two works.
+pub(crate) const SIDE_PAGE: usize = 1024;
+
 /// A document in the updateable paged encoding.
+///
+/// Cloning is O(#pages) pointer copies — all tuple data is structurally
+/// shared with the clone until one side writes it (see the module docs).
 #[derive(Debug, Clone)]
 pub struct PagedDoc {
     pub(crate) cfg: PageConfig,
     pub(crate) shift: u32,
     // ---- base table, indexed by physical pos ----
-    pub(crate) size: Vec<u64>,
-    pub(crate) level: Vec<u16>,
+    pub(crate) size: CowVec<u64>,
+    pub(crate) level: CowVec<u16>,
     /// Whether the slot holds a node (`level = NULL` ⇔ `!used`).
-    pub(crate) used: Vec<bool>,
-    pub(crate) kind: Vec<Kind>,
+    pub(crate) used: CowVec<bool>,
+    pub(crate) kind: CowVec<Kind>,
     /// `qn` id for elements; 1-based backward run index for unused slots.
-    pub(crate) name: Vec<u32>,
-    pub(crate) value: Vec<u32>,
-    pub(crate) node: Vec<u64>,
+    pub(crate) name: CowVec<u32>,
+    pub(crate) value: CowVec<u32>,
+    pub(crate) node: CowVec<u64>,
     /// The `pageOffset` table: logical order of physical pages.
     pub(crate) pages: PageMap,
     /// node id → physical pos (NULL = deleted node).
-    pub(crate) node_pos: NullableBat<u64>,
+    pub(crate) node_pos: CowNullable<u64>,
     // ---- attribute table, keyed by node id (Figure 6) ----
-    pub(crate) attr_node: Vec<u64>,
-    pub(crate) attr_qn: Vec<QnId>,
-    pub(crate) attr_prop: Vec<PropId>,
+    pub(crate) attr_node: CowVec<u64>,
+    pub(crate) attr_qn: CowVec<QnId>,
+    pub(crate) attr_prop: CowVec<PropId>,
     /// node id → attribute row indexes (document order).
-    pub(crate) attr_index: HashMap<u64, Vec<u32>>,
+    pub(crate) attr_index: AttrIndex,
     pub(crate) pool: ValuePool,
     pub(crate) used_count: u64,
+}
+
+/// The `node id → attribute rows` index, split like the value pool into
+/// an [`Arc`]-shared base plus a small mutable delta so that cloning a
+/// document never copies the whole index. A delta entry overrides the
+/// base entry for its node; `None` is a tombstone (all rows removed).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AttrIndex {
+    base: Arc<HashMap<u64, Vec<u32>>>,
+    delta: HashMap<u64, Option<Vec<u32>>>,
+}
+
+impl AttrIndex {
+    /// The attribute rows of `node`, in document order.
+    pub(crate) fn get(&self, node: u64) -> Option<&[u32]> {
+        match self.delta.get(&node) {
+            Some(Some(rows)) => Some(rows.as_slice()),
+            Some(None) => None,
+            None => self.base.get(&node).map(Vec::as_slice),
+        }
+    }
+
+    /// Appends a row to `node`'s list (copying the base list into the
+    /// delta on first touch). Never compacts — that would clone the
+    /// whole shared base inside a commit's critical section; compaction
+    /// happens at the explicit maintenance points (shredding, vacuum,
+    /// checkpoint).
+    pub(crate) fn push_row(&mut self, node: u64, row: u32) {
+        self.rows_entry(node).push(row);
+    }
+
+    /// Mutable access to `node`'s rows, if it has any.
+    pub(crate) fn rows_mut(&mut self, node: u64) -> Option<&mut Vec<u32>> {
+        if !self.delta.contains_key(&node) {
+            let from_base = self.base.get(&node)?.clone();
+            self.delta.insert(node, Some(from_base));
+        }
+        self.delta.get_mut(&node)?.as_mut()
+    }
+
+    /// Removes `node`'s entry, returning the rows it held.
+    pub(crate) fn remove(&mut self, node: u64) -> Option<Vec<u32>> {
+        let had_base = self.base.contains_key(&node);
+        let prior = match self.delta.remove(&node) {
+            Some(entry) => entry,
+            None => self.base.get(&node).cloned(),
+        };
+        if had_base {
+            // Tombstone so the shared base entry stays shadowed.
+            self.delta.insert(node, None);
+        }
+        prior
+    }
+
+    /// Iterates `(node, rows)` over all live entries (order unspecified).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &[u32])> + '_ {
+        let from_delta = self
+            .delta
+            .iter()
+            .filter_map(|(&n, e)| e.as_ref().map(|rows| (n, rows.as_slice())));
+        let from_base = self
+            .base
+            .iter()
+            .filter(move |(n, _)| !self.delta.contains_key(n))
+            .map(|(&n, rows)| (n, rows.as_slice()));
+        from_delta.chain(from_base)
+    }
+
+    /// An index with the given base and an empty delta.
+    pub(crate) fn from_base(base: HashMap<u64, Vec<u32>>) -> AttrIndex {
+        AttrIndex {
+            base: Arc::new(base),
+            delta: HashMap::new(),
+        }
+    }
+
+    /// Folds the delta into a fresh shared base.
+    pub(crate) fn compact(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let mut base = (*self.base).clone();
+        for (node, entry) in self.delta.drain() {
+            match entry {
+                Some(rows) => {
+                    base.insert(node, rows);
+                }
+                None => {
+                    base.remove(&node);
+                }
+            }
+        }
+        self.base = Arc::new(base);
+    }
+
+    /// A clone sharing no storage (the clone-the-world baseline).
+    pub(crate) fn deep_clone(&self) -> AttrIndex {
+        AttrIndex {
+            base: Arc::new((*self.base).clone()),
+            delta: self.delta.clone(),
+        }
+    }
+
+    fn rows_entry(&mut self, node: u64) -> &mut Vec<u32> {
+        let base = &self.base;
+        self.delta
+            .entry(node)
+            .or_insert_with(|| Some(base.get(&node).cloned().unwrap_or_default()))
+            .get_or_insert_with(Vec::new)
+    }
 }
 
 /// Size/occupancy statistics (for the §4.1 storage-overhead experiment).
@@ -98,26 +229,7 @@ impl PagedDoc {
     /// document shredder already leaves a certain (configurable)
     /// percentage of tuples unused in each logical page").
     pub fn from_tree(root: &Node, cfg: PageConfig) -> Result<Self> {
-        PageConfig::new(cfg.page_size, cfg.fill_percent)?;
-        let mut doc = PagedDoc {
-            cfg,
-            shift: cfg.page_size.trailing_zeros(),
-            size: Vec::new(),
-            level: Vec::new(),
-            used: Vec::new(),
-            kind: Vec::new(),
-            name: Vec::new(),
-            value: Vec::new(),
-            node: Vec::new(),
-            pages: PageMap::new(cfg.page_size),
-            node_pos: NullableBat::new(0),
-            attr_node: Vec::new(),
-            attr_qn: Vec::new(),
-            attr_prop: Vec::new(),
-            attr_index: HashMap::new(),
-            pool: ValuePool::new(),
-            used_count: 0,
-        };
+        let mut doc = Self::empty(cfg)?;
         // Stage the whole tuple stream first (sizes require postorder),
         // then lay out page by page.
         let mut staged = Vec::with_capacity(root.tuple_count() as usize);
@@ -144,7 +256,36 @@ impl PagedDoc {
         for (node, qn, prop) in attrs {
             doc.push_attr(node, qn, prop);
         }
+        // Fold the shredder's interning burst into the shared bases, so
+        // subsequent clones (reader snapshots, commit versions) carry
+        // empty deltas.
+        doc.pool.compact();
+        doc.attr_index.compact();
         Ok(doc)
+    }
+
+    /// An empty document skeleton with validated configuration.
+    pub(crate) fn empty(cfg: PageConfig) -> Result<Self> {
+        PageConfig::new(cfg.page_size, cfg.fill_percent)?;
+        Ok(PagedDoc {
+            cfg,
+            shift: cfg.page_size.trailing_zeros(),
+            size: CowVec::new(cfg.page_size),
+            level: CowVec::new(cfg.page_size),
+            used: CowVec::new(cfg.page_size),
+            kind: CowVec::new(cfg.page_size),
+            name: CowVec::new(cfg.page_size),
+            value: CowVec::new(cfg.page_size),
+            node: CowVec::new(cfg.page_size),
+            pages: PageMap::new(cfg.page_size),
+            node_pos: CowNullable::new(SIDE_PAGE),
+            attr_node: CowVec::new(SIDE_PAGE),
+            attr_qn: CowVec::new(SIDE_PAGE),
+            attr_prop: CowVec::new(SIDE_PAGE),
+            attr_index: AttrIndex::default(),
+            pool: ValuePool::new(),
+            used_count: 0,
+        })
     }
 
     /// One past the highest allocated node id.
@@ -262,6 +403,8 @@ impl PagedDoc {
     }
 
     fn grow_columns(&mut self) {
+        // Column lengths are always a page multiple, so growth appends
+        // fresh private pages and never touches shared ones.
         let new_len = self.size.len() + self.cfg.page_size;
         self.size.resize(new_len, 0);
         self.level.resize(new_len, 0);
@@ -348,7 +491,7 @@ impl PagedDoc {
         self.attr_node.push(node);
         self.attr_qn.push(qn);
         self.attr_prop.push(prop);
-        self.attr_index.entry(node).or_default().push(row);
+        self.attr_index.push_row(node, row);
     }
 
     // ------------------------------------------------------------------
@@ -394,6 +537,14 @@ impl PagedDoc {
         &mut self.pool
     }
 
+    /// Folds the attribute index's delta into a fresh shared base — the
+    /// maintenance hook checkpointing uses (mutation paths never compact
+    /// implicitly; that would clone the whole shared base inside a
+    /// commit's critical section).
+    pub fn compact_attr_index(&mut self) {
+        self.attr_index.compact();
+    }
+
     /// Occupancy statistics.
     pub fn stats(&self) -> PagedStats {
         let capacity = self.size.len() as u64;
@@ -420,6 +571,85 @@ impl PagedDoc {
         self.node_pos
             .set(node, pos)
             .expect("node id allocated before use");
+    }
+
+    /// Rebuilds the attribute columns from the live index entries,
+    /// dropping rows orphaned by deletes and renumbering the survivors
+    /// (per-node document order is preserved). Used by vacuum.
+    pub(crate) fn rebuild_attr_table(&mut self) {
+        let mut entries: Vec<(u64, Vec<u32>)> = self
+            .attr_index
+            .iter()
+            .map(|(n, rows)| (n, rows.to_vec()))
+            .collect();
+        entries.sort_unstable_by_key(|(n, _)| *n);
+        let mut attr_node = CowVec::new(SIDE_PAGE);
+        let mut attr_qn = CowVec::new(SIDE_PAGE);
+        let mut attr_prop = CowVec::new(SIDE_PAGE);
+        let mut index = HashMap::with_capacity(entries.len());
+        for (node, rows) in entries {
+            let mut new_rows = Vec::with_capacity(rows.len());
+            for r in rows {
+                let nr = u32::try_from(attr_node.len()).expect("attr table overflow");
+                attr_node.push(node);
+                attr_qn.push(self.attr_qn[r as usize]);
+                attr_prop.push(self.attr_prop[r as usize]);
+                new_rows.push(nr);
+            }
+            index.insert(node, new_rows);
+        }
+        self.attr_node = attr_node;
+        self.attr_qn = attr_qn;
+        self.attr_prop = attr_prop;
+        self.attr_index = AttrIndex::from_base(index);
+    }
+
+    /// `(shared, total)` page counts across the seven base-table columns
+    /// against another version of the same document. After a
+    /// copy-on-write commit, `total - shared` is exactly the number of
+    /// column pages the commit privatized.
+    pub fn shared_pages_with(&self, other: &PagedDoc) -> (usize, usize) {
+        let shared = self.size.shared_pages_with(&other.size)
+            + self.level.shared_pages_with(&other.level)
+            + self.used.shared_pages_with(&other.used)
+            + self.kind.shared_pages_with(&other.kind)
+            + self.name.shared_pages_with(&other.name)
+            + self.value.shared_pages_with(&other.value)
+            + self.node.shared_pages_with(&other.node);
+        let total = self.size.num_pages()
+            + self.level.num_pages()
+            + self.used.num_pages()
+            + self.kind.num_pages()
+            + self.name.num_pages()
+            + self.value.num_pages()
+            + self.node.num_pages();
+        (shared, total)
+    }
+
+    /// A copy sharing **no** storage with `self` — what `clone` used to
+    /// mean before the copy-on-write layout. The commit-cost benchmark
+    /// uses it as the clone-the-world baseline; it is never on a
+    /// production path.
+    pub fn deep_clone(&self) -> PagedDoc {
+        PagedDoc {
+            cfg: self.cfg,
+            shift: self.shift,
+            size: self.size.deep_clone(),
+            level: self.level.deep_clone(),
+            used: self.used.deep_clone(),
+            kind: self.kind.deep_clone(),
+            name: self.name.deep_clone(),
+            value: self.value.deep_clone(),
+            node: self.node.deep_clone(),
+            pages: self.pages.clone(),
+            node_pos: self.node_pos.deep_clone(),
+            attr_node: self.attr_node.deep_clone(),
+            attr_qn: self.attr_qn.deep_clone(),
+            attr_prop: self.attr_prop.deep_clone(),
+            attr_index: self.attr_index.deep_clone(),
+            pool: self.pool.deep_clone(),
+            used_count: self.used_count,
+        }
     }
 }
 
@@ -494,7 +724,7 @@ impl TreeView for PagedDoc {
         if !self.used[pos] {
             return Vec::new();
         }
-        match self.attr_index.get(&self.node[pos]) {
+        match self.attr_index.get(self.node[pos]) {
             Some(rows) => rows
                 .iter()
                 .map(|&r| (self.attr_qn[r as usize], self.attr_prop[r as usize]))

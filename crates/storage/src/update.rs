@@ -192,7 +192,7 @@ impl PagedDoc {
         for &v in &victims {
             let pos = self.pos_of_pre(v).expect("victim is in range");
             let node = self.node[pos];
-            if let Some(rows) = self.attr_index.remove(&node) {
+            if let Some(rows) = self.attr_index.remove(node) {
                 attrs_removed += rows.len() as u64;
                 // Rows stay in the attr columns as dead space; the index
                 // is authoritative. (MonetDB similarly leaves deletions
@@ -289,7 +289,7 @@ impl PagedDoc {
         let qn = self.pool.intern_qname(name);
         let prop = self.pool.intern_prop(value);
         let node = self.node[pos];
-        if let Some(rows) = self.attr_index.get(&node) {
+        if let Some(rows) = self.attr_index.get(node) {
             for &r in rows {
                 if self.attr_qn[r as usize] == qn {
                     self.attr_prop[r as usize] = prop;
@@ -312,11 +312,16 @@ impl PagedDoc {
         let Some(qn) = self.pool.lookup_qname(name) else {
             return Ok(false);
         };
-        if let Some(rows) = self.attr_index.get_mut(&node) {
-            if let Some(i) = rows.iter().position(|&r| self.attr_qn[r as usize] == qn) {
-                rows.remove(i);
-                return Ok(true);
-            }
+        let hit = self
+            .attr_index
+            .get(node)
+            .and_then(|rows| rows.iter().position(|&r| self.attr_qn[r as usize] == qn));
+        if let Some(i) = hit {
+            self.attr_index
+                .rows_mut(node)
+                .expect("entry exists, just probed")
+                .remove(i);
+            return Ok(true);
         }
         Ok(false)
     }

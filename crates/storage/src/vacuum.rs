@@ -13,11 +13,11 @@
 //! (only positions change; `node→pos` is rebuilt, exactly the mutable
 //! state the paper designed the indirection for).
 
-use crate::paged::{PagedDoc, Tuple};
+use crate::paged::{PagedDoc, Tuple, SIDE_PAGE};
 use crate::types::PageConfig;
 use crate::view::TreeView;
 use crate::Result;
-use mbxq_bat::{NullableBat, PageMap};
+use mbxq_bat::{CowNullable, CowVec, PageMap};
 
 /// Outcome statistics of a vacuum run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,8 @@ pub struct VacuumReport {
     pub tuples_moved: u64,
     /// Unused slots reclaimed (capacity shrink).
     pub slots_reclaimed: u64,
+    /// Dead attribute rows dropped from the attribute table.
+    pub attr_rows_reclaimed: u64,
 }
 
 impl PagedDoc {
@@ -59,18 +61,18 @@ impl PagedDoc {
         let slots = n_pages * cfg.page_size;
         self.cfg = cfg;
         self.shift = cfg.page_size.trailing_zeros();
-        self.size = vec![0; slots];
-        self.level = vec![0; slots];
-        self.used = vec![false; slots];
-        self.kind = vec![crate::types::Kind::Element; slots];
-        self.name = vec![0; slots];
-        self.value = vec![u32::MAX; slots];
-        self.node = vec![u64::MAX; slots];
+        self.size = CowVec::filled(cfg.page_size, slots, 0);
+        self.level = CowVec::filled(cfg.page_size, slots, 0);
+        self.used = CowVec::filled(cfg.page_size, slots, false);
+        self.kind = CowVec::filled(cfg.page_size, slots, crate::types::Kind::Element);
+        self.name = CowVec::filled(cfg.page_size, slots, 0);
+        self.value = CowVec::filled(cfg.page_size, slots, u32::MAX);
+        self.node = CowVec::filled(cfg.page_size, slots, u64::MAX);
 
         // Preserve the node-id space (ids above the rebuilt set stay
         // NULL, e.g. ids of deleted nodes).
         let alloc_end = self.node_pos.hseqend();
-        let mut node_pos = NullableBat::new(0);
+        let mut node_pos = CowNullable::new(SIDE_PAGE);
         for _ in 0..alloc_end {
             node_pos.append(None);
         }
@@ -90,11 +92,20 @@ impl PagedDoc {
             self.rebuild_runs_in_page(page);
         }
 
+        // Drop attribute rows orphaned by deletes (they were left in the
+        // columns as dead space), renumbering the survivors, and fold
+        // the side-structure deltas into fresh shared bases.
+        let rows_before = self.attr_node.len() as u64;
+        self.rebuild_attr_table();
+        self.pool.compact();
+        let attr_rows_reclaimed = rows_before - self.attr_node.len() as u64;
+
         Ok(VacuumReport {
             pages_before,
             pages_after: n_pages,
             tuples_moved: live.len() as u64,
             slots_reclaimed: capacity_before.saturating_sub(slots as u64),
+            attr_rows_reclaimed,
         })
     }
 

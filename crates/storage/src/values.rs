@@ -5,9 +5,27 @@
 //! attribute)". Both are append-only interning tables keyed by a void
 //! column, so lookups from tree tuples are positional. The text, comment
 //! and instruction tables hold node values, also void-keyed.
+//!
+//! # Structural sharing
+//!
+//! The pool participates in the O(touched-pages) commit discipline: each
+//! interner is split into an immutable, [`Arc`]-shared **base** (built by
+//! the shredder, or by the last compaction) plus a small mutable
+//! **delta** holding values interned since. Cloning the pool clones the
+//! base pointers and the (small) deltas — O(delta), not O(all strings) —
+//! so a transaction's private workspace and a commit's new version never
+//! copy the document's text heap. Interned ids are *absolute* (base
+//! first, delta continuing the sequence) and survive compaction, which
+//! folds the delta into a fresh shared base. Compaction runs only at
+//! explicit maintenance points (shredding, vacuum, checkpoint) — never
+//! on the intern path, which would otherwise spike a commit to
+//! O(document) while it holds the global commit lock.
 
 use mbxq_xml::QName;
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
 
 /// Id of a qualified name in the `qn` table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -17,34 +35,118 @@ pub struct QnId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PropId(pub u32);
 
-/// An append-only string interner backing one side table.
-#[derive(Debug, Clone, Default)]
-struct Interner {
-    values: Vec<String>,
-    index: HashMap<String, u32>,
+/// An append-only interner backing one side table, split into a shared
+/// base and a private delta (see the module docs).
+#[derive(Debug, Clone)]
+struct Interner<K> {
+    base: Arc<InternSet<K>>,
+    delta_values: Vec<K>,
+    delta_index: HashMap<K, u32>,
 }
 
-impl Interner {
-    fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&id) = self.index.get(s) {
+/// The immutable, shareable half of an [`Interner`].
+#[derive(Debug)]
+struct InternSet<K> {
+    values: Vec<K>,
+    index: HashMap<K, u32>,
+}
+
+impl<K> Default for Interner<K> {
+    fn default() -> Self {
+        Interner {
+            base: Arc::new(InternSet {
+                values: Vec::new(),
+                index: HashMap::new(),
+            }),
+            delta_values: Vec::new(),
+            delta_index: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash> Interner<K> {
+    fn intern<Q>(&mut self, key: &Q) -> u32
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Eq + Hash + ToOwned<Owned = K>,
+    {
+        if let Some(&id) = self.base.index.get(key) {
             return id;
         }
-        let id = u32::try_from(self.values.len()).expect("interner overflow");
-        self.values.push(s.to_string());
-        self.index.insert(s.to_string(), id);
+        if let Some(&id) = self.delta_index.get(key) {
+            return id;
+        }
+        let id = u32::try_from(self.base.values.len() + self.delta_values.len())
+            .expect("interner overflow");
+        let owned = key.to_owned();
+        self.delta_values.push(owned.clone());
+        self.delta_index.insert(owned, id);
         id
     }
 
-    fn get(&self, id: u32) -> Option<&str> {
-        self.values.get(id as usize).map(String::as_str)
+    fn get(&self, id: u32) -> Option<&K> {
+        let idx = id as usize;
+        if idx < self.base.values.len() {
+            self.base.values.get(idx)
+        } else {
+            self.delta_values.get(idx - self.base.values.len())
+        }
     }
 
-    fn lookup(&self, s: &str) -> Option<u32> {
-        self.index.get(s).copied()
+    fn lookup<Q>(&self, key: &Q) -> Option<u32>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Eq + Hash,
+    {
+        self.base
+            .index
+            .get(key)
+            .or_else(|| self.delta_index.get(key))
+            .copied()
     }
 
-    fn heap_bytes(&self) -> usize {
-        self.values.iter().map(|s| s.len() + 24).sum::<usize>() * 2
+    fn len(&self) -> usize {
+        self.base.values.len() + self.delta_values.len()
+    }
+
+    /// Folds the delta into a fresh shared base; ids are preserved.
+    fn compact(&mut self) {
+        if self.delta_values.is_empty() {
+            return;
+        }
+        let mut set = InternSet {
+            values: self.base.values.clone(),
+            index: self.base.index.clone(),
+        };
+        for v in self.delta_values.drain(..) {
+            let id = u32::try_from(set.values.len()).expect("interner overflow");
+            set.index.insert(v.clone(), id);
+            set.values.push(v);
+        }
+        self.delta_index.clear();
+        self.base = Arc::new(set);
+    }
+
+    /// A clone sharing nothing with `self` (benchmark baseline).
+    fn deep_clone(&self) -> Interner<K> {
+        Interner {
+            base: Arc::new(InternSet {
+                values: self.base.values.clone(),
+                index: self.base.index.clone(),
+            }),
+            delta_values: self.delta_values.clone(),
+            delta_index: self.delta_index.clone(),
+        }
+    }
+
+    /// Sums `per` over all interned values (heap accounting).
+    fn approx_heap(&self, per: impl Fn(&K) -> usize) -> usize {
+        self.base
+            .values
+            .iter()
+            .chain(self.delta_values.iter())
+            .map(per)
+            .sum()
     }
 }
 
@@ -52,15 +154,15 @@ impl Interner {
 ///
 /// Grouped in one struct because every schema variant (read-only, paged,
 /// naive) needs the identical set, and the *same* pool instance lets the
-/// ro-vs-up benchmarks rule out interning differences.
+/// ro-vs-up benchmarks rule out interning differences. Cloning is cheap
+/// (shared bases + small deltas); see the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct ValuePool {
-    qnames: Vec<QName>,
-    qname_index: HashMap<QName, u32>,
-    props: Interner,
-    texts: Interner,
-    comments: Interner,
-    instructions: Interner,
+    qnames: Interner<QName>,
+    props: Interner<String>,
+    texts: Interner<String>,
+    comments: Interner<String>,
+    instructions: Interner<String>,
 }
 
 impl ValuePool {
@@ -71,24 +173,18 @@ impl ValuePool {
 
     /// Interns a qualified name, returning its `qn` id.
     pub fn intern_qname(&mut self, name: &QName) -> QnId {
-        if let Some(&id) = self.qname_index.get(name) {
-            return QnId(id);
-        }
-        let id = u32::try_from(self.qnames.len()).expect("qn table overflow");
-        self.qnames.push(name.clone());
-        self.qname_index.insert(name.clone(), id);
-        QnId(id)
+        QnId(self.qnames.intern(name))
     }
 
     /// The qualified name behind a `qn` id.
     pub fn qname(&self, id: QnId) -> Option<&QName> {
-        self.qnames.get(id.0 as usize)
+        self.qnames.get(id.0)
     }
 
     /// Looks up a name without interning (query-side: an XPath name test
     /// for a name that was never interned matches nothing).
     pub fn lookup_qname(&self, name: &QName) -> Option<QnId> {
-        self.qname_index.get(name).copied().map(QnId)
+        self.qnames.lookup(name).map(QnId)
     }
 
     /// Interns an attribute value into `prop`.
@@ -98,7 +194,7 @@ impl ValuePool {
 
     /// The attribute value behind a `prop` id.
     pub fn prop(&self, id: PropId) -> Option<&str> {
-        self.props.get(id.0)
+        self.props.get(id.0).map(String::as_str)
     }
 
     /// Looks up an attribute value without interning.
@@ -113,7 +209,7 @@ impl ValuePool {
 
     /// Text value by id.
     pub fn text(&self, id: u32) -> Option<&str> {
-        self.texts.get(id)
+        self.texts.get(id).map(String::as_str)
     }
 
     /// Interns a comment value.
@@ -123,7 +219,7 @@ impl ValuePool {
 
     /// Comment value by id.
     pub fn comment(&self, id: u32) -> Option<&str> {
-        self.comments.get(id)
+        self.comments.get(id).map(String::as_str)
     }
 
     /// Interns a processing instruction as `target data` (single string;
@@ -134,14 +230,14 @@ impl ValuePool {
         } else {
             format!("{target} {data}")
         };
-        self.instructions.intern(&combined)
+        self.instructions.intern(combined.as_str())
     }
 
     /// Instruction `(target, data)` by id.
     pub fn instruction(&self, id: u32) -> Option<(&str, &str)> {
         self.instructions.get(id).map(|s| match s.find(' ') {
             Some(i) => (&s[..i], &s[i + 1..]),
-            None => (s, ""),
+            None => (s.as_str(), ""),
         })
     }
 
@@ -150,16 +246,49 @@ impl ValuePool {
         self.qnames.len()
     }
 
+    /// Folds every interner's delta into a fresh shared base (ids are
+    /// preserved). Runs after shredding, in vacuum, and when a
+    /// checkpoint publishes/loads — never on the intern path, so commits
+    /// stay O(touched) and deltas are bounded by the commits since the
+    /// last maintenance point.
+    pub fn compact(&mut self) {
+        self.qnames.compact();
+        self.props.compact();
+        self.texts.compact();
+        self.comments.compact();
+        self.instructions.compact();
+    }
+
+    /// Values interned since the last compaction (diagnostic).
+    pub fn delta_len(&self) -> usize {
+        self.qnames.delta_values.len()
+            + self.props.delta_values.len()
+            + self.texts.delta_values.len()
+            + self.comments.delta_values.len()
+            + self.instructions.delta_values.len()
+    }
+
+    /// A pool sharing no storage with `self` — the clone-the-world
+    /// baseline for the commit-cost benchmark.
+    pub fn deep_clone(&self) -> ValuePool {
+        ValuePool {
+            qnames: self.qnames.deep_clone(),
+            props: self.props.deep_clone(),
+            texts: self.texts.deep_clone(),
+            comments: self.comments.deep_clone(),
+            instructions: self.instructions.deep_clone(),
+        }
+    }
+
     /// Approximate heap footprint (for the storage-overhead experiment).
     pub fn approx_bytes(&self) -> usize {
+        let string_bytes = |s: &String| (s.len() + 24) * 2;
         self.qnames
-            .iter()
-            .map(|q| q.prefix.len() + q.local.len() + 48)
-            .sum::<usize>()
-            + self.props.heap_bytes()
-            + self.texts.heap_bytes()
-            + self.comments.heap_bytes()
-            + self.instructions.heap_bytes()
+            .approx_heap(|q| q.prefix.len() + q.local.len() + 48)
+            + self.props.approx_heap(string_bytes)
+            + self.texts.approx_heap(string_bytes)
+            + self.comments.approx_heap(string_bytes)
+            + self.instructions.approx_heap(string_bytes)
     }
 }
 
@@ -204,5 +333,52 @@ mod tests {
         assert_eq!(p.instruction(a), Some(("php", "echo 1")));
         let b = p.intern_instruction("bare", "");
         assert_eq!(p.instruction(b), Some(("bare", "")));
+    }
+
+    #[test]
+    fn ids_survive_compaction() {
+        let mut p = ValuePool::new();
+        let ids: Vec<u32> = (0..600).map(|i| p.intern_text(&format!("t{i}"))).collect();
+        p.compact();
+        assert_eq!(p.delta_len(), 0);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(p.text(*id), Some(format!("t{i}").as_str()));
+        }
+        // Re-interning after compaction finds the base entry.
+        assert_eq!(p.intern_text("t42"), ids[42]);
+        // New values continue the absolute id sequence.
+        let fresh = p.intern_text("brand new");
+        assert_eq!(fresh as usize, ids.len());
+    }
+
+    #[test]
+    fn interning_never_compacts_implicitly() {
+        // Compaction clones the whole base, so it must never fire inside
+        // a commit's op.apply — only at explicit maintenance points.
+        let mut p = ValuePool::new();
+        for i in 0..100 {
+            p.intern_text(&format!("base{i}"));
+        }
+        p.compact();
+        for i in 0..5000 {
+            p.intern_text(&format!("hot{i}"));
+        }
+        assert_eq!(p.delta_len(), 5000, "intern path must not compact");
+        p.compact();
+        assert_eq!(p.delta_len(), 0);
+        assert_eq!(p.text(50), Some("base50"));
+        assert_eq!(p.text(100 + 4999), Some("hot4999"));
+    }
+
+    #[test]
+    fn clones_do_not_see_later_interns() {
+        let mut p = ValuePool::new();
+        p.intern_text("shared");
+        p.compact();
+        let snapshot = p.clone();
+        let id = p.intern_text("after-clone");
+        assert_eq!(p.text(id), Some("after-clone"));
+        assert_eq!(snapshot.text(id), None);
+        assert_eq!(snapshot.lookup_prop("after-clone"), None);
     }
 }

@@ -28,6 +28,33 @@
 //! global write lock and publishes a fresh `Arc` version; because node
 //! ids are immutable and operations are logged logically (by node id),
 //! replay order = commit order reproduces the exact same state.
+//!
+//! # O(touched-pages) commits
+//!
+//! The new version is **not** a deep copy. [`mbxq_storage::PagedDoc`]
+//! stores every column as shared copy-on-write pages
+//! (`mbxq_bat::CowVec`), so `clone` copies page *pointers* and each
+//! staged operation privatizes exactly the column pages it writes, plus
+//! the pages holding the delta-adjusted ancestor sizes. The critical
+//! section is therefore proportional to the update volume, never to the
+//! document: publishing swaps page pointers under the short global lock,
+//! and every reader snapshot keeps sharing all untouched pages with the
+//! new master — the in-memory realization of MonetDB's copy-on-write
+//! memory maps from §3.2. Locks are released on *every* commit exit path
+//! (success, validation failure, apply failure, WAL crash), so a failed
+//! commit can never strand page locks.
+//!
+//! # Checkpointing
+//!
+//! The WAL grows with every commit, and recovery replays it from
+//! genesis. [`Store::checkpoint`] bounds both: under the commit lock it
+//! serializes the current version (with its node ids and the id
+//! allocation point) into a [`wal::WalRecord::Checkpoint`], then
+//! atomically truncates the log to just that record. [`recover`] resumes
+//! from the latest checkpoint instead of genesis. [`Store::vacuum`] and
+//! [`Store::occupancy`] complete the maintenance surface: page
+//! reorganization runs under the same commit lock and publishes like a
+//! commit does.
 
 pub mod locks;
 pub mod op;
@@ -76,6 +103,17 @@ pub enum TxnError {
         /// What the validator reported.
         message: String,
     },
+    /// A maintenance operation (vacuum) found write transactions in
+    /// flight; retry when the writers have finished.
+    Busy {
+        /// Pages currently locked by in-flight transactions.
+        locked_pages: usize,
+    },
+    /// A vacuum relocated tuples across logical pages after this
+    /// transaction took its snapshot but before it acquired its first
+    /// page lock — its page numbering (and therefore lock disjointness)
+    /// would be stale. Abort and retry on a fresh snapshot.
+    LayoutChanged,
 }
 
 impl core::fmt::Display for TxnError {
@@ -86,6 +124,15 @@ impl core::fmt::Display for TxnError {
             TxnError::Path(e) => write!(f, "xpath: {e}"),
             TxnError::Wal(e) => write!(f, "wal: {e}"),
             TxnError::ValidationFailed { message } => write!(f, "validation failed: {message}"),
+            TxnError::Busy { locked_pages } => {
+                write!(f, "store busy: {locked_pages} pages locked by writers")
+            }
+            TxnError::LayoutChanged => {
+                write!(
+                    f,
+                    "page layout reorganized since this transaction began; retry"
+                )
+            }
         }
     }
 }
@@ -165,6 +212,11 @@ pub struct Store {
     /// here at staging time, so ids are identical in the transaction's
     /// workspace, at commit replay, and during recovery.
     next_node: AtomicU64,
+    /// Bumped by [`Store::vacuum`] (which relocates tuples across
+    /// logical pages). Transactions verify it *after* acquiring page
+    /// locks: a held lock blocks vacuum, so an unchanged epoch at that
+    /// point proves the lock's page numbering is current.
+    layout_epoch: AtomicU64,
     config: StoreConfig,
 }
 
@@ -179,6 +231,7 @@ impl Store {
             locks: locks::LockManager::new(),
             next_txn: AtomicU64::new(1),
             next_node: AtomicU64::new(next_node),
+            layout_epoch: AtomicU64::new(0),
             config,
         }
     }
@@ -201,6 +254,10 @@ impl Store {
         WriteTxn {
             store: self,
             id,
+            // Epoch is read BEFORE the snapshot: vacuum publishes before
+            // bumping, so observing the new epoch implies the snapshot
+            // read below sees the new layout (never new-epoch/old-doc).
+            epoch: self.layout_epoch.load(Ordering::Acquire),
             snapshot: self.snapshot(),
             work: None,
             ops: Vec::new(),
@@ -220,6 +277,101 @@ impl Store {
     pub fn with_doc<R>(&self, f: impl FnOnce(&PagedDoc) -> R) -> R {
         f(&self.snapshot())
     }
+
+    /// Number of logical pages currently locked by in-flight write
+    /// transactions (diagnostic; the regression tests for the
+    /// commit-path lock leak assert on it).
+    pub fn locked_pages(&self) -> usize {
+        self.locks.locked_pages()
+    }
+
+    /// Writes a checkpoint and truncates the WAL to it.
+    ///
+    /// Under the commit lock (so no commit interleaves), the current
+    /// version is serialized — as a structure-preserving tuple dump
+    /// carrying every node id plus the id allocation point, *not* as XML
+    /// text, which would coalesce adjacent text tuples on reparse — into
+    /// a [`wal::WalRecord::Checkpoint`], and the log is atomically
+    /// replaced by that single record. [`recover`] then resumes from the
+    /// checkpoint instead of replaying history from genesis, and the log
+    /// stops growing without bound. A crash during checkpointing leaves
+    /// the previous log intact (write-temp-then-rename).
+    pub fn checkpoint(&self) -> Result<CheckpointInfo> {
+        let _global = self.commit_lock.lock().unwrap();
+        let doc = self.snapshot();
+        let record = WalRecord::Checkpoint {
+            alloc_end: doc.node_alloc_end(),
+            tuples: doc.used_count(),
+            dump: doc.checkpoint_dump(),
+        };
+        let mut wal = self.wal.lock().unwrap();
+        let wal_bytes_before = wal.len_bytes();
+        wal.reset_with(&record)?;
+        // Checkpoints double as the pool/attr-index maintenance point:
+        // fold the accumulated deltas into fresh shared bases (never
+        // done on the commit path, where it would cost O(document) under
+        // the commit lock) and publish the compacted version. Node ids,
+        // pages and interned ids are unchanged, so snapshots, staged
+        // transactions and page locks are all unaffected.
+        let mut compacted = (*doc).clone();
+        compacted.pool_mut().compact();
+        compacted.compact_attr_index();
+        *self.doc.write().unwrap() = Arc::new(compacted);
+        Ok(CheckpointInfo {
+            nodes: doc.used_count(),
+            wal_bytes_before,
+            wal_bytes_after: wal.len_bytes(),
+        })
+    }
+
+    /// Reorganizes the document's pages at the configured fill factor
+    /// (see [`PagedDoc::vacuum`]), under the commit lock, publishing the
+    /// rewritten version like a commit does.
+    ///
+    /// Fails with [`TxnError::Busy`] if write transactions currently
+    /// hold page locks: vacuum relocates tuples across logical pages, so
+    /// it must not run concurrently with writers whose lock sets name
+    /// the old layout.
+    pub fn vacuum(&self) -> Result<mbxq_storage::VacuumReport> {
+        let _global = self.commit_lock.lock().unwrap();
+        // Freeze the lock table for the whole rebuild-publish-bump
+        // sequence: the freeze verifies no lock is held *and* prevents
+        // any acquisition while page numbers are in flux, closing the
+        // window in which a transaction could lock stale numbering with
+        // a current epoch. Publish happens before the epoch bump, and
+        // `begin` reads the epoch before the snapshot, so a transaction
+        // observing the new epoch is guaranteed the new layout.
+        self.locks
+            .freeze()
+            .map_err(|locked_pages| TxnError::Busy { locked_pages })?;
+        let result = (|| {
+            let current = self.doc.read().unwrap().clone();
+            let mut new_doc = (*current).clone();
+            let report = new_doc.vacuum()?;
+            *self.doc.write().unwrap() = Arc::new(new_doc);
+            self.layout_epoch.fetch_add(1, Ordering::AcqRel);
+            Ok(report)
+        })();
+        self.locks.unfreeze();
+        result
+    }
+
+    /// Fraction of allocated slots holding live tuples in the committed
+    /// version (0.0–1.0) — the trigger metric for [`Store::vacuum`].
+    pub fn occupancy(&self) -> f64 {
+        self.snapshot().occupancy()
+    }
+}
+
+/// Outcome of [`Store::checkpoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointInfo {
+    /// Live nodes captured by the checkpoint.
+    pub nodes: u64,
+    /// Log length before truncation.
+    pub wal_bytes_before: usize,
+    /// Log length after (the checkpoint record alone).
+    pub wal_bytes_after: usize,
 }
 
 /// An in-flight write transaction.
@@ -231,6 +383,9 @@ impl Store {
 pub struct WriteTxn<'s> {
     store: &'s Store,
     id: TxnId,
+    /// The store's layout epoch at begin time (see
+    /// `Store::layout_epoch`).
+    epoch: u64,
     snapshot: Arc<PagedDoc>,
     /// Private working copy — the paper's copy-on-write view. Created on
     /// the first update so that later operations (and XUpdate commands)
@@ -289,7 +444,26 @@ impl WriteTxn<'_> {
                 .acquire_read(self.id, page, self.store.config.lock_timeout)
                 .map_err(|page| TxnError::LockTimeout { page })?;
         }
+        self.verify_layout()?;
         Ok(nodes)
+    }
+
+    /// Fails with [`TxnError::LayoutChanged`] if a vacuum relocated
+    /// pages since this transaction began. Called *after* acquiring
+    /// locks: vacuum refuses to run while any lock is held, so if the
+    /// epoch is still ours here, no vacuum can invalidate the pages we
+    /// just locked for as long as we hold them.
+    fn verify_layout(&self) -> Result<()> {
+        if self.store.layout_epoch.load(Ordering::Acquire) != self.epoch {
+            // An epoch change implies this transaction held no locks
+            // while the vacuum ran (held locks make vacuum return
+            // `Busy`), so it has no staged ops either — releasing the
+            // just-acquired locks cannot break 2PL, and the doomed
+            // transaction stops blocking healthy writers immediately.
+            self.store.locks.release_all(self.id);
+            return Err(TxnError::LayoutChanged);
+        }
+        Ok(())
     }
 
     /// Stages and locally applies a structural insert (write-locking the
@@ -330,6 +504,7 @@ impl WriteTxn<'_> {
                 .map_err(|page| TxnError::LockTimeout { page })?;
         }
         self.lock_ancestors_if_exclusive(target)?;
+        self.verify_layout()?;
         self.work_mut().delete(target)?;
         self.ops.push(Op::Delete { node: target });
         Ok(())
@@ -398,7 +573,8 @@ impl WriteTxn<'_> {
             .locks
             .acquire_write(self.id, page, self.store.config.lock_timeout)
             .map_err(|page| TxnError::LockTimeout { page })?;
-        self.lock_ancestors_if_exclusive(target)
+        self.lock_ancestors_if_exclusive(target)?;
+        self.verify_layout()
     }
 
     /// In `Exclusive` mode, write-locks the page of every ancestor — the
@@ -424,14 +600,27 @@ impl WriteTxn<'_> {
     /// Commits: validation → global write lock → WAL append → carry the
     /// staged operations into the master document → publish the new
     /// version → release all locks (Figure 8, bottom half).
+    ///
+    /// Strict 2PL demands that the page locks are released on **every**
+    /// exit path — success, validation failure, a failing staged op, or
+    /// a WAL crash — otherwise a failed commit strands its locks forever
+    /// and later writers die with [`TxnError::LockTimeout`]. The release
+    /// therefore lives here, outside the fallible body.
     pub fn commit(mut self) -> Result<CommitInfo> {
-        self.finished = true;
         let store = self.store;
+        let id = self.id;
         let ops = std::mem::take(&mut self.ops);
+        let result = Self::commit_ops(store, id, &ops);
+        self.finished = true;
+        store.locks.release_all(id);
+        result
+    }
+
+    /// The fallible commit body; lock release is handled by the caller.
+    fn commit_ops(store: &Store, id: TxnId, ops: &[Op]) -> Result<CommitInfo> {
         if ops.is_empty() {
-            store.locks.release_all(self.id);
             return Ok(CommitInfo {
-                txn: self.id,
+                txn: id,
                 ..CommitInfo::default()
             });
         }
@@ -439,20 +628,23 @@ impl WriteTxn<'_> {
         // ---- global write lock: the short critical section ----
         let _global = store.commit_lock.lock().unwrap();
 
-        // Build the new version by applying the logical redo ops. Node
+        // Build the new version by applying the logical redo ops to a
+        // copy-on-write clone of the master: only the column pages the
+        // ops touch are privatized, everything else stays shared with
+        // the current version (and with every reader snapshot). Node
         // ids pin the targets, so ops staged against the snapshot apply
         // correctly to the current master even if other transactions
         // committed in between (their page locks guaranteed disjointness;
         // ancestor sizes are adjusted by the storage layer as *deltas*
         // on the current values — the commutative operations of §3.2).
         let mut info = CommitInfo {
-            txn: self.id,
+            txn: id,
             ops: ops.len(),
             ..CommitInfo::default()
         };
         let current = store.doc.read().unwrap().clone();
         let mut new_doc = (*current).clone();
-        for op in &ops {
+        for op in ops {
             let (ins, del, anc) = op.apply(&mut new_doc)?;
             info.inserted += ins;
             info.deleted += del;
@@ -463,7 +655,6 @@ impl WriteTxn<'_> {
         // transaction is aborted").
         if store.config.validate_on_commit {
             if let Err(e) = mbxq_storage::invariants::check_paged(&new_doc) {
-                store.locks.release_all(self.id);
                 return Err(TxnError::ValidationFailed {
                     message: e.to_string(),
                 });
@@ -472,24 +663,16 @@ impl WriteTxn<'_> {
 
         // WAL: "writing the WAL is the crucial stage in transaction
         // commit, it consists of a single I/O" — one logical record
-        // carrying all redo entries plus the commit marker.
-        {
-            let mut wal = store.wal.lock().unwrap();
-            let res = wal.append(&WalRecord::Commit {
-                txn: self.id,
-                ops: ops.clone(),
-            });
-            if let Err(e) = res {
-                // Crash (or I/O failure) before the commit record hit
-                // the log: the transaction never happened.
-                store.locks.release_all(self.id);
-                return Err(TxnError::Wal(e));
-            }
-        }
+        // carrying all redo entries plus the commit marker. A crash (or
+        // I/O failure) before the commit record hit the log means the
+        // transaction never happened.
+        store.wal.lock().unwrap().append(&WalRecord::Commit {
+            txn: id,
+            ops: ops.to_vec(),
+        })?;
 
-        // Publish.
+        // Publish: swap the page pointers into place.
         *store.doc.write().unwrap() = Arc::new(new_doc);
-        store.locks.release_all(self.id);
         Ok(info)
     }
 
@@ -798,6 +981,7 @@ mod tests {
         assert_eq!(records.len(), 1);
         match &records[0] {
             WalRecord::Commit { ops, .. } => assert_eq!(ops.len(), 1),
+            other => panic!("expected a commit record, got {other:?}"),
         }
     }
 
@@ -809,6 +993,199 @@ mod tests {
         assert_eq!(info.ops, 0);
         let (_, wal) = s.into_parts();
         assert!(wal.read_all().unwrap().is_empty());
+    }
+
+    /// Regression for the commit-path lock leak: a staged op that fails
+    /// while being applied to the master (here: a redo op naming a node
+    /// that does not exist) must still release every page lock — before
+    /// the fix, `finished` was set before the fallible body ran, so the
+    /// `Drop` guard skipped cleanup and later writers starved.
+    #[test]
+    fn failed_commit_releases_all_locks() {
+        let s = store(AncestorLockMode::Delta);
+        let mut t = s.begin();
+        let person = t.select(&XPath::parse("//person").unwrap()).unwrap();
+        t.set_attribute(person[0], &mbxq_xml::QName::local("vip"), "yes")
+            .unwrap();
+        // Sabotage the redo list with an op that cannot apply.
+        t.ops.push(Op::Delete {
+            node: NodeId(99_999),
+        });
+        assert!(s.locked_pages() > 0);
+        let err = t.commit().unwrap_err();
+        assert!(matches!(err, TxnError::Storage(_)), "got {err}");
+        assert_eq!(
+            s.locked_pages(),
+            0,
+            "a failed commit must not strand page locks"
+        );
+        // Master unchanged, and later writers proceed normally.
+        assert!(!to_xml(s.snapshot().as_ref()).unwrap().contains("vip"));
+        let mut t2 = s.begin();
+        let person = t2.select(&XPath::parse("//person").unwrap()).unwrap();
+        t2.set_attribute(person[0], &mbxq_xml::QName::local("vip"), "yes")
+            .unwrap();
+        t2.commit().unwrap();
+        assert!(to_xml(s.snapshot().as_ref()).unwrap().contains("vip"));
+    }
+
+    #[test]
+    fn failed_validation_releases_all_locks() {
+        // Same guarantee on the validation exit path: an op list whose
+        // replay produces a different shape than the workspace (a
+        // duplicate insert of the same reserved ids) trips the checker.
+        let s = store(AncestorLockMode::Delta);
+        let mut t = s.begin();
+        let people = t.select(&XPath::parse("/site/people").unwrap()).unwrap();
+        let frag = Document::parse_fragment("<person id=\"dup\"/>").unwrap();
+        t.insert(InsertPosition::LastChildOf(people[0]), &frag)
+            .unwrap();
+        let dup = t.ops[0].clone();
+        t.ops.push(dup);
+        let err = t.commit().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TxnError::Storage(_) | TxnError::ValidationFailed { .. }
+            ),
+            "got {err}"
+        );
+        assert_eq!(s.locked_pages(), 0);
+    }
+
+    /// The commit publishes by swapping page pointers: everything but
+    /// the touched pages stays physically shared with the previous
+    /// version.
+    #[test]
+    fn commit_shares_untouched_pages_with_the_old_version() {
+        let s = store(AncestorLockMode::Delta);
+        let before = s.snapshot();
+        let mut t = s.begin();
+        let person = t.select(&XPath::parse("//person").unwrap()).unwrap();
+        t.set_attribute(person[0], &mbxq_xml::QName::local("vip"), "yes")
+            .unwrap();
+        t.commit().unwrap();
+        let after = s.snapshot();
+        let (shared, total) = after.shared_pages_with(&before);
+        assert!(
+            shared > 0 && shared <= total,
+            "expected structural sharing, got {shared}/{total}"
+        );
+        // An attribute write touches no base-table column at all: every
+        // tree page stays shared.
+        assert_eq!(shared, total, "attribute set must not touch tree pages");
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_recovery_resumes_from_it() {
+        let s = store(AncestorLockMode::Delta);
+        let frag = Document::parse_fragment("<person id=\"pre\"/>").unwrap();
+        let mut t = s.begin();
+        let people = t.select(&XPath::parse("/site/people").unwrap()).unwrap();
+        t.insert(InsertPosition::LastChildOf(people[0]), &frag)
+            .unwrap();
+        t.commit().unwrap();
+
+        let info = s.checkpoint().unwrap();
+        assert!(info.wal_bytes_before > 0);
+        assert_eq!(info.nodes, s.snapshot().used_count());
+
+        // Post-checkpoint commit deletes a PRE-checkpoint node — only
+        // possible if the checkpoint preserved node ids.
+        let mut t = s.begin();
+        let victims = t
+            .select(&XPath::parse("//person[@id='pre']").unwrap())
+            .unwrap();
+        t.delete(victims[0]).unwrap();
+        t.commit().unwrap();
+
+        let live = to_xml(s.snapshot().as_ref()).unwrap();
+        let (_, wal) = s.into_parts();
+        let recovered = recover::recover(DOC, PageConfig::new(8, 75).unwrap(), &wal.raw().unwrap())
+            .expect("recovery resumes from the checkpoint");
+        assert_eq!(to_xml(&recovered).unwrap(), live);
+        mbxq_storage::invariants::check_paged(&recovered).unwrap();
+    }
+
+    #[test]
+    fn store_vacuum_publishes_and_respects_writers() {
+        let s = store(AncestorLockMode::Delta);
+        // Fragment the store a little.
+        let mut t = s.begin();
+        let person = t.select(&XPath::parse("//person").unwrap()).unwrap();
+        t.delete(person[0]).unwrap();
+        t.commit().unwrap();
+        let occ_before = s.occupancy();
+
+        // A writer holding locks blocks vacuum.
+        let mut w = s.begin();
+        let africa = w.select(&XPath::parse("//africa").unwrap()).unwrap();
+        let frag = Document::parse_fragment("<m9/>").unwrap();
+        w.insert(InsertPosition::LastChildOf(africa[0]), &frag)
+            .unwrap();
+        assert!(matches!(s.vacuum(), Err(TxnError::Busy { .. })));
+        w.commit().unwrap();
+
+        let before = to_xml(s.snapshot().as_ref()).unwrap();
+        let report = s.vacuum().unwrap();
+        assert!(report.tuples_moved > 0);
+        assert_eq!(to_xml(s.snapshot().as_ref()).unwrap(), before);
+        assert!(s.occupancy() >= occ_before);
+        // The store stays fully usable after reorganization.
+        let mut t = s.begin();
+        let asia = t.select(&XPath::parse("//asia").unwrap()).unwrap();
+        let frag = Document::parse_fragment("<n3/>").unwrap();
+        t.insert(InsertPosition::LastChildOf(asia[0]), &frag)
+            .unwrap();
+        t.commit().unwrap();
+        mbxq_storage::invariants::check_paged(s.snapshot().as_ref()).unwrap();
+    }
+
+    /// A transaction that took its snapshot before a vacuum must not be
+    /// allowed to lock pages afterwards: its page numbering refers to
+    /// the pre-vacuum layout, so its locks would not actually cover its
+    /// targets and 2PL disjointness would silently break.
+    #[test]
+    fn vacuum_invalidates_transactions_begun_before_it() {
+        let s = store(AncestorLockMode::Delta);
+        let mut stale = s.begin(); // snapshot pinned, no locks yet
+        s.vacuum().unwrap();
+        let err = stale
+            .select(&XPath::parse("//person").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, TxnError::LayoutChanged), "got {err}");
+        assert_eq!(
+            s.locked_pages(),
+            0,
+            "the refused select must not keep locks"
+        );
+        stale.abort();
+        // A fresh transaction on the new layout works.
+        let mut t = s.begin();
+        assert!(t.select(&XPath::parse("//person").unwrap()).is_ok());
+        t.abort();
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_published_deltas() {
+        let s = store(AncestorLockMode::Delta);
+        let mut t = s.begin();
+        let people = t.select(&XPath::parse("/site/people").unwrap()).unwrap();
+        let frag = Document::parse_fragment("<person id=\"fresh\"/>").unwrap();
+        t.insert(InsertPosition::LastChildOf(people[0]), &frag)
+            .unwrap();
+        t.commit().unwrap();
+        assert!(
+            s.snapshot().pool().delta_len() > 0,
+            "the commit interned new values into the delta"
+        );
+        s.checkpoint().unwrap();
+        assert_eq!(
+            s.snapshot().pool().delta_len(),
+            0,
+            "checkpoint must fold pool deltas into the shared base"
+        );
+        assert!(to_xml(s.snapshot().as_ref()).unwrap().contains("fresh"));
     }
 
     #[test]

@@ -6,25 +6,60 @@
 //! the changes … All this information is present in the WAL, such that
 //! during recovery an up-to-date version of the database can be
 //! restored" (§3.2). Because our WAL holds *logical* redo records keyed
-//! by immutable node ids, recovery is: shred the checkpoint, then replay
-//! every complete commit record in log order. Node-id allocation is
-//! deterministic, so replay reproduces the ids later records refer to.
+//! by immutable node ids, recovery is: load the latest checkpoint (the
+//! genesis document, or a [`WalRecord::Checkpoint`] written by
+//! [`crate::Store::checkpoint`] when it truncated the log), then replay
+//! every complete commit record after it in log order. Node-id
+//! allocation is deterministic — and a checkpoint record carries the
+//! live node ids plus the allocation point — so replay reproduces the
+//! exact ids later records refer to.
 
 use crate::wal::{decode_log, WalError, WalRecord};
 use crate::{Result, TxnError};
-use mbxq_storage::{PageConfig, PagedDoc};
+use mbxq_storage::{PageConfig, PagedDoc, TreeView};
 
-/// Rebuilds the document from checkpoint XML and the raw WAL bytes.
+/// Rebuilds the document from genesis XML and the raw WAL bytes,
+/// resuming from the last complete checkpoint record if the log holds
+/// one (then `genesis_xml` is not even parsed).
 ///
 /// Torn trailing records (a crash mid-commit) are ignored — those
-/// transactions never committed. A corrupt record *before* valid ones is
-/// reported as an error (real corruption, not a crash artifact).
-pub fn recover(checkpoint_xml: &str, cfg: PageConfig, wal_bytes: &[u8]) -> Result<PagedDoc> {
-    let mut doc = PagedDoc::parse_str(checkpoint_xml, cfg)?;
+/// transactions never committed; likewise a crash during checkpointing
+/// leaves the previous log intact, so the pre-checkpoint history is
+/// still replayable. A corrupt record *before* valid ones is reported as
+/// an error (real corruption, not a crash artifact).
+pub fn recover(genesis_xml: &str, cfg: PageConfig, wal_bytes: &[u8]) -> Result<PagedDoc> {
     let records = decode_log(wal_bytes).map_err(TxnError::Wal)?;
-    for record in records {
-        let WalRecord::Commit { txn, ops } = record;
-        for op in &ops {
+    let resume = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Checkpoint { .. }));
+    let (mut doc, skip) = match resume {
+        Some(i) => {
+            let WalRecord::Checkpoint {
+                alloc_end,
+                tuples,
+                dump,
+            } = &records[i]
+            else {
+                unreachable!("rposition matched a checkpoint");
+            };
+            let doc = PagedDoc::from_checkpoint_dump(dump, cfg, *alloc_end)?;
+            if doc.used_count() != *tuples {
+                return Err(TxnError::Wal(WalError::Corrupt {
+                    message: format!(
+                        "checkpoint declares {tuples} tuples but its dump carries {}",
+                        doc.used_count()
+                    ),
+                }));
+            }
+            (doc, i + 1)
+        }
+        None => (PagedDoc::parse_str(genesis_xml, cfg)?, 0),
+    };
+    for record in &records[skip..] {
+        let WalRecord::Commit { txn, ops } = record else {
+            continue; // a checkpoint can only sit at the log head
+        };
+        for op in ops {
             op.apply(&mut doc).map_err(|e| {
                 TxnError::Wal(WalError::Corrupt {
                     message: format!("replay of txn {txn} failed: {e}"),

@@ -64,6 +64,21 @@ pub enum WalRecord {
         /// Redo operations in execution order.
         ops: Vec<Op>,
     },
+    /// A checkpoint: the full committed document state at the moment the
+    /// log was truncated. Recovery resumes from the *last* complete
+    /// checkpoint instead of replaying history from genesis.
+    Checkpoint {
+        /// One past the highest node id allocated so far — replayed
+        /// inserts must not re-issue ids of deleted nodes.
+        alloc_end: u64,
+        /// Used-tuple count (integrity check for the dump).
+        tuples: u64,
+        /// The structure-preserving tuple dump
+        /// ([`mbxq_storage::PagedDoc::checkpoint_dump`] format — not XML
+        /// text, which would coalesce adjacent text tuples on reparse
+        /// and desynchronize node ids).
+        dump: String,
+    },
 }
 
 enum Backend {
@@ -74,10 +89,14 @@ enum Backend {
 /// The write-ahead log.
 pub struct Wal {
     backend: Backend,
-    /// If set, appending fails once the total byte count would exceed
-    /// this limit — the crash-injection hook.
+    /// If set, log I/O fails once the *cumulative* byte count would
+    /// exceed this limit — the crash-injection hook.
     crash_after_bytes: Option<usize>,
+    /// Current log length.
     bytes_written: usize,
+    /// Cumulative bytes of log I/O ever attempted (survives truncation,
+    /// so an armed crash budget keeps counting across a checkpoint).
+    io_total: usize,
 }
 
 impl Wal {
@@ -87,6 +106,7 @@ impl Wal {
             backend: Backend::Memory(Vec::new()),
             crash_after_bytes: None,
             bytes_written: 0,
+            io_total: 0,
         }
     }
 
@@ -105,17 +125,19 @@ impl Wal {
             backend: Backend::File(file, path.to_path_buf()),
             crash_after_bytes: None,
             bytes_written,
+            io_total: bytes_written,
         })
     }
 
-    /// Arms crash injection: the append that would push the total past
-    /// `limit` bytes writes only the prefix up to the limit and fails —
-    /// simulating a torn record at an arbitrary byte position.
+    /// Arms crash injection: the log I/O that would push the cumulative
+    /// total past `limit` bytes fails — an append writes only the prefix
+    /// up to the limit (a torn record at an arbitrary byte position); a
+    /// checkpoint rewrite fails atomically, leaving the old log intact.
     pub fn crash_after_bytes(&mut self, limit: usize) {
         self.crash_after_bytes = Some(limit);
     }
 
-    /// Total bytes appended so far.
+    /// Current log length in bytes.
     pub fn len_bytes(&self) -> usize {
         self.bytes_written
     }
@@ -125,10 +147,11 @@ impl Wal {
         let encoded = encode_record(record);
         let bytes = encoded.as_bytes();
         let allowed = match self.crash_after_bytes {
-            Some(limit) if self.bytes_written + bytes.len() > limit => {
-                let prefix = limit.saturating_sub(self.bytes_written);
+            Some(limit) if self.io_total + bytes.len() > limit => {
+                let prefix = limit.saturating_sub(self.io_total);
                 self.write_raw(&bytes[..prefix])?;
                 self.bytes_written += prefix;
+                self.io_total = limit;
                 return Err(WalError::Crashed {
                     bytes_written: prefix,
                 });
@@ -137,6 +160,47 @@ impl Wal {
         };
         self.write_raw(allowed)?;
         self.bytes_written += allowed.len();
+        self.io_total += allowed.len();
+        Ok(())
+    }
+
+    /// Atomically replaces the whole log with `record` — the checkpoint
+    /// truncation. Either the new log (just the checkpoint record) or
+    /// the old log survives; a crash mid-rewrite never leaves a
+    /// truncated log, mirroring the write-temp-then-rename protocol the
+    /// file backend actually uses.
+    pub fn reset_with(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let encoded = encode_record(record);
+        let bytes = encoded.as_bytes();
+        if let Some(limit) = self.crash_after_bytes {
+            if self.io_total + bytes.len() > limit {
+                // The crash hit while writing the checkpoint's temp
+                // file; the live log is untouched.
+                self.io_total = limit;
+                return Err(WalError::Crashed { bytes_written: 0 });
+            }
+        }
+        match &mut self.backend {
+            Backend::Memory(buf) => {
+                buf.clear();
+                buf.extend_from_slice(bytes);
+            }
+            Backend::File(f, path) => {
+                let tmp = path.with_extension("wal-tmp");
+                let io = |e: std::io::Error| WalError::Io {
+                    message: e.to_string(),
+                };
+                std::fs::write(&tmp, bytes).map_err(io)?;
+                std::fs::rename(&tmp, &*path).map_err(io)?;
+                *f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .read(true)
+                    .open(&*path)
+                    .map_err(io)?;
+            }
+        }
+        self.bytes_written = bytes.len();
+        self.io_total += bytes.len();
         Ok(())
     }
 
@@ -173,15 +237,17 @@ impl Wal {
     }
 }
 
-/// Record wire format (text, newline-free payloads thanks to
-/// length-prefixed strings):
+/// Record wire format (text; payload lengths are explicit, so payloads
+/// may contain anything including newlines):
 ///
 /// ```text
 /// W <txn> <op-count> <byte-len-of-payload>\n<payload>\n
+/// C <alloc-end> <tuple-count> <byte-len-of-payload>\n<payload>\n
 /// ```
 ///
-/// where payload = ops joined by `\x1f`. The trailing `\n` completes the
-/// record; recovery only accepts records whose full payload is present.
+/// A commit payload is the ops joined by `\x1f`; a checkpoint payload is
+/// the tuple dump. The trailing `\n` completes the record; recovery only
+/// accepts records whose full payload is present.
 fn encode_record(record: &WalRecord) -> String {
     match record {
         WalRecord::Commit { txn, ops } => {
@@ -194,6 +260,15 @@ fn encode_record(record: &WalRecord) -> String {
             }
             let mut out = String::new();
             let _ = write!(out, "W {txn} {} {}\n{payload}\n", ops.len(), payload.len());
+            out
+        }
+        WalRecord::Checkpoint {
+            alloc_end,
+            tuples,
+            dump,
+        } => {
+            let mut out = String::new();
+            let _ = write!(out, "C {alloc_end} {tuples} {}\n{dump}\n", dump.len());
             out
         }
     }
@@ -211,7 +286,7 @@ pub fn decode_log(raw: &[u8]) -> Result<Vec<WalRecord>, WalError> {
         let header = &rest[..nl];
         let body_start = nl + 1;
         let mut it = header.split(' ');
-        let (Some("W"), Some(txn), Some(op_count), Some(len)) =
+        let (Some(tag @ ("W" | "C")), Some(a), Some(b), Some(len)) =
             (it.next(), it.next(), it.next(), it.next())
         else {
             // A torn record at the tail is fine; garbage in the middle is
@@ -219,11 +294,8 @@ pub fn decode_log(raw: &[u8]) -> Result<Vec<WalRecord>, WalError> {
             // treat undecodable headers as the end of the valid prefix.
             break;
         };
-        let (Ok(txn), Ok(op_count), Ok(len)) = (
-            txn.parse::<u64>(),
-            op_count.parse::<usize>(),
-            len.parse::<usize>(),
-        ) else {
+        let (Ok(a), Ok(b), Ok(len)) = (a.parse::<u64>(), b.parse::<usize>(), len.parse::<usize>())
+        else {
             break;
         };
         if rest.len() < body_start + len + 1 {
@@ -233,23 +305,36 @@ pub fn decode_log(raw: &[u8]) -> Result<Vec<WalRecord>, WalError> {
         if rest.as_bytes()[body_start + len] != b'\n' {
             break; // missing terminator
         }
-        let mut ops = Vec::with_capacity(op_count);
-        if !payload.is_empty() {
-            for chunk in payload.split('\u{1f}') {
-                ops.push(Op::decode(chunk).map_err(|e| WalError::Corrupt {
-                    message: format!("record of txn {txn}: {e}"),
-                })?);
+        match tag {
+            "W" => {
+                let (txn, op_count) = (a, b);
+                let mut ops = Vec::with_capacity(op_count);
+                if !payload.is_empty() {
+                    for chunk in payload.split('\u{1f}') {
+                        ops.push(Op::decode(chunk).map_err(|e| WalError::Corrupt {
+                            message: format!("record of txn {txn}: {e}"),
+                        })?);
+                    }
+                }
+                if ops.len() != op_count {
+                    return Err(WalError::Corrupt {
+                        message: format!(
+                            "record of txn {txn} declares {op_count} ops but carries {}",
+                            ops.len()
+                        ),
+                    });
+                }
+                records.push(WalRecord::Commit { txn, ops });
             }
+            "C" => {
+                records.push(WalRecord::Checkpoint {
+                    alloc_end: a,
+                    tuples: b as u64,
+                    dump: payload.to_string(),
+                });
+            }
+            _ => unreachable!("tag matched above"),
         }
-        if ops.len() != op_count {
-            return Err(WalError::Corrupt {
-                message: format!(
-                    "record of txn {txn} declares {op_count} ops but carries {}",
-                    ops.len()
-                ),
-            });
-        }
-        records.push(WalRecord::Commit { txn, ops });
         rest = &rest[body_start + len + 1..];
     }
     Ok(records)
@@ -331,6 +416,69 @@ mod tests {
         let records = wal.read_all().unwrap();
         assert_eq!(records, vec![sample_record(7)]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn sample_checkpoint() -> WalRecord {
+        WalRecord::Checkpoint {
+            alloc_end: 17,
+            tuples: 2,
+            dump: "E 0 0 1:r T 2 1 9:line\none\n A 0 1:k 3:v v ".into(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut wal = Wal::in_memory();
+        wal.append(&sample_checkpoint()).unwrap();
+        wal.append(&sample_record(3)).unwrap();
+        let records = wal.read_all().unwrap();
+        assert_eq!(records[0], sample_checkpoint());
+        assert_eq!(records[1], sample_record(3));
+    }
+
+    #[test]
+    fn reset_with_truncates_to_one_checkpoint() {
+        let mut wal = Wal::in_memory();
+        wal.append(&sample_record(1)).unwrap();
+        wal.append(&sample_record(2)).unwrap();
+        let before = wal.len_bytes();
+        wal.reset_with(&sample_checkpoint()).unwrap();
+        assert!(wal.len_bytes() < before + 100);
+        assert_eq!(wal.read_all().unwrap(), vec![sample_checkpoint()]);
+        wal.append(&sample_record(9)).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crashed_reset_leaves_the_old_log_intact() {
+        let mut wal = Wal::in_memory();
+        wal.append(&sample_record(1)).unwrap();
+        wal.crash_after_bytes(wal.len_bytes() + 5);
+        let err = wal.reset_with(&sample_checkpoint()).unwrap_err();
+        assert!(matches!(err, WalError::Crashed { bytes_written: 0 }));
+        // The pre-checkpoint history is still fully readable.
+        assert_eq!(wal.read_all().unwrap(), vec![sample_record(1)]);
+    }
+
+    #[test]
+    fn file_backend_reset_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("mbxq-wal-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::file(&path).unwrap();
+            wal.append(&sample_record(1)).unwrap();
+            wal.reset_with(&sample_checkpoint()).unwrap();
+            wal.append(&sample_record(2)).unwrap();
+        }
+        let wal = Wal::file(&path).unwrap();
+        assert_eq!(
+            wal.read_all().unwrap(),
+            vec![sample_checkpoint(), sample_record(2)]
+        );
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

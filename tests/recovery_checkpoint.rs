@@ -1,0 +1,252 @@
+//! Crash-injection property test for recovery across a checkpoint
+//! boundary (seeded-loop style, like the rest of the suite).
+//!
+//! Each seed drives a deterministic random workload — batches of
+//! inserts, deletes and attribute writes, with a WAL checkpoint taken at
+//! a random point in the middle — twice: once intact, once with a crash
+//! budget armed at a random cumulative-I/O offset. Whatever the crash
+//! tears (a trailing commit record, or the checkpoint rewrite itself),
+//! recovery from the surviving log bytes must reproduce exactly the last
+//! successfully committed state: commits before the checkpoint, the
+//! checkpoint truncation, and commits after it all have to line up,
+//! including post-checkpoint deletes of pre-checkpoint nodes (which only
+//! work if checkpoints preserve node ids).
+
+mod common;
+
+use common::TestRng;
+use mbxq::{
+    AncestorLockMode, InsertPosition, PageConfig, PagedDoc, Store, StoreConfig, TreeView, XPath,
+};
+use mbxq_txn::recover::recover;
+use mbxq_txn::wal::Wal;
+use mbxq_xml::Document;
+use std::time::Duration;
+
+const GENESIS: &str = "<root>\
+    <s0><p id=\"a0\"/><p id=\"a1\"/></s0>\
+    <s1><p id=\"b0\"/><p id=\"b1\"/></s1>\
+    <s2><p id=\"c0\"/><p id=\"c1\"/></s2>\
+    </root>";
+
+fn cfg() -> PageConfig {
+    PageConfig::new(16, 75).unwrap()
+}
+
+fn open_store(crash_at: Option<usize>) -> Store {
+    let doc = PagedDoc::parse_str(GENESIS, cfg()).unwrap();
+    let mut wal = Wal::in_memory();
+    if let Some(limit) = crash_at {
+        wal.crash_after_bytes(limit);
+    }
+    Store::open(
+        doc,
+        wal,
+        StoreConfig {
+            ancestor_mode: AncestorLockMode::Delta,
+            lock_timeout: Duration::from_millis(500),
+            validate_on_commit: true,
+        },
+    )
+}
+
+/// Runs the seed's workload until completion or the injected crash.
+/// Returns the XML of the last successfully committed state and the raw
+/// WAL bytes a recovery process would find.
+fn run_workload(seed: u64, crash_at: Option<usize>) -> (String, Vec<u8>) {
+    let mut rng = TestRng::new(seed);
+    let store = open_store(crash_at);
+    let batches = 6 + rng.below(4);
+    let checkpoint_at = 1 + rng.below(batches - 1);
+    let mut last_committed = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
+    let all_p = XPath::parse("//p").unwrap();
+
+    'work: for batch in 0..batches {
+        if batch == checkpoint_at && store.checkpoint().is_err() {
+            break 'work; // crash while writing the checkpoint
+        }
+        let mut t = store.begin();
+        let n_ops = 1 + rng.below(3);
+        for op in 0..n_ops {
+            match rng.below(4) {
+                // Insert a fresh paragraph under a random section.
+                0 | 1 => {
+                    let section = rng.below(3);
+                    let path = XPath::parse(&format!("/root/s{section}")).unwrap();
+                    let target = t.select(&path).unwrap()[0];
+                    let frag = Document::parse_fragment(&format!(
+                        "<p id=\"g{seed}x{batch}x{op}\"><t>v</t></p>"
+                    ))
+                    .unwrap();
+                    t.insert(InsertPosition::LastChildOf(target), &frag)
+                        .unwrap();
+                }
+                // Delete a random paragraph — possibly one created (or
+                // checkpointed) many batches ago.
+                2 => {
+                    let victims = t.select(&all_p).unwrap();
+                    if !victims.is_empty() {
+                        let v = victims[rng.below(victims.len())];
+                        t.delete(v).unwrap();
+                    }
+                }
+                // Rewrite an attribute on a random paragraph.
+                _ => {
+                    let targets = t.select(&all_p).unwrap();
+                    if !targets.is_empty() {
+                        let n = targets[rng.below(targets.len())];
+                        t.set_attribute(
+                            n,
+                            &mbxq::QName::local("id"),
+                            &format!("r{seed}x{batch}x{op}"),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        if t.commit().is_err() {
+            break 'work; // crash during the commit I/O
+        }
+        last_committed = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
+    }
+
+    let (_, wal) = store.into_parts();
+    (last_committed, wal.raw().unwrap())
+}
+
+#[test]
+fn recovery_across_checkpoints_reproduces_the_committed_prefix() {
+    for seed in 0..10u64 {
+        // Intact run first: recovery must reproduce the final state, and
+        // its log length bounds the crash offsets worth probing (the
+        // cumulative I/O also covers bytes discarded by the checkpoint
+        // truncation, hence the 3x headroom).
+        let (final_xml, intact_raw) = run_workload(seed, None);
+        let recovered = recover(GENESIS, cfg(), &intact_raw)
+            .unwrap_or_else(|e| panic!("seed {seed}: intact recovery failed: {e}"));
+        assert_eq!(
+            mbxq_storage::serialize::to_xml(&recovered).unwrap(),
+            final_xml,
+            "seed {seed}: intact recovery diverged"
+        );
+
+        let mut rng = TestRng::new(seed ^ 0xdead_beef);
+        let upper = intact_raw.len() * 3 + 64;
+        for probe in 0..6 {
+            let crash_at = rng.below(upper);
+            let (expected, raw) = run_workload(seed, Some(crash_at));
+            let recovered = recover(GENESIS, cfg(), &raw).unwrap_or_else(|e| {
+                panic!("seed {seed} probe {probe} (crash at {crash_at}): recovery failed: {e}")
+            });
+            mbxq_storage::invariants::check_paged(&recovered).unwrap();
+            assert_eq!(
+                mbxq_storage::serialize::to_xml(&recovered).unwrap(),
+                expected,
+                "seed {seed} probe {probe}: crash at byte {crash_at} lost or invented a commit"
+            );
+        }
+    }
+}
+
+/// Regression: deleting an element between two text runs leaves two
+/// *adjacent* text tuples, which XML text would coalesce on reparse. A
+/// checkpoint taken in that state must still be loadable (it truncated
+/// the log — failure here means the store is permanently
+/// unrecoverable), and both text tuples must keep their own node ids so
+/// post-checkpoint records can address them.
+#[test]
+fn checkpoint_survives_adjacent_text_tuples() {
+    let genesis = "<root><d>hello <kw/> world</d></root>";
+    let store = Store::open(
+        PagedDoc::parse_str(genesis, cfg()).unwrap(),
+        Wal::in_memory(),
+        StoreConfig {
+            ancestor_mode: AncestorLockMode::Delta,
+            lock_timeout: Duration::from_millis(500),
+            validate_on_commit: true,
+        },
+    );
+    let mut t = store.begin();
+    let kw = t.select(&XPath::parse("//kw").unwrap()).unwrap();
+    t.delete(kw[0]).unwrap();
+    t.commit().unwrap();
+    store.checkpoint().unwrap();
+
+    // Address the SECOND of the now-adjacent text tuples by node id.
+    let second_text = {
+        let snap = store.snapshot();
+        let d_pre = 1u64; // root=0, d=1, "hello "=2, " world"=3 (kw deleted)
+        let end = snap.region_end(d_pre);
+        let mut texts = Vec::new();
+        let mut p = d_pre + 1;
+        while let Some(q) = snap.next_used_at_or_after(p) {
+            if q >= end {
+                break;
+            }
+            texts.push(snap.pre_to_node(q).unwrap());
+            p = q + 1;
+        }
+        assert_eq!(texts.len(), 2, "two separate text tuples must remain");
+        texts[1]
+    };
+    let mut t = store.begin();
+    t.update_value(second_text, " there").unwrap();
+    t.commit().unwrap();
+
+    let live = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
+    assert_eq!(live, "<root><d>hello  there</d></root>");
+    let (_, wal) = store.into_parts();
+    let recovered = recover(genesis, cfg(), &wal.raw().unwrap())
+        .expect("checkpoint with adjacent text tuples must stay recoverable");
+    mbxq_storage::invariants::check_paged(&recovered).unwrap();
+    assert_eq!(mbxq_storage::serialize::to_xml(&recovered).unwrap(), live);
+}
+
+#[test]
+fn checkpoint_shrinks_the_log_and_preserves_pre_checkpoint_nodes() {
+    let store = open_store(None);
+    let people = XPath::parse("/root/s0").unwrap();
+    for i in 0..5 {
+        let mut t = store.begin();
+        let target = t.select(&people).unwrap()[0];
+        let frag = Document::parse_fragment(&format!(
+            "<p id=\"pre{i}\"><t>some recorded payload {i}</t></p>"
+        ))
+        .unwrap();
+        t.insert(InsertPosition::LastChildOf(target), &frag)
+            .unwrap();
+        t.commit().unwrap();
+    }
+    // A churny workload: the log records every overwrite, the state
+    // keeps only the last — the case checkpointing exists for.
+    for i in 0..25 {
+        let mut t = store.begin();
+        let target = t.select(&XPath::parse("//p[@id='pre0']").unwrap()).unwrap();
+        t.set_attribute(
+            target[0],
+            &mbxq::QName::local("rev"),
+            &format!("revision number {i}"),
+        )
+        .unwrap();
+        t.commit().unwrap();
+    }
+    let info = store.checkpoint().unwrap();
+    assert!(
+        info.wal_bytes_after < info.wal_bytes_before,
+        "thirty commits must outweigh one checkpoint of this small doc: {info:?}"
+    );
+    // Delete a node that only the checkpoint (not the genesis XML or any
+    // surviving commit record) knows about.
+    let mut t = store.begin();
+    let victims = t.select(&XPath::parse("//p[@id='pre3']").unwrap()).unwrap();
+    t.delete(victims[0]).unwrap();
+    t.commit().unwrap();
+
+    let live = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
+    let (_, wal) = store.into_parts();
+    let recovered = recover(GENESIS, cfg(), &wal.raw().unwrap()).unwrap();
+    assert_eq!(mbxq_storage::serialize::to_xml(&recovered).unwrap(), live);
+    assert!(!live.contains("pre3"));
+    assert!(live.contains("pre2") && live.contains("pre4"));
+}
