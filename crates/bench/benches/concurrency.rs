@@ -31,6 +31,7 @@ fn build_store(mode: AncestorLockMode) -> Store {
             ancestor_mode: mode,
             lock_timeout: Duration::from_secs(20),
             validate_on_commit: false,
+            ..StoreConfig::default()
         },
     )
 }

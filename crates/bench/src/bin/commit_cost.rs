@@ -33,6 +33,7 @@ fn store_config() -> StoreConfig {
         ancestor_mode: AncestorLockMode::Delta,
         lock_timeout: Duration::from_secs(5),
         validate_on_commit: false,
+        ..StoreConfig::default()
     }
 }
 

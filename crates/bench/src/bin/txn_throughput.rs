@@ -50,6 +50,7 @@ fn run_mode(mode: AncestorLockMode, workers: usize, secs: f64) -> (u64, u64) {
             ancestor_mode: mode,
             lock_timeout: Duration::from_millis(2000),
             validate_on_commit: false,
+            ..StoreConfig::default()
         },
     );
     let commits = AtomicU64::new(0);

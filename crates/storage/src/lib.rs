@@ -44,6 +44,7 @@ pub mod naive;
 pub mod paged;
 pub mod readonly;
 pub mod serialize;
+pub mod snapshot;
 pub mod types;
 pub mod update;
 pub mod vacuum;
@@ -53,6 +54,7 @@ pub mod view;
 pub use naive::{NaiveDoc, NaiveReport};
 pub use paged::{PagedDoc, PagedStats};
 pub use readonly::ReadOnlyDoc;
+pub use snapshot::ArcCell;
 pub use types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
 pub use update::{DeleteReport, InsertCase, InsertPosition, InsertReport};
 pub use vacuum::VacuumReport;

@@ -44,6 +44,43 @@
 //! (success, validation failure, apply failure, WAL crash), so a failed
 //! commit can never strand page locks.
 //!
+//! # The short-publish commit pipeline
+//!
+//! With the default [`CommitPipeline::Short`], the global commit lock
+//! covers **only the version-stamp recheck and the pointer-swap
+//! publish** — nothing else. A commit runs three phases:
+//!
+//! ```text
+//!  phase 1 · SPECULATE   no global lock.  COW-clone the committed
+//!                        version (stamp S), apply the redo ops
+//!                        (privatizing only their pages), validate.
+//!  phase 2 · LOG         no global lock.  Group-commit WAL append:
+//!                        the first committer to arrive leads a batch
+//!                        flush (one I/O for every record that queued
+//!                        up meanwhile); followers wait on the flush
+//!                        ticket (module [`group`]).
+//!  phase 3 · PUBLISH     global lock, O(1).  Re-read the stamp: if
+//!                        still S, swap the speculative version in; if
+//!                        some other commit published S' > S meanwhile,
+//!                        re-apply the ops onto the fresh master (page
+//!                        locks guarantee the targets are untouched,
+//!                        ancestor deltas commute) and swap that in.
+//! ```
+//!
+//! Page-lock validation therefore happens at *staging* time, COW page
+//! privatization at *speculation* time, and N concurrent committers
+//! serialize only on an O(touched-pages) re-apply in the worst case —
+//! never on log I/O. Readers never appear in this picture at all:
+//! [`Store::snapshot`] clones the committed `Arc` out of a lock-free
+//! [`mbxq_storage::ArcCell`] (no mutex, no rwlock), so reader latency is
+//! independent of writer load. The WAL may record two *concurrent*
+//! (page-disjoint, hence commutative) commits in the opposite order of
+//! their publishes; replaying the log still reproduces the published
+//! state exactly, which `tests/concurrent_oracle.rs` checks property-
+//! style. [`CommitPipeline::LongLock`] preserves the old
+//! everything-under-one-lock path as the ablation baseline for the
+//! `workload` benchmark.
+//!
 //! # Checkpointing
 //!
 //! The WAL grows with every commit, and recovery replays it from
@@ -56,12 +93,15 @@
 //! reorganization runs under the same commit lock and publishes like a
 //! commit does.
 
+pub mod group;
 pub mod locks;
 pub mod op;
 pub mod recover;
 pub mod wal;
 
-use mbxq_storage::{InsertPosition, NodeId, PagedDoc, StorageError, TreeView};
+pub use group::GroupCommitStats;
+
+use mbxq_storage::{ArcCell, InsertPosition, NodeId, PagedDoc, StorageError, TreeView};
 use mbxq_xml::Node;
 use mbxq_xpath::XPath;
 use op::Op;
@@ -79,6 +119,21 @@ pub enum AncestorLockMode {
     /// The strawman: write-lock every ancestor's page (the root's page is
     /// an ancestor page of every node, so all writers serialize).
     Exclusive,
+}
+
+/// Which commit pipeline the store runs (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPipeline {
+    /// The concurrent pipeline: COW apply + validation speculate outside
+    /// any global lock against a version stamp, the WAL append rides a
+    /// group-commit batch, and the global lock covers only the stamp
+    /// recheck + pointer-swap publish.
+    Short,
+    /// The serial baseline (the pre-group-commit behavior): one global
+    /// lock held across apply, validation, the WAL append *and* publish,
+    /// so concurrent committers serialize on log I/O. Kept for the
+    /// `workload` benchmark ablation.
+    LongLock,
 }
 
 /// Transaction identifiers.
@@ -171,6 +226,9 @@ pub struct StoreConfig {
     /// "XML document validation" stage of Figure 8). Expensive; on by
     /// default in tests, off in benchmarks.
     pub validate_on_commit: bool,
+    /// Commit critical-section layout ([`CommitPipeline::Short`] unless
+    /// the serial baseline is explicitly requested).
+    pub pipeline: CommitPipeline,
 }
 
 impl Default for StoreConfig {
@@ -179,6 +237,7 @@ impl Default for StoreConfig {
             ancestor_mode: AncestorLockMode::Delta,
             lock_timeout: Duration::from_secs(5),
             validate_on_commit: false,
+            pipeline: CommitPipeline::Short,
         }
     }
 }
@@ -198,14 +257,35 @@ pub struct CommitInfo {
     pub ancestors_touched: u64,
 }
 
+/// One published version of the document: the stamp and the document
+/// pointer travel in a single `Arc`, so readers observe both atomically.
+struct Version {
+    /// Monotonic publish counter — bumped by every commit, checkpoint
+    /// and vacuum. Speculative commits key their work on it and re-check
+    /// it under the commit lock.
+    stamp: u64,
+    /// The committed document.
+    doc: Arc<PagedDoc>,
+}
+
 /// A transactional, versioned XML document store.
 pub struct Store {
-    /// The committed version; readers clone the `Arc` (MVCC snapshot).
-    doc: RwLock<Arc<PagedDoc>>,
-    /// The global write lock of Figure 8 — held only for the short
-    /// commit critical section.
+    /// The committed version. Readers clone the `Arc` out of the
+    /// lock-free cell (MVCC snapshot) — they never touch any lock, so
+    /// snapshot latency is independent of writer traffic.
+    version: ArcCell<Version>,
+    /// The global write lock of Figure 8 — in the
+    /// [`CommitPipeline::Short`] pipeline it is held **only** for the
+    /// stamp recheck + pointer-swap publish.
     commit_lock: Mutex<()>,
+    /// Commit-pipeline gate: commits hold it shared from their WAL
+    /// append through their publish; [`Store::checkpoint`] takes it
+    /// exclusively so the log truncation can never discard a record
+    /// whose effects are still on their way to being published.
+    pipeline_gate: RwLock<()>,
     wal: Mutex<Wal>,
+    /// Group-commit coordinator batching concurrent WAL appends.
+    group: group::GroupCommit,
     locks: locks::LockManager,
     next_txn: AtomicU64,
     /// Shared node-id allocation point: transactions reserve id ranges
@@ -225,9 +305,14 @@ impl Store {
     pub fn open(doc: PagedDoc, wal: Wal, config: StoreConfig) -> Store {
         let next_node = doc.node_alloc_end();
         Store {
-            doc: RwLock::new(Arc::new(doc)),
+            version: ArcCell::new(Arc::new(Version {
+                stamp: 0,
+                doc: Arc::new(doc),
+            })),
             commit_lock: Mutex::new(()),
+            pipeline_gate: RwLock::new(()),
             wal: Mutex::new(wal),
+            group: group::GroupCommit::new(),
             locks: locks::LockManager::new(),
             next_txn: AtomicU64::new(1),
             next_node: AtomicU64::new(next_node),
@@ -241,11 +326,38 @@ impl Store {
         self.config
     }
 
-    /// Takes a consistent read snapshot (a read-only transaction). Cheap:
-    /// one atomic refcount increment; the snapshot stays valid and
-    /// immutable no matter what commits afterwards.
+    /// Takes a consistent read snapshot (a read-only transaction).
+    /// **Lock-free**: a handful of atomic operations on the version
+    /// cell, never a mutex or rwlock — see [`mbxq_storage::ArcCell`] —
+    /// so readers are unaffected by writer load. The snapshot stays
+    /// valid and immutable no matter what commits afterwards.
     pub fn snapshot(&self) -> Arc<PagedDoc> {
-        self.doc.read().unwrap().clone()
+        self.version.load().doc.clone()
+    }
+
+    /// The current publish stamp (bumped by every commit, checkpoint and
+    /// vacuum). Diagnostic: the concurrency tests use it to enumerate
+    /// published versions.
+    pub fn version_stamp(&self) -> u64 {
+        self.version.load().stamp
+    }
+
+    /// Cumulative group-commit counters ([`GroupCommitStats`]); under
+    /// concurrent commit load, `records` outgrowing `batches` proves
+    /// committers shared flush I/Os.
+    pub fn group_commit_stats(&self) -> GroupCommitStats {
+        self.group.stats()
+    }
+
+    /// Publishes `doc` as the next version. Caller MUST hold
+    /// `commit_lock` (publishes are serialized; the cell itself only
+    /// protects readers).
+    fn publish_locked(&self, doc: PagedDoc) {
+        let stamp = self.version.load().stamp + 1;
+        self.version.store(Arc::new(Version {
+            stamp,
+            doc: Arc::new(doc),
+        }));
     }
 
     /// Begins a write transaction.
@@ -267,8 +379,11 @@ impl Store {
 
     /// Consumes the store, returning the current document and the WAL.
     pub fn into_parts(self) -> (PagedDoc, Wal) {
-        let doc =
-            Arc::try_unwrap(self.doc.into_inner().unwrap()).unwrap_or_else(|arc| (*arc).clone());
+        let doc_arc = match Arc::try_unwrap(self.version.into_inner()) {
+            Ok(version) => version.doc,
+            Err(shared) => shared.doc.clone(),
+        };
+        let doc = Arc::try_unwrap(doc_arc).unwrap_or_else(|arc| (*arc).clone());
         (doc, self.wal.into_inner().unwrap())
     }
 
@@ -297,6 +412,13 @@ impl Store {
     /// stops growing without bound. A crash during checkpointing leaves
     /// the previous log intact (write-temp-then-rename).
     pub fn checkpoint(&self) -> Result<CheckpointInfo> {
+        // Exclusive pipeline gate first: a Short-pipeline commit holds
+        // the gate shared from its WAL append through its publish, so
+        // once the write side is granted, no commit record in the log
+        // is still waiting to be published — truncating cannot lose an
+        // in-flight commit. (Lock order: gate, then commit lock; the
+        // commit path uses the same order.)
+        let _gate = self.pipeline_gate.write().unwrap();
         let _global = self.commit_lock.lock().unwrap();
         let doc = self.snapshot();
         let record = WalRecord::Checkpoint {
@@ -312,11 +434,14 @@ impl Store {
         // done on the commit path, where it would cost O(document) under
         // the commit lock) and publish the compacted version. Node ids,
         // pages and interned ids are unchanged, so snapshots, staged
-        // transactions and page locks are all unaffected.
+        // transactions and page locks are all unaffected; the stamp bump
+        // makes any commit speculated against the uncompacted version
+        // re-apply onto the compacted one instead of publishing the
+        // compaction away.
         let mut compacted = (*doc).clone();
         compacted.pool_mut().compact();
         compacted.compact_attr_index();
-        *self.doc.write().unwrap() = Arc::new(compacted);
+        self.publish_locked(compacted);
         Ok(CheckpointInfo {
             nodes: doc.used_count(),
             wal_bytes_before,
@@ -345,10 +470,10 @@ impl Store {
             .freeze()
             .map_err(|locked_pages| TxnError::Busy { locked_pages })?;
         let result = (|| {
-            let current = self.doc.read().unwrap().clone();
+            let current = self.snapshot();
             let mut new_doc = (*current).clone();
             let report = new_doc.vacuum()?;
-            *self.doc.write().unwrap() = Arc::new(new_doc);
+            self.publish_locked(new_doc);
             self.layout_epoch.fetch_add(1, Ordering::AcqRel);
             Ok(report)
         })();
@@ -624,55 +749,134 @@ impl WriteTxn<'_> {
                 ..CommitInfo::default()
             });
         }
+        match store.config.pipeline {
+            CommitPipeline::Short => Self::commit_ops_short(store, id, ops),
+            CommitPipeline::LongLock => Self::commit_ops_long(store, id, ops),
+        }
+    }
 
-        // ---- global write lock: the short critical section ----
-        let _global = store.commit_lock.lock().unwrap();
-
-        // Build the new version by applying the logical redo ops to a
-        // copy-on-write clone of the master: only the column pages the
-        // ops touch are privatized, everything else stays shared with
-        // the current version (and with every reader snapshot). Node
-        // ids pin the targets, so ops staged against the snapshot apply
-        // correctly to the current master even if other transactions
-        // committed in between (their page locks guaranteed disjointness;
-        // ancestor sizes are adjusted by the storage layer as *deltas*
-        // on the current values — the commutative operations of §3.2).
+    /// Applies the redo ops to a copy-on-write clone of `base`: only the
+    /// column pages the ops touch are privatized, everything else stays
+    /// shared with `base` (and with every reader snapshot). Node ids pin
+    /// the targets, so ops staged against the begin-time snapshot apply
+    /// correctly to any later master version — other transactions'
+    /// commits touched disjoint pages (their page locks guarantee it),
+    /// and ancestor sizes are adjusted as *deltas* on the current values,
+    /// the commutative operations of §3.2.
+    fn apply_to_clone(base: &PagedDoc, id: TxnId, ops: &[Op]) -> Result<(PagedDoc, CommitInfo)> {
         let mut info = CommitInfo {
             txn: id,
             ops: ops.len(),
             ..CommitInfo::default()
         };
-        let current = store.doc.read().unwrap().clone();
-        let mut new_doc = (*current).clone();
+        let mut new_doc = base.clone();
         for op in ops {
             let (ins, del, anc) = op.apply(&mut new_doc)?;
             info.inserted += ins;
             info.deleted += del;
             info.ancestors_touched += anc;
         }
+        Ok((new_doc, info))
+    }
 
-        // Validation ("run XML document validation … if this fails, the
-        // transaction is aborted").
+    /// Validation ("run XML document validation … if this fails, the
+    /// transaction is aborted").
+    fn validate(store: &Store, doc: &PagedDoc) -> Result<()> {
         if store.config.validate_on_commit {
-            if let Err(e) = mbxq_storage::invariants::check_paged(&new_doc) {
+            if let Err(e) = mbxq_storage::invariants::check_paged(doc) {
                 return Err(TxnError::ValidationFailed {
                     message: e.to_string(),
                 });
             }
         }
+        Ok(())
+    }
 
-        // WAL: "writing the WAL is the crucial stage in transaction
-        // commit, it consists of a single I/O" — one logical record
-        // carrying all redo entries plus the commit marker. A crash (or
-        // I/O failure) before the commit record hit the log means the
-        // transaction never happened.
+    /// The [`CommitPipeline::Short`] commit: speculate → group-log →
+    /// stamp-checked publish (see the module docs).
+    fn commit_ops_short(store: &Store, id: TxnId, ops: &[Op]) -> Result<CommitInfo> {
+        // ---- phase 1: speculation, no global lock ----
+        // COW page privatization and validation run against the version
+        // current *now*, keyed by its stamp. Failures on this path (a
+        // redo op that cannot apply, a validation veto) abort the
+        // transaction before anything reached the log.
+        let base = store.version.load();
+        let (mut new_doc, mut info) = Self::apply_to_clone(&base.doc, id, ops)?;
+        Self::validate(store, &new_doc)?;
+
+        // ---- phase 2: group-commit WAL append, no global lock ----
+        // The pipeline gate (shared) keeps a checkpoint from truncating
+        // the log between this append and the publish below. The append
+        // itself batches with every concurrent committer: one leader,
+        // one I/O, followers wait on the flush ticket. A crash or I/O
+        // failure here means the transaction never happened — the record
+        // is torn (recovery drops it) and nothing was published.
+        let _gate = store.pipeline_gate.read().unwrap();
+        store.group.submit(
+            &store.wal,
+            WalRecord::Commit {
+                txn: id,
+                ops: ops.to_vec(),
+            },
+        )?;
+
+        // ---- phase 3: the short critical section ----
+        // Only the stamp recheck and the pointer swap happen under the
+        // global lock. If another commit (or a checkpoint/vacuum)
+        // published since speculation, re-apply the ops onto the fresh
+        // master: our targets' pages are still ours (page locks are held
+        // until after publish), so the re-apply reproduces exactly the
+        // speculated per-page result, and ancestor deltas commute with
+        // whatever committed in between.
+        //
+        // Past this point the commit record is DURABLE: recovery will
+        // replay it no matter what this thread does next, so reporting
+        // failure here would make the live store silently disagree with
+        // every future recovery. Re-apply (and the merged-state
+        // invariant check, in validating configurations) can only fail
+        // if the disjointness/commutativity guarantee itself is broken —
+        // a storage-layer bug, not an abortable transaction fault — so
+        // such a failure panics loudly instead of lying about the
+        // durability outcome. All *abortable* failures (inapplicable
+        // ops, validation vetoes) happened in phase 1, before the log.
+        let _global = store.commit_lock.lock().unwrap();
+        let current = store.version.load();
+        if current.stamp != base.stamp {
+            let (re_doc, re_info) =
+                Self::apply_to_clone(&current.doc, id, ops).unwrap_or_else(|e| {
+                    panic!(
+                        "txn {id}: page-disjoint re-apply failed after its WAL record \
+                         became durable (2PL disjointness violated?): {e}"
+                    )
+                });
+            Self::validate(store, &re_doc).unwrap_or_else(|e| {
+                panic!(
+                    "txn {id}: merged state failed validation after its WAL record \
+                     became durable (commutativity violated?): {e}"
+                )
+            });
+            new_doc = re_doc;
+            info = re_info;
+        }
+        store.publish_locked(new_doc);
+        Ok(info)
+    }
+
+    /// The [`CommitPipeline::LongLock`] baseline: the pre-group-commit
+    /// behavior, everything under one global lock — apply, validation,
+    /// a solo WAL append, publish. Writers serialize on log I/O here;
+    /// the `workload` benchmark measures exactly that difference.
+    fn commit_ops_long(store: &Store, id: TxnId, ops: &[Op]) -> Result<CommitInfo> {
+        let _gate = store.pipeline_gate.read().unwrap();
+        let _global = store.commit_lock.lock().unwrap();
+        let current = store.version.load();
+        let (new_doc, info) = Self::apply_to_clone(&current.doc, id, ops)?;
+        Self::validate(store, &new_doc)?;
         store.wal.lock().unwrap().append(&WalRecord::Commit {
             txn: id,
             ops: ops.to_vec(),
         })?;
-
-        // Publish: swap the page pointers into place.
-        *store.doc.write().unwrap() = Arc::new(new_doc);
+        store.publish_locked(new_doc);
         Ok(info)
     }
 
@@ -821,6 +1025,10 @@ mod tests {
     const DOC: &str = r#"<site><people><person id="p0"><name>Ann</name></person></people><regions><africa><m1/><m2/><m3/><m4/><m5/></africa><asia><n1/><n2/></asia></regions></site>"#;
 
     fn store(mode: AncestorLockMode) -> Store {
+        store_with(mode, CommitPipeline::Short)
+    }
+
+    fn store_with(mode: AncestorLockMode, pipeline: CommitPipeline) -> Store {
         let doc = PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap();
         Store::open(
             doc,
@@ -829,6 +1037,7 @@ mod tests {
                 ancestor_mode: mode,
                 lock_timeout: Duration::from_millis(200),
                 validate_on_commit: true,
+                pipeline,
             },
         )
     }
@@ -966,6 +1175,59 @@ mod tests {
             assert_eq!(TreeView::size(d.as_ref(), 0), 19, "order={order}");
             mbxq_storage::invariants::check_paged(d.as_ref()).unwrap();
         }
+    }
+
+    /// Both pipelines must produce the same committed state (the
+    /// LongLock baseline exists only for the benchmark ablation).
+    #[test]
+    fn pipelines_commit_identically() {
+        let mut results = Vec::new();
+        for pipeline in [CommitPipeline::Short, CommitPipeline::LongLock] {
+            let s = store_with(AncestorLockMode::Delta, pipeline);
+            let mut t = s.begin();
+            let africa = t.select(&XPath::parse("//africa").unwrap()).unwrap();
+            let frag = Document::parse_fragment("<item><sub/></item>").unwrap();
+            t.insert(InsertPosition::LastChildOf(africa[0]), &frag)
+                .unwrap();
+            let info = t.commit().unwrap();
+            assert_eq!(info.inserted, 2, "{pipeline:?}");
+            results.push(to_xml(s.snapshot().as_ref()).unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    /// Two transactions staged against the same base version and
+    /// committed concurrently: whichever publishes second must detect
+    /// the stamp change and re-apply onto the fresh master, so both
+    /// updates survive (page disjointness + commutative deltas).
+    #[test]
+    fn concurrent_commits_merge_via_stamp_recheck() {
+        let s = store(AncestorLockMode::Delta);
+        let stamp0 = s.version_stamp();
+        let frag_a = Document::parse_fragment("<itemA/>").unwrap();
+        let frag_b = Document::parse_fragment("<itemB/>").unwrap();
+        // Stage both against the same base version (stamp0).
+        let mut ta = s.begin();
+        let africa = ta.select(&XPath::parse("//africa").unwrap()).unwrap();
+        ta.insert(InsertPosition::LastChildOf(africa[0]), &frag_a)
+            .unwrap();
+        let mut tb = s.begin();
+        let asia = tb.select(&XPath::parse("//asia").unwrap()).unwrap();
+        tb.insert(InsertPosition::LastChildOf(asia[0]), &frag_b)
+            .unwrap();
+        // Commit them from racing threads.
+        std::thread::scope(|scope| {
+            let ha = scope.spawn(move || ta.commit().unwrap());
+            let hb = scope.spawn(move || tb.commit().unwrap());
+            ha.join().unwrap();
+            hb.join().unwrap();
+        });
+        assert_eq!(s.version_stamp(), stamp0 + 2, "each commit publishes");
+        let live = to_xml(s.snapshot().as_ref()).unwrap();
+        assert!(live.contains("itemA") && live.contains("itemB"));
+        let d = s.snapshot();
+        assert_eq!(TreeView::size(d.as_ref(), 0), 16);
+        mbxq_storage::invariants::check_paged(d.as_ref()).unwrap();
     }
 
     #[test]

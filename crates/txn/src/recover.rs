@@ -101,6 +101,7 @@ mod tests {
                 ancestor_mode: AncestorLockMode::Delta,
                 lock_timeout: std::time::Duration::from_millis(200),
                 validate_on_commit: true,
+                ..StoreConfig::default()
             },
         );
         let mut final_xml = None;

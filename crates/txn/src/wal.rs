@@ -97,6 +97,12 @@ pub struct Wal {
     /// Cumulative bytes of log I/O ever attempted (survives truncation,
     /// so an armed crash budget keeps counting across a checkpoint).
     io_total: usize,
+    /// Set after a *real* I/O failure mid-append: some unknown prefix of
+    /// the failed write may have reached the log, so any further append
+    /// could land after undecodable garbage — recovery would then stop
+    /// at the garbage and silently drop the later, success-reported
+    /// records. A poisoned log refuses all further writes.
+    poisoned: bool,
 }
 
 impl Wal {
@@ -107,6 +113,7 @@ impl Wal {
             crash_after_bytes: None,
             bytes_written: 0,
             io_total: 0,
+            poisoned: false,
         }
     }
 
@@ -126,6 +133,7 @@ impl Wal {
             crash_after_bytes: None,
             bytes_written,
             io_total: bytes_written,
+            poisoned: false,
         })
     }
 
@@ -142,26 +150,92 @@ impl Wal {
         self.bytes_written
     }
 
-    /// Appends one record (the single commit I/O).
+    /// Appends one record (the single commit I/O) — a one-record
+    /// [`Wal::append_batch`], so both paths share the same crash
+    /// accounting.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
-        let encoded = encode_record(record);
-        let bytes = encoded.as_bytes();
+        self.append_batch(std::slice::from_ref(record))
+            .pop()
+            .expect("one record in, one result out")
+    }
+
+    /// Appends a whole group-commit batch in **one** log I/O.
+    ///
+    /// All records are encoded into a single buffer and written (and
+    /// flushed, on the file backend) together — this is the group-commit
+    /// payoff: N committers share one I/O instead of queueing for N.
+    /// Returns one result per record. Crash injection cuts the buffer at
+    /// the armed byte offset, exactly as it would a sequence of single
+    /// appends: records that land entirely before the cut succeed, the
+    /// record straddling the cut is torn (recovery drops it), and
+    /// everything after fails without touching the log — so a crashed
+    /// batch is never "all or nothing" at batch granularity, but always
+    /// all-or-nothing **per commit record**, which is the prefix
+    /// semantics recovery needs.
+    pub fn append_batch(&mut self, records: &[WalRecord]) -> Vec<Result<(), WalError>> {
+        if self.poisoned {
+            return records
+                .iter()
+                .map(|_| {
+                    Err(WalError::Io {
+                        message: "WAL poisoned by an earlier I/O failure; the log tail is \
+                                  unknown and further appends would be unrecoverable"
+                            .to_string(),
+                    })
+                })
+                .collect();
+        }
+        // Encode each record separately so per-record boundaries are
+        // known, then write the concatenation in one I/O. Work in raw
+        // bytes throughout: a crash budget cuts at an arbitrary *byte*
+        // offset, which may fall inside a multi-byte character of an
+        // op's payload (slicing a `str` there would panic instead of
+        // simulating the torn write).
+        let encoded: Vec<Vec<u8>> = records
+            .iter()
+            .map(|r| encode_record(r).into_bytes())
+            .collect();
+        let total: usize = encoded.iter().map(Vec::len).sum();
         let allowed = match self.crash_after_bytes {
-            Some(limit) if self.io_total + bytes.len() > limit => {
-                let prefix = limit.saturating_sub(self.io_total);
-                self.write_raw(&bytes[..prefix])?;
-                self.bytes_written += prefix;
-                self.io_total = limit;
-                return Err(WalError::Crashed {
-                    bytes_written: prefix,
-                });
-            }
-            _ => bytes,
+            Some(limit) => limit.saturating_sub(self.io_total).min(total),
+            None => total,
         };
-        self.write_raw(allowed)?;
-        self.bytes_written += allowed.len();
-        self.io_total += allowed.len();
-        Ok(())
+        let mut buf = Vec::with_capacity(allowed);
+        let mut results = Vec::with_capacity(records.len());
+        let mut offset = 0usize;
+        for enc in &encoded {
+            if offset + enc.len() <= allowed {
+                buf.extend_from_slice(enc);
+                results.push(Ok(()));
+            } else {
+                // Torn (partially within the budget) or entirely past
+                // it: write whatever prefix survives, fail the record.
+                let prefix = allowed.saturating_sub(offset);
+                buf.extend_from_slice(&enc[..prefix]);
+                results.push(Err(WalError::Crashed {
+                    bytes_written: prefix,
+                }));
+            }
+            offset += enc.len();
+        }
+        debug_assert_eq!(buf.len(), allowed);
+        if let Err(io) = self.write_raw(&buf) {
+            // A real I/O failure fails every record in the batch — none
+            // of them is known durable — and poisons the log: an unknown
+            // prefix of `buf` may have landed, so appending anything
+            // after it could bury later (durable, success-reported)
+            // records behind undecodable bytes at recovery time.
+            self.poisoned = true;
+            return records.iter().map(|_| Err(io.clone())).collect();
+        }
+        self.bytes_written += allowed;
+        match self.crash_after_bytes {
+            // Crash tripped: pin the cumulative counter at the limit so
+            // every later append fails too, mirroring `append`.
+            Some(limit) if allowed < total => self.io_total = limit,
+            _ => self.io_total += total,
+        }
+        results
     }
 
     /// Atomically replaces the whole log with `record` — the checkpoint
@@ -190,8 +264,25 @@ impl Wal {
                 let io = |e: std::io::Error| WalError::Io {
                     message: e.to_string(),
                 };
-                std::fs::write(&tmp, bytes).map_err(io)?;
+                // The temp file's *data* must be on the device before
+                // the rename makes it the log: a journaled rename can
+                // survive a power cut that the un-synced data blocks do
+                // not, which would replace every durable record with an
+                // empty/partial checkpoint — the one failure mode a
+                // checkpoint must never introduce.
+                let mut tmp_file = std::fs::File::create(&tmp).map_err(io)?;
+                tmp_file.write_all(bytes).map_err(io)?;
+                tmp_file.sync_all().map_err(io)?;
+                drop(tmp_file);
                 std::fs::rename(&tmp, &*path).map_err(io)?;
+                // Persist the rename itself (the directory entry);
+                // best-effort on platforms where directories cannot be
+                // opened for sync.
+                if let Some(dir) = path.parent() {
+                    if let Ok(d) = std::fs::File::open(dir) {
+                        let _ = d.sync_all();
+                    }
+                }
                 *f = std::fs::OpenOptions::new()
                     .append(true)
                     .read(true)
@@ -201,6 +292,11 @@ impl Wal {
         }
         self.bytes_written = bytes.len();
         self.io_total += bytes.len();
+        // The whole log was atomically replaced by this one record: any
+        // garbage a previously failed append may have left is gone, so a
+        // poisoned log becomes writable again through exactly this path
+        // (Store::checkpoint is the recovery action for a sick WAL).
+        self.poisoned = false;
         Ok(())
     }
 
@@ -210,13 +306,15 @@ impl Wal {
                 buf.extend_from_slice(bytes);
                 Ok(())
             }
-            Backend::File(f, _) => {
-                f.write_all(bytes)
-                    .and_then(|_| f.flush())
-                    .map_err(|e| WalError::Io {
-                        message: e.to_string(),
-                    })
-            }
+            Backend::File(f, _) => f
+                .write_all(bytes)
+                // A WAL append is only durable once the bytes reach the
+                // device: fsync per log I/O. This is exactly the cost
+                // group commit amortizes — one sync per *batch*.
+                .and_then(|_| f.sync_data())
+                .map_err(|e| WalError::Io {
+                    message: e.to_string(),
+                }),
         }
     }
 
@@ -418,6 +516,79 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    #[test]
+    fn append_batch_matches_sequential_appends() {
+        let mut solo = Wal::in_memory();
+        solo.append(&sample_record(1)).unwrap();
+        solo.append(&sample_record(2)).unwrap();
+        solo.append(&sample_record(3)).unwrap();
+        let mut batched = Wal::in_memory();
+        let results = batched.append_batch(&[sample_record(1), sample_record(2), sample_record(3)]);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(batched.raw().unwrap(), solo.raw().unwrap());
+        assert_eq!(batched.len_bytes(), solo.len_bytes());
+    }
+
+    #[test]
+    fn append_batch_crash_is_all_or_nothing_per_record() {
+        // Find the length of one record, then arm the budget so the
+        // batch tears inside its second record.
+        let mut probe = Wal::in_memory();
+        probe.append(&sample_record(1)).unwrap();
+        let one = probe.len_bytes();
+        let mut wal = Wal::in_memory();
+        wal.crash_after_bytes(one + 7);
+        let results = wal.append_batch(&[sample_record(1), sample_record(2), sample_record(3)]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(WalError::Crashed { bytes_written: 7 })
+        ));
+        assert!(matches!(
+            results[2],
+            Err(WalError::Crashed { bytes_written: 0 })
+        ));
+        // Recovery: the full first record, the torn second dropped.
+        assert_eq!(wal.read_all().unwrap(), vec![sample_record(1)]);
+        // The crash budget stays tripped for later appends, like append.
+        assert!(wal.append(&sample_record(4)).is_err());
+        assert!(wal.append_batch(&[sample_record(5)])[0].is_err());
+    }
+
+    /// Regression: a crash budget may cut *inside a multi-byte UTF-8
+    /// character* of a record payload; the torn write must be simulated
+    /// byte-exactly, not panic on a `str` char boundary.
+    #[test]
+    fn crash_cut_inside_a_multibyte_character() {
+        let multibyte = WalRecord::Commit {
+            txn: 9,
+            ops: vec![Op::UpdateValue {
+                node: NodeId(1),
+                value: "caffè—日本語".into(),
+            }],
+        };
+        let mut probe = Wal::in_memory();
+        probe.append(&sample_record(1)).unwrap();
+        let first = probe.len_bytes();
+        probe.append(&multibyte).unwrap();
+        let second = probe.len_bytes() - first;
+        // Probe every cut point across the multibyte record, for both
+        // the solo-append and the batched path.
+        for cut in 0..second {
+            let mut wal = Wal::in_memory();
+            wal.crash_after_bytes(first + cut);
+            wal.append(&sample_record(1)).unwrap();
+            assert!(wal.append(&multibyte).is_err(), "cut={cut}");
+            assert_eq!(wal.read_all().unwrap(), vec![sample_record(1)]);
+
+            let mut wal = Wal::in_memory();
+            wal.crash_after_bytes(first + cut);
+            let results = wal.append_batch(&[sample_record(1), multibyte.clone()]);
+            assert!(results[0].is_ok() && results[1].is_err(), "cut={cut}");
+            assert_eq!(wal.read_all().unwrap(), vec![sample_record(1)]);
+        }
+    }
+
     fn sample_checkpoint() -> WalRecord {
         WalRecord::Checkpoint {
             alloc_end: 17,
@@ -434,6 +605,32 @@ mod tests {
         let records = wal.read_all().unwrap();
         assert_eq!(records[0], sample_checkpoint());
         assert_eq!(records[1], sample_record(3));
+    }
+
+    /// After a real I/O failure the log refuses appends (the failed
+    /// write's tail is unknown — anything appended after it could bury
+    /// durable records behind garbage at recovery), and a checkpoint
+    /// truncation — which atomically replaces the whole log — heals it.
+    #[test]
+    fn poisoned_log_refuses_appends_until_truncated() {
+        let mut wal = Wal::in_memory();
+        wal.append(&sample_record(1)).unwrap();
+        wal.poisoned = true; // what a failed write_raw records
+        assert!(matches!(
+            wal.append(&sample_record(2)),
+            Err(WalError::Io { .. })
+        ));
+        assert!(wal.append_batch(&[sample_record(3)])[0].is_err());
+        // The existing log stays readable.
+        assert_eq!(wal.read_all().unwrap(), vec![sample_record(1)]);
+        // Checkpoint truncation replaces the unknown tail → healthy again.
+        wal.reset_with(&sample_checkpoint()).unwrap();
+        assert!(!wal.poisoned);
+        wal.append(&sample_record(4)).unwrap();
+        assert_eq!(
+            wal.read_all().unwrap(),
+            vec![sample_checkpoint(), sample_record(4)]
+        );
     }
 
     #[test]

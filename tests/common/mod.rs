@@ -112,3 +112,24 @@ pub fn to_xml_string(node: &Node) -> String {
     mbxq_xml::serialize_node(node, &mut s);
     s
 }
+
+/// Sectioned fixture document shared by the concurrency suites:
+/// `<root><s0><p id="s0p0"/>…</s0><s1>…</s1>…</root>` with `per`
+/// paragraphs per section. A non-empty `body` (e.g. `"<t>x</t>"`) is
+/// placed inside each paragraph instead of self-closing it.
+pub fn sectioned_xml(sections: usize, per: usize, body: &str) -> String {
+    let mut xml = String::from("<root>");
+    for s in 0..sections {
+        xml.push_str(&format!("<s{s}>"));
+        for i in 0..per {
+            if body.is_empty() {
+                xml.push_str(&format!("<p id=\"s{s}p{i}\"/>"));
+            } else {
+                xml.push_str(&format!("<p id=\"s{s}p{i}\">{body}</p>"));
+            }
+        }
+        xml.push_str(&format!("</s{s}>"));
+    }
+    xml.push_str("</root>");
+    xml
+}

@@ -46,6 +46,7 @@ fn open_store(crash_at: Option<usize>) -> Store {
             ancestor_mode: AncestorLockMode::Delta,
             lock_timeout: Duration::from_millis(500),
             validate_on_commit: true,
+            ..StoreConfig::default()
         },
     )
 }
@@ -165,6 +166,7 @@ fn checkpoint_survives_adjacent_text_tuples() {
             ancestor_mode: AncestorLockMode::Delta,
             lock_timeout: Duration::from_millis(500),
             validate_on_commit: true,
+            ..StoreConfig::default()
         },
     );
     let mut t = store.begin();
@@ -201,6 +203,106 @@ fn checkpoint_survives_adjacent_text_tuples() {
         .expect("checkpoint with adjacent text tuples must stay recoverable");
     mbxq_storage::invariants::check_paged(&recovered).unwrap();
     assert_eq!(mbxq_storage::serialize::to_xml(&recovered).unwrap(), live);
+}
+
+/// Crash injection landing *inside group-commit batches*: several
+/// writers commit concurrently (so WAL flushes carry multi-record
+/// batches whenever the race allows), with a crash budget armed at a
+/// random cumulative-I/O offset. The boundary can cut anywhere — before
+/// a batch, between two records of one batch, or mid-record. Required
+/// outcome, for every seed and probe:
+///
+/// * **all-or-nothing per commit, even inside a batch** — recovery must
+///   reproduce a state containing *exactly* the transactions whose
+///   `commit()` reported success: a torn record never half-applies, a
+///   fully-flushed record is never lost, and one batch member's crash
+///   never takes down a batch sibling that was flushed before the cut;
+/// * the recovered document passes the full invariant check.
+#[test]
+fn crash_inside_group_commit_batches_keeps_per_commit_atomicity() {
+    const WRITERS: usize = 4;
+    let genesis = common::sectioned_xml(WRITERS, 30, "");
+    let cfg = PageConfig::new(32, 80).unwrap();
+
+    // Calibrate the crash offsets against an intact concurrent run.
+    let intact_len = {
+        let store = Store::open(
+            PagedDoc::parse_str(&genesis, cfg).unwrap(),
+            Wal::in_memory(),
+            StoreConfig {
+                ancestor_mode: AncestorLockMode::Delta,
+                lock_timeout: Duration::from_secs(5),
+                validate_on_commit: false,
+                ..StoreConfig::default()
+            },
+        );
+        run_concurrent_writers(&store, WRITERS, 0);
+        let (_, wal) = store.into_parts();
+        wal.raw().unwrap().len()
+    };
+
+    let mut rng = TestRng::new(0xba7c4);
+    for probe in 0..8 {
+        let crash_at = 1 + rng.below(intact_len);
+        let store = Store::open(
+            PagedDoc::parse_str(&genesis, cfg).unwrap(),
+            {
+                let mut wal = Wal::in_memory();
+                wal.crash_after_bytes(crash_at);
+                wal
+            },
+            StoreConfig {
+                ancestor_mode: AncestorLockMode::Delta,
+                lock_timeout: Duration::from_secs(5),
+                validate_on_commit: false,
+                ..StoreConfig::default()
+            },
+        );
+        let succeeded = run_concurrent_writers(&store, WRITERS, probe);
+        assert_eq!(store.locked_pages(), 0, "probe {probe}: stranded locks");
+        let (_, wal) = store.into_parts();
+        let recovered = recover(&genesis, cfg, &wal.raw().unwrap()).unwrap_or_else(|e| {
+            panic!("probe {probe} (crash at {crash_at}): recovery failed: {e}")
+        });
+        mbxq_storage::invariants::check_paged(&recovered).unwrap();
+        let recovered_xml = mbxq_storage::serialize::to_xml(&recovered).unwrap();
+        // Exactly the successful commits — no more, no fewer.
+        for (id, ok) in &succeeded {
+            assert_eq!(
+                recovered_xml.contains(id.as_str()),
+                *ok,
+                "probe {probe} (crash at {crash_at}): commit {id} reported \
+                 success={ok} but recovery says otherwise"
+            );
+        }
+    }
+}
+
+/// Spawns `writers` threads, each committing a run of single-insert
+/// transactions with globally unique ids into its own section. Returns
+/// `(id, commit-reported-success)` for every attempted transaction.
+fn run_concurrent_writers(store: &Store, writers: usize, tag: usize) -> Vec<(String, bool)> {
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let store = &store;
+            let results = &results;
+            scope.spawn(move || {
+                let path = XPath::parse(&format!("/root/s{w}")).unwrap();
+                for i in 0..10 {
+                    let id = format!("b{tag}w{w}i{i}");
+                    let mut t = store.begin();
+                    let target = t.select(&path).unwrap()[0];
+                    let frag = Document::parse_fragment(&format!("<p id=\"{id}\"/>")).unwrap();
+                    t.insert(InsertPosition::LastChildOf(target), &frag)
+                        .unwrap();
+                    let ok = t.commit().is_ok();
+                    results.lock().unwrap().push((id, ok));
+                }
+            });
+        }
+    });
+    results.into_inner().unwrap()
 }
 
 #[test]

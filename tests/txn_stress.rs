@@ -3,6 +3,9 @@
 //! accounting and an invariant check. Uses std's scoped threads to
 //! coordinate the phases.
 
+mod common;
+
+use common::sectioned_xml;
 use mbxq::{
     AncestorLockMode, InsertPosition, PageConfig, PagedDoc, Store, StoreConfig, TreeView, Wal,
     XPath,
@@ -12,25 +15,12 @@ use mbxq_xml::Document;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-fn build_xml(sections: usize, per: usize) -> String {
-    let mut xml = String::from("<root>");
-    for s in 0..sections {
-        xml.push_str(&format!("<s{s}>"));
-        for i in 0..per {
-            xml.push_str(&format!("<p id=\"s{s}p{i}\"/>"));
-        }
-        xml.push_str(&format!("</s{s}>"));
-    }
-    xml.push_str("</root>");
-    xml
-}
-
 #[test]
 fn conflicting_writers_all_conflicts_resolve() {
     // All workers target the SAME section: page write locks force full
     // serialization; every transaction must eventually commit or time
     // out cleanly (no deadlock, no corruption).
-    let xml = build_xml(1, 100);
+    let xml = sectioned_xml(1, 100, "");
     let store = Store::open(
         PagedDoc::parse_str(&xml, PageConfig::new(64, 80).unwrap()).unwrap(),
         Wal::in_memory(),
@@ -38,6 +28,7 @@ fn conflicting_writers_all_conflicts_resolve() {
             ancestor_mode: AncestorLockMode::Delta,
             lock_timeout: Duration::from_millis(1200),
             validate_on_commit: false,
+            ..StoreConfig::default()
         },
     );
     let committed = AtomicU64::new(0);
@@ -87,7 +78,7 @@ fn mixed_workload_matches_recovery_under_concurrency() {
     // Disjoint writers + WAL; afterwards, recovery from the WAL must
     // reproduce the exact final document even though commit order was
     // decided by the races.
-    let xml = build_xml(4, 120);
+    let xml = sectioned_xml(4, 120, "");
     let store = Store::open(
         PagedDoc::parse_str(&xml, PageConfig::new(128, 80).unwrap()).unwrap(),
         Wal::in_memory(),
@@ -95,6 +86,7 @@ fn mixed_workload_matches_recovery_under_concurrency() {
             ancestor_mode: AncestorLockMode::Delta,
             lock_timeout: Duration::from_secs(10),
             validate_on_commit: false,
+            ..StoreConfig::default()
         },
     );
     std::thread::scope(|scope| {
@@ -134,9 +126,131 @@ fn mixed_workload_matches_recovery_under_concurrency() {
     );
 }
 
+/// Lock-table hygiene under a storm: 8 threads hammer overlapping
+/// sections with a short lock timeout, producing an arbitrary mix of
+/// successful commits, timed-out selections/updates, staged-then-aborted
+/// transactions and commit-time failures. Once the storm subsides, the
+/// lock table must be **empty** — `locked_pages() == 0` — and the store
+/// fully usable: no execution path (timeout, abort, upgrade deadlock,
+/// empty commit, drop-without-finish) may strand a page lock or a free
+/// lock-table entry.
+#[test]
+fn lock_storm_leaves_an_empty_lock_table() {
+    let xml = sectioned_xml(3, 80, "");
+    let store = Store::open(
+        PagedDoc::parse_str(&xml, PageConfig::new(32, 80).unwrap()).unwrap(),
+        Wal::in_memory(),
+        StoreConfig {
+            ancestor_mode: AncestorLockMode::Delta,
+            lock_timeout: Duration::from_millis(30),
+            validate_on_commit: false,
+            ..StoreConfig::default()
+        },
+    );
+    let committed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for thread in 0..8u64 {
+            let store = &store;
+            let committed = &committed;
+            let failed = &failed;
+            scope.spawn(move || {
+                let frag = mbxq_xml::Document::parse_fragment("<p/>").unwrap();
+                for round in 0..25u64 {
+                    // Threads rotate over 3 shared sections → constant
+                    // read/write overlap and upgrade deadlocks.
+                    let section = (thread + round) % 3;
+                    let path = XPath::parse(&format!("/root/s{section}")).unwrap();
+                    let all = XPath::parse(&format!("/root/s{section}/p")).unwrap();
+                    let mut t = store.begin();
+                    let staged = (|| {
+                        let target = t
+                            .select(&path)
+                            .map_err(|_| ())?
+                            .first()
+                            .copied()
+                            .ok_or(())?;
+                        match round % 3 {
+                            0 => t
+                                .insert(InsertPosition::LastChildOf(target), &frag)
+                                .map_err(|_| ())?,
+                            1 => {
+                                let ps = t.select(&all).map_err(|_| ())?;
+                                if let Some(&p) = ps.get(round as usize % ps.len().max(1)) {
+                                    t.delete(p).map_err(|_| ())?;
+                                }
+                            }
+                            _ => {
+                                let ps = t.select(&all).map_err(|_| ())?;
+                                if let Some(&p) = ps.first() {
+                                    t.set_attribute(
+                                        p,
+                                        &mbxq::QName::local("touched"),
+                                        &format!("t{thread}r{round}"),
+                                    )
+                                    .map_err(|_| ())?;
+                                }
+                            }
+                        }
+                        Ok::<(), ()>(())
+                    })();
+                    match staged {
+                        Err(()) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            if round % 2 == 0 {
+                                t.abort();
+                            } else {
+                                drop(t); // the Drop guard must clean up too
+                            }
+                        }
+                        Ok(()) => {
+                            if round % 7 == 6 {
+                                t.abort(); // staged work thrown away
+                            } else if t.commit().is_ok() {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        store.locked_pages(),
+        0,
+        "the lock table must be empty after the storm \
+         ({} commits, {} failures)",
+        committed.load(Ordering::Relaxed),
+        failed.load(Ordering::Relaxed)
+    );
+    assert!(
+        committed.load(Ordering::Relaxed) > 0 && failed.load(Ordering::Relaxed) > 0,
+        "the storm must produce both successes and failures to mean anything \
+         ({} commits, {} failures)",
+        committed.load(Ordering::Relaxed),
+        failed.load(Ordering::Relaxed)
+    );
+    // The table being empty must also mean every page is acquirable: one
+    // transaction locks a node in each section back-to-back.
+    let mut sweep = store.begin();
+    for s in 0..3 {
+        let path = XPath::parse(&format!("/root/s{s}")).unwrap();
+        let target = sweep.select(&path).unwrap()[0];
+        let frag = mbxq_xml::Document::parse_fragment("<p id=\"sweep\"/>").unwrap();
+        sweep
+            .insert(InsertPosition::LastChildOf(target), &frag)
+            .unwrap();
+    }
+    sweep.commit().unwrap();
+    assert_eq!(store.locked_pages(), 0);
+    mbxq_storage::invariants::check_paged(store.snapshot().as_ref()).unwrap();
+}
+
 #[test]
 fn aborts_release_locks_for_others() {
-    let xml = build_xml(1, 50);
+    let xml = sectioned_xml(1, 50, "");
     let store = Store::open(
         PagedDoc::parse_str(&xml, PageConfig::new(64, 80).unwrap()).unwrap(),
         Wal::in_memory(),
@@ -144,6 +258,7 @@ fn aborts_release_locks_for_others() {
             ancestor_mode: AncestorLockMode::Delta,
             lock_timeout: Duration::from_millis(300),
             validate_on_commit: false,
+            ..StoreConfig::default()
         },
     );
     let path = XPath::parse("/root/s0").unwrap();
