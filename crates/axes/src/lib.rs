@@ -27,9 +27,11 @@ use mbxq_xml::QName;
 
 mod iterators;
 pub mod loop_lifted;
+pub mod semijoin;
 
 pub use iterators::{children, descendants, following_siblings};
 pub use loop_lifted::{step_lifted, ContextSeq};
+pub use semijoin::{exists_step, range_semijoin};
 
 /// The XPath axes supported by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,210 @@
+//! Range semijoin and existence probes — the index-side physical
+//! operators of the algebraic query layer.
+//!
+//! The staircase join answers an axis step by scanning the context
+//! regions; when an **element-name index** is available
+//! ([`TreeView::elements_named`]), the planner can instead probe the
+//! index (all elements with the step's name, in document order) and
+//! semijoin that list back to the context: per context region, a pair
+//! of binary searches cuts the probe list down to the candidates whose
+//! pre rank falls inside the region. The cost is O(|context| · log k +
+//! output) instead of O(region) — the winning trade for selective
+//! names over large regions.
+
+use crate::loop_lifted::ContextSeq;
+use crate::{children, descendants, step, Axis, NodeTest};
+use mbxq_storage::TreeView;
+
+/// Semijoins a document-ordered candidate list (an element-name-index
+/// probe) back to a loop-lifted context: per `(iter, context-node)`,
+/// emits the candidates standing in `axis` relation to the context
+/// node. Supported axes: `Child`, `Descendant`, `DescendantOrSelf`
+/// (the ones whose results lie inside the context node's region).
+/// Results keep their iteration tags, sorted by `(iter, pre)`.
+pub fn range_semijoin<V: TreeView + ?Sized>(
+    view: &V,
+    ctx: &ContextSeq,
+    cands: &[u64],
+    axis: Axis,
+) -> ContextSeq {
+    debug_assert!(cands.windows(2).all(|w| w[0] < w[1]), "cands sorted");
+    let mut out = ContextSeq::new();
+    let mut start = 0usize;
+    while start < ctx.len() {
+        let iter = ctx.iters[start];
+        let mut end = start;
+        while end < ctx.len() && ctx.iters[end] == iter {
+            end += 1;
+        }
+        semijoin_group(view, &ctx.pres[start..end], cands, axis, |pre| {
+            out.push(iter, pre)
+        });
+        start = end;
+    }
+    out
+}
+
+/// One iteration group of [`range_semijoin`]; `emit` receives the
+/// qualifying candidates in ascending pre order without duplicates.
+fn semijoin_group<V: TreeView + ?Sized>(
+    view: &V,
+    group: &[u64],
+    cands: &[u64],
+    axis: Axis,
+    mut emit: impl FnMut(u64),
+) {
+    match axis {
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            // Staircase pruning: a context node covered by a previous
+            // one contributes nothing new, and surviving regions are
+            // disjoint and ascending — the output needs no sort.
+            let mut horizon = 0u64;
+            for &c in group {
+                if c < horizon {
+                    continue;
+                }
+                let end = view.region_end(c);
+                let lo = if axis == Axis::DescendantOrSelf {
+                    cands.partition_point(|&p| p < c)
+                } else {
+                    cands.partition_point(|&p| p <= c)
+                };
+                let hi = cands.partition_point(|&p| p < end);
+                for &p in &cands[lo..hi] {
+                    emit(p);
+                }
+                horizon = end;
+            }
+        }
+        Axis::Child => {
+            // A candidate inside (c, region_end(c)) at level(c)+1 is a
+            // child of c. Nested context nodes make child sets
+            // interleave, so collect and sort per group (sets are
+            // disjoint — a node has one parent — no dedup needed).
+            let mut hits: Vec<u64> = Vec::new();
+            for &c in group {
+                let Some(lvl) = view.level(c) else { continue };
+                let end = view.region_end(c);
+                let lo = cands.partition_point(|&p| p <= c);
+                let hi = cands.partition_point(|&p| p < end);
+                hits.extend(
+                    cands[lo..hi]
+                        .iter()
+                        .copied()
+                        .filter(|&p| view.level(p) == Some(lvl + 1)),
+                );
+            }
+            hits.sort_unstable();
+            for p in hits {
+                emit(p);
+            }
+        }
+        other => unreachable!("range_semijoin does not serve axis {other:?}"),
+    }
+}
+
+/// Early-exit existence probe: `out[i]` is whether node `nodes[i]` has
+/// at least one `axis::test` partner. The scan behind each node stops
+/// at its **first** hit — the physical operator behind the rewriter's
+/// `count(e) > 0` → `exists(e)` rule.
+pub fn exists_step<V: TreeView + ?Sized>(
+    view: &V,
+    nodes: &[u64],
+    axis: Axis,
+    test: &NodeTest,
+) -> Vec<bool> {
+    nodes
+        .iter()
+        .map(|&c| match axis {
+            Axis::Child => children(view, c).any(|p| test.matches(view, p)),
+            Axis::Descendant => descendants(view, c).any(|p| test.matches(view, p)),
+            Axis::DescendantOrSelf => {
+                test.matches(view, c) || descendants(view, c).any(|p| test.matches(view, p))
+            }
+            Axis::SelfAxis => test.matches(view, c),
+            Axis::Parent => view.parent_of(c).is_some_and(|p| test.matches(view, p)),
+            // The remaining axes have no cheaper early-exit form than
+            // the staircase step itself.
+            other => !step(view, &[c], other, test).is_empty(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbxq_storage::{PageConfig, PagedDoc, QnId, ReadOnlyDoc};
+    use mbxq_xml::QName;
+
+    const DOC: &str = "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
+
+    fn probe<V: TreeView>(view: &V, name: &str) -> Vec<u64> {
+        let qn = view.pool().lookup_qname(&QName::local(name)).unwrap();
+        view.elements_named(qn).unwrap()
+    }
+
+    fn all_elements<V: TreeView>(view: &V) -> Vec<u64> {
+        let mut out = Vec::new();
+        for qn in 0..view.pool().qname_count() as u32 {
+            out.extend(view.elements_named(QnId(qn)).unwrap());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The semijoin must agree with the staircase step for every
+    /// supported axis and context shape.
+    #[test]
+    fn semijoin_matches_staircase() {
+        let ro = ReadOnlyDoc::parse_str(DOC).unwrap();
+        let up = PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap();
+        fn check<V: TreeView>(view: &V) {
+            let cands = all_elements(view);
+            for axis in [Axis::Child, Axis::Descendant, Axis::DescendantOrSelf] {
+                for ctx_pres in [vec![0], vec![1, 5], vec![1, 2], vec![0, 2, 7]] {
+                    let ctx_pres: Vec<u64> =
+                        ctx_pres.into_iter().filter(|&p| view.is_used(p)).collect();
+                    let lifted = ContextSeq::lift(&ctx_pres);
+                    let want = crate::step_lifted(view, &lifted, axis, &NodeTest::AnyElement);
+                    let got = range_semijoin(view, &lifted, &cands, axis);
+                    assert_eq!(got, want, "axis {axis:?}, ctx {ctx_pres:?}");
+                }
+            }
+        }
+        check(&ro);
+        check(&up);
+    }
+
+    #[test]
+    fn semijoin_uses_name_probe_lists() {
+        let ro = ReadOnlyDoc::parse_str(DOC).unwrap();
+        let ctx = ContextSeq::single_iter(vec![0]);
+        let got = range_semijoin(&ro, &ctx, &probe(&ro, "h"), Axis::Descendant);
+        assert_eq!(got.pres, probe(&ro, "h"));
+        let none = range_semijoin(&ro, &ctx, &[], Axis::Descendant);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn exists_matches_step_nonemptiness() {
+        let ro = ReadOnlyDoc::parse_str(DOC).unwrap();
+        let nodes: Vec<u64> = (0..ro.pre_end()).collect();
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Parent,
+            Axis::SelfAxis,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
+            let test = NodeTest::Name(QName::local("h"));
+            let got = exists_step(&ro, &nodes, axis, &test);
+            let want: Vec<bool> = nodes
+                .iter()
+                .map(|&c| !step(&ro, &[c], axis, &test).is_empty())
+                .collect();
+            assert_eq!(got, want, "axis {axis:?}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Strategy ablation over the XMark XPath corpus — the measurement
+//! behind the algebraic query layer. Emits `BENCH_plan.json`.
+//!
+//! Every path of [`mbxq_xmark::QUERY_PATHS`] is compiled once through
+//! the plan pipeline and executed three ways on both storage schemas:
+//!
+//! * **staircase** — [`AxisChoice::ForceStaircase`]: every axis step
+//!   scans its context regions (the interpreter's only strategy);
+//! * **index** — [`AxisChoice::ForceIndex`]: every indexable step
+//!   probes the element-name index and semijoins back to the context;
+//! * **cost** — [`AxisChoice::Auto`]: the per-step cost model decides
+//!   from live statistics.
+//!
+//! All three arms must select identical nodes (asserted). The summary
+//! checks the two claims the PR makes: the index arm beats the forced
+//! staircase on the selective queries, and the cost-chosen arm never
+//! strays far from the best ablation arm. `--smoke` runs a tiny scale
+//! once (CI guard that the binary keeps working; no JSON rewrite).
+
+use mbxq_bench::{build_both, time_min};
+use mbxq_storage::TreeView;
+use mbxq_xmark::QUERY_PATHS;
+use mbxq_xpath::{AxisChoice, EvalOptions, EvalStats, XPath};
+use std::fmt::Write as _;
+
+fn arm_opts(axis: AxisChoice) -> EvalOptions<'static> {
+    EvalOptions {
+        axis,
+        ..EvalOptions::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 0.003 } else { 0.03 };
+    let reps = if smoke { 2 } else { 9 };
+
+    let (ro, up, bytes) = build_both(scale, 42);
+    println!("XMark scale {scale} ({bytes} B, {} nodes)", ro.used_count());
+
+    let mut json = String::from("[\n");
+    let mut first = true;
+    // (auto-vs-best ratio, index beat staircase) per query, ro view.
+    let mut max_auto_over_best = 0.0f64;
+    let mut index_wins = 0usize;
+
+    for &(label, path) in QUERY_PATHS {
+        let xp = XPath::parse(path).expect(path);
+
+        // Correctness first: all arms agree on both schemas.
+        let want_ro = xp
+            .select_from_root_opts(&ro, &arm_opts(AxisChoice::ForceStaircase))
+            .expect(path);
+        for arm in [AxisChoice::ForceIndex, AxisChoice::Auto] {
+            let got = xp.select_from_root_opts(&ro, &arm_opts(arm)).expect(path);
+            assert_eq!(got, want_ro, "{label}: {arm:?} diverged on ro");
+        }
+        let want_up = xp
+            .select_from_root_opts(&up, &arm_opts(AxisChoice::ForceStaircase))
+            .expect(path);
+        for arm in [AxisChoice::ForceIndex, AxisChoice::Auto] {
+            let got = xp.select_from_root_opts(&up, &arm_opts(arm)).expect(path);
+            assert_eq!(got, want_up, "{label}: {arm:?} diverged on paged");
+        }
+
+        let stair_ro = time_min(reps, || {
+            xp.select_from_root_opts(&ro, &arm_opts(AxisChoice::ForceStaircase))
+                .unwrap()
+                .len()
+        })
+        .as_nanos();
+        let index_ro = time_min(reps, || {
+            xp.select_from_root_opts(&ro, &arm_opts(AxisChoice::ForceIndex))
+                .unwrap()
+                .len()
+        })
+        .as_nanos();
+        let auto_ro = time_min(reps, || {
+            xp.select_from_root_opts(&ro, &arm_opts(AxisChoice::Auto))
+                .unwrap()
+                .len()
+        })
+        .as_nanos();
+        let stair_up = time_min(reps, || {
+            xp.select_from_root_opts(&up, &arm_opts(AxisChoice::ForceStaircase))
+                .unwrap()
+                .len()
+        })
+        .as_nanos();
+        let index_up = time_min(reps, || {
+            xp.select_from_root_opts(&up, &arm_opts(AxisChoice::ForceIndex))
+                .unwrap()
+                .len()
+        })
+        .as_nanos();
+        let auto_up = time_min(reps, || {
+            xp.select_from_root_opts(&up, &arm_opts(AxisChoice::Auto))
+                .unwrap()
+                .len()
+        })
+        .as_nanos();
+
+        // Which arms did the cost model actually take?
+        let stats = EvalStats::default();
+        xp.select_from_root_opts(
+            &ro,
+            &EvalOptions {
+                axis: AxisChoice::Auto,
+                stats: Some(&stats),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let chose_index = stats.index_steps.get();
+        let chose_stair = stats.staircase_steps.get();
+
+        let best_ro = stair_ro.min(index_ro);
+        let auto_over_best = auto_ro as f64 / best_ro.max(1) as f64;
+        max_auto_over_best = max_auto_over_best.max(auto_over_best);
+        if index_ro < stair_ro {
+            index_wins += 1;
+        }
+
+        println!(
+            "{label:<24} rows {:>6}  ro: stair {stair_ro:>9}ns index {index_ro:>9}ns \
+             auto {auto_ro:>9}ns (x{auto_over_best:>4.2} of best)  \
+             up: stair {stair_up:>9}ns index {index_up:>9}ns auto {auto_up:>9}ns  \
+             [auto steps: {chose_index} index / {chose_stair} staircase]",
+            want_ro.len()
+        );
+
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "  {{\"label\": \"{label}\", \"path\": {path:?}, \"rows\": {}, \
+             \"ro_staircase_ns\": {stair_ro}, \"ro_index_ns\": {index_ro}, \
+             \"ro_cost_ns\": {auto_ro}, \"up_staircase_ns\": {stair_up}, \
+             \"up_index_ns\": {index_up}, \"up_cost_ns\": {auto_up}, \
+             \"cost_over_best_ro\": {auto_over_best:.4}, \
+             \"auto_index_steps\": {chose_index}, \"auto_staircase_steps\": {chose_stair}}}",
+            want_ro.len()
+        );
+    }
+    json.push_str("\n]\n");
+
+    println!(
+        "\nsummary: index beats forced-staircase on {index_wins}/{} queries; \
+         cost-chosen worst-case {max_auto_over_best:.2}x of the best arm",
+        QUERY_PATHS.len()
+    );
+    if !smoke {
+        assert!(
+            index_wins >= 2,
+            "the name-index strategy must win at least two queries"
+        );
+        assert!(
+            max_auto_over_best <= 1.5,
+            "the cost model strayed {max_auto_over_best:.2}x from the best arm"
+        );
+        std::fs::write("BENCH_plan.json", &json).expect("write BENCH_plan.json");
+        println!("wrote BENCH_plan.json");
+    } else {
+        println!("smoke mode: skipping BENCH_plan.json");
+    }
+}

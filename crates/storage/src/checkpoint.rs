@@ -270,6 +270,9 @@ impl PagedDoc {
             }
             doc.push_attr(node, qn, prop);
         }
+        // The dump carries tuples in document order; the element-name
+        // index is derived state and is rebuilt rather than serialized.
+        doc.name_index = crate::names::NameIndex::from_base(crate::paged::name_index_base(&staged));
         doc.pool.compact();
         doc.attr_index.compact();
         Ok(doc)

@@ -173,6 +173,41 @@ pub fn check_paged(doc: &PagedDoc) -> Result<()> {
         }
     }
 
+    // Element-name index ≡ a scan: for every interned element name the
+    // probe must return exactly the named used elements, in document
+    // order.
+    {
+        let mut scan: std::collections::HashMap<crate::values::QnId, Vec<u64>> =
+            std::collections::HashMap::new();
+        let mut p = 0u64;
+        while let Some(q) = doc.next_used_at_or_after(p) {
+            if let Some(qn) = doc.name_id(q) {
+                scan.entry(qn).or_default().push(q);
+            }
+            p = q + 1;
+        }
+        for qn in (0..doc.pool().qname_count() as u32).map(crate::values::QnId) {
+            let want = scan.remove(&qn).unwrap_or_default();
+            let got = doc
+                .elements_named(qn)
+                .expect("paged docs maintain an index");
+            if got != want {
+                return Err(corrupt(format!(
+                    "name index for qn {} diverged: {} indexed vs {} scanned",
+                    qn.0,
+                    got.len(),
+                    want.len()
+                )));
+            }
+            if doc.elements_named_count(qn) != Some(want.len() as u64) {
+                return Err(corrupt(format!(
+                    "name index count for qn {} diverged",
+                    qn.0
+                )));
+            }
+        }
+    }
+
     // Attribute index points at live nodes and matching rows.
     for (node, rows) in doc.attr_index.iter() {
         match doc.node_pos.get(node) {

@@ -41,6 +41,7 @@ pub mod checkpoint;
 pub mod dump;
 pub mod invariants;
 pub mod naive;
+pub(crate) mod names;
 pub mod paged;
 pub mod readonly;
 pub mod serialize;

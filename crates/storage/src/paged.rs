@@ -28,6 +28,7 @@
 //! ancestors delta-adjusted) instead of O(document), and publishes it by
 //! swapping one `Arc` under the store's short global lock.
 
+use crate::names::NameIndex;
 use crate::types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
 use crate::values::{PropId, QnId, ValuePool};
 use crate::view::TreeView;
@@ -86,6 +87,9 @@ pub struct PagedDoc {
     pub(crate) attr_prop: CowVec<PropId>,
     /// node id → attribute row indexes (document order).
     pub(crate) attr_index: AttrIndex,
+    /// element name → element node ids (document order) — the access
+    /// path behind cost-based axis selection (module [`crate::names`]).
+    pub(crate) name_index: NameIndex,
     pub(crate) pool: ValuePool,
     pub(crate) used_count: u64,
 }
@@ -200,6 +204,18 @@ impl AttrIndex {
     }
 }
 
+/// Builds an element-name-index base from a document-ordered tuple
+/// stream (shredding, checkpoint load, vacuum).
+pub(crate) fn name_index_base(staged: &[Tuple]) -> HashMap<QnId, Vec<u64>> {
+    let mut base: HashMap<QnId, Vec<u64>> = HashMap::new();
+    for t in staged {
+        if t.kind == Kind::Element {
+            base.entry(QnId(t.name)).or_default().push(t.node);
+        }
+    }
+    base
+}
+
 /// Size/occupancy statistics (for the §4.1 storage-overhead experiment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PagedStats {
@@ -256,6 +272,7 @@ impl PagedDoc {
         for (node, qn, prop) in attrs {
             doc.push_attr(node, qn, prop);
         }
+        doc.name_index = NameIndex::from_base(name_index_base(&staged));
         // Fold the shredder's interning burst into the shared bases, so
         // subsequent clones (reader snapshots, commit versions) carry
         // empty deltas.
@@ -283,6 +300,7 @@ impl PagedDoc {
             attr_qn: CowVec::new(SIDE_PAGE),
             attr_prop: CowVec::new(SIDE_PAGE),
             attr_index: AttrIndex::default(),
+            name_index: NameIndex::default(),
             pool: ValuePool::new(),
             used_count: 0,
         })
@@ -545,6 +563,26 @@ impl PagedDoc {
         self.attr_index.compact();
     }
 
+    /// Folds the element-name index's delta into a fresh shared base
+    /// (same maintenance discipline as [`PagedDoc::compact_attr_index`]).
+    pub fn compact_name_index(&mut self) {
+        let mut idx = std::mem::take(&mut self.name_index);
+        idx.compact(|node| self.node_pre_opt(node));
+        self.name_index = idx;
+    }
+
+    /// Name-index entries added/tombstoned since the last compaction
+    /// (diagnostic, mirrors [`ValuePool::delta_len`]).
+    pub fn name_index_delta_len(&self) -> usize {
+        self.name_index.delta_len()
+    }
+
+    /// `node id → current pre`, `None` for dead ids.
+    fn node_pre_opt(&self, node: u64) -> Option<u64> {
+        let pos = self.node_pos.get(node).ok().flatten()?;
+        self.pages.pos_to_pre(pos).ok()
+    }
+
     /// Occupancy statistics.
     pub fn stats(&self) -> PagedStats {
         let capacity = self.size.len() as u64;
@@ -647,6 +685,7 @@ impl PagedDoc {
             attr_qn: self.attr_qn.deep_clone(),
             attr_prop: self.attr_prop.deep_clone(),
             attr_index: self.attr_index.deep_clone(),
+            name_index: self.name_index.deep_clone(),
             pool: self.pool.deep_clone(),
             used_count: self.used_count,
         }
@@ -739,6 +778,20 @@ impl TreeView for PagedDoc {
 
     fn used_count(&self) -> u64 {
         self.used_count
+    }
+
+    fn elements_named(&self, qn: QnId) -> Option<Vec<u64>> {
+        Some(
+            self.name_index
+                .nodes_by_pre(qn, |node| self.node_pre_opt(node))
+                .into_iter()
+                .map(|(pre, _)| pre)
+                .collect(),
+        )
+    }
+
+    fn elements_named_count(&self, qn: QnId) -> Option<u64> {
+        Some(self.name_index.count(qn))
     }
 }
 

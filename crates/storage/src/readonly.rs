@@ -37,6 +37,10 @@ pub struct ReadOnlyDoc {
     attr_qn: VoidBat<QnId>,
     /// Attribute values (`prop` references).
     attr_prop: VoidBat<PropId>,
+    /// Element-name index: `qn` id → element pre ranks (ascending).
+    /// The schema is immutable, so pre ranks are stable and the index
+    /// never needs maintenance — it is built once by the shredder.
+    name_index: std::collections::HashMap<QnId, Vec<u64>>,
     /// Interned side tables.
     pool: ValuePool,
 }
@@ -61,6 +65,7 @@ impl ReadOnlyDoc {
                     emitted += 1;
                     let level = stack.len() as u16;
                     let qn = doc.pool.intern_qname(&name);
+                    doc.name_index.entry(qn).or_default().push(pre);
                     doc.push_tuple(0, level, Kind::Element, qn.0, u32::MAX);
                     for (aname, avalue) in &attributes {
                         let aqn = doc.pool.intern_qname(aname);
@@ -115,6 +120,7 @@ impl ReadOnlyDoc {
             } => {
                 let pre = self.size.len() as u64;
                 let qn = self.pool.intern_qname(name);
+                self.name_index.entry(qn).or_default().push(pre);
                 self.push_tuple(0, level, Kind::Element, qn.0, u32::MAX);
                 for (aname, avalue) in attributes {
                     let aqn = self.pool.intern_qname(aname);
@@ -248,6 +254,14 @@ impl TreeView for ReadOnlyDoc {
 
     fn used_count(&self) -> u64 {
         self.len() as u64
+    }
+
+    fn elements_named(&self, qn: QnId) -> Option<Vec<u64>> {
+        Some(self.name_index.get(&qn).cloned().unwrap_or_default())
+    }
+
+    fn elements_named_count(&self, qn: QnId) -> Option<u64> {
+        Some(self.name_index.get(&qn).map_or(0, Vec::len) as u64)
     }
 
     // Dense encoding: every slot used, so the generic helpers collapse.

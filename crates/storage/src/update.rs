@@ -19,6 +19,7 @@
 
 use crate::paged::{PagedDoc, Tuple};
 use crate::types::{Kind, NodeId, StorageError};
+use crate::values::QnId;
 use crate::view::TreeView;
 use crate::Result;
 use mbxq_xml::{Node, QName};
@@ -128,6 +129,13 @@ impl PagedDoc {
         for (node, qn, prop) in attrs {
             self.push_attr(node, qn, prop);
         }
+        // Register the new elements in the name index (staged is in
+        // document order, so per-name delta order stays document order).
+        for t in &staged {
+            if t.kind == Kind::Element {
+                self.name_index.add(QnId(t.name), t.node);
+            }
+        }
 
         // Remember the parent by immutable node id: its pre may shift.
         let parent_node = match parent_pre {
@@ -192,6 +200,9 @@ impl PagedDoc {
         for &v in &victims {
             let pos = self.pos_of_pre(v).expect("victim is in range");
             let node = self.node[pos];
+            if self.kind[pos] == Kind::Element {
+                self.name_index.remove(QnId(self.name[pos]), node);
+            }
             if let Some(rows) = self.attr_index.remove(node) {
                 attrs_removed += rows.len() as u64;
                 // Rows stay in the attr columns as dead space; the index
@@ -271,6 +282,12 @@ impl PagedDoc {
             });
         }
         let qn = self.pool.intern_qname(name);
+        let old = QnId(self.name[pos]);
+        if old != qn {
+            let node = self.node[pos];
+            self.name_index.remove(old, node);
+            self.name_index.add(qn, node);
+        }
         self.name[pos] = qn.0;
         Ok(())
     }

@@ -13,7 +13,8 @@
 //! (only positions change; `node→pos` is rebuilt, exactly the mutable
 //! state the paper designed the indirection for).
 
-use crate::paged::{PagedDoc, Tuple, SIDE_PAGE};
+use crate::names::NameIndex;
+use crate::paged::{name_index_base, PagedDoc, Tuple, SIDE_PAGE};
 use crate::types::PageConfig;
 use crate::view::TreeView;
 use crate::Result;
@@ -97,6 +98,9 @@ impl PagedDoc {
         // the side-structure deltas into fresh shared bases.
         let rows_before = self.attr_node.len() as u64;
         self.rebuild_attr_table();
+        // The live tuples are already in document order — rebuild the
+        // element-name index from them with an empty delta.
+        self.name_index = NameIndex::from_base(name_index_base(&live));
         self.pool.compact();
         let attr_rows_reclaimed = rows_before - self.attr_node.len() as u64;
 

@@ -61,6 +61,22 @@ pub trait TreeView {
     /// The shared interned side tables.
     fn pool(&self) -> &ValuePool;
 
+    /// All element nodes named `qn`, as ascending pre ranks — the
+    /// element-name-index probe behind cost-based axis selection.
+    /// `None` when the schema maintains no such index (callers fall
+    /// back to a staircase scan); the default is index-less.
+    fn elements_named(&self, qn: QnId) -> Option<Vec<u64>> {
+        let _ = qn;
+        None
+    }
+
+    /// Number of elements named `qn` (the index statistic the cost
+    /// model keys on); `None` without an index.
+    fn elements_named_count(&self, qn: QnId) -> Option<u64> {
+        let _ = qn;
+        None
+    }
+
     // ------------------------------------------------------------------
     // Derived navigation helpers (identical for both schemas).
     // ------------------------------------------------------------------

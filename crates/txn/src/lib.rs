@@ -105,6 +105,7 @@ use mbxq_storage::{ArcCell, InsertPosition, NodeId, PagedDoc, StorageError, Tree
 use mbxq_xml::Node;
 use mbxq_xpath::XPath;
 use op::Op;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
@@ -297,7 +298,31 @@ pub struct Store {
     /// locks: a held lock blocks vacuum, so an unchanged epoch at that
     /// point proves the lock's page numbering is current.
     layout_epoch: AtomicU64,
+    /// Compiled-plan cache for [`Store::query`], keyed by query text.
+    plans: Mutex<HashMap<String, CachedPlan>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
     config: StoreConfig,
+}
+
+/// One [`Store::query`] cache entry: the compiled plan plus the layout
+/// epoch it was compiled under. A vacuum reorganizes the page layout
+/// (and re-costs every strategy surface), so an epoch bump invalidates
+/// the entry and the next use recompiles.
+struct CachedPlan {
+    epoch: u64,
+    plan: Arc<XPath>,
+}
+
+/// Counters of the per-store plan cache (see [`Store::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Queries answered with an already-compiled plan.
+    pub hits: u64,
+    /// Queries that compiled (first use, or a stale epoch).
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
 }
 
 impl Store {
@@ -317,6 +342,9 @@ impl Store {
             next_txn: AtomicU64::new(1),
             next_node: AtomicU64::new(next_node),
             layout_epoch: AtomicU64::new(0),
+            plans: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
             config,
         }
     }
@@ -441,6 +469,7 @@ impl Store {
         let mut compacted = (*doc).clone();
         compacted.pool_mut().compact();
         compacted.compact_attr_index();
+        compacted.compact_name_index();
         self.publish_locked(compacted);
         Ok(CheckpointInfo {
             nodes: doc.used_count(),
@@ -485,6 +514,86 @@ impl Store {
     /// version (0.0–1.0) — the trigger metric for [`Store::vacuum`].
     pub fn occupancy(&self) -> f64 {
         self.snapshot().occupancy()
+    }
+
+    /// The current layout epoch (bumped by every [`Store::vacuum`]).
+    pub fn layout_epoch(&self) -> u64 {
+        self.layout_epoch.load(Ordering::Acquire)
+    }
+
+    /// Evaluates an XPath query against the committed version through
+    /// the per-store **plan cache**: the first use of a query text
+    /// compiles it (parse → logical plan → rewrite → physical plan),
+    /// later uses reuse the compiled plan. Entries are invalidated by
+    /// the layout epoch, so a [`Store::vacuum`] forces recompilation.
+    /// Evaluation runs on a lock-free [`Store::snapshot`].
+    pub fn query(&self, text: &str) -> Result<mbxq_xpath::Value> {
+        let plan = self.cached_plan(text)?;
+        let snapshot = self.snapshot();
+        let root: Vec<u64> = snapshot.root_pre().into_iter().collect();
+        Ok(plan.eval(snapshot.as_ref(), &root)?)
+    }
+
+    /// Like [`Store::query`], coerced to a node set.
+    pub fn query_nodes(&self, text: &str) -> Result<Vec<NodeId>> {
+        let plan = self.cached_plan(text)?;
+        let snapshot = self.snapshot();
+        let pres = plan.select_from_root(snapshot.as_ref())?;
+        pres.iter()
+            .map(|&p| snapshot.pre_to_node(p).map_err(TxnError::from))
+            .collect()
+    }
+
+    /// Entries beyond which the plan cache sheds old plans. Interpolated
+    /// query texts (`…[@id="personN"]…` per request) would otherwise
+    /// grow the map without bound for the store's lifetime.
+    const PLAN_CACHE_CAP: usize = 1024;
+
+    /// The compiled plan for `text`, from the cache when its epoch is
+    /// current, freshly compiled (and cached) otherwise.
+    fn cached_plan(&self, text: &str) -> Result<Arc<XPath>> {
+        let epoch = self.layout_epoch();
+        {
+            let plans = self.plans.lock().unwrap();
+            if let Some(entry) = plans.get(text) {
+                if entry.epoch == epoch {
+                    self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(entry.plan.clone());
+                }
+            }
+        }
+        // Compile OUTSIDE the lock: a slow compile must not serialize
+        // concurrent queries for unrelated (cached) texts. Racing
+        // compilers of the same text both succeed; last insert wins.
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(XPath::parse(text)?);
+        let mut plans = self.plans.lock().unwrap();
+        if plans.len() >= Self::PLAN_CACHE_CAP && !plans.contains_key(text) {
+            // Cheap pressure valve: drop stale-epoch entries first, and
+            // if the cache is still full of current plans, start over —
+            // recompiling is milliseconds; unbounded growth is forever.
+            plans.retain(|_, e| e.epoch == epoch);
+            if plans.len() >= Self::PLAN_CACHE_CAP {
+                plans.clear();
+            }
+        }
+        plans.insert(
+            text.to_string(),
+            CachedPlan {
+                epoch,
+                plan: plan.clone(),
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+            entries: self.plans.lock().unwrap().len(),
+        }
     }
 }
 
@@ -921,6 +1030,12 @@ impl mbxq_storage::TreeView for WriteTxn<'_> {
     }
     fn used_count(&self) -> u64 {
         self.view().used_count()
+    }
+    fn elements_named(&self, qn: mbxq_storage::QnId) -> Option<Vec<u64>> {
+        self.view().elements_named(qn)
+    }
+    fn elements_named_count(&self, qn: mbxq_storage::QnId) -> Option<u64> {
+        self.view().elements_named_count(qn)
     }
 }
 

@@ -24,7 +24,7 @@ pub mod rng;
 mod text;
 
 pub use gen::{generate, generate_tree, XMarkConfig};
-pub use queries::{run_query, QueryResult, QUERY_COUNT};
+pub use queries::{run_query, QueryResult, QUERY_COUNT, QUERY_PATHS};
 
 #[cfg(test)]
 mod tests {

@@ -480,7 +480,47 @@ fn q14<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
     Ok(result_from(rows, f))
 }
 
-const Q15_PATH: &str = "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()";
+/// Q15's long, fully-specified downward path.
+pub const Q15_PATH: &str = "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()";
+
+/// The pure-XPath corpus of the Q1–Q20 plans: every `(label, path)`
+/// selection the hand-compiled queries issue through [`XPath`], plus
+/// the selective descendant probes Q7 decomposes into. The `plan_cost`
+/// benchmark drives exactly this corpus through the plan pipeline with
+/// per-query strategy ablation (forced-staircase vs forced-index vs
+/// cost-chosen).
+pub const QUERY_PATHS: &[(&str, &str)] = &[
+    (
+        "q01_person0_name",
+        "/site/people/person[@id=\"person0\"]/name",
+    ),
+    ("q02_open_auctions", "/site/open_auctions/open_auction"),
+    (
+        "q05_closed_prices",
+        "/site/closed_auctions/closed_auction/price",
+    ),
+    ("q06_regions", "/site/regions/*"),
+    ("q07_descriptions", "//description"),
+    ("q07_annotations", "//annotation"),
+    ("q07_emailaddresses", "//emailaddress"),
+    ("q08_buyers", "/site/closed_auctions/closed_auction/buyer"),
+    ("q09_europe_items", "/site/regions/europe/item"),
+    ("q10_persons", "/site/people/person"),
+    ("q11_initials", "/site/open_auctions/open_auction/initial"),
+    ("q13_australia_items", "/site/regions/australia/item"),
+    ("q14_items", "//item"),
+    ("q15_deep_path", Q15_PATH),
+    ("q16_keywords", "//keyword"),
+    ("q17_no_homepage", "/site/people/person[not(homepage)]/name"),
+    ("q19_locations", "//item/location"),
+    ("q20_incomes", "/site/people/person/profile"),
+    ("sel_personref", "//personref"),
+    ("sel_homepage_exists", "/site/people/person[homepage]/name"),
+    (
+        "sel_first_bidder",
+        "/site/open_auctions/open_auction/bidder[1]/increase",
+    ),
+];
 
 /// Q15: a long, fully-specified downward path (rewards positional
 /// skipping).

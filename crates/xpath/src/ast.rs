@@ -25,6 +25,9 @@ pub enum Expr {
     Number(f64),
     /// Function call.
     Call(String, Vec<Expr>),
+    /// Variable reference (`$name`), resolved against the
+    /// [`crate::Bindings`] supplied at evaluation time.
+    Var(String),
     /// A location path (optionally rooted in a parenthesized primary
     /// expression, e.g. `(…)/a/b`).
     Path(PathExpr),

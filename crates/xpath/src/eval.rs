@@ -1,21 +1,22 @@
-//! Evaluator: compiles the AST onto the loop-lifted staircase-join
-//! engine.
+//! Shared evaluation runtime and the physical-plan **executor**.
 //!
-//! Every location step — top-level or nested inside a predicate — is
-//! executed *set-at-a-time*: the whole context flows through
-//! [`step_lifted`] as a [`ContextSeq`] (an `(iter, pre)` relation) and
-//! each axis is evaluated in **one** operator invocation per step, never
-//! once per context node. Predicates follow the same discipline: the
-//! candidate relation is expanded so that every candidate becomes its own
-//! iteration (Pathfinder's loop-lifting of the implicit `for` over the
-//! context), the predicate expression is evaluated for *all* iterations
-//! in one pass ([`eval_lifted`]), and a row mask selects the survivors.
-//! Loop-invariant subexpressions (literals, absolute paths) are hoisted:
-//! they evaluate once and broadcast as [`Lifted::Const`].
+//! The first half of this module is the XPath 1.0 value model — [`Value`]
+//! with its coercions, the comparison/arithmetic semantics, the core
+//! function library — shared by the plan executor and by the reference
+//! interpreter ([`crate::interp`]). The second half is the executor: a
+//! small virtual machine over [`crate::physical`] plans that keeps the
+//! loop-lifted discipline of the interpreter (whole `(iter, pre)`
+//! relations per operator invocation, per-iteration short-circuiting,
+//! explicit [`Lifted::Const`] broadcasting for hoisted subplans) while
+//! adding what only a plan layer can offer: per-step **cost-driven
+//! choice** between the staircase join and an element-name-index
+//! probe-plus-semijoin, first/last positional picks without position
+//! vectors, and early-exit existence aggregation.
 
-use crate::ast::{ArithOp, CmpOp, Expr, PathExpr, Step, StepTest};
-use crate::{Result, XPathError};
-use mbxq_axes::{step_lifted, Axis, ContextSeq, NodeTest};
+use crate::ast::{ArithOp, CmpOp};
+use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
+use crate::{AxisChoice, Bindings, EvalStats, Result, XPathError};
+use mbxq_axes::{exists_step, range_semijoin, step_lifted, Axis, ContextSeq, NodeTest};
 use mbxq_storage::{QnId, TreeView};
 
 /// An XPath 1.0 value.
@@ -86,7 +87,7 @@ impl Value {
     }
 
     /// All string values (one per node/attribute; singleton otherwise).
-    fn string_values<V: TreeView + ?Sized>(&self, view: &V) -> Vec<String> {
+    pub(crate) fn string_values<V: TreeView + ?Sized>(&self, view: &V) -> Vec<String> {
         match self {
             Value::Nodes(ns) => ns.iter().map(|&p| view.string_value(p)).collect(),
             Value::Attrs(a) => a
@@ -102,14 +103,14 @@ impl Value {
     }
 }
 
-fn attr_value<V: TreeView + ?Sized>(view: &V, owner: u64, qn: QnId) -> Option<String> {
+pub(crate) fn attr_value<V: TreeView + ?Sized>(view: &V, owner: u64, qn: QnId) -> Option<String> {
     view.attributes(owner)
         .into_iter()
         .find(|&(n, _)| n == qn)
         .and_then(|(_, p)| view.pool().prop(p).map(str::to_string))
 }
 
-fn str_to_number(s: &str) -> f64 {
+pub(crate) fn str_to_number(s: &str) -> f64 {
     let t = s.trim();
     // Rust's f64 parser accepts "inf"/"NaN" spellings XPath does not, and
     // XPath numbers have no exponent syntax.
@@ -142,62 +143,7 @@ pub(crate) fn format_number(n: f64) -> String {
     }
 }
 
-/// Evaluates `expr` with `context` as the context node set.
-pub(crate) fn eval_expr<V: TreeView + ?Sized>(
-    view: &V,
-    expr: &Expr,
-    context: &[u64],
-) -> Result<Value> {
-    match expr {
-        Expr::Or(a, b) => {
-            let va = eval_expr(view, a, context)?;
-            if va.to_boolean() {
-                return Ok(Value::Boolean(true));
-            }
-            Ok(Value::Boolean(eval_expr(view, b, context)?.to_boolean()))
-        }
-        Expr::And(a, b) => {
-            let va = eval_expr(view, a, context)?;
-            if !va.to_boolean() {
-                return Ok(Value::Boolean(false));
-            }
-            Ok(Value::Boolean(eval_expr(view, b, context)?.to_boolean()))
-        }
-        Expr::Compare(op, a, b) => {
-            let va = eval_expr(view, a, context)?;
-            let vb = eval_expr(view, b, context)?;
-            Ok(Value::Boolean(compare(view, *op, &va, &vb)))
-        }
-        Expr::Arith(op, a, b) => {
-            let x = eval_expr(view, a, context)?.to_number(view);
-            let y = eval_expr(view, b, context)?.to_number(view);
-            Ok(Value::Number(apply_arith(*op, x, y)))
-        }
-        Expr::Neg(e) => Ok(Value::Number(-eval_expr(view, e, context)?.to_number(view))),
-        Expr::Union(a, b) => {
-            let va = eval_expr(view, a, context)?;
-            let vb = eval_expr(view, b, context)?;
-            union_values(va, vb)
-        }
-        Expr::Literal(s) => Ok(Value::Str(s.clone())),
-        Expr::Number(n) => Ok(Value::Number(*n)),
-        Expr::Call(name, args) => {
-            if name == "position" || name == "last" {
-                return Err(XPathError::Eval {
-                    message: format!("{name}() outside a predicate"),
-                });
-            }
-            let mut argv = Vec::with_capacity(args.len());
-            for a in args {
-                argv.push(eval_expr(view, a, context)?);
-            }
-            apply_fn(view, name, &argv, context.first().copied())
-        }
-        Expr::Path(p) => eval_path(view, p, context),
-    }
-}
-
-fn apply_arith(op: ArithOp, x: f64, y: f64) -> f64 {
+pub(crate) fn apply_arith(op: ArithOp, x: f64, y: f64) -> f64 {
     match op {
         ArithOp::Add => x + y,
         ArithOp::Sub => x - y,
@@ -208,7 +154,7 @@ fn apply_arith(op: ArithOp, x: f64, y: f64) -> f64 {
 }
 
 /// The `|` operator on already-evaluated operands.
-fn union_values(a: Value, b: Value) -> Result<Value> {
+pub(crate) fn union_values(a: Value, b: Value) -> Result<Value> {
     match (a, b) {
         (Value::Nodes(mut x), Value::Nodes(y)) => {
             x.extend(y);
@@ -234,7 +180,7 @@ fn union_values(a: Value, b: Value) -> Result<Value> {
 
 /// XPath 1.0 comparison semantics: if either side is a set, the
 /// comparison existentially quantifies over its string values.
-fn compare<V: TreeView + ?Sized>(view: &V, op: CmpOp, a: &Value, b: &Value) -> bool {
+pub(crate) fn compare<V: TreeView + ?Sized>(view: &V, op: CmpOp, a: &Value, b: &Value) -> bool {
     let num_cmp = |x: f64, y: f64| match op {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -293,208 +239,31 @@ fn compare<V: TreeView + ?Sized>(view: &V, op: CmpOp, a: &Value, b: &Value) -> b
 }
 
 // ---------------------------------------------------------------------
-// Path evaluation — every step runs loop-lifted
-// ---------------------------------------------------------------------
-
-fn eval_path<V: TreeView + ?Sized>(view: &V, path: &PathExpr, context: &[u64]) -> Result<Value> {
-    let mut steps = path.steps.iter();
-    let mut current: Value = if let Some(start) = &path.start {
-        let v = eval_expr(view, start, context)?;
-        apply_filter_predicates(view, v, &path.start_predicates)?
-    } else if path.absolute {
-        // Absolute paths start at the (virtual) *document node*, whose
-        // only tree child is the root element: `/site` matches the root
-        // element named `site`, and a bare `/` denotes the document node
-        // itself (approximated by the root element here, since the
-        // storage schema has no document-node tuple).
-        match steps.next() {
-            None => Value::Nodes(view.root_pre().into_iter().collect()),
-            Some(first) => eval_step_from_document(view, first)?,
-        }
-    } else {
-        Value::Nodes(context.to_vec())
-    };
-    for step in steps {
-        current = eval_step(view, &current, step)?;
-    }
-    Ok(current)
-}
-
-/// Applies `(expr)[pred]` filter predicates: the whole node-set is one
-/// context sequence (one group, document order), unlike step predicates
-/// which scope `position()` per context node.
-fn apply_filter_predicates<V: TreeView + ?Sized>(
-    view: &V,
-    input: Value,
-    predicates: &[Expr],
-) -> Result<Value> {
-    if predicates.is_empty() {
-        return Ok(input);
-    }
-    let Value::Nodes(ns) = input else {
-        return Err(XPathError::Eval {
-            message: format!("cannot filter a {}", input.type_name()),
-        });
-    };
-    let mut seq = ContextSeq::single_iter(ns);
-    for pred in predicates {
-        seq = filter_predicate_lifted(view, seq, pred, false)?;
-    }
-    Ok(Value::Nodes(seq.pres))
-}
-
-/// Evaluates the first step of an absolute path against the virtual
-/// document node.
-fn eval_step_from_document<V: TreeView + ?Sized>(view: &V, step: &Step) -> Result<Value> {
-    let root: Vec<u64> = view.root_pre().into_iter().collect();
-    match &step.test {
-        StepTest::Tree(Axis::Child | Axis::SelfAxis, test) => {
-            // The document node's only child is the root element; `/self`
-            // degenerates to the same singleton.
-            let cands: Vec<u64> = root
-                .into_iter()
-                .filter(|&r| test.matches(view, r))
-                .collect();
-            let mut seq = ContextSeq::single_iter(cands);
-            for pred in &step.predicates {
-                seq = filter_predicate_lifted(view, seq, pred, false)?;
-            }
-            Ok(Value::Nodes(seq.pres))
-        }
-        StepTest::Tree(Axis::Descendant | Axis::DescendantOrSelf, test) => {
-            // Every tree node descends from the document node.
-            let ctx = ContextSeq::single_iter(root);
-            let mut cands = step_lifted(view, &ctx, Axis::DescendantOrSelf, test);
-            for pred in &step.predicates {
-                cands = filter_predicate_lifted(view, cands, pred, false)?;
-            }
-            Ok(Value::Nodes(cands.pres))
-        }
-        StepTest::Tree(axis, _) => Err(XPathError::Eval {
-            message: format!("axis {axis:?} cannot start from the document node"),
-        }),
-        StepTest::Attribute(_) => Err(XPathError::Eval {
-            message: "the document node has no attributes".into(),
-        }),
-    }
-}
-
-fn eval_step<V: TreeView + ?Sized>(view: &V, input: &Value, step: &Step) -> Result<Value> {
-    let nodes = match input {
-        Value::Nodes(ns) => ns,
-        other => {
-            return Err(XPathError::Eval {
-                message: format!("cannot apply a location step to a {}", other.type_name()),
-            })
-        }
-    };
-    match &step.test {
-        StepTest::Attribute(name) => {
-            if !step.predicates.is_empty() {
-                return Err(XPathError::Eval {
-                    message: "predicates on attribute steps are not supported".into(),
-                });
-            }
-            let seq = ContextSeq::single_iter(nodes.clone());
-            Ok(Value::Attrs(
-                lifted_attributes(view, &seq, name.as_ref()).attrs,
-            ))
-        }
-        StepTest::Tree(axis, test) => {
-            let ctx = ContextSeq::single_iter(nodes.clone());
-            let out = lifted_tree_step(view, &ctx, *axis, test, &step.predicates)?;
-            Ok(Value::Nodes(out.merged_pres()))
-        }
-    }
-}
-
-/// One loop-lifted tree-axis step over a whole context relation,
-/// predicates included. With no predicates this is a single
-/// [`step_lifted`] invocation; with predicates, every `(iter, node)` row
-/// is first expanded into its own nested iteration so each context node
-/// owns its candidate list (the XPath `position()` scope), the
-/// predicates run set-at-a-time over that nested relation, and the
-/// survivors are regrouped under the outer iterations.
-fn lifted_tree_step<V: TreeView + ?Sized>(
-    view: &V,
-    input: &ContextSeq,
-    axis: Axis,
-    test: &NodeTest,
-    predicates: &[Expr],
-) -> Result<ContextSeq> {
-    if predicates.is_empty() {
-        return Ok(step_lifted(view, input, axis, test));
-    }
-    // Reverse axes produce candidates here in document order; positional
-    // predicates on them count from the far end per the XPath spec.
-    let reverse = matches!(
-        axis,
-        Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling
-    );
-    let expanded = ContextSeq::lift(&input.pres);
-    let mut cands = step_lifted(view, &expanded, axis, test);
-    for pred in predicates {
-        cands = filter_predicate_lifted(view, cands, pred, reverse)?;
-    }
-    // Map the nested iterations (one per input row) back to the outer
-    // iteration ids and merge groups that share one.
-    let row_tags: Vec<u32> = cands
-        .iters
-        .iter()
-        .map(|&row| input.iters[row as usize])
-        .collect();
-    Ok(cands.regroup(&row_tags))
-}
-
-/// Applies one predicate to a candidate relation in a single lifted
-/// pass: positions are computed per group, the expression is evaluated
-/// for all candidates at once (each candidate is the context node of its
-/// own iteration), and a row mask keeps the survivors.
-fn filter_predicate_lifted<V: TreeView + ?Sized>(
-    view: &V,
-    cands: ContextSeq,
-    pred: &Expr,
-    reverse: bool,
-) -> Result<ContextSeq> {
-    if cands.is_empty() {
-        return Ok(cands);
-    }
-    let (pos, last) = cands.positions(reverse);
-    let info = PredInfo {
-        pos: &pos,
-        last: &last,
-    };
-    let v = eval_lifted(view, pred, &cands.pres, Some(&info))?;
-    // A bare number predicate means position() = n.
-    let keep: Vec<bool> = match &v {
-        Lifted::Const(Value::Number(n)) => pos.iter().map(|&p| p == *n).collect(),
-        Lifted::Numbers(ns) => ns.iter().zip(&pos).map(|(&n, &p)| p == n).collect(),
-        other => (0..cands.len())
-            .map(|i| other.value_at(i).to_boolean())
-            .collect(),
-    };
-    Ok(cands.retain_rows(&keep))
-}
-
-// ---------------------------------------------------------------------
-// Lifted expression evaluation
+// Lifted values
 // ---------------------------------------------------------------------
 
 /// `position()` / `last()` vectors for the current predicate scope, one
 /// entry per iteration.
-struct PredInfo<'a> {
-    pos: &'a [f64],
-    last: &'a [f64],
+pub(crate) struct PredInfo<'a> {
+    pub(crate) pos: &'a [f64],
+    pub(crate) last: &'a [f64],
 }
 
 /// Iteration-tagged attribute relation (`iter, owner pre, name id`).
-struct AttrSeq {
-    iters: Vec<u32>,
-    attrs: Vec<(u64, QnId)>,
+pub(crate) struct AttrSeq {
+    pub(crate) iters: Vec<u32>,
+    pub(crate) attrs: Vec<(u64, QnId)>,
 }
 
 impl AttrSeq {
-    fn of_iter(&self, iter: u32) -> Vec<(u64, QnId)> {
+    pub(crate) fn new() -> AttrSeq {
+        AttrSeq {
+            iters: Vec::new(),
+            attrs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn of_iter(&self, iter: u32) -> Vec<(u64, QnId)> {
         let lo = self.iters.partition_point(|&i| i < iter);
         let hi = self.iters.partition_point(|&i| i <= iter);
         self.attrs[lo..hi].to_vec()
@@ -503,7 +272,7 @@ impl AttrSeq {
 
 /// The result of evaluating an expression over a whole iteration domain
 /// at once — one logical value per iteration.
-enum Lifted {
+pub(crate) enum Lifted {
     /// Loop-invariant: the same value in every iteration (computed once).
     Const(Value),
     /// Per-iteration node sets.
@@ -520,7 +289,7 @@ enum Lifted {
 
 impl Lifted {
     /// Materializes iteration `i`'s value.
-    fn value_at(&self, i: usize) -> Value {
+    pub(crate) fn value_at(&self, i: usize) -> Value {
         match self {
             Lifted::Const(v) => v.clone(),
             Lifted::Nodes(cs) => Value::Nodes(cs.pres_of_iter(i as u32).to_vec()),
@@ -531,174 +300,24 @@ impl Lifted {
         }
     }
 
-    fn is_const(&self) -> bool {
+    pub(crate) fn is_const(&self) -> bool {
         matches!(self, Lifted::Const(_))
     }
-}
 
-/// Evaluates `expr` once for a whole iteration domain: iteration `i` has
-/// the single context node `ctx[i]` (and, inside a predicate,
-/// `pred.pos[i]` / `pred.last[i]`). This is the loop-lifted image of
-/// "evaluate the expression for every context node".
-fn eval_lifted<V: TreeView + ?Sized>(
-    view: &V,
-    expr: &Expr,
-    ctx: &[u64],
-    pred: Option<&PredInfo<'_>>,
-) -> Result<Lifted> {
-    let n = ctx.len();
-    match expr {
-        Expr::Or(a, b) => {
-            let va = eval_lifted(view, a, ctx, pred)?;
-            if let Lifted::Const(v) = &va {
-                if v.to_boolean() {
-                    return Ok(Lifted::Const(Value::Boolean(true)));
-                }
-                let vb = eval_lifted(view, b, ctx, pred)?;
-                return Ok(to_booleans(vb, n));
-            }
-            // XPath short-circuits per context node: evaluate the right
-            // operand only for the iterations the left one left
-            // undecided (restricting the loop relation, not looping).
-            let mut out: Vec<bool> = (0..n).map(|i| va.value_at(i).to_boolean()).collect();
-            let undecided: Vec<usize> = (0..n).filter(|&i| !out[i]).collect();
-            if !undecided.is_empty() {
-                let vb = eval_on_rows(view, b, ctx, pred, &undecided)?;
-                for (k, &i) in undecided.iter().enumerate() {
-                    out[i] = vb[k];
-                }
-            }
-            Ok(Lifted::Booleans(out))
+    /// Type name for error messages (per-iteration kind).
+    pub(crate) fn type_name(&self) -> &'static str {
+        match self {
+            Lifted::Const(x) => x.type_name(),
+            Lifted::Nodes(_) => "node-set",
+            Lifted::Attrs(_) => "attribute-set",
+            Lifted::Numbers(_) => "number",
+            Lifted::Booleans(_) => "boolean",
+            Lifted::Strs(_) => "string",
         }
-        Expr::And(a, b) => {
-            let va = eval_lifted(view, a, ctx, pred)?;
-            if let Lifted::Const(v) = &va {
-                if !v.to_boolean() {
-                    return Ok(Lifted::Const(Value::Boolean(false)));
-                }
-                let vb = eval_lifted(view, b, ctx, pred)?;
-                return Ok(to_booleans(vb, n));
-            }
-            let mut out: Vec<bool> = (0..n).map(|i| va.value_at(i).to_boolean()).collect();
-            let undecided: Vec<usize> = (0..n).filter(|&i| out[i]).collect();
-            if !undecided.is_empty() {
-                let vb = eval_on_rows(view, b, ctx, pred, &undecided)?;
-                for (k, &i) in undecided.iter().enumerate() {
-                    out[i] = vb[k];
-                }
-            }
-            Ok(Lifted::Booleans(out))
-        }
-        Expr::Compare(op, a, b) => {
-            let va = eval_lifted(view, a, ctx, pred)?;
-            let vb = eval_lifted(view, b, ctx, pred)?;
-            if let (Lifted::Const(x), Lifted::Const(y)) = (&va, &vb) {
-                return Ok(Lifted::Const(Value::Boolean(compare(view, *op, x, y))));
-            }
-            Ok(Lifted::Booleans(
-                (0..n)
-                    .map(|i| compare(view, *op, &va.value_at(i), &vb.value_at(i)))
-                    .collect(),
-            ))
-        }
-        Expr::Arith(op, a, b) => {
-            let va = eval_lifted(view, a, ctx, pred)?;
-            let vb = eval_lifted(view, b, ctx, pred)?;
-            if let (Lifted::Const(x), Lifted::Const(y)) = (&va, &vb) {
-                return Ok(Lifted::Const(Value::Number(apply_arith(
-                    *op,
-                    x.to_number(view),
-                    y.to_number(view),
-                ))));
-            }
-            Ok(Lifted::Numbers(
-                (0..n)
-                    .map(|i| {
-                        apply_arith(
-                            *op,
-                            va.value_at(i).to_number(view),
-                            vb.value_at(i).to_number(view),
-                        )
-                    })
-                    .collect(),
-            ))
-        }
-        Expr::Neg(e) => {
-            let v = eval_lifted(view, e, ctx, pred)?;
-            if let Lifted::Const(x) = &v {
-                return Ok(Lifted::Const(Value::Number(-x.to_number(view))));
-            }
-            Ok(Lifted::Numbers(
-                (0..n).map(|i| -v.value_at(i).to_number(view)).collect(),
-            ))
-        }
-        Expr::Union(a, b) => {
-            let va = eval_lifted(view, a, ctx, pred)?;
-            let vb = eval_lifted(view, b, ctx, pred)?;
-            if va.is_const() && vb.is_const() {
-                return Ok(Lifted::Const(union_values(va.value_at(0), vb.value_at(0))?));
-            }
-            let mut nodes = ContextSeq::new();
-            let mut attrs: Option<AttrSeq> = None;
-            for i in 0..n {
-                match union_values(va.value_at(i), vb.value_at(i))? {
-                    Value::Nodes(ns) => {
-                        for p in ns {
-                            nodes.push(i as u32, p);
-                        }
-                    }
-                    Value::Attrs(ats) => {
-                        let acc = attrs.get_or_insert_with(|| AttrSeq {
-                            iters: Vec::new(),
-                            attrs: Vec::new(),
-                        });
-                        for at in ats {
-                            acc.iters.push(i as u32);
-                            acc.attrs.push(at);
-                        }
-                    }
-                    _ => unreachable!("union yields node sets"),
-                }
-            }
-            Ok(match attrs {
-                Some(a) => Lifted::Attrs(a),
-                None => Lifted::Nodes(nodes),
-            })
-        }
-        Expr::Literal(s) => Ok(Lifted::Const(Value::Str(s.clone()))),
-        Expr::Number(x) => Ok(Lifted::Const(Value::Number(*x))),
-        Expr::Call(name, args) => eval_call_lifted(view, name, args, ctx, pred),
-        Expr::Path(p) => eval_path_lifted(view, p, ctx, pred),
     }
 }
 
-/// Evaluates `expr` over the sub-domain selected by `rows` (indices into
-/// the current domain) and returns one boolean per selected row — the
-/// restricted loop relation behind per-iteration short-circuiting.
-fn eval_on_rows<V: TreeView + ?Sized>(
-    view: &V,
-    expr: &Expr,
-    ctx: &[u64],
-    pred: Option<&PredInfo<'_>>,
-    rows: &[usize],
-) -> Result<Vec<bool>> {
-    let sub_ctx: Vec<u64> = rows.iter().map(|&i| ctx[i]).collect();
-    let sub_vectors = pred.map(|info| {
-        (
-            rows.iter().map(|&i| info.pos[i]).collect::<Vec<f64>>(),
-            rows.iter().map(|&i| info.last[i]).collect::<Vec<f64>>(),
-        )
-    });
-    let sub_info = sub_vectors
-        .as_ref()
-        .map(|(pos, last)| PredInfo { pos, last });
-    let v = eval_lifted(view, expr, &sub_ctx, sub_info.as_ref())?;
-    Ok((0..rows.len())
-        .map(|k| v.value_at(k).to_boolean())
-        .collect())
-}
-
-fn to_booleans(v: Lifted, n: usize) -> Lifted {
+pub(crate) fn to_booleans(v: Lifted, n: usize) -> Lifted {
     match v {
         Lifted::Const(x) => Lifted::Const(Value::Boolean(x.to_boolean())),
         Lifted::Booleans(b) => Lifted::Booleans(b),
@@ -706,127 +325,14 @@ fn to_booleans(v: Lifted, n: usize) -> Lifted {
     }
 }
 
-/// Lifted path evaluation. Absolute paths are loop-invariant — they
-/// evaluate once against the document and broadcast. Relative paths
-/// start from each iteration's context node and run every step through
-/// [`lifted_tree_step`].
-fn eval_path_lifted<V: TreeView + ?Sized>(
-    view: &V,
-    path: &PathExpr,
-    ctx: &[u64],
-    pred: Option<&PredInfo<'_>>,
-) -> Result<Lifted> {
-    let n = ctx.len();
-    if path.start.is_none() && path.absolute {
-        return Ok(Lifted::Const(eval_path(view, path, &[])?));
-    }
-    let mut current: ContextSeq = match &path.start {
-        Some(start) => {
-            let mut v = eval_lifted(view, start, ctx, pred)?;
-            if !path.start_predicates.is_empty() {
-                // Filter predicates see each iteration's whole node-set
-                // as one context sequence; an invariant set stays
-                // invariant (the predicate only reads the candidates).
-                v = match v {
-                    Lifted::Const(flat) => {
-                        Lifted::Const(apply_filter_predicates(view, flat, &path.start_predicates)?)
-                    }
-                    Lifted::Nodes(mut cs) => {
-                        for p in &path.start_predicates {
-                            cs = filter_predicate_lifted(view, cs, p, false)?;
-                        }
-                        Lifted::Nodes(cs)
-                    }
-                    other => {
-                        return Err(XPathError::Eval {
-                            message: format!("cannot filter a {}", lifted_type_name(&other)),
-                        })
-                    }
-                };
-            }
-            if path.steps.is_empty() {
-                return Ok(v);
-            }
-            match v {
-                Lifted::Nodes(cs) => cs,
-                Lifted::Const(Value::Nodes(ns)) => {
-                    // Broadcast the invariant set into every iteration.
-                    let mut cs = ContextSeq::new();
-                    for i in 0..n {
-                        for &p in &ns {
-                            cs.push(i as u32, p);
-                        }
-                    }
-                    cs
-                }
-                other => {
-                    return Err(XPathError::Eval {
-                        message: format!(
-                            "cannot apply a location step to a {}",
-                            lifted_type_name(&other)
-                        ),
-                    })
-                }
-            }
-        }
-        None => {
-            // Relative path: iteration i starts at its context node.
-            let mut cs = ContextSeq::new();
-            for (i, &p) in ctx.iter().enumerate() {
-                cs.push(i as u32, p);
-            }
-            cs
-        }
-    };
-    let mut attrs: Option<AttrSeq> = None;
-    for step in &path.steps {
-        if attrs.is_some() {
-            return Err(XPathError::Eval {
-                message: "cannot apply a location step to a attribute-set".into(),
-            });
-        }
-        match &step.test {
-            StepTest::Attribute(name) => {
-                if !step.predicates.is_empty() {
-                    return Err(XPathError::Eval {
-                        message: "predicates on attribute steps are not supported".into(),
-                    });
-                }
-                attrs = Some(lifted_attributes(view, &current, name.as_ref()));
-            }
-            StepTest::Tree(axis, test) => {
-                current = lifted_tree_step(view, &current, *axis, test, &step.predicates)?;
-            }
-        }
-    }
-    Ok(match attrs {
-        Some(a) => Lifted::Attrs(a),
-        None => Lifted::Nodes(current),
-    })
-}
-
-fn lifted_type_name(v: &Lifted) -> &'static str {
-    match v {
-        Lifted::Const(x) => x.type_name(),
-        Lifted::Nodes(_) => "node-set",
-        Lifted::Attrs(_) => "attribute-set",
-        Lifted::Numbers(_) => "number",
-        Lifted::Booleans(_) => "boolean",
-        Lifted::Strs(_) => "string",
-    }
-}
-
 /// The lifted attribute step: one pass over the `(iter, owner)` relation
 /// collecting (optionally name-filtered) attributes, tags preserved.
-fn lifted_attributes<V: TreeView + ?Sized>(
+pub(crate) fn lifted_attributes<V: TreeView + ?Sized>(
     view: &V,
     input: &ContextSeq,
     name: Option<&mbxq_xml::QName>,
 ) -> AttrSeq {
-    let mut out = AttrSeq {
-        iters: Vec::new(),
-        attrs: Vec::new(),
-    };
+    let mut out = AttrSeq::new();
     for (iter, owner) in input.iter() {
         for (qn, _) in view.attributes(owner) {
             let keep = match name {
@@ -842,65 +348,9 @@ fn lifted_attributes<V: TreeView + ?Sized>(
     out
 }
 
-/// Lifted function application. `position()`/`last()` read the predicate
-/// vectors; every other function with loop-invariant arguments is hoisted
-/// and computed once; the rest apply element-wise across the domain.
-fn eval_call_lifted<V: TreeView + ?Sized>(
-    view: &V,
-    name: &str,
-    args: &[Expr],
-    ctx: &[u64],
-    pred: Option<&PredInfo<'_>>,
-) -> Result<Lifted> {
-    match name {
-        "position" => {
-            let info = pred.ok_or(XPathError::Eval {
-                message: "position() outside a predicate".into(),
-            })?;
-            if !args.is_empty() {
-                return Err(XPathError::Eval {
-                    message: format!("position() expects 0 argument(s), got {}", args.len()),
-                });
-            }
-            Ok(Lifted::Numbers(info.pos.to_vec()))
-        }
-        "last" => {
-            let info = pred.ok_or(XPathError::Eval {
-                message: "last() outside a predicate".into(),
-            })?;
-            if !args.is_empty() {
-                return Err(XPathError::Eval {
-                    message: format!("last() expects 0 argument(s), got {}", args.len()),
-                });
-            }
-            Ok(Lifted::Numbers(info.last.to_vec()))
-        }
-        _ => {
-            let mut largs = Vec::with_capacity(args.len());
-            for a in args {
-                largs.push(eval_lifted(view, a, ctx, pred)?);
-            }
-            // `string()` / `number()` / `name()` / `local-name()` with no
-            // arguments read the context node, so they cannot be hoisted.
-            let context_free =
-                !(args.is_empty() && matches!(name, "string" | "number" | "name" | "local-name"));
-            if context_free && largs.iter().all(Lifted::is_const) {
-                let flat: Vec<Value> = largs.iter().map(|a| a.value_at(0)).collect();
-                return Ok(Lifted::Const(apply_fn(view, name, &flat, None)?));
-            }
-            let mut vals = Vec::with_capacity(ctx.len());
-            for (i, &node) in ctx.iter().enumerate() {
-                let argv: Vec<Value> = largs.iter().map(|a| a.value_at(i)).collect();
-                vals.push(apply_fn(view, name, &argv, Some(node))?);
-            }
-            Ok(pack_values(vals))
-        }
-    }
-}
-
 /// Packs per-iteration scalar results into a columnar [`Lifted`]. All
 /// entries share one kind (each function has a fixed return type).
-fn pack_values(vals: Vec<Value>) -> Lifted {
+pub(crate) fn pack_values(vals: Vec<Value>) -> Lifted {
     match vals.first() {
         None => Lifted::Booleans(Vec::new()),
         Some(Value::Number(_)) => Lifted::Numbers(
@@ -930,7 +380,7 @@ fn pack_values(vals: Vec<Value>) -> Lifted {
 /// The core function library on already-evaluated arguments.
 /// `position()` and `last()` never reach here — both call sites resolve
 /// them against the predicate scope first.
-fn apply_fn<V: TreeView + ?Sized>(
+pub(crate) fn apply_fn<V: TreeView + ?Sized>(
     view: &V,
     name: &str,
     args: &[Value],
@@ -1131,6 +581,752 @@ fn apply_fn<V: TreeView + ?Sized>(
         other => Err(XPathError::Eval {
             message: format!("unknown function '{other}'"),
         }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The physical-plan executor
+// ---------------------------------------------------------------------
+
+/// The iteration domain an executor invocation runs over.
+pub(crate) enum Domain<'a> {
+    /// One iteration holding the whole context set — the top level of a
+    /// query, and the domain hoisted `Const` subplans evaluate in.
+    Whole(&'a [u64]),
+    /// One context node per iteration — predicate and filter scopes
+    /// (Pathfinder's loop-lifting of the implicit `for` over the
+    /// candidates), with the scope's `position()`/`last()` vectors.
+    Rows {
+        /// Iteration `i`'s context node.
+        nodes: &'a [u64],
+        /// Positional vectors when inside a predicate.
+        pred: Option<&'a PredInfo<'a>>,
+    },
+}
+
+impl Domain<'_> {
+    /// Number of iterations.
+    fn n(&self) -> usize {
+        match self {
+            Domain::Whole(_) => 1,
+            Domain::Rows { nodes, .. } => nodes.len(),
+        }
+    }
+
+    /// Iteration `i`'s context *node* (first of the group at the top
+    /// level — the interpreter's convention for context-node functions).
+    fn node(&self, i: usize) -> Option<u64> {
+        match self {
+            Domain::Whole(c) => c.first().copied(),
+            Domain::Rows { nodes, .. } => nodes.get(i).copied(),
+        }
+    }
+
+    fn pred(&self) -> Option<&PredInfo<'_>> {
+        match self {
+            Domain::Whole(_) => None,
+            Domain::Rows { pred, .. } => *pred,
+        }
+    }
+
+    /// The context as an `(iter, pre)` relation.
+    fn relation(&self) -> ContextSeq {
+        match self {
+            Domain::Whole(c) => ContextSeq::single_iter(c.to_vec()),
+            Domain::Rows { nodes, .. } => ContextSeq {
+                iters: (0..nodes.len() as u32).collect(),
+                pres: nodes.to_vec(),
+            },
+        }
+    }
+}
+
+/// A relation produced by a relational plan node.
+pub(crate) enum RelOut {
+    /// Tree nodes, iteration-tagged.
+    Nodes(ContextSeq),
+    /// Attribute nodes, iteration-tagged.
+    Attrs(AttrSeq),
+}
+
+/// One plan execution: the view, the bindings, the axis-strategy
+/// override, and the optional decision counters.
+pub(crate) struct Exec<'a, V: TreeView + ?Sized> {
+    pub(crate) view: &'a V,
+    pub(crate) bindings: Option<&'a Bindings>,
+    pub(crate) choice: AxisChoice,
+    pub(crate) stats: Option<&'a EvalStats>,
+}
+
+impl<V: TreeView + ?Sized> Exec<'_, V> {
+    /// Entry point: evaluates the plan with `context` as the context
+    /// node set (one whole-set iteration, like the interpreter's top
+    /// level).
+    pub(crate) fn run(&self, plan: &PhysScalar, context: &[u64]) -> Result<Value> {
+        let d = Domain::Whole(context);
+        let l = self.scalar(plan, &d)?;
+        Ok(l.value_at(0))
+    }
+
+    // -- scalars -------------------------------------------------------
+
+    fn scalar(&self, s: &PhysScalar, d: &Domain<'_>) -> Result<Lifted> {
+        let n = d.n();
+        match s {
+            PhysScalar::Literal(v) => Ok(Lifted::Const(Value::Str(v.clone()))),
+            PhysScalar::Number(x) => Ok(Lifted::Const(Value::Number(*x))),
+            PhysScalar::Var(name) => Ok(Lifted::Const(crate::interp::lookup_var(
+                name,
+                self.bindings,
+            )?)),
+            PhysScalar::Const(inner) => {
+                // Loop-invariant hoisting, now an explicit plan marker:
+                // evaluate once in a context-free domain, broadcast.
+                let d0 = Domain::Whole(&[]);
+                let l = self.scalar(inner, &d0)?;
+                Ok(Lifted::Const(l.value_at(0)))
+            }
+            PhysScalar::Or(a, b) => {
+                let va = self.scalar(a, d)?;
+                if let Lifted::Const(v) = &va {
+                    if v.to_boolean() {
+                        return Ok(Lifted::Const(Value::Boolean(true)));
+                    }
+                    let vb = self.scalar(b, d)?;
+                    return Ok(to_booleans(vb, n));
+                }
+                // Per-iteration short-circuit: the right operand runs
+                // only over the undecided sub-domain.
+                let mut out: Vec<bool> = (0..n).map(|i| va.value_at(i).to_boolean()).collect();
+                let undecided: Vec<usize> = (0..n).filter(|&i| !out[i]).collect();
+                if !undecided.is_empty() {
+                    let vb = self.scalar_on_rows(b, d, &undecided)?;
+                    for (k, &i) in undecided.iter().enumerate() {
+                        out[i] = vb[k];
+                    }
+                }
+                Ok(Lifted::Booleans(out))
+            }
+            PhysScalar::And(a, b) => {
+                let va = self.scalar(a, d)?;
+                if let Lifted::Const(v) = &va {
+                    if !v.to_boolean() {
+                        return Ok(Lifted::Const(Value::Boolean(false)));
+                    }
+                    let vb = self.scalar(b, d)?;
+                    return Ok(to_booleans(vb, n));
+                }
+                let mut out: Vec<bool> = (0..n).map(|i| va.value_at(i).to_boolean()).collect();
+                let undecided: Vec<usize> = (0..n).filter(|&i| out[i]).collect();
+                if !undecided.is_empty() {
+                    let vb = self.scalar_on_rows(b, d, &undecided)?;
+                    for (k, &i) in undecided.iter().enumerate() {
+                        out[i] = vb[k];
+                    }
+                }
+                Ok(Lifted::Booleans(out))
+            }
+            PhysScalar::Compare(op, a, b) => {
+                let va = self.scalar(a, d)?;
+                let vb = self.scalar(b, d)?;
+                if let (Lifted::Const(x), Lifted::Const(y)) = (&va, &vb) {
+                    return Ok(Lifted::Const(Value::Boolean(compare(self.view, *op, x, y))));
+                }
+                Ok(Lifted::Booleans(
+                    (0..n)
+                        .map(|i| compare(self.view, *op, &va.value_at(i), &vb.value_at(i)))
+                        .collect(),
+                ))
+            }
+            PhysScalar::Arith(op, a, b) => {
+                let va = self.scalar(a, d)?;
+                let vb = self.scalar(b, d)?;
+                if let (Lifted::Const(x), Lifted::Const(y)) = (&va, &vb) {
+                    return Ok(Lifted::Const(Value::Number(apply_arith(
+                        *op,
+                        x.to_number(self.view),
+                        y.to_number(self.view),
+                    ))));
+                }
+                Ok(Lifted::Numbers(
+                    (0..n)
+                        .map(|i| {
+                            apply_arith(
+                                *op,
+                                va.value_at(i).to_number(self.view),
+                                vb.value_at(i).to_number(self.view),
+                            )
+                        })
+                        .collect(),
+                ))
+            }
+            PhysScalar::Neg(e) => {
+                let v = self.scalar(e, d)?;
+                if let Lifted::Const(x) = &v {
+                    return Ok(Lifted::Const(Value::Number(-x.to_number(self.view))));
+                }
+                Ok(Lifted::Numbers(
+                    (0..n)
+                        .map(|i| -v.value_at(i).to_number(self.view))
+                        .collect(),
+                ))
+            }
+            PhysScalar::Nodes(rel) => Ok(match self.rel(rel, d)? {
+                RelOut::Nodes(cs) => Lifted::Nodes(cs),
+                RelOut::Attrs(a) => Lifted::Attrs(a),
+            }),
+            PhysScalar::Count(rel) => {
+                let out = self.rel(rel, d)?;
+                Ok(Lifted::Numbers(
+                    (0..n)
+                        .map(|i| match &out {
+                            RelOut::Nodes(cs) => cs.pres_of_iter(i as u32).len() as f64,
+                            RelOut::Attrs(a) => a.of_iter(i as u32).len() as f64,
+                        })
+                        .collect(),
+                ))
+            }
+            PhysScalar::Sum(rel) => {
+                let out = self.rel(rel, d)?;
+                Ok(Lifted::Numbers(
+                    (0..n)
+                        .map(|i| match &out {
+                            RelOut::Nodes(cs) => cs
+                                .pres_of_iter(i as u32)
+                                .iter()
+                                .map(|&p| str_to_number(&self.view.string_value(p)))
+                                .sum(),
+                            RelOut::Attrs(a) => a
+                                .of_iter(i as u32)
+                                .iter()
+                                .map(|&(owner, qn)| {
+                                    str_to_number(
+                                        &attr_value(self.view, owner, qn).unwrap_or_default(),
+                                    )
+                                })
+                                .sum(),
+                        })
+                        .collect(),
+                ))
+            }
+            PhysScalar::Exists(rel) => self.exists(rel, d),
+            PhysScalar::Call(name, args) => self.call(name, args, d),
+        }
+    }
+
+    /// Evaluates `s` over the sub-domain selected by `rows`, one boolean
+    /// per selected row — the restricted loop relation behind
+    /// per-iteration short-circuiting.
+    fn scalar_on_rows(&self, s: &PhysScalar, d: &Domain<'_>, rows: &[usize]) -> Result<Vec<bool>> {
+        match d {
+            Domain::Whole(_) => {
+                // n = 1: `rows` can only be [0] — same domain.
+                let v = self.scalar(s, d)?;
+                Ok(rows.iter().map(|&i| v.value_at(i).to_boolean()).collect())
+            }
+            Domain::Rows { nodes, pred } => {
+                let sub_nodes: Vec<u64> = rows.iter().map(|&i| nodes[i]).collect();
+                let sub_vectors = pred.map(|info| {
+                    (
+                        rows.iter().map(|&i| info.pos[i]).collect::<Vec<f64>>(),
+                        rows.iter().map(|&i| info.last[i]).collect::<Vec<f64>>(),
+                    )
+                });
+                let sub_info = sub_vectors
+                    .as_ref()
+                    .map(|(pos, last)| PredInfo { pos, last });
+                let sub = Domain::Rows {
+                    nodes: &sub_nodes,
+                    pred: sub_info.as_ref(),
+                };
+                let v = self.scalar(s, &sub)?;
+                Ok((0..rows.len())
+                    .map(|k| v.value_at(k).to_boolean())
+                    .collect())
+            }
+        }
+    }
+
+    /// `Agg(exists)` — with the early-exit probe when the subplan is a
+    /// bare context step.
+    fn exists(&self, rel: &PhysRel, d: &Domain<'_>) -> Result<Lifted> {
+        // Early-exit arm: `exists(context/axis::test)` stops each
+        // iteration's scan at the first hit.
+        if let PhysRel::Step {
+            input,
+            axis,
+            test,
+            preds,
+            ..
+        } = rel
+        {
+            if preds.is_empty() && matches!(**input, PhysRel::Context) {
+                return Ok(match d {
+                    Domain::Whole(c) => {
+                        let mut any = false;
+                        for &node in c.iter() {
+                            if exists_step(self.view, &[node], *axis, test)[0] {
+                                any = true;
+                                break;
+                            }
+                        }
+                        Lifted::Const(Value::Boolean(any))
+                    }
+                    Domain::Rows { nodes, .. } => {
+                        Lifted::Booleans(exists_step(self.view, nodes, *axis, test))
+                    }
+                });
+            }
+        }
+        let n = d.n();
+        let out = self.rel(rel, d)?;
+        Ok(Lifted::Booleans(
+            (0..n)
+                .map(|i| match &out {
+                    RelOut::Nodes(cs) => !cs.pres_of_iter(i as u32).is_empty(),
+                    RelOut::Attrs(a) => !a.of_iter(i as u32).is_empty(),
+                })
+                .collect(),
+        ))
+    }
+
+    fn call(&self, name: &str, args: &[PhysScalar], d: &Domain<'_>) -> Result<Lifted> {
+        match name {
+            "position" => {
+                let info = d.pred().ok_or(XPathError::Eval {
+                    message: "position() outside a predicate".into(),
+                })?;
+                if !args.is_empty() {
+                    return Err(XPathError::Eval {
+                        message: format!("position() expects 0 argument(s), got {}", args.len()),
+                    });
+                }
+                Ok(Lifted::Numbers(info.pos.to_vec()))
+            }
+            "last" => {
+                let info = d.pred().ok_or(XPathError::Eval {
+                    message: "last() outside a predicate".into(),
+                })?;
+                if !args.is_empty() {
+                    return Err(XPathError::Eval {
+                        message: format!("last() expects 0 argument(s), got {}", args.len()),
+                    });
+                }
+                Ok(Lifted::Numbers(info.last.to_vec()))
+            }
+            _ => {
+                let mut largs = Vec::with_capacity(args.len());
+                for a in args {
+                    largs.push(self.scalar(a, d)?);
+                }
+                // Context-node functions cannot be hoisted.
+                let context_free = !(args.is_empty()
+                    && matches!(name, "string" | "number" | "name" | "local-name"));
+                if context_free && largs.iter().all(Lifted::is_const) {
+                    let flat: Vec<Value> = largs.iter().map(|a| a.value_at(0)).collect();
+                    return Ok(Lifted::Const(apply_fn(self.view, name, &flat, None)?));
+                }
+                let mut vals = Vec::with_capacity(d.n());
+                for i in 0..d.n() {
+                    let argv: Vec<Value> = largs.iter().map(|a| a.value_at(i)).collect();
+                    vals.push(apply_fn(self.view, name, &argv, d.node(i))?);
+                }
+                Ok(pack_values(vals))
+            }
+        }
+    }
+
+    // -- relations -----------------------------------------------------
+
+    fn rel(&self, r: &PhysRel, d: &Domain<'_>) -> Result<RelOut> {
+        match r {
+            PhysRel::Context => Ok(RelOut::Nodes(d.relation())),
+            PhysRel::Root => {
+                // Invariant; broadcast defensively into every iteration.
+                let root: Vec<u64> = self.view.root_pre().into_iter().collect();
+                let mut cs = ContextSeq::new();
+                for i in 0..d.n() {
+                    for &p in &root {
+                        cs.push(i as u32, p);
+                    }
+                }
+                Ok(RelOut::Nodes(cs))
+            }
+            PhysRel::Const(rel) => {
+                let d0 = Domain::Whole(&[]);
+                let once = self.rel(rel, &d0)?;
+                // Broadcast the single-iteration result into every
+                // iteration of the current domain.
+                Ok(match once {
+                    RelOut::Nodes(cs) => {
+                        let mut out = ContextSeq::new();
+                        for i in 0..d.n() {
+                            for &p in &cs.pres {
+                                out.push(i as u32, p);
+                            }
+                        }
+                        RelOut::Nodes(out)
+                    }
+                    RelOut::Attrs(a) => {
+                        let mut out = AttrSeq::new();
+                        for i in 0..d.n() {
+                            for &at in &a.attrs {
+                                out.iters.push(i as u32);
+                                out.attrs.push(at);
+                            }
+                        }
+                        RelOut::Attrs(out)
+                    }
+                })
+            }
+            PhysRel::Step {
+                input,
+                axis,
+                test,
+                preds,
+                strategy,
+            } => {
+                let cs = self.rel_nodes(input, d)?;
+                self.step(&cs, *axis, test, preds, strategy, d)
+                    .map(RelOut::Nodes)
+            }
+            PhysRel::AttrStep {
+                input,
+                name,
+                has_preds,
+            } => {
+                if *has_preds {
+                    return Err(XPathError::Eval {
+                        message: "predicates on attribute steps are not supported".into(),
+                    });
+                }
+                let cs = self.rel_nodes(input, d)?;
+                Ok(RelOut::Attrs(lifted_attributes(
+                    self.view,
+                    &cs,
+                    name.as_ref(),
+                )))
+            }
+            PhysRel::Filter { input, pred } => {
+                let cs = self.rel_nodes(input, d)?;
+                if cs.is_empty() {
+                    return Ok(RelOut::Nodes(cs));
+                }
+                // Pushed-down predicate: provably non-positional, so no
+                // position vectors and no per-context-node expansion —
+                // each candidate row is its own iteration.
+                let sub = Domain::Rows {
+                    nodes: &cs.pres,
+                    pred: None,
+                };
+                let v = self.scalar(pred, &sub)?;
+                let keep: Vec<bool> = (0..cs.len()).map(|i| v.value_at(i).to_boolean()).collect();
+                Ok(RelOut::Nodes(cs.retain_rows(&keep)))
+            }
+            PhysRel::GroupFilter { input, preds } => {
+                let mut cs = self.rel_nodes(input, d)?;
+                for pred in preds {
+                    cs = self.apply_pred(cs, pred, false)?;
+                }
+                Ok(RelOut::Nodes(cs))
+            }
+            PhysRel::NameProbe { name } => {
+                let pres = self.probe(name).unwrap_or_else(|| {
+                    // No index on this view: fall back to a document scan.
+                    let root: Vec<u64> = self.view.root_pre().into_iter().collect();
+                    step_lifted(
+                        self.view,
+                        &ContextSeq::single_iter(root),
+                        Axis::DescendantOrSelf,
+                        &NodeTest::Name(name.clone()),
+                    )
+                    .pres
+                });
+                let mut cs = ContextSeq::new();
+                for i in 0..d.n() {
+                    for &p in &pres {
+                        cs.push(i as u32, p);
+                    }
+                }
+                Ok(RelOut::Nodes(cs))
+            }
+            PhysRel::Semijoin { input, probe, axis } => {
+                let ctx = self.rel_nodes(input, d)?;
+                let cands = self.rel_nodes(probe, d)?.merged_pres();
+                Ok(RelOut::Nodes(range_semijoin(
+                    self.view, &ctx, &cands, *axis,
+                )))
+            }
+            PhysRel::Union { left, right } => {
+                let l = self.rel(left, d)?;
+                let r = self.rel(right, d)?;
+                match (l, r) {
+                    (RelOut::Nodes(a), RelOut::Nodes(b)) => {
+                        Ok(RelOut::Nodes(union_relations(&a, &b)))
+                    }
+                    (RelOut::Attrs(a), RelOut::Attrs(b)) => {
+                        Ok(RelOut::Attrs(union_attr_relations(d.n(), &a, &b)))
+                    }
+                    (a, b) => Err(XPathError::Eval {
+                        message: format!(
+                            "union requires node sets, got {} and {}",
+                            rel_out_type(&a),
+                            rel_out_type(&b)
+                        ),
+                    }),
+                }
+            }
+            PhysRel::FromValue { value } => {
+                let v = self.scalar(value, d)?;
+                match v {
+                    Lifted::Nodes(cs) => Ok(RelOut::Nodes(cs)),
+                    Lifted::Attrs(a) => Ok(RelOut::Attrs(a)),
+                    Lifted::Const(Value::Nodes(ns)) => {
+                        let mut cs = ContextSeq::new();
+                        for i in 0..d.n() {
+                            for &p in &ns {
+                                cs.push(i as u32, p);
+                            }
+                        }
+                        Ok(RelOut::Nodes(cs))
+                    }
+                    Lifted::Const(Value::Attrs(ats)) => {
+                        let mut out = AttrSeq::new();
+                        for i in 0..d.n() {
+                            for &at in &ats {
+                                out.iters.push(i as u32);
+                                out.attrs.push(at);
+                            }
+                        }
+                        Ok(RelOut::Attrs(out))
+                    }
+                    other => Err(XPathError::Eval {
+                        message: format!("cannot use a {} as a node sequence", other.type_name()),
+                    }),
+                }
+            }
+            PhysRel::Unsupported { message } => Err(XPathError::Eval {
+                message: message.clone(),
+            }),
+        }
+    }
+
+    /// A relational input that must be a *tree-node* relation.
+    fn rel_nodes(&self, r: &PhysRel, d: &Domain<'_>) -> Result<ContextSeq> {
+        match self.rel(r, d)? {
+            RelOut::Nodes(cs) => Ok(cs),
+            RelOut::Attrs(_) => Err(XPathError::Eval {
+                message: "cannot apply a location step to a attribute-set".into(),
+            }),
+        }
+    }
+
+    /// One axis step, strategy-chosen, predicates included (mirrors the
+    /// interpreter's `lifted_tree_step`).
+    fn step(
+        &self,
+        input: &ContextSeq,
+        axis: Axis,
+        test: &NodeTest,
+        preds: &[PhysPred],
+        strategy: &StepStrategy,
+        _d: &Domain<'_>,
+    ) -> Result<ContextSeq> {
+        if preds.is_empty() {
+            return Ok(self.step_relation(input, axis, test, strategy));
+        }
+        let reverse = matches!(
+            axis,
+            Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling
+        );
+        // Expand each input row into its own iteration: the XPath
+        // `position()` scope is per context node.
+        let expanded = ContextSeq::lift(&input.pres);
+        let mut cands = self.step_relation(&expanded, axis, test, strategy);
+        for pred in preds {
+            cands = self.apply_pred(cands, pred, reverse)?;
+        }
+        let row_tags: Vec<u32> = cands
+            .iters
+            .iter()
+            .map(|&row| input.iters[row as usize])
+            .collect();
+        Ok(cands.regroup(&row_tags))
+    }
+
+    /// The strategy-dispatched axis-step kernel.
+    fn step_relation(
+        &self,
+        ctx: &ContextSeq,
+        axis: Axis,
+        test: &NodeTest,
+        strategy: &StepStrategy,
+    ) -> ContextSeq {
+        let name = match strategy {
+            StepStrategy::Staircase => None,
+            StepStrategy::NameIndex(name) | StepStrategy::Cost(name) => Some(name),
+        };
+        let Some(name) = name else {
+            self.count_step(false);
+            return step_lifted(self.view, ctx, axis, test);
+        };
+        // The index arm needs an interned name and an index-bearing
+        // view; without either, the staircase is the only path.
+        let probe_available = self
+            .view
+            .pool()
+            .lookup_qname(name)
+            .map(|qn| (qn, self.view.elements_named_count(qn)));
+        let use_index = match (&strategy, &self.choice, &probe_available) {
+            (_, _, None) => {
+                // Name never interned: no element carries it.
+                return ContextSeq::new();
+            }
+            (_, _, Some((_, None))) => false, // no index on this view
+            (StepStrategy::NameIndex(_), AxisChoice::Auto, _) => true,
+            (_, AxisChoice::ForceIndex, _) => true,
+            (_, AxisChoice::ForceStaircase, _) => false,
+            (StepStrategy::Cost(_), AxisChoice::Auto, Some((_, Some(k)))) => {
+                self.index_cheaper(ctx, axis, *k)
+            }
+            (StepStrategy::Staircase, _, _) => unreachable!("no name"),
+        };
+        if !use_index {
+            self.count_step(false);
+            return step_lifted(self.view, ctx, axis, test);
+        }
+        self.count_step(true);
+        let (qn, _) = probe_available.expect("checked above");
+        let cands: Vec<u64> = self.view.elements_named(qn).unwrap_or_default();
+        range_semijoin(self.view, ctx, &cands, axis)
+    }
+
+    /// The cost model: the staircase arm scans the context regions
+    /// (≈ Σ subtree sizes, where every visited slot pays several view
+    /// indirections — kind/level/name reads through the page swizzle —
+    /// hence the scan weight); the index arm touches the precomputed
+    /// probe list once plus two binary searches per context node.
+    /// Statistics come from the live view at execution time, so cached
+    /// plans re-cost on every run as the document changes.
+    fn index_cheaper(&self, ctx: &ContextSeq, axis: Axis, k: u64) -> bool {
+        let _ = axis;
+        /// Relative cost of one scanned slot vs one probed list entry.
+        const SCAN_WEIGHT: u64 = 4;
+        let mut scan_cost: u64 = 0;
+        let index_cost = k + (ctx.len() as u64) * 8;
+        for &c in &ctx.pres {
+            scan_cost =
+                scan_cost.saturating_add((self.view.size(c) + 1).saturating_mul(SCAN_WEIGHT));
+            if scan_cost > index_cost.saturating_mul(2) {
+                // Early out: the scan estimate already dwarfs the probe.
+                return true;
+            }
+        }
+        index_cost < scan_cost
+    }
+
+    fn count_step(&self, index: bool) {
+        if let Some(stats) = self.stats {
+            if index {
+                stats.index_steps.set(stats.index_steps.get() + 1);
+            } else {
+                stats.staircase_steps.set(stats.staircase_steps.get() + 1);
+            }
+        }
+    }
+
+    fn probe(&self, name: &mbxq_xml::QName) -> Option<Vec<u64>> {
+        let qn = self.view.pool().lookup_qname(name)?;
+        self.view.elements_named(qn)
+    }
+
+    /// One predicate over a candidate relation: positional picks keep
+    /// the group's first/last row with **no** position vectors; general
+    /// predicates mirror the interpreter's `filter_predicate_lifted`.
+    fn apply_pred(&self, cands: ContextSeq, pred: &PhysPred, reverse: bool) -> Result<ContextSeq> {
+        if cands.is_empty() {
+            return Ok(cands);
+        }
+        match pred {
+            PhysPred::First => Ok(pick_per_group(&cands, !reverse)),
+            PhysPred::Last => Ok(pick_per_group(&cands, reverse)),
+            PhysPred::Expr(s) => {
+                let (pos, last) = cands.positions(reverse);
+                let info = PredInfo {
+                    pos: &pos,
+                    last: &last,
+                };
+                let sub = Domain::Rows {
+                    nodes: &cands.pres,
+                    pred: Some(&info),
+                };
+                let v = self.scalar(s, &sub)?;
+                // A bare number predicate means position() = n.
+                let keep: Vec<bool> = match &v {
+                    Lifted::Const(Value::Number(n)) => pos.iter().map(|&p| p == *n).collect(),
+                    Lifted::Numbers(ns) => ns.iter().zip(&pos).map(|(&n, &p)| p == n).collect(),
+                    other => (0..cands.len())
+                        .map(|i| other.value_at(i).to_boolean())
+                        .collect(),
+                };
+                Ok(cands.retain_rows(&keep))
+            }
+        }
+    }
+}
+
+/// Keeps one row per iteration group: the first (`front = true`) or the
+/// last. For reverse axes the callers flip `front`, because candidates
+/// are stored in document order while positions count from the far end.
+fn pick_per_group(cands: &ContextSeq, front: bool) -> ContextSeq {
+    let mut out = ContextSeq::new();
+    let mut start = 0usize;
+    while start < cands.len() {
+        let iter = cands.iters[start];
+        let mut end = start;
+        while end < cands.len() && cands.iters[end] == iter {
+            end += 1;
+        }
+        let row = if front { start } else { end - 1 };
+        out.push(iter, cands.pres[row]);
+        start = end;
+    }
+    out
+}
+
+/// Merges two `(iter, pre)` relations per iteration (sorted, deduped).
+fn union_relations(a: &ContextSeq, b: &ContextSeq) -> ContextSeq {
+    let mut rows: Vec<(u32, u64)> = a.iter().chain(b.iter()).collect();
+    rows.sort_unstable();
+    rows.dedup();
+    let mut out = ContextSeq::new();
+    for (iter, pre) in rows {
+        out.push(iter, pre);
+    }
+    out
+}
+
+/// Merges two attribute relations per iteration, ordered like the
+/// interpreter's attribute union (`owner pre`, then name id).
+fn union_attr_relations(n: usize, a: &AttrSeq, b: &AttrSeq) -> AttrSeq {
+    let mut out = AttrSeq::new();
+    for i in 0..n {
+        let mut rows: Vec<(u64, QnId)> = a.of_iter(i as u32);
+        rows.extend(b.of_iter(i as u32));
+        rows.sort_unstable_by_key(|&(p, q)| (p, q.0));
+        rows.dedup();
+        for at in rows {
+            out.iters.push(i as u32);
+            out.attrs.push(at);
+        }
+    }
+    out
+}
+
+fn rel_out_type(r: &RelOut) -> &'static str {
+    match r {
+        RelOut::Nodes(_) => "node-set",
+        RelOut::Attrs(_) => "attribute-set",
     }
 }
 

@@ -1,0 +1,363 @@
+//! Plan renderers: one line per operator, children indented — the
+//! `explain()` surface for both plan levels.
+//!
+//! The logical rendering shows the algebra the rewriter produced
+//! (fused steps, pushed-down filters, existence aggregates, `const`
+//! hoist markers); the physical rendering additionally shows each axis
+//! step's strategy slot (`staircase`, `name-index(n)`, or the
+//! cost-chosen pair).
+
+use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
+use crate::plan::{AggKind, Pred, Rel, Scalar};
+use mbxq_axes::{Axis, NodeTest};
+use std::fmt::Write as _;
+
+fn axis_name(axis: Axis) -> &'static str {
+    match axis {
+        Axis::Child => "child",
+        Axis::Descendant => "descendant",
+        Axis::DescendantOrSelf => "descendant-or-self",
+        Axis::Parent => "parent",
+        Axis::Ancestor => "ancestor",
+        Axis::AncestorOrSelf => "ancestor-or-self",
+        Axis::FollowingSibling => "following-sibling",
+        Axis::PrecedingSibling => "preceding-sibling",
+        Axis::Following => "following",
+        Axis::Preceding => "preceding",
+        Axis::SelfAxis => "self",
+    }
+}
+
+fn test_name(test: &NodeTest) -> String {
+    match test {
+        NodeTest::AnyNode => "node()".into(),
+        NodeTest::AnyElement => "*".into(),
+        NodeTest::Name(q) => q.to_string(),
+        NodeTest::Text => "text()".into(),
+        NodeTest::Comment => "comment()".into(),
+        NodeTest::AnyPi => "processing-instruction()".into(),
+        NodeTest::PiTarget(t) => format!("processing-instruction('{t}')"),
+    }
+}
+
+struct Printer {
+    out: String,
+}
+
+impl Printer {
+    fn line(&mut self, depth: usize, label: &str) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+        let _ = writeln!(self.out, "{label}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Logical
+// ---------------------------------------------------------------------
+
+/// Renders a logical plan.
+pub fn logical(s: &Scalar) -> String {
+    let mut p = Printer { out: String::new() };
+    scalar(&mut p, s, 0);
+    p.out
+}
+
+fn scalar(p: &mut Printer, s: &Scalar, d: usize) {
+    match s {
+        Scalar::Literal(v) => p.line(d, &format!("literal {v:?}")),
+        Scalar::Number(n) => p.line(d, &format!("number {n}")),
+        Scalar::Var(name) => p.line(d, &format!("var ${name}")),
+        Scalar::Or(a, b) => {
+            p.line(d, "or (short-circuit)");
+            scalar(p, a, d + 1);
+            scalar(p, b, d + 1);
+        }
+        Scalar::And(a, b) => {
+            p.line(d, "and (short-circuit)");
+            scalar(p, a, d + 1);
+            scalar(p, b, d + 1);
+        }
+        Scalar::Compare(op, a, b) => {
+            p.line(d, &format!("compare {op:?}"));
+            scalar(p, a, d + 1);
+            scalar(p, b, d + 1);
+        }
+        Scalar::Arith(op, a, b) => {
+            p.line(d, &format!("arith {op:?}"));
+            scalar(p, a, d + 1);
+            scalar(p, b, d + 1);
+        }
+        Scalar::Neg(e) => {
+            p.line(d, "neg");
+            scalar(p, e, d + 1);
+        }
+        Scalar::Call(name, args) => {
+            p.line(d, &format!("call {name}()"));
+            for a in args {
+                scalar(p, a, d + 1);
+            }
+        }
+        Scalar::Agg(kind, rel_plan) => {
+            let k = match kind {
+                AggKind::Count => "count",
+                AggKind::Sum => "sum",
+                AggKind::Exists => "exists (early-exit)",
+            };
+            p.line(d, &format!("agg {k}"));
+            rel(p, rel_plan, d + 1);
+        }
+        Scalar::Nodes(rel_plan) => {
+            p.line(d, "nodes");
+            rel(p, rel_plan, d + 1);
+        }
+        Scalar::Const(inner) => {
+            p.line(d, "const (hoisted: evaluates once)");
+            scalar(p, inner, d + 1);
+        }
+    }
+}
+
+fn pred_line(kind: &Pred) -> Option<&'static str> {
+    match kind {
+        Pred::First => Some("pick first-per-group"),
+        Pred::Last => Some("pick last-per-group"),
+        Pred::Expr(_) => None,
+    }
+}
+
+fn rel(p: &mut Printer, r: &Rel, d: usize) {
+    match r {
+        Rel::Context => p.line(d, "context"),
+        Rel::Root => p.line(d, "root"),
+        Rel::Step {
+            input,
+            axis,
+            test,
+            preds,
+        } => {
+            p.line(
+                d,
+                &format!("step {}::{}", axis_name(*axis), test_name(test)),
+            );
+            for pr in preds {
+                match pred_line(pr) {
+                    Some(label) => p.line(d + 1, label),
+                    None => {
+                        let Pred::Expr(s) = pr else { unreachable!() };
+                        p.line(d + 1, "pred (position scope)");
+                        scalar(p, s, d + 2);
+                    }
+                }
+            }
+            rel(p, input, d + 1);
+        }
+        Rel::AttrStep { input, name, .. } => {
+            let label = match name {
+                Some(n) => format!("attr-step @{n}"),
+                None => "attr-step @*".into(),
+            };
+            p.line(d, &label);
+            rel(p, input, d + 1);
+        }
+        Rel::Filter { input, pred } => {
+            p.line(d, "filter (pushed down, no position scope)");
+            scalar(p, pred, d + 1);
+            rel(p, input, d + 1);
+        }
+        Rel::GroupFilter { input, preds } => {
+            p.line(d, "group-filter (whole set per iteration)");
+            for pr in preds {
+                match pred_line(pr) {
+                    Some(label) => p.line(d + 1, label),
+                    None => {
+                        let Pred::Expr(s) = pr else { unreachable!() };
+                        p.line(d + 1, "pred");
+                        scalar(p, s, d + 2);
+                    }
+                }
+            }
+            rel(p, input, d + 1);
+        }
+        Rel::NameProbe { name } => p.line(d, &format!("name-probe {name}")),
+        Rel::Semijoin { input, probe, axis } => {
+            p.line(d, &format!("semijoin {}", axis_name(*axis)));
+            rel(p, probe, d + 1);
+            rel(p, input, d + 1);
+        }
+        Rel::Union { left, right } => {
+            p.line(d, "union");
+            rel(p, left, d + 1);
+            rel(p, right, d + 1);
+        }
+        Rel::FromValue { value } => {
+            p.line(d, "from-value");
+            scalar(p, value, d + 1);
+        }
+        Rel::Const { rel: inner } => {
+            p.line(d, "const (hoisted: evaluates once)");
+            rel(p, inner, d + 1);
+        }
+        Rel::Unsupported { message } => p.line(d, &format!("unsupported: {message}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Physical
+// ---------------------------------------------------------------------
+
+/// Renders a physical plan, strategy slots included.
+pub fn physical(s: &PhysScalar) -> String {
+    let mut p = Printer { out: String::new() };
+    phys_scalar(&mut p, s, 0);
+    p.out
+}
+
+fn phys_scalar(p: &mut Printer, s: &PhysScalar, d: usize) {
+    match s {
+        PhysScalar::Literal(v) => p.line(d, &format!("literal {v:?}")),
+        PhysScalar::Number(n) => p.line(d, &format!("number {n}")),
+        PhysScalar::Var(name) => p.line(d, &format!("var ${name}")),
+        PhysScalar::Or(a, b) => {
+            p.line(d, "or (short-circuit)");
+            phys_scalar(p, a, d + 1);
+            phys_scalar(p, b, d + 1);
+        }
+        PhysScalar::And(a, b) => {
+            p.line(d, "and (short-circuit)");
+            phys_scalar(p, a, d + 1);
+            phys_scalar(p, b, d + 1);
+        }
+        PhysScalar::Compare(op, a, b) => {
+            p.line(d, &format!("compare {op:?}"));
+            phys_scalar(p, a, d + 1);
+            phys_scalar(p, b, d + 1);
+        }
+        PhysScalar::Arith(op, a, b) => {
+            p.line(d, &format!("arith {op:?}"));
+            phys_scalar(p, a, d + 1);
+            phys_scalar(p, b, d + 1);
+        }
+        PhysScalar::Neg(e) => {
+            p.line(d, "neg");
+            phys_scalar(p, e, d + 1);
+        }
+        PhysScalar::Call(name, args) => {
+            p.line(d, &format!("call {name}()"));
+            for a in args {
+                phys_scalar(p, a, d + 1);
+            }
+        }
+        PhysScalar::Count(r) => {
+            p.line(d, "agg count");
+            phys_rel(p, r, d + 1);
+        }
+        PhysScalar::Sum(r) => {
+            p.line(d, "agg sum");
+            phys_rel(p, r, d + 1);
+        }
+        PhysScalar::Exists(r) => {
+            p.line(d, "agg exists (early-exit)");
+            phys_rel(p, r, d + 1);
+        }
+        PhysScalar::Nodes(r) => {
+            p.line(d, "nodes");
+            phys_rel(p, r, d + 1);
+        }
+        PhysScalar::Const(inner) => {
+            p.line(d, "const (hoisted: evaluates once)");
+            phys_scalar(p, inner, d + 1);
+        }
+    }
+}
+
+fn strategy_label(s: &StepStrategy) -> String {
+    match s {
+        StepStrategy::Staircase => "[staircase]".into(),
+        StepStrategy::NameIndex(n) => format!("[name-index({n}) ⋉ context]"),
+        StepStrategy::Cost(n) => format!("[cost-chosen: staircase vs name-index({n})]"),
+    }
+}
+
+fn phys_rel(p: &mut Printer, r: &PhysRel, d: usize) {
+    match r {
+        PhysRel::Context => p.line(d, "context"),
+        PhysRel::Root => p.line(d, "root"),
+        PhysRel::Step {
+            input,
+            axis,
+            test,
+            preds,
+            strategy,
+        } => {
+            p.line(
+                d,
+                &format!(
+                    "step {}::{} {}",
+                    axis_name(*axis),
+                    test_name(test),
+                    strategy_label(strategy)
+                ),
+            );
+            for pr in preds {
+                match pr {
+                    PhysPred::First => p.line(d + 1, "pick first-per-group"),
+                    PhysPred::Last => p.line(d + 1, "pick last-per-group"),
+                    PhysPred::Expr(s) => {
+                        p.line(d + 1, "pred (position scope)");
+                        phys_scalar(p, s, d + 2);
+                    }
+                }
+            }
+            phys_rel(p, input, d + 1);
+        }
+        PhysRel::AttrStep { input, name, .. } => {
+            let label = match name {
+                Some(n) => format!("attr-step @{n}"),
+                None => "attr-step @*".into(),
+            };
+            p.line(d, &label);
+            phys_rel(p, input, d + 1);
+        }
+        PhysRel::Filter { input, pred } => {
+            p.line(d, "filter (pushed down, no position scope)");
+            phys_scalar(p, pred, d + 1);
+            phys_rel(p, input, d + 1);
+        }
+        PhysRel::GroupFilter { input, preds } => {
+            p.line(d, "group-filter (whole set per iteration)");
+            for pr in preds {
+                match pr {
+                    PhysPred::First => p.line(d + 1, "pick first-per-group"),
+                    PhysPred::Last => p.line(d + 1, "pick last-per-group"),
+                    PhysPred::Expr(s) => {
+                        p.line(d + 1, "pred");
+                        phys_scalar(p, s, d + 2);
+                    }
+                }
+            }
+            phys_rel(p, input, d + 1);
+        }
+        PhysRel::NameProbe { name } => p.line(d, &format!("name-probe {name}")),
+        PhysRel::Semijoin { input, probe, axis } => {
+            p.line(d, &format!("semijoin {}", axis_name(*axis)));
+            phys_rel(p, probe, d + 1);
+            phys_rel(p, input, d + 1);
+        }
+        PhysRel::Union { left, right } => {
+            p.line(d, "union");
+            phys_rel(p, left, d + 1);
+            phys_rel(p, right, d + 1);
+        }
+        PhysRel::FromValue { value } => {
+            p.line(d, "from-value");
+            phys_scalar(p, value, d + 1);
+        }
+        PhysRel::Const(inner) => {
+            p.line(d, "const (hoisted: evaluates once)");
+            phys_rel(p, inner, d + 1);
+        }
+        PhysRel::Unsupported { message } => p.line(d, &format!("unsupported: {message}")),
+    }
+}

@@ -19,6 +19,8 @@ pub(crate) enum TokenKind {
     Number(f64),
     /// Quoted string literal.
     Literal(String),
+    /// Variable reference (`$name`, without the `$`).
+    Var(String),
     Slash,
     DoubleSlash,
     Dot,
@@ -99,6 +101,21 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>> {
                     offset: start,
                 });
                 i += 1;
+            }
+            b'$' => {
+                let rest = &src[i + 1..];
+                let len = name_len(rest);
+                if len == 0 {
+                    return Err(XPathError::Parse {
+                        message: "'$' must be followed by a variable name".into(),
+                        offset: start,
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Var(rest[..len].to_string()),
+                    offset: start,
+                });
+                i += 1 + len;
             }
             b'[' => {
                 out.push(Token {
@@ -255,26 +272,8 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>> {
                 i += len;
             }
             _ => {
-                // Names: letters, digits, '-', '_', '.', and ':' inside
-                // qualified names (but "::" terminates the name — it is
-                // an axis separator).
                 let rest = &src[i..];
-                let mut len = 0usize;
-                for (ci, c) in rest.char_indices() {
-                    let ok = if ci == 0 {
-                        c.is_alphabetic() || c == '_'
-                    } else if c == ':' {
-                        // lookahead: '::' ends the name
-                        !rest[ci + 1..].starts_with(':')
-                    } else {
-                        c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
-                    };
-                    if ok {
-                        len = ci + c.len_utf8();
-                    } else {
-                        break;
-                    }
-                }
+                let len = name_len(rest);
                 if len == 0 {
                     return Err(XPathError::Parse {
                         message: format!(
@@ -293,6 +292,29 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>> {
         }
     }
     Ok(out)
+}
+
+/// Length of the name at the start of `rest`: letters, digits, `-`,
+/// `_`, `.`, and `:` inside qualified names (but `::` terminates the
+/// name — it is an axis separator). 0 when `rest` starts no name.
+fn name_len(rest: &str) -> usize {
+    let mut len = 0usize;
+    for (ci, c) in rest.char_indices() {
+        let ok = if ci == 0 {
+            c.is_alphabetic() || c == '_'
+        } else if c == ':' {
+            // lookahead: '::' ends the name
+            !rest[ci + 1..].starts_with(':')
+        } else {
+            c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+        };
+        if ok {
+            len = ci + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    len
 }
 
 fn lex_number(rest: &str, offset: usize) -> Result<(f64, usize)> {

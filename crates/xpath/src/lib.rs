@@ -3,19 +3,39 @@
 //! XUpdate addresses its targets with XPath expressions (`select="expr"`,
 //! §2.1), and the paper's whole query story is "XPath axes … expressed as
 //! simple comparisons on the pre and post columns" (§2.2). This crate
-//! provides the language layer: a lexer, a recursive-descent parser and
-//! an evaluator that compiles location steps onto the *loop-lifted*
-//! staircase-join engine of `mbxq-axes` — each step (top-level or nested
-//! inside a predicate) runs as **one** `step_lifted` invocation over an
-//! `(iter, pre)` context relation, never once per context node, so every
-//! path evaluated here enjoys the same positional skipping on both
-//! storage schemas and the set-at-a-time evaluation the paper credits
-//! for its interactive XMark times (§1).
+//! provides the language layer as an **algebraic compiler pipeline**:
+//!
+//! ```text
+//!   source ──lex/parse──▶ AST ──compile──▶ logical plan
+//!          ──rewrite──▶ rewritten plan ──lower──▶ physical plan
+//!          ──execute──▶ value
+//! ```
+//!
+//! * [`plan`] — the logical algebra over `(iter, pre)` relations
+//!   (`Step`, `Filter`, `NameProbe`, `Semijoin`, `Union`, `Agg`,
+//!   `Const`), compiled from the AST.
+//! * [`rewrite`] — the rule-based rewriter: `//`-step fusion, predicate
+//!   pushdown, `count(e) > 0` → early-exit existence, `[1]`/`[last()]`
+//!   picks, and explicit loop-invariant hoisting.
+//! * [`physical`] — the lowered plan whose axis steps carry a strategy
+//!   slot: staircase join + name filter, element-name-index probe +
+//!   range semijoin, or a cost-based choice made per execution from
+//!   live statistics.
+//! * `eval` (internal) — the loop-lifted executor: each operator runs
+//!   once per invocation over a whole `(iter, pre)` relation, never per
+//!   context node, so every plan enjoys the set-at-a-time evaluation
+//!   the paper credits for its interactive XMark times (§1).
+//!
+//! [`XPath::parse`] runs the full pipeline; [`XPath::eval`] and friends
+//! execute the physical plan. The original recursive interpreter is
+//! retained as [`XPath::eval_interpreted`] — the independent reference
+//! arm the plan-oracle property tests compare against.
 //!
 //! Supported: absolute/relative location paths, all axes of
 //! [`mbxq_axes::Axis`] (by name) plus the abbreviations `//`, `.`, `..`
 //! and `@`, name and kind tests, predicates (including positional ones),
-//! the union operator, arithmetic/comparison/boolean operators with XPath
+//! variable references (`$name`, resolved against [`Bindings`]), the
+//! union operator, arithmetic/comparison/boolean operators with XPath
 //! 1.0 node-set comparison semantics, and a core function library
 //! (`position`, `last`, `count`, `string`, `number`, `boolean`, `not`,
 //! `true`, `false`, `contains`, `starts-with`, `string-length`,
@@ -23,25 +43,33 @@
 //! `substring-before`, `substring-after`, `translate`, `floor`,
 //! `ceiling`, `round`, `sum`).
 //!
-//! Out of scope (not needed by the paper's workloads): variables,
-//! namespace axes, `id()`/`key()`, and the number-formatting corners of
-//! the spec.
+//! Out of scope (not needed by the paper's workloads): namespace axes,
+//! `id()`/`key()`, and the number-formatting corners of the spec.
 
 mod ast;
 mod eval;
+pub mod explain;
+mod interp;
 mod lexer;
 mod parser;
+pub mod physical;
+pub mod plan;
+pub mod rewrite;
 
 pub use ast::{Expr, PathExpr, Step, StepTest};
 pub use eval::Value;
 
 use mbxq_storage::TreeView;
+use std::cell::Cell;
+use std::collections::HashMap;
 
-/// A parsed, reusable XPath expression.
+/// A parsed, planned, reusable XPath expression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct XPath {
     expr: ast::Expr,
     source: String,
+    logical: plan::Scalar,
+    physical: physical::PhysScalar,
 }
 
 /// Errors from parsing or evaluating an XPath expression.
@@ -77,14 +105,80 @@ impl std::error::Error for XPathError {}
 /// Result alias for XPath operations.
 pub type Result<T> = std::result::Result<T, XPathError>;
 
+/// Variable bindings for `$name` references.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bindings {
+    map: HashMap<String, Value>,
+}
+
+impl Bindings {
+    /// An empty binding set.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Binds `$name` to `value` (replacing an earlier binding).
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.map.insert(name.into(), value);
+        self
+    }
+
+    /// The value bound to `$name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.map.get(name)
+    }
+}
+
+/// Which arm cost-annotated axis steps execute — [`AxisChoice::Auto`]
+/// follows the cost model; the forced arms exist for the `plan_cost`
+/// ablation benchmark and the oracle tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AxisChoice {
+    /// Per-step cost decision from live statistics (the default).
+    #[default]
+    Auto,
+    /// Always the staircase join (the interpreter's only strategy).
+    ForceStaircase,
+    /// Always the element-name-index probe + semijoin (falls back to
+    /// the staircase on views without an index).
+    ForceIndex,
+}
+
+/// Per-evaluation counters of the strategy decisions actually taken
+/// (shared-cell based so one immutable `EvalOptions` can thread them
+/// through the executor).
+#[derive(Debug, Default)]
+pub struct EvalStats {
+    /// Axis steps served by the element-name index.
+    pub index_steps: Cell<u64>,
+    /// Axis steps served by the staircase join.
+    pub staircase_steps: Cell<u64>,
+}
+
+/// Evaluation-time options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions<'a> {
+    /// Variable bindings (`None` = no variables bound).
+    pub bindings: Option<&'a Bindings>,
+    /// Axis-strategy override.
+    pub axis: AxisChoice,
+    /// Optional decision counters.
+    pub stats: Option<&'a EvalStats>,
+}
+
 impl XPath {
-    /// Parses an expression.
+    /// Parses an expression and runs the whole plan pipeline
+    /// (compile → rewrite → lower).
     pub fn parse(source: &str) -> Result<XPath> {
         let tokens = lexer::lex(source)?;
         let expr = parser::parse(&tokens, source)?;
+        let logical = rewrite::rewrite(plan::compile(&expr));
+        let physical = physical::lower(&logical);
         Ok(XPath {
             expr,
             source: source.to_string(),
+            logical,
+            physical,
         })
     }
 
@@ -93,17 +187,102 @@ impl XPath {
         &self.source
     }
 
-    /// Evaluates the expression with `context` as the context node set
-    /// (sorted pre ranks; for absolute paths the document root is used
-    /// regardless).
+    /// The rewritten logical plan.
+    pub fn logical_plan(&self) -> &plan::Scalar {
+        &self.logical
+    }
+
+    /// The physical plan.
+    pub fn physical_plan(&self) -> &physical::PhysScalar {
+        &self.physical
+    }
+
+    /// Renders the rewritten logical plan.
+    pub fn explain(&self) -> String {
+        explain::logical(&self.logical)
+    }
+
+    /// Renders the physical plan with its strategy slots.
+    pub fn explain_physical(&self) -> String {
+        explain::physical(&self.physical)
+    }
+
+    /// Evaluates the compiled plan with `context` as the context node
+    /// set (sorted pre ranks; for absolute paths the document root is
+    /// used regardless).
     pub fn eval<V: TreeView + ?Sized>(&self, view: &V, context: &[u64]) -> Result<Value> {
-        eval::eval_expr(view, &self.expr, context)
+        self.eval_opts(view, context, &EvalOptions::default())
+    }
+
+    /// [`XPath::eval`] with variable bindings.
+    pub fn eval_with<V: TreeView + ?Sized>(
+        &self,
+        view: &V,
+        context: &[u64],
+        bindings: &Bindings,
+    ) -> Result<Value> {
+        self.eval_opts(
+            view,
+            context,
+            &EvalOptions {
+                bindings: Some(bindings),
+                ..EvalOptions::default()
+            },
+        )
+    }
+
+    /// [`XPath::eval`] with full evaluation options (bindings, axis
+    /// strategy override, decision counters).
+    pub fn eval_opts<V: TreeView + ?Sized>(
+        &self,
+        view: &V,
+        context: &[u64],
+        opts: &EvalOptions<'_>,
+    ) -> Result<Value> {
+        let exec = eval::Exec {
+            view,
+            bindings: opts.bindings,
+            choice: opts.axis,
+            stats: opts.stats,
+        };
+        exec.run(&self.physical, context)
+    }
+
+    /// Evaluates through the retained reference interpreter — the
+    /// oracle arm plan-correctness tests compare against. Production
+    /// callers use [`XPath::eval`], which executes the physical plan.
+    pub fn eval_interpreted<V: TreeView + ?Sized>(
+        &self,
+        view: &V,
+        context: &[u64],
+    ) -> Result<Value> {
+        interp::eval_expr(view, &self.expr, context, None)
+    }
+
+    /// [`XPath::eval_interpreted`] with variable bindings.
+    pub fn eval_interpreted_with<V: TreeView + ?Sized>(
+        &self,
+        view: &V,
+        context: &[u64],
+        bindings: &Bindings,
+    ) -> Result<Value> {
+        interp::eval_expr(view, &self.expr, context, Some(bindings))
     }
 
     /// Evaluates and coerces to a node set (tree nodes only, document
     /// order). Errors if the expression yields a non-node value.
     pub fn select<V: TreeView + ?Sized>(&self, view: &V, context: &[u64]) -> Result<Vec<u64>> {
-        match self.eval(view, context)? {
+        self.select_opts(view, context, &EvalOptions::default())
+    }
+
+    /// [`XPath::select`] with evaluation options.
+    pub fn select_opts<V: TreeView + ?Sized>(
+        &self,
+        view: &V,
+        context: &[u64],
+        opts: &EvalOptions<'_>,
+    ) -> Result<Vec<u64>> {
+        match self.eval_opts(view, context, opts)? {
             Value::Nodes(ns) => Ok(ns),
             other => Err(XPathError::Eval {
                 message: format!(
@@ -119,6 +298,16 @@ impl XPath {
     pub fn select_from_root<V: TreeView + ?Sized>(&self, view: &V) -> Result<Vec<u64>> {
         let root: Vec<u64> = view.root_pre().into_iter().collect();
         self.select(view, &root)
+    }
+
+    /// [`XPath::select_from_root`] with evaluation options.
+    pub fn select_from_root_opts<V: TreeView + ?Sized>(
+        &self,
+        view: &V,
+        opts: &EvalOptions<'_>,
+    ) -> Result<Vec<u64>> {
+        let root: Vec<u64> = view.root_pre().into_iter().collect();
+        self.select_opts(view, &root, opts)
     }
 }
 
@@ -355,9 +544,117 @@ mod tests {
         }
     }
 
+    /// Every strategy arm must select the same nodes; the stats
+    /// counters prove the arms actually diverge physically.
+    #[test]
+    fn strategy_arms_agree_and_are_taken() {
+        let ro = doc();
+        let p = XPath::parse("//item").unwrap();
+        let auto = p.select_from_root(&ro).unwrap();
+        let stats = EvalStats::default();
+        let forced_index = p
+            .select_from_root_opts(
+                &ro,
+                &EvalOptions {
+                    axis: AxisChoice::ForceIndex,
+                    stats: Some(&stats),
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(auto, forced_index);
+        assert!(stats.index_steps.get() > 0, "index arm must actually run");
+        let stats2 = EvalStats::default();
+        let forced_stair = p
+            .select_from_root_opts(
+                &ro,
+                &EvalOptions {
+                    axis: AxisChoice::ForceStaircase,
+                    stats: Some(&stats2),
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(auto, forced_stair);
+        assert_eq!(stats2.index_steps.get(), 0);
+        assert!(stats2.staircase_steps.get() > 0);
+    }
+
+    #[test]
+    fn variables_resolve_through_bindings() {
+        let d = doc();
+        let p = XPath::parse("/site/people/person[@id = $who]/name").unwrap();
+        let mut b = Bindings::new();
+        b.set("who", Value::Str("p1".into()));
+        let got = p.select_opts(
+            &d,
+            &[0],
+            &EvalOptions {
+                bindings: Some(&b),
+                ..EvalOptions::default()
+            },
+        );
+        let got = got.unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(d.string_value(got[0]), "Bob");
+        // The interpreter arm agrees.
+        let interp = p.eval_interpreted_with(&d, &[0], &b).unwrap();
+        assert_eq!(interp, Value::Nodes(got));
+        // Numeric binding compares numerically.
+        let p2 = XPath::parse("$n + 2").unwrap();
+        let mut b2 = Bindings::new();
+        b2.set("n", Value::Number(40.0));
+        assert_eq!(p2.eval_with(&d, &[0], &b2).unwrap(), Value::Number(42.0));
+        // Node-set binding starts a path.
+        let people = XPath::parse("/site/people")
+            .unwrap()
+            .select_from_root(&d)
+            .unwrap();
+        let mut b3 = Bindings::new();
+        b3.set("ctx", Value::Nodes(people));
+        let p3 = XPath::parse("$ctx/person/name").unwrap();
+        assert_eq!(p3.eval_with(&d, &[0], &b3).unwrap().to_str(&d), "Ann");
+    }
+
+    #[test]
+    fn unbound_variables_error() {
+        let d = doc();
+        let p = XPath::parse("$missing").unwrap();
+        let err = p.eval(&d, &[0]).unwrap_err();
+        assert!(
+            err.to_string().contains("unbound variable $missing"),
+            "got {err}"
+        );
+        let err = p.eval_interpreted(&d, &[0]).unwrap_err();
+        assert!(err.to_string().contains("unbound variable $missing"));
+    }
+
+    #[test]
+    fn explain_renders_both_levels() {
+        let p = XPath::parse("//person[age > 10]/name").unwrap();
+        let logical = p.explain();
+        assert!(logical.contains("step descendant::person"), "{logical}");
+        assert!(logical.contains("filter"), "{logical}");
+        let physical = p.explain_physical();
+        assert!(physical.contains("cost-chosen"), "{physical}");
+        // `//person[1]` keeps its per-parent position scope (no fusion).
+        let p2 = XPath::parse("//person[1]").unwrap();
+        assert!(p2.explain().contains("pick first-per-group"));
+        assert!(p2.explain().contains("child::person"));
+    }
+
     #[test]
     fn parse_errors_are_reported() {
-        for bad in ["", "/site//", "//person[", "foo(", "1 +", "@", "//person]"] {
+        for bad in [
+            "",
+            "/site//",
+            "//person[",
+            "foo(",
+            "1 +",
+            "@",
+            "//person]",
+            "$",
+        ] {
             assert!(XPath::parse(bad).is_err(), "'{bad}' should not parse");
         }
     }

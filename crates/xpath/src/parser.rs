@@ -186,6 +186,35 @@ impl Parser<'_> {
                 self.pos += 1;
                 Ok(Expr::Number(n))
             }
+            Some(TokenKind::Var(name)) => {
+                let var = Expr::Var(name.clone());
+                self.pos += 1;
+                // `$v/steps` and `$v[pred]` — a variable is a primary
+                // expression and may start a path, like `(expr)`.
+                if matches!(
+                    self.peek(),
+                    Some(TokenKind::Slash)
+                        | Some(TokenKind::DoubleSlash)
+                        | Some(TokenKind::LBracket)
+                ) {
+                    let mut steps = Vec::new();
+                    let mut start_predicates = Vec::new();
+                    while self.peek() == Some(&TokenKind::LBracket) {
+                        self.pos += 1;
+                        start_predicates.push(self.expr()?);
+                        self.expect(&TokenKind::RBracket, "']'")?;
+                    }
+                    self.relative_path_into(&mut steps)?;
+                    Ok(Expr::Path(PathExpr {
+                        absolute: false,
+                        start: Some(Box::new(var)),
+                        start_predicates,
+                        steps,
+                    }))
+                } else {
+                    Ok(var)
+                }
+            }
             Some(TokenKind::LParen) => {
                 self.pos += 1;
                 let inner = self.expr()?;

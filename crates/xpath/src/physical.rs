@@ -1,0 +1,339 @@
+//! Physical plans: the rewritten logical algebra lowered onto concrete
+//! operators, with a **strategy slot** on every axis step.
+//!
+//! Lowering is shape-preserving — the executor (internal `eval`) keeps
+//! the loop-lifted discipline either way — but each `Step` is annotated
+//! with how its axis may be evaluated:
+//!
+//! * [`StepStrategy::Staircase`] — the staircase join + name filter
+//!   (the interpreter's only path). Chosen for every axis/test the
+//!   index cannot serve.
+//! * [`StepStrategy::NameIndex`] — the element-name-index probe
+//!   ([`mbxq_storage::TreeView::elements_named`]) followed by a range
+//!   semijoin back to the context ([`mbxq_axes::range_semijoin`]);
+//!   the explicit `NameProbe` + `Semijoin` form of the logical algebra,
+//!   fused into one physical operator. Produced by lowering explicit
+//!   `Semijoin` plans.
+//! * [`StepStrategy::Cost`] — decided **per execution** from live
+//!   statistics: the index arm is charged `k + 8·|context|` (the probe
+//!   list plus a flat per-context-node fee for its binary searches),
+//!   the staircase arm `4·Σ (size(c)+1)` — each scanned slot pays
+//!   several view indirections, hence the weight (`SCAN_WEIGHT` in the
+//!   executor). Statistics come from the view at run time, so one
+//!   cached plan adapts as the document grows or shrinks; the
+//!   [`crate::AxisChoice`] evaluation option pins either arm for
+//!   ablation runs.
+//!
+//! Name tests on `child`, `descendant` and `descendant-or-self` axes
+//! are the indexable shapes (the semijoin needs the candidates inside
+//! the context region); everything else lowers to `Staircase`.
+
+use crate::ast::{ArithOp, CmpOp};
+use crate::plan::{AggKind, Pred, Rel, Scalar};
+use mbxq_axes::{Axis, NodeTest};
+use mbxq_xml::QName;
+
+/// How an axis step may be evaluated (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepStrategy {
+    /// Staircase join + name filter (always available).
+    Staircase,
+    /// Forced element-name-index probe + range semijoin.
+    NameIndex(QName),
+    /// Cost-chosen per execution between the two arms.
+    Cost(QName),
+}
+
+/// A physical predicate slot (mirrors [`Pred`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPred {
+    /// Keep each group's first row.
+    First,
+    /// Keep each group's last row.
+    Last,
+    /// General predicate with position semantics.
+    Expr(PhysScalar),
+}
+
+/// Physical relational operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysRel {
+    /// The evaluation context.
+    Context,
+    /// The document root element.
+    Root,
+    /// One axis step with its strategy slot.
+    Step {
+        /// Context relation.
+        input: Box<PhysRel>,
+        /// The axis.
+        axis: Axis,
+        /// The node test.
+        test: NodeTest,
+        /// Position-scoped predicates.
+        preds: Vec<PhysPred>,
+        /// How the axis is evaluated.
+        strategy: StepStrategy,
+    },
+    /// The attribute step.
+    AttrStep {
+        /// Owner relation.
+        input: Box<PhysRel>,
+        /// Attribute name (`None` = `@*`).
+        name: Option<QName>,
+        /// Predicates present on the source step (unsupported).
+        has_preds: bool,
+    },
+    /// Pushed-down non-positional row filter.
+    Filter {
+        /// Input relation.
+        input: Box<PhysRel>,
+        /// The predicate.
+        pred: Box<PhysScalar>,
+    },
+    /// Whole-group predicates (`(expr)[pred]` scope).
+    GroupFilter {
+        /// Input relation.
+        input: Box<PhysRel>,
+        /// The predicates.
+        preds: Vec<PhysPred>,
+    },
+    /// Element-name-index probe (document scan on index-less views).
+    NameProbe {
+        /// The element name.
+        name: QName,
+    },
+    /// Probe ⋉ context-region semijoin.
+    Semijoin {
+        /// Context relation.
+        input: Box<PhysRel>,
+        /// Candidate relation.
+        probe: Box<PhysRel>,
+        /// `Child`, `Descendant` or `DescendantOrSelf`.
+        axis: Axis,
+    },
+    /// Per-iteration node-set union.
+    Union {
+        /// Left operand.
+        left: Box<PhysRel>,
+        /// Right operand.
+        right: Box<PhysRel>,
+    },
+    /// A scalar value used as a node sequence.
+    FromValue {
+        /// The value-producing subplan.
+        value: Box<PhysScalar>,
+    },
+    /// Loop-invariant subplan: evaluate once, broadcast.
+    Const(Box<PhysRel>),
+    /// Fails at execution time.
+    Unsupported {
+        /// The error text.
+        message: String,
+    },
+}
+
+/// Physical scalar operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysScalar {
+    /// String literal.
+    Literal(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Variable reference.
+    Var(String),
+    /// Short-circuit `or`.
+    Or(Box<PhysScalar>, Box<PhysScalar>),
+    /// Short-circuit `and`.
+    And(Box<PhysScalar>, Box<PhysScalar>),
+    /// Comparison.
+    Compare(CmpOp, Box<PhysScalar>, Box<PhysScalar>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<PhysScalar>, Box<PhysScalar>),
+    /// Unary minus.
+    Neg(Box<PhysScalar>),
+    /// Function call.
+    Call(String, Vec<PhysScalar>),
+    /// Group cardinality.
+    Count(Box<PhysRel>),
+    /// Numeric sum over group string values.
+    Sum(Box<PhysRel>),
+    /// Group non-emptiness with early exit.
+    Exists(Box<PhysRel>),
+    /// A relation used as a value.
+    Nodes(Box<PhysRel>),
+    /// Loop-invariant subtree: evaluate once, broadcast.
+    Const(Box<PhysScalar>),
+}
+
+/// Lowers a rewritten logical plan to its physical form.
+pub fn lower(s: &Scalar) -> PhysScalar {
+    match s {
+        Scalar::Literal(v) => PhysScalar::Literal(v.clone()),
+        Scalar::Number(n) => PhysScalar::Number(*n),
+        Scalar::Var(name) => PhysScalar::Var(name.clone()),
+        Scalar::Or(a, b) => PhysScalar::Or(Box::new(lower(a)), Box::new(lower(b))),
+        Scalar::And(a, b) => PhysScalar::And(Box::new(lower(a)), Box::new(lower(b))),
+        Scalar::Compare(op, a, b) => {
+            PhysScalar::Compare(*op, Box::new(lower(a)), Box::new(lower(b)))
+        }
+        Scalar::Arith(op, a, b) => PhysScalar::Arith(*op, Box::new(lower(a)), Box::new(lower(b))),
+        Scalar::Neg(e) => PhysScalar::Neg(Box::new(lower(e))),
+        Scalar::Call(name, args) => {
+            PhysScalar::Call(name.clone(), args.iter().map(lower).collect())
+        }
+        Scalar::Agg(AggKind::Count, rel) => PhysScalar::Count(Box::new(lower_rel(rel))),
+        Scalar::Agg(AggKind::Sum, rel) => PhysScalar::Sum(Box::new(lower_rel(rel))),
+        Scalar::Agg(AggKind::Exists, rel) => PhysScalar::Exists(Box::new(lower_rel(rel))),
+        Scalar::Nodes(rel) => PhysScalar::Nodes(Box::new(lower_rel(rel))),
+        Scalar::Const(inner) => PhysScalar::Const(Box::new(lower(inner))),
+    }
+}
+
+fn lower_rel(r: &Rel) -> PhysRel {
+    match r {
+        Rel::Context => PhysRel::Context,
+        Rel::Root => PhysRel::Root,
+        Rel::Step {
+            input,
+            axis,
+            test,
+            preds,
+        } => PhysRel::Step {
+            input: Box::new(lower_rel(input)),
+            axis: *axis,
+            test: test.clone(),
+            preds: preds.iter().map(lower_pred).collect(),
+            strategy: choose_strategy(*axis, test),
+        },
+        Rel::AttrStep {
+            input,
+            name,
+            has_preds,
+        } => PhysRel::AttrStep {
+            input: Box::new(lower_rel(input)),
+            name: name.clone(),
+            has_preds: *has_preds,
+        },
+        Rel::Filter { input, pred } => PhysRel::Filter {
+            input: Box::new(lower_rel(input)),
+            pred: Box::new(lower(pred)),
+        },
+        Rel::GroupFilter { input, preds } => PhysRel::GroupFilter {
+            input: Box::new(lower_rel(input)),
+            preds: preds.iter().map(lower_pred).collect(),
+        },
+        Rel::NameProbe { name } => PhysRel::NameProbe { name: name.clone() },
+        Rel::Semijoin { input, probe, axis } => {
+            // An explicit logical semijoin with a name probe is the
+            // forced-index step.
+            if let Rel::NameProbe { name } = &**probe {
+                PhysRel::Step {
+                    input: Box::new(lower_rel(input)),
+                    axis: *axis,
+                    test: NodeTest::Name(name.clone()),
+                    preds: Vec::new(),
+                    strategy: StepStrategy::NameIndex(name.clone()),
+                }
+            } else {
+                PhysRel::Semijoin {
+                    input: Box::new(lower_rel(input)),
+                    probe: Box::new(lower_rel(probe)),
+                    axis: *axis,
+                }
+            }
+        }
+        Rel::Union { left, right } => PhysRel::Union {
+            left: Box::new(lower_rel(left)),
+            right: Box::new(lower_rel(right)),
+        },
+        Rel::FromValue { value } => PhysRel::FromValue {
+            value: Box::new(lower(value)),
+        },
+        Rel::Const { rel } => PhysRel::Const(Box::new(lower_rel(rel))),
+        Rel::Unsupported { message } => PhysRel::Unsupported {
+            message: message.clone(),
+        },
+    }
+}
+
+fn lower_pred(p: &Pred) -> PhysPred {
+    match p {
+        Pred::First => PhysPred::First,
+        Pred::Last => PhysPred::Last,
+        Pred::Expr(s) => PhysPred::Expr(lower(s)),
+    }
+}
+
+/// The indexable shapes get a cost slot; everything else is staircase.
+fn choose_strategy(axis: Axis, test: &NodeTest) -> StepStrategy {
+    match (axis, test) {
+        (Axis::Child | Axis::Descendant | Axis::DescendantOrSelf, NodeTest::Name(name)) => {
+            StepStrategy::Cost(name.clone())
+        }
+        _ => StepStrategy::Staircase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::compile;
+    use crate::rewrite::rewrite;
+    use crate::{lexer, parser};
+
+    fn phys(src: &str) -> PhysScalar {
+        let tokens = lexer::lex(src).unwrap();
+        lower(&rewrite(compile(&parser::parse(&tokens, src).unwrap())))
+    }
+
+    fn strip(s: &PhysScalar) -> &PhysScalar {
+        match s {
+            PhysScalar::Const(inner) => strip(inner),
+            other => other,
+        }
+    }
+
+    #[test]
+    fn name_steps_get_cost_slots() {
+        let plan = phys("//item");
+        let PhysScalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let PhysRel::Step { strategy, .. } = &**rel else {
+            panic!("got {rel:?}")
+        };
+        assert!(matches!(strategy, StepStrategy::Cost(name) if name.local == "item"));
+    }
+
+    #[test]
+    fn non_name_steps_stay_staircase() {
+        let plan = phys("//text()");
+        let PhysScalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let PhysRel::Step { strategy, .. } = &**rel else {
+            panic!("got {rel:?}")
+        };
+        assert_eq!(*strategy, StepStrategy::Staircase);
+    }
+
+    #[test]
+    fn explicit_semijoin_lowers_to_forced_index_step() {
+        use crate::plan::{Rel, Scalar};
+        let logical = Scalar::Nodes(Box::new(Rel::Semijoin {
+            input: Box::new(Rel::Context),
+            probe: Box::new(Rel::NameProbe {
+                name: QName::local("item"),
+            }),
+            axis: Axis::Descendant,
+        }));
+        let PhysScalar::Nodes(rel) = lower(&logical) else {
+            panic!()
+        };
+        let PhysRel::Step { strategy, .. } = *rel else {
+            panic!()
+        };
+        assert!(matches!(strategy, StepStrategy::NameIndex(_)));
+    }
+}

@@ -1,0 +1,536 @@
+//! The rule-based plan rewriter.
+//!
+//! Four rewrite families run over the logical plan, bottom-up, followed
+//! by an explicit hoisting pass:
+//!
+//! 1. **Existence conversion** — `count(e) > 0`, `count(e) != 0`,
+//!    `count(e) >= 1` (and mirrored forms) become `Agg(exists)`, as do
+//!    bare node-set operands in boolean contexts (`[e]`, `a and b`,
+//!    `not(e)`, `boolean(e)`). The executor serves existence aggregates
+//!    with an early-exit probe instead of materializing the node set.
+//! 2. **Positional short-circuit** — `[1]`, `[position() = 1]`,
+//!    `[last()]` and `[position() = last()]` become first/last *picks*
+//!    executed without position vectors.
+//! 3. **Predicate pushdown** — a step whose predicates are all provably
+//!    non-positional ([`plan::pred_is_non_positional`]) sheds them into
+//!    explicit [`Rel::Filter`] operators above the step: the executor
+//!    then skips the per-context-node expansion/regroup dance that the
+//!    `position()` scope would otherwise require.
+//! 4. **Step fusion** — `descendant-or-self::node()/child::t` (the `//`
+//!    expansion) fuses into one `descendant::t` step, and bare
+//!    `self::node()` steps vanish. Fusion only fires on predicate-free
+//!    steps, which pushdown has just maximized; positional predicates
+//!    keep their step un-fused, preserving the per-parent `position()`
+//!    scope of `//x[1]`.
+//!
+//! The final pass wraps maximal loop-invariant subtrees in explicit
+//! `Const` markers — the plan-level replacement for the interpreter's
+//! ad-hoc `Lifted::Const` hoisting — so `explain` output shows exactly
+//! what evaluates once per query rather than once per iteration.
+
+use crate::ast::CmpOp;
+use crate::plan::{self, AggKind, Pred, Rel, Scalar};
+use mbxq_axes::{Axis, NodeTest};
+
+/// Rewrites a compiled logical plan (all rule families + hoisting).
+pub fn rewrite(s: Scalar) -> Scalar {
+    let s = rw_scalar(s, false);
+    hoist_scalar(s)
+}
+
+// ---------------------------------------------------------------------
+// Bottom-up rules
+// ---------------------------------------------------------------------
+
+/// Rewrites a scalar; `boolean_ctx` marks positions whose value is
+/// immediately coerced to a boolean (existence conversion applies).
+fn rw_scalar(s: Scalar, boolean_ctx: bool) -> Scalar {
+    let out = match s {
+        Scalar::Or(a, b) => {
+            Scalar::Or(Box::new(rw_scalar(*a, true)), Box::new(rw_scalar(*b, true)))
+        }
+        Scalar::And(a, b) => {
+            Scalar::And(Box::new(rw_scalar(*a, true)), Box::new(rw_scalar(*b, true)))
+        }
+        Scalar::Compare(op, a, b) => {
+            let a = rw_scalar(*a, false);
+            let b = rw_scalar(*b, false);
+            match count_comparison(op, &a, &b) {
+                Some(replacement) => replacement,
+                None => Scalar::Compare(op, Box::new(a), Box::new(b)),
+            }
+        }
+        Scalar::Arith(op, a, b) => Scalar::Arith(
+            op,
+            Box::new(rw_scalar(*a, false)),
+            Box::new(rw_scalar(*b, false)),
+        ),
+        Scalar::Neg(e) => Scalar::Neg(Box::new(rw_scalar(*e, false))),
+        Scalar::Call(name, args) => {
+            let arg_is_boolean = args.len() == 1 && matches!(name.as_str(), "not" | "boolean");
+            let args = args
+                .into_iter()
+                .map(|a| rw_scalar(a, arg_is_boolean))
+                .collect();
+            Scalar::Call(name, args)
+        }
+        Scalar::Agg(kind, rel) => Scalar::Agg(kind, Box::new(rw_rel(*rel))),
+        Scalar::Nodes(rel) => Scalar::Nodes(Box::new(rw_rel(*rel))),
+        leaf @ (Scalar::Literal(_) | Scalar::Number(_) | Scalar::Var(_) | Scalar::Const(_)) => leaf,
+    };
+    if boolean_ctx {
+        if let Scalar::Nodes(rel) = out {
+            // A node set in a boolean context only asks "non-empty?".
+            return Scalar::Agg(AggKind::Exists, rel);
+        }
+    }
+    out
+}
+
+/// `count(e) <op> n` forms that reduce to (negated) existence.
+fn count_comparison(op: CmpOp, a: &Scalar, b: &Scalar) -> Option<Scalar> {
+    // Normalize to `count(e) <op> n`.
+    let (op, rel, n) = match (a, b) {
+        (Scalar::Agg(AggKind::Count, rel), Scalar::Number(n)) => (op, rel, *n),
+        (Scalar::Number(n), Scalar::Agg(AggKind::Count, rel)) => (flip(op), rel, *n),
+        _ => return None,
+    };
+    let exists = || Scalar::Agg(AggKind::Exists, rel.clone());
+    let not_exists = || {
+        Scalar::Call(
+            "not".into(),
+            vec![Scalar::Agg(AggKind::Exists, rel.clone())],
+        )
+    };
+    match op {
+        CmpOp::Gt if n == 0.0 => Some(exists()),
+        CmpOp::Ge if n == 1.0 => Some(exists()),
+        CmpOp::Ne if n == 0.0 => Some(exists()),
+        CmpOp::Eq if n == 0.0 => Some(not_exists()),
+        CmpOp::Lt if n == 1.0 => Some(not_exists()),
+        CmpOp::Le if n == 0.0 => Some(not_exists()),
+        _ => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+fn rw_rel(r: Rel) -> Rel {
+    let out = match r {
+        Rel::Step {
+            input,
+            axis,
+            test,
+            preds,
+        } => {
+            let input = rw_rel(*input);
+            let preds: Vec<Pred> = preds.into_iter().map(rw_pred).collect();
+            // Predicate pushdown: a step whose predicates are all
+            // provably non-positional sheds them into Filter operators.
+            if !preds.is_empty() && preds.iter().all(pushable) {
+                // Fuse the now predicate-free step before stacking the
+                // filters on top of it.
+                let mut rel = fuse(Rel::Step {
+                    input: Box::new(input),
+                    axis,
+                    test,
+                    preds: Vec::new(),
+                });
+                for p in preds {
+                    let Pred::Expr(s) = p else {
+                        unreachable!("pushable excludes picks")
+                    };
+                    rel = Rel::Filter {
+                        input: Box::new(rel),
+                        pred: Box::new(s),
+                    };
+                }
+                rel
+            } else {
+                Rel::Step {
+                    input: Box::new(input),
+                    axis,
+                    test,
+                    preds,
+                }
+            }
+        }
+        Rel::AttrStep {
+            input,
+            name,
+            has_preds,
+        } => Rel::AttrStep {
+            input: Box::new(rw_rel(*input)),
+            name,
+            has_preds,
+        },
+        Rel::Filter { input, pred } => Rel::Filter {
+            input: Box::new(rw_rel(*input)),
+            pred: Box::new(rw_scalar(*pred, true)),
+        },
+        Rel::GroupFilter { input, preds } => {
+            let input = rw_rel(*input);
+            let preds: Vec<Pred> = preds.into_iter().map(rw_pred).collect();
+            if !preds.is_empty() && preds.iter().all(pushable) {
+                let mut rel = input;
+                for p in preds {
+                    let Pred::Expr(s) = p else {
+                        unreachable!("pushable excludes picks")
+                    };
+                    rel = Rel::Filter {
+                        input: Box::new(rel),
+                        pred: Box::new(s),
+                    };
+                }
+                rel
+            } else {
+                Rel::GroupFilter {
+                    input: Box::new(input),
+                    preds,
+                }
+            }
+        }
+        Rel::Semijoin { input, probe, axis } => Rel::Semijoin {
+            input: Box::new(rw_rel(*input)),
+            probe: Box::new(rw_rel(*probe)),
+            axis,
+        },
+        Rel::Union { left, right } => Rel::Union {
+            left: Box::new(rw_rel(*left)),
+            right: Box::new(rw_rel(*right)),
+        },
+        Rel::FromValue { value } => Rel::FromValue {
+            value: Box::new(rw_scalar(*value, false)),
+        },
+        Rel::Const { rel } => Rel::Const {
+            rel: Box::new(rw_rel(*rel)),
+        },
+        leaf @ (Rel::Context | Rel::Root | Rel::NameProbe { .. } | Rel::Unsupported { .. }) => leaf,
+    };
+    fuse(out)
+}
+
+/// Whether a predicate may leave its position scope (pushdown).
+fn pushable(p: &Pred) -> bool {
+    match p {
+        Pred::First | Pred::Last => false,
+        Pred::Expr(s) => plan::pred_is_non_positional(s),
+    }
+}
+
+fn rw_pred(p: Pred) -> Pred {
+    let Pred::Expr(s) = p else { return p };
+    // Positional short-circuits first (before the scalar rules would
+    // rewrite their subterms).
+    if let Some(pick) = positional_pick(&s) {
+        return pick;
+    }
+    // Predicates are boolean contexts — unless they are (possibly)
+    // numeric, in which case they select by position and must keep
+    // their value.
+    let boolean_ctx = plan::pred_is_non_positional(&s);
+    Pred::Expr(rw_scalar(s, boolean_ctx))
+}
+
+/// `[1]`, `[last()]`, `[position() = 1]`, `[position() = last()]`.
+fn positional_pick(s: &Scalar) -> Option<Pred> {
+    fn is_position(s: &Scalar) -> bool {
+        matches!(s, Scalar::Call(name, args) if name == "position" && args.is_empty())
+    }
+    fn is_last(s: &Scalar) -> bool {
+        matches!(s, Scalar::Call(name, args) if name == "last" && args.is_empty())
+    }
+    match s {
+        Scalar::Number(n) if *n == 1.0 => Some(Pred::First),
+        s if is_last(s) => Some(Pred::Last),
+        Scalar::Compare(CmpOp::Eq, a, b) => {
+            let (pos_side, other) = if is_position(a) {
+                (true, b)
+            } else if is_position(b) {
+                (true, a)
+            } else {
+                (false, b)
+            };
+            if !pos_side {
+                return None;
+            }
+            match &**other {
+                Scalar::Number(n) if *n == 1.0 => Some(Pred::First),
+                o if is_last(o) => Some(Pred::Last),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Step fusion + trivial-step elimination.
+fn fuse(r: Rel) -> Rel {
+    match r {
+        // `descendant-or-self::node()/child::t` → `descendant::t`
+        // (valid only with no predicates on either step: positional
+        // predicates scope per parent on the child step).
+        Rel::Step {
+            input,
+            axis: Axis::Child,
+            test,
+            preds,
+        } if preds.is_empty() => match *input {
+            Rel::Step {
+                input: inner,
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::AnyNode,
+                preds: inner_preds,
+            } if inner_preds.is_empty() => Rel::Step {
+                input: inner,
+                axis: Axis::Descendant,
+                test,
+                preds: Vec::new(),
+            },
+            other => Rel::Step {
+                input: Box::new(other),
+                axis: Axis::Child,
+                test,
+                preds,
+            },
+        },
+        // `self::node()` with no predicates is the identity.
+        Rel::Step {
+            input,
+            axis: Axis::SelfAxis,
+            test: NodeTest::AnyNode,
+            preds,
+        } if preds.is_empty() => *input,
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loop-invariant hoisting
+// ---------------------------------------------------------------------
+
+/// Wraps maximal invariant scalar subtrees in [`Scalar::Const`].
+fn hoist_scalar(s: Scalar) -> Scalar {
+    if plan::scalar_invariant(&s) && scalar_worth_hoisting(&s) {
+        return Scalar::Const(Box::new(s));
+    }
+    match s {
+        Scalar::Or(a, b) => Scalar::Or(Box::new(hoist_scalar(*a)), Box::new(hoist_scalar(*b))),
+        Scalar::And(a, b) => Scalar::And(Box::new(hoist_scalar(*a)), Box::new(hoist_scalar(*b))),
+        Scalar::Compare(op, a, b) => {
+            Scalar::Compare(op, Box::new(hoist_scalar(*a)), Box::new(hoist_scalar(*b)))
+        }
+        Scalar::Arith(op, a, b) => {
+            Scalar::Arith(op, Box::new(hoist_scalar(*a)), Box::new(hoist_scalar(*b)))
+        }
+        Scalar::Neg(e) => Scalar::Neg(Box::new(hoist_scalar(*e))),
+        Scalar::Call(name, args) => {
+            Scalar::Call(name, args.into_iter().map(hoist_scalar).collect())
+        }
+        Scalar::Agg(kind, rel) => Scalar::Agg(kind, Box::new(hoist_rel(*rel))),
+        Scalar::Nodes(rel) => Scalar::Nodes(Box::new(hoist_rel(*rel))),
+        leaf => leaf,
+    }
+}
+
+/// Wraps maximal invariant relational subtrees in [`Rel::Const`] and
+/// recurses into non-invariant structure (including predicate scalars,
+/// whose own subterms may hoist).
+fn hoist_rel(r: Rel) -> Rel {
+    if plan::rel_invariant(&r) && rel_worth_hoisting(&r) {
+        return Rel::Const { rel: Box::new(r) };
+    }
+    match r {
+        Rel::Step {
+            input,
+            axis,
+            test,
+            preds,
+        } => Rel::Step {
+            input: Box::new(hoist_rel(*input)),
+            axis,
+            test,
+            preds: preds.into_iter().map(hoist_pred).collect(),
+        },
+        Rel::AttrStep {
+            input,
+            name,
+            has_preds,
+        } => Rel::AttrStep {
+            input: Box::new(hoist_rel(*input)),
+            name,
+            has_preds,
+        },
+        Rel::Filter { input, pred } => Rel::Filter {
+            input: Box::new(hoist_rel(*input)),
+            pred: Box::new(hoist_scalar(*pred)),
+        },
+        Rel::GroupFilter { input, preds } => Rel::GroupFilter {
+            input: Box::new(hoist_rel(*input)),
+            preds: preds.into_iter().map(hoist_pred).collect(),
+        },
+        Rel::Semijoin { input, probe, axis } => Rel::Semijoin {
+            input: Box::new(hoist_rel(*input)),
+            probe: Box::new(hoist_rel(*probe)),
+            axis,
+        },
+        Rel::Union { left, right } => Rel::Union {
+            left: Box::new(hoist_rel(*left)),
+            right: Box::new(hoist_rel(*right)),
+        },
+        Rel::FromValue { value } => Rel::FromValue {
+            value: Box::new(hoist_scalar(*value)),
+        },
+        leaf => leaf,
+    }
+}
+
+fn hoist_pred(p: Pred) -> Pred {
+    match p {
+        Pred::Expr(s) => Pred::Expr(hoist_scalar(s)),
+        pick => pick,
+    }
+}
+
+/// Hoisting a leaf buys nothing; wrap only composite subtrees.
+fn scalar_worth_hoisting(s: &Scalar) -> bool {
+    !matches!(
+        s,
+        Scalar::Literal(_) | Scalar::Number(_) | Scalar::Var(_) | Scalar::Const(_)
+    )
+}
+
+fn rel_worth_hoisting(r: &Rel) -> bool {
+    !matches!(
+        r,
+        Rel::Root | Rel::Context | Rel::Const { .. } | Rel::Unsupported { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parser;
+    use crate::plan::compile;
+
+    fn rewritten(src: &str) -> Scalar {
+        let tokens = lexer::lex(src).unwrap();
+        rewrite(compile(&parser::parse(&tokens, src).unwrap()))
+    }
+
+    /// Strips Const markers for shape assertions.
+    fn strip(s: &Scalar) -> &Scalar {
+        match s {
+            Scalar::Const(inner) => strip(inner),
+            other => other,
+        }
+    }
+
+    #[test]
+    fn double_slash_fuses_to_descendant() {
+        let plan = rewritten("//item");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::Step { axis, test, .. } = &**rel else {
+            panic!("got {rel:?}")
+        };
+        assert_eq!(*axis, Axis::Descendant);
+        assert!(matches!(test, NodeTest::Name(q) if q.local == "item"));
+    }
+
+    #[test]
+    fn positional_predicate_blocks_fusion() {
+        let plan = rewritten("//item[1]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::Step { axis, preds, .. } = &**rel else {
+            panic!("got {rel:?}")
+        };
+        assert_eq!(*axis, Axis::Child, "positional pred keeps per-parent scope");
+        assert_eq!(preds, &[Pred::First]);
+    }
+
+    #[test]
+    fn last_becomes_a_pick() {
+        let plan = rewritten("a[last()] | a[position() = last()]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::Union { left, right } = &**rel else {
+            panic!()
+        };
+        for side in [left.as_ref(), right.as_ref()] {
+            let Rel::Step { preds, .. } = side else {
+                panic!()
+            };
+            assert_eq!(preds, &[Pred::Last]);
+        }
+    }
+
+    #[test]
+    fn count_gt_zero_becomes_exists() {
+        match strip(&rewritten("count(//item) > 0")) {
+            Scalar::Agg(AggKind::Exists, _) => {}
+            other => panic!("expected exists, got {other:?}"),
+        }
+        match strip(&rewritten("0 = count(//item)")) {
+            Scalar::Call(name, args) => {
+                assert_eq!(name, "not");
+                assert!(matches!(strip(&args[0]), Scalar::Agg(AggKind::Exists, _)));
+            }
+            other => panic!("expected not(exists), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_node_set_predicates_become_existence_filters() {
+        let plan = rewritten("//person[age]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::Filter { pred, .. } = &**rel else {
+            panic!("predicate should push down, got {rel:?}")
+        };
+        assert!(matches!(&**pred, Scalar::Agg(AggKind::Exists, _)));
+    }
+
+    #[test]
+    fn absolute_paths_hoist() {
+        // Inside a predicate, the absolute subpath is loop-invariant.
+        let plan = rewritten("item[count(//name) > 2]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::Filter { pred, .. } = &**rel else {
+            panic!("got {rel:?}")
+        };
+        assert!(
+            matches!(&**pred, Scalar::Const(_)),
+            "invariant predicate must hoist, got {pred:?}"
+        );
+    }
+
+    #[test]
+    fn variables_hoist_inside_comparisons() {
+        let plan = rewritten("item[@id = $want]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::Filter { pred, .. } = &**rel else {
+            panic!("non-positional comparison should push down, got {rel:?}")
+        };
+        assert!(matches!(&**pred, Scalar::Compare(..)));
+    }
+}
