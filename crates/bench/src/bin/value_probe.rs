@@ -1,0 +1,167 @@
+//! Value-predicate strategy ablation over an XMark query set — the
+//! measurement behind the content-index layer. Emits `BENCH_value.json`.
+//!
+//! Every query carries a value predicate the rewriter lowers to a
+//! `ValueProbe` operator; each is executed three ways on both storage
+//! schemas:
+//!
+//! * **scan** — [`ValueChoice::ForceScan`]: the axis step runs, then
+//!   the predicate is evaluated against every candidate (the scalar
+//!   path every value predicate took before this layer existed);
+//! * **probe** — [`ValueChoice::ForceProbe`]: the content index serves
+//!   the `(name, value)` lookup and a range semijoin restores the
+//!   structural relationship;
+//! * **cost** — [`ValueChoice::Auto`]: the per-step model decides from
+//!   the posting-list estimate vs the context's region sizes.
+//!
+//! All three arms must select identical nodes (asserted). The summary
+//! checks the two claims the PR makes: the probe beats the forced scan
+//! by ≥ 10x on at least one selective query, and the cost-chosen arm
+//! stays within 1.5x of the best arm on every query. `--smoke` runs a
+//! tiny scale once (CI guard; no JSON rewrite).
+
+use mbxq_bench::{build_both, time_min};
+use mbxq_storage::TreeView;
+use mbxq_xpath::{EvalOptions, EvalStats, ValueChoice, XPath};
+use std::fmt::Write as _;
+
+/// The ablation query set: attribute / self / child sources, equality
+/// and ranges, selective and non-selective.
+const QUERIES: &[(&str, &str)] = &[
+    ("attr_point_item", "//item[@id = \"item0\"]"),
+    (
+        "attr_point_person",
+        "/site/people/person[@id = \"person0\"]/name",
+    ),
+    ("attr_point_ref", "//personref[@person = \"person3\"]"),
+    ("child_eq_missing", "//person[name = \"Qqq Zzz\"]"),
+    ("child_range_high", "//closed_auction[price > 195]"),
+    ("child_range_half", "//closed_auction[price > 100]"),
+    ("self_range_high", "//price[. > 195]"),
+    ("self_range_all", "//price[. < 1000]"),
+    ("child_eq_quantity", "//item[quantity = 1]"),
+    ("attr_star", "//*[@person = \"person0\"]"),
+];
+
+fn arm_opts(value: ValueChoice) -> EvalOptions<'static> {
+    EvalOptions {
+        value,
+        ..EvalOptions::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 0.003 } else { 0.03 };
+    let reps = if smoke { 2 } else { 9 };
+
+    let (ro, up, bytes) = build_both(scale, 42);
+    println!("XMark scale {scale} ({bytes} B, {} nodes)", ro.used_count());
+
+    let mut json = String::from("[\n");
+    let mut first = true;
+    let mut max_speedup = 0.0f64;
+    let mut max_auto_over_best = 0.0f64;
+
+    for &(label, path) in QUERIES {
+        let xp = XPath::parse(path).expect(path);
+        assert!(
+            xp.explain_physical().contains("value-probe"),
+            "{label}: query must lower to a value probe:\n{}",
+            xp.explain_physical()
+        );
+
+        // Correctness first: all arms agree on both schemas.
+        let want_ro = xp
+            .select_from_root_opts(&ro, &arm_opts(ValueChoice::ForceScan))
+            .expect(path);
+        let want_up = xp
+            .select_from_root_opts(&up, &arm_opts(ValueChoice::ForceScan))
+            .expect(path);
+        for arm in [ValueChoice::ForceProbe, ValueChoice::Auto] {
+            let got = xp.select_from_root_opts(&ro, &arm_opts(arm)).expect(path);
+            assert_eq!(got, want_ro, "{label}: {arm:?} diverged on ro");
+            let got = xp.select_from_root_opts(&up, &arm_opts(arm)).expect(path);
+            assert_eq!(got, want_up, "{label}: {arm:?} diverged on paged");
+        }
+
+        let time = |view: &dyn TreeView, arm: ValueChoice| {
+            time_min(reps, || {
+                xp.select_from_root_opts(view, &arm_opts(arm))
+                    .unwrap()
+                    .len()
+            })
+            .as_nanos()
+        };
+        let scan_ro = time(&ro, ValueChoice::ForceScan);
+        let probe_ro = time(&ro, ValueChoice::ForceProbe);
+        let auto_ro = time(&ro, ValueChoice::Auto);
+        let scan_up = time(&up, ValueChoice::ForceScan);
+        let probe_up = time(&up, ValueChoice::ForceProbe);
+        let auto_up = time(&up, ValueChoice::Auto);
+
+        // Which arm did the cost model actually take?
+        let stats = EvalStats::default();
+        xp.select_from_root_opts(
+            &ro,
+            &EvalOptions {
+                stats: Some(&stats),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let chose_probe = stats.value_probe_steps.get();
+        let chose_scan = stats.value_scan_steps.get();
+
+        let speedup = scan_ro as f64 / probe_ro.max(1) as f64;
+        max_speedup = max_speedup.max(speedup);
+        let best_ro = scan_ro.min(probe_ro);
+        let auto_over_best = auto_ro as f64 / best_ro.max(1) as f64;
+        max_auto_over_best = max_auto_over_best.max(auto_over_best);
+
+        println!(
+            "{label:<20} rows {:>6}  ro: scan {scan_ro:>10}ns probe {probe_ro:>9}ns \
+             (x{speedup:>6.1}) auto {auto_ro:>10}ns (x{auto_over_best:>4.2} of best)  \
+             up: scan {scan_up:>10}ns probe {probe_up:>9}ns auto {auto_up:>10}ns  \
+             [auto: {chose_probe} probe / {chose_scan} scan]",
+            want_ro.len()
+        );
+
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "  {{\"label\": \"{label}\", \"path\": {path:?}, \"rows\": {}, \
+             \"ro_scan_ns\": {scan_ro}, \"ro_probe_ns\": {probe_ro}, \
+             \"ro_cost_ns\": {auto_ro}, \"up_scan_ns\": {scan_up}, \
+             \"up_probe_ns\": {probe_up}, \"up_cost_ns\": {auto_up}, \
+             \"probe_speedup_ro\": {speedup:.2}, \
+             \"cost_over_best_ro\": {auto_over_best:.4}, \
+             \"auto_probe_steps\": {chose_probe}, \"auto_scan_steps\": {chose_scan}}}",
+            want_ro.len()
+        );
+    }
+    json.push_str("\n]\n");
+
+    println!(
+        "\nsummary: best probe speedup {max_speedup:.1}x over forced scan; \
+         cost-chosen worst-case {max_auto_over_best:.2}x of the best arm"
+    );
+    if !smoke {
+        assert!(
+            max_speedup >= 10.0,
+            "the content index must beat the scan ≥ 10x on a selective query \
+             (got {max_speedup:.1}x)"
+        );
+        assert!(
+            max_auto_over_best <= 1.5,
+            "the cost model strayed {max_auto_over_best:.2}x from the best arm"
+        );
+        std::fs::write("BENCH_value.json", &json).expect("write BENCH_value.json");
+        println!("wrote BENCH_value.json");
+    } else {
+        println!("smoke mode: skipping BENCH_value.json");
+    }
+}

@@ -271,8 +271,11 @@ impl PagedDoc {
             doc.push_attr(node, qn, prop);
         }
         // The dump carries tuples in document order; the element-name
-        // index is derived state and is rebuilt rather than serialized.
+        // and content indexes are derived state and are rebuilt rather
+        // than serialized.
         doc.name_index = crate::names::NameIndex::from_base(crate::paged::name_index_base(&staged));
+        let content = crate::values::ContentIndex::build_from_view(&doc);
+        doc.content_index = content;
         doc.pool.compact();
         doc.attr_index.compact();
         Ok(doc)

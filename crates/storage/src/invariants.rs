@@ -208,6 +208,162 @@ pub fn check_paged(doc: &PagedDoc) -> Result<()> {
         }
     }
 
+    // Content index ≡ a scan: recompute every element's content state
+    // and attribute rows from the tree, then require that each probe
+    // (attribute exact, text exact, full numeric range) returns exactly
+    // the scanned nodes, in document order, and that the count
+    // estimators never under-estimate.
+    {
+        use crate::values::{xpath_number, NumRange, QnId};
+        use std::collections::HashMap;
+        let mut attr_scan: HashMap<(QnId, String), Vec<u64>> = HashMap::new();
+        let mut text_scan: HashMap<(QnId, String), Vec<u64>> = HashMap::new();
+        let mut complex_scan: HashMap<QnId, Vec<u64>> = HashMap::new();
+        let mut names: Vec<QnId> = Vec::new();
+        let mut p = 0u64;
+        while let Some(q) = doc.next_used_at_or_after(p) {
+            if doc.kind(q) == Some(crate::types::Kind::Element) {
+                let qn = doc.name_id(q).expect("element has a name");
+                names.push(qn);
+                match doc.content_state(q) {
+                    Some((_, Some(key))) => text_scan.entry((qn, key)).or_default().push(q),
+                    Some((_, None)) => complex_scan.entry(qn).or_default().push(q),
+                    None => unreachable!("element slots have content states"),
+                }
+                for (aqn, prop) in doc.attributes(q) {
+                    let value = doc.pool().prop(prop).unwrap_or_default().to_string();
+                    attr_scan.entry((aqn, value)).or_default().push(q);
+                }
+            }
+            p = q + 1;
+        }
+        names.sort_unstable();
+        names.dedup();
+        for ((aqn, value), want) in &attr_scan {
+            let got = doc
+                .nodes_with_attr_value(*aqn, value)
+                .expect("paged docs maintain a content index");
+            if &got != want {
+                return Err(corrupt(format!(
+                    "content index @{}={value:?}: {} indexed vs {} scanned",
+                    aqn.0,
+                    got.len(),
+                    want.len()
+                )));
+            }
+            if doc.nodes_with_attr_value_count(*aqn, value) < Some(want.len() as u64) {
+                return Err(corrupt(format!(
+                    "content index count for @{}={value:?} under-estimates",
+                    aqn.0
+                )));
+            }
+        }
+        let all = NumRange {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            lo_incl: true,
+            hi_incl: true,
+        };
+        // Attribute numeric arm: the full range must return exactly the
+        // elements whose attribute value parses as an XPath number.
+        {
+            let mut attr_names: Vec<QnId> = attr_scan.keys().map(|&(qn, _)| qn).collect();
+            attr_names.sort_unstable();
+            attr_names.dedup();
+            for aqn in attr_names {
+                let want_numeric: Vec<u64> = {
+                    let mut v: Vec<u64> = attr_scan
+                        .iter()
+                        .filter(|((qn, value), _)| *qn == aqn && !xpath_number(value).is_nan())
+                        .flat_map(|(_, pres)| pres.iter().copied())
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                let got = doc
+                    .nodes_with_attr_value_range(aqn, &all)
+                    .expect("paged docs maintain a content index");
+                if got != want_numeric {
+                    return Err(corrupt(format!(
+                        "content index attr numeric arm for qn {} diverged: {} vs {} scanned",
+                        aqn.0,
+                        got.len(),
+                        want_numeric.len()
+                    )));
+                }
+                if doc.nodes_with_attr_value_range_count(aqn, &all)
+                    < Some(want_numeric.len() as u64)
+                {
+                    return Err(corrupt(format!(
+                        "content index attr range count for qn {} under-estimates",
+                        aqn.0
+                    )));
+                }
+            }
+        }
+        for ((qn, key), want) in &text_scan {
+            let probe = doc
+                .elements_with_text(*qn, key)
+                .expect("paged docs maintain a content index");
+            if &probe.exact != want {
+                return Err(corrupt(format!(
+                    "content index text {}={key:?}: {} indexed vs {} scanned",
+                    qn.0,
+                    probe.exact.len(),
+                    want.len()
+                )));
+            }
+            if doc.elements_with_text_count(*qn, key) < Some(want.len() as u64) {
+                return Err(corrupt(format!(
+                    "content index text count for {}={key:?} under-estimates",
+                    qn.0
+                )));
+            }
+        }
+        for qn in names {
+            let complex = complex_scan.remove(&qn).unwrap_or_default();
+            let probe = doc
+                .elements_with_text(qn, "\u{1}never-a-value")
+                .expect("paged docs maintain a content index");
+            if !probe.exact.is_empty() {
+                return Err(corrupt(format!(
+                    "content index text probe for qn {} matched a value no element has",
+                    qn.0
+                )));
+            }
+            if probe.unindexed != complex {
+                return Err(corrupt(format!(
+                    "content index complex list for qn {} diverged: {} vs {} scanned",
+                    qn.0,
+                    probe.unindexed.len(),
+                    complex.len()
+                )));
+            }
+            // The full numeric range must return exactly the simple
+            // elements whose keys parse as XPath numbers.
+            let want_numeric: Vec<u64> = {
+                let mut v: Vec<u64> = text_scan
+                    .iter()
+                    .filter(|((k, key), _)| *k == qn && !xpath_number(key).is_nan())
+                    .flat_map(|(_, pres)| pres.iter().copied())
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            let got = doc
+                .elements_with_text_range(qn, &all)
+                .expect("paged docs maintain a content index");
+            if got.exact != want_numeric {
+                return Err(corrupt(format!(
+                    "content index numeric arm for qn {} diverged: {} vs {} scanned",
+                    qn.0,
+                    got.exact.len(),
+                    want_numeric.len()
+                )));
+            }
+        }
+    }
+
     // Attribute index points at live nodes and matching rows.
     for (node, rows) in doc.attr_index.iter() {
         match doc.node_pos.get(node) {

@@ -59,7 +59,7 @@ pub use snapshot::ArcCell;
 pub use types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
 pub use update::{DeleteReport, InsertCase, InsertPosition, InsertReport};
 pub use vacuum::VacuumReport;
-pub use values::{PropId, QnId, ValuePool};
+pub use values::{xpath_number, NumRange, PropId, QnId, TextProbe, ValuePool};
 pub use view::TreeView;
 
 /// Result alias for storage operations.

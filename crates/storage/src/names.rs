@@ -84,13 +84,23 @@ impl NameIndex {
     }
 
     /// Exact number of elements currently named `qn` — the statistic
-    /// the cost-based axis selection keys on.
+    /// the cost-based axis selection keys on. Only valid when every
+    /// tombstone shadows a real base entry (true for the element-name
+    /// index, whose removals always name live members).
     pub(crate) fn count(&self, qn: QnId) -> u64 {
         let base = self.base.get(&qn).map_or(0, Vec::len) as u64;
         match self.delta.get(&qn) {
             Some(d) => base + d.added.len() as u64 - d.removed.len() as u64,
             None => base,
         }
+    }
+
+    /// Upper-bound count that ignores tombstones — safe when removals
+    /// may be spurious (the content index's complex lists tombstone
+    /// blindly on delete).
+    pub(crate) fn count_upper(&self, qn: QnId) -> u64 {
+        let base = self.base.get(&qn).map_or(0, Vec::len) as u64;
+        base + self.delta.get(&qn).map_or(0, |d| d.added.len()) as u64
     }
 
     /// The node ids of elements named `qn`, merged with the delta and

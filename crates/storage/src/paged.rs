@@ -30,7 +30,7 @@
 
 use crate::names::NameIndex;
 use crate::types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
-use crate::values::{PropId, QnId, ValuePool};
+use crate::values::{ContentIndex, NumRange, PropId, QnId, TextProbe, ValuePool};
 use crate::view::TreeView;
 use crate::Result;
 use mbxq_bat::{CowNullable, CowVec, PageMap};
@@ -90,6 +90,9 @@ pub struct PagedDoc {
     /// element name → element node ids (document order) — the access
     /// path behind cost-based axis selection (module [`crate::names`]).
     pub(crate) name_index: NameIndex,
+    /// `(name, value)` → node ids — the access path behind cost-based
+    /// value-predicate lowering (module [`crate::values`]).
+    pub(crate) content_index: ContentIndex,
     pub(crate) pool: ValuePool,
     pub(crate) used_count: u64,
 }
@@ -273,6 +276,7 @@ impl PagedDoc {
             doc.push_attr(node, qn, prop);
         }
         doc.name_index = NameIndex::from_base(name_index_base(&staged));
+        doc.content_index = ContentIndex::build_from_view(&doc);
         // Fold the shredder's interning burst into the shared bases, so
         // subsequent clones (reader snapshots, commit versions) carry
         // empty deltas.
@@ -301,6 +305,7 @@ impl PagedDoc {
             attr_prop: CowVec::new(SIDE_PAGE),
             attr_index: AttrIndex::default(),
             name_index: NameIndex::default(),
+            content_index: ContentIndex::default(),
             pool: ValuePool::new(),
             used_count: 0,
         })
@@ -571,10 +576,24 @@ impl PagedDoc {
         self.name_index = idx;
     }
 
+    /// Folds the content index's deltas into fresh shared bases (same
+    /// maintenance discipline as [`PagedDoc::compact_name_index`]).
+    pub fn compact_content_index(&mut self) {
+        let mut idx = std::mem::take(&mut self.content_index);
+        idx.compact(|node| self.node_pre_opt(node));
+        self.content_index = idx;
+    }
+
     /// Name-index entries added/tombstoned since the last compaction
     /// (diagnostic, mirrors [`ValuePool::delta_len`]).
     pub fn name_index_delta_len(&self) -> usize {
         self.name_index.delta_len()
+    }
+
+    /// Content-index entries added/tombstoned since the last compaction
+    /// (diagnostic, mirrors [`PagedDoc::name_index_delta_len`]).
+    pub fn content_index_delta_len(&self) -> usize {
+        self.content_index.delta_len()
     }
 
     /// `node id → current pre`, `None` for dead ids.
@@ -686,6 +705,7 @@ impl PagedDoc {
             attr_prop: self.attr_prop.deep_clone(),
             attr_index: self.attr_index.deep_clone(),
             name_index: self.name_index.deep_clone(),
+            content_index: self.content_index.deep_clone(),
             pool: self.pool.deep_clone(),
             used_count: self.used_count,
         }
@@ -792,6 +812,54 @@ impl TreeView for PagedDoc {
 
     fn elements_named_count(&self, qn: QnId) -> Option<u64> {
         Some(self.name_index.count(qn))
+    }
+
+    fn has_content_index(&self) -> bool {
+        true
+    }
+
+    fn nodes_with_attr_value(&self, attr: QnId, value: &str) -> Option<Vec<u64>> {
+        Some(
+            self.content_index
+                .attr_eq(attr, value, |node| self.node_pre_opt(node)),
+        )
+    }
+
+    fn nodes_with_attr_value_range(&self, attr: QnId, range: &NumRange) -> Option<Vec<u64>> {
+        Some(
+            self.content_index
+                .attr_range(attr, range, |node| self.node_pre_opt(node)),
+        )
+    }
+
+    fn nodes_with_attr_value_count(&self, attr: QnId, value: &str) -> Option<u64> {
+        Some(self.content_index.attr_eq_count(attr, value))
+    }
+
+    fn nodes_with_attr_value_range_count(&self, attr: QnId, range: &NumRange) -> Option<u64> {
+        Some(self.content_index.attr_range_count(attr, range))
+    }
+
+    fn elements_with_text(&self, qn: QnId, value: &str) -> Option<TextProbe> {
+        Some(
+            self.content_index
+                .text_eq(qn, value, |node| self.node_pre_opt(node)),
+        )
+    }
+
+    fn elements_with_text_range(&self, qn: QnId, range: &NumRange) -> Option<TextProbe> {
+        Some(
+            self.content_index
+                .text_range(qn, range, |node| self.node_pre_opt(node)),
+        )
+    }
+
+    fn elements_with_text_count(&self, qn: QnId, value: &str) -> Option<u64> {
+        Some(self.content_index.text_eq_count(qn, value))
+    }
+
+    fn elements_with_text_range_count(&self, qn: QnId, range: &NumRange) -> Option<u64> {
+        Some(self.content_index.text_range_count(qn, range))
     }
 }
 

@@ -7,7 +7,7 @@
 //! MonetDB/XQuery, … a read-only solution" (§2.2).
 
 use crate::types::{Kind, NodeId, StorageError, ValueRef};
-use crate::values::{PropId, QnId, ValuePool};
+use crate::values::{ContentIndex, NumRange, PropId, QnId, TextProbe, ValuePool};
 use crate::view::TreeView;
 use crate::Result;
 use mbxq_bat::VoidBat;
@@ -41,6 +41,9 @@ pub struct ReadOnlyDoc {
     /// The schema is immutable, so pre ranks are stable and the index
     /// never needs maintenance — it is built once by the shredder.
     name_index: std::collections::HashMap<QnId, Vec<u64>>,
+    /// Content index (attribute values + element text; see
+    /// `crate::values`), built once at shred time like the name index.
+    content_index: ContentIndex,
     /// Interned side tables.
     pool: ValuePool,
 }
@@ -100,6 +103,7 @@ impl ReadOnlyDoc {
                 }
             }
         }
+        doc.content_index = ContentIndex::build_from_view(&doc);
         Ok(doc)
     }
 
@@ -108,6 +112,7 @@ impl ReadOnlyDoc {
     pub fn from_tree(root: &Node) -> Result<Self> {
         let mut doc = ReadOnlyDoc::default();
         doc.shred_node(root, 0)?;
+        doc.content_index = ContentIndex::build_from_view(&doc);
         Ok(doc)
     }
 
@@ -262,6 +267,44 @@ impl TreeView for ReadOnlyDoc {
 
     fn elements_named_count(&self, qn: QnId) -> Option<u64> {
         Some(self.name_index.get(&qn).map_or(0, Vec::len) as u64)
+    }
+
+    // Content probes: node ids equal pre ranks in this schema, so the
+    // translation closure is the identity.
+    fn has_content_index(&self) -> bool {
+        true
+    }
+
+    fn nodes_with_attr_value(&self, attr: QnId, value: &str) -> Option<Vec<u64>> {
+        Some(self.content_index.attr_eq(attr, value, Some))
+    }
+
+    fn nodes_with_attr_value_range(&self, attr: QnId, range: &NumRange) -> Option<Vec<u64>> {
+        Some(self.content_index.attr_range(attr, range, Some))
+    }
+
+    fn nodes_with_attr_value_count(&self, attr: QnId, value: &str) -> Option<u64> {
+        Some(self.content_index.attr_eq_count(attr, value))
+    }
+
+    fn nodes_with_attr_value_range_count(&self, attr: QnId, range: &NumRange) -> Option<u64> {
+        Some(self.content_index.attr_range_count(attr, range))
+    }
+
+    fn elements_with_text(&self, qn: QnId, value: &str) -> Option<TextProbe> {
+        Some(self.content_index.text_eq(qn, value, Some))
+    }
+
+    fn elements_with_text_range(&self, qn: QnId, range: &NumRange) -> Option<TextProbe> {
+        Some(self.content_index.text_range(qn, range, Some))
+    }
+
+    fn elements_with_text_count(&self, qn: QnId, value: &str) -> Option<u64> {
+        Some(self.content_index.text_eq_count(qn, value))
+    }
+
+    fn elements_with_text_range_count(&self, qn: QnId, range: &NumRange) -> Option<u64> {
+        Some(self.content_index.text_range_count(qn, range))
     }
 
     // Dense encoding: every slot used, so the generic helpers collapse.

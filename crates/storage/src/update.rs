@@ -24,6 +24,12 @@ use crate::view::TreeView;
 use crate::Result;
 use mbxq_xml::{Node, QName};
 
+/// An element's content-index state: its name and `Some(text)` for
+/// simple content (the concatenated direct text children — its XPath
+/// string value) or `None` for complex content (element children).
+/// `None` at the outer level marks a slot that is not a used element.
+type ContentState = Option<(QnId, Option<String>)>;
+
 /// Where to place an inserted subtree, mirroring XUpdate's structural
 /// commands (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +112,13 @@ impl PagedDoc {
     ) -> Result<InsertReport> {
         // Resolve target and placement in the current view.
         let (insert_pre, parent_pre, base_level) = self.resolve_insert(position)?;
+        // The insert adds children to the parent, which may flip its
+        // content-index state (simple key growing, simple → complex):
+        // capture the before-state while the tree is still untouched.
+        let parent_content_before = match parent_pre {
+            Some(p) => self.content_state(p),
+            None => None,
+        };
 
         // Stage the new tuples and their attribute rows; attribute rows
         // are keyed by node id, so they can be added independently of
@@ -127,15 +140,19 @@ impl PagedDoc {
             }
         }
         for (node, qn, prop) in attrs {
+            let value = self.pool.prop(prop).unwrap_or_default().to_string();
+            self.content_index.add_attr(qn, &value, node);
             self.push_attr(node, qn, prop);
         }
         // Register the new elements in the name index (staged is in
-        // document order, so per-name delta order stays document order).
+        // document order, so per-name delta order stays document order)
+        // and classify them for the content index.
         for t in &staged {
             if t.kind == Kind::Element {
                 self.name_index.add(QnId(t.name), t.node);
             }
         }
+        self.register_staged_content(&staged);
 
         // Remember the parent by immutable node id: its pre may shift.
         let parent_node = match parent_pre {
@@ -158,6 +175,10 @@ impl PagedDoc {
                 ancestors += 1;
                 p = self.parent_of(pre);
             }
+            // Re-key the parent in the content index if its state
+            // changed (its key grew, or it went simple → complex).
+            let parent_content_after = self.content_state(self.node_to_pre(pnode)?);
+            self.apply_content_diff(pnode.0, parent_content_before, parent_content_after);
         }
 
         Ok(InsertReport {
@@ -182,6 +203,9 @@ impl PagedDoc {
             message: format!("non-root node at pre {pre} has no parent"),
         })?;
         let parent_node = self.pre_to_node(parent)?;
+        // A delete may flip the parent's content state (losing its last
+        // element child makes it simple): capture the before-state.
+        let parent_content_before = self.content_state(parent);
 
         // Collect the used tuples of the region (self + descendants).
         let end = self.region_end(pre);
@@ -202,9 +226,15 @@ impl PagedDoc {
             let node = self.node[pos];
             if self.kind[pos] == Kind::Element {
                 self.name_index.remove(QnId(self.name[pos]), node);
+                self.content_index
+                    .remove_element(QnId(self.name[pos]), node);
             }
             if let Some(rows) = self.attr_index.remove(node) {
                 attrs_removed += rows.len() as u64;
+                for &r in &rows {
+                    self.content_index
+                        .remove_attr(self.attr_qn[r as usize], node);
+                }
                 // Rows stay in the attr columns as dead space; the index
                 // is authoritative. (MonetDB similarly leaves deletions
                 // to be vacuumed.)
@@ -227,6 +257,11 @@ impl PagedDoc {
             ancestors += 1;
             p = self.parent_of(a);
         }
+        // Re-key the parent if its content state changed (complex →
+        // simple when the last element child went away, or a shrunken
+        // simple key).
+        let parent_content_after = self.content_state(self.node_to_pre(parent_node)?);
+        self.apply_content_diff(parent_node.0, parent_content_before, parent_content_after);
 
         Ok(DeleteReport {
             deleted: m,
@@ -247,6 +282,17 @@ impl PagedDoc {
         let pos = self
             .pos_of_pre(pre)
             .ok_or(StorageError::BadNode { node: target })?;
+        // A text edit changes the direct parent's string value; capture
+        // its content state before the write (comment/PI edits never
+        // contribute to string values, so only text needs this).
+        let parent_content = if self.kind[pos] == Kind::Text {
+            match self.parent_of(pre) {
+                Some(pp) => Some((self.pre_to_node(pp)?, pp, self.content_state(pp))),
+                None => None,
+            }
+        } else {
+            None
+        };
         let v = match self.kind[pos] {
             Kind::Text => self.pool.intern_text(new_value),
             Kind::Comment => self.pool.intern_comment(new_value),
@@ -267,6 +313,11 @@ impl PagedDoc {
             }
         };
         self.value[pos] = v;
+        if let Some((pnode, pp, before)) = parent_content {
+            // A value update never shifts pres, so `pp` is still valid.
+            let after = self.content_state(pp);
+            self.apply_content_diff(pnode.0, before, after);
+        }
         Ok(())
     }
 
@@ -287,6 +338,11 @@ impl PagedDoc {
             let node = self.node[pos];
             self.name_index.remove(old, node);
             self.name_index.add(qn, node);
+            // The content key is name-independent; move it between
+            // name buckets unchanged.
+            let key = self.content_state(pre).and_then(|(_, k)| k);
+            self.content_index
+                .rename_element(old, qn, key.as_deref(), node);
         }
         self.name[pos] = qn.0;
         Ok(())
@@ -310,10 +366,13 @@ impl PagedDoc {
             for &r in rows {
                 if self.attr_qn[r as usize] == qn {
                     self.attr_prop[r as usize] = prop;
+                    self.content_index.remove_attr(qn, node);
+                    self.content_index.add_attr(qn, value, node);
                     return Ok(());
                 }
             }
         }
+        self.content_index.add_attr(qn, value, node);
         self.push_attr(node, qn, prop);
         Ok(())
     }
@@ -338,6 +397,7 @@ impl PagedDoc {
                 .rows_mut(node)
                 .expect("entry exists, just probed")
                 .remove(i);
+            self.content_index.remove_attr(qn, node);
             return Ok(true);
         }
         Ok(false)
@@ -346,6 +406,98 @@ impl PagedDoc {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// The content-index state of the element at `pre`: `(name,
+    /// Some(string value))` for simple content, `(name, None)` for
+    /// complex. `None` for non-elements. Stops at the first element
+    /// child, so simple elements cost O(direct children) and complex
+    /// ones exit early.
+    pub(crate) fn content_state(&self, pre: u64) -> ContentState {
+        let pos = self.pos_of_pre(pre)?;
+        if !self.used[pos] || self.kind[pos] != Kind::Element {
+            return None;
+        }
+        let qn = QnId(self.name[pos]);
+        let end = self.region_end(pre);
+        let mut text = String::new();
+        let mut p = pre + 1;
+        while let Some(q) = self.next_used_at_or_after(p) {
+            if q >= end {
+                break;
+            }
+            let qpos = self.pos_of_pre(q).expect("used slot resolves");
+            match self.kind[qpos] {
+                Kind::Element => return Some((qn, None)),
+                Kind::Text => text.push_str(self.pool.text(self.value[qpos]).unwrap_or("")),
+                _ => {} // comments/PIs contribute no string value
+            }
+            p = q + 1;
+        }
+        Some((qn, Some(text)))
+    }
+
+    /// Moves `node` between content-index states (remove-then-add; a
+    /// no-op when nothing changed).
+    pub(crate) fn apply_content_diff(&mut self, node: u64, old: ContentState, new: ContentState) {
+        if old == new {
+            return;
+        }
+        if let Some((qn, key)) = old {
+            self.content_index
+                .remove_element_keyed(qn, key.as_deref(), node);
+        }
+        if let Some((qn, key)) = new {
+            self.content_index.add_element(qn, key.as_deref(), node);
+        }
+    }
+
+    /// Classifies a freshly staged (document-ordered) subtree and
+    /// registers every element in the content index — the insert-path
+    /// twin of `ContentIndex::build_from_view`, working off the staged
+    /// tuples so it never re-reads the tree.
+    fn register_staged_content(&mut self, staged: &[Tuple]) {
+        struct Frame {
+            level: u16,
+            node: u64,
+            qn: u32,
+            has_elem_child: bool,
+            text: String,
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+        for t in staged {
+            while stack.last().is_some_and(|f| f.level >= t.level) {
+                let f = stack.pop().expect("just checked");
+                let key = if f.has_elem_child { None } else { Some(f.text) };
+                self.content_index
+                    .add_element(QnId(f.qn), key.as_deref(), f.node);
+            }
+            match t.kind {
+                Kind::Element => {
+                    if let Some(parent) = stack.last_mut() {
+                        parent.has_elem_child = true;
+                    }
+                    stack.push(Frame {
+                        level: t.level,
+                        node: t.node,
+                        qn: t.name,
+                        has_elem_child: false,
+                        text: String::new(),
+                    });
+                }
+                Kind::Text => {
+                    if let Some(parent) = stack.last_mut() {
+                        parent.text.push_str(self.pool.text(t.value).unwrap_or(""));
+                    }
+                }
+                _ => {}
+            }
+        }
+        while let Some(f) = stack.pop() {
+            let key = if f.has_elem_child { None } else { Some(f.text) };
+            self.content_index
+                .add_element(QnId(f.qn), key.as_deref(), f.node);
+        }
+    }
 
     /// Applies a size delta to the used tuple at `pre`.
     pub(crate) fn add_size_delta(&mut self, pre: u64, delta: i64) -> Result<()> {
@@ -777,6 +929,104 @@ mod tests {
         d.rename(b, &QName::local("renamed")).unwrap();
         let qid = d.name_id(2).unwrap();
         assert_eq!(d.pool().qname(qid).unwrap().local, "renamed");
+    }
+
+    /// Every mutation path must keep the content index consistent
+    /// (index ≡ scan is part of `check_paged`), and the probes must
+    /// track the live values.
+    #[test]
+    fn content_index_follows_every_mutation_path() {
+        use crate::values::NumRange;
+        let cfg = PageConfig::new(8, 75).unwrap();
+        let mut d = PagedDoc::parse_str(
+            r#"<site><item id="i0"><price>10</price></item><item id="i1"><price>50</price></item></site>"#,
+            cfg,
+        )
+        .unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        let price_qn = d.pool().lookup_qname(&QName::local("price")).unwrap();
+        let id_qn = d.pool().lookup_qname(&QName::local("id")).unwrap();
+        assert_eq!(d.nodes_with_attr_value(id_qn, "i0").unwrap().len(), 1);
+        assert_eq!(d.elements_with_text(price_qn, "50").unwrap().exact.len(), 1);
+        assert_eq!(
+            d.elements_with_text_range(price_qn, &NumRange::at_least(20.0, true))
+                .unwrap()
+                .exact
+                .len(),
+            1
+        );
+
+        // Text edit re-keys the parent.
+        let price_text = {
+            let price_pre = d.elements_with_text(price_qn, "10").unwrap().exact[0];
+            d.pre_to_node(price_pre + 1).unwrap()
+        };
+        d.update_value(price_text, "49").unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        assert!(d
+            .elements_with_text(price_qn, "10")
+            .unwrap()
+            .exact
+            .is_empty());
+        assert_eq!(
+            d.elements_with_text_range(price_qn, &NumRange::at_least(20.0, true))
+                .unwrap()
+                .exact
+                .len(),
+            2
+        );
+
+        // Attribute set/replace/remove.
+        let i0 = d
+            .pre_to_node(d.nodes_with_attr_value(id_qn, "i0").unwrap()[0])
+            .unwrap();
+        d.set_attribute(i0, &QName::local("id"), "i9").unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        assert!(d.nodes_with_attr_value(id_qn, "i0").unwrap().is_empty());
+        assert_eq!(d.nodes_with_attr_value(id_qn, "i9").unwrap().len(), 1);
+        d.remove_attribute(i0, &QName::local("id")).unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        assert!(d.nodes_with_attr_value(id_qn, "i9").unwrap().is_empty());
+
+        // Insert flips a simple parent to complex; delete flips it back.
+        let price_pre = d.elements_with_text(price_qn, "49").unwrap().exact[0];
+        let price_node = d.pre_to_node(price_pre).unwrap();
+        let sub = Document::parse_fragment("<note/>").unwrap();
+        d.insert(InsertPosition::LastChildOf(price_node), &sub)
+            .unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        let probe = d.elements_with_text(price_qn, "49").unwrap();
+        assert!(probe.exact.is_empty(), "price went complex");
+        assert_eq!(probe.unindexed.len(), 1);
+        let note = node_of(&d, "note");
+        d.delete(note).unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        assert_eq!(d.elements_with_text(price_qn, "49").unwrap().exact.len(), 1);
+
+        // Rename moves between name buckets.
+        d.rename(price_node, &QName::local("cost")).unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        let cost_qn = d.pool().lookup_qname(&QName::local("cost")).unwrap();
+        assert!(d
+            .elements_with_text(price_qn, "49")
+            .unwrap()
+            .exact
+            .is_empty());
+        assert_eq!(d.elements_with_text(cost_qn, "49").unwrap().exact.len(), 1);
+
+        // Vacuum and checkpoint round-trips rebuild the index.
+        d.vacuum().unwrap();
+        crate::invariants::check_paged(&d).unwrap();
+        assert_eq!(d.content_index_delta_len(), 0);
+        assert_eq!(d.elements_with_text(cost_qn, "49").unwrap().exact.len(), 1);
+        let dump = d.checkpoint_dump();
+        let back = PagedDoc::from_checkpoint_dump(&dump, cfg, d.node_alloc_end()).unwrap();
+        crate::invariants::check_paged(&back).unwrap();
+        let cost_qn2 = back.pool().lookup_qname(&QName::local("cost")).unwrap();
+        assert_eq!(
+            back.elements_with_text(cost_qn2, "49").unwrap().exact.len(),
+            1
+        );
     }
 
     #[test]

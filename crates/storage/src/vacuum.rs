@@ -99,8 +99,11 @@ impl PagedDoc {
         let rows_before = self.attr_node.len() as u64;
         self.rebuild_attr_table();
         // The live tuples are already in document order — rebuild the
-        // element-name index from them with an empty delta.
+        // element-name index from them with an empty delta, and re-scan
+        // the fresh layout for the content index.
         self.name_index = NameIndex::from_base(name_index_base(&live));
+        let content = crate::values::ContentIndex::build_from_view(&*self);
+        self.content_index = content;
         self.pool.compact();
         let attr_rows_reclaimed = rows_before - self.attr_node.len() as u64;
 

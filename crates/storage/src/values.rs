@@ -1,10 +1,48 @@
-//! Interned side tables: `qn`, `prop`, and the node-value tables.
+//! Interned side tables (`qn`, `prop`, node values) and the **content
+//! index** — the value-based access path of the query layer.
 //!
 //! Figure 5: "`prop`, holding all unique attribute values (as strings)"
 //! and "`qn`, with one tuple for each qualified name (element or
 //! attribute)". Both are append-only interning tables keyed by a void
 //! column, so lookups from tree tuples are positional. The text, comment
 //! and instruction tables hold node values, also void-keyed.
+//!
+//! # The content index
+//!
+//! The element-name index (module `names`) lets the planner jump to
+//! `descendant::item` without scanning; the `ContentIndex` here does
+//! the same for **value predicates** — `//item[@id='item42']`,
+//! `//price[. > 50]`, `//person[name='Alice']` — so a selective
+//! comparison becomes an index probe plus a structural semijoin instead
+//! of a scalar evaluation over every context row. It maps
+//! `(QnId, value)` to node ids in document order, on two key spaces:
+//!
+//! * **attribute values** — keyed by the *attribute* name: every
+//!   element carrying `@qn = value`. Complete by construction
+//!   (attributes are atomic strings).
+//! * **element text content** — keyed by the *element* name: every
+//!   **simple-content** element (no element children) under the
+//!   concatenation of its direct text children, which for such elements
+//!   *is* the XPath string value. Elements **with** element children are
+//!   tracked per name in a separate `complex` list instead of being
+//!   keyed (their string value would change on every deep text edit,
+//!   turning an O(1) text update into an O(depth) index rewrite); a
+//!   probe returns them as an unindexed remainder for the executor to
+//!   verify by evaluation, so results stay exact while maintenance
+//!   stays local to the touched element.
+//!
+//! Each key space has an **exact-match hash arm** and a **sorted
+//! numeric arm** holding `(number, node)` pairs for every value that
+//! parses as an XPath number ([`xpath_number`]) — the access path for
+//! range predicates (`<`, `<=`, `>`, `>=`).
+//!
+//! Like the name index, entries are keyed by **immutable node ids**
+//! (pre-shift-immune; translated to pre ranks at probe time) and the
+//! structure is an [`Arc`]-shared immutable **base** plus small per-key
+//! **deltas** (`added` values, `removed` tombstones), so a commit
+//! touching one value never copies a posting list. Deltas fold into a
+//! fresh base only at the maintenance points (shredding, vacuum, and
+//! the checkpoint load/publish paths of the transaction layer).
 //!
 //! # Structural sharing
 //!
@@ -21,9 +59,10 @@
 //! on the intern path, which would otherwise spike a commit to
 //! O(document) while it holds the global commit lock.
 
+use crate::types::{Kind, ValueRef};
 use mbxq_xml::QName;
 use std::borrow::Borrow;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::Arc;
 
@@ -292,6 +331,644 @@ impl ValuePool {
     }
 }
 
+// ---------------------------------------------------------------------
+// The content index (module docs, "The content index")
+// ---------------------------------------------------------------------
+
+/// XPath 1.0 string→number coercion (`NaN` for anything the spec's
+/// `number()` grammar rejects: empty strings, exponents, `inf`/`NaN`
+/// spellings, interior minus signs). The single implementation shared
+/// by the query engine and the content index's sorted numeric arm —
+/// both **must** agree on which strings parse, or range probes would
+/// diverge from scalar scans.
+pub fn xpath_number(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty()
+        || t.chars()
+            .any(|c| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        || t.matches('-').count() > 1
+        || (t.contains('-') && !t.starts_with('-'))
+    {
+        return f64::NAN;
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// A (half-)open numeric interval — the probe argument of the sorted
+/// arm, built from a comparison operator and its literal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumRange {
+    /// Lower bound (`-∞` for none).
+    pub lo: f64,
+    /// Upper bound (`+∞` for none).
+    pub hi: f64,
+    /// Whether `lo` itself is inside.
+    pub lo_incl: bool,
+    /// Whether `hi` itself is inside.
+    pub hi_incl: bool,
+}
+
+impl NumRange {
+    /// `value = n` as a degenerate range.
+    pub fn exactly(n: f64) -> NumRange {
+        NumRange {
+            lo: n,
+            hi: n,
+            lo_incl: true,
+            hi_incl: true,
+        }
+    }
+
+    /// `value > lo` / `value >= lo`.
+    pub fn at_least(lo: f64, incl: bool) -> NumRange {
+        NumRange {
+            lo,
+            hi: f64::INFINITY,
+            lo_incl: incl,
+            hi_incl: true,
+        }
+    }
+
+    /// `value < hi` / `value <= hi`.
+    pub fn at_most(hi: f64, incl: bool) -> NumRange {
+        NumRange {
+            lo: f64::NEG_INFINITY,
+            hi,
+            lo_incl: true,
+            hi_incl: incl,
+        }
+    }
+
+    /// Whether `v` lies inside the range (`NaN` never does).
+    pub fn contains(&self, v: f64) -> bool {
+        let above = if self.lo_incl {
+            v >= self.lo
+        } else {
+            v > self.lo
+        };
+        let below = if self.hi_incl {
+            v <= self.hi
+        } else {
+            v < self.hi
+        };
+        above && below
+    }
+}
+
+/// Result of an element-text content probe: the `exact` arm is
+/// authoritative (string values match by construction); the `unindexed`
+/// arm lists the name's complex-content elements, which the caller must
+/// verify by evaluating the predicate (see the module docs). Both are
+/// pre ranks in document order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextProbe {
+    /// Elements whose string value provably satisfies the probe.
+    pub exact: Vec<u64>,
+    /// Complex-content candidates the caller must verify.
+    pub unindexed: Vec<u64>,
+}
+
+/// One key space of the content index: `(QnId, value)` → node ids, with
+/// the exact hash arm and the sorted numeric arm, base + per-key delta.
+#[derive(Debug, Clone, Default)]
+struct ValueIndex {
+    base: Arc<ValueBase>,
+    delta: HashMap<QnId, ValueDelta>,
+}
+
+#[derive(Debug, Default)]
+struct ValueBase {
+    /// qn → value → node ids (document order).
+    exact: HashMap<QnId, HashMap<String, Vec<u64>>>,
+    /// qn → `(number, node)` sorted by number (then node) — only values
+    /// that parse under [`xpath_number`].
+    numeric: HashMap<QnId, Vec<(f64, u64)>>,
+}
+
+/// Per-qn overlay. The mutation protocol is remove-then-add: every
+/// value change first records the node in `removed` (shadowing whatever
+/// the base holds for it), then appends the new `(value, node)` pair —
+/// so `added` never needs tombstone filtering.
+#[derive(Debug, Clone, Default)]
+struct ValueDelta {
+    added: Vec<(String, u64)>,
+    removed: HashSet<u64>,
+}
+
+impl ValueIndex {
+    /// Records that `node` now carries `value` under key `qn`. Callers
+    /// must have called [`ValueIndex::remove`] first if the node
+    /// already carried a value under this key.
+    fn add(&mut self, qn: QnId, value: &str, node: u64) {
+        self.delta
+            .entry(qn)
+            .or_default()
+            .added
+            .push((value.to_string(), node));
+    }
+
+    /// Removes whatever value `node` carries under key `qn` (no-op — a
+    /// harmless tombstone — if it carries none).
+    fn remove(&mut self, qn: QnId, node: u64) {
+        let d = self.delta.entry(qn).or_default();
+        if let Some(i) = d.added.iter().position(|&(_, n)| n == node) {
+            d.added.remove(i);
+        } else {
+            d.removed.insert(node);
+        }
+    }
+
+    /// Nodes carrying exactly `value` under `qn`, as `pre` ranks in
+    /// document order (`pre_of` skips dead ids defensively).
+    fn probe_exact(
+        &self,
+        qn: QnId,
+        value: &str,
+        mut pre_of: impl FnMut(u64) -> Option<u64>,
+    ) -> Vec<u64> {
+        let delta = self.delta.get(&qn);
+        let mut out: Vec<u64> = Vec::new();
+        if let Some(list) = self.base.exact.get(&qn).and_then(|m| m.get(value)) {
+            for &n in list {
+                if delta.is_some_and(|d| d.removed.contains(&n)) {
+                    continue;
+                }
+                if let Some(p) = pre_of(n) {
+                    out.push(p);
+                }
+            }
+        }
+        if let Some(d) = delta {
+            let before = out.len();
+            for (v, n) in &d.added {
+                if v == value {
+                    if let Some(p) = pre_of(*n) {
+                        out.push(p);
+                    }
+                }
+            }
+            if out.len() > before {
+                out.sort_unstable();
+            }
+        }
+        out
+    }
+
+    /// Nodes whose value parses into `range` under `qn`, as `pre` ranks
+    /// in document order.
+    fn probe_range(
+        &self,
+        qn: QnId,
+        range: &NumRange,
+        mut pre_of: impl FnMut(u64) -> Option<u64>,
+    ) -> Vec<u64> {
+        let delta = self.delta.get(&qn);
+        let mut out: Vec<u64> = Vec::new();
+        if let Some(sorted) = self.base.numeric.get(&qn) {
+            // Binary-search to the first candidate, then walk until the
+            // values leave the range (the sorted arm's whole point).
+            let start = sorted.partition_point(|&(v, _)| {
+                if range.lo_incl {
+                    v < range.lo
+                } else {
+                    v <= range.lo
+                }
+            });
+            for &(v, n) in &sorted[start..] {
+                if !range.contains(v) {
+                    break;
+                }
+                if delta.is_some_and(|d| d.removed.contains(&n)) {
+                    continue;
+                }
+                if let Some(p) = pre_of(n) {
+                    out.push(p);
+                }
+            }
+        }
+        if let Some(d) = delta {
+            for (v, n) in &d.added {
+                if range.contains(xpath_number(v)) {
+                    if let Some(p) = pre_of(*n) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        // The numeric arm is value-sorted, not pre-sorted.
+        out.sort_unstable();
+        out
+    }
+
+    /// Upper-bound cardinality of [`ValueIndex::probe_exact`] — the
+    /// statistic the cost model keys on (tombstoned base entries are
+    /// not subtracted; over-estimating the probe keeps the choice
+    /// conservative).
+    fn count_exact(&self, qn: QnId, value: &str) -> u64 {
+        let base = self
+            .base
+            .exact
+            .get(&qn)
+            .and_then(|m| m.get(value))
+            .map_or(0, Vec::len) as u64;
+        let added = self
+            .delta
+            .get(&qn)
+            .map_or(0, |d| d.added.iter().filter(|(v, _)| v == value).count())
+            as u64;
+        base + added
+    }
+
+    /// Upper-bound cardinality of [`ValueIndex::probe_range`].
+    fn count_range(&self, qn: QnId, range: &NumRange) -> u64 {
+        let base = self.base.numeric.get(&qn).map_or(0, |sorted| {
+            let start = sorted.partition_point(|&(v, _)| {
+                if range.lo_incl {
+                    v < range.lo
+                } else {
+                    v <= range.lo
+                }
+            });
+            let end = sorted.partition_point(|&(v, _)| {
+                if range.hi_incl {
+                    v <= range.hi
+                } else {
+                    v < range.hi
+                }
+            });
+            end.saturating_sub(start)
+        }) as u64;
+        let added = self.delta.get(&qn).map_or(0, |d| {
+            d.added
+                .iter()
+                .filter(|(v, _)| range.contains(xpath_number(v)))
+                .count()
+        }) as u64;
+        base + added
+    }
+
+    /// Folds the deltas into a fresh shared base (per-key lists stay
+    /// document-ordered via `pre_of`). Maintenance points only.
+    fn compact(&mut self, mut pre_of: impl FnMut(u64) -> Option<u64>) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let mut exact = self.base.exact.clone();
+        let mut numeric = self.base.numeric.clone();
+        for (qn, d) in self.delta.drain() {
+            let bucket = exact.entry(qn).or_default();
+            if !d.removed.is_empty() {
+                bucket.retain(|_, list| {
+                    list.retain(|n| !d.removed.contains(n));
+                    !list.is_empty()
+                });
+            }
+            for (v, n) in d.added {
+                bucket.entry(v).or_default().push(n);
+            }
+            // Restore per-list document order (adds appended out of
+            // order), then rebuild the qn's sorted numeric arm.
+            let mut nums: Vec<(f64, u64)> = Vec::new();
+            for (v, list) in bucket.iter_mut() {
+                list.sort_unstable_by_key(|&n| pre_of(n).unwrap_or(u64::MAX));
+                let num = xpath_number(v);
+                if !num.is_nan() {
+                    nums.extend(list.iter().map(|&n| (num, n)));
+                }
+            }
+            if bucket.is_empty() {
+                exact.remove(&qn);
+            }
+            nums.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs stored"));
+            if nums.is_empty() {
+                numeric.remove(&qn);
+            } else {
+                numeric.insert(qn, nums);
+            }
+        }
+        self.base = Arc::new(ValueBase { exact, numeric });
+    }
+
+    /// Entries added/tombstoned since the last compaction (diagnostic).
+    fn delta_len(&self) -> usize {
+        self.delta
+            .values()
+            .map(|d| d.added.len() + d.removed.len())
+            .sum()
+    }
+
+    /// A clone sharing no storage (the clone-the-world baseline).
+    fn deep_clone(&self) -> ValueIndex {
+        ValueIndex {
+            base: Arc::new(ValueBase {
+                exact: self.base.exact.clone(),
+                numeric: self.base.numeric.clone(),
+            }),
+            delta: self.delta.clone(),
+        }
+    }
+}
+
+/// The content index: attribute values + element text content, each
+/// with an exact and a sorted numeric arm, plus the per-name list of
+/// complex-content elements (module docs).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ContentIndex {
+    /// Attribute-name-keyed: elements carrying `@qn = value`.
+    attrs: ValueIndex,
+    /// Element-name-keyed: simple-content elements by string value.
+    texts: ValueIndex,
+    /// Element-name-keyed: elements with element children (not in
+    /// `texts`; probes return them for caller-side verification).
+    complex: crate::names::NameIndex,
+}
+
+impl ContentIndex {
+    // -- maintenance (update paths; remove-then-add discipline) --------
+
+    /// Records `@qn = value` on element `node` (any previous value for
+    /// this attribute must have been removed first).
+    pub(crate) fn add_attr(&mut self, qn: QnId, value: &str, node: u64) {
+        self.attrs.add(qn, value, node);
+    }
+
+    /// Removes element `node`'s `@qn` entry.
+    pub(crate) fn remove_attr(&mut self, qn: QnId, node: u64) {
+        self.attrs.remove(qn, node);
+    }
+
+    /// Registers element `node` (named `qn`) with content state `key`:
+    /// `Some(text)` for simple content, `None` for complex.
+    pub(crate) fn add_element(&mut self, qn: QnId, key: Option<&str>, node: u64) {
+        match key {
+            Some(text) => self.texts.add(qn, text, node),
+            None => self.complex.add(qn, node),
+        }
+    }
+
+    /// Unregisters a **deleted** element `node` (named `qn`) whose
+    /// content state is unknown: both arms are cleared. Only valid when
+    /// the node will never be re-added (node ids are not reused) — the
+    /// spurious tombstone in the wrong arm would otherwise cancel a
+    /// later re-add. Live re-keying goes through
+    /// [`ContentIndex::remove_element_keyed`] instead.
+    pub(crate) fn remove_element(&mut self, qn: QnId, node: u64) {
+        self.texts.remove(qn, node);
+        self.complex.remove(qn, node);
+    }
+
+    /// Unregisters element `node` (named `qn`) from the arm its known
+    /// content state `key` lives in — the removal half of a re-key.
+    pub(crate) fn remove_element_keyed(&mut self, qn: QnId, key: Option<&str>, node: u64) {
+        match key {
+            Some(_) => self.texts.remove(qn, node),
+            None => self.complex.remove(qn, node),
+        }
+    }
+
+    /// Moves element `node` (content state `key`) between names —
+    /// the rename hook.
+    pub(crate) fn rename_element(
+        &mut self,
+        old_qn: QnId,
+        new_qn: QnId,
+        key: Option<&str>,
+        node: u64,
+    ) {
+        match key {
+            Some(text) => {
+                self.texts.remove(old_qn, node);
+                self.texts.add(new_qn, text, node);
+            }
+            None => {
+                self.complex.remove(old_qn, node);
+                self.complex.add(new_qn, node);
+            }
+        }
+    }
+
+    // -- probes --------------------------------------------------------
+
+    /// Elements with `@qn = value`, as pre ranks in document order.
+    pub(crate) fn attr_eq(
+        &self,
+        qn: QnId,
+        value: &str,
+        pre_of: impl FnMut(u64) -> Option<u64>,
+    ) -> Vec<u64> {
+        self.attrs.probe_exact(qn, value, pre_of)
+    }
+
+    /// Elements whose `@qn` parses into `range`.
+    pub(crate) fn attr_range(
+        &self,
+        qn: QnId,
+        range: &NumRange,
+        pre_of: impl FnMut(u64) -> Option<u64>,
+    ) -> Vec<u64> {
+        self.attrs.probe_range(qn, range, pre_of)
+    }
+
+    /// Upper-bound cardinality of [`ContentIndex::attr_eq`].
+    pub(crate) fn attr_eq_count(&self, qn: QnId, value: &str) -> u64 {
+        self.attrs.count_exact(qn, value)
+    }
+
+    /// Upper-bound cardinality of [`ContentIndex::attr_range`].
+    pub(crate) fn attr_range_count(&self, qn: QnId, range: &NumRange) -> u64 {
+        self.attrs.count_range(qn, range)
+    }
+
+    /// Elements named `qn` whose string value equals `value` (exact
+    /// arm) plus the name's unverified complex elements.
+    pub(crate) fn text_eq(
+        &self,
+        qn: QnId,
+        value: &str,
+        mut pre_of: impl FnMut(u64) -> Option<u64>,
+    ) -> TextProbe {
+        TextProbe {
+            exact: self.texts.probe_exact(qn, value, &mut pre_of),
+            unindexed: self.complex_pres(qn, pre_of),
+        }
+    }
+
+    /// Elements named `qn` whose string value parses into `range`
+    /// (exact arm) plus the name's unverified complex elements.
+    pub(crate) fn text_range(
+        &self,
+        qn: QnId,
+        range: &NumRange,
+        mut pre_of: impl FnMut(u64) -> Option<u64>,
+    ) -> TextProbe {
+        TextProbe {
+            exact: self.texts.probe_range(qn, range, &mut pre_of),
+            unindexed: self.complex_pres(qn, pre_of),
+        }
+    }
+
+    /// Upper-bound cardinality of [`ContentIndex::text_eq`] (complex
+    /// candidates included — they cost a verification each).
+    pub(crate) fn text_eq_count(&self, qn: QnId, value: &str) -> u64 {
+        self.texts.count_exact(qn, value) + self.complex.count_upper(qn)
+    }
+
+    /// Upper-bound cardinality of [`ContentIndex::text_range`].
+    pub(crate) fn text_range_count(&self, qn: QnId, range: &NumRange) -> u64 {
+        self.texts.count_range(qn, range) + self.complex.count_upper(qn)
+    }
+
+    fn complex_pres(&self, qn: QnId, pre_of: impl FnMut(u64) -> Option<u64>) -> Vec<u64> {
+        self.complex
+            .nodes_by_pre(qn, pre_of)
+            .into_iter()
+            .map(|(pre, _)| pre)
+            .collect()
+    }
+
+    // -- maintenance points --------------------------------------------
+
+    /// Folds all deltas into fresh shared bases. Maintenance points
+    /// only (clones the whole base).
+    pub(crate) fn compact(&mut self, mut pre_of: impl FnMut(u64) -> Option<u64>) {
+        self.attrs.compact(&mut pre_of);
+        self.texts.compact(&mut pre_of);
+        self.complex.compact(pre_of);
+    }
+
+    /// Entries added/tombstoned since the last compaction (diagnostic).
+    pub(crate) fn delta_len(&self) -> usize {
+        self.attrs.delta_len() + self.texts.delta_len() + self.complex.delta_len()
+    }
+
+    /// A clone sharing no storage (the clone-the-world baseline).
+    pub(crate) fn deep_clone(&self) -> ContentIndex {
+        ContentIndex {
+            attrs: self.attrs.deep_clone(),
+            texts: self.texts.deep_clone(),
+            complex: self.complex.deep_clone(),
+        }
+    }
+
+    /// Builds a compacted index by scanning a whole document view — the
+    /// shredding / vacuum / checkpoint-load constructor. One pass over
+    /// the used slots classifies every element (simple key vs complex)
+    /// and collects attribute rows; node ids come from the view, so the
+    /// index survives later pre shifts.
+    pub(crate) fn build_from_view<V: crate::view::TreeView + ?Sized>(view: &V) -> ContentIndex {
+        struct Frame {
+            level: u16,
+            node: u64,
+            qn: QnId,
+            has_elem_child: bool,
+            text: String,
+        }
+        // (pre, node, qn, key) — collected, then inserted in pre order
+        // so the base posting lists come out document-ordered.
+        let mut elems: Vec<(u64, u64, QnId, Option<String>)> = Vec::new();
+        let mut attr_base: HashMap<QnId, HashMap<String, Vec<u64>>> = HashMap::new();
+        let mut stack: Vec<Frame> = Vec::new();
+        let finalize = |f: Frame, pre: u64, out: &mut Vec<(u64, u64, QnId, Option<String>)>| {
+            let key = if f.has_elem_child { None } else { Some(f.text) };
+            out.push((pre, f.node, f.qn, key));
+        };
+        let mut pre_of: HashMap<u64, u64> = HashMap::new();
+        let mut p = 0u64;
+        while let Some(q) = view.next_used_at_or_after(p) {
+            let level = view.level(q).expect("used slot has a level");
+            while stack.last().is_some_and(|f| f.level >= level) {
+                let f = stack.pop().expect("just checked");
+                let fp = pre_of[&f.node];
+                finalize(f, fp, &mut elems);
+            }
+            match view.kind(q) {
+                Some(Kind::Element) => {
+                    let node = view.node_id(q).expect("used slot has a node id").0;
+                    let qn = view.name_id(q).expect("element has a name");
+                    if let Some(parent) = stack.last_mut() {
+                        parent.has_elem_child = true;
+                    }
+                    for (aqn, prop) in view.attributes(q) {
+                        let value = view.pool().prop(prop).unwrap_or_default().to_string();
+                        attr_base
+                            .entry(aqn)
+                            .or_default()
+                            .entry(value)
+                            .or_default()
+                            .push(node);
+                    }
+                    pre_of.insert(node, q);
+                    stack.push(Frame {
+                        level,
+                        node,
+                        qn,
+                        has_elem_child: false,
+                        text: String::new(),
+                    });
+                }
+                Some(Kind::Text) => {
+                    if let Some(parent) = stack.last_mut() {
+                        if let Some(ValueRef(v)) = view.value_ref(q) {
+                            parent.text.push_str(view.pool().text(v).unwrap_or(""));
+                        }
+                    }
+                }
+                _ => {} // comments/PIs contribute no string value
+            }
+            p = q + 1;
+        }
+        while let Some(f) = stack.pop() {
+            let fp = pre_of[&f.node];
+            finalize(f, fp, &mut elems);
+        }
+        elems.sort_unstable_by_key(|&(pre, ..)| pre);
+
+        let mut text_base: HashMap<QnId, HashMap<String, Vec<u64>>> = HashMap::new();
+        let mut complex_base: HashMap<QnId, Vec<u64>> = HashMap::new();
+        for (_, node, qn, key) in elems {
+            match key {
+                Some(text) => text_base
+                    .entry(qn)
+                    .or_default()
+                    .entry(text)
+                    .or_default()
+                    .push(node),
+                None => complex_base.entry(qn).or_default().push(node),
+            }
+        }
+        ContentIndex {
+            attrs: ValueIndex::from_exact(attr_base),
+            texts: ValueIndex::from_exact(text_base),
+            complex: crate::names::NameIndex::from_base(complex_base),
+        }
+    }
+}
+
+impl ValueIndex {
+    /// Builds the base (numeric arm derived) from document-ordered
+    /// exact lists; empty delta.
+    fn from_exact(exact: HashMap<QnId, HashMap<String, Vec<u64>>>) -> ValueIndex {
+        let mut numeric: HashMap<QnId, Vec<(f64, u64)>> = HashMap::new();
+        for (&qn, bucket) in &exact {
+            let mut nums: Vec<(f64, u64)> = Vec::new();
+            for (v, list) in bucket {
+                let num = xpath_number(v);
+                if !num.is_nan() {
+                    nums.extend(list.iter().map(|&n| (num, n)));
+                }
+            }
+            if !nums.is_empty() {
+                nums.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs stored"));
+                numeric.insert(qn, nums);
+            }
+        }
+        ValueIndex {
+            base: Arc::new(ValueBase { exact, numeric }),
+            delta: HashMap::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +1057,116 @@ mod tests {
         assert_eq!(p.text(id), Some("after-clone"));
         assert_eq!(snapshot.text(id), None);
         assert_eq!(snapshot.lookup_prop("after-clone"), None);
+    }
+
+    // -- content index ------------------------------------------------
+
+    fn ident(n: u64) -> Option<u64> {
+        Some(n)
+    }
+
+    #[test]
+    fn xpath_number_matches_spec_grammar() {
+        assert_eq!(xpath_number(" 42 "), 42.0);
+        assert_eq!(xpath_number("-1.5"), -1.5);
+        for bad in ["", "inf", "NaN", "1e3", "1-2", "--1", "a"] {
+            assert!(xpath_number(bad).is_nan(), "{bad:?} must be NaN");
+        }
+    }
+
+    #[test]
+    fn num_range_bounds() {
+        assert!(NumRange::exactly(5.0).contains(5.0));
+        assert!(!NumRange::exactly(5.0).contains(5.1));
+        assert!(NumRange::at_least(3.0, false).contains(3.5));
+        assert!(!NumRange::at_least(3.0, false).contains(3.0));
+        assert!(NumRange::at_least(3.0, true).contains(3.0));
+        assert!(NumRange::at_most(3.0, true).contains(3.0));
+        assert!(!NumRange::at_most(3.0, false).contains(3.0));
+        assert!(!NumRange::exactly(5.0).contains(f64::NAN));
+    }
+
+    #[test]
+    fn value_index_base_delta_and_ranges() {
+        let mut exact: HashMap<QnId, HashMap<String, Vec<u64>>> = HashMap::new();
+        exact
+            .entry(QnId(1))
+            .or_default()
+            .insert("10".into(), vec![2, 8]);
+        exact
+            .entry(QnId(1))
+            .or_default()
+            .insert("50".into(), vec![5]);
+        let mut idx = ValueIndex::from_exact(exact);
+        assert_eq!(idx.probe_exact(QnId(1), "10", ident), vec![2, 8]);
+        assert_eq!(
+            idx.probe_range(QnId(1), &NumRange::at_least(10.0, true), ident),
+            vec![2, 5, 8]
+        );
+        assert_eq!(
+            idx.probe_range(QnId(1), &NumRange::at_least(10.0, false), ident),
+            vec![5]
+        );
+        // Value change on node 8: remove, add under a new value.
+        idx.remove(QnId(1), 8);
+        idx.add(QnId(1), "49", 8);
+        assert_eq!(idx.probe_exact(QnId(1), "10", ident), vec![2]);
+        assert_eq!(idx.probe_exact(QnId(1), "49", ident), vec![8]);
+        assert_eq!(
+            idx.probe_range(QnId(1), &NumRange::at_least(11.0, true), ident),
+            vec![5, 8]
+        );
+        // Counts are upper bounds.
+        assert!(idx.count_exact(QnId(1), "10") >= 1);
+        assert!(idx.count_range(QnId(1), &NumRange::at_least(11.0, true)) >= 2);
+        // Compaction preserves contents and clears the delta.
+        assert!(idx.delta_len() > 0);
+        idx.compact(ident);
+        assert_eq!(idx.delta_len(), 0);
+        assert_eq!(idx.probe_exact(QnId(1), "49", ident), vec![8]);
+        assert_eq!(
+            idx.probe_range(QnId(1), &NumRange::at_least(11.0, true), ident),
+            vec![5, 8]
+        );
+        assert_eq!(idx.count_exact(QnId(1), "10"), 1);
+    }
+
+    #[test]
+    fn content_index_rekey_and_rename() {
+        let mut idx = ContentIndex::default();
+        idx.add_element(QnId(0), Some("Alice"), 4);
+        idx.add_element(QnId(0), None, 9);
+        assert_eq!(idx.text_eq(QnId(0), "Alice", ident).exact, vec![4]);
+        assert_eq!(idx.text_eq(QnId(0), "Alice", ident).unindexed, vec![9]);
+        // Complex → simple (a delete removed the element child):
+        // remove-then-add, the diff protocol of the update paths.
+        idx.remove_element(QnId(0), 9);
+        idx.add_element(QnId(0), Some("Bob"), 9);
+        let probe = idx.text_eq(QnId(0), "Bob", ident);
+        assert_eq!(probe.exact, vec![9]);
+        assert!(probe.unindexed.is_empty());
+        // Rename moves between name buckets, key preserved.
+        idx.rename_element(QnId(0), QnId(7), Some("Bob"), 9);
+        assert!(idx.text_eq(QnId(0), "Bob", ident).exact.is_empty());
+        assert_eq!(idx.text_eq(QnId(7), "Bob", ident).exact, vec![9]);
+        assert!(idx.text_eq_count(QnId(7), "Bob") >= 1);
+    }
+
+    #[test]
+    fn content_index_clone_shares_base() {
+        let mut exact: HashMap<QnId, HashMap<String, Vec<u64>>> = HashMap::new();
+        exact
+            .entry(QnId(0))
+            .or_default()
+            .insert("v".into(), (0..50).collect());
+        let idx = ContentIndex {
+            attrs: ValueIndex::from_exact(exact),
+            texts: ValueIndex::default(),
+            complex: crate::names::NameIndex::default(),
+        };
+        let snap = idx.clone();
+        assert!(Arc::ptr_eq(&idx.attrs.base, &snap.attrs.base));
+        let deep = idx.deep_clone();
+        assert!(!Arc::ptr_eq(&idx.attrs.base, &deep.attrs.base));
     }
 }

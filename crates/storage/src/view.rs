@@ -18,7 +18,7 @@
 //! join "to skip over unused tuples quickly" (§3).
 
 use crate::types::{Kind, NodeId, ValueRef};
-use crate::values::{PropId, QnId, ValuePool};
+use crate::values::{NumRange, PropId, QnId, TextProbe, ValuePool};
 
 /// Read access to a document in pre/size/level form.
 pub trait TreeView {
@@ -74,6 +74,72 @@ pub trait TreeView {
     /// model keys on); `None` without an index.
     fn elements_named_count(&self, qn: QnId) -> Option<u64> {
         let _ = qn;
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Content-index probes (see `crate::values`, "The content index").
+    // `None` = the schema maintains no content index (callers fall back
+    // to a scalar scan); the defaults are index-less.
+    // ------------------------------------------------------------------
+
+    /// Whether this view maintains a content index at all (gates the
+    /// probes below without needing an interned name to ask with).
+    fn has_content_index(&self) -> bool {
+        false
+    }
+
+    /// Elements carrying `@attr = value`, as ascending pre ranks.
+    fn nodes_with_attr_value(&self, attr: QnId, value: &str) -> Option<Vec<u64>> {
+        let _ = (attr, value);
+        None
+    }
+
+    /// Elements whose `@attr` parses into `range`, as ascending pre
+    /// ranks.
+    fn nodes_with_attr_value_range(&self, attr: QnId, range: &NumRange) -> Option<Vec<u64>> {
+        let _ = (attr, range);
+        None
+    }
+
+    /// Upper-bound cardinality of [`TreeView::nodes_with_attr_value`]
+    /// (the cost-model statistic).
+    fn nodes_with_attr_value_count(&self, attr: QnId, value: &str) -> Option<u64> {
+        let _ = (attr, value);
+        None
+    }
+
+    /// Upper-bound cardinality of
+    /// [`TreeView::nodes_with_attr_value_range`].
+    fn nodes_with_attr_value_range_count(&self, attr: QnId, range: &NumRange) -> Option<u64> {
+        let _ = (attr, range);
+        None
+    }
+
+    /// Elements named `qn` whose string value equals `value`: an exact
+    /// arm plus the unverified complex-content remainder.
+    fn elements_with_text(&self, qn: QnId, value: &str) -> Option<TextProbe> {
+        let _ = (qn, value);
+        None
+    }
+
+    /// Elements named `qn` whose string value parses into `range`.
+    fn elements_with_text_range(&self, qn: QnId, range: &NumRange) -> Option<TextProbe> {
+        let _ = (qn, range);
+        None
+    }
+
+    /// Upper-bound cardinality of [`TreeView::elements_with_text`]
+    /// (complex candidates included — each costs a verification).
+    fn elements_with_text_count(&self, qn: QnId, value: &str) -> Option<u64> {
+        let _ = (qn, value);
+        None
+    }
+
+    /// Upper-bound cardinality of
+    /// [`TreeView::elements_with_text_range`].
+    fn elements_with_text_range_count(&self, qn: QnId, range: &NumRange) -> Option<u64> {
+        let _ = (qn, range);
         None
     }
 

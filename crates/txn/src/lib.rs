@@ -298,11 +298,21 @@ pub struct Store {
     /// locks: a held lock blocks vacuum, so an unchanged epoch at that
     /// point proves the lock's page numbering is current.
     layout_epoch: AtomicU64,
-    /// Compiled-plan cache for [`Store::query`], keyed by query text.
-    plans: Mutex<HashMap<String, CachedPlan>>,
+    /// Compiled-plan cache for [`Store::query`], keyed by query text,
+    /// with LRU eviction of single entries at the cap.
+    plans: Mutex<PlanCache>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
     config: StoreConfig,
+}
+
+/// The [`Store::query`] plan cache: map + logical clock for LRU.
+#[derive(Default)]
+struct PlanCache {
+    map: HashMap<String, CachedPlan>,
+    /// Monotonic use counter; every hit/insert stamps its entry.
+    tick: u64,
 }
 
 /// One [`Store::query`] cache entry: the compiled plan plus the layout
@@ -312,6 +322,8 @@ pub struct Store {
 struct CachedPlan {
     epoch: u64,
     plan: Arc<XPath>,
+    /// [`PlanCache::tick`] of the most recent use (LRU victim choice).
+    last_used: u64,
 }
 
 /// Counters of the per-store plan cache (see [`Store::plan_cache_stats`]).
@@ -321,6 +333,9 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Queries that compiled (first use, or a stale epoch).
     pub misses: u64,
+    /// Entries evicted to stay under the capacity (LRU victims and
+    /// stale-epoch drops).
+    pub evictions: u64,
     /// Plans currently cached.
     pub entries: usize,
 }
@@ -342,9 +357,10 @@ impl Store {
             next_txn: AtomicU64::new(1),
             next_node: AtomicU64::new(next_node),
             layout_epoch: AtomicU64::new(0),
-            plans: Mutex::new(HashMap::new()),
+            plans: Mutex::new(PlanCache::default()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
+            plan_evictions: AtomicU64::new(0),
             config,
         }
     }
@@ -470,6 +486,7 @@ impl Store {
         compacted.pool_mut().compact();
         compacted.compact_attr_index();
         compacted.compact_name_index();
+        compacted.compact_content_index();
         self.publish_locked(compacted);
         Ok(CheckpointInfo {
             nodes: doc.used_count(),
@@ -528,35 +545,62 @@ impl Store {
     /// the layout epoch, so a [`Store::vacuum`] forces recompilation.
     /// Evaluation runs on a lock-free [`Store::snapshot`].
     pub fn query(&self, text: &str) -> Result<mbxq_xpath::Value> {
-        let plan = self.cached_plan(text)?;
-        let snapshot = self.snapshot();
-        let root: Vec<u64> = snapshot.root_pre().into_iter().collect();
-        Ok(plan.eval(snapshot.as_ref(), &root)?)
+        self.query_opts(text, &mbxq_xpath::EvalOptions::default())
     }
 
     /// Like [`Store::query`], coerced to a node set.
     pub fn query_nodes(&self, text: &str) -> Result<Vec<NodeId>> {
+        self.query_nodes_opts(text, &mbxq_xpath::EvalOptions::default())
+    }
+
+    /// [`Store::query`] with full evaluation options (axis/value
+    /// strategy overrides, decision counters) — the cached plan carries
+    /// no strategy decisions itself, so forced arms and live statistics
+    /// both flow through one compiled plan.
+    pub fn query_opts(
+        &self,
+        text: &str,
+        opts: &mbxq_xpath::EvalOptions<'_>,
+    ) -> Result<mbxq_xpath::Value> {
         let plan = self.cached_plan(text)?;
         let snapshot = self.snapshot();
-        let pres = plan.select_from_root(snapshot.as_ref())?;
+        let root: Vec<u64> = snapshot.root_pre().into_iter().collect();
+        Ok(plan.eval_opts(snapshot.as_ref(), &root, opts)?)
+    }
+
+    /// [`Store::query_nodes`] with full evaluation options.
+    pub fn query_nodes_opts(
+        &self,
+        text: &str,
+        opts: &mbxq_xpath::EvalOptions<'_>,
+    ) -> Result<Vec<NodeId>> {
+        let plan = self.cached_plan(text)?;
+        let snapshot = self.snapshot();
+        let pres = plan.select_from_root_opts(snapshot.as_ref(), opts)?;
         pres.iter()
             .map(|&p| snapshot.pre_to_node(p).map_err(TxnError::from))
             .collect()
     }
 
-    /// Entries beyond which the plan cache sheds old plans. Interpolated
-    /// query texts (`…[@id="personN"]…` per request) would otherwise
-    /// grow the map without bound for the store's lifetime.
+    /// Entries beyond which the plan cache evicts. Interpolated query
+    /// texts (`…[@id="personN"]…` per request) would otherwise grow the
+    /// map without bound for the store's lifetime.
     const PLAN_CACHE_CAP: usize = 1024;
 
     /// The compiled plan for `text`, from the cache when its epoch is
-    /// current, freshly compiled (and cached) otherwise.
+    /// current, freshly compiled (and cached) otherwise. At the cap the
+    /// cache evicts **single entries, least-recently-used first** (a
+    /// stale-epoch entry is preferred as the victim — it can never hit
+    /// again), so a hot query survives any storm of one-shot texts.
     fn cached_plan(&self, text: &str) -> Result<Arc<XPath>> {
         let epoch = self.layout_epoch();
         {
-            let plans = self.plans.lock().unwrap();
-            if let Some(entry) = plans.get(text) {
+            let mut plans = self.plans.lock().unwrap();
+            plans.tick += 1;
+            let tick = plans.tick;
+            if let Some(entry) = plans.map.get_mut(text) {
                 if entry.epoch == epoch {
+                    entry.last_used = tick;
                     self.plan_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(entry.plan.clone());
                 }
@@ -568,20 +612,31 @@ impl Store {
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(XPath::parse(text)?);
         let mut plans = self.plans.lock().unwrap();
-        if plans.len() >= Self::PLAN_CACHE_CAP && !plans.contains_key(text) {
-            // Cheap pressure valve: drop stale-epoch entries first, and
-            // if the cache is still full of current plans, start over —
-            // recompiling is milliseconds; unbounded growth is forever.
-            plans.retain(|_, e| e.epoch == epoch);
-            if plans.len() >= Self::PLAN_CACHE_CAP {
-                plans.clear();
+        while plans.map.len() >= Self::PLAN_CACHE_CAP && !plans.map.contains_key(text) {
+            // Victim: any stale-epoch entry, else the LRU one. An O(n)
+            // scan over ≤ cap entries, paid only on an insert at the
+            // cap — the hit path stays O(1).
+            let victim = plans
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.epoch == epoch, e.last_used))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    plans.map.remove(&k);
+                    self.plan_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
             }
         }
-        plans.insert(
+        plans.tick += 1;
+        let tick = plans.tick;
+        plans.map.insert(
             text.to_string(),
             CachedPlan {
                 epoch,
                 plan: plan.clone(),
+                last_used: tick,
             },
         );
         Ok(plan)
@@ -592,7 +647,8 @@ impl Store {
         PlanCacheStats {
             hits: self.plan_hits.load(Ordering::Relaxed),
             misses: self.plan_misses.load(Ordering::Relaxed),
-            entries: self.plans.lock().unwrap().len(),
+            evictions: self.plan_evictions.load(Ordering::Relaxed),
+            entries: self.plans.lock().unwrap().map.len(),
         }
     }
 }
@@ -1036,6 +1092,53 @@ impl mbxq_storage::TreeView for WriteTxn<'_> {
     }
     fn elements_named_count(&self, qn: mbxq_storage::QnId) -> Option<u64> {
         self.view().elements_named_count(qn)
+    }
+    fn has_content_index(&self) -> bool {
+        self.view().has_content_index()
+    }
+    fn nodes_with_attr_value(&self, attr: mbxq_storage::QnId, value: &str) -> Option<Vec<u64>> {
+        self.view().nodes_with_attr_value(attr, value)
+    }
+    fn nodes_with_attr_value_range(
+        &self,
+        attr: mbxq_storage::QnId,
+        range: &mbxq_storage::NumRange,
+    ) -> Option<Vec<u64>> {
+        self.view().nodes_with_attr_value_range(attr, range)
+    }
+    fn nodes_with_attr_value_count(&self, attr: mbxq_storage::QnId, value: &str) -> Option<u64> {
+        self.view().nodes_with_attr_value_count(attr, value)
+    }
+    fn nodes_with_attr_value_range_count(
+        &self,
+        attr: mbxq_storage::QnId,
+        range: &mbxq_storage::NumRange,
+    ) -> Option<u64> {
+        self.view().nodes_with_attr_value_range_count(attr, range)
+    }
+    fn elements_with_text(
+        &self,
+        qn: mbxq_storage::QnId,
+        value: &str,
+    ) -> Option<mbxq_storage::TextProbe> {
+        self.view().elements_with_text(qn, value)
+    }
+    fn elements_with_text_range(
+        &self,
+        qn: mbxq_storage::QnId,
+        range: &mbxq_storage::NumRange,
+    ) -> Option<mbxq_storage::TextProbe> {
+        self.view().elements_with_text_range(qn, range)
+    }
+    fn elements_with_text_count(&self, qn: mbxq_storage::QnId, value: &str) -> Option<u64> {
+        self.view().elements_with_text_count(qn, value)
+    }
+    fn elements_with_text_range_count(
+        &self,
+        qn: mbxq_storage::QnId,
+        range: &mbxq_storage::NumRange,
+    ) -> Option<u64> {
+        self.view().elements_with_text_range_count(qn, range)
     }
 }
 

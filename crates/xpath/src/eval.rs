@@ -15,7 +15,8 @@
 
 use crate::ast::{ArithOp, CmpOp};
 use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
-use crate::{AxisChoice, Bindings, EvalStats, Result, XPathError};
+use crate::plan::{ValueCmp, ValuePred, ValueSource};
+use crate::{AxisChoice, Bindings, EvalStats, Result, ValueChoice, XPathError};
 use mbxq_axes::{exists_step, range_semijoin, step_lifted, Axis, ContextSeq, NodeTest};
 use mbxq_storage::{QnId, TreeView};
 
@@ -110,19 +111,12 @@ pub(crate) fn attr_value<V: TreeView + ?Sized>(view: &V, owner: u64, qn: QnId) -
         .and_then(|(_, p)| view.pool().prop(p).map(str::to_string))
 }
 
+/// XPath 1.0 string→number coercion. Delegates to the storage crate's
+/// [`mbxq_storage::xpath_number`] — the content index's sorted numeric
+/// arm parses with the same function, so range probes and scalar scans
+/// agree on which strings are numbers by construction.
 pub(crate) fn str_to_number(s: &str) -> f64 {
-    let t = s.trim();
-    // Rust's f64 parser accepts "inf"/"NaN" spellings XPath does not, and
-    // XPath numbers have no exponent syntax.
-    if t.is_empty()
-        || t.chars()
-            .any(|c| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        || t.matches('-').count() > 1
-        || (t.contains('-') && !t.starts_with('-'))
-    {
-        return f64::NAN;
-    }
-    t.parse::<f64>().unwrap_or(f64::NAN)
+    mbxq_storage::xpath_number(s)
 }
 
 /// XPath 1.0 `string()` rendering of a number (§4.4 of the spec): `NaN`,
@@ -462,12 +456,23 @@ pub(crate) fn apply_fn<V: TreeView + ?Sized>(
             Ok(Value::Boolean(a.starts_with(&b)))
         }
         "string-length" => {
-            arity(1)?;
-            Ok(Value::Number(args[0].to_str(view).chars().count() as f64))
+            // Zero-arg form: the context node's string value (§4.2).
+            let s = if args.is_empty() {
+                ctx_node.map_or(String::new(), |p| view.string_value(p))
+            } else {
+                arity(1)?;
+                args[0].to_str(view)
+            };
+            Ok(Value::Number(s.chars().count() as f64))
         }
         "normalize-space" => {
-            arity(1)?;
-            let s = args[0].to_str(view);
+            // Zero-arg form: the context node's string value (§4.2).
+            let s = if args.is_empty() {
+                ctx_node.map_or(String::new(), |p| view.string_value(p))
+            } else {
+                arity(1)?;
+                args[0].to_str(view)
+            };
             Ok(Value::Str(
                 s.split_whitespace().collect::<Vec<_>>().join(" "),
             ))
@@ -655,6 +660,7 @@ pub(crate) struct Exec<'a, V: TreeView + ?Sized> {
     pub(crate) view: &'a V,
     pub(crate) bindings: Option<&'a Bindings>,
     pub(crate) choice: AxisChoice,
+    pub(crate) value_choice: ValueChoice,
     pub(crate) stats: Option<&'a EvalStats>,
 }
 
@@ -921,7 +927,15 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                 }
                 // Context-node functions cannot be hoisted.
                 let context_free = !(args.is_empty()
-                    && matches!(name, "string" | "number" | "name" | "local-name"));
+                    && matches!(
+                        name,
+                        "string"
+                            | "number"
+                            | "name"
+                            | "local-name"
+                            | "normalize-space"
+                            | "string-length"
+                    ));
                 if context_free && largs.iter().all(Lifted::is_const) {
                     let flat: Vec<Value> = largs.iter().map(|a| a.value_at(0)).collect();
                     return Ok(Lifted::Const(apply_fn(self.view, name, &flat, None)?));
@@ -1056,6 +1070,16 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                 Ok(RelOut::Nodes(range_semijoin(
                     self.view, &ctx, &cands, *axis,
                 )))
+            }
+            PhysRel::ValueProbe {
+                input,
+                axis,
+                test,
+                pred,
+            } => {
+                let ctx = self.rel_nodes(input, d)?;
+                self.value_probe_step(&ctx, *axis, test, pred)
+                    .map(RelOut::Nodes)
             }
             PhysRel::Union { left, right } => {
                 let l = self.rel(left, d)?;
@@ -1235,6 +1259,213 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
         }
     }
 
+    // -- value-probe steps ---------------------------------------------
+
+    /// One value-predicate step (`PhysRel::ValueProbe`): per execution,
+    /// choose between the content-index probe + range semijoin and the
+    /// scalar scan from the posting-list estimate vs the context's
+    /// region sizes (same model as the element-name index, since the
+    /// probe's semijoin half is identical).
+    fn value_probe_step(
+        &self,
+        ctx: &ContextSeq,
+        axis: Axis,
+        test: &NodeTest,
+        pred: &ValuePred,
+    ) -> Result<ContextSeq> {
+        if ctx.is_empty() {
+            return Ok(ContextSeq::new());
+        }
+        let use_probe = if !self.view.has_content_index() {
+            false
+        } else {
+            match self.value_choice {
+                ValueChoice::ForceProbe => true,
+                ValueChoice::ForceScan => false,
+                ValueChoice::Auto => {
+                    self.index_cheaper(ctx, axis, self.value_probe_estimate(test, pred))
+                }
+            }
+        };
+        self.count_value_step(use_probe);
+        if !use_probe {
+            return Ok(self.value_scan(ctx, axis, test, pred));
+        }
+        let cands = self.value_probe_candidates(test, pred);
+        Ok(range_semijoin(self.view, ctx, &cands, axis))
+    }
+
+    /// Upper-bound match count from the content index's estimators
+    /// (complex-content candidates included — each costs a verify).
+    /// A name that was never interned matches nothing: estimate 0.
+    fn value_probe_estimate(&self, test: &NodeTest, pred: &ValuePred) -> u64 {
+        match &pred.source {
+            ValueSource::Attr(a) => match self.view.pool().lookup_qname(a) {
+                None => 0,
+                Some(aqn) => match &pred.cmp {
+                    ValueCmp::Eq(v) => self.view.nodes_with_attr_value_count(aqn, v),
+                    ValueCmp::InRange(r) => self.view.nodes_with_attr_value_range_count(aqn, r),
+                }
+                .unwrap_or(0),
+            },
+            ValueSource::SelfValue => match test {
+                NodeTest::Name(t) => self.text_count(t, &pred.cmp),
+                _ => 0,
+            },
+            ValueSource::Child(c) => self.text_count(c, &pred.cmp),
+        }
+    }
+
+    /// Estimated `text_probe_hits` cardinality for elements named
+    /// `name` (exact arm + complex remainder).
+    fn text_count(&self, name: &mbxq_xml::QName, cmp: &ValueCmp) -> u64 {
+        let Some(qn) = self.view.pool().lookup_qname(name) else {
+            return 0;
+        };
+        match cmp {
+            ValueCmp::Eq(v) => self.view.elements_with_text_count(qn, v),
+            ValueCmp::InRange(r) => self.view.elements_with_text_range_count(qn, r),
+        }
+        .unwrap_or(0)
+    }
+
+    /// The probe arm's candidate list: document-ordered, deduplicated
+    /// pre ranks of elements satisfying `test` + `pred`. Only called
+    /// when the view has a content index.
+    fn value_probe_candidates(&self, test: &NodeTest, pred: &ValuePred) -> Vec<u64> {
+        let pool = self.view.pool();
+        match &pred.source {
+            ValueSource::Attr(a) => {
+                let Some(aqn) = pool.lookup_qname(a) else {
+                    return Vec::new();
+                };
+                let mut hits = match &pred.cmp {
+                    ValueCmp::Eq(v) => self.view.nodes_with_attr_value(aqn, v),
+                    ValueCmp::InRange(r) => self.view.nodes_with_attr_value_range(aqn, r),
+                }
+                .unwrap_or_default();
+                if let NodeTest::Name(t) = test {
+                    match pool.lookup_qname(t) {
+                        Some(tqn) => hits.retain(|&p| self.view.name_id(p) == Some(tqn)),
+                        None => hits.clear(),
+                    }
+                }
+                hits
+            }
+            ValueSource::SelfValue => {
+                let NodeTest::Name(t) = test else {
+                    return Vec::new(); // lowering guarantees a name test
+                };
+                self.text_probe_hits(t, &pred.cmp)
+            }
+            ValueSource::Child(c) => {
+                let children_with_value = self.text_probe_hits(c, &pred.cmp);
+                let mut parents: Vec<u64> = children_with_value
+                    .into_iter()
+                    .filter_map(|p| self.view.parent_of(p))
+                    .collect();
+                if let NodeTest::Name(t) = test {
+                    match pool.lookup_qname(t) {
+                        Some(tqn) => parents.retain(|&p| self.view.name_id(p) == Some(tqn)),
+                        None => parents.clear(),
+                    }
+                }
+                parents.sort_unstable();
+                parents.dedup();
+                parents
+            }
+        }
+    }
+
+    /// Elements named `name` whose string value satisfies `cmp`: the
+    /// exact index arm merged with the verified complex-content
+    /// remainder (both document-ordered).
+    fn text_probe_hits(&self, name: &mbxq_xml::QName, cmp: &ValueCmp) -> Vec<u64> {
+        let Some(qn) = self.view.pool().lookup_qname(name) else {
+            return Vec::new();
+        };
+        let probe = match cmp {
+            ValueCmp::Eq(v) => self.view.elements_with_text(qn, v),
+            ValueCmp::InRange(r) => self.view.elements_with_text_range(qn, r),
+        }
+        .unwrap_or_default();
+        let verified: Vec<u64> = probe
+            .unindexed
+            .into_iter()
+            .filter(|&p| self.string_value_matches(p, cmp))
+            .collect();
+        merge_sorted(probe.exact, verified)
+    }
+
+    /// Whether the string value of the node at `pre` satisfies `cmp`.
+    fn string_value_matches(&self, pre: u64, cmp: &ValueCmp) -> bool {
+        cmp_value(&self.view.string_value(pre), cmp)
+    }
+
+    /// The scan arm: the plain axis step (itself cost-annotated when
+    /// the test is a name) followed by direct per-candidate predicate
+    /// evaluation — observably the `Step` + `Filter` pair the lowering
+    /// replaced.
+    fn value_scan(
+        &self,
+        ctx: &ContextSeq,
+        axis: Axis,
+        test: &NodeTest,
+        pred: &ValuePred,
+    ) -> ContextSeq {
+        let strategy = match test {
+            NodeTest::Name(n) => StepStrategy::Cost(n.clone()),
+            _ => StepStrategy::Staircase,
+        };
+        let cands = self.step_relation(ctx, axis, test, &strategy);
+        if cands.is_empty() {
+            return cands;
+        }
+        let pool = self.view.pool();
+        let keep: Vec<bool> = match &pred.source {
+            ValueSource::SelfValue => cands
+                .pres
+                .iter()
+                .map(|&p| self.string_value_matches(p, &pred.cmp))
+                .collect(),
+            ValueSource::Attr(a) => match pool.lookup_qname(a) {
+                None => vec![false; cands.len()],
+                Some(aqn) => cands
+                    .pres
+                    .iter()
+                    .map(|&p| {
+                        attr_value(self.view, p, aqn).is_some_and(|v| cmp_value(&v, &pred.cmp))
+                    })
+                    .collect(),
+            },
+            ValueSource::Child(c) => match pool.lookup_qname(c) {
+                None => vec![false; cands.len()],
+                Some(cqn) => cands
+                    .pres
+                    .iter()
+                    .map(|&p| {
+                        mbxq_axes::children(self.view, p)
+                            .filter(|&ch| self.view.name_id(ch) == Some(cqn))
+                            .any(|ch| self.string_value_matches(ch, &pred.cmp))
+                    })
+                    .collect(),
+            },
+        };
+        cands.retain_rows(&keep)
+    }
+
+    fn count_value_step(&self, probe: bool) {
+        if let Some(stats) = self.stats {
+            if probe {
+                stats
+                    .value_probe_steps
+                    .set(stats.value_probe_steps.get() + 1);
+            } else {
+                stats.value_scan_steps.set(stats.value_scan_steps.get() + 1);
+            }
+        }
+    }
+
     fn probe(&self, name: &mbxq_xml::QName) -> Option<Vec<u64>> {
         let qn = self.view.pool().lookup_qname(name)?;
         self.view.elements_named(qn)
@@ -1273,6 +1504,40 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             }
         }
     }
+}
+
+/// Whether a string value satisfies a recognized value comparison —
+/// the scalar twin of the content-index probe (`Eq` is XPath string
+/// equality; ranges go through [`str_to_number`]).
+fn cmp_value(v: &str, cmp: &ValueCmp) -> bool {
+    match cmp {
+        ValueCmp::Eq(lit) => v == lit,
+        ValueCmp::InRange(r) => r.contains(str_to_number(v)),
+    }
+}
+
+/// Merges two ascending, disjoint pre-rank lists.
+fn merge_sorted(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    if b.is_empty() {
+        return a;
+    }
+    if a.is_empty() {
+        return b;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// Keeps one row per iteration group: the first (`front = true`) or the

@@ -8,7 +8,7 @@
 //! cost-chosen pair).
 
 use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
-use crate::plan::{AggKind, Pred, Rel, Scalar};
+use crate::plan::{AggKind, Pred, Rel, Scalar, ValueCmp, ValuePred, ValueSource};
 use mbxq_axes::{Axis, NodeTest};
 use std::fmt::Write as _;
 
@@ -37,6 +37,24 @@ fn test_name(test: &NodeTest) -> String {
         NodeTest::Comment => "comment()".into(),
         NodeTest::AnyPi => "processing-instruction()".into(),
         NodeTest::PiTarget(t) => format!("processing-instruction('{t}')"),
+    }
+}
+
+/// `[@id = "x"]` / `[. in (50, +∞)]`-style rendering of a recognized
+/// value predicate.
+fn value_pred_label(pred: &ValuePred) -> String {
+    let source = match &pred.source {
+        ValueSource::SelfValue => ".".to_string(),
+        ValueSource::Attr(a) => format!("@{a}"),
+        ValueSource::Child(c) => c.to_string(),
+    };
+    match &pred.cmp {
+        ValueCmp::Eq(v) => format!("[{source} = {v:?}]"),
+        ValueCmp::InRange(r) => {
+            let lo = if r.lo_incl { "[" } else { "(" };
+            let hi = if r.hi_incl { "]" } else { ")" };
+            format!("[{source} in {lo}{}, {}{hi}]", r.lo, r.hi)
+        }
     }
 }
 
@@ -181,6 +199,23 @@ fn rel(p: &mut Printer, r: &Rel, d: usize) {
             rel(p, input, d + 1);
         }
         Rel::NameProbe { name } => p.line(d, &format!("name-probe {name}")),
+        Rel::ValueProbe {
+            input,
+            axis,
+            test,
+            pred,
+        } => {
+            p.line(
+                d,
+                &format!(
+                    "value-probe {}::{}{}",
+                    axis_name(*axis),
+                    test_name(test),
+                    value_pred_label(pred)
+                ),
+            );
+            rel(p, input, d + 1);
+        }
         Rel::Semijoin { input, probe, axis } => {
             p.line(d, &format!("semijoin {}", axis_name(*axis)));
             rel(p, probe, d + 1);
@@ -340,6 +375,23 @@ fn phys_rel(p: &mut Printer, r: &PhysRel, d: usize) {
             phys_rel(p, input, d + 1);
         }
         PhysRel::NameProbe { name } => p.line(d, &format!("name-probe {name}")),
+        PhysRel::ValueProbe {
+            input,
+            axis,
+            test,
+            pred,
+        } => {
+            p.line(
+                d,
+                &format!(
+                    "value-probe {}::{}{} [cost-chosen: scalar-scan vs content-index ⋉ context]",
+                    axis_name(*axis),
+                    test_name(test),
+                    value_pred_label(pred)
+                ),
+            );
+            phys_rel(p, input, d + 1);
+        }
         PhysRel::Semijoin { input, probe, axis } => {
             p.line(d, &format!("semijoin {}", axis_name(*axis)));
             phys_rel(p, probe, d + 1);

@@ -600,10 +600,19 @@ fn eval_call_lifted<V: TreeView + ?Sized>(
             for a in args {
                 largs.push(eval_lifted(view, a, ctx, pred, bnd)?);
             }
-            // `string()` / `number()` / `name()` / `local-name()` with no
-            // arguments read the context node, so they cannot be hoisted.
-            let context_free =
-                !(args.is_empty() && matches!(name, "string" | "number" | "name" | "local-name"));
+            // `string()` / `number()` / `name()` / `local-name()` /
+            // `normalize-space()` / `string-length()` with no arguments
+            // read the context node, so they cannot be hoisted.
+            let context_free = !(args.is_empty()
+                && matches!(
+                    name,
+                    "string"
+                        | "number"
+                        | "name"
+                        | "local-name"
+                        | "normalize-space"
+                        | "string-length"
+                ));
             if context_free && largs.iter().all(Lifted::is_const) {
                 let flat: Vec<Value> = largs.iter().map(|a| a.value_at(0)).collect();
                 return Ok(Lifted::Const(apply_fn(view, name, &flat, None)?));

@@ -16,11 +16,13 @@
 //!   `Const`), compiled from the AST.
 //! * [`rewrite`] — the rule-based rewriter: `//`-step fusion, predicate
 //!   pushdown, `count(e) > 0` → early-exit existence, `[1]`/`[last()]`
-//!   picks, and explicit loop-invariant hoisting.
+//!   picks, lowering of literal comparison predicates to content-index
+//!   `ValueProbe` operators, and explicit loop-invariant hoisting.
 //! * [`physical`] — the lowered plan whose axis steps carry a strategy
 //!   slot: staircase join + name filter, element-name-index probe +
 //!   range semijoin, or a cost-based choice made per execution from
-//!   live statistics.
+//!   live statistics; value-probe steps choose the same way between
+//!   the scalar scan and the content index ([`ValueChoice`]).
 //! * `eval` (internal) — the loop-lifted executor: each operator runs
 //!   once per invocation over a whole `(iter, pre)` relation, never per
 //!   context node, so every plan enjoys the set-at-a-time evaluation
@@ -144,6 +146,22 @@ pub enum AxisChoice {
     ForceIndex,
 }
 
+/// Which arm value-probe steps execute — the value-predicate analogue
+/// of [`AxisChoice`]. [`ValueChoice::Auto`] follows the cost model; the
+/// forced arms exist for the `value_probe` ablation benchmark and the
+/// oracle tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ValueChoice {
+    /// Per-step cost decision from live statistics (the default).
+    #[default]
+    Auto,
+    /// Always the scalar scan (step + per-candidate evaluation).
+    ForceScan,
+    /// Always the content-index probe + range semijoin (falls back to
+    /// the scan on views without a content index).
+    ForceProbe,
+}
+
 /// Per-evaluation counters of the strategy decisions actually taken
 /// (shared-cell based so one immutable `EvalOptions` can thread them
 /// through the executor).
@@ -153,6 +171,10 @@ pub struct EvalStats {
     pub index_steps: Cell<u64>,
     /// Axis steps served by the staircase join.
     pub staircase_steps: Cell<u64>,
+    /// Value-predicate steps served by the content index.
+    pub value_probe_steps: Cell<u64>,
+    /// Value-predicate steps served by the scalar scan.
+    pub value_scan_steps: Cell<u64>,
 }
 
 /// Evaluation-time options.
@@ -162,6 +184,8 @@ pub struct EvalOptions<'a> {
     pub bindings: Option<&'a Bindings>,
     /// Axis-strategy override.
     pub axis: AxisChoice,
+    /// Value-predicate strategy override.
+    pub value: ValueChoice,
     /// Optional decision counters.
     pub stats: Option<&'a EvalStats>,
 }
@@ -243,6 +267,7 @@ impl XPath {
             view,
             bindings: opts.bindings,
             choice: opts.axis,
+            value_choice: opts.value,
             stats: opts.stats,
         };
         exec.run(&self.physical, context)
@@ -580,6 +605,106 @@ mod tests {
         assert!(stats2.staircase_steps.get() > 0);
     }
 
+    /// Value predicates: every strategy arm must select the same nodes
+    /// on every schema, and the counters prove both arms actually run.
+    #[test]
+    fn value_probe_arms_agree_and_are_taken() {
+        let ro = doc();
+        let up = PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap();
+        for src in [
+            "//item[@id = \"i1\"]",
+            "/site/people/person[@id = \"p1\"]/name",
+            "//person[name = \"Ann\"]",
+            "//person[age > 10]",
+            "//person[age >= 9]",
+            "//age[. = 37]",
+            "//age[. = \"37\"]",
+            "//age[. < 10]",
+            "//*[@id = \"i2\"]",
+            "//person[name = \"missing\"]",
+        ] {
+            let p = XPath::parse(src).unwrap();
+            let stats = EvalStats::default();
+            let probe_opts = EvalOptions {
+                value: ValueChoice::ForceProbe,
+                stats: Some(&stats),
+                ..EvalOptions::default()
+            };
+            let scan_stats = EvalStats::default();
+            let scan_opts = EvalOptions {
+                value: ValueChoice::ForceScan,
+                stats: Some(&scan_stats),
+                ..EvalOptions::default()
+            };
+            for view in [&ro as &dyn mbxq_storage::TreeView, &up] {
+                let auto = p.select_from_root(view).unwrap();
+                let probed = p.select_from_root_opts(view, &probe_opts).unwrap();
+                let scanned = p.select_from_root_opts(view, &scan_opts).unwrap();
+                assert_eq!(auto, probed, "{src}: probe arm diverged");
+                assert_eq!(auto, scanned, "{src}: scan arm diverged");
+            }
+            assert!(
+                stats.value_probe_steps.get() > 0,
+                "{src}: probe arm must actually run"
+            );
+            assert_eq!(stats.value_scan_steps.get(), 0, "{src}");
+            assert!(
+                scan_stats.value_scan_steps.get() > 0,
+                "{src}: scan arm must actually run"
+            );
+            assert_eq!(scan_stats.value_probe_steps.get(), 0, "{src}");
+        }
+        // Sanity on actual hits.
+        let hit = XPath::parse("//person[name = \"Bob\"]")
+            .unwrap()
+            .select_from_root_opts(
+                &ro,
+                &EvalOptions {
+                    value: ValueChoice::ForceProbe,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(
+            ro.attribute_value(hit[0], &mbxq_xml::QName::local("id")),
+            Some("p1".into())
+        );
+    }
+
+    /// Complex-content elements (element children) are served through
+    /// the verified unindexed arm — `person` has element children, so
+    /// `[. = ...]` on it must still be exact under the probe.
+    #[test]
+    fn value_probe_handles_complex_content() {
+        let xml = r#"<r><p><name>Al</name><x>X</x></p><p>AlX</p><p>other</p></r>"#;
+        let ro = ReadOnlyDoc::parse_str(xml).unwrap();
+        let p = XPath::parse("//p[. = \"AlX\"]").unwrap();
+        let probed = p
+            .select_from_root_opts(
+                &ro,
+                &EvalOptions {
+                    value: ValueChoice::ForceProbe,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+        let scanned = p
+            .select_from_root_opts(
+                &ro,
+                &EvalOptions {
+                    value: ValueChoice::ForceScan,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(probed, scanned);
+        // Both the complex <p><name>Al</name><x>X</x></p> (string value
+        // "AlX", served via the verified unindexed arm) and the simple
+        // <p>AlX</p> (exact arm) match.
+        assert_eq!(probed.len(), 2);
+    }
+
     #[test]
     fn variables_resolve_through_bindings() {
         let d = doc();
@@ -633,10 +758,25 @@ mod tests {
     fn explain_renders_both_levels() {
         let p = XPath::parse("//person[age > 10]/name").unwrap();
         let logical = p.explain();
-        assert!(logical.contains("step descendant::person"), "{logical}");
-        assert!(logical.contains("filter"), "{logical}");
+        assert!(
+            logical.contains("value-probe descendant::person"),
+            "{logical}"
+        );
         let physical = p.explain_physical();
         assert!(physical.contains("cost-chosen"), "{physical}");
+        assert!(
+            physical.contains("scalar-scan vs content-index"),
+            "{physical}"
+        );
+        // A predicate the value rules cannot serve stays a filter over
+        // its step.
+        let pf = XPath::parse("//person[contains(name, \"x\")]").unwrap();
+        assert!(pf.explain().contains("filter"), "{}", pf.explain());
+        assert!(
+            pf.explain().contains("step descendant::person"),
+            "{}",
+            pf.explain()
+        );
         // `//person[1]` keeps its per-parent position scope (no fusion).
         let p2 = XPath::parse("//person[1]").unwrap();
         assert!(p2.explain().contains("pick first-per-group"));
@@ -707,6 +847,29 @@ mod tests {
         for (src, want) in cases {
             let got = XPath::parse(src).unwrap().eval(&d, &[0]).unwrap();
             assert_eq!(got, want, "{src}");
+        }
+    }
+
+    /// `normalize-space()` / `string-length()` with no arguments read
+    /// the context node — in both engine arms.
+    #[test]
+    fn zero_arg_string_functions_read_the_context_node() {
+        let d = ReadOnlyDoc::parse_str(r#"<r><p>  a   b </p><p>xyz</p><p/></r>"#).unwrap();
+        let p = XPath::parse("//p[normalize-space() = \"a b\"]").unwrap();
+        assert_eq!(p.select_from_root(&d).unwrap().len(), 1);
+        let q = XPath::parse("//p[string-length() = 3]").unwrap();
+        assert_eq!(q.select_from_root(&d).unwrap().len(), 1);
+        let e = XPath::parse("//p[string-length() = 0]").unwrap();
+        assert_eq!(e.select_from_root(&d).unwrap().len(), 1);
+        // The interpreter arm agrees (the plan oracle's contract).
+        for xp in [&p, &q, &e] {
+            let root: Vec<u64> = d.root_pre().into_iter().collect();
+            assert_eq!(
+                xp.eval(&d, &root).unwrap(),
+                xp.eval_interpreted(&d, &root).unwrap(),
+                "{}",
+                xp.source()
+            );
         }
     }
 

@@ -29,7 +29,7 @@
 //! the context region); everything else lowers to `Staircase`.
 
 use crate::ast::{ArithOp, CmpOp};
-use crate::plan::{AggKind, Pred, Rel, Scalar};
+use crate::plan::{AggKind, Pred, Rel, Scalar, ValuePred};
 use mbxq_axes::{Axis, NodeTest};
 use mbxq_xml::QName;
 
@@ -102,6 +102,24 @@ pub enum PhysRel {
     NameProbe {
         /// The element name.
         name: QName,
+    },
+    /// Value-predicate step: `axis::test` from the context restricted
+    /// to candidates satisfying `pred`. Carries its own strategy slot,
+    /// decided **per execution** from live statistics: the content
+    /// index's posting-list estimate vs the context's region sizes —
+    /// either a content-index probe + range semijoin, or the scalar
+    /// scan (step + per-candidate predicate evaluation) it replaced.
+    /// Forceable via [`crate::ValueChoice`]; counted in
+    /// [`crate::EvalStats`].
+    ValueProbe {
+        /// Context relation.
+        input: Box<PhysRel>,
+        /// `Child`, `Descendant` or `DescendantOrSelf`.
+        axis: Axis,
+        /// The step's node test.
+        test: NodeTest,
+        /// The recognized value predicate.
+        pred: ValuePred,
     },
     /// Probe ⋉ context-region semijoin.
     Semijoin {
@@ -224,6 +242,17 @@ fn lower_rel(r: &Rel) -> PhysRel {
             preds: preds.iter().map(lower_pred).collect(),
         },
         Rel::NameProbe { name } => PhysRel::NameProbe { name: name.clone() },
+        Rel::ValueProbe {
+            input,
+            axis,
+            test,
+            pred,
+        } => PhysRel::ValueProbe {
+            input: Box::new(lower_rel(input)),
+            axis: *axis,
+            test: test.clone(),
+            pred: pred.clone(),
+        },
         Rel::Semijoin { input, probe, axis } => {
             // An explicit logical semijoin with a name probe is the
             // forced-index step.

@@ -22,7 +22,39 @@
 
 use crate::ast::{ArithOp, CmpOp, Expr, PathExpr, StepTest};
 use mbxq_axes::{Axis, NodeTest};
+use mbxq_storage::NumRange;
 use mbxq_xml::QName;
+
+/// What a [`Rel::ValueProbe`] compares — the candidate value source,
+/// relative to each candidate element of the probed step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueSource {
+    /// The candidate's own string value (`[. = "lit"]`).
+    SelfValue,
+    /// One of the candidate's attributes (`[@a = "lit"]`).
+    Attr(QName),
+    /// Any child element of that name (`[child = "lit"]`, existential).
+    Child(QName),
+}
+
+/// How a [`Rel::ValueProbe`] compares its source against the literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueCmp {
+    /// String equality (`= "lit"`).
+    Eq(String),
+    /// Numeric interval membership (`= n`, `<`, `<=`, `>`, `>=`).
+    InRange(NumRange),
+}
+
+/// A statically recognized value predicate — the argument of the
+/// content-index probe operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuePred {
+    /// Where each candidate's value comes from.
+    pub source: ValueSource,
+    /// The comparison against the literal.
+    pub cmp: ValueCmp,
+}
 
 /// Aggregates over a relational subplan (the `Agg` operator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +140,24 @@ pub enum Rel {
     NameProbe {
         /// The element name.
         name: QName,
+    },
+    /// Content-index probe: the elements matching `axis::test` from the
+    /// context that additionally satisfy a statically recognized value
+    /// predicate. Produced by the rewriter from `Filter`-over-`Step`
+    /// shapes (`//item[@id = "x"]`, `//price[. > 50]`,
+    /// `//person[name = "Alice"]`); executes as either a value-index
+    /// probe + range semijoin or the scalar scan it replaced, chosen
+    /// per execution ([`crate::physical`]).
+    ValueProbe {
+        /// Context relation.
+        input: Box<Rel>,
+        /// `Child`, `Descendant` or `DescendantOrSelf`.
+        axis: Axis,
+        /// The step's node test (`Name`; `AnyElement` for attribute
+        /// sources).
+        test: NodeTest,
+        /// The recognized predicate.
+        pred: ValuePred,
     },
     /// Semijoin of a probe relation back to the context regions: the
     /// probe rows standing in `axis` relation to each context node.
@@ -392,7 +442,8 @@ pub fn rel_invariant(r: &Rel) -> bool {
         Rel::Step { input, .. }
         | Rel::AttrStep { input, .. }
         | Rel::Filter { input, .. }
-        | Rel::GroupFilter { input, .. } => rel_invariant(input),
+        | Rel::GroupFilter { input, .. }
+        | Rel::ValueProbe { input, .. } => rel_invariant(input),
         Rel::Semijoin { input, probe, .. } => rel_invariant(input) && rel_invariant(probe),
         Rel::Union { left, right } => rel_invariant(left) && rel_invariant(right),
         Rel::FromValue { value } => scalar_invariant(value),
@@ -415,7 +466,15 @@ pub fn scalar_invariant(s: &Scalar) -> bool {
             }
             // Zero-argument context functions read the context node.
             if args.is_empty()
-                && matches!(name.as_str(), "string" | "number" | "name" | "local-name")
+                && matches!(
+                    name.as_str(),
+                    "string"
+                        | "number"
+                        | "name"
+                        | "local-name"
+                        | "normalize-space"
+                        | "string-length"
+                )
             {
                 return false;
             }

@@ -23,14 +23,26 @@
 //!    keep their step un-fused, preserving the per-parent `position()`
 //!    scope of `//x[1]`.
 //!
+//! 5. **Value-predicate lowering** — a pushed-down filter whose
+//!    predicate is a statically recognizable comparison against a
+//!    literal (`[@a = "lit"]`, `[. = "lit"]`, `[child = "lit"]`, and
+//!    `<`/`<=`/`>`/`>=` against numeric literals) sitting directly on
+//!    an indexable step becomes a [`Rel::ValueProbe`]: the content
+//!    index serves the value lookup and a range semijoin restores the
+//!    structural relationship. Positional predicates never reach this
+//!    rule — pushdown (which gates on `position()`/`last()`-freedom and
+//!    non-numeric static type) runs first, so anything positional is
+//!    still attached to its step.
+//!
 //! The final pass wraps maximal loop-invariant subtrees in explicit
 //! `Const` markers — the plan-level replacement for the interpreter's
 //! ad-hoc `Lifted::Const` hoisting — so `explain` output shows exactly
 //! what evaluates once per query rather than once per iteration.
 
 use crate::ast::CmpOp;
-use crate::plan::{self, AggKind, Pred, Rel, Scalar};
+use crate::plan::{self, AggKind, Pred, Rel, Scalar, ValueCmp, ValuePred, ValueSource};
 use mbxq_axes::{Axis, NodeTest};
+use mbxq_storage::NumRange;
 
 /// Rewrites a compiled logical plan (all rule families + hoisting).
 pub fn rewrite(s: Scalar) -> Scalar {
@@ -149,10 +161,7 @@ fn rw_rel(r: Rel) -> Rel {
                     let Pred::Expr(s) = p else {
                         unreachable!("pushable excludes picks")
                     };
-                    rel = Rel::Filter {
-                        input: Box::new(rel),
-                        pred: Box::new(s),
-                    };
+                    rel = make_filter(rel, s);
                 }
                 rel
             } else {
@@ -173,9 +182,20 @@ fn rw_rel(r: Rel) -> Rel {
             name,
             has_preds,
         },
-        Rel::Filter { input, pred } => Rel::Filter {
+        Rel::Filter { input, pred } => {
+            let input = rw_rel(*input);
+            make_filter(input, rw_scalar(*pred, true))
+        }
+        Rel::ValueProbe {
+            input,
+            axis,
+            test,
+            pred,
+        } => Rel::ValueProbe {
             input: Box::new(rw_rel(*input)),
-            pred: Box::new(rw_scalar(*pred, true)),
+            axis,
+            test,
+            pred,
         },
         Rel::GroupFilter { input, preds } => {
             let input = rw_rel(*input);
@@ -186,10 +206,7 @@ fn rw_rel(r: Rel) -> Rel {
                     let Pred::Expr(s) = p else {
                         unreachable!("pushable excludes picks")
                     };
-                    rel = Rel::Filter {
-                        input: Box::new(rel),
-                        pred: Box::new(s),
-                    };
+                    rel = make_filter(rel, s);
                 }
                 rel
             } else {
@@ -217,6 +234,117 @@ fn rw_rel(r: Rel) -> Rel {
         leaf @ (Rel::Context | Rel::Root | Rel::NameProbe { .. } | Rel::Unsupported { .. }) => leaf,
     };
     fuse(out)
+}
+
+/// Builds a pushed-down row filter — lowering it into a
+/// [`Rel::ValueProbe`] when the input is a predicate-free indexable
+/// step and the predicate is a recognizable literal comparison
+/// (rule 5 of the module docs).
+fn make_filter(input: Rel, pred: Scalar) -> Rel {
+    let input = match input {
+        Rel::Step {
+            input: step_in,
+            axis,
+            test,
+            preds,
+        } if preds.is_empty()
+            && matches!(
+                axis,
+                Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+            ) =>
+        {
+            match value_pred_of(&pred, &test) {
+                Some(vp) => {
+                    return Rel::ValueProbe {
+                        input: step_in,
+                        axis,
+                        test,
+                        pred: vp,
+                    }
+                }
+                None => Rel::Step {
+                    input: step_in,
+                    axis,
+                    test,
+                    preds,
+                },
+            }
+        }
+        other => other,
+    };
+    Rel::Filter {
+        input: Box::new(input),
+        pred: Box::new(pred),
+    }
+}
+
+/// Recognizes a lowerable value predicate: a comparison between a
+/// candidate-relative value source and a literal. `test` is the probed
+/// step's node test — text-content sources need a concrete element name
+/// to key the index; attribute sources are keyed by the attribute name
+/// alone, so `*[@a = "x"]` lowers too.
+fn value_pred_of(pred: &Scalar, test: &NodeTest) -> Option<ValuePred> {
+    let Scalar::Compare(op, a, b) = pred else {
+        return None;
+    };
+    recognize_sides(*op, a, b, test).or_else(|| recognize_sides(flip(*op), b, a, test))
+}
+
+fn recognize_sides(op: CmpOp, lhs: &Scalar, rhs: &Scalar, test: &NodeTest) -> Option<ValuePred> {
+    let source = source_of(lhs)?;
+    match (&source, test) {
+        (ValueSource::Attr(_), NodeTest::Name(_) | NodeTest::AnyElement) => {}
+        (_, NodeTest::Name(_)) => {}
+        _ => return None,
+    }
+    // Order comparisons always go through numbers in XPath 1.0, so a
+    // string literal only qualifies if it parses (a NaN literal keeps
+    // the scalar path — it compares false everywhere anyway).
+    let num = |s: &Scalar| -> Option<f64> {
+        match s {
+            Scalar::Number(n) => Some(*n),
+            Scalar::Literal(v) => {
+                let n = mbxq_storage::xpath_number(v);
+                (!n.is_nan()).then_some(n)
+            }
+            _ => None,
+        }
+    };
+    let cmp = match (op, rhs) {
+        (CmpOp::Eq, Scalar::Literal(v)) => ValueCmp::Eq(v.clone()),
+        (CmpOp::Eq, Scalar::Number(n)) => ValueCmp::InRange(NumRange::exactly(*n)),
+        (CmpOp::Gt, r) => ValueCmp::InRange(NumRange::at_least(num(r)?, false)),
+        (CmpOp::Ge, r) => ValueCmp::InRange(NumRange::at_least(num(r)?, true)),
+        (CmpOp::Lt, r) => ValueCmp::InRange(NumRange::at_most(num(r)?, false)),
+        (CmpOp::Le, r) => ValueCmp::InRange(NumRange::at_most(num(r)?, true)),
+        // `!=` keeps XPath's existential set semantics in the scalar
+        // path (it is NOT the complement of `=`).
+        _ => return None,
+    };
+    Some(ValuePred { source, cmp })
+}
+
+/// The candidate-relative value sources a probe can serve.
+fn source_of(s: &Scalar) -> Option<ValueSource> {
+    let Scalar::Nodes(rel) = s else { return None };
+    match &**rel {
+        // `.` — `self::node()` already fused to the bare context.
+        Rel::Context => Some(ValueSource::SelfValue),
+        Rel::AttrStep {
+            input,
+            name: Some(a),
+            has_preds: false,
+        } if matches!(**input, Rel::Context) => Some(ValueSource::Attr(a.clone())),
+        Rel::Step {
+            input,
+            axis: Axis::Child,
+            test: NodeTest::Name(c),
+            preds,
+        } if preds.is_empty() && matches!(**input, Rel::Context) => {
+            Some(ValueSource::Child(c.clone()))
+        }
+        _ => None,
+    }
 }
 
 /// Whether a predicate may leave its position scope (pushdown).
@@ -374,6 +502,17 @@ fn hoist_rel(r: Rel) -> Rel {
             input: Box::new(hoist_rel(*input)),
             pred: Box::new(hoist_scalar(*pred)),
         },
+        Rel::ValueProbe {
+            input,
+            axis,
+            test,
+            pred,
+        } => Rel::ValueProbe {
+            input: Box::new(hoist_rel(*input)),
+            axis,
+            test,
+            pred,
+        },
         Rel::GroupFilter { input, preds } => Rel::GroupFilter {
             input: Box::new(hoist_rel(*input)),
             preds: preds.into_iter().map(hoist_pred).collect(),
@@ -519,6 +658,81 @@ mod tests {
         assert!(
             matches!(&**pred, Scalar::Const(_)),
             "invariant predicate must hoist, got {pred:?}"
+        );
+    }
+
+    #[test]
+    fn value_predicates_lower_to_probes() {
+        // Attribute equality.
+        let plan = rewritten("//item[@id = \"item42\"]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::ValueProbe { axis, pred, .. } = &**rel else {
+            panic!("expected a value probe, got {rel:?}")
+        };
+        assert_eq!(*axis, Axis::Descendant);
+        assert!(matches!(&pred.source, ValueSource::Attr(a) if a.local == "id"));
+        assert!(matches!(&pred.cmp, ValueCmp::Eq(v) if v == "item42"));
+        // Self comparison, numeric range, literal on the left (flip).
+        for (src, lo_incl) in [("//price[. > 50]", false), ("//price[50 <= .]", true)] {
+            let plan = rewritten(src);
+            let Scalar::Nodes(rel) = strip(&plan) else {
+                panic!()
+            };
+            let Rel::ValueProbe { pred, .. } = &**rel else {
+                panic!("{src}: expected a value probe, got {rel:?}")
+            };
+            assert!(matches!(&pred.source, ValueSource::SelfValue), "{src}");
+            let ValueCmp::InRange(r) = &pred.cmp else {
+                panic!("{src}")
+            };
+            assert_eq!((r.lo, r.lo_incl), (50.0, lo_incl), "{src}");
+        }
+        // Child comparison.
+        let plan = rewritten("//person[name = \"Alice\"]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        let Rel::ValueProbe { pred, .. } = &**rel else {
+            panic!("expected a value probe, got {rel:?}")
+        };
+        assert!(matches!(&pred.source, ValueSource::Child(c) if c.local == "name"));
+        // `*[@a = ...]` lowers too (attribute probes need no element
+        // name).
+        let plan = rewritten("//*[@id = \"x\"]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        assert!(matches!(&**rel, Rel::ValueProbe { .. }), "got {rel:?}");
+    }
+
+    #[test]
+    fn unsupported_value_shapes_stay_filters() {
+        // `!=`, non-literal operands, positional predicates, `*[. = x]`.
+        for src in [
+            "//price[. != \"50\"]",
+            "//item[@id = $v]",
+            "//*[. = \"x\"]",
+            "//price[. > name]",
+        ] {
+            let plan = rewritten(src);
+            let Scalar::Nodes(rel) = strip(&plan) else {
+                panic!("{src}")
+            };
+            assert!(
+                !matches!(&**rel, Rel::ValueProbe { .. }),
+                "{src} must not lower, got {rel:?}"
+            );
+        }
+        // Positional predicates never reach the rule at all.
+        let plan = rewritten("//item[2][@id = \"x\"]");
+        let Scalar::Nodes(rel) = strip(&plan) else {
+            panic!()
+        };
+        assert!(
+            !matches!(&**rel, Rel::ValueProbe { .. }),
+            "positional step must keep its scope, got {rel:?}"
         );
     }
 

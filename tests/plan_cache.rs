@@ -64,6 +64,43 @@ fn cached_plans_see_fresh_snapshots() {
     assert_eq!(s.plan_cache_stats().hits, 1, "still served from the cache");
 }
 
+/// At the capacity, the cache evicts single LRU entries — a hot query
+/// used throughout an eviction storm of one-shot texts must never be
+/// recompiled, and the evictions are counted.
+#[test]
+fn hot_query_survives_an_eviction_storm() {
+    const CAP: usize = 1024; // Store::PLAN_CACHE_CAP
+    let s = store();
+    let hot = "count(//person)";
+    assert_eq!(s.query(hot).unwrap(), Value::Number(2.0));
+    // 1.5x the capacity of distinct one-shot texts, touching the hot
+    // query between every few of them so it stays recently used.
+    let storm = CAP + CAP / 2;
+    for i in 0..storm {
+        let cold = format!("count(//person[@id = \"nope{i}\"])");
+        assert_eq!(s.query(&cold).unwrap(), Value::Number(0.0));
+        if i % 3 == 0 {
+            s.query(hot).unwrap();
+        }
+    }
+    let stats = s.plan_cache_stats();
+    assert_eq!(
+        stats.misses,
+        1 + storm as u64,
+        "the hot query must compile exactly once: {stats:?}"
+    );
+    assert!(stats.hits >= (storm / 3) as u64, "{stats:?}");
+    assert!(
+        stats.evictions > 0 && stats.evictions as usize >= storm - CAP,
+        "single-entry evictions must be counted: {stats:?}"
+    );
+    assert!(stats.entries <= CAP, "{stats:?}");
+    // And it still answers from the cache afterwards.
+    let hits_before = s.plan_cache_stats().hits;
+    s.query(hot).unwrap();
+    assert_eq!(s.plan_cache_stats().hits, hits_before + 1);
+}
+
 #[test]
 fn query_nodes_pins_results_by_node_id() {
     let s = store();

@@ -13,9 +13,11 @@
 
 mod common;
 
-use common::{rand_name, rand_tree, TestRng};
-use mbxq::{InsertPosition, NaiveDoc, Node, PageConfig, PagedDoc, QName, ReadOnlyDoc, TreeView};
-use mbxq_xpath::{AxisChoice, Bindings, EvalOptions, Value, XPath};
+use common::{rand_name, rand_text, rand_tree, TestRng};
+use mbxq::{
+    InsertPosition, Kind, NaiveDoc, Node, PageConfig, PagedDoc, QName, ReadOnlyDoc, TreeView,
+};
+use mbxq_xpath::{AxisChoice, Bindings, EvalOptions, Value, ValueChoice, XPath};
 
 /// NaN-tolerant value equality (`NaN != NaN` under `PartialEq`, but the
 /// oracle wants "both NaN" to count as agreement).
@@ -26,33 +28,37 @@ fn values_equal(a: &Value, b: &Value) -> bool {
     }
 }
 
-/// One comparison: planned (under `axis`) vs interpreted, same view.
+/// One comparison: planned (under every strategy-override combination)
+/// vs interpreted, same view.
 fn check_query<V: TreeView>(view: &V, xp: &XPath, bindings: &Bindings, seed_info: &str) {
     let root: Vec<u64> = view.root_pre().into_iter().collect();
     let want = xp.eval_interpreted_with(view, &root, bindings);
-    for axis in [
-        AxisChoice::Auto,
-        AxisChoice::ForceStaircase,
-        AxisChoice::ForceIndex,
+    for (axis, value) in [
+        (AxisChoice::Auto, ValueChoice::Auto),
+        (AxisChoice::Auto, ValueChoice::ForceScan),
+        (AxisChoice::Auto, ValueChoice::ForceProbe),
+        (AxisChoice::ForceStaircase, ValueChoice::ForceScan),
+        (AxisChoice::ForceIndex, ValueChoice::ForceProbe),
     ] {
         let opts = EvalOptions {
             bindings: Some(bindings),
             axis,
+            value,
             ..EvalOptions::default()
         };
         let got = xp.eval_opts(view, &root, &opts);
         match (&want, &got) {
             (Ok(w), Ok(g)) => assert!(
                 values_equal(w, g),
-                "{seed_info}: '{}' under {axis:?}\n  interpreter: {w:?}\n  planned:     {g:?}\n\
-                 logical plan:\n{}physical plan:\n{}",
+                "{seed_info}: '{}' under {axis:?}/{value:?}\n  interpreter: {w:?}\n  \
+                 planned:     {g:?}\nlogical plan:\n{}physical plan:\n{}",
                 xp.source(),
                 xp.explain(),
                 xp.explain_physical()
             ),
             (Err(_), Err(_)) => {}
             (w, g) => panic!(
-                "{seed_info}: '{}' under {axis:?} diverged in failure: \
+                "{seed_info}: '{}' under {axis:?}/{value:?} diverged in failure: \
                  interpreter {w:?} vs planned {g:?}",
                 xp.source()
             ),
@@ -91,6 +97,25 @@ fn query_corpus(rng: &mut TestRng) -> Vec<String> {
         "//a[$v]".to_string(),
         "//a[@x = $want]".to_string(),
         "$set/b".to_string(),
+        // Value predicates — the content-index lowering corpus.
+        "//a[@x = \"t\"]/b".to_string(),
+        "//item[. = \"t\"]".to_string(),
+        "//a[. = \"x < y\"]".to_string(),
+        "//a[b = \"t\"]".to_string(),
+        "//a[name = \"uni—code\"]".to_string(),
+        "//item[. = 7]".to_string(),
+        "//item[. > 3]".to_string(),
+        "//a[b >= 5]".to_string(),
+        "//a[b < 10]/c".to_string(),
+        "//a[7 <= b]".to_string(),
+        "//*[@x = \"t\"]".to_string(),
+        "//a[@x > 2]".to_string(),
+        "//a[@x = \"\"]".to_string(),
+        "//item[. = \"\"]".to_string(),
+        "count(//a[b = \"t\"])".to_string(),
+        "//a[@x = \"t\"][b]".to_string(),
+        "//a[normalize-space() = \"t\"]".to_string(),
+        "//a[string-length() = 1]".to_string(),
     ];
     // Random simple paths: 1-3 steps, optional predicate.
     for _ in 0..6 {
@@ -178,13 +203,20 @@ fn planned_execution_survives_update_batches() {
             "count(//b)",
             "//name | //x",
             "//a[@x]",
+            // Value predicates must stay index ≡ scan across updates.
+            "//a[@x = \"t\"]",
+            "//a[@x = \"fresh\"]",
+            "//item[. = \"t\"]",
+            "//a[b = \"t\"]",
+            "//item[. > 3]",
+            "//a[@x = 7]",
         ]
         .iter()
         .map(|q| XPath::parse(q).unwrap())
         .collect();
 
         for batch in 0..6 {
-            // Random batch of structural + name updates.
+            // Random batch of structural + name + value updates.
             for _ in 0..3 {
                 let used: Vec<u64> = {
                     let mut v = Vec::new();
@@ -197,7 +229,7 @@ fn planned_execution_survives_update_batches() {
                 };
                 let target_pre = *rng.pick(&used);
                 let node = up.pre_to_node(target_pre).unwrap();
-                match rng.below(4) {
+                match rng.below(6) {
                     0 => {
                         let sub = rand_tree(&mut rng, 2, 3);
                         let _ = up.insert(InsertPosition::LastChildOf(node), &sub);
@@ -209,8 +241,32 @@ fn planned_execution_survives_update_batches() {
                     2 => {
                         let _ = up.rename(node, &QName::local(rand_name(&mut rng)));
                     }
+                    3 => {
+                        let value = if rng.chance(1, 2) {
+                            rand_text(&mut rng)
+                        } else {
+                            format!("{}", rng.below(10))
+                        };
+                        let _ = up.set_attribute(node, &QName::local(rand_name(&mut rng)), &value);
+                    }
                     _ => {
-                        let _ = up.set_attribute(node, &QName::local(rand_name(&mut rng)), "fresh");
+                        // Text edit on a random text node (numeric half
+                        // the time, to exercise the sorted arm).
+                        let texts: Vec<u64> = used
+                            .iter()
+                            .copied()
+                            .filter(|&p| up.kind(p) == Some(Kind::Text))
+                            .collect();
+                        if !texts.is_empty() {
+                            let t = *rng.pick(&texts);
+                            let tnode = up.pre_to_node(t).unwrap();
+                            let value = if rng.chance(1, 2) {
+                                rand_text(&mut rng)
+                            } else {
+                                format!("{}", rng.below(10))
+                            };
+                            let _ = up.update_value(tnode, &value);
+                        }
                     }
                 }
             }
