@@ -1,0 +1,254 @@
+//! Columnar batch kernels — the contiguous-memory arm of the staircase
+//! scan.
+//!
+//! The classic staircase scan visits one slot per loop iteration through
+//! the [`TreeView`] accessors: for the paged schema every visit costs a
+//! `pre → pos` page swizzle plus a bounds-checked column load, and for a
+//! name test an interned-pool lookup on top. This module replaces the
+//! per-slot walk with **batch loops over contiguous column slices**
+//! ([`TreeView::pre_chunk`]): the node test is resolved *once* per scan
+//! into a probe — a name test becomes a single interned-id
+//! comparison — and each chunk is then filtered in a tight loop over raw
+//! `&[Kind]`/`&[u32]` slices the compiler can unroll. Schemas without
+//! contiguous columns (the naive strawman) transparently fall back to
+//! the per-slot walk.
+//!
+//! [`descendant_scan_ranges`] exposes the other half of the staircase:
+//! the horizon-pruned, disjoint subtree regions a descendant step scans.
+//! Materializing the ranges separately from the scan lets the
+//! morsel-parallel executor partition them across worker threads while
+//! [`scan_range`] stays oblivious to who calls it.
+
+use crate::NodeTest;
+use mbxq_storage::{Kind, PreChunk, TreeView};
+
+/// The per-chunk comparison a scan resolves its [`NodeTest`] into, once
+/// per range instead of once per slot.
+enum Probe {
+    /// Elements whose interned name id equals the payload.
+    Elem(u32),
+    /// Any element.
+    AnyElement,
+    /// Any node of this kind.
+    OfKind(Kind),
+    /// Every used slot.
+    AnyNode,
+    /// The tested name is not interned in this document: nothing can
+    /// match, the scan is skipped entirely.
+    Empty,
+    /// Tests needing per-node data beyond the base columns (PI targets)
+    /// fall back to [`NodeTest::matches`] per live slot.
+    Slow,
+}
+
+impl Probe {
+    fn resolve<V: TreeView + ?Sized>(view: &V, test: &NodeTest) -> Probe {
+        match test {
+            NodeTest::Name(q) => match view.pool().lookup_qname(q) {
+                Some(qn) => Probe::Elem(qn.0),
+                None => Probe::Empty,
+            },
+            NodeTest::AnyElement => Probe::AnyElement,
+            NodeTest::Text => Probe::OfKind(Kind::Text),
+            NodeTest::Comment => Probe::OfKind(Kind::Comment),
+            NodeTest::AnyPi => Probe::OfKind(Kind::ProcessingInstruction),
+            NodeTest::AnyNode => Probe::AnyNode,
+            NodeTest::PiTarget(_) => Probe::Slow,
+        }
+    }
+}
+
+/// Appends `chunk.pre + i` for every live slot `i` passing `pred`,
+/// with the liveness branch hoisted out of the dense (read-only) case.
+#[inline]
+fn emit_matching(chunk: &PreChunk<'_>, out: &mut Vec<u64>, mut pred: impl FnMut(usize) -> bool) {
+    match chunk.used {
+        None => {
+            for i in 0..chunk.len() {
+                if pred(i) {
+                    out.push(chunk.pre + i as u64);
+                }
+            }
+        }
+        Some(used) => {
+            for (i, &live) in used.iter().enumerate().take(chunk.len()) {
+                if live && pred(i) {
+                    out.push(chunk.pre + i as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Scans the pre range `[lo, hi)`, appending every used node passing
+/// `test` to `out` in ascending pre order — the batch kernel behind the
+/// descendant staircase scan.
+pub fn scan_range<V: TreeView + ?Sized>(
+    view: &V,
+    lo: u64,
+    hi: u64,
+    test: &NodeTest,
+    out: &mut Vec<u64>,
+) {
+    scan_resolved(view, lo, hi, test, &Probe::resolve(view, test), out);
+}
+
+/// [`scan_range`] over many ranges with the node test resolved once —
+/// the shape both the staircase join and the parallel executor use.
+/// Ranges must be disjoint and ascending for the output to be sorted.
+pub fn scan_ranges<V: TreeView + ?Sized>(
+    view: &V,
+    ranges: &[(u64, u64)],
+    test: &NodeTest,
+    out: &mut Vec<u64>,
+) {
+    let probe = Probe::resolve(view, test);
+    for &(lo, hi) in ranges {
+        scan_resolved(view, lo, hi, test, &probe, out);
+    }
+}
+
+fn scan_resolved<V: TreeView + ?Sized>(
+    view: &V,
+    lo: u64,
+    hi: u64,
+    test: &NodeTest,
+    probe: &Probe,
+    out: &mut Vec<u64>,
+) {
+    if matches!(probe, Probe::Empty) {
+        return;
+    }
+    let mut p = lo;
+    while p < hi {
+        let Some(chunk) = view.pre_chunk(p, hi) else {
+            // Chunk-less schema: the per-slot staircase walk.
+            while let Some(q) = view.next_used_at_or_after(p) {
+                if q >= hi {
+                    break;
+                }
+                if test.matches(view, q) {
+                    out.push(q);
+                }
+                p = q + 1;
+            }
+            return;
+        };
+        match probe {
+            Probe::Elem(want) => emit_matching(&chunk, out, |i| {
+                chunk.kinds[i] == Kind::Element && chunk.names[i] == *want
+            }),
+            Probe::AnyElement => emit_matching(&chunk, out, |i| chunk.kinds[i] == Kind::Element),
+            Probe::OfKind(k) => emit_matching(&chunk, out, |i| chunk.kinds[i] == *k),
+            Probe::AnyNode => emit_matching(&chunk, out, |_| true),
+            Probe::Slow => emit_matching(&chunk, out, |i| test.matches(view, chunk.pre + i as u64)),
+            Probe::Empty => unreachable!(),
+        }
+        p += chunk.len() as u64;
+    }
+}
+
+/// The horizon-pruned, disjoint subtree regions `(lo, hi)` a
+/// descendant(-or-self) staircase over `context` scans, in ascending
+/// order. Scanning them with [`scan_ranges`] reproduces the staircase
+/// result exactly; partitioning them over threads parallelizes it.
+pub fn descendant_scan_ranges<V: TreeView + ?Sized>(
+    view: &V,
+    context: &[u64],
+    or_self: bool,
+) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(context.len());
+    let mut horizon = 0u64;
+    for &c in context {
+        if c < horizon {
+            continue; // pruned: covered by a previous context node
+        }
+        horizon = view.region_end(c);
+        let lo = if or_self { c } else { c + 1 };
+        if lo < horizon {
+            out.push((lo, horizon));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{step, Axis};
+    use mbxq_storage::{NaiveDoc, PageConfig, PagedDoc, ReadOnlyDoc};
+    use mbxq_xml::QName;
+
+    const DOC: &str = "<a>t0<b><c><d/>mid<e/></c></b><f><g/><!--x--><h><i/><j/></h></f></a>";
+
+    fn scan<V: TreeView>(view: &V, lo: u64, hi: u64, test: &NodeTest) -> Vec<u64> {
+        let mut out = Vec::new();
+        scan_range(view, lo, hi, test, &mut out);
+        out
+    }
+
+    /// The batch scan must agree with the per-slot walk on every schema
+    /// (chunked and fallback paths), every test, every sub-range.
+    #[test]
+    fn scan_matches_per_slot_walk() {
+        let ro = ReadOnlyDoc::parse_str(DOC).unwrap();
+        let up = PagedDoc::parse_str(DOC, PageConfig::new(4, 75).unwrap()).unwrap();
+        let nv = NaiveDoc::parse_str(DOC).unwrap();
+        fn check<V: TreeView>(view: &V) {
+            let tests = [
+                NodeTest::AnyNode,
+                NodeTest::AnyElement,
+                NodeTest::Text,
+                NodeTest::Comment,
+                NodeTest::Name(QName::local("h")),
+                NodeTest::Name(QName::local("nope")),
+            ];
+            let end = view.pre_end();
+            for test in &tests {
+                for lo in 0..end {
+                    for hi in lo..=end {
+                        let mut want = Vec::new();
+                        let mut p = lo;
+                        while let Some(q) = view.next_used_at_or_after(p) {
+                            if q >= hi {
+                                break;
+                            }
+                            if test.matches(view, q) {
+                                want.push(q);
+                            }
+                            p = q + 1;
+                        }
+                        assert_eq!(scan(view, lo, hi, test), want, "[{lo},{hi}) {test:?}");
+                    }
+                }
+            }
+        }
+        check(&ro);
+        check(&up);
+        check(&nv);
+    }
+
+    /// Scanning the staircase ranges reproduces the descendant step.
+    #[test]
+    fn ranges_plus_scan_equal_staircase() {
+        let up = PagedDoc::parse_str(DOC, PageConfig::new(4, 75).unwrap()).unwrap();
+        let contexts: &[&[u64]] = &[&[0], &[2, 8], &[2, 3, 8], &[0, 2, 8]];
+        for ctx in contexts {
+            let ctx: Vec<u64> = ctx.iter().copied().filter(|&p| up.is_used(p)).collect();
+            for or_self in [false, true] {
+                let axis = if or_self {
+                    Axis::DescendantOrSelf
+                } else {
+                    Axis::Descendant
+                };
+                let want = step(&up, &ctx, axis, &NodeTest::AnyElement);
+                let ranges = descendant_scan_ranges(&up, &ctx, or_self);
+                // Ranges are disjoint and ascending.
+                assert!(ranges.windows(2).all(|w| w[0].1 <= w[1].0), "{ranges:?}");
+                let mut got = Vec::new();
+                scan_ranges(&up, &ranges, &NodeTest::AnyElement, &mut got);
+                assert_eq!(got, want, "ctx {ctx:?} or_self {or_self}");
+            }
+        }
+    }
+}

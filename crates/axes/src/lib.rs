@@ -25,10 +25,12 @@
 use mbxq_storage::{Kind, TreeView};
 use mbxq_xml::QName;
 
+pub mod batch;
 mod iterators;
 pub mod loop_lifted;
 pub mod semijoin;
 
+pub use batch::{descendant_scan_ranges, scan_range, scan_ranges};
 pub use iterators::{children, descendants, following_siblings};
 pub use loop_lifted::{step_lifted, ContextSeq};
 pub use semijoin::{exists_step, range_semijoin};
@@ -179,25 +181,17 @@ pub fn step<V: TreeView + ?Sized>(
 
 /// Descendant staircase join: prune covered context nodes, then scan each
 /// surviving region once. Results come out in document order with no
-/// duplicates by construction.
+/// duplicates by construction. The region scans run as columnar batch
+/// loops (see [`batch`]) — pruning here, filtering there.
 fn staircase_descendant<V: TreeView + ?Sized>(
     view: &V,
     context: &[u64],
     test: &NodeTest,
     or_self: bool,
 ) -> Vec<u64> {
+    let ranges = batch::descendant_scan_ranges(view, context, or_self);
     let mut out = Vec::new();
-    let mut horizon = 0u64; // end of the last scanned region
-    for &c in context {
-        if c < horizon {
-            continue; // pruned: covered by a previous context node
-        }
-        if or_self && test.matches(view, c) {
-            out.push(c);
-        }
-        out.extend(iterators::descendants(view, c).filter(|&p| test.matches(view, p)));
-        horizon = view.region_end(c);
-    }
+    batch::scan_ranges(view, &ranges, test, &mut out);
     out
 }
 

@@ -57,22 +57,28 @@ fn semijoin_group<V: TreeView + ?Sized>(
         Axis::Descendant | Axis::DescendantOrSelf => {
             // Staircase pruning: a context node covered by a previous
             // one contributes nothing new, and surviving regions are
-            // disjoint and ascending — the output needs no sort.
+            // disjoint and ascending — the output needs no sort, and
+            // each binary search only probes the candidate *suffix*
+            // past the previous region (`base`), so a group of g
+            // context nodes costs O(Σ log tailᵢ), not O(g · log k).
             let mut horizon = 0u64;
+            let mut base = 0usize;
             for &c in group {
                 if c < horizon {
                     continue;
                 }
                 let end = view.region_end(c);
-                let lo = if axis == Axis::DescendantOrSelf {
-                    cands.partition_point(|&p| p < c)
-                } else {
-                    cands.partition_point(|&p| p <= c)
-                };
-                let hi = cands.partition_point(|&p| p < end);
+                let lo = base
+                    + if axis == Axis::DescendantOrSelf {
+                        cands[base..].partition_point(|&p| p < c)
+                    } else {
+                        cands[base..].partition_point(|&p| p <= c)
+                    };
+                let hi = lo + cands[lo..].partition_point(|&p| p < end);
                 for &p in &cands[lo..hi] {
                     emit(p);
                 }
+                base = hi;
                 horizon = end;
             }
         }
@@ -81,18 +87,22 @@ fn semijoin_group<V: TreeView + ?Sized>(
             // child of c. Nested context nodes make child sets
             // interleave, so collect and sort per group (sets are
             // disjoint — a node has one parent — no dedup needed).
+            // Regions may nest, so only the search *floor* is monotone
+            // (c ascends ⇒ lo ascends); `base` narrows the lower probe.
             let mut hits: Vec<u64> = Vec::new();
+            let mut base = 0usize;
             for &c in group {
                 let Some(lvl) = view.level(c) else { continue };
                 let end = view.region_end(c);
-                let lo = cands.partition_point(|&p| p <= c);
-                let hi = cands.partition_point(|&p| p < end);
+                let lo = base + cands[base..].partition_point(|&p| p <= c);
+                let hi = lo + cands[lo..].partition_point(|&p| p < end);
                 hits.extend(
                     cands[lo..hi]
                         .iter()
                         .copied()
                         .filter(|&p| view.level(p) == Some(lvl + 1)),
                 );
+                base = lo;
             }
             hits.sort_unstable();
             for p in hits {

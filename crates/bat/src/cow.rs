@@ -93,6 +93,23 @@ impl<T: Clone> CowVec<T> {
         Some(&self.pages[i >> self.shift][i & self.mask])
     }
 
+    /// The longest contiguous slice starting at index `i` and ending at
+    /// or before `end` — at most one page, since pages are independently
+    /// allocated. Batch kernels walk a column as a handful of slice
+    /// loops instead of per-index page arithmetic; the returned slice is
+    /// never empty for `i < min(end, len)`.
+    #[inline]
+    pub fn run_at(&self, i: usize, end: usize) -> &[T] {
+        let end = end.min(self.len);
+        if i >= end {
+            return &[];
+        }
+        let page = &self.pages[i >> self.shift];
+        let off = i & self.mask;
+        let take = (end - i).min(page.len() - off);
+        &page[off..off + take]
+    }
+
     /// Appends one value, growing the (possibly short) last page.
     pub fn push(&mut self, value: T) {
         let slot = self.len & self.mask;

@@ -24,10 +24,7 @@ use mbxq_xpath::{AxisChoice, EvalOptions, EvalStats, XPath};
 use std::fmt::Write as _;
 
 fn arm_opts(axis: AxisChoice) -> EvalOptions<'static> {
-    EvalOptions {
-        axis,
-        ..EvalOptions::default()
-    }
+    EvalOptions::new().axis(axis)
 }
 
 fn main() {
@@ -104,11 +101,7 @@ fn main() {
         let stats = EvalStats::default();
         xp.select_from_root_opts(
             &ro,
-            &EvalOptions {
-                axis: AxisChoice::Auto,
-                stats: Some(&stats),
-                ..EvalOptions::default()
-            },
+            &EvalOptions::new().axis(AxisChoice::Auto).stats(&stats),
         )
         .unwrap();
         let chose_index = stats.index_steps.get();

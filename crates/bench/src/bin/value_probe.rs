@@ -44,10 +44,7 @@ const QUERIES: &[(&str, &str)] = &[
 ];
 
 fn arm_opts(value: ValueChoice) -> EvalOptions<'static> {
-    EvalOptions {
-        value,
-        ..EvalOptions::default()
-    }
+    EvalOptions::new().value(value)
 }
 
 fn main() {
@@ -102,14 +99,8 @@ fn main() {
 
         // Which arm did the cost model actually take?
         let stats = EvalStats::default();
-        xp.select_from_root_opts(
-            &ro,
-            &EvalOptions {
-                stats: Some(&stats),
-                ..EvalOptions::default()
-            },
-        )
-        .unwrap();
+        xp.select_from_root_opts(&ro, &EvalOptions::new().stats(&stats))
+            .unwrap();
         let chose_probe = stats.value_probe_steps.get();
         let chose_scan = stats.value_scan_steps.get();
 

@@ -32,9 +32,9 @@ use mbxq_storage::{InsertPosition, PageConfig, PagedDoc};
 use mbxq_txn::wal::Wal;
 use mbxq_txn::{AncestorLockMode, CommitPipeline, Store, StoreConfig};
 use mbxq_xmark::rng::StdRng;
-use mbxq_xmark::{generate, run_query, XMarkConfig, QUERY_COUNT};
+use mbxq_xmark::{generate, run_query_opts, XMarkConfig, QUERY_COUNT};
 use mbxq_xml::Document;
-use mbxq_xpath::XPath;
+use mbxq_xpath::{EvalOptions, XPath};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -69,11 +69,20 @@ fn region_item_ranges(total: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Latency bucket for one XMark query class (Q1–Q20).
+struct QueryBucket {
+    q: usize,
+    count: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
 /// One grid point's outcome.
 struct Cell {
     pipeline: &'static str,
     readers: usize,
     writers: usize,
+    query_threads: usize,
     secs: f64,
     commits: u64,
     timeouts: u64,
@@ -82,6 +91,7 @@ struct Cell {
     commit_p99_us: f64,
     read_p50_us: f64,
     read_p99_us: f64,
+    per_query: Vec<QueryBucket>,
     wal_batches: u64,
     wal_records: u64,
     wal_max_batch: u64,
@@ -102,6 +112,7 @@ fn run_cell(
     pipeline: CommitPipeline,
     readers: usize,
     writers: usize,
+    query_threads: usize,
     secs: f64,
     wal_path: &std::path::Path,
 ) -> Cell {
@@ -121,6 +132,7 @@ fn run_cell(
             lock_timeout: Duration::from_millis(250),
             validate_on_commit: false,
             pipeline,
+            query_threads,
         },
     );
 
@@ -129,7 +141,9 @@ fn run_cell(
     let timeouts = AtomicU64::new(0);
     let reads = AtomicU64::new(0);
     let commit_lat = Mutex::new(Vec::<u64>::new());
-    let read_lat = Mutex::new(Vec::<u64>::new());
+    // (query number, latency ns) pairs — kept per class so p50/p99 can
+    // be bucketed by Q1–Q20 after the run.
+    let read_lat = Mutex::new(Vec::<(usize, u64)>::new());
     // Original items in the document (auctions use `<itemref`, so this
     // counts exactly the region items).
     let item_ranges = region_item_ranges(xml.match_indices("<item ").count());
@@ -142,13 +156,20 @@ fn run_cell(
             let read_lat = &read_lat;
             s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(0xecad + r as u64);
+                // Readers share the store's morsel pool (if configured):
+                // every snapshot query below runs morsel-parallel when
+                // the cost model clears it, sequential otherwise.
+                let opts = match store.query_pool() {
+                    Some(pool) => EvalOptions::new().pool(pool),
+                    None => EvalOptions::new(),
+                };
                 let mut lat = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     let q = 1 + rng.gen_range(0..QUERY_COUNT);
                     let t0 = Instant::now();
                     let snap = store.snapshot();
-                    let out = run_query(snap.as_ref(), q).expect("XMark query");
-                    lat.push(t0.elapsed().as_nanos() as u64);
+                    let out = run_query_opts(snap.as_ref(), q, &opts).expect("XMark query");
+                    lat.push((q, t0.elapsed().as_nanos() as u64));
                     std::hint::black_box(out);
                     reads.fetch_add(1, Ordering::Relaxed);
                 }
@@ -283,8 +304,30 @@ fn run_cell(
 
     let stats = store.group_commit_stats();
     let mut clat = commit_lat.into_inner().unwrap();
-    let mut rlat = read_lat.into_inner().unwrap();
+    let tagged = read_lat.into_inner().unwrap();
     clat.sort_unstable();
+    // Bucket read latencies by query class, then flatten for the
+    // aggregate percentiles.
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); QUERY_COUNT + 1];
+    for &(q, ns) in &tagged {
+        buckets[q].push(ns);
+    }
+    let per_query: Vec<QueryBucket> = buckets
+        .iter_mut()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, b)| !b.is_empty())
+        .map(|(q, b)| {
+            b.sort_unstable();
+            QueryBucket {
+                q,
+                count: b.len(),
+                p50_us: percentile(b, 50.0),
+                p99_us: percentile(b, 99.0),
+            }
+        })
+        .collect();
+    let mut rlat: Vec<u64> = tagged.iter().map(|&(_, ns)| ns).collect();
     rlat.sort_unstable();
     let _ = std::fs::remove_file(wal_path);
     Cell {
@@ -294,6 +337,7 @@ fn run_cell(
         },
         readers,
         writers,
+        query_threads,
         secs,
         commits: commits.load(Ordering::Relaxed),
         timeouts: timeouts.load(Ordering::Relaxed),
@@ -302,6 +346,7 @@ fn run_cell(
         commit_p99_us: percentile(&clat, 99.0),
         read_p50_us: percentile(&rlat, 50.0),
         read_p99_us: percentile(&rlat, 99.0),
+        per_query,
         wal_batches: stats.batches,
         wal_records: stats.records,
         wal_max_batch: stats.max_batch,
@@ -327,29 +372,42 @@ fn main() {
     );
     let wal_path = std::env::temp_dir().join(format!("mbxq-workload-{}.wal", std::process::id()));
 
-    let grid: Vec<(CommitPipeline, usize, usize)> = if smoke {
+    // Grid rows: (pipeline, readers, writers, query_threads).
+    let grid: Vec<(CommitPipeline, usize, usize, usize)> = if smoke {
         // One writer: at smoke scale every region shares a page or two,
         // so two writers would spend the whole (tiny) run in lock waits.
-        vec![(CommitPipeline::Short, 2, 1)]
+        // query_threads = 2 exercises the morsel pool under concurrency
+        // even in CI.
+        vec![(CommitPipeline::Short, 2, 1, 2)]
     } else {
         let mut g = Vec::new();
-        // Reader baseline: no writers at all.
-        g.push((CommitPipeline::Short, 2, 0));
+        // Readers × query-threads grid: no writers, so the delta between
+        // rows is purely the morsel pool (and its sharing across reader
+        // threads).
+        for readers in [1, 2, 4] {
+            for threads in [0, 2, 4] {
+                g.push((CommitPipeline::Short, readers, 0, threads));
+            }
+        }
         // Writers stay ≤ 6 so each gets its own XMark region (disjoint
         // page sets; page-lock conflicts would otherwise drown the
         // commit-pipeline signal in upgrade-deadlock timeouts).
         for pipeline in [CommitPipeline::Short, CommitPipeline::LongLock] {
             for writers in [1, 2, 4, 6] {
-                g.push((pipeline, 0, writers)); // pure writer scaling
-                g.push((pipeline, 2, writers)); // mixed workload
+                g.push((pipeline, 0, writers, 0)); // pure writer scaling
+                g.push((pipeline, 2, writers, 0)); // mixed workload
             }
         }
+        // Mixed workload with the morsel pool on: commit throughput must
+        // not regress when readers also fan out across the pool.
+        g.push((CommitPipeline::Short, 2, 4, 2));
         g
     };
 
     println!(
-        "{:>6} {:>3}r {:>3}w {:>10} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7}",
+        "{:>6} {:>3}r {:>3}w {:>3}t {:>10} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7}",
         "mode",
+        "",
         "",
         "",
         "commits/s",
@@ -362,18 +420,27 @@ fn main() {
         "batch"
     );
     let mut cells = Vec::new();
-    for (pipeline, readers, writers) in grid {
-        let cell = run_cell(&xml, pipeline, readers, writers, secs, &wal_path);
+    for (pipeline, readers, writers, query_threads) in grid {
+        let cell = run_cell(
+            &xml,
+            pipeline,
+            readers,
+            writers,
+            query_threads,
+            secs,
+            &wal_path,
+        );
         let avg_batch = if cell.wal_batches > 0 {
             cell.wal_records as f64 / cell.wal_batches as f64
         } else {
             0.0
         };
         println!(
-            "{:>6} {:>3}r {:>3}w {:>10.0} {:>9} {:>10.1} {:>10.1} {:>10.0} {:>9.1} {:>9.1} {:>7.2}",
+            "{:>6} {:>3}r {:>3}w {:>3}t {:>10.0} {:>9} {:>10.1} {:>10.1} {:>10.0} {:>9.1} {:>9.1} {:>7.2}",
             cell.pipeline,
             cell.readers,
             cell.writers,
+            cell.query_threads,
             cell.commits as f64 / cell.secs,
             cell.timeouts,
             cell.commit_p50_us,
@@ -384,6 +451,22 @@ fn main() {
             avg_batch,
         );
         cells.push(cell);
+    }
+
+    // Per-query-class latency for the reader-only baselines: the rows
+    // where the morsel pool's effect on individual query shapes (scan-
+    // heavy Q6/Q7/Q14 vs point-lookup Q1) is cleanest.
+    for c in cells.iter().filter(|c| c.writers == 0 && c.readers == 2) {
+        println!(
+            "per-query read latency ({} {}r {}t):",
+            c.pipeline, c.readers, c.query_threads
+        );
+        for b in &c.per_query {
+            println!(
+                "  Q{:02}: n={:<6} p50={:>9.1} µs  p99={:>9.1} µs",
+                b.q, b.count, b.p50_us, b.p99_us
+            );
+        }
     }
 
     if smoke {
@@ -408,18 +491,33 @@ fn main() {
         } else {
             0.0
         };
+        let mut per_query = String::from("[");
+        for (i, b) in c.per_query.iter().enumerate() {
+            if i > 0 {
+                per_query.push_str(", ");
+            }
+            let _ = write!(
+                per_query,
+                "{{\"q\": {}, \"count\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+                b.q, b.count, b.p50_us, b.p99_us
+            );
+        }
+        per_query.push(']');
         let _ = write!(
             json,
-            "  {{\"pipeline\": \"{}\", \"readers\": {}, \"writers\": {}, \"secs\": {}, \
+            "  {{\"pipeline\": \"{}\", \"readers\": {}, \"writers\": {}, \
+             \"query_threads\": {}, \"secs\": {}, \
              \"commits\": {}, \"timeouts\": {}, \"commits_per_s\": {:.1}, \
              \"commit_p50_us\": {:.2}, \"commit_p99_us\": {:.2}, \
              \"reads\": {}, \"reads_per_s\": {:.1}, \
              \"read_p50_us\": {:.2}, \"read_p99_us\": {:.2}, \
+             \"per_query\": {per_query}, \
              \"wal_batches\": {}, \"wal_records\": {}, \"wal_max_batch\": {}, \
              \"wal_avg_batch\": {:.3}}}",
             c.pipeline,
             c.readers,
             c.writers,
+            c.query_threads,
             c.secs,
             c.commits,
             c.timeouts,

@@ -60,7 +60,7 @@ pub use types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
 pub use update::{DeleteReport, InsertCase, InsertPosition, InsertReport};
 pub use vacuum::VacuumReport;
 pub use values::{xpath_number, NumRange, PropId, QnId, TextProbe, ValuePool};
-pub use view::TreeView;
+pub use view::{PreChunk, TreeView};
 
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, types::StorageError>;

@@ -861,6 +861,33 @@ impl TreeView for PagedDoc {
     fn elements_with_text_range_count(&self, qn: QnId, range: &NumRange) -> Option<u64> {
         Some(self.content_index.text_range_count(qn, range))
     }
+
+    fn pre_chunk(&self, pre: u64, end: u64) -> Option<crate::view::PreChunk<'_>> {
+        let total = self.pre_end();
+        if pre >= total {
+            return None;
+        }
+        // Physical positions are contiguous only within one logical
+        // page (every page occupies exactly `page_size` column slots;
+        // the PageMap permutes whole pages), so the chunk stops at the
+        // page boundary and the caller loops.
+        let page_end = ((pre >> self.shift) + 1) << self.shift;
+        let chunk_end = end.min(total).min(page_end);
+        if pre >= chunk_end {
+            return None;
+        }
+        let pos = self.pos_of_pre(pre)?;
+        let len = (chunk_end - pre) as usize;
+        Some(crate::view::PreChunk {
+            pre,
+            used: Some(self.used.run_at(pos, pos + len)),
+            kinds: self.kind.run_at(pos, pos + len),
+            levels: self.level.run_at(pos, pos + len),
+            names: self.name.run_at(pos, pos + len),
+            sizes: self.size.run_at(pos, pos + len),
+            values: self.value.run_at(pos, pos + len),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -328,6 +328,29 @@ impl TreeView for ReadOnlyDoc {
         // Hole-free: the classic O(1) jump.
         pre + self.size(pre) + 1
     }
+
+    fn pre_chunk(&self, pre: u64, end: u64) -> Option<crate::view::PreChunk<'_>> {
+        let total = self.pre_end();
+        if pre >= total {
+            return None;
+        }
+        // The dense schema is one contiguous allocation: the whole
+        // requested range comes back as a single chunk, every slot live.
+        let lo = pre as usize;
+        let hi = end.min(total) as usize;
+        if lo >= hi {
+            return None;
+        }
+        Some(crate::view::PreChunk {
+            pre,
+            used: None,
+            kinds: &self.kind.tail()[lo..hi],
+            levels: &self.level.tail()[lo..hi],
+            names: &self.name.tail()[lo..hi],
+            sizes: &self.size.tail()[lo..hi],
+            values: &self.value.tail()[lo..hi],
+        })
+    }
 }
 
 #[cfg(test)]

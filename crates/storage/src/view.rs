@@ -20,8 +20,68 @@
 use crate::types::{Kind, NodeId, ValueRef};
 use crate::values::{NumRange, PropId, QnId, TextProbe, ValuePool};
 
+/// A contiguous run of pre slots exposed as raw column slices — the
+/// batch-kernel view of the pre plane.
+///
+/// Schemas that store their columns in contiguous (page) memory hand
+/// these out through [`TreeView::pre_chunk`], so hot kernels (staircase
+/// range scans, value comparisons, string-value assembly) run tight
+/// slice loops instead of one virtual call + page swizzle per slot.
+/// All slices have the same length; index `i` describes pre rank
+/// `pre + i`. A slot is *live* iff [`PreChunk::live`] — the `names` and
+/// `values` columns hold unrelated bookkeeping for dead slots (the
+/// paged schema stores backward run lengths in `names`), so kernels
+/// must gate on liveness (and on `kinds`) before trusting them.
+#[derive(Debug, Clone, Copy)]
+pub struct PreChunk<'a> {
+    /// Pre rank of the first slot in the chunk.
+    pub pre: u64,
+    /// Per-slot liveness; `None` means every slot is used (dense schema).
+    pub used: Option<&'a [bool]>,
+    /// Node kinds (unspecified for unused slots).
+    pub kinds: &'a [Kind],
+    /// Tree depths (unspecified for unused slots).
+    pub levels: &'a [u16],
+    /// `qn` ids for elements; `u32::MAX` for non-element used slots.
+    /// Unused slots hold the backward run index — check liveness first.
+    pub names: &'a [u32],
+    /// Subtree sizes (used) or remaining run lengths (unused).
+    pub sizes: &'a [u64],
+    /// Value-table references for non-elements; `u32::MAX` for elements.
+    pub values: &'a [u32],
+}
+
+impl PreChunk<'_> {
+    /// Number of slots in the chunk (never zero).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the chunk holds no slots (never true for chunks returned
+    /// by [`TreeView::pre_chunk`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Whether slot `i` holds a document node.
+    #[inline]
+    pub fn live(&self, i: usize) -> bool {
+        match self.used {
+            Some(u) => u[i],
+            None => true,
+        }
+    }
+}
+
 /// Read access to a document in pre/size/level form.
-pub trait TreeView {
+///
+/// `Sync` is a supertrait: views are immutable snapshots by
+/// construction (updates go through transactions that publish fresh
+/// versions), and the morsel-parallel executor shares one view across
+/// its worker threads.
+pub trait TreeView: Sync {
     /// One past the last pre slot (total slots, used + unused).
     fn pre_end(&self) -> u64;
 
@@ -143,6 +203,21 @@ pub trait TreeView {
         None
     }
 
+    /// The longest contiguous column run starting at pre rank `pre` and
+    /// ending at or before `end`, as raw slices ([`PreChunk`]) — the
+    /// accessor behind the batch kernels. `None` when the slot is out of
+    /// range or the schema cannot expose contiguous columns (callers
+    /// fall back to per-slot accessors); the default is chunk-less.
+    ///
+    /// Implementations may return *any* non-empty prefix of the
+    /// requested range (the paged schema stops at logical page
+    /// boundaries, where physical contiguity ends); callers loop,
+    /// advancing by [`PreChunk::len`].
+    fn pre_chunk(&self, pre: u64, end: u64) -> Option<PreChunk<'_>> {
+        let _ = (pre, end);
+        None
+    }
+
     // ------------------------------------------------------------------
     // Derived navigation helpers (identical for both schemas).
     // ------------------------------------------------------------------
@@ -245,20 +320,38 @@ pub trait TreeView {
         }
         match self.kind(pre) {
             Some(Kind::Element) => {
+                // Batch arm: walk the region as column chunks, testing
+                // kind/liveness in a tight slice loop (one pool lookup
+                // per text hit, no per-slot view indirection).
                 let end = self.region_end(pre);
                 let mut p = pre + 1;
-                while let Some(q) = self.next_used_at_or_after(p) {
-                    if q >= end {
-                        break;
-                    }
-                    if self.kind(q) == Some(Kind::Text) {
-                        if let Some(ValueRef(v)) = self.value_ref(q) {
-                            if let Some(t) = self.pool().text(v) {
+                while p < end {
+                    let Some(chunk) = self.pre_chunk(p, end) else {
+                        // Chunk-less schema: the original per-slot walk.
+                        let Some(q) = self.next_used_at_or_after(p) else {
+                            break;
+                        };
+                        if q >= end {
+                            break;
+                        }
+                        if self.kind(q) == Some(Kind::Text) {
+                            if let Some(ValueRef(v)) = self.value_ref(q) {
+                                if let Some(t) = self.pool().text(v) {
+                                    out.push_str(t);
+                                }
+                            }
+                        }
+                        p = q + 1;
+                        continue;
+                    };
+                    for i in 0..chunk.len() {
+                        if chunk.live(i) && chunk.kinds[i] == Kind::Text {
+                            if let Some(t) = self.pool().text(chunk.values[i]) {
                                 out.push_str(t);
                             }
                         }
                     }
-                    p = q + 1;
+                    p += chunk.len() as u64;
                 }
             }
             Some(Kind::Text) => {

@@ -107,7 +107,7 @@ use mbxq_xpath::XPath;
 use op::Op;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 use wal::{Wal, WalRecord};
 
@@ -230,6 +230,11 @@ pub struct StoreConfig {
     /// Commit critical-section layout ([`CommitPipeline::Short`] unless
     /// the serial baseline is explicitly requested).
     pub pipeline: CommitPipeline,
+    /// Threads for morsel-parallel query execution (`0` or `1` =
+    /// sequential, no pool). The store lazily spawns one shared
+    /// [`mbxq_xpath::WorkerPool`] of this width on the first query and
+    /// injects it into every [`Store::query_opts`] evaluation.
+    pub query_threads: usize,
 }
 
 impl Default for StoreConfig {
@@ -239,6 +244,7 @@ impl Default for StoreConfig {
             lock_timeout: Duration::from_secs(5),
             validate_on_commit: false,
             pipeline: CommitPipeline::Short,
+            query_threads: 0,
         }
     }
 }
@@ -304,6 +310,11 @@ pub struct Store {
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     plan_evictions: AtomicU64,
+    /// Shared morsel-execution pool (lazily spawned on first query when
+    /// [`StoreConfig::query_threads`] ≥ 2). One pool per store: queries
+    /// borrow it per evaluation; its workers outlive every snapshot
+    /// they read because `run` blocks until all morsels finish.
+    query_pool: OnceLock<mbxq_xpath::WorkerPool>,
     config: StoreConfig,
 }
 
@@ -361,6 +372,7 @@ impl Store {
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             plan_evictions: AtomicU64::new(0),
+            query_pool: OnceLock::new(),
             config,
         }
     }
@@ -565,7 +577,8 @@ impl Store {
         let plan = self.cached_plan(text)?;
         let snapshot = self.snapshot();
         let root: Vec<u64> = snapshot.root_pre().into_iter().collect();
-        Ok(plan.eval_opts(snapshot.as_ref(), &root, opts)?)
+        let opts = self.inject_pool(*opts);
+        Ok(plan.eval_opts(snapshot.as_ref(), &root, &opts)?)
     }
 
     /// [`Store::query_nodes`] with full evaluation options.
@@ -576,10 +589,33 @@ impl Store {
     ) -> Result<Vec<NodeId>> {
         let plan = self.cached_plan(text)?;
         let snapshot = self.snapshot();
-        let pres = plan.select_from_root_opts(snapshot.as_ref(), opts)?;
+        let opts = self.inject_pool(*opts);
+        let pres = plan.select_from_root_opts(snapshot.as_ref(), &opts)?;
         pres.iter()
             .map(|&p| snapshot.pre_to_node(p).map_err(TxnError::from))
             .collect()
+    }
+
+    /// The store's shared query worker pool, spawned lazily on first
+    /// use; `None` when [`StoreConfig::query_threads`] < 2.
+    pub fn query_pool(&self) -> Option<&mbxq_xpath::WorkerPool> {
+        if self.config.query_threads < 2 {
+            return None;
+        }
+        Some(
+            self.query_pool
+                .get_or_init(|| mbxq_xpath::WorkerPool::new(self.config.query_threads)),
+        )
+    }
+
+    /// Adds the store's pool to `opts` unless the caller already chose
+    /// one — every query evaluation funnels through here, so a store
+    /// opened with `query_threads` ≥ 2 parallelizes transparently.
+    fn inject_pool<'a>(&'a self, opts: mbxq_xpath::EvalOptions<'a>) -> mbxq_xpath::EvalOptions<'a> {
+        match self.query_pool() {
+            Some(pool) => opts.or_pool(pool),
+            None => opts,
+        }
     }
 
     /// Entries beyond which the plan cache evicts. Interpolated query
@@ -1256,6 +1292,7 @@ mod tests {
                 lock_timeout: Duration::from_millis(200),
                 validate_on_commit: true,
                 pipeline,
+                ..StoreConfig::default()
             },
         )
     }

@@ -24,7 +24,7 @@ pub mod rng;
 mod text;
 
 pub use gen::{generate, generate_tree, XMarkConfig};
-pub use queries::{run_query, QueryResult, QUERY_COUNT, QUERY_PATHS};
+pub use queries::{run_query, run_query_opts, QueryResult, QUERY_COUNT, QUERY_PATHS};
 
 #[cfg(test)]
 mod tests {

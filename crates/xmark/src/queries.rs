@@ -15,7 +15,7 @@
 use mbxq_axes::{children, step, step_lifted, Axis, ContextSeq, NodeTest};
 use mbxq_storage::TreeView;
 use mbxq_xml::QName;
-use mbxq_xpath::XPath;
+use mbxq_xpath::{EvalOptions, XPath};
 use std::collections::HashMap;
 
 /// Number of XMark queries.
@@ -58,27 +58,39 @@ impl From<mbxq_xpath::XPathError> for QueryError {
 
 /// Runs XMark query `q` (1-based) against `view`.
 pub fn run_query<V: TreeView>(view: &V, q: usize) -> Result<QueryResult, QueryError> {
+    run_query_opts(view, q, &EvalOptions::default())
+}
+
+/// [`run_query`] with evaluation options threaded through every XPath
+/// selection the plan issues — how the workload harness runs the Q1–Q20
+/// corpus against a store's morsel-execution pool or with forced
+/// strategy arms.
+pub fn run_query_opts<V: TreeView>(
+    view: &V,
+    q: usize,
+    opts: &EvalOptions<'_>,
+) -> Result<QueryResult, QueryError> {
     match q {
-        1 => q1(view),
-        2 => q2(view),
-        3 => q3(view),
-        4 => q4(view),
-        5 => q5(view),
-        6 => q6(view),
-        7 => q7(view),
-        8 => q8(view),
-        9 => q9(view),
-        10 => q10(view),
-        11 => q11(view),
-        12 => q12(view),
-        13 => q13(view),
-        14 => q14(view),
-        15 => q15(view),
-        16 => q16(view),
-        17 => q17(view),
-        18 => q18(view),
-        19 => q19(view),
-        20 => q20(view),
+        1 => q1(view, opts),
+        2 => q2(view, opts),
+        3 => q3(view, opts),
+        4 => q4(view, opts),
+        5 => q5(view, opts),
+        6 => q6(view, opts),
+        7 => q7(view, opts),
+        8 => q8(view, opts),
+        9 => q9(view, opts),
+        10 => q10(view, opts),
+        11 => q11(view, opts),
+        12 => q12(view, opts),
+        13 => q13(view, opts),
+        14 => q14(view, opts),
+        15 => q15(view, opts),
+        16 => q16(view, opts),
+        17 => q17(view, opts),
+        18 => q18(view, opts),
+        19 => q19(view, opts),
+        20 => q20(view, opts),
         other => Err(QueryError::UnknownQuery(other)),
     }
 }
@@ -105,8 +117,8 @@ impl Fnv {
     }
 }
 
-fn sel<V: TreeView>(view: &V, path: &str) -> Result<Vec<u64>, QueryError> {
-    Ok(XPath::parse(path)?.select_from_root(view)?)
+fn sel<V: TreeView>(view: &V, opts: &EvalOptions<'_>, path: &str) -> Result<Vec<u64>, QueryError> {
+    Ok(XPath::parse(path)?.select_from_root_opts(view, opts)?)
 }
 
 fn child_named<V: TreeView>(view: &V, pre: u64, name: &str) -> Option<u64> {
@@ -149,8 +161,8 @@ fn result_from(rows: usize, fnv: Fnv) -> QueryResult {
 // ---------------------------------------------------------------------
 
 /// Q1: the name of the person with id `person0` (exact-match lookup).
-fn q1<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let hits = sel(view, "/site/people/person[@id=\"person0\"]/name")?;
+fn q1<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let hits = sel(view, opts, "/site/people/person[@id=\"person0\"]/name")?;
     let mut f = Fnv::new();
     for &h in &hits {
         f.feed(&view.string_value(h));
@@ -161,8 +173,8 @@ fn q1<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 /// Q2: the increase of the first bid of every open auction. The
 /// `for $a in //open_auction return $a/bidder[1]` loop runs as one
 /// loop-lifted child step over all auctions at once.
-fn q2<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let auctions = sel(view, "/site/open_auctions/open_auction")?;
+fn q2<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let auctions = sel(view, opts, "/site/open_auctions/open_auction")?;
     let bidders = step_lifted(
         view,
         &ContextSeq::lift(&auctions),
@@ -184,8 +196,8 @@ fn q2<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q3: auctions whose current highest bid is at least twice the first
 /// bid; returns (first increase, last increase).
-fn q3<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let auctions = sel(view, "/site/open_auctions/open_auction")?;
+fn q3<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let auctions = sel(view, opts, "/site/open_auctions/open_auction")?;
     let per_auction = step_lifted(
         view,
         &ContextSeq::lift(&auctions),
@@ -214,8 +226,8 @@ fn q3<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q4: auctions where a bid by `person1` precedes a bid by `person2` in
 /// document order (order-sensitive query); returns the initial price.
-fn q4<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let auctions = sel(view, "/site/open_auctions/open_auction")?;
+fn q4<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let auctions = sel(view, opts, "/site/open_auctions/open_auction")?;
     let mut f = Fnv::new();
     let mut rows = 0;
     for &a in &auctions {
@@ -244,8 +256,8 @@ fn q4<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 }
 
 /// Q5: how many closed auctions sold above 40.
-fn q5<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let prices = sel(view, "/site/closed_auctions/closed_auction/price")?;
+fn q5<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let prices = sel(view, opts, "/site/closed_auctions/closed_auction/price")?;
     let count = prices.iter().filter(|&&p| num(view, p) >= 40.0).count();
     let mut f = Fnv::new();
     f.feed(&count.to_string());
@@ -254,8 +266,8 @@ fn q5<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q6: number of items per region — one loop-lifted descendant staircase
 /// join for all regions, then a per-iteration count.
-fn q6<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let regions = sel(view, "/site/regions/*")?;
+fn q6<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let regions = sel(view, opts, "/site/regions/*")?;
     let item = NodeTest::Name(QName::local("item"));
     let items = step_lifted(view, &ContextSeq::lift(&regions), Axis::Descendant, &item);
     let mut f = Fnv::new();
@@ -267,18 +279,21 @@ fn q6<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q7: how many pieces of prose (descriptions, annotations, email
 /// addresses) the database holds.
-fn q7<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let d = sel(view, "//description")?.len();
-    let a = sel(view, "//annotation")?.len();
-    let e = sel(view, "//emailaddress")?.len();
+fn q7<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let d = sel(view, opts, "//description")?.len();
+    let a = sel(view, opts, "//annotation")?.len();
+    let e = sel(view, opts, "//emailaddress")?.len();
     let mut f = Fnv::new();
     f.feed(&(d + a + e).to_string());
     Ok(result_from(d + a + e, f))
 }
 
 /// Builds `person id → name pre` for the join queries.
-fn person_index<V: TreeView>(view: &V) -> Result<Vec<(String, u64)>, QueryError> {
-    let persons = sel(view, "/site/people/person")?;
+fn person_index<V: TreeView>(
+    view: &V,
+    opts: &EvalOptions<'_>,
+) -> Result<Vec<(String, u64)>, QueryError> {
+    let persons = sel(view, opts, "/site/people/person")?;
     let mut out = Vec::with_capacity(persons.len());
     for &p in &persons {
         if let Some(id) = attr(view, p, "id") {
@@ -290,15 +305,15 @@ fn person_index<V: TreeView>(view: &V) -> Result<Vec<(String, u64)>, QueryError>
 
 /// Q8: for every person, the number of items they bought (hash join
 /// person ↔ closed_auction buyer).
-fn q8<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let buyers = sel(view, "/site/closed_auctions/closed_auction/buyer")?;
+fn q8<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let buyers = sel(view, opts, "/site/closed_auctions/closed_auction/buyer")?;
     let mut bought: HashMap<String, usize> = HashMap::new();
     for &b in &buyers {
         if let Some(id) = attr(view, b, "person") {
             *bought.entry(id).or_default() += 1;
         }
     }
-    let persons = person_index(view)?;
+    let persons = person_index(view, opts)?;
     let mut f = Fnv::new();
     for (id, p) in &persons {
         let n = bought.get(id).copied().unwrap_or(0);
@@ -312,9 +327,9 @@ fn q8<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q9: like Q8 but joining through to *European* items — person ↔
 /// closed_auction ↔ item (two hash joins).
-fn q9<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
+fn q9<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
     // European item id → name.
-    let eu_items = sel(view, "/site/regions/europe/item")?;
+    let eu_items = sel(view, opts, "/site/regions/europe/item")?;
     let mut eu: HashMap<String, String> = HashMap::new();
     for &i in &eu_items {
         if let (Some(id), Some(name)) = (attr(view, i, "id"), child_named(view, i, "name")) {
@@ -322,7 +337,7 @@ fn q9<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
         }
     }
     // buyer person id → european item names bought.
-    let closed = sel(view, "/site/closed_auctions/closed_auction")?;
+    let closed = sel(view, opts, "/site/closed_auctions/closed_auction")?;
     let mut bought: HashMap<String, Vec<String>> = HashMap::new();
     for &c in &closed {
         let buyer = child_named(view, c, "buyer").and_then(|b| attr(view, b, "person"));
@@ -333,7 +348,7 @@ fn q9<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
             }
         }
     }
-    let persons = person_index(view)?;
+    let persons = person_index(view, opts)?;
     let mut f = Fnv::new();
     let mut rows = 0;
     for (id, p) in &persons {
@@ -354,8 +369,8 @@ fn q9<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q10: group people by their interest categories and materialize their
 /// profile data (the expensive restructuring query).
-fn q10<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let persons = sel(view, "/site/people/person")?;
+fn q10<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let persons = sel(view, opts, "/site/people/person")?;
     let mut groups: HashMap<String, Vec<String>> = HashMap::new();
     for &p in &persons {
         let Some(profile) = child_named(view, p, "profile") else {
@@ -395,13 +410,13 @@ fn q10<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 /// Q11: for every person, how many open auctions had an initial price
 /// the person's income covers 5000-fold (value join person.income vs
 /// auction.initial; sort + binary search instead of O(P·A)).
-fn q11<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let mut initials: Vec<f64> = sel(view, "/site/open_auctions/open_auction/initial")?
+fn q11<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let mut initials: Vec<f64> = sel(view, opts, "/site/open_auctions/open_auction/initial")?
         .iter()
         .map(|&p| num(view, p))
         .collect();
     initials.sort_by(f64::total_cmp);
-    let persons = sel(view, "/site/people/person")?;
+    let persons = sel(view, opts, "/site/people/person")?;
     let mut f = Fnv::new();
     for &p in &persons {
         let income = child_named(view, p, "profile")
@@ -417,13 +432,13 @@ fn q11<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 }
 
 /// Q12: like Q11 but only for persons with income over 50000.
-fn q12<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let mut initials: Vec<f64> = sel(view, "/site/open_auctions/open_auction/initial")?
+fn q12<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let mut initials: Vec<f64> = sel(view, opts, "/site/open_auctions/open_auction/initial")?
         .iter()
         .map(|&p| num(view, p))
         .collect();
     initials.sort_by(f64::total_cmp);
-    let persons = sel(view, "/site/people/person")?;
+    let persons = sel(view, opts, "/site/people/person")?;
     let mut f = Fnv::new();
     let mut rows = 0;
     for &p in &persons {
@@ -444,8 +459,8 @@ fn q12<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q13: names and full descriptions of Australian items (reconstruction
 /// of subtrees).
-fn q13<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let items = sel(view, "/site/regions/australia/item")?;
+fn q13<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let items = sel(view, opts, "/site/regions/australia/item")?;
     let mut f = Fnv::new();
     for &i in &items {
         let name = child_named(view, i, "name")
@@ -462,8 +477,8 @@ fn q13<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 }
 
 /// Q14: items whose description mentions "gold" (full-text scan).
-fn q14<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let items = sel(view, "//item")?;
+fn q14<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let items = sel(view, opts, "//item")?;
     let mut f = Fnv::new();
     let mut rows = 0;
     for &i in &items {
@@ -524,8 +539,8 @@ pub const QUERY_PATHS: &[(&str, &str)] = &[
 
 /// Q15: a long, fully-specified downward path (rewards positional
 /// skipping).
-fn q15<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let hits = sel(view, Q15_PATH)?;
+fn q15<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let hits = sel(view, opts, Q15_PATH)?;
     let mut f = Fnv::new();
     for &h in &hits {
         f.feed(&view.string_value(h));
@@ -535,9 +550,10 @@ fn q15<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q16: like Q15, but returning the auction's seller (a long path plus
 /// an upward step back to the auction).
-fn q16<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
+fn q16<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
     let keywords = sel(
         view,
+        opts,
         "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
     )?;
     let auction_test = NodeTest::Name(QName::local("closed_auction"));
@@ -556,8 +572,8 @@ fn q16<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 }
 
 /// Q17: people without a homepage (negated existence predicate).
-fn q17<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let hits = sel(view, "/site/people/person[not(homepage)]/name")?;
+fn q17<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let hits = sel(view, opts, "/site/people/person[not(homepage)]/name")?;
     let mut f = Fnv::new();
     for &h in &hits {
         f.feed(&view.string_value(h));
@@ -567,8 +583,8 @@ fn q17<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q18: apply a (currency conversion) function to every open auction's
 /// initial price — pure numeric processing.
-fn q18<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let initials = sel(view, "/site/open_auctions/open_auction/initial")?;
+fn q18<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let initials = sel(view, opts, "/site/open_auctions/open_auction/initial")?;
     let mut f = Fnv::new();
     for &i in &initials {
         let converted = num(view, i) * 2.20371;
@@ -578,8 +594,8 @@ fn q18<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 }
 
 /// Q19: items with their location, ordered by location (global sort).
-fn q19<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let items = sel(view, "//item")?;
+fn q19<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let items = sel(view, opts, "//item")?;
     let mut rows: Vec<(String, String)> = Vec::with_capacity(items.len());
     for &i in &items {
         let loc = child_named(view, i, "location")
@@ -600,8 +616,8 @@ fn q19<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
 
 /// Q20: counts of people per income bracket (aggregation with
 /// complementary predicates).
-fn q20<V: TreeView>(view: &V) -> Result<QueryResult, QueryError> {
-    let persons = sel(view, "/site/people/person")?;
+fn q20<V: TreeView>(view: &V, opts: &EvalOptions<'_>) -> Result<QueryResult, QueryError> {
+    let persons = sel(view, opts, "/site/people/person")?;
     let (mut high, mut mid, mut low, mut none) = (0usize, 0, 0, 0);
     for &p in &persons {
         match child_named(view, p, "profile")
@@ -634,27 +650,27 @@ mod tests {
     #[test]
     fn q1_finds_person0() {
         let d = doc();
-        assert_eq!(q1(&d).unwrap().rows, 1);
+        assert_eq!(q1(&d, &EvalOptions::default()).unwrap().rows, 1);
     }
 
     #[test]
     fn q5_counts_expensive_closings() {
         let d = doc();
-        let r = q5(&d).unwrap();
+        let r = q5(&d, &EvalOptions::default()).unwrap();
         assert!(r.rows >= 1);
     }
 
     #[test]
     fn q6_reports_one_count_per_region() {
         let d = doc();
-        assert_eq!(q6(&d).unwrap().rows, 6);
+        assert_eq!(q6(&d, &EvalOptions::default()).unwrap().rows, 6);
     }
 
     #[test]
     fn q8_row_per_person() {
         let d = doc();
         let cfg = XMarkConfig::tiny(11);
-        assert_eq!(q8(&d).unwrap().rows, cfg.persons());
+        assert_eq!(q8(&d, &EvalOptions::default()).unwrap().rows, cfg.persons());
     }
 
     #[test]
@@ -662,16 +678,16 @@ mod tests {
         // Use a bigger doc so the 40 % parlist probability definitely
         // produces closed-auction annotations with the nested shape.
         let d = ReadOnlyDoc::parse_str(&generate(&XMarkConfig::scaled(0.004, 2))).unwrap();
-        let r15 = q15(&d).unwrap();
+        let r15 = q15(&d, &EvalOptions::default()).unwrap();
         assert!(r15.rows > 0, "Q15 path not present in generated data");
-        let r16 = q16(&d).unwrap();
+        let r16 = q16(&d, &EvalOptions::default()).unwrap();
         assert!(r16.rows > 0 && r16.rows <= r15.rows);
     }
 
     #[test]
     fn q20_brackets_partition_people() {
         let d = doc();
-        assert_eq!(q20(&d).unwrap().rows, 4);
+        assert_eq!(q20(&d, &EvalOptions::default()).unwrap().rows, 4);
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //! vectors, and early-exit existence aggregation.
 
 use crate::ast::{ArithOp, CmpOp};
+use crate::par::{self, ParChoice, WorkerPool};
 use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
 use crate::plan::{ValueCmp, ValuePred, ValueSource};
 use crate::{AxisChoice, Bindings, EvalStats, Result, ValueChoice, XPathError};
-use mbxq_axes::{exists_step, range_semijoin, step_lifted, Axis, ContextSeq, NodeTest};
+use mbxq_axes::{
+    descendant_scan_ranges, exists_step, range_semijoin, scan_ranges, step_lifted, Axis,
+    ContextSeq, NodeTest,
+};
 use mbxq_storage::{QnId, TreeView};
+use std::sync::Mutex;
 
 /// An XPath 1.0 value.
 #[derive(Debug, Clone, PartialEq)]
@@ -655,13 +660,18 @@ pub(crate) enum RelOut {
 }
 
 /// One plan execution: the view, the bindings, the axis-strategy
-/// override, and the optional decision counters.
+/// override, the optional decision counters, and the parallel-execution
+/// configuration (pool + policy).
 pub(crate) struct Exec<'a, V: TreeView + ?Sized> {
     pub(crate) view: &'a V,
     pub(crate) bindings: Option<&'a Bindings>,
     pub(crate) choice: AxisChoice,
     pub(crate) value_choice: ValueChoice,
     pub(crate) stats: Option<&'a EvalStats>,
+    pub(crate) pool: Option<&'a WorkerPool>,
+    pub(crate) par: ParChoice,
+    pub(crate) threads: usize,
+    pub(crate) morsel_rows: usize,
 }
 
 impl<V: TreeView + ?Sized> Exec<'_, V> {
@@ -1046,10 +1056,10 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             }
             PhysRel::NameProbe { name } => {
                 let pres = self.probe(name).unwrap_or_else(|| {
-                    // No index on this view: fall back to a document scan.
+                    // No index on this view: fall back to a document
+                    // scan (region-splittable on the pool).
                     let root: Vec<u64> = self.view.root_pre().into_iter().collect();
-                    step_lifted(
-                        self.view,
+                    self.staircase_step(
                         &ContextSeq::single_iter(root),
                         Axis::DescendantOrSelf,
                         &NodeTest::Name(name.clone()),
@@ -1067,9 +1077,7 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             PhysRel::Semijoin { input, probe, axis } => {
                 let ctx = self.rel_nodes(input, d)?;
                 let cands = self.rel_nodes(probe, d)?.merged_pres();
-                Ok(RelOut::Nodes(range_semijoin(
-                    self.view, &ctx, &cands, *axis,
-                )))
+                Ok(RelOut::Nodes(self.semijoin_rel(&ctx, &cands, *axis)))
             }
             PhysRel::ValueProbe {
                 input,
@@ -1192,7 +1200,7 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
         };
         let Some(name) = name else {
             self.count_step(false);
-            return step_lifted(self.view, ctx, axis, test);
+            return self.staircase_step(ctx, axis, test);
         };
         // The index arm needs an interned name and an index-bearing
         // view; without either, the staircase is the only path.
@@ -1217,12 +1225,202 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
         };
         if !use_index {
             self.count_step(false);
-            return step_lifted(self.view, ctx, axis, test);
+            return self.staircase_step(ctx, axis, test);
         }
         self.count_step(true);
         let (qn, _) = probe_available.expect("checked above");
         let cands: Vec<u64> = self.view.elements_named(qn).unwrap_or_default();
-        range_semijoin(self.view, ctx, &cands, axis)
+        self.semijoin_rel(ctx, &cands, axis)
+    }
+
+    // -- morsel-parallel execution -------------------------------------
+
+    /// Minimum estimated scanned slots before [`ParChoice::Auto`]
+    /// splits a staircase step.
+    const PAR_SCAN_SLOTS: u64 = 1 << 16;
+    /// Minimum context rows before [`ParChoice::Auto`] splits a
+    /// semijoin (its per-row cost is two binary searches — far below a
+    /// subtree scan, hence the higher bar).
+    const PAR_SEMIJOIN_ROWS: usize = 1 << 12;
+
+    /// Threads a parallel region may occupy: 1 (= stay sequential)
+    /// without a pool or under [`ParChoice::ForceSequential`], else the
+    /// pool width capped by the `threads` option.
+    fn fanout(&self) -> usize {
+        let Some(pool) = self.pool else { return 1 };
+        if self.par == ParChoice::ForceSequential {
+            return 1;
+        }
+        let cap = pool.threads();
+        if self.threads == 0 {
+            cap
+        } else {
+            self.threads.min(cap).max(1)
+        }
+    }
+
+    /// Morsel-count target for a relation of `rows` rows: a few morsels
+    /// per thread so work stealing has slack, unless the `morsel_rows`
+    /// option forces a size (tests force tiny morsels).
+    fn morsel_parts(&self, rows: usize, fanout: usize) -> usize {
+        if self.morsel_rows > 0 {
+            rows.div_ceil(self.morsel_rows)
+        } else {
+            fanout * 4
+        }
+    }
+
+    /// Whether Σ (context subtree size + 1) reaches `threshold`, with
+    /// an early out — the Auto-mode work gate for splitting a scan.
+    fn scan_work_clears(&self, ctx: &ContextSeq, threshold: u64) -> bool {
+        let mut work = 0u64;
+        for &c in &ctx.pres {
+            work = work.saturating_add(self.view.size(c) + 1);
+            if work >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn note_par(&self, morsels: usize, steals: u64) {
+        if let Some(stats) = self.stats {
+            stats.par_steps.set(stats.par_steps.get() + 1);
+            stats.morsels.set(stats.morsels.get() + morsels as u64);
+            stats.steals.set(stats.steals.get() + steals);
+        }
+    }
+
+    /// Runs `f` over group-aligned morsels of `ctx` on the pool and
+    /// concatenates the per-morsel relations in morsel order — which is
+    /// group order, so the merged result is bit-identical to `f(ctx)`
+    /// for any per-group operator. Returns `None` when the relation
+    /// does not actually split (one group, no pool); the caller falls
+    /// back to the sequential kernel.
+    fn par_relation(
+        &self,
+        ctx: &ContextSeq,
+        fanout: usize,
+        f: &(dyn Fn(&ContextSeq) -> ContextSeq + Sync),
+    ) -> Option<ContextSeq> {
+        let pool = self.pool?;
+        let ranges = par::morsel_ranges(&ctx.iters, self.morsel_parts(ctx.len(), fanout));
+        if ranges.len() < 2 {
+            return None;
+        }
+        let results: Mutex<Vec<(usize, ContextSeq)>> = Mutex::new(Vec::with_capacity(ranges.len()));
+        let steals = pool.run(ranges.len(), &|m| {
+            let (start, end) = ranges[m];
+            let sub = ContextSeq {
+                iters: ctx.iters[start..end].to_vec(),
+                pres: ctx.pres[start..end].to_vec(),
+            };
+            let out = f(&sub);
+            results.lock().unwrap().push((m, out));
+        });
+        let mut results = results.into_inner().unwrap();
+        results.sort_unstable_by_key(|&(m, _)| m);
+        let mut merged = ContextSeq::new();
+        for (_, part) in results {
+            merged.iters.extend_from_slice(&part.iters);
+            merged.pres.extend_from_slice(&part.pres);
+        }
+        self.note_par(ranges.len(), steals);
+        Some(merged)
+    }
+
+    /// The staircase arm of an axis step, with the two morsel-parallel
+    /// fast paths: multi-group contexts split by rows at group
+    /// boundaries; single-group descendant steps split by subtree
+    /// region (`//desc` from the root is one group and would otherwise
+    /// never parallelize).
+    fn staircase_step(&self, ctx: &ContextSeq, axis: Axis, test: &NodeTest) -> ContextSeq {
+        let fanout = self.fanout();
+        if fanout >= 2 && !ctx.is_empty() {
+            let eligible = self.par == ParChoice::ForceParallel
+                || self.scan_work_clears(ctx, Self::PAR_SCAN_SLOTS);
+            if eligible {
+                let or_self = match axis {
+                    Axis::Descendant => Some(false),
+                    Axis::DescendantOrSelf => Some(true),
+                    _ => None,
+                };
+                let single_group = ctx.iters.first() == ctx.iters.last();
+                if let (Some(or_self), true) = (or_self, single_group) {
+                    if let Some(out) = self.par_descendant_scan(ctx, test, or_self, fanout) {
+                        return out;
+                    }
+                }
+                let view = self.view;
+                if let Some(out) =
+                    self.par_relation(ctx, fanout, &|sub| step_lifted(view, sub, axis, test))
+                {
+                    return out;
+                }
+            }
+        }
+        step_lifted(self.view, ctx, axis, test)
+    }
+
+    /// Region-split parallel descendant scan for a single-group
+    /// context: partition the horizon-pruned subtree ranges by slot
+    /// volume, scan each chunk on the pool, concatenate in chunk order
+    /// (= document order — identical to the sequential staircase).
+    fn par_descendant_scan(
+        &self,
+        ctx: &ContextSeq,
+        test: &NodeTest,
+        or_self: bool,
+        fanout: usize,
+    ) -> Option<ContextSeq> {
+        let pool = self.pool?;
+        let ranges = descendant_scan_ranges(self.view, &ctx.pres, or_self);
+        let parts = if self.morsel_rows > 0 {
+            let total: u64 = ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+            total.div_ceil(self.morsel_rows as u64) as usize
+        } else {
+            fanout * 4
+        };
+        let chunks = par::range_chunks(&ranges, parts.max(1));
+        if chunks.len() < 2 {
+            return None;
+        }
+        let view = self.view;
+        let results: Mutex<Vec<(usize, Vec<u64>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let steals = pool.run(chunks.len(), &|m| {
+            let mut out = Vec::new();
+            scan_ranges(view, &chunks[m], test, &mut out);
+            results.lock().unwrap().push((m, out));
+        });
+        let mut results = results.into_inner().unwrap();
+        results.sort_unstable_by_key(|&(m, _)| m);
+        let iter = ctx.iters[0];
+        let mut merged = ContextSeq::new();
+        for (_, part) in results {
+            for p in part {
+                merged.push(iter, p);
+            }
+        }
+        self.note_par(chunks.len(), steals);
+        Some(merged)
+    }
+
+    /// Range semijoin with the morsel-parallel path: large contexts
+    /// split by group into morsels probing the shared candidate list.
+    fn semijoin_rel(&self, ctx: &ContextSeq, cands: &[u64], axis: Axis) -> ContextSeq {
+        let fanout = self.fanout();
+        if fanout >= 2
+            && !cands.is_empty()
+            && (self.par == ParChoice::ForceParallel || ctx.len() >= Self::PAR_SEMIJOIN_ROWS)
+        {
+            let view = self.view;
+            if let Some(out) =
+                self.par_relation(ctx, fanout, &|sub| range_semijoin(view, sub, cands, axis))
+            {
+                return out;
+            }
+        }
+        range_semijoin(self.view, ctx, cands, axis)
     }
 
     /// The cost model: the staircase arm scans the context regions
@@ -1235,7 +1433,11 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
     fn index_cheaper(&self, ctx: &ContextSeq, axis: Axis, k: u64) -> bool {
         let _ = axis;
         /// Relative cost of one scanned slot vs one probed list entry.
-        const SCAN_WEIGHT: u64 = 4;
+        /// Recalibrated 4 → 2 for the columnar batch kernels: a scanned
+        /// slot is now one pass of a tight loop over a contiguous page
+        /// slice, not a per-slot page swizzle plus pool lookup, so the
+        /// scan arm stays competitive up to larger regions.
+        const SCAN_WEIGHT: u64 = 2;
         let mut scan_cost: u64 = 0;
         let index_cost = k + (ctx.len() as u64) * 8;
         for &c in &ctx.pres {
@@ -1292,7 +1494,7 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             return Ok(self.value_scan(ctx, axis, test, pred));
         }
         let cands = self.value_probe_candidates(test, pred);
-        Ok(range_semijoin(self.view, ctx, &cands, axis))
+        Ok(self.semijoin_rel(ctx, &cands, axis))
     }
 
     /// Upper-bound match count from the content index's estimators

@@ -53,6 +53,7 @@ mod eval;
 pub mod explain;
 mod interp;
 mod lexer;
+pub mod par;
 mod parser;
 pub mod physical;
 pub mod plan;
@@ -60,6 +61,7 @@ pub mod rewrite;
 
 pub use ast::{Expr, PathExpr, Step, StepTest};
 pub use eval::Value;
+pub use par::{ParChoice, WorkerPool};
 
 use mbxq_storage::TreeView;
 use std::cell::Cell;
@@ -175,19 +177,102 @@ pub struct EvalStats {
     pub value_probe_steps: Cell<u64>,
     /// Value-predicate steps served by the scalar scan.
     pub value_scan_steps: Cell<u64>,
+    /// Morsels executed on the worker pool.
+    pub morsels: Cell<u64>,
+    /// Morsels a worker stole from a sibling's queue.
+    pub steals: Cell<u64>,
+    /// Physical operators that actually ran morsel-parallel.
+    pub par_steps: Cell<u64>,
 }
 
-/// Evaluation-time options.
+/// Evaluation-time options, assembled builder-style:
+///
+/// ```ignore
+/// let opts = EvalOptions::new().axis(AxisChoice::ForceIndex).stats(&stats);
+/// ```
+///
+/// Every knob defaults to the production setting (`Auto` strategies, no
+/// bindings, no counters, sequential execution), so call sites only name
+/// the knobs they change.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EvalOptions<'a> {
-    /// Variable bindings (`None` = no variables bound).
-    pub bindings: Option<&'a Bindings>,
+    pub(crate) bindings: Option<&'a Bindings>,
+    pub(crate) axis: AxisChoice,
+    pub(crate) value: ValueChoice,
+    pub(crate) stats: Option<&'a EvalStats>,
+    pub(crate) threads: usize,
+    pub(crate) pool: Option<&'a par::WorkerPool>,
+    pub(crate) par: ParChoice,
+    pub(crate) morsel_rows: usize,
+}
+
+impl<'a> EvalOptions<'a> {
+    /// All defaults — identical to [`EvalOptions::default`].
+    pub fn new() -> EvalOptions<'a> {
+        EvalOptions::default()
+    }
+
+    /// Variable bindings for `$name` references.
+    pub fn bindings(mut self, bindings: &'a Bindings) -> Self {
+        self.bindings = Some(bindings);
+        self
+    }
+
     /// Axis-strategy override.
-    pub axis: AxisChoice,
+    pub fn axis(mut self, axis: AxisChoice) -> Self {
+        self.axis = axis;
+        self
+    }
+
     /// Value-predicate strategy override.
-    pub value: ValueChoice,
-    /// Optional decision counters.
-    pub stats: Option<&'a EvalStats>,
+    pub fn value(mut self, value: ValueChoice) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Decision counters to fill during evaluation.
+    pub fn stats(mut self, stats: &'a EvalStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Caps how many pool threads this evaluation may occupy
+    /// (`0` = all of the pool's threads, the default). Without a
+    /// [`EvalOptions::pool`] the evaluation is sequential regardless.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker pool parallel operators run on. Queries through
+    /// `Store::query_opts` get the store's shared pool injected
+    /// automatically; standalone evaluations pass one explicitly.
+    pub fn pool(mut self, pool: &'a par::WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Sets the pool only if none is set yet — how a `Store` injects
+    /// its shared pool without overriding an explicit caller choice.
+    pub fn or_pool(mut self, pool: &'a par::WorkerPool) -> Self {
+        if self.pool.is_none() {
+            self.pool = Some(pool);
+        }
+        self
+    }
+
+    /// Parallelism policy (auto / forced-sequential / forced-parallel).
+    pub fn par(mut self, par: ParChoice) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Forces a morsel-size target of roughly `rows` relation rows
+    /// (`0` = auto). Tests force tiny morsels to stress boundaries.
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows;
+        self
+    }
 }
 
 impl XPath {
@@ -245,14 +330,7 @@ impl XPath {
         context: &[u64],
         bindings: &Bindings,
     ) -> Result<Value> {
-        self.eval_opts(
-            view,
-            context,
-            &EvalOptions {
-                bindings: Some(bindings),
-                ..EvalOptions::default()
-            },
-        )
+        self.eval_opts(view, context, &EvalOptions::new().bindings(bindings))
     }
 
     /// [`XPath::eval`] with full evaluation options (bindings, axis
@@ -269,6 +347,10 @@ impl XPath {
             choice: opts.axis,
             value_choice: opts.value,
             stats: opts.stats,
+            pool: opts.pool,
+            par: opts.par,
+            threads: opts.threads,
+            morsel_rows: opts.morsel_rows,
         };
         exec.run(&self.physical, context)
     }
@@ -580,11 +662,9 @@ mod tests {
         let forced_index = p
             .select_from_root_opts(
                 &ro,
-                &EvalOptions {
-                    axis: AxisChoice::ForceIndex,
-                    stats: Some(&stats),
-                    ..EvalOptions::default()
-                },
+                &EvalOptions::new()
+                    .axis(AxisChoice::ForceIndex)
+                    .stats(&stats),
             )
             .unwrap();
         assert_eq!(auto, forced_index);
@@ -593,11 +673,9 @@ mod tests {
         let forced_stair = p
             .select_from_root_opts(
                 &ro,
-                &EvalOptions {
-                    axis: AxisChoice::ForceStaircase,
-                    stats: Some(&stats2),
-                    ..EvalOptions::default()
-                },
+                &EvalOptions::new()
+                    .axis(AxisChoice::ForceStaircase)
+                    .stats(&stats2),
             )
             .unwrap();
         assert_eq!(auto, forced_stair);
@@ -625,17 +703,13 @@ mod tests {
         ] {
             let p = XPath::parse(src).unwrap();
             let stats = EvalStats::default();
-            let probe_opts = EvalOptions {
-                value: ValueChoice::ForceProbe,
-                stats: Some(&stats),
-                ..EvalOptions::default()
-            };
+            let probe_opts = EvalOptions::new()
+                .value(ValueChoice::ForceProbe)
+                .stats(&stats);
             let scan_stats = EvalStats::default();
-            let scan_opts = EvalOptions {
-                value: ValueChoice::ForceScan,
-                stats: Some(&scan_stats),
-                ..EvalOptions::default()
-            };
+            let scan_opts = EvalOptions::new()
+                .value(ValueChoice::ForceScan)
+                .stats(&scan_stats);
             for view in [&ro as &dyn mbxq_storage::TreeView, &up] {
                 let auto = p.select_from_root(view).unwrap();
                 let probed = p.select_from_root_opts(view, &probe_opts).unwrap();
@@ -657,13 +731,7 @@ mod tests {
         // Sanity on actual hits.
         let hit = XPath::parse("//person[name = \"Bob\"]")
             .unwrap()
-            .select_from_root_opts(
-                &ro,
-                &EvalOptions {
-                    value: ValueChoice::ForceProbe,
-                    ..EvalOptions::default()
-                },
-            )
+            .select_from_root_opts(&ro, &EvalOptions::new().value(ValueChoice::ForceProbe))
             .unwrap();
         assert_eq!(hit.len(), 1);
         assert_eq!(
@@ -681,22 +749,10 @@ mod tests {
         let ro = ReadOnlyDoc::parse_str(xml).unwrap();
         let p = XPath::parse("//p[. = \"AlX\"]").unwrap();
         let probed = p
-            .select_from_root_opts(
-                &ro,
-                &EvalOptions {
-                    value: ValueChoice::ForceProbe,
-                    ..EvalOptions::default()
-                },
-            )
+            .select_from_root_opts(&ro, &EvalOptions::new().value(ValueChoice::ForceProbe))
             .unwrap();
         let scanned = p
-            .select_from_root_opts(
-                &ro,
-                &EvalOptions {
-                    value: ValueChoice::ForceScan,
-                    ..EvalOptions::default()
-                },
-            )
+            .select_from_root_opts(&ro, &EvalOptions::new().value(ValueChoice::ForceScan))
             .unwrap();
         assert_eq!(probed, scanned);
         // Both the complex <p><name>Al</name><x>X</x></p> (string value
@@ -711,14 +767,7 @@ mod tests {
         let p = XPath::parse("/site/people/person[@id = $who]/name").unwrap();
         let mut b = Bindings::new();
         b.set("who", Value::Str("p1".into()));
-        let got = p.select_opts(
-            &d,
-            &[0],
-            &EvalOptions {
-                bindings: Some(&b),
-                ..EvalOptions::default()
-            },
-        );
+        let got = p.select_opts(&d, &[0], &EvalOptions::new().bindings(&b));
         let got = got.unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(d.string_value(got[0]), "Bob");
@@ -871,6 +920,50 @@ mod tests {
                 xp.source()
             );
         }
+    }
+
+    /// Forced-parallel execution with pathologically small morsels must
+    /// return bit-identical node sets to forced-sequential, and the
+    /// counters must prove the pool actually ran.
+    #[test]
+    fn parallel_execution_is_bit_identical() {
+        let ro = doc();
+        let up = PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap();
+        let pool = par::WorkerPool::new(4);
+        let mut par_steps_total = 0;
+        for src in [
+            "//item",
+            "/site//name",
+            "//person[age > 10]",
+            "//item[1]",
+            "//item[@id=\"i2\"]/..",
+            "/site/people/person/name",
+            "//person[name]",
+        ] {
+            let p = XPath::parse(src).unwrap();
+            for view in [&ro as &dyn TreeView, &up] {
+                let seq = p
+                    .select_from_root_opts(
+                        view,
+                        &EvalOptions::new().par(ParChoice::ForceSequential),
+                    )
+                    .unwrap();
+                let stats = EvalStats::default();
+                let par = p
+                    .select_from_root_opts(
+                        view,
+                        &EvalOptions::new()
+                            .pool(&pool)
+                            .par(ParChoice::ForceParallel)
+                            .morsel_rows(1)
+                            .stats(&stats),
+                    )
+                    .unwrap();
+                assert_eq!(seq, par, "{src} diverged under parallel execution");
+                par_steps_total += stats.par_steps.get();
+            }
+        }
+        assert!(par_steps_total > 0, "no operator ever ran parallel");
     }
 
     #[test]

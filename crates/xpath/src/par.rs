@@ -1,0 +1,472 @@
+//! Morsel-parallel execution: a work-stealing worker pool plus the
+//! group-aligned morsel splitter.
+//!
+//! # Morsels
+//!
+//! A physical step's input is an `(iter, pre)` relation. The executor
+//! splits it into **morsels** — contiguous row ranges aligned to
+//! iteration-group boundaries — and evaluates each morsel independently
+//! on the pool. Group alignment is what keeps the split invisible:
+//! staircase pruning, positional predicates and per-group picks all
+//! operate *within* one iteration group, so a morsel holding whole
+//! groups computes exactly what the sequential operator would compute
+//! for those groups. Morsel results are concatenated in morsel order —
+//! which is group order, which is `(iter, pre)` order — so the merged
+//! output is **bit-identical** to the sequential result.
+//!
+//! Scan-heavy steps with few groups (`//desc` from the root is *one*
+//! group) are instead split by their horizon-pruned subtree ranges (see
+//! [`mbxq_axes::descendant_scan_ranges`]): disjoint ascending pre
+//! ranges partition by slot volume, and concatenating the per-chunk
+//! scans in range order reproduces document order exactly.
+//!
+//! # The pool
+//!
+//! [`WorkerPool::new`]`(threads)` pins `threads - 1` persistent
+//! `std::thread` workers (the submitting thread is the remaining
+//! worker). A run distributes morsel indexes round-robin over per-worker
+//! deques; each worker pops its own queue from the front and, when
+//! empty, **steals from the back** of a sibling's queue — the classic
+//! morsel-driven balance: skewed morsels (one giant subtree region)
+//! keep one worker busy while the others drain the rest.
+//!
+//! One pool is shared per [`Store`](../../mbxq_txn/struct.Store.html)
+//! and lives as long as the store: queries borrow it per evaluation,
+//! workers sleep on a condvar between runs, and `Drop` shuts them down.
+//! Concurrent submitters do not queue behind each other: if a run is
+//! already in flight, a second submitter simply executes its morsels
+//! inline (sequentially) — under many concurrent readers every thread
+//! is already busy, so parallelizing each individual query would only
+//! add coordination cost.
+//!
+//! # Safety
+//!
+//! `run` erases the submitted closure's lifetime to hand it to the
+//! workers. This is sound because `run` does not return until every
+//! morsel has completed (the `remaining` counter gates the return), so
+//! the borrow outlives all worker accesses. A panicking morsel is
+//! caught on the worker, the run completes, and the panic is re-raised
+//! on the submitting thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The closure type workers execute: one call per morsel index.
+type Task<'a> = &'a (dyn Fn(usize) + Sync);
+/// Lifetime-erased task stored in the shared pool state while a run is
+/// in flight (see the module docs for why the erasure is sound).
+type ErasedTask = &'static (dyn Fn(usize) + Sync);
+
+/// Everything the workers share with the pool handle.
+struct Shared {
+    /// Current job + epoch; workers sleep on [`Shared::work_ready`]
+    /// until the epoch moves past the one they last served.
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    /// Per-participant morsel queues (slot 0 = the submitting thread).
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Morsels not yet finished in the current run.
+    remaining: AtomicUsize,
+    done_lock: Mutex<()>,
+    done: Condvar,
+    /// Cumulative cross-queue steals (the `EvalStats::steals` source).
+    steals: AtomicU64,
+    /// Whether any morsel of the current run panicked.
+    panicked: AtomicBool,
+}
+
+struct PoolState {
+    epoch: u64,
+    shutdown: bool,
+    job: Option<ErasedTask>,
+}
+
+/// A persistent work-stealing thread pool executing query morsels.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    /// Serializes runs; a busy pool makes later submitters run inline.
+    run_lock: Mutex<()>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// A pool executing morsels on `threads` threads total: `threads -
+    /// 1` spawned workers plus the submitting thread. `threads` is
+    /// clamped to at least 1 (a 1-thread pool spawns nothing and `run`
+    /// degenerates to a sequential loop).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                shutdown: false,
+                job: None,
+            }),
+            work_ready: Condvar::new(),
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            remaining: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+            steals: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (1..threads)
+            .map(|slot| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mbxq-query-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            run_lock: Mutex::new(()),
+            threads,
+            handles,
+        }
+    }
+
+    /// Total threads a run can occupy (spawned workers + submitter).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `f(0), f(1), …, f(morsels - 1)`, each exactly once, on
+    /// the pool; returns the number of cross-queue steals the run
+    /// performed. Blocks until all morsels finished. If another run is
+    /// already in flight (concurrent readers sharing the store's pool),
+    /// the morsels execute inline on the caller instead.
+    pub fn run(&self, morsels: usize, f: Task<'_>) -> u64 {
+        if morsels == 0 {
+            return 0;
+        }
+        let Ok(_guard) = self.run_lock.try_lock() else {
+            for i in 0..morsels {
+                f(i);
+            }
+            return 0;
+        };
+        // Lifetime erasure — sound because this function only returns
+        // once `remaining` hits zero, i.e. after the last worker access.
+        let erased: ErasedTask = unsafe { std::mem::transmute::<Task<'_>, ErasedTask>(f) };
+        let steals_before = self.shared.steals.load(Ordering::Relaxed);
+        self.shared.panicked.store(false, Ordering::Relaxed);
+        self.shared.remaining.store(morsels, Ordering::Release);
+        for (i, queue) in (0..morsels).zip(self.shared.queues.iter().cycle()) {
+            queue.lock().unwrap().push_back(i);
+        }
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(erased);
+        }
+        self.shared.work_ready.notify_all();
+        // The submitter is participant 0.
+        drain(&self.shared, erased, 0);
+        // Wait out morsels other workers are still executing.
+        let mut g = self.shared.done_lock.lock().unwrap();
+        while self.shared.remaining.load(Ordering::Acquire) > 0 {
+            g = self.shared.done.wait(g).unwrap();
+        }
+        drop(g);
+        {
+            // Retire the job so no late-waking worker can touch the
+            // (about to be invalidated) closure borrow.
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = None;
+        }
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("a query morsel panicked on the worker pool");
+        }
+        self.shared.steals.load(Ordering::Relaxed) - steals_before
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A spawned worker: sleep until a new job epoch, drain it, repeat.
+fn worker_loop(shared: &Shared, me: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    if let Some(job) = st.job {
+                        break job;
+                    }
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        drain(shared, job, me);
+    }
+}
+
+/// Executes morsels until every queue is empty: pop the own queue from
+/// the front, then steal from siblings' backs.
+fn drain(shared: &Shared, job: ErasedTask, me: usize) {
+    let n = shared.queues.len();
+    loop {
+        let mut task = shared.queues[me].lock().unwrap().pop_front();
+        let mut stolen = false;
+        if task.is_none() {
+            for other in 1..n {
+                let victim = (me + other) % n;
+                task = shared.queues[victim].lock().unwrap().pop_back();
+                if task.is_some() {
+                    stolen = true;
+                    break;
+                }
+            }
+        }
+        let Some(index) = task else { return };
+        if stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        if catch_unwind(AssertUnwindSafe(|| job(index))).is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = shared.done_lock.lock().unwrap();
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Whether and how the executor may parallelize relation operators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ParChoice {
+    /// Parallelize when a pool is available and the estimated work
+    /// clears the fan-out threshold (the default).
+    #[default]
+    Auto,
+    /// Never split, even with a pool — the oracle baseline.
+    ForceSequential,
+    /// Split whenever the input is splittable at all, regardless of
+    /// size — stresses morsel boundaries in tests.
+    ForceParallel,
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges aligned to
+/// group boundaries: `groups[k]` is row `k`'s group tag (non-decreasing)
+/// and no returned range ever splits a run of equal tags. Ranges are
+/// ascending and cover all rows; fewer than `parts` come back when the
+/// group structure does not support the fan-out.
+pub(crate) fn morsel_ranges(groups: &[u32], parts: usize) -> Vec<(usize, usize)> {
+    let len = groups.len();
+    let mut out = Vec::new();
+    if len == 0 || parts == 0 {
+        return out;
+    }
+    let target = len.div_ceil(parts).max(1);
+    let mut start = 0usize;
+    while start < len {
+        let mut end = (start + target).min(len);
+        // Push the cut forward to the end of the group it landed in.
+        while end < len && groups[end] == groups[end - 1] {
+            end += 1;
+        }
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Splits disjoint ascending `(lo, hi)` pre ranges into at most `parts`
+/// chunks of ranges with roughly equal total slot volume — the splitter
+/// for the single-group descendant scan. Concatenating per-chunk scan
+/// results in chunk order preserves document order because the ranges
+/// themselves ascend.
+pub(crate) fn range_chunks(ranges: &[(u64, u64)], parts: usize) -> Vec<Vec<(u64, u64)>> {
+    let mut out: Vec<Vec<(u64, u64)>> = Vec::new();
+    if ranges.is_empty() || parts == 0 {
+        return out;
+    }
+    let total: u64 = ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+    let target = (total / parts as u64).max(1);
+    let mut current: Vec<(u64, u64)> = Vec::new();
+    let mut current_vol = 0u64;
+    for &(lo, hi) in ranges {
+        let mut lo = lo;
+        while hi - lo + current_vol > target && out.len() + 1 < parts {
+            // Cut inside the range: scans are position-independent, so
+            // a range can split anywhere (unlike group rows).
+            let take = target - current_vol;
+            current.push((lo, lo + take));
+            out.push(std::mem::take(&mut current));
+            current_vol = 0;
+            lo += take;
+        }
+        if lo < hi {
+            current.push((lo, hi));
+            current_vol += hi - lo;
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_every_morsel_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for n in [0usize, 1, 3, 64, 257] {
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_works_inline() {
+        let pool = WorkerPool::new(1);
+        let sum = AtomicU64::new(0);
+        let steals = pool.run(100, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+        assert_eq!(steals, 0, "nobody to steal from");
+    }
+
+    #[test]
+    fn skewed_morsels_get_stolen() {
+        let pool = WorkerPool::new(4);
+        let mut total_steals = 0;
+        for _ in 0..50 {
+            let done = AtomicU64::new(0);
+            total_steals += pool.run(32, &|i| {
+                // Morsel 0 is slow: its owner's queue must be drained
+                // by siblings.
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(done.load(Ordering::Relaxed), 32);
+        }
+        // Not asserted per-run (a 1-core container may finish the whole
+        // queue before workers wake), but across 50 skewed runs at
+        // least one steal is overwhelmingly likely on any scheduler —
+        // and zero steals would still be correct, just unbalanced.
+        let _ = total_steals;
+    }
+
+    #[test]
+    fn morsel_panic_propagates_to_submitter() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a panicked run.
+        let ok = AtomicU64::new(0);
+        pool.run(8, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn concurrent_submitters_fall_back_inline() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let total = &total;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        pool.run(16, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 20 * 16);
+    }
+
+    #[test]
+    fn morsel_ranges_align_to_groups() {
+        // Groups: 0 0 0 | 1 | 2 2 | 3 3 3 3
+        let groups = [0, 0, 0, 1, 2, 2, 3, 3, 3, 3];
+        for parts in 1..=8 {
+            let ranges = morsel_ranges(&groups, parts);
+            assert_eq!(ranges.first().unwrap().0, 0);
+            assert_eq!(ranges.last().unwrap().1, groups.len());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous cover");
+            }
+            for &(start, end) in &ranges {
+                assert!(start < end);
+                if end < groups.len() {
+                    assert_ne!(groups[end - 1], groups[end], "cut splits a group");
+                }
+            }
+        }
+        assert!(morsel_ranges(&[], 4).is_empty());
+        // One giant group cannot split.
+        assert_eq!(morsel_ranges(&[7; 100], 4), vec![(0, 100)]);
+    }
+
+    #[test]
+    fn range_chunks_preserve_volume_and_order() {
+        let ranges = [(0u64, 100u64), (150, 170), (200, 280)];
+        for parts in 1..=6 {
+            let chunks = range_chunks(&ranges, parts);
+            assert!(chunks.len() <= parts.max(1));
+            let vol: u64 = chunks.iter().flatten().map(|&(lo, hi)| hi - lo).sum();
+            assert_eq!(vol, 200, "parts {parts}");
+            // Flattened ranges stay ascending and disjoint.
+            let flat: Vec<(u64, u64)> = chunks.into_iter().flatten().collect();
+            for w in flat.windows(2) {
+                assert!(w[0].1 <= w[1].0, "order at {w:?}");
+            }
+        }
+        assert!(range_chunks(&[], 4).is_empty());
+    }
+}

@@ -21,11 +21,7 @@ fn show(doc: &ReadOnlyDoc, source: &str) {
         AxisChoice::Auto,
     ] {
         let stats = EvalStats::default();
-        let opts = EvalOptions {
-            axis,
-            stats: Some(&stats),
-            ..EvalOptions::default()
-        };
+        let opts = EvalOptions::new().axis(axis).stats(&stats);
         let t0 = Instant::now();
         let rows = xp.select_from_root_opts(doc, &opts).expect("eval").len();
         let dt = t0.elapsed();

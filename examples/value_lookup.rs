@@ -96,10 +96,7 @@ fn main() {
                 let mut i = reader;
                 while !stop.load(Ordering::Relaxed) {
                     let stats = EvalStats::default();
-                    let opts = EvalOptions {
-                        stats: Some(&stats),
-                        ..EvalOptions::default()
-                    };
+                    let opts = EvalOptions::new().stats(&stats);
                     let path = format!("//item[@id = \"item{}\"]", i % total_items);
                     let found = store.query_nodes_opts(&path, &opts).unwrap();
                     assert!(found.len() <= 1, "ids are unique");
@@ -143,11 +140,7 @@ fn main() {
         ValueChoice::Auto,
     ] {
         let stats = EvalStats::default();
-        let opts = EvalOptions {
-            value,
-            stats: Some(&stats),
-            ..EvalOptions::default()
-        };
+        let opts = EvalOptions::new().value(value).stats(&stats);
         let t0 = Instant::now();
         let rows = store
             .query_nodes_opts(&format!("//item[@id = \"{target_id}\"]"), &opts)

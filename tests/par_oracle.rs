@@ -1,0 +1,253 @@
+//! Morsel-parallel oracle: parallel execution must be observably
+//! identical to sequential execution, which must match the reference
+//! interpreter — same node sets, same values, same order.
+//!
+//! Seeded property test over random trees, the generated query corpus
+//! and all three storage schemas (naive, read-only, paged). Every query
+//! runs three ways on the same view:
+//!
+//! * the reference interpreter (no plans, no parallelism);
+//! * the planned executor forced sequential;
+//! * the planned executor forced parallel on a shared worker pool with
+//!   `morsel_rows(1)` — every context row becomes its own morsel, so
+//!   the merge-in-morsel-order path is exercised maximally and any
+//!   ordering bug in the split/merge shows up even on tiny documents.
+//!
+//! Afterwards random update batches (inserts, deletes, renames,
+//! attribute writes, text edits) hit the paged view and the three-way
+//! comparison repeats — parallel scans must stay oracle-identical on
+//! COW-patched pages, not just on freshly shredded documents.
+
+mod common;
+
+use common::{rand_name, rand_text, rand_tree, TestRng};
+use mbxq::{InsertPosition, Kind, NaiveDoc, PagedDoc, QName, ReadOnlyDoc, TreeView};
+use mbxq_xpath::{Bindings, EvalOptions, ParChoice, Value, WorkerPool, XPath};
+
+/// NaN-tolerant value equality (`NaN != NaN` under `PartialEq`, but the
+/// oracle wants "both NaN" to count as agreement).
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x == y || (x.is_nan() && y.is_nan()),
+        _ => a == b,
+    }
+}
+
+/// One comparison: interpreter vs forced-sequential vs forced-parallel
+/// (single-row morsels on `pool`), same view.
+fn check_query<V: TreeView>(
+    view: &V,
+    xp: &XPath,
+    bindings: &Bindings,
+    pool: &WorkerPool,
+    seed_info: &str,
+) {
+    let root: Vec<u64> = view.root_pre().into_iter().collect();
+    let want = xp.eval_interpreted_with(view, &root, bindings);
+    let seq = xp.eval_opts(
+        view,
+        &root,
+        &EvalOptions::new()
+            .bindings(bindings)
+            .par(ParChoice::ForceSequential),
+    );
+    let par = xp.eval_opts(
+        view,
+        &root,
+        &EvalOptions::new()
+            .bindings(bindings)
+            .pool(pool)
+            .par(ParChoice::ForceParallel)
+            .morsel_rows(1),
+    );
+    for (arm, got) in [("sequential", &seq), ("parallel", &par)] {
+        match (&want, got) {
+            (Ok(w), Ok(g)) => assert!(
+                values_equal(w, g),
+                "{seed_info}: '{}' {arm} arm\n  interpreter: {w:?}\n  planned:     {g:?}",
+                xp.source()
+            ),
+            (Err(_), Err(_)) => {}
+            (w, g) => panic!(
+                "{seed_info}: '{}' {arm} arm diverged in failure: \
+                 interpreter {w:?} vs planned {g:?}",
+                xp.source()
+            ),
+        }
+    }
+    // The two planned arms must agree bit-for-bit, including errors.
+    match (&seq, &par) {
+        (Ok(s), Ok(p)) => assert!(
+            values_equal(s, p),
+            "{seed_info}: '{}' sequential vs parallel\n  seq: {s:?}\n  par: {p:?}",
+            xp.source()
+        ),
+        (Err(_), Err(_)) => {}
+        (s, p) => panic!(
+            "{seed_info}: '{}' seq/par diverged in failure: {s:?} vs {p:?}",
+            xp.source()
+        ),
+    }
+}
+
+/// The oracle's query corpus: axis steps that hit every parallel hook
+/// site (staircase scans, descendant region splits, semijoins, value
+/// probes) plus shapes that must *not* parallelize (positional
+/// predicates, aggregates over tiny contexts).
+fn query_corpus(rng: &mut TestRng) -> Vec<String> {
+    let mut queries = vec![
+        "//item".to_string(),
+        "//a".to_string(),
+        "//a/b".to_string(),
+        "//a//b".to_string(),
+        "/*//item".to_string(),
+        "//a/b/c".to_string(),
+        "//item[1]".to_string(),
+        "//item[last()]".to_string(),
+        "//a[b]".to_string(),
+        "//a[not(b)]".to_string(),
+        "//a[.//b]".to_string(),
+        "//b/ancestor::a".to_string(),
+        "//b/following-sibling::*[1]".to_string(),
+        "count(//a/b)".to_string(),
+        "sum(//item)".to_string(),
+        "//a[@x = \"t\"]".to_string(),
+        "//a[b = \"t\"]".to_string(),
+        "//item[. > 3]".to_string(),
+        "//a[@x > 2]".to_string(),
+        "//a/b | //c".to_string(),
+        "string(//a[1])".to_string(),
+    ];
+    for _ in 0..5 {
+        let mut q = String::from("//");
+        q.push_str(&rand_name(rng));
+        if rng.chance(1, 2) {
+            q.push('/');
+            q.push_str(&rand_name(rng));
+        } else if rng.chance(1, 2) {
+            q.push_str("//");
+            q.push_str(&rand_name(rng));
+        }
+        queries.push(q);
+    }
+    queries
+}
+
+#[test]
+fn parallel_execution_matches_interpreter_across_schemas() {
+    let pool = WorkerPool::new(3);
+    for seed in 0..20u64 {
+        let mut rng = TestRng::new(0x9a41 ^ seed);
+        let tree = rand_tree(&mut rng, 4, 4);
+        let ro = ReadOnlyDoc::from_tree(&tree).unwrap();
+        let nv = NaiveDoc::from_tree(&tree).unwrap();
+        let cfg = *rng.pick(&common::page_configs());
+        let up = PagedDoc::from_tree(&tree, cfg).unwrap();
+        let bindings = Bindings::new();
+
+        for q in query_corpus(&mut rng) {
+            let xp = match XPath::parse(&q) {
+                Ok(xp) => xp,
+                Err(e) => panic!("corpus query '{q}' failed to parse: {e}"),
+            };
+            check_query(&ro, &xp, &bindings, &pool, &format!("seed {seed} (ro)"));
+            check_query(&nv, &xp, &bindings, &pool, &format!("seed {seed} (naive)"));
+            check_query(&up, &xp, &bindings, &pool, &format!("seed {seed} (paged)"));
+        }
+    }
+}
+
+/// The paged three-way comparison repeated across random update
+/// batches: parallel scans over COW-patched pages must stay identical
+/// to the interpreter as the page set diverges from the shredded
+/// original.
+#[test]
+fn parallel_execution_survives_update_batches() {
+    let pool = WorkerPool::new(3);
+    for seed in 0..10u64 {
+        let mut rng = TestRng::new(0x75a0c ^ (seed << 8));
+        let tree = rand_tree(&mut rng, 4, 4);
+        let cfg = *rng.pick(&common::page_configs());
+        let mut up = PagedDoc::from_tree(&tree, cfg).unwrap();
+        let bindings = Bindings::new();
+        let queries: Vec<XPath> = [
+            "//item",
+            "//a",
+            "//a//b",
+            "//a/b",
+            "//item[1]",
+            "//a[b]",
+            "count(//b)",
+            "//a[@x = \"t\"]",
+            "//item[. > 3]",
+            "//b/ancestor::a",
+        ]
+        .iter()
+        .map(|q| XPath::parse(q).unwrap())
+        .collect();
+
+        for batch in 0..5 {
+            for _ in 0..3 {
+                let used: Vec<u64> = {
+                    let mut v = Vec::new();
+                    let mut p = 0;
+                    while let Some(q) = up.next_used_at_or_after(p) {
+                        v.push(q);
+                        p = q + 1;
+                    }
+                    v
+                };
+                let target_pre = *rng.pick(&used);
+                let node = up.pre_to_node(target_pre).unwrap();
+                match rng.below(6) {
+                    0 => {
+                        let sub = rand_tree(&mut rng, 2, 3);
+                        let _ = up.insert(InsertPosition::LastChildOf(node), &sub);
+                    }
+                    1 => {
+                        let _ = up.delete(node);
+                    }
+                    2 => {
+                        let _ = up.rename(node, &QName::local(rand_name(&mut rng)));
+                    }
+                    3 => {
+                        let value = if rng.chance(1, 2) {
+                            rand_text(&mut rng)
+                        } else {
+                            format!("{}", rng.below(10))
+                        };
+                        let _ = up.set_attribute(node, &QName::local(rand_name(&mut rng)), &value);
+                    }
+                    _ => {
+                        let texts: Vec<u64> = used
+                            .iter()
+                            .copied()
+                            .filter(|&p| up.kind(p) == Some(Kind::Text))
+                            .collect();
+                        if !texts.is_empty() {
+                            let t = *rng.pick(&texts);
+                            let tnode = up.pre_to_node(t).unwrap();
+                            let value = if rng.chance(1, 2) {
+                                rand_text(&mut rng)
+                            } else {
+                                format!("{}", rng.below(10))
+                            };
+                            let _ = up.update_value(tnode, &value);
+                        }
+                    }
+                }
+            }
+            mbxq_storage::invariants::check_paged(&up)
+                .unwrap_or_else(|e| panic!("seed {seed} batch {batch}: {e}"));
+            for xp in &queries {
+                check_query(
+                    &up,
+                    xp,
+                    &bindings,
+                    &pool,
+                    &format!("seed {seed} batch {batch}"),
+                );
+            }
+        }
+    }
+}

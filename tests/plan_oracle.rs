@@ -40,12 +40,10 @@ fn check_query<V: TreeView>(view: &V, xp: &XPath, bindings: &Bindings, seed_info
         (AxisChoice::ForceStaircase, ValueChoice::ForceScan),
         (AxisChoice::ForceIndex, ValueChoice::ForceProbe),
     ] {
-        let opts = EvalOptions {
-            bindings: Some(bindings),
-            axis,
-            value,
-            ..EvalOptions::default()
-        };
+        let opts = EvalOptions::new()
+            .bindings(bindings)
+            .axis(axis)
+            .value(value);
         let got = xp.eval_opts(view, &root, &opts);
         match (&want, &got) {
             (Ok(w), Ok(g)) => assert!(

@@ -12,7 +12,8 @@ use mbxq::{
 };
 use mbxq_txn::recover::recover;
 use mbxq_xml::Document;
-use std::sync::atomic::{AtomicU64, Ordering};
+use mbxq_xpath::{EvalOptions, ParChoice};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 #[test]
@@ -239,6 +240,165 @@ fn lock_storm_leaves_an_empty_lock_table() {
         let path = XPath::parse(&format!("/root/s{s}")).unwrap();
         let target = sweep.select(&path).unwrap()[0];
         let frag = mbxq_xml::Document::parse_fragment("<p id=\"sweep\"/>").unwrap();
+        sweep
+            .insert(InsertPosition::LastChildOf(target), &frag)
+            .unwrap();
+    }
+    sweep.commit().unwrap();
+    assert_eq!(store.locked_pages(), 0);
+    mbxq_storage::invariants::check_paged(store.snapshot().as_ref()).unwrap();
+}
+
+/// Morsel-parallel queries racing the full maintenance surface: three
+/// query threads run forced-parallel tiny-morsel scans on the store's
+/// shared worker pool while two writers commit bursts and a maintenance
+/// thread alternates checkpoints and vacuums. Every parallel scan pins
+/// a snapshot and is checked against the sequential scan of the *same*
+/// snapshot — publication, page reclamation and pool scheduling must
+/// never let a morsel see a different document than the coordinator.
+/// Afterwards the lock table must be empty and the store fully usable.
+#[test]
+fn parallel_queries_race_commits_checkpoint_and_vacuum() {
+    let xml = sectioned_xml(4, 120, "");
+    let store = Store::open(
+        PagedDoc::parse_str(&xml, PageConfig::new(64, 80).unwrap()).unwrap(),
+        Wal::in_memory(),
+        StoreConfig {
+            ancestor_mode: AncestorLockMode::Delta,
+            lock_timeout: Duration::from_millis(150),
+            validate_on_commit: false,
+            query_threads: 3,
+            ..StoreConfig::default()
+        },
+    );
+    let stop = AtomicBool::new(false);
+    let queries_run = AtomicU64::new(0);
+    let commits = AtomicU64::new(0);
+    let maintenance = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for r in 0..3usize {
+            let store = &store;
+            let stop = &stop;
+            let queries_run = &queries_run;
+            scope.spawn(move || {
+                let paths = ["/root/s0/p", "//p", "/root/*", "//p[@touched]"];
+                let pool = store.query_pool().expect("query_threads is configured");
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let xp = XPath::parse(paths[i % paths.len()]).unwrap();
+                    let snap = store.snapshot();
+                    let par = xp
+                        .select_from_root_opts(
+                            snap.as_ref(),
+                            &EvalOptions::new()
+                                .pool(pool)
+                                .par(ParChoice::ForceParallel)
+                                .morsel_rows(1),
+                        )
+                        .unwrap();
+                    let seq = xp
+                        .select_from_root_opts(
+                            snap.as_ref(),
+                            &EvalOptions::new().par(ParChoice::ForceSequential),
+                        )
+                        .unwrap();
+                    assert_eq!(par, seq, "parallel scan diverged on a pinned snapshot");
+                    queries_run.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        for w in 0..2usize {
+            let store = &store;
+            let stop = &stop;
+            let commits = &commits;
+            scope.spawn(move || {
+                let path = XPath::parse(&format!("/root/s{w}")).unwrap();
+                let all = XPath::parse(&format!("/root/s{w}/p")).unwrap();
+                let frag = Document::parse_fragment("<p/>").unwrap();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    round += 1;
+                    let mut t = store.begin();
+                    let staged = (|| {
+                        let target = t
+                            .select(&path)
+                            .map_err(|_| ())?
+                            .first()
+                            .copied()
+                            .ok_or(())?;
+                        match round % 3 {
+                            0 => t
+                                .insert(InsertPosition::LastChildOf(target), &frag)
+                                .map_err(|_| ())?,
+                            1 => {
+                                let ps = t.select(&all).map_err(|_| ())?;
+                                if ps.len() > 40 {
+                                    t.delete(ps[round as usize % ps.len()]).map_err(|_| ())?;
+                                }
+                            }
+                            _ => {
+                                let ps = t.select(&all).map_err(|_| ())?;
+                                if let Some(&p) = ps.first() {
+                                    t.set_attribute(
+                                        p,
+                                        &mbxq::QName::local("touched"),
+                                        &format!("w{w}r{round}"),
+                                    )
+                                    .map_err(|_| ())?;
+                                }
+                            }
+                        }
+                        Ok::<(), ()>(())
+                    })();
+                    if staged.is_ok() && t.commit().is_ok() {
+                        commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        {
+            let store = &store;
+            let stop = &stop;
+            let maintenance = &maintenance;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if store.checkpoint().is_ok() {
+                        maintenance.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if store.vacuum().is_ok() {
+                        maintenance.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(
+        store.locked_pages(),
+        0,
+        "the lock table must be empty after the storm \
+         ({} queries, {} commits, {} maintenance passes)",
+        queries_run.load(Ordering::Relaxed),
+        commits.load(Ordering::Relaxed),
+        maintenance.load(Ordering::Relaxed)
+    );
+    assert!(
+        queries_run.load(Ordering::Relaxed) > 0 && commits.load(Ordering::Relaxed) > 0,
+        "the storm must include both parallel queries and commits \
+         ({} queries, {} commits)",
+        queries_run.load(Ordering::Relaxed),
+        commits.load(Ordering::Relaxed)
+    );
+    // The store must be fully usable afterwards: a sweep transaction
+    // touches every section, then the invariants are re-checked.
+    let mut sweep = store.begin();
+    for s in 0..4 {
+        let path = XPath::parse(&format!("/root/s{s}")).unwrap();
+        let target = sweep.select(&path).unwrap()[0];
+        let frag = Document::parse_fragment("<p id=\"sweep\"/>").unwrap();
         sweep
             .insert(InsertPosition::LastChildOf(target), &frag)
             .unwrap();
