@@ -43,10 +43,13 @@
 //!
 //! `run` erases the submitted closure's lifetime to hand it to the
 //! workers. This is sound because `run` does not return until every
-//! morsel has completed (the `remaining` counter gates the return), so
-//! the borrow outlives all worker accesses. A panicking morsel is
-//! caught on the worker, the run completes, and the panic is re-raised
-//! on the submitting thread.
+//! morsel has completed (the `remaining` counter) **and** every worker
+//! that picked up the job has exited its drain loop (the `active`
+//! counter) — so the borrow outlives all worker accesses, including a
+//! worker that finished the last morsel but is still retrying pops
+//! before noticing the queues are empty. A panicking morsel is caught
+//! on the worker, the run completes, and the panic is re-raised on the
+//! submitting thread.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -66,6 +69,9 @@ struct Shared {
     /// until the epoch moves past the one they last served.
     state: Mutex<PoolState>,
     work_ready: Condvar,
+    /// Signalled when [`PoolState::active`] drops to zero — `run` waits
+    /// on it so no worker is still inside [`drain`] when it returns.
+    idle: Condvar,
     /// Per-participant morsel queues (slot 0 = the submitting thread).
     queues: Vec<Mutex<VecDeque<usize>>>,
     /// Morsels not yet finished in the current run.
@@ -82,6 +88,12 @@ struct PoolState {
     epoch: u64,
     shutdown: bool,
     job: Option<ErasedTask>,
+    /// Spawned workers currently inside [`drain`] for `job`. Incremented
+    /// under this lock when a worker takes the job, decremented when its
+    /// drain returns; `run` waits for zero before ending the closure
+    /// borrow, so a worker retrying pops can never observe a later run's
+    /// queue entries while holding the previous run's task pointer.
+    active: usize,
 }
 
 /// A persistent work-stealing thread pool executing query morsels.
@@ -113,8 +125,10 @@ impl WorkerPool {
                 epoch: 0,
                 shutdown: false,
                 job: None,
+                active: 0,
             }),
             work_ready: Condvar::new(),
+            idle: Condvar::new(),
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             remaining: AtomicUsize::new(0),
             done_lock: Mutex::new(()),
@@ -160,7 +174,9 @@ impl WorkerPool {
             return 0;
         };
         // Lifetime erasure — sound because this function only returns
-        // once `remaining` hits zero, i.e. after the last worker access.
+        // once `remaining` hits zero AND every participating worker has
+        // left `drain` (the `active` wait below), i.e. after the last
+        // worker access.
         let erased: ErasedTask = unsafe { std::mem::transmute::<Task<'_>, ErasedTask>(f) };
         let steals_before = self.shared.steals.load(Ordering::Relaxed);
         self.shared.panicked.store(false, Ordering::Relaxed);
@@ -184,9 +200,16 @@ impl WorkerPool {
         drop(g);
         {
             // Retire the job so no late-waking worker can touch the
-            // (about to be invalidated) closure borrow.
+            // (about to be invalidated) closure borrow, then wait out
+            // workers still inside `drain`: with zero morsels left their
+            // pop/steal attempts all miss, but they must exit before the
+            // borrow ends — otherwise a stale worker could race a
+            // subsequent run and pop its morsels with this run's task.
             let mut st = self.shared.state.lock().unwrap();
             st.job = None;
+            while st.active > 0 {
+                st = self.shared.idle.wait(st).unwrap();
+            }
         }
         if self.shared.panicked.swap(false, Ordering::Relaxed) {
             panic!("a query morsel panicked on the worker pool");
@@ -209,6 +232,9 @@ impl Drop for WorkerPool {
 }
 
 /// A spawned worker: sleep until a new job epoch, drain it, repeat.
+/// Registers in [`PoolState::active`] for the duration of each drain
+/// (taken and released under the state lock) so the submitting `run`
+/// can wait until no worker still holds the run's task pointer.
 fn worker_loop(shared: &Shared, me: usize) {
     let mut last_epoch = 0u64;
     loop {
@@ -221,6 +247,7 @@ fn worker_loop(shared: &Shared, me: usize) {
                 if st.epoch != last_epoch {
                     last_epoch = st.epoch;
                     if let Some(job) = st.job {
+                        st.active += 1;
                         break job;
                     }
                 }
@@ -228,6 +255,11 @@ fn worker_loop(shared: &Shared, me: usize) {
             }
         };
         drain(shared, job, me);
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.idle.notify_all();
+        }
     }
 }
 
@@ -319,12 +351,16 @@ pub(crate) fn range_chunks(ranges: &[(u64, u64)], parts: usize) -> Vec<Vec<(u64,
         let mut lo = lo;
         while hi - lo + current_vol > target && out.len() + 1 < parts {
             // Cut inside the range: scans are position-independent, so
-            // a range can split anywhere (unlike group rows).
+            // a range can split anywhere (unlike group rows). When the
+            // chunk is already full (`take == 0`) just flush it — don't
+            // push a degenerate empty `(lo, lo)` range.
             let take = target - current_vol;
-            current.push((lo, lo + take));
+            if take > 0 {
+                current.push((lo, lo + take));
+                lo += take;
+            }
             out.push(std::mem::take(&mut current));
             current_vol = 0;
-            lo += take;
         }
         if lo < hi {
             current.push((lo, hi));
@@ -353,6 +389,28 @@ mod tests {
             assert!(
                 hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
                 "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_runs_never_cross_closures() {
+        // Regression: a worker that decremented the last morsel but was
+        // still retrying pops inside `drain` could race the next run —
+        // popping its morsels with the PREVIOUS run's (dangling) task.
+        // `run` now waits for all workers to exit `drain` before
+        // returning, so each run's slots are hit by its own closure,
+        // exactly once, even across rapid-fire runs.
+        let pool = WorkerPool::new(4);
+        for run in 0..200usize {
+            let n = 1 + run % 7;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "run {run}: every morsel executed by its own run exactly once"
             );
         }
     }
@@ -468,5 +526,27 @@ mod tests {
             }
         }
         assert!(range_chunks(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn range_chunks_never_emit_empty_ranges() {
+        // Regression: when a chunk filled to exactly `target` volume at
+        // a range boundary, the splitter used to push a degenerate
+        // `(lo, lo)` range before flushing.
+        let cases: &[(&[(u64, u64)], usize)] = &[
+            (&[(0, 10), (10, 20)], 2), // boundary lands exactly on a cut
+            (&[(0, 8), (8, 16), (16, 24)], 3),
+            (&[(0, 4), (100, 104)], 2),
+            (&[(0, 100), (150, 170), (200, 280)], 5),
+        ];
+        for &(ranges, parts) in cases {
+            let chunks = range_chunks(ranges, parts);
+            let total: u64 = ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+            let vol: u64 = chunks.iter().flatten().map(|&(lo, hi)| hi - lo).sum();
+            assert_eq!(vol, total);
+            for &(lo, hi) in chunks.iter().flatten() {
+                assert!(lo < hi, "empty range ({lo}, {hi}) in {chunks:?}");
+            }
+        }
     }
 }
