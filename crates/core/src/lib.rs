@@ -45,8 +45,8 @@ pub use mbxq_storage::{
     StorageError, TreeView,
 };
 pub use mbxq_txn::{
-    wal::Wal, AncestorLockMode, CommitInfo, CommitPipeline, GroupCommitStats, Store, StoreConfig,
-    TxnError, WriteTxn,
+    wal::Wal, AncestorLockMode, Catalog, CatalogConfig, CommitInfo, CommitPipeline, DocMatches,
+    GroupCommitStats, PoolStats, QueryPool, Shard, Store, StoreConfig, TxnError, WriteTxn,
 };
 pub use mbxq_xml::{Document as XmlDocument, Node, QName};
 pub use mbxq_xpath::{Value, XPath, XPathError};

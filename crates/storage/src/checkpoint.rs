@@ -54,6 +54,19 @@ fn take_str<'a>(rest: &mut &'a str) -> Option<&'a str> {
     Some(s)
 }
 
+/// The document identity stamped into `dump` by
+/// [`PagedDoc::checkpoint_dump_named`], if any. Recovery of a catalog
+/// shard compares this against the manifest's document name before
+/// replaying, so a WAL file shuffled between shard slots is caught
+/// instead of silently loading the wrong document.
+pub fn checkpoint_dump_identity(dump: &str) -> Option<&str> {
+    let mut rest = dump;
+    if next_tok(&mut rest)? != "D" {
+        return None;
+    }
+    take_str(&mut rest)
+}
+
 fn bad(message: impl Into<String>) -> StorageError {
     StorageError::InvalidTarget {
         message: message.into(),
@@ -66,7 +79,20 @@ impl PagedDoc {
     /// respect to structure *and* node ids — unlike XML text, which
     /// merges adjacent text siblings on reparse.
     pub fn checkpoint_dump(&self) -> String {
+        self.checkpoint_dump_named(None)
+    }
+
+    /// [`PagedDoc::checkpoint_dump`] with an optional **document
+    /// identity**: a catalog shard stamps its document name into the
+    /// dump (a leading `D len:name` entry) so recovery can detect a WAL
+    /// file that was renamed or swapped under a different manifest
+    /// entry. Dumps without the entry load exactly as before.
+    pub fn checkpoint_dump_named(&self, doc_name: Option<&str>) -> String {
         let mut out = String::new();
+        if let Some(name) = doc_name {
+            out.push_str("D ");
+            put_str(&mut out, name);
+        }
         let mut p = 0u64;
         while let Some(q) = self.next_used_at_or_after(p) {
             let pos = self.pos_of_pre(q).expect("used slot resolves");
@@ -139,6 +165,13 @@ impl PagedDoc {
         let mut attrs = Vec::new();
         let mut rest = dump;
         while let Some(tag) = next_tok(&mut rest) {
+            if tag == "D" {
+                // Document-identity entry (see `checkpoint_dump_named`):
+                // carries no tuple data, callers read it separately via
+                // `checkpoint_dump_identity`.
+                take_str(&mut rest).ok_or_else(|| bad("checkpoint identity lacks a name"))?;
+                continue;
+            }
             if tag == "A" {
                 let node = next_tok(&mut rest)
                     .and_then(|t| t.parse::<u64>().ok())

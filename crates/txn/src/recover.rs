@@ -8,7 +8,7 @@
 //! restored" (§3.2). Because our WAL holds *logical* redo records keyed
 //! by immutable node ids, recovery is: load the latest checkpoint (the
 //! genesis document, or a [`WalRecord::Checkpoint`] written by
-//! [`crate::Store::checkpoint`] when it truncated the log), then replay
+//! [`crate::Shard::checkpoint`] when it truncated the log), then replay
 //! every complete commit record after it in log order. Node-id
 //! allocation is deterministic — and a checkpoint record carries the
 //! live node ids plus the allocation point — so replay reproduces the
@@ -32,30 +32,78 @@ pub fn recover(genesis_xml: &str, cfg: PageConfig, wal_bytes: &[u8]) -> Result<P
     let resume = records
         .iter()
         .rposition(|r| matches!(r, WalRecord::Checkpoint { .. }));
-    let (mut doc, skip) = match resume {
-        Some(i) => {
-            let WalRecord::Checkpoint {
-                alloc_end,
-                tuples,
-                dump,
-            } = &records[i]
-            else {
-                unreachable!("rposition matched a checkpoint");
-            };
-            let doc = PagedDoc::from_checkpoint_dump(dump, cfg, *alloc_end)?;
-            if doc.used_count() != *tuples {
+    let (doc, skip) = match resume {
+        Some(i) => (load_checkpoint(&records[i], cfg)?, i + 1),
+        None => (PagedDoc::parse_str(genesis_xml, cfg)?, 0),
+    };
+    replay(doc, &records[skip..])
+}
+
+/// Rebuilds one catalog shard's document from its WAL bytes alone. A
+/// shard WAL is *self-contained*: [`crate::Catalog::create_doc`] seeds
+/// it with a checkpoint of the freshly-shredded document, so unlike
+/// [`recover`] no genesis XML exists — a log without any complete
+/// checkpoint record is corrupt, not empty. When `expect_doc` is given
+/// and the checkpoint dump carries a document identity (see
+/// [`mbxq_storage::checkpoint::checkpoint_dump_identity`]), the two must
+/// agree — a shard WAL shuffled under another document's slot fails
+/// loudly instead of serving the wrong document.
+pub fn recover_shard(
+    cfg: PageConfig,
+    wal_bytes: &[u8],
+    expect_doc: Option<&str>,
+) -> Result<PagedDoc> {
+    let records = decode_log(wal_bytes).map_err(TxnError::Wal)?;
+    let resume = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Checkpoint { .. }))
+        .ok_or_else(|| {
+            TxnError::Wal(WalError::Corrupt {
+                message: "shard wal holds no checkpoint record".into(),
+            })
+        })?;
+    if let (Some(expect), WalRecord::Checkpoint { dump, .. }) = (expect_doc, &records[resume]) {
+        let identity = mbxq_storage::checkpoint::checkpoint_dump_identity(dump);
+        if let Some(found) = identity {
+            if found != expect {
                 return Err(TxnError::Wal(WalError::Corrupt {
                     message: format!(
-                        "checkpoint declares {tuples} tuples but its dump carries {}",
-                        doc.used_count()
+                        "shard wal belongs to document {found:?}, expected {expect:?}"
                     ),
                 }));
             }
-            (doc, i + 1)
         }
-        None => (PagedDoc::parse_str(genesis_xml, cfg)?, 0),
+    }
+    let doc = load_checkpoint(&records[resume], cfg)?;
+    replay(doc, &records[resume + 1..])
+}
+
+/// Materializes a checkpoint record, cross-checking its declared tuple
+/// count against the dump.
+fn load_checkpoint(record: &WalRecord, cfg: PageConfig) -> Result<PagedDoc> {
+    let WalRecord::Checkpoint {
+        alloc_end,
+        tuples,
+        dump,
+    } = record
+    else {
+        unreachable!("caller matched a checkpoint");
     };
-    for record in &records[skip..] {
+    let doc = PagedDoc::from_checkpoint_dump(dump, cfg, *alloc_end)?;
+    if doc.used_count() != *tuples {
+        return Err(TxnError::Wal(WalError::Corrupt {
+            message: format!(
+                "checkpoint declares {tuples} tuples but its dump carries {}",
+                doc.used_count()
+            ),
+        }));
+    }
+    Ok(doc)
+}
+
+/// Replays every complete commit record onto `doc` in log order.
+fn replay(mut doc: PagedDoc, records: &[WalRecord]) -> Result<PagedDoc> {
+    for record in records {
         let WalRecord::Commit { txn, ops } = record else {
             continue; // a checkpoint can only sit at the log head
         };
@@ -139,8 +187,7 @@ mod tests {
         if !crashed {
             final_xml = Some(to_xml(store.snapshot().as_ref()).unwrap());
         }
-        let (_, wal) = store.into_parts();
-        let raw = wal.raw().unwrap();
+        let raw = store.wal_raw().unwrap();
         (final_xml, raw)
     }
 

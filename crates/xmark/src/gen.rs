@@ -96,6 +96,30 @@ pub fn generate_tree(cfg: &XMarkConfig) -> mbxq_xml::Node {
         .root
 }
 
+/// Generates the document and splits the root's children into `parts`
+/// contiguous ranges, each serialized as its own `<site>` document —
+/// the shape that shreds one part per catalog shard. `parts` is clamped
+/// to the child count; concatenating the parts' children in order
+/// reproduces the whole document's children in order.
+pub fn generate_parts(cfg: &XMarkConfig, parts: usize) -> Vec<String> {
+    let root = generate_tree(cfg);
+    let children = root.children();
+    let parts = parts.clamp(1, children.len().max(1));
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for k in 0..parts {
+        let len = (children.len() - start) / (parts - k);
+        let mut xml = String::from("<site>");
+        for child in &children[start..start + len] {
+            mbxq_xml::serialize_node(child, &mut xml);
+        }
+        xml.push_str("</site>");
+        out.push(xml);
+        start += len;
+    }
+    out
+}
+
 struct Gen<'a> {
     rng: &'a mut StdRng,
     cfg: XMarkConfig,

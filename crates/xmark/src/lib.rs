@@ -23,7 +23,7 @@ pub mod queries;
 pub mod rng;
 mod text;
 
-pub use gen::{generate, generate_tree, XMarkConfig};
+pub use gen::{generate, generate_parts, generate_tree, XMarkConfig};
 pub use queries::{run_query, run_query_opts, QueryResult, QUERY_COUNT, QUERY_PATHS};
 
 #[cfg(test)]

@@ -185,6 +185,28 @@ pub struct EvalStats {
     pub par_steps: Cell<u64>,
 }
 
+impl EvalStats {
+    /// Folds another counter set into this one. Cross-document fan-out
+    /// (a catalog querying many stores) evaluates each document with a
+    /// private `EvalStats` — `Cell` counters are not `Sync`, so one set
+    /// cannot be shared across worker threads — and merges them into
+    /// the caller's set afterwards.
+    pub fn absorb(&self, other: &EvalStats) {
+        self.index_steps
+            .set(self.index_steps.get() + other.index_steps.get());
+        self.staircase_steps
+            .set(self.staircase_steps.get() + other.staircase_steps.get());
+        self.value_probe_steps
+            .set(self.value_probe_steps.get() + other.value_probe_steps.get());
+        self.value_scan_steps
+            .set(self.value_scan_steps.get() + other.value_scan_steps.get());
+        self.morsels.set(self.morsels.get() + other.morsels.get());
+        self.steals.set(self.steals.get() + other.steals.get());
+        self.par_steps
+            .set(self.par_steps.get() + other.par_steps.get());
+    }
+}
+
 /// Evaluation-time options, assembled builder-style:
 ///
 /// ```ignore

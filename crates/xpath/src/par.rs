@@ -158,6 +158,12 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Cumulative cross-queue steals over the pool's lifetime (each
+    /// [`WorkerPool::run`] returns the per-run delta of this counter).
+    pub fn steals_total(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
     /// Executes `f(0), f(1), …, f(morsels - 1)`, each exactly once, on
     /// the pool; returns the number of cross-queue steals the run
     /// performed. Blocks until all morsels finished. If another run is

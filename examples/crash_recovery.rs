@@ -47,7 +47,7 @@ fn main() {
         }
 
         // Arm the crash: the next commit record is torn after 25 bytes.
-        let (doc, mut wal) = store.into_parts();
+        let (doc, mut wal) = store.into_shard().into_parts();
         wal.crash_after_bytes(wal.len_bytes() + 25);
         let store = Store::open(doc, wal, StoreConfig::default());
         let mut t = store.begin();

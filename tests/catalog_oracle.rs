@@ -1,0 +1,168 @@
+//! Cross-document query oracle for the catalog's fan-out path.
+//!
+//! **Property:** [`Catalog::query_all`] — shard-local plans fanned out
+//! over the shared worker pool, merged in (document, document-order) —
+//! is *bit-identical* to querying every shard sequentially and
+//! concatenating, whatever the execution interleaving and whatever
+//! per-shard maintenance (checkpoint, vacuum) is racing on other
+//! shards. The node ids it returns are the stable logical ids, so even
+//! a vacuum that relocates tuples between the parallel and the
+//! sequential evaluation must not change a single bit of the answer.
+//!
+//! A second deterministic test pins the per-shard maintenance
+//! guarantee: a writer holding page locks on one document makes *that*
+//! document's vacuum report Busy, while checkpoints, vacuums and
+//! commits on every other document proceed — maintenance never crosses
+//! shard boundaries.
+
+use mbxq::{Catalog, CatalogConfig, PageConfig, StoreConfig, TxnError, XPath};
+use mbxq_xmark::XMarkConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn config(query_threads: usize) -> CatalogConfig {
+    CatalogConfig {
+        store: StoreConfig {
+            lock_timeout: Duration::from_millis(300),
+            validate_on_commit: true,
+            query_threads,
+            ..StoreConfig::default()
+        },
+        page: PageConfig::new(64, 75).unwrap(),
+    }
+}
+
+#[test]
+fn query_all_is_bit_identical_to_sequential_under_racing_maintenance() {
+    let cat = Catalog::in_memory(config(4));
+    // One XMark document partitioned across three shards, plus an
+    // unrelated standalone document — both routing shapes at once.
+    let xml = mbxq_xmark::generate(&XMarkConfig::tiny(11));
+    let parts = cat.create_partitioned("auctions", &xml, 3).unwrap();
+    cat.create_doc("side", "<site><extra><keyword>zzz</keyword></extra></site>")
+        .unwrap();
+    assert_eq!(parts, ["auctions#0", "auctions#1", "auctions#2"]);
+
+    let queries = ["//item", "//person", "//keyword", "//bidder", "/site"];
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Maintenance races on a SUBSET of the shards: the first two
+        // parts get checkpointed and vacuumed in a tight loop (Busy is
+        // fine — it means a concurrent query pinned nothing, vacuum just
+        // found the store momentarily unquiesced; content never changes).
+        for name in &parts[..2] {
+            let stop = &stop;
+            let cat = &cat;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = cat.checkpoint(name);
+                    match cat.vacuum(name) {
+                        Ok(_) | Err(TxnError::Busy { .. }) => {}
+                        Err(e) => panic!("vacuum on {name}: {e}"),
+                    }
+                }
+            });
+        }
+
+        for round in 0..40 {
+            for q in queries {
+                let all = cat.query_all(q).unwrap();
+                let names = cat.doc_names();
+                assert_eq!(
+                    all.iter().map(|m| m.doc.as_str()).collect::<Vec<_>>(),
+                    names.iter().map(String::as_str).collect::<Vec<_>>(),
+                    "round {round}: {q}: document order must be creation order"
+                );
+                for m in &all {
+                    let seq = cat.query_nodes(&m.doc, q).unwrap();
+                    assert_eq!(
+                        m.nodes, seq,
+                        "round {round}: {q} on {}: fan-out diverged from sequential",
+                        m.doc
+                    );
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The partition preserved the whole document: parts' matches
+    // concatenated count exactly the original document's matches.
+    let whole = {
+        let solo = Catalog::in_memory(config(0));
+        solo.create_doc("w", &xml).unwrap();
+        solo.query_nodes("w", "//item").unwrap().len()
+    };
+    let split: usize = cat
+        .query_collection(&parts, "//item")
+        .unwrap()
+        .iter()
+        .map(|m| m.nodes.len())
+        .sum();
+    assert_eq!(split, whole, "partitioning lost or invented items");
+
+    // The fan-out ran on the one shared pool and merged its counters.
+    assert!(
+        cat.pool_stats().spawned,
+        "4-thread catalog must spawn its pool"
+    );
+    let stats = mbxq_xpath::EvalStats::default();
+    let all = cat.query_all_stats("//keyword", &stats).unwrap();
+    assert_eq!(all.len(), cat.doc_count());
+    assert!(
+        stats.morsels.get() >= all.len() as u64,
+        "merged stats must count at least one morsel per document"
+    );
+}
+
+#[test]
+fn maintenance_on_one_shard_never_stalls_the_others() {
+    let cat = Catalog::in_memory(config(0));
+    cat.create_doc("a", "<r><x/><x/></r>").unwrap();
+    cat.create_doc("b", "<r><y/><y/></r>").unwrap();
+    let a = cat.shard("a").unwrap();
+    let b = cat.shard("b").unwrap();
+
+    // A writer stages (and locks) on document B and stays open.
+    let mut held = b.begin();
+    let ys = held.select(&XPath::parse("//y").unwrap()).unwrap();
+    let frag = mbxq::XmlDocument::parse_fragment("<held/>").unwrap();
+    held.insert(mbxq::InsertPosition::LastChildOf(ys[0]), &frag)
+        .unwrap();
+
+    // B's own vacuum correctly reports the in-flight writer...
+    assert!(matches!(cat.vacuum("b"), Err(TxnError::Busy { .. })));
+    // ...while A's maintenance and A's writers are completely unaffected.
+    cat.checkpoint("a").unwrap();
+    cat.vacuum("a").unwrap();
+    let mut t = a.begin();
+    let xs = t.select(&XPath::parse("//x").unwrap()).unwrap();
+    t.delete(xs[1]).unwrap();
+    t.commit().unwrap();
+    assert_eq!(cat.query_nodes("a", "//x").unwrap().len(), 1);
+
+    // Releasing B's writer frees B's maintenance too.
+    held.commit().unwrap();
+    cat.vacuum("b").unwrap();
+    assert_eq!(cat.query_nodes("b", "//held").unwrap().len(), 1);
+}
+
+#[test]
+fn dropped_docs_vanish_from_query_all_but_held_handles_survive() {
+    let cat = Catalog::in_memory(config(2));
+    cat.create_doc("keep", "<r><k/></r>").unwrap();
+    cat.create_doc("gone", "<r><g/></r>").unwrap();
+    let held = cat.shard("gone").unwrap();
+    cat.drop_doc("gone").unwrap();
+
+    let all = cat.query_all("//*").unwrap();
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].doc, "keep");
+    // The outstanding handle still serves queries and even commits.
+    assert_eq!(held.query_nodes("//g").unwrap().len(), 1);
+    let mut t = held.begin();
+    let gs = t.select(&XPath::parse("//g").unwrap()).unwrap();
+    t.delete(gs[0]).unwrap();
+    t.commit().unwrap();
+    assert_eq!(held.query_nodes("//g").unwrap().len(), 0);
+}

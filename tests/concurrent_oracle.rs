@@ -139,8 +139,7 @@ fn check_seed(seed: u64, writers: usize, sections: usize) {
 
     // The oracle: replay the WAL's commit records single-threaded, in
     // log order, onto a fresh shredding of the genesis document.
-    let (_, wal) = store.into_parts();
-    let records = wal.read_all().unwrap();
+    let records = mbxq_txn::wal::decode_log(&store.wal_raw().unwrap()).unwrap();
     assert_eq!(
         records.len() as u64,
         committed,

@@ -112,8 +112,8 @@ fn run_workload(seed: u64, crash_at: Option<usize>) -> (String, Vec<u8>) {
         last_committed = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
     }
 
-    let (_, wal) = store.into_parts();
-    (last_committed, wal.raw().unwrap())
+    let raw = store.wal_raw().unwrap();
+    (last_committed, raw)
 }
 
 #[test]
@@ -198,8 +198,7 @@ fn checkpoint_survives_adjacent_text_tuples() {
 
     let live = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
     assert_eq!(live, "<root><d>hello  there</d></root>");
-    let (_, wal) = store.into_parts();
-    let recovered = recover(genesis, cfg(), &wal.raw().unwrap())
+    let recovered = recover(genesis, cfg(), &store.wal_raw().unwrap())
         .expect("checkpoint with adjacent text tuples must stay recoverable");
     mbxq_storage::invariants::check_paged(&recovered).unwrap();
     assert_eq!(mbxq_storage::serialize::to_xml(&recovered).unwrap(), live);
@@ -237,8 +236,7 @@ fn crash_inside_group_commit_batches_keeps_per_commit_atomicity() {
             },
         );
         run_concurrent_writers(&store, WRITERS, 0);
-        let (_, wal) = store.into_parts();
-        wal.raw().unwrap().len()
+        store.wal_raw().unwrap().len()
     };
 
     let mut rng = TestRng::new(0xba7c4);
@@ -260,8 +258,7 @@ fn crash_inside_group_commit_batches_keeps_per_commit_atomicity() {
         );
         let succeeded = run_concurrent_writers(&store, WRITERS, probe);
         assert_eq!(store.locked_pages(), 0, "probe {probe}: stranded locks");
-        let (_, wal) = store.into_parts();
-        let recovered = recover(&genesis, cfg, &wal.raw().unwrap()).unwrap_or_else(|e| {
+        let recovered = recover(&genesis, cfg, &store.wal_raw().unwrap()).unwrap_or_else(|e| {
             panic!("probe {probe} (crash at {crash_at}): recovery failed: {e}")
         });
         mbxq_storage::invariants::check_paged(&recovered).unwrap();
@@ -346,9 +343,197 @@ fn checkpoint_shrinks_the_log_and_preserves_pre_checkpoint_nodes() {
     t.commit().unwrap();
 
     let live = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
-    let (_, wal) = store.into_parts();
-    let recovered = recover(GENESIS, cfg(), &wal.raw().unwrap()).unwrap();
+    let recovered = recover(GENESIS, cfg(), &store.wal_raw().unwrap()).unwrap();
     assert_eq!(mbxq_storage::serialize::to_xml(&recovered).unwrap(), live);
     assert!(!live.contains("pre3"));
     assert!(live.contains("pre2") && live.contains("pre4"));
+}
+
+/// Multi-shard catalog crash property. Each seed opens a durable
+/// catalog of three documents, arms a crash budget in one random
+/// shard's WAL, and drives random op batches (inserts, deletes,
+/// attribute rewrites, per-shard checkpoints) across all shards until
+/// the injected crash fires — at which point the whole process is
+/// treated as dead. On top of the torn WAL, the "crashed" directory
+/// gets the residue of an interrupted create/drop: a stray
+/// `manifest.tmp` and an orphan `shard-*.wal`. Reopening the catalog
+/// must reproduce exactly the last committed state of every shard —
+/// shards the crash never touched lose nothing, the torn shard recovers
+/// its committed prefix, and the artifacts are swept away.
+#[test]
+fn catalog_recovery_reproduces_every_shard() {
+    use mbxq::{Catalog, CatalogConfig};
+
+    const SHARDS: usize = 3;
+    let config = CatalogConfig {
+        store: StoreConfig {
+            ancestor_mode: AncestorLockMode::Delta,
+            lock_timeout: Duration::from_millis(500),
+            validate_on_commit: true,
+            ..StoreConfig::default()
+        },
+        page: cfg(),
+    };
+    let genesis = |d: usize| {
+        format!(
+            "<root><s0><p id=\"d{d}a\"/></s0><s1><p id=\"d{d}b\"/><p id=\"d{d}c\"/></s1></root>"
+        )
+    };
+
+    // One intact run to bound the crash offsets worth probing (3x
+    // headroom: the cumulative budget also counts checkpoint-discarded
+    // bytes, as in the single-store test above).
+    let run = |seed: u64, dir: &std::path::Path, crash_at: Option<usize>| -> (Vec<String>, usize) {
+        let _ = std::fs::remove_dir_all(dir);
+        let cat = Catalog::open(dir, config).unwrap();
+        let mut rng = TestRng::new(seed ^ 0xca7a_1095);
+        let shards: Vec<_> = (0..SHARDS)
+            .map(|d| cat.create_doc(&format!("doc{d}"), &genesis(d)).unwrap())
+            .collect();
+        let victim = rng.below(SHARDS);
+        if let Some(limit) = crash_at {
+            shards[victim].wal_crash_after_bytes(limit);
+        }
+        let mut last: Vec<String> = shards
+            .iter()
+            .map(|s| mbxq_storage::serialize::to_xml(s.snapshot().as_ref()).unwrap())
+            .collect();
+        let mut wrote = 0usize;
+        let all_p = XPath::parse("//p").unwrap();
+        'work: for batch in 0..12 {
+            let d = rng.below(SHARDS);
+            let shard = &shards[d];
+            if rng.below(5) == 0 {
+                // Per-shard checkpoint: truncates THIS shard's log only.
+                if shard.checkpoint().is_err() {
+                    break 'work; // crash while rewriting the victim's log
+                }
+                continue;
+            }
+            let mut t = shard.begin();
+            for op in 0..1 + rng.below(3) {
+                match rng.below(4) {
+                    0 | 1 => {
+                        let section = rng.below(2);
+                        let target = t
+                            .select(&XPath::parse(&format!("/root/s{section}")).unwrap())
+                            .unwrap()[0];
+                        let frag = Document::parse_fragment(&format!(
+                            "<p id=\"d{d}x{batch}x{op}\"><t>v</t></p>"
+                        ))
+                        .unwrap();
+                        t.insert(InsertPosition::LastChildOf(target), &frag)
+                            .unwrap();
+                    }
+                    2 => {
+                        let victims = t.select(&all_p).unwrap();
+                        if !victims.is_empty() {
+                            t.delete(victims[rng.below(victims.len())]).unwrap();
+                        }
+                    }
+                    _ => {
+                        let targets = t.select(&all_p).unwrap();
+                        if !targets.is_empty() {
+                            let n = targets[rng.below(targets.len())];
+                            t.set_attribute(
+                                n,
+                                &mbxq::QName::local("id"),
+                                &format!("r{d}x{batch}x{op}"),
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+            match t.commit() {
+                Ok(_) => {
+                    last[d] = mbxq_storage::serialize::to_xml(shard.snapshot().as_ref()).unwrap();
+                    wrote += 1;
+                }
+                Err(_) => break 'work, // the armed shard's WAL tore
+            }
+        }
+        let _ = wrote;
+        let total: usize = shards
+            .iter()
+            .map(|s| s.wal_raw().map_or(0, |r| r.len()))
+            .sum();
+        (last, total)
+    };
+
+    for seed in 0..5u64 {
+        let dir =
+            std::env::temp_dir().join(format!("mbxq-catalog-crash-{}-{seed}", std::process::id()));
+        let (_, intact_total) = run(seed, &dir, None);
+        let mut rng = TestRng::new(seed ^ 0xdead_cafe);
+        for probe in 0..4 {
+            let crash_at = 1 + rng.below(intact_total * 3 + 64);
+            let (expected, _) = run(seed, &dir, Some(crash_at));
+            // Residue of an interrupted create/drop and manifest rewrite.
+            std::fs::write(dir.join("manifest.tmp"), b"torn manifest rewrite").unwrap();
+            std::fs::write(dir.join("shard-777.wal"), b"orphan of a crashed create").unwrap();
+
+            let cat = Catalog::open(&dir, config).unwrap_or_else(|e| {
+                panic!("seed {seed} probe {probe} (crash at {crash_at}): reopen failed: {e}")
+            });
+            assert_eq!(
+                cat.doc_names(),
+                (0..SHARDS).map(|d| format!("doc{d}")).collect::<Vec<_>>(),
+                "seed {seed} probe {probe}: manifest lost a document"
+            );
+            for (d, want) in expected.iter().enumerate() {
+                let shard = cat.shard(&format!("doc{d}")).unwrap();
+                let got = mbxq_storage::serialize::to_xml(shard.snapshot().as_ref()).unwrap();
+                assert_eq!(
+                    &got, want,
+                    "seed {seed} probe {probe}: doc{d} diverged after crash at {crash_at}"
+                );
+                mbxq_storage::invariants::check_paged(shard.snapshot().as_ref()).unwrap();
+            }
+            assert!(
+                !dir.join("manifest.tmp").exists(),
+                "reopen must discard the torn manifest rewrite"
+            );
+            assert!(
+                !dir.join("shard-777.wal").exists(),
+                "reopen must sweep orphan shard WALs"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A shard WAL moved under another document's slot must fail recovery
+/// (the checkpoint dump carries the document identity), not silently
+/// serve the wrong document.
+#[test]
+fn catalog_rejects_shuffled_shard_wals() {
+    use mbxq::{Catalog, CatalogConfig};
+
+    let dir = std::env::temp_dir().join(format!("mbxq-catalog-shuffle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = CatalogConfig {
+        store: StoreConfig::default(),
+        page: cfg(),
+    };
+    {
+        let cat = Catalog::open(&dir, config).unwrap();
+        cat.create_doc("alpha", "<root><p id=\"a\"/></root>")
+            .unwrap();
+        cat.create_doc("beta", "<root><p id=\"b\"/></root>")
+            .unwrap();
+    }
+    // Swap the two shard WAL files behind the manifest's back.
+    let a = dir.join("shard-0.wal");
+    let b = dir.join("shard-1.wal");
+    let tmp = dir.join("shard-swap.tmp");
+    std::fs::rename(&a, &tmp).unwrap();
+    std::fs::rename(&b, &a).unwrap();
+    std::fs::rename(&tmp, &b).unwrap();
+    let err = Catalog::open(&dir, config).unwrap_err();
+    assert!(
+        err.to_string().contains("belongs to document"),
+        "expected an identity mismatch, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

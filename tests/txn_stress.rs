@@ -117,9 +117,12 @@ fn mixed_workload_matches_recovery_under_concurrency() {
     let live = mbxq_storage::serialize::to_xml(store.snapshot().as_ref()).unwrap();
     mbxq_storage::invariants::check_paged(store.snapshot().as_ref()).unwrap();
 
-    let (_, wal) = store.into_parts();
-    let recovered = recover(&xml, PageConfig::new(128, 80).unwrap(), &wal.raw().unwrap())
-        .expect("recovery succeeds");
+    let recovered = recover(
+        &xml,
+        PageConfig::new(128, 80).unwrap(),
+        &store.wal_raw().unwrap(),
+    )
+    .expect("recovery succeeds");
     assert_eq!(
         mbxq_storage::serialize::to_xml(&recovered).unwrap(),
         live,
