@@ -1,0 +1,841 @@
+//! Wire encoding: frames, handshake, requests, responses.
+//!
+//! Every post-handshake message is one **frame**:
+//!
+//! ```text
+//! u32 LE payload length | payload (first byte = opcode)
+//! ```
+//!
+//! Scalars are little-endian; strings and byte blobs are `u32` length +
+//! bytes (UTF-8 for strings); lists are `u32` count + elements. The
+//! handshake preceding the first frame is
+//!
+//! ```text
+//! client → "MBXQ" | u8 n | n × u32 proposed versions
+//! server → "MBXQ" | u32 chosen version   (0 = no overlap, closed)
+//! ```
+//!
+//! Decoding is strict: trailing bytes after a complete message, lengths
+//! past the end of the frame, unknown tags — all are protocol errors.
+//! The server answers an undecodable frame with [`Response::Error`]
+//! (code [`ErrorCode::Protocol`] / [`ErrorCode::UnknownOpcode`]) and
+//! closes that one session; the listener and other sessions are
+//! unaffected.
+
+use crate::{NetError, Result};
+use mbxq_storage::QnId;
+use mbxq_xpath::{AxisChoice, ParChoice, Value, ValueChoice};
+
+/// The connection-setup magic. Both handshake directions start with it.
+pub const MAGIC: [u8; 4] = *b"MBXQ";
+
+/// The one protocol version this build speaks.
+pub const VERSION: u32 = 1;
+
+/// Default cap on a single frame's payload length.
+pub const MAX_FRAME_DEFAULT: usize = 64 << 20;
+
+/// Machine-readable error classes of [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Malformed frame or field encoding.
+    Protocol = 1,
+    /// The request opcode is not part of this protocol version.
+    UnknownOpcode = 2,
+    /// No document by that name.
+    UnknownDocument = 3,
+    /// A document by that name already exists.
+    DuplicateDocument = 4,
+    /// The query failed to parse or evaluate.
+    Query = 5,
+    /// A transactional/storage failure (lock timeout, validation, IO).
+    Txn = 6,
+    /// No cursor by that id in this session.
+    UnknownCursor = 7,
+    /// The frame's length prefix exceeds the server's limit.
+    FrameTooLarge = 8,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::UnknownOpcode,
+            3 => ErrorCode::UnknownDocument,
+            4 => ErrorCode::DuplicateDocument,
+            5 => ErrorCode::Query,
+            6 => ErrorCode::Txn,
+            7 => ErrorCode::UnknownCursor,
+            8 => ErrorCode::FrameTooLarge,
+            _ => return None,
+        })
+    }
+}
+
+/// What a [`Request::Query`] evaluates against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTarget {
+    /// One document by name (hash-routed).
+    Doc(String),
+    /// Every document of the catalog (or every pinned one).
+    All,
+    /// The named documents in the given order — e.g. a partition group.
+    Collection(Vec<String>),
+}
+
+/// One query request: target, XPath text, `$name` bindings, strategy
+/// overrides, and the cursor page size for node-set results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// What to evaluate against.
+    pub target: QueryTarget,
+    /// The XPath text.
+    pub text: String,
+    /// `$name` bindings, rebuilt into [`mbxq_xpath::Bindings`] server-side.
+    pub bindings: Vec<(String, Value)>,
+    /// Axis-strategy override.
+    pub axis: AxisChoice,
+    /// Value-predicate strategy override.
+    pub value: ValueChoice,
+    /// Parallelism policy.
+    pub par: ParChoice,
+    /// Rows per cursor page (`0` = server default).
+    pub page_size: u32,
+}
+
+impl QuerySpec {
+    /// A default-strategy spec for `text` against `target`.
+    pub fn new(target: QueryTarget, text: impl Into<String>) -> QuerySpec {
+        QuerySpec {
+            target,
+            text: text.into(),
+            bindings: Vec::new(),
+            axis: AxisChoice::default(),
+            value: ValueChoice::default(),
+            par: ParChoice::default(),
+            page_size: 0,
+        }
+    }
+}
+
+/// The update-volume counters of an XUpdate batch, as reported back to
+/// the client (the wire form of [`mbxq_xupdate::ExecutionSummary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateSummary {
+    /// Commands executed.
+    pub commands: u64,
+    /// Tuples deleted.
+    pub nodes_removed: u64,
+    /// Tuples inserted.
+    pub nodes_inserted: u64,
+    /// Value nodes replaced in place.
+    pub values_updated: u64,
+    /// Attributes set.
+    pub attrs_set: u64,
+    /// Elements renamed.
+    pub nodes_renamed: u64,
+}
+
+impl From<mbxq_xupdate::ExecutionSummary> for UpdateSummary {
+    fn from(s: mbxq_xupdate::ExecutionSummary) -> UpdateSummary {
+        UpdateSummary {
+            commands: s.commands as u64,
+            nodes_removed: s.nodes_removed,
+            nodes_inserted: s.nodes_inserted,
+            values_updated: s.values_updated,
+            attrs_set: s.attrs_set,
+            nodes_renamed: s.nodes_renamed,
+        }
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Create a document from XML text.
+    CreateDoc {
+        /// The document name (plain-name rules apply).
+        name: String,
+        /// The XML text.
+        xml: String,
+    },
+    /// Drop a document.
+    DropDoc {
+        /// The document name.
+        name: String,
+    },
+    /// List document names in creation order.
+    ListDocs,
+    /// Evaluate a query; node sets come back as a cursor.
+    Query(QuerySpec),
+    /// Execute an XUpdate batch as one write transaction.
+    XUpdate {
+        /// The target document.
+        doc: String,
+        /// The `<xupdate:modifications>` script.
+        script: String,
+    },
+    /// Page the next rows out of an open cursor.
+    Fetch {
+        /// The cursor id from [`Response::Header`].
+        cursor: u32,
+    },
+    /// Close a cursor early (closing an already-gone cursor is a no-op).
+    CloseCursor {
+        /// The cursor id.
+        cursor: u32,
+    },
+    /// Pin snapshots for repeatable reads: the named documents, or every
+    /// current document when `names` is empty. Replaces any earlier pin
+    /// set.
+    Pin {
+        /// Documents to pin (empty = all).
+        names: Vec<String>,
+    },
+    /// Drop all pinned snapshots; queries see fresh snapshots again.
+    Unpin,
+    /// Orderly end of session.
+    Goodbye,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded and has no payload.
+    Ok,
+    /// The request failed.
+    Error {
+        /// The machine-readable error class.
+        code: ErrorCode,
+        /// The human-readable message.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::ListDocs`].
+    Docs {
+        /// Document names in creation order.
+        names: Vec<String>,
+    },
+    /// A non-node-set query result. Node ids inside (`Nodes`/`Attrs`
+    /// owners) are stable [`mbxq_storage::NodeId`] values, not pre ranks.
+    Scalar {
+        /// The result value.
+        value: Value,
+    },
+    /// A node-set query result: an opened cursor. Rows follow via
+    /// [`Request::Fetch`] as `(doc index, node id)` pairs, doc-major in
+    /// `docs` order, document order within each document.
+    Header {
+        /// The session-scoped cursor id.
+        cursor: u32,
+        /// The documents contributing rows, in merge order.
+        docs: Vec<String>,
+        /// Total rows the cursor will yield.
+        total: u64,
+    },
+    /// One page of cursor rows.
+    Page {
+        /// Whether this was the final page (the cursor is now closed).
+        done: bool,
+        /// `(doc index, node id)` row pairs.
+        rows: Vec<(u32, u64)>,
+    },
+    /// Answer to [`Request::XUpdate`].
+    Summary {
+        /// What the batch did.
+        summary: UpdateSummary,
+    },
+    /// Answer to [`Request::Pin`].
+    Pinned {
+        /// How many snapshots the session now holds.
+        count: u32,
+    },
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_names(out: &mut Vec<u8>, names: &[String]) {
+    put_u32(out, names.len() as u32);
+    for n in names {
+        put_str(out, n);
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push(0);
+            put_str(out, s);
+        }
+        Value::Number(n) => {
+            out.push(1);
+            put_u64(out, n.to_bits());
+        }
+        Value::Boolean(b) => {
+            out.push(2);
+            out.push(*b as u8);
+        }
+        Value::Nodes(ns) => {
+            out.push(3);
+            put_u32(out, ns.len() as u32);
+            for &n in ns {
+                put_u64(out, n);
+            }
+        }
+        Value::Attrs(ps) => {
+            out.push(4);
+            put_u32(out, ps.len() as u32);
+            for &(owner, qn) in ps {
+                put_u64(out, owner);
+                put_u32(out, qn.0);
+            }
+        }
+    }
+}
+
+/// A strict little-endian reader over one frame's payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T> {
+        Err(NetError::Protocol(format!(
+            "{what} at byte {} of a {}-byte frame",
+            self.pos,
+            self.buf.len()
+        )))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return self.err("truncated field");
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).or_else(|_| self.err("non-UTF-8 string"))
+    }
+
+    fn names(&mut self) -> Result<Vec<String>> {
+        let n = self.u32()? as usize;
+        // Each name costs ≥ 4 bytes on the wire, so an absurd count in
+        // a short frame fails here instead of attempting a huge alloc.
+        if self.buf.len() - self.pos < n * 4 {
+            return self.err("name count exceeds frame");
+        }
+        (0..n).map(|_| self.str()).collect()
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Str(self.str()?),
+            1 => Value::Number(f64::from_bits(self.u64()?)),
+            2 => Value::Boolean(self.u8()? != 0),
+            3 => {
+                let n = self.u32()? as usize;
+                if self.buf.len() - self.pos < n * 8 {
+                    return self.err("node count exceeds frame");
+                }
+                Value::Nodes((0..n).map(|_| self.u64()).collect::<Result<_>>()?)
+            }
+            4 => {
+                let n = self.u32()? as usize;
+                if self.buf.len() - self.pos < n * 12 {
+                    return self.err("attr count exceeds frame");
+                }
+                Value::Attrs(
+                    (0..n)
+                        .map(|_| Ok((self.u64()?, QnId(self.u32()?))))
+                        .collect::<Result<_>>()?,
+                )
+            }
+            _ => return self.err("unknown value tag"),
+        })
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return self.err("trailing bytes");
+        }
+        Ok(())
+    }
+}
+
+fn axis_to_u8(a: AxisChoice) -> u8 {
+    match a {
+        AxisChoice::Auto => 0,
+        AxisChoice::ForceStaircase => 1,
+        AxisChoice::ForceIndex => 2,
+    }
+}
+
+fn axis_from_u8(v: u8) -> Option<AxisChoice> {
+    Some(match v {
+        0 => AxisChoice::Auto,
+        1 => AxisChoice::ForceStaircase,
+        2 => AxisChoice::ForceIndex,
+        _ => return None,
+    })
+}
+
+fn value_to_u8(v: ValueChoice) -> u8 {
+    match v {
+        ValueChoice::Auto => 0,
+        ValueChoice::ForceScan => 1,
+        ValueChoice::ForceProbe => 2,
+    }
+}
+
+fn value_from_u8(v: u8) -> Option<ValueChoice> {
+    Some(match v {
+        0 => ValueChoice::Auto,
+        1 => ValueChoice::ForceScan,
+        2 => ValueChoice::ForceProbe,
+        _ => return None,
+    })
+}
+
+fn par_to_u8(p: ParChoice) -> u8 {
+    match p {
+        ParChoice::Auto => 0,
+        ParChoice::ForceSequential => 1,
+        ParChoice::ForceParallel => 2,
+    }
+}
+
+fn par_from_u8(v: u8) -> Option<ParChoice> {
+    Some(match v {
+        0 => ParChoice::Auto,
+        1 => ParChoice::ForceSequential,
+        2 => ParChoice::ForceParallel,
+        _ => return None,
+    })
+}
+
+impl Request {
+    /// Serializes this request into one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(0x01),
+            Request::CreateDoc { name, xml } => {
+                out.push(0x02);
+                put_str(&mut out, name);
+                put_str(&mut out, xml);
+            }
+            Request::DropDoc { name } => {
+                out.push(0x03);
+                put_str(&mut out, name);
+            }
+            Request::ListDocs => out.push(0x04),
+            Request::Query(q) => {
+                out.push(0x05);
+                match &q.target {
+                    QueryTarget::Doc(name) => {
+                        out.push(0);
+                        put_str(&mut out, name);
+                    }
+                    QueryTarget::All => out.push(1),
+                    QueryTarget::Collection(names) => {
+                        out.push(2);
+                        put_names(&mut out, names);
+                    }
+                }
+                put_str(&mut out, &q.text);
+                put_u32(&mut out, q.bindings.len() as u32);
+                for (name, value) in &q.bindings {
+                    put_str(&mut out, name);
+                    put_value(&mut out, value);
+                }
+                out.push(axis_to_u8(q.axis));
+                out.push(value_to_u8(q.value));
+                out.push(par_to_u8(q.par));
+                put_u32(&mut out, q.page_size);
+            }
+            Request::XUpdate { doc, script } => {
+                out.push(0x06);
+                put_str(&mut out, doc);
+                put_str(&mut out, script);
+            }
+            Request::Fetch { cursor } => {
+                out.push(0x07);
+                put_u32(&mut out, *cursor);
+            }
+            Request::CloseCursor { cursor } => {
+                out.push(0x08);
+                put_u32(&mut out, *cursor);
+            }
+            Request::Pin { names } => {
+                out.push(0x09);
+                put_names(&mut out, names);
+            }
+            Request::Unpin => out.push(0x0a),
+            Request::Goodbye => out.push(0x0b),
+        }
+        out
+    }
+
+    /// Decodes one frame payload. `Err` carries the reason; the caller
+    /// distinguishes unknown opcodes (first byte) for its error code.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let op = r.u8()?;
+        let req = match op {
+            0x01 => Request::Ping,
+            0x02 => Request::CreateDoc {
+                name: r.str()?,
+                xml: r.str()?,
+            },
+            0x03 => Request::DropDoc { name: r.str()? },
+            0x04 => Request::ListDocs,
+            0x05 => {
+                let target = match r.u8()? {
+                    0 => QueryTarget::Doc(r.str()?),
+                    1 => QueryTarget::All,
+                    2 => QueryTarget::Collection(r.names()?),
+                    _ => return r.err("unknown query target"),
+                };
+                let text = r.str()?;
+                let n = r.u32()? as usize;
+                if payload.len() < n * 5 {
+                    return r.err("binding count exceeds frame");
+                }
+                let mut bindings = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?;
+                    let value = r.value()?;
+                    bindings.push((name, value));
+                }
+                let axis = axis_from_u8(r.u8()?);
+                let value = value_from_u8(r.u8()?);
+                let par = par_from_u8(r.u8()?);
+                let page_size = r.u32()?;
+                let (Some(axis), Some(value), Some(par)) = (axis, value, par) else {
+                    return r.err("unknown strategy choice");
+                };
+                Request::Query(QuerySpec {
+                    target,
+                    text,
+                    bindings,
+                    axis,
+                    value,
+                    par,
+                    page_size,
+                })
+            }
+            0x06 => Request::XUpdate {
+                doc: r.str()?,
+                script: r.str()?,
+            },
+            0x07 => Request::Fetch { cursor: r.u32()? },
+            0x08 => Request::CloseCursor { cursor: r.u32()? },
+            0x09 => Request::Pin { names: r.names()? },
+            0x0a => Request::Unpin,
+            0x0b => Request::Goodbye,
+            other => {
+                return Err(NetError::Protocol(format!("unknown opcode 0x{other:02x}")));
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// Whether a raw frame payload carries an opcode this protocol version
+/// does not know — the server maps this to [`ErrorCode::UnknownOpcode`]
+/// instead of the generic [`ErrorCode::Protocol`].
+pub fn is_unknown_opcode(payload: &[u8]) -> bool {
+    !matches!(payload.first(), Some(0x01..=0x0b))
+}
+
+impl Response {
+    /// Serializes this response into one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ok => out.push(0x80),
+            Response::Error { code, message } => {
+                out.push(0x81);
+                put_u16(&mut out, *code as u16);
+                put_str(&mut out, message);
+            }
+            Response::Pong => out.push(0x82),
+            Response::Docs { names } => {
+                out.push(0x83);
+                put_names(&mut out, names);
+            }
+            Response::Scalar { value } => {
+                out.push(0x84);
+                put_value(&mut out, value);
+            }
+            Response::Header {
+                cursor,
+                docs,
+                total,
+            } => {
+                out.push(0x85);
+                put_u32(&mut out, *cursor);
+                put_names(&mut out, docs);
+                put_u64(&mut out, *total);
+            }
+            Response::Page { done, rows } => {
+                out.push(0x86);
+                out.push(*done as u8);
+                put_u32(&mut out, rows.len() as u32);
+                for &(doc, node) in rows {
+                    put_u32(&mut out, doc);
+                    put_u64(&mut out, node);
+                }
+            }
+            Response::Summary { summary } => {
+                out.push(0x87);
+                for v in [
+                    summary.commands,
+                    summary.nodes_removed,
+                    summary.nodes_inserted,
+                    summary.values_updated,
+                    summary.attrs_set,
+                    summary.nodes_renamed,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Response::Pinned { count } => {
+                out.push(0x88);
+                put_u32(&mut out, *count);
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            0x80 => Response::Ok,
+            0x81 => {
+                let raw = r.u16()?;
+                let Some(code) = ErrorCode::from_u16(raw) else {
+                    return r.err("unknown error code");
+                };
+                Response::Error {
+                    code,
+                    message: r.str()?,
+                }
+            }
+            0x82 => Response::Pong,
+            0x83 => Response::Docs { names: r.names()? },
+            0x84 => Response::Scalar { value: r.value()? },
+            0x85 => Response::Header {
+                cursor: r.u32()?,
+                docs: r.names()?,
+                total: r.u64()?,
+            },
+            0x86 => {
+                let done = r.u8()? != 0;
+                let n = r.u32()? as usize;
+                if payload.len() < n * 12 {
+                    return r.err("row count exceeds frame");
+                }
+                let rows = (0..n)
+                    .map(|_| Ok((r.u32()?, r.u64()?)))
+                    .collect::<Result<_>>()?;
+                Response::Page { done, rows }
+            }
+            0x87 => Response::Summary {
+                summary: UpdateSummary {
+                    commands: r.u64()?,
+                    nodes_removed: r.u64()?,
+                    nodes_inserted: r.u64()?,
+                    values_updated: r.u64()?,
+                    attrs_set: r.u64()?,
+                    nodes_renamed: r.u64()?,
+                },
+            },
+            0x88 => Response::Pinned { count: r.u32()? },
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unknown response opcode 0x{other:02x}"
+                )));
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------- frame IO
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::CreateDoc {
+            name: "a doc".into(),
+            xml: "<r/>".into(),
+        });
+        roundtrip_req(Request::DropDoc { name: "d".into() });
+        roundtrip_req(Request::ListDocs);
+        let mut spec = QuerySpec::new(QueryTarget::Doc("d".into()), "//x[@i = $v]");
+        spec.bindings = vec![
+            ("v".to_string(), Value::Str("7".into())),
+            ("n".to_string(), Value::Number(2.5)),
+            ("b".to_string(), Value::Boolean(true)),
+            ("ns".to_string(), Value::Nodes(vec![1, 2, 3])),
+            ("at".to_string(), Value::Attrs(vec![(9, QnId(4))])),
+        ];
+        spec.axis = AxisChoice::ForceIndex;
+        spec.value = ValueChoice::ForceScan;
+        spec.par = ParChoice::ForceSequential;
+        spec.page_size = 128;
+        roundtrip_req(Request::Query(spec));
+        roundtrip_req(Request::Query(QuerySpec::new(QueryTarget::All, "//x")));
+        roundtrip_req(Request::Query(QuerySpec::new(
+            QueryTarget::Collection(vec!["a".into(), "b".into()]),
+            "//x",
+        )));
+        roundtrip_req(Request::XUpdate {
+            doc: "d".into(),
+            script: "<xupdate:modifications/>".into(),
+        });
+        roundtrip_req(Request::Fetch { cursor: 7 });
+        roundtrip_req(Request::CloseCursor { cursor: 7 });
+        roundtrip_req(Request::Pin { names: vec![] });
+        roundtrip_req(Request::Pin {
+            names: vec!["a".into()],
+        });
+        roundtrip_req(Request::Unpin);
+        roundtrip_req(Request::Goodbye);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::UnknownDocument,
+            message: "no such doc".into(),
+        });
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Docs {
+            names: vec!["a".into(), "b".into()],
+        });
+        roundtrip_resp(Response::Scalar {
+            value: Value::Number(42.0),
+        });
+        roundtrip_resp(Response::Header {
+            cursor: 3,
+            docs: vec!["a".into()],
+            total: 100,
+        });
+        roundtrip_resp(Response::Page {
+            done: true,
+            rows: vec![(0, 5), (1, 9)],
+        });
+        roundtrip_resp(Response::Summary {
+            summary: UpdateSummary {
+                commands: 1,
+                nodes_removed: 2,
+                nodes_inserted: 3,
+                values_updated: 4,
+                attrs_set: 5,
+                nodes_renamed: 6,
+            },
+        });
+        roundtrip_resp(Response::Pinned { count: 2 });
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        // Truncations of a valid request at every length.
+        let full = Request::CreateDoc {
+            name: "doc".into(),
+            xml: "<r/>".into(),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Request::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut long = full.clone();
+        long.push(0);
+        assert!(Request::decode(&long).is_err());
+        // Unknown opcode.
+        assert!(Request::decode(&[0x7f]).is_err());
+        assert!(is_unknown_opcode(&[0x7f]));
+        assert!(is_unknown_opcode(&[]));
+        assert!(!is_unknown_opcode(&full));
+        // Absurd length claims inside a short frame must error, not
+        // attempt gigantic allocations.
+        let mut huge = vec![0x09]; // Pin
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&huge).is_err());
+    }
+}

@@ -283,10 +283,24 @@ impl Catalog {
     /// committing the manifest rewrite, so a crash between the two
     /// leaves only an orphan WAL that the next [`Catalog::open`]
     /// removes.
+    ///
+    /// Plain document names must be non-empty and may contain neither
+    /// `#` (reserved for the `base#k` partition-part namespace of
+    /// [`Catalog::create_partitioned`] — a hand-created `base#7` would
+    /// silently join [`Catalog::partition_parts`]`("base")` and collide
+    /// with a later partitioning of `base`) nor ASCII control
+    /// characters. Parts are created through
+    /// [`Catalog::create_partitioned`] / [`Catalog::create_part`],
+    /// which validate the *base* name under the same rules.
     pub fn create_doc(&self, name: &str, xml: &str) -> Result<Arc<Shard>> {
-        if name.is_empty() {
-            return Err(io_err("create document", "empty document name"));
-        }
+        validate_plain_name(name)?;
+        self.create_doc_unchecked(name, xml)
+    }
+
+    /// [`Catalog::create_doc`] minus the plain-name validation — the
+    /// internal entry point partition-part creation uses for its
+    /// `base#k` names (whose *base* has already been validated).
+    fn create_doc_unchecked(&self, name: &str, xml: &str) -> Result<Arc<Shard>> {
         let doc = PagedDoc::parse_str(xml, self.config.page)?;
         let mut inner = self.inner.lock().unwrap();
         if inner.index.contains_key(name) {
@@ -346,6 +360,7 @@ impl Catalog {
     /// creation order, [`Catalog::query_all`] merges their results in
     /// original document order for any within-subtree query.
     pub fn create_partitioned(&self, base: &str, xml: &str, parts: usize) -> Result<Vec<String>> {
+        validate_plain_name(base)?;
         let parsed = mbxq_xml::Document::parse(xml).map_err(|e| io_err("partition parse", e))?;
         let children = parsed.root.children();
         let parts = parts.clamp(1, children.len().max(1));
@@ -373,7 +388,7 @@ impl Catalog {
             };
             let mut part_xml = String::new();
             serialize_node(&part, &mut part_xml);
-            match self.create_doc(name, &part_xml) {
+            match self.create_doc_unchecked(name, &part_xml) {
                 Ok(_) => created.push(name.clone()),
                 Err(e) => {
                     // Roll the half-created partition back so a failed
@@ -389,17 +404,34 @@ impl Catalog {
         Ok(names)
     }
 
+    /// (Re)creates one partition part `base#k` from XML text — how a
+    /// dropped middle part of a [`Catalog::create_partitioned`] group
+    /// is restored. Validates `base` under the plain-name rules (the
+    /// composed `base#k` name itself is exempt from the `#` ban, being
+    /// exactly the namespace `#` is reserved for).
+    pub fn create_part(&self, base: &str, k: usize, xml: &str) -> Result<Arc<Shard>> {
+        validate_plain_name(base)?;
+        self.create_doc_unchecked(&format!("{base}#{k}"), xml)
+    }
+
     /// The part documents of [`Catalog::create_partitioned`]`(base, …)`
-    /// in part order (empty if `base` was never partitioned).
+    /// in **part order** — sorted by the numeric `#k` suffix, *not* by
+    /// creation order, so a drop + [`Catalog::create_part`] recreate of
+    /// a middle part leaves the enumeration (and therefore the
+    /// cross-document merge order of a partition-group query) correct.
+    /// Empty if `base` was never partitioned.
     pub fn partition_parts(&self, base: &str) -> Vec<String> {
         let prefix = format!("{base}#");
-        self.doc_names()
+        let mut parts: Vec<(usize, String)> = self
+            .doc_names()
             .into_iter()
-            .filter(|n| {
-                n.strip_prefix(&prefix)
-                    .is_some_and(|k| k.parse::<usize>().is_ok())
+            .filter_map(|n| {
+                let k: usize = n.strip_prefix(&prefix)?.parse().ok()?;
+                Some((k, n))
             })
-            .collect()
+            .collect();
+        parts.sort_by_key(|&(k, _)| k);
+        parts.into_iter().map(|(_, n)| n).collect()
     }
 
     /// Drops a document. The manifest rewrite (without the entry) is
@@ -516,7 +548,7 @@ impl Catalog {
     /// nodes within each in document order — bit-identical to querying
     /// each shard sequentially, whatever the execution interleaving.
     pub fn query_all(&self, text: &str) -> Result<Vec<DocMatches>> {
-        self.query_all_inner(text, None)
+        self.query_all_opts(text, &mbxq_xpath::EvalOptions::default())
     }
 
     /// [`Catalog::query_all`] with merged evaluation counters: each
@@ -524,20 +556,21 @@ impl Catalog {
     /// not `Sync`) and all of them are folded into `stats` afterwards,
     /// along with the fan-out's own morsel/steal counts.
     pub fn query_all_stats(&self, text: &str, stats: &EvalStats) -> Result<Vec<DocMatches>> {
-        self.query_all_inner(text, Some(stats))
+        self.query_all_opts(text, &mbxq_xpath::EvalOptions::new().stats(stats))
     }
 
-    /// Like [`Catalog::query_all`], restricted to `names` (in the given
-    /// order) — e.g. one partition group. Unknown names fail.
-    pub fn query_collection(&self, names: &[String], text: &str) -> Result<Vec<DocMatches>> {
-        let docs = names
-            .iter()
-            .map(|n| Ok((n.clone(), self.shard_or_err(n)?)))
-            .collect::<Result<Vec<_>>>()?;
-        self.query_docs(&docs, text, None)
-    }
-
-    fn query_all_inner(&self, text: &str, stats: Option<&EvalStats>) -> Result<Vec<DocMatches>> {
+    /// [`Catalog::query_all`] with one [`mbxq_xpath::EvalOptions`]
+    /// threaded through the whole fan-out: its `$name` bindings and
+    /// axis/value/par strategy choices apply to **every** per-document
+    /// evaluation, and its stats sink (if set) receives the folded
+    /// per-document counters plus the fan-out's own morsel/steal
+    /// counts. This is how a parameterized query runs across a
+    /// partition group — the binding set is serialized once and shared.
+    pub fn query_all_opts(
+        &self,
+        text: &str,
+        opts: &mbxq_xpath::EvalOptions<'_>,
+    ) -> Result<Vec<DocMatches>> {
         let docs: Vec<(String, Arc<Shard>)> = {
             let inner = self.inner.lock().unwrap();
             inner
@@ -546,7 +579,28 @@ impl Catalog {
                 .map(|e| (e.name.clone(), e.shard.clone()))
                 .collect()
         };
-        self.query_docs(&docs, text, stats)
+        self.query_docs(&docs, text, opts)
+    }
+
+    /// Like [`Catalog::query_all`], restricted to `names` (in the given
+    /// order) — e.g. one partition group. Unknown names fail.
+    pub fn query_collection(&self, names: &[String], text: &str) -> Result<Vec<DocMatches>> {
+        self.query_collection_opts(names, text, &mbxq_xpath::EvalOptions::default())
+    }
+
+    /// [`Catalog::query_collection`] with full evaluation options — see
+    /// [`Catalog::query_all_opts`] for how they thread the fan-out.
+    pub fn query_collection_opts(
+        &self,
+        names: &[String],
+        text: &str,
+        opts: &mbxq_xpath::EvalOptions<'_>,
+    ) -> Result<Vec<DocMatches>> {
+        let docs = names
+            .iter()
+            .map(|n| Ok((n.clone(), self.shard_or_err(n)?)))
+            .collect::<Result<Vec<_>>>()?;
+        self.query_docs(&docs, text, opts)
     }
 
     /// The fan-out core: one shard-local evaluation per document — on
@@ -554,19 +608,22 @@ impl Catalog {
     /// involved, inline otherwise — merged in slot (= document) order.
     /// A nested pool use inside a shard's own evaluation falls back to
     /// inline execution (the pool's run lock is already taken), so the
-    /// fan-out can never deadlock on its own workers.
+    /// fan-out can never deadlock on its own workers. The caller's
+    /// options are shared across workers as their `Sync` subset
+    /// ([`mbxq_xpath::SharedOptions`]); each worker attaches a private
+    /// [`EvalStats`] that is folded into the caller's sink afterwards.
     fn query_docs(
         &self,
         docs: &[(String, Arc<Shard>)],
         text: &str,
-        stats: Option<&EvalStats>,
+        opts: &mbxq_xpath::EvalOptions<'_>,
     ) -> Result<Vec<DocMatches>> {
+        let shared = opts.shared();
         type Slot = Option<(Result<Vec<NodeId>>, EvalStats)>;
         let mut slots: Vec<Mutex<Slot>> = (0..docs.len()).map(|_| Mutex::new(None)).collect();
         let eval_one = |i: usize| {
             let per = EvalStats::default();
-            let opts = mbxq_xpath::EvalOptions::default().stats(&per);
-            let res = docs[i].1.query_nodes_opts(text, &opts);
+            let res = docs[i].1.query_nodes_opts(text, &shared.with_stats(&per));
             *slots[i].lock().unwrap() = Some((res, per));
         };
         let mut fan_steals = 0u64;
@@ -580,6 +637,7 @@ impl Catalog {
                 }
             }
         }
+        let stats = opts.stats_ref();
         if let Some(s) = stats {
             s.morsels.set(s.morsels.get() + docs.len() as u64);
             s.steals.set(s.steals.get() + fan_steals);
@@ -621,6 +679,31 @@ impl Catalog {
 
 fn shard_wal_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("shard-{id}.wal"))
+}
+
+/// The rules for *plain* (non-part) document names: non-empty, no `#`
+/// (the partition-part namespace — a plain `base#7` would pollute
+/// `partition_parts("base")` and collide with a later
+/// `create_partitioned("base", …)`), no ASCII control characters (the
+/// manifest is line-oriented only for readability, but names with
+/// embedded newlines make every log line and error message ambiguous).
+fn validate_plain_name(name: &str) -> Result<()> {
+    if name.is_empty() {
+        return Err(io_err("create document", "empty document name"));
+    }
+    if name.contains('#') {
+        return Err(io_err(
+            "create document",
+            format!("name {name:?} contains '#', reserved for partition parts"),
+        ));
+    }
+    if name.chars().any(|c| c.is_ascii_control()) {
+        return Err(io_err(
+            "create document",
+            format!("name {name:?} contains ASCII control characters"),
+        ));
+    }
+    Ok(())
 }
 
 /// Serializes and atomically installs the manifest: write `manifest.tmp`,
@@ -800,6 +883,88 @@ mod tests {
         // More parts than children clamps.
         let tiny = cat.create_partitioned("tiny", "<r><only/></r>", 4).unwrap();
         assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn plain_names_reject_hash_and_control_characters() {
+        let cat = Catalog::in_memory(cfg());
+        for bad in [
+            "",
+            "base#7",
+            "#",
+            "a#b#c",
+            "nl\nname",
+            "tab\tname",
+            "\u{1}x",
+        ] {
+            assert!(
+                matches!(cat.create_doc(bad, "<r/>"), Err(TxnError::CatalogIo { .. })),
+                "{bad:?} must be rejected"
+            );
+            assert!(!cat.contains(bad));
+        }
+        // Pollution direction: if "base#7" had been accepted it would
+        // enumerate as a part of a never-partitioned "base".
+        assert!(cat.partition_parts("base").is_empty());
+        // Collision direction: partitioning "base" now succeeds — no
+        // hand-created squatter occupies the base#k namespace.
+        let parts = cat
+            .create_partitioned("base", "<r><c/><c/></r>", 2)
+            .unwrap();
+        assert_eq!(parts, ["base#0", "base#1"]);
+        // The base of a partitioning is held to the same rules.
+        assert!(matches!(
+            cat.create_partitioned("ba#se", "<r><c/></r>", 1),
+            Err(TxnError::CatalogIo { .. })
+        ));
+        // Non-ASCII (and spaces) stay legal.
+        cat.create_doc("uni-cødé name", "<r/>").unwrap();
+    }
+
+    #[test]
+    fn partition_parts_sorts_by_suffix_not_creation_order() {
+        let cat = Catalog::in_memory(cfg());
+        let xml = "<r><c i=\"0\"/><c i=\"1\"/><c i=\"2\"/></r>";
+        let parts = cat.create_partitioned("base", xml, 3).unwrap();
+        assert_eq!(parts, ["base#0", "base#1", "base#2"]);
+        // Drop the middle part and recreate it *last*: enumeration must
+        // still come back in part order, not creation order.
+        cat.drop_doc("base#1").unwrap();
+        assert_eq!(cat.partition_parts("base"), ["base#0", "base#2"]);
+        cat.create_part("base", 1, "<r><c i=\"1\"/></r>").unwrap();
+        assert_eq!(
+            cat.partition_parts("base"),
+            ["base#0", "base#1", "base#2"],
+            "recreated middle part must sort back into place"
+        );
+        // create_part validates the *base* name.
+        assert!(matches!(
+            cat.create_part("ba#d", 0, "<r/>"),
+            Err(TxnError::CatalogIo { .. })
+        ));
+        // Non-numeric suffixes never looked like parts and still don't.
+        assert!(cat.partition_parts("bas").is_empty());
+    }
+
+    #[test]
+    fn query_opts_thread_bindings_through_the_fanout() {
+        let cat = Catalog::in_memory(cfg());
+        let xml = "<r><c i=\"1\"/><c i=\"2\"/><c i=\"3\"/><c i=\"4\"/></r>";
+        let parts = cat.create_partitioned("p", xml, 2).unwrap();
+        let mut b = mbxq_xpath::Bindings::new();
+        b.set("want", mbxq_xpath::Value::Str("3".into()));
+        let stats = EvalStats::default();
+        let opts = mbxq_xpath::EvalOptions::new().bindings(&b).stats(&stats);
+        let hits = cat
+            .query_collection_opts(&parts, "//c[@i = $want]", &opts)
+            .unwrap();
+        let total: usize = hits.iter().map(|m| m.nodes.len()).sum();
+        assert_eq!(total, 1);
+        assert_eq!(hits[0].nodes.len() + hits[1].nodes.len(), 1);
+        assert!(stats.morsels.get() >= 2, "fan-out morsels counted");
+        // query_all_opts sees the same bindings across every document.
+        let all = cat.query_all_opts("//c[@i = $want]", &opts).unwrap();
+        assert_eq!(all.iter().map(|m| m.nodes.len()).sum::<usize>(), 1);
     }
 
     #[test]

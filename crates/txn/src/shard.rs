@@ -368,11 +368,7 @@ impl Shard {
         text: &str,
         opts: &mbxq_xpath::EvalOptions<'_>,
     ) -> Result<mbxq_xpath::Value> {
-        let plan = self.cached_plan(text)?;
-        let snapshot = self.snapshot();
-        let root: Vec<u64> = snapshot.root_pre().into_iter().collect();
-        let opts = self.inject_pool(*opts);
-        Ok(plan.eval_opts(snapshot.as_ref(), &root, &opts)?)
+        self.query_on(&self.snapshot(), text, opts)
     }
 
     /// [`Shard::query_nodes`] with full evaluation options.
@@ -381,10 +377,41 @@ impl Shard {
         text: &str,
         opts: &mbxq_xpath::EvalOptions<'_>,
     ) -> Result<Vec<NodeId>> {
+        self.query_nodes_on(&self.snapshot(), text, opts)
+    }
+
+    /// [`Shard::query_opts`] against a **caller-held snapshot** instead
+    /// of the committed version — the repeatable-read primitive: a
+    /// session that pins [`Shard::snapshot`] `Arc`s re-serves the same
+    /// state across requests no matter what commits in between, while
+    /// still going through this shard's plan cache and worker pool.
+    /// The returned [`mbxq_xpath::Value::Nodes`] carries pre ranks of
+    /// `snapshot`; callers needing stable ids map them with
+    /// [`PagedDoc::pre_to_node`] on the *same* snapshot.
+    pub fn query_on(
+        &self,
+        snapshot: &PagedDoc,
+        text: &str,
+        opts: &mbxq_xpath::EvalOptions<'_>,
+    ) -> Result<mbxq_xpath::Value> {
         let plan = self.cached_plan(text)?;
-        let snapshot = self.snapshot();
+        let root: Vec<u64> = snapshot.root_pre().into_iter().collect();
         let opts = self.inject_pool(*opts);
-        let pres = plan.select_from_root_opts(snapshot.as_ref(), &opts)?;
+        Ok(plan.eval_opts(snapshot, &root, &opts)?)
+    }
+
+    /// [`Shard::query_nodes_opts`] against a caller-held snapshot (see
+    /// [`Shard::query_on`]); results are stable [`NodeId`]s mapped on
+    /// that snapshot.
+    pub fn query_nodes_on(
+        &self,
+        snapshot: &PagedDoc,
+        text: &str,
+        opts: &mbxq_xpath::EvalOptions<'_>,
+    ) -> Result<Vec<NodeId>> {
+        let plan = self.cached_plan(text)?;
+        let opts = self.inject_pool(*opts);
+        let pres = plan.select_from_root_opts(snapshot, &opts)?;
         pres.iter()
             .map(|&p| snapshot.pre_to_node(p).map_err(TxnError::from))
             .collect()

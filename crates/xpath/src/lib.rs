@@ -131,6 +131,22 @@ impl Bindings {
     pub fn get(&self, name: &str) -> Option<&Value> {
         self.map.get(name)
     }
+
+    /// Iterates over all `(name, value)` bindings in arbitrary order —
+    /// how the network layer serializes a binding set onto the wire.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Which arm cost-annotated axis steps execute — [`AxisChoice::Auto`]
@@ -294,6 +310,75 @@ impl<'a> EvalOptions<'a> {
     pub fn morsel_rows(mut self, rows: usize) -> Self {
         self.morsel_rows = rows;
         self
+    }
+
+    /// The decision-counter sink set on these options, if any. Fan-out
+    /// layers (the catalog's cross-document queries) read it to know
+    /// where per-document counters should be folded: each document
+    /// evaluates with a private [`EvalStats`] (the cells are not
+    /// `Sync`), absorbed into this sink afterwards.
+    pub fn stats_ref(&self) -> Option<&'a EvalStats> {
+        self.stats
+    }
+
+    /// The variable bindings set on these options, if any.
+    pub fn bindings_ref(&self) -> Option<&'a Bindings> {
+        self.bindings
+    }
+
+    /// The thread-shareable subset of these options. `EvalOptions`
+    /// itself is never `Sync` — it may carry an [`EvalOptions::stats`]
+    /// sink whose `Cell` counters are not — so a parallel fan-out copies
+    /// the caller's options into one [`SharedOptions`], shares *that*
+    /// across its workers, and has each worker reattach a private sink
+    /// with [`SharedOptions::with_stats`].
+    pub fn shared(&self) -> SharedOptions<'a> {
+        SharedOptions {
+            bindings: self.bindings,
+            axis: self.axis,
+            value: self.value,
+            threads: self.threads,
+            pool: self.pool,
+            par: self.par,
+            morsel_rows: self.morsel_rows,
+        }
+    }
+}
+
+/// Everything in an [`EvalOptions`] except the `EvalStats` sink — the
+/// subset that is `Sync` and can therefore be captured by a fan-out
+/// closure running on many worker threads at once. Obtained via
+/// [`EvalOptions::shared`]; turned back into full options (with a
+/// worker-private sink) via [`SharedOptions::with_stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedOptions<'a> {
+    bindings: Option<&'a Bindings>,
+    axis: AxisChoice,
+    value: ValueChoice,
+    threads: usize,
+    pool: Option<&'a par::WorkerPool>,
+    par: ParChoice,
+    morsel_rows: usize,
+}
+
+impl<'a> SharedOptions<'a> {
+    /// Full [`EvalOptions`] with `stats` as the decision-counter sink —
+    /// typically a worker-private [`EvalStats`] folded into the caller's
+    /// sink (see [`EvalStats::absorb`]) after the parallel section.
+    pub fn with_stats<'b>(&self, stats: &'b EvalStats) -> EvalOptions<'b>
+    where
+        'a: 'b,
+    {
+        EvalOptions {
+            bindings: self.bindings,
+            axis: self.axis,
+            value: self.value,
+            stats: Some(stats),
+            threads: self.threads,
+            pool: self.pool,
+            par: self.par,
+            morsel_rows: self.morsel_rows,
+        }
     }
 }
 
