@@ -30,9 +30,12 @@ mod iterators;
 pub mod loop_lifted;
 pub mod semijoin;
 
-pub use batch::{descendant_scan_ranges, scan_range, scan_ranges};
+pub use batch::{
+    descendant_scan_ranges, in_range_mask, scan_range, scan_range_arm, scan_ranges,
+    scan_ranges_arm, simd_compiled, simd_width, KernelArm,
+};
 pub use iterators::{children, descendants, following_siblings};
-pub use loop_lifted::{step_lifted, ContextSeq};
+pub use loop_lifted::{step_lifted, step_lifted_with, ContextSeq};
 pub use semijoin::{exists_step, range_semijoin};
 
 /// The XPath axes supported by the engine.
@@ -118,6 +121,19 @@ pub fn step<V: TreeView + ?Sized>(
     axis: Axis,
     test: &NodeTest,
 ) -> Vec<u64> {
+    step_with(view, context, axis, test, KernelArm::auto())
+}
+
+/// [`step`] on an explicit chunk-kernel arm (see [`batch::KernelArm`]).
+/// Only the scan-shaped axes (`descendant`, `descendant-or-self`,
+/// `following`) run chunk kernels; the arm is ignored elsewhere.
+pub fn step_with<V: TreeView + ?Sized>(
+    view: &V,
+    context: &[u64],
+    axis: Axis,
+    test: &NodeTest,
+    arm: KernelArm,
+) -> Vec<u64> {
     debug_assert!(context.windows(2).all(|w| w[0] < w[1]), "context sorted");
     match axis {
         Axis::SelfAxis => context
@@ -136,8 +152,8 @@ pub fn step<V: TreeView + ?Sized>(
             out.dedup();
             out
         }
-        Axis::Descendant => staircase_descendant(view, context, test, false),
-        Axis::DescendantOrSelf => staircase_descendant(view, context, test, true),
+        Axis::Descendant => staircase_descendant(view, context, test, false, arm),
+        Axis::DescendantOrSelf => staircase_descendant(view, context, test, true, arm),
         Axis::Parent => {
             let mut out: Vec<u64> = context
                 .iter()
@@ -174,7 +190,7 @@ pub fn step<V: TreeView + ?Sized>(
             out.dedup();
             out
         }
-        Axis::Following => staircase_following(view, context, test),
+        Axis::Following => staircase_following(view, context, test, arm),
         Axis::Preceding => staircase_preceding(view, context, test),
     }
 }
@@ -188,10 +204,11 @@ fn staircase_descendant<V: TreeView + ?Sized>(
     context: &[u64],
     test: &NodeTest,
     or_self: bool,
+    arm: KernelArm,
 ) -> Vec<u64> {
     let ranges = batch::descendant_scan_ranges(view, context, or_self);
     let mut out = Vec::new();
-    batch::scan_ranges(view, &ranges, test, &mut out);
+    batch::scan_ranges_arm(view, &ranges, test, arm, &mut out);
     out
 }
 
@@ -231,23 +248,26 @@ fn staircase_ancestor<V: TreeView + ?Sized>(
 /// in document order except `x`'s descendants — i.e. everything at or
 /// after `region_end(x)`. For a context *set*, the union is achieved by
 /// the **first** context node alone (its following-region contains every
-/// other's), the maximal pruning of \[GvKT03\]: one sequential scan.
+/// other's), the maximal pruning of \[GvKT03\]: one sequential scan,
+/// which runs as a single chunk-kernel range scan.
 fn staircase_following<V: TreeView + ?Sized>(
     view: &V,
     context: &[u64],
     test: &NodeTest,
+    arm: KernelArm,
 ) -> Vec<u64> {
     let Some(&first) = context.first() else {
         return Vec::new();
     };
     let mut out = Vec::new();
-    let mut p = view.region_end(first);
-    while let Some(q) = view.next_used_at_or_after(p) {
-        if test.matches(view, q) {
-            out.push(q);
-        }
-        p = q + 1;
-    }
+    batch::scan_range_arm(
+        view,
+        view.region_end(first),
+        view.pre_end(),
+        test,
+        arm,
+        &mut out,
+    );
     out
 }
 

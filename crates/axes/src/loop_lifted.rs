@@ -8,7 +8,7 @@
 //! MonetDB/XQuery its interactive XMark times (§1). The XMark query
 //! plans in `mbxq-xmark` use this form for their nested `for` clauses.
 
-use crate::{step, Axis, NodeTest};
+use crate::{step_with, Axis, KernelArm, NodeTest};
 use mbxq_storage::TreeView;
 
 /// A loop-lifted context: parallel `(iter, pre)` columns, sorted by
@@ -167,6 +167,18 @@ pub fn step_lifted<V: TreeView + ?Sized>(
     axis: Axis,
     test: &NodeTest,
 ) -> ContextSeq {
+    step_lifted_with(view, ctx, axis, test, KernelArm::auto())
+}
+
+/// [`step_lifted`] on an explicit chunk-kernel arm (see
+/// [`crate::batch::KernelArm`]).
+pub fn step_lifted_with<V: TreeView + ?Sized>(
+    view: &V,
+    ctx: &ContextSeq,
+    axis: Axis,
+    test: &NodeTest,
+    arm: KernelArm,
+) -> ContextSeq {
     let mut out = ContextSeq::new();
     let mut start = 0usize;
     while start < ctx.len() {
@@ -175,7 +187,7 @@ pub fn step_lifted<V: TreeView + ?Sized>(
         while end < ctx.len() && ctx.iters[end] == iter {
             end += 1;
         }
-        let result = step(view, &ctx.pres[start..end], axis, test);
+        let result = step_with(view, &ctx.pres[start..end], axis, test, arm);
         for pre in result {
             out.push(iter, pre);
         }
@@ -187,6 +199,7 @@ pub fn step_lifted<V: TreeView + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::step;
     use mbxq_storage::ReadOnlyDoc;
 
     const PAPER_DOC: &str =

@@ -143,7 +143,8 @@ fn main() {
             "  {{\"scale\": {scale}, \"xml_bytes\": {bytes}, \"nodes\": {nodes}, \
              \"logical_pages\": {pages}, \"cow_commit_ns\": {cow_ns}, \
              \"clone_commit_ns\": {clone_ns}, \"speedup\": {speedup:.4}, \
-             \"pages_touched\": {touched}, \"column_pages_total\": {total}}}"
+             \"pages_touched\": {touched}, \"column_pages_total\": {total}, {host}}}",
+            host = mbxq_bench::host_json_fields()
         );
     }
     json.push_str("\n]\n");

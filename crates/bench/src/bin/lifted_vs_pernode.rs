@@ -143,9 +143,10 @@ fn main() {
                 first = false;
                 let _ = write!(
                     json,
-                    "  {{\"query\": \"{}\", \"view\": \"{view_name}\", \"scale\": {scale}, \"rows\": {}, \"per_node_ns\": {t_per_node}, \"lifted_ns\": {t_lifted}, \"speedup\": {speedup:.4}}}",
+                    "  {{\"query\": \"{}\", \"view\": \"{view_name}\", \"scale\": {scale}, \"rows\": {}, \"per_node_ns\": {t_per_node}, \"lifted_ns\": {t_lifted}, \"speedup\": {speedup:.4}, {host}}}",
                     case.name,
-                    got.len()
+                    got.len(),
+                    host = mbxq_bench::host_json_fields()
                 );
             }
         }

@@ -5,33 +5,46 @@
 //! Every pure-XPath selection in [`QUERY_PATHS`] runs on both storage
 //! schemas under three strategy arms:
 //!
-//! * **seq** — [`ParChoice::ForceSequential`]: the scalar single-thread
+//! * **seq** — [`ParChoice::ForceSequential`]: the single-thread
 //!   path (the baseline every parallel result must be bit-identical to);
 //! * **par** — [`ParChoice::ForceParallel`]: every eligible step is
 //!   split into morsels and fanned across the worker pool regardless of
 //!   what the cost heuristic thinks;
 //! * **auto** — [`ParChoice::Auto`]: the executor parallelizes only
-//!   steps whose scan volume clears the morsel threshold.
+//!   steps whose scan volume clears the pool-aware break-even point.
 //!
-//! Each arm × thread-count cell asserts its node set equals the
-//! sequential arm's — the ordering guarantee (morsels are merged in
-//! morsel order, which is document order) is checked on every query,
-//! not just in the oracle test.
+//! On top of the strategy arms sits the **kernel grid**: the same
+//! queries run under [`KernelChoice::ForceScalar`] and
+//! [`KernelChoice::ForceSimd`] — sequentially (the micro-bench columns
+//! `kernel_scalar_ns` / `kernel_simd_ns`) and inside every pooled
+//! arm × thread-count cell. With the `simd` feature off the forced-simd
+//! arm runs the unrolled scalar twin, so the grid stays meaningful (and
+//! bit-identical) on every build.
 //!
-//! The scaling claim is hardware-gated: on a multi-core host the full
+//! Each cell asserts its node set equals the sequential scalar arm's —
+//! the ordering guarantee (morsels are merged in morsel order, which is
+//! document order) and the kernel-equivalence guarantee are checked on
+//! every query, not just in the oracle tests.
+//!
+//! The scaling claims are hardware-gated: on a multi-core host the full
 //! run asserts forced-parallel beats forced-sequential on at least one
 //! scan-heavy query at ≥ 2 threads; on a single-core container that is
-//! physically impossible (the pool adds coordination overhead and no
-//! concurrency), so the run only enforces the *safety* property — the
-//! auto arm must stay within a small factor of forced-sequential,
-//! i.e. the cost gate must keep parallelism off when it cannot pay.
+//! physically impossible, so the run only enforces the *safety*
+//! properties — the auto arm must stay within a small factor of
+//! forced-sequential, and the auto-dispatched kernel must stay within
+//! 1.4x of the best forced kernel arm on every query. The
+//! simd-beats-scalar assertion likewise only fires when the build
+//! actually carries vector instructions ([`simd_width`] ≥ 16) and the
+//! run is at full scale.
 //!
 //! Usage: `cargo run --release --bin par_scaling [--smoke]`
 
-use mbxq_bench::{build_both, time_min};
+use mbxq_bench::{build_both, host_json_fields, time_min};
 use mbxq_storage::TreeView;
 use mbxq_xmark::QUERY_PATHS;
-use mbxq_xpath::{AxisChoice, EvalOptions, EvalStats, ParChoice, WorkerPool, XPath};
+use mbxq_xpath::{
+    simd_width, AxisChoice, EvalOptions, EvalStats, KernelChoice, ParChoice, WorkerPool, XPath,
+};
 use std::fmt::Write as _;
 
 /// Order-sensitive FNV-1a over a node set (recorded in the JSON so
@@ -57,8 +70,15 @@ const SCAN_HEAVY: &[&str] = &[
     "q19_locations",
 ];
 
+/// The forced chunk-kernel arms of the grid.
+const KERNELS: [(&str, KernelChoice); 2] = [
+    ("scalar", KernelChoice::ForceScalar),
+    ("simd", KernelChoice::ForceSimd),
+];
+
 struct Arm {
     threads: usize,
+    kernel: &'static str,
     par_ns: u128,
     auto_ns: u128,
     morsels: u64,
@@ -72,11 +92,19 @@ struct Row {
     schema: &'static str,
     rows: usize,
     checksum: u64,
-    /// Forced-sequential staircase scan (the parallel arms' baseline).
+    /// Forced-sequential staircase scan, auto kernel (the parallel
+    /// arms' baseline and the kernel cost model's dispatch under test).
     seq_ns: u128,
     /// Forced-sequential with the cost-chosen axis (the auto arm's
     /// baseline — what a plain single-threaded query costs today).
     plain_ns: u128,
+    /// Sequential staircase scan under the forced scalar kernel.
+    kernel_scalar_ns: u128,
+    /// Sequential staircase scan under the forced simd kernel (the
+    /// unrolled scalar twin when the `simd` feature is off).
+    kernel_simd_ns: u128,
+    /// Vectorized-kernel dispatches counted under the forced simd arm.
+    simd_steps: u64,
     arms: Vec<Arm>,
 }
 
@@ -114,45 +142,74 @@ fn run_schema(
         })
         .as_nanos();
 
+        // Kernel micro-bench: the same sequential staircase scan under
+        // each forced chunk-kernel arm, bit-identity asserted per arm.
+        let mut kernel_ns = [0u128; 2];
+        for (slot, &(kname, kchoice)) in KERNELS.iter().enumerate() {
+            let opts = seq_opts.kernel(kchoice);
+            assert_eq!(
+                xp.select_from_root_opts(view, &opts).expect(path),
+                want,
+                "{label} ({schema}, {kname} kernel): forced kernel diverged"
+            );
+            kernel_ns[slot] = time_min(reps, || {
+                xp.select_from_root_opts(view, &opts).unwrap().len()
+            })
+            .as_nanos();
+        }
+        let kstats = EvalStats::default();
+        xp.select_from_root_opts(
+            view,
+            &seq_opts.kernel(KernelChoice::ForceSimd).stats(&kstats),
+        )
+        .unwrap();
+        let simd_steps = kstats.simd_steps.get();
+
         let mut arms = Vec::new();
         for &threads in thread_counts {
             let pool = WorkerPool::new(threads);
-            let par_opts = EvalOptions::new()
-                .pool(&pool)
-                .par(ParChoice::ForceParallel)
-                .axis(AxisChoice::ForceStaircase);
-            let auto_opts = EvalOptions::new().pool(&pool);
+            for &(kname, kchoice) in KERNELS.iter() {
+                let par_opts = EvalOptions::new()
+                    .pool(&pool)
+                    .par(ParChoice::ForceParallel)
+                    .axis(AxisChoice::ForceStaircase)
+                    .kernel(kchoice);
+                let auto_opts = EvalOptions::new().pool(&pool).kernel(kchoice);
 
-            // Ordering guarantee: both pooled arms must produce the
-            // sequential node set, in document order, on every query.
-            for (arm, opts) in [("par", &par_opts), ("auto", &auto_opts)] {
-                let got = xp.select_from_root_opts(view, opts).expect(path);
-                assert_eq!(
-                    got, want,
-                    "{label} ({schema}, {threads} threads, {arm}): parallel result diverged"
-                );
+                // Ordering guarantee: both pooled arms must produce the
+                // sequential node set, in document order, on every
+                // query, under either kernel.
+                for (arm, opts) in [("par", &par_opts), ("auto", &auto_opts)] {
+                    let got = xp.select_from_root_opts(view, opts).expect(path);
+                    assert_eq!(
+                        got, want,
+                        "{label} ({schema}, {threads} threads, {arm}, {kname} kernel): \
+                         parallel result diverged"
+                    );
+                }
+
+                let par_ns = time_min(reps, || {
+                    xp.select_from_root_opts(view, &par_opts).unwrap().len()
+                })
+                .as_nanos();
+                let auto_ns = time_min(reps, || {
+                    xp.select_from_root_opts(view, &auto_opts).unwrap().len()
+                })
+                .as_nanos();
+
+                let stats = EvalStats::default();
+                xp.select_from_root_opts(view, &par_opts.stats(&stats))
+                    .unwrap();
+                arms.push(Arm {
+                    threads,
+                    kernel: kname,
+                    par_ns,
+                    auto_ns,
+                    morsels: stats.morsels.get(),
+                    steals: stats.steals.get(),
+                    par_steps: stats.par_steps.get(),
+                });
             }
-
-            let par_ns = time_min(reps, || {
-                xp.select_from_root_opts(view, &par_opts).unwrap().len()
-            })
-            .as_nanos();
-            let auto_ns = time_min(reps, || {
-                xp.select_from_root_opts(view, &auto_opts).unwrap().len()
-            })
-            .as_nanos();
-
-            let stats = EvalStats::default();
-            xp.select_from_root_opts(view, &par_opts.stats(&stats))
-                .unwrap();
-            arms.push(Arm {
-                threads,
-                par_ns,
-                auto_ns,
-                morsels: stats.morsels.get(),
-                steals: stats.steals.get(),
-                par_steps: stats.par_steps.get(),
-            });
         }
         rows_out.push(Row {
             label,
@@ -162,6 +219,9 @@ fn run_schema(
             checksum: checksum(&want),
             seq_ns,
             plain_ns,
+            kernel_scalar_ns: kernel_ns[0],
+            kernel_simd_ns: kernel_ns[1],
+            simd_steps,
             arms,
         });
     }
@@ -176,8 +236,11 @@ fn main() {
 
     let (ro, up, bytes) = build_both(scale, 42);
     println!(
-        "XMark scale {scale} ({bytes} B, {} nodes), {cores} core(s), threads {thread_counts:?}",
-        ro.used_count()
+        "XMark scale {scale} ({bytes} B, {} nodes), {cores} core(s), threads {thread_counts:?}, \
+         kernel {} (simd width {})",
+        ro.used_count(),
+        mbxq_bench::kernel_arm(),
+        simd_width()
     );
 
     let mut rows = Vec::new();
@@ -186,10 +249,15 @@ fn main() {
 
     let mut best_speedup = 0.0f64;
     let mut worst_auto = 0.0f64;
+    let mut best_simd = 0.0f64;
     for r in &rows {
+        let simd_speedup = r.kernel_scalar_ns as f64 / r.kernel_simd_ns.max(1) as f64;
+        if SCAN_HEAVY.contains(&r.label) {
+            best_simd = best_simd.max(simd_speedup);
+        }
         let mut line = format!(
-            "{:<22} {:<2} rows {:>6}  seq {:>10}ns",
-            r.label, r.schema, r.rows, r.seq_ns
+            "{:<22} {:<2} rows {:>6}  seq {:>10}ns  scalar {:>10}ns simd {:>10}ns (x{simd_speedup:>5.2})",
+            r.label, r.schema, r.rows, r.seq_ns, r.kernel_scalar_ns, r.kernel_simd_ns
         );
         for a in &r.arms {
             let speedup = r.seq_ns as f64 / a.par_ns.max(1) as f64;
@@ -200,16 +268,16 @@ fn main() {
             worst_auto = worst_auto.max(auto_ratio);
             let _ = write!(
                 line,
-                "  [{}t par {:>10}ns (x{speedup:>5.2}) auto {:>10}ns \
+                "  [{}t/{} par {:>10}ns (x{speedup:>5.2}) auto {:>10}ns \
                  m={} s={} p={}]",
-                a.threads, a.par_ns, a.auto_ns, a.morsels, a.steals, a.par_steps
+                a.threads, a.kernel, a.par_ns, a.auto_ns, a.morsels, a.steals, a.par_steps
             );
         }
         println!("{line}");
     }
     println!(
         "\nsummary: best forced-parallel speedup on scan-heavy queries {best_speedup:.2}x; \
-         worst auto/seq ratio {worst_auto:.2}x"
+         worst auto/seq ratio {worst_auto:.2}x; best simd/scalar speedup {best_simd:.2}x"
     );
 
     // Forced-parallel must actually fan out on the scan-heavy queries
@@ -240,6 +308,37 @@ fn main() {
         "auto must stay within {factor}x of forced-sequential (worst {worst_auto:.2}x)"
     );
 
+    // The kernel cost model's safety property: the auto-dispatched arm
+    // (seq_ns) must stay within 1.4x of the best forced kernel arm on
+    // every corpus query. The absolute epsilon absorbs timer noise on
+    // the microsecond-scale smoke queries.
+    let eps_ns: u128 = 200_000;
+    for r in &rows {
+        let best = r.kernel_scalar_ns.min(r.kernel_simd_ns);
+        assert!(
+            r.seq_ns <= best + best * 2 / 5 + eps_ns,
+            "{} ({}): auto kernel {}ns must stay within 1.4x of the best forced \
+             arm {}ns",
+            r.label,
+            r.schema,
+            r.seq_ns,
+            best
+        );
+    }
+
+    // The vectorization claim only holds when the build carries actual
+    // vector instructions and the queries are big enough to time.
+    if simd_width() >= 16 && !smoke {
+        assert!(
+            best_simd > 1.0,
+            "with compiled simd (width {}), the forced-simd kernel must beat \
+             forced-scalar on at least one scan-heavy query (best {best_simd:.2}x)",
+            simd_width()
+        );
+    } else {
+        println!("scalar build or smoke run: skipping the simd-speedup assertion");
+    }
+
     if smoke {
         println!("smoke mode: skipping BENCH_parallel.json");
         return;
@@ -257,10 +356,11 @@ fn main() {
             }
             let _ = write!(
                 arms,
-                "{{\"threads\": {}, \"par_ns\": {}, \"auto_ns\": {}, \
-                 \"speedup\": {:.3}, \"morsels\": {}, \"steals\": {}, \
-                 \"par_steps\": {}}}",
+                "{{\"threads\": {}, \"kernel\": \"{}\", \"par_ns\": {}, \
+                 \"auto_ns\": {}, \"speedup\": {:.3}, \"morsels\": {}, \
+                 \"steals\": {}, \"par_steps\": {}}}",
                 a.threads,
+                a.kernel,
                 a.par_ns,
                 a.auto_ns,
                 r.seq_ns as f64 / a.par_ns.max(1) as f64,
@@ -273,9 +373,21 @@ fn main() {
         let _ = write!(
             json,
             "  {{\"label\": \"{}\", \"path\": {:?}, \"schema\": \"{}\", \
-             \"rows\": {}, \"checksum\": {}, \"cores\": {cores}, \
-             \"seq_scan_ns\": {}, \"seq_auto_ns\": {}, \"arms\": {arms}}}",
-            r.label, r.path, r.schema, r.rows, r.checksum, r.seq_ns, r.plain_ns
+             \"rows\": {}, \"checksum\": {}, {host}, \
+             \"seq_scan_ns\": {}, \"seq_auto_ns\": {}, \
+             \"kernel_scalar_ns\": {}, \"kernel_simd_ns\": {}, \
+             \"simd_steps\": {}, \"arms\": {arms}}}",
+            r.label,
+            r.path,
+            r.schema,
+            r.rows,
+            r.checksum,
+            r.seq_ns,
+            r.plain_ns,
+            r.kernel_scalar_ns,
+            r.kernel_simd_ns,
+            r.simd_steps,
+            host = host_json_fields()
         );
     }
     json.push_str("\n]\n");

@@ -133,8 +133,9 @@ fn main() {
              \"ro_cost_ns\": {auto_ro}, \"up_staircase_ns\": {stair_up}, \
              \"up_index_ns\": {index_up}, \"up_cost_ns\": {auto_up}, \
              \"cost_over_best_ro\": {auto_over_best:.4}, \
-             \"auto_index_steps\": {chose_index}, \"auto_staircase_steps\": {chose_stair}}}",
-            want_ro.len()
+             \"auto_index_steps\": {chose_index}, \"auto_staircase_steps\": {chose_stair}, {host}}}",
+            want_ro.len(),
+            host = mbxq_bench::host_json_fields()
         );
     }
     json.push_str("\n]\n");

@@ -211,8 +211,9 @@ fn main() {
         let _ = write!(
             row,
             "  {{\"bench\": \"server\", \"class\": \"{class}\", \"clients\": {clients}, \
-             \"secs\": {secs}, \"count\": {}, \"p50_us\": {p50:.2}, \"p99_us\": {p99:.2}}}",
+             \"secs\": {secs}, \"count\": {}, \"p50_us\": {p50:.2}, \"p99_us\": {p99:.2}, {host}}}",
             lat.len(),
+            host = mbxq_bench::host_json_fields()
         );
         rows.push(row);
     }

@@ -416,7 +416,7 @@ fn main() {
              \"per_shard_commits_per_s\": [{per_shard}], \"timeouts\": {}, \
              \"reads\": {}, \"reads_per_s\": {:.1}, \
              \"read_p50_us\": {:.2}, \"read_p99_us\": {:.2}, \
-             \"wal_records\": {}, \"pool_steals\": {}}}",
+             \"wal_records\": {}, \"pool_steals\": {}, {host}}}",
             c.shards,
             c.writers,
             c.readers,
@@ -430,6 +430,7 @@ fn main() {
             c.read_p99_us,
             c.wal_records,
             c.pool_steals,
+            host = mbxq_bench::host_json_fields(),
         );
         rows.push(row);
     }

@@ -130,8 +130,9 @@ fn main() {
              \"up_probe_ns\": {probe_up}, \"up_cost_ns\": {auto_up}, \
              \"probe_speedup_ro\": {speedup:.2}, \
              \"cost_over_best_ro\": {auto_over_best:.4}, \
-             \"auto_probe_steps\": {chose_probe}, \"auto_scan_steps\": {chose_scan}}}",
-            want_ro.len()
+             \"auto_probe_steps\": {chose_probe}, \"auto_scan_steps\": {chose_scan}, {host}}}",
+            want_ro.len(),
+            host = mbxq_bench::host_json_fields()
         );
     }
     json.push_str("\n]\n");

@@ -133,6 +133,7 @@ fn run_cell(
             validate_on_commit: false,
             pipeline,
             query_threads,
+            ..StoreConfig::default()
         },
     );
 
@@ -513,7 +514,7 @@ fn main() {
              \"read_p50_us\": {:.2}, \"read_p99_us\": {:.2}, \
              \"per_query\": {per_query}, \
              \"wal_batches\": {}, \"wal_records\": {}, \"wal_max_batch\": {}, \
-             \"wal_avg_batch\": {:.3}}}",
+             \"wal_avg_batch\": {:.3}, {host}}}",
             c.pipeline,
             c.readers,
             c.writers,
@@ -532,6 +533,7 @@ fn main() {
             c.wal_records,
             c.wal_max_batch,
             avg_batch,
+            host = mbxq_bench::host_json_fields(),
         );
     }
     json.push_str("\n]\n");

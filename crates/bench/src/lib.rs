@@ -18,6 +18,42 @@ pub fn paper_page_config() -> PageConfig {
     PageConfig::new(1024, 80).expect("valid config")
 }
 
+/// Logical cores on this host (`1` when the query fails).
+pub fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The chunk-kernel arm this binary's auto dispatch resolves to:
+/// `"simd"` when the build carries compiled vector instructions,
+/// `"scalar"` otherwise (see [`mbxq_axes::simd_compiled`]).
+pub fn kernel_arm() -> &'static str {
+    if mbxq_axes::simd_compiled() {
+        "simd"
+    } else {
+        "scalar"
+    }
+}
+
+/// A host tag for benchmark provenance: `$MBXQ_HOST` when set, else
+/// `<arch>-<os>`. Numbers from different hosts must never be compared
+/// silently; this tag makes the provenance explicit in every row.
+pub fn host_tag() -> String {
+    std::env::var("MBXQ_HOST")
+        .unwrap_or_else(|_| format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS))
+}
+
+/// The host/build provenance fields every `BENCH_*.json` row carries:
+/// `"cores": N, "kernel": "...", "host": "..."` (no braces, ready to
+/// splice into a JSON object literal).
+pub fn host_json_fields() -> String {
+    format!(
+        "\"cores\": {}, \"kernel\": \"{}\", \"host\": \"{}\"",
+        cores(),
+        kernel_arm(),
+        host_tag()
+    )
+}
+
 /// Builds the same XMark document in both schemas.
 pub fn build_both(scale: f64, seed: u64) -> (ReadOnlyDoc, PagedDoc, usize) {
     let xml = generate(&XMarkConfig::scaled(scale, seed));

@@ -2,7 +2,7 @@
 //! at a time, cursor draining helpers. Used by the end-to-end tests and
 //! by `server_bench`.
 
-use crate::proto::{self, QuerySpec, QueryTarget, Request, Response, UpdateSummary};
+use crate::proto::{self, QuerySpec, QueryTarget, Request, Response, ServerStats, UpdateSummary};
 use crate::{NetError, Result};
 use mbxq_storage::NodeId;
 use mbxq_xpath::{Bindings, Value};
@@ -277,6 +277,18 @@ impl Client {
         match self.call(&Request::Unpin)? {
             Response::Ok => Ok(()),
             other => Self::unexpected("Ok", &other),
+        }
+    }
+
+    /// Server-wide execution statistics: the catalog's aggregated plan
+    /// cache, the shared query pool (width, spawn state, steal count,
+    /// calibrated per-morsel overhead) and the cumulative executor
+    /// counters — morsel-parallel steps, parallel predicates, and
+    /// vectorized-kernel dispatches — across every session.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Self::unexpected("Stats", &other),
         }
     }
 

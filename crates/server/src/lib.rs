@@ -48,7 +48,7 @@ mod client;
 mod server;
 
 pub use client::{Client, CursorHandle, QueryReply};
-pub use proto::{ErrorCode, QuerySpec, QueryTarget, Request, Response, UpdateSummary};
+pub use proto::{ErrorCode, QuerySpec, QueryTarget, Request, Response, ServerStats, UpdateSummary};
 pub use server::{Server, ServerConfig};
 
 /// Errors of the wire layer — socket failures, malformed frames, and

@@ -199,6 +199,48 @@ pub enum Request {
     Unpin,
     /// Orderly end of session.
     Goodbye,
+    /// Server-wide execution statistics: plan cache, worker pool,
+    /// vectorized-kernel and parallel-predicate counters. Answered with
+    /// [`Response::Stats`].
+    Stats,
+}
+
+/// The server-wide execution counters of [`Response::Stats`]: the
+/// catalog's aggregated plan cache, the shared query pool, and the
+/// cumulative executor decisions (morsel parallelism, predicate
+/// fan-out, vectorized chunk-kernel dispatch) across every session
+/// since the server started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Plan-cache hits summed over every document.
+    pub plan_hits: u64,
+    /// Plan-cache compiles (misses) summed over every document.
+    pub plan_misses: u64,
+    /// Plan-cache evictions summed over every document.
+    pub plan_evictions: u64,
+    /// Plans currently cached, summed over every document.
+    pub plan_entries: u64,
+    /// Configured width of the shared query pool.
+    pub pool_threads: u32,
+    /// Whether the pool's worker threads have been spawned yet.
+    pub pool_spawned: bool,
+    /// Cumulative cross-queue morsel steals inside the pool.
+    pub pool_steals: u64,
+    /// The pool's per-morsel dispatch overhead (ns), calibrated or
+    /// pinned at spawn; `0` before the pool exists.
+    pub morsel_overhead_ns: u64,
+    /// Physical operators that ran morsel-parallel.
+    pub par_steps: u64,
+    /// Morsels executed on the pool by query evaluation.
+    pub morsels: u64,
+    /// Predicates whose row evaluation fanned out across the pool.
+    pub pred_par_steps: u64,
+    /// Scan operators dispatched to the vectorized kernel arm.
+    pub simd_steps: u64,
+    /// Whether this server binary carries compiled vector instructions
+    /// (the `simd` feature on a supported target); when `false` the
+    /// Simd arm runs its scalar twin.
+    pub simd_compiled: bool,
 }
 
 /// A server→client message.
@@ -253,6 +295,11 @@ pub enum Response {
     Pinned {
         /// How many snapshots the session now holds.
         count: u32,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The server-wide counters.
+        stats: ServerStats,
     },
 }
 
@@ -519,6 +566,7 @@ impl Request {
             }
             Request::Unpin => out.push(0x0a),
             Request::Goodbye => out.push(0x0b),
+            Request::Stats => out.push(0x0c),
         }
         out
     }
@@ -580,6 +628,7 @@ impl Request {
             0x09 => Request::Pin { names: r.names()? },
             0x0a => Request::Unpin,
             0x0b => Request::Goodbye,
+            0x0c => Request::Stats,
             other => {
                 return Err(NetError::Protocol(format!("unknown opcode 0x{other:02x}")));
             }
@@ -593,7 +642,7 @@ impl Request {
 /// does not know — the server maps this to [`ErrorCode::UnknownOpcode`]
 /// instead of the generic [`ErrorCode::Protocol`].
 pub fn is_unknown_opcode(payload: &[u8]) -> bool {
-    !matches!(payload.first(), Some(0x01..=0x0b))
+    !matches!(payload.first(), Some(0x01..=0x0c))
 }
 
 impl Response {
@@ -652,6 +701,26 @@ impl Response {
                 out.push(0x88);
                 put_u32(&mut out, *count);
             }
+            Response::Stats { stats } => {
+                out.push(0x89);
+                for v in [
+                    stats.plan_hits,
+                    stats.plan_misses,
+                    stats.plan_evictions,
+                    stats.plan_entries,
+                    stats.pool_steals,
+                    stats.morsel_overhead_ns,
+                    stats.par_steps,
+                    stats.morsels,
+                    stats.pred_par_steps,
+                    stats.simd_steps,
+                ] {
+                    put_u64(&mut out, v);
+                }
+                put_u32(&mut out, stats.pool_threads);
+                out.push(stats.pool_spawned as u8);
+                out.push(stats.simd_compiled as u8);
+            }
         }
         out
     }
@@ -701,6 +770,23 @@ impl Response {
                 },
             },
             0x88 => Response::Pinned { count: r.u32()? },
+            0x89 => Response::Stats {
+                stats: ServerStats {
+                    plan_hits: r.u64()?,
+                    plan_misses: r.u64()?,
+                    plan_evictions: r.u64()?,
+                    plan_entries: r.u64()?,
+                    pool_steals: r.u64()?,
+                    morsel_overhead_ns: r.u64()?,
+                    par_steps: r.u64()?,
+                    morsels: r.u64()?,
+                    pred_par_steps: r.u64()?,
+                    simd_steps: r.u64()?,
+                    pool_threads: r.u32()?,
+                    pool_spawned: r.u8()? != 0,
+                    simd_compiled: r.u8()? != 0,
+                },
+            },
             other => {
                 return Err(NetError::Protocol(format!(
                     "unknown response opcode 0x{other:02x}"
@@ -774,6 +860,7 @@ mod tests {
         });
         roundtrip_req(Request::Unpin);
         roundtrip_req(Request::Goodbye);
+        roundtrip_req(Request::Stats);
     }
 
     #[test]
@@ -810,6 +897,23 @@ mod tests {
             },
         });
         roundtrip_resp(Response::Pinned { count: 2 });
+        roundtrip_resp(Response::Stats {
+            stats: ServerStats {
+                plan_hits: 10,
+                plan_misses: 2,
+                plan_evictions: 1,
+                plan_entries: 4,
+                pool_threads: 8,
+                pool_spawned: true,
+                pool_steals: 55,
+                morsel_overhead_ns: 900,
+                par_steps: 7,
+                morsels: 64,
+                pred_par_steps: 3,
+                simd_steps: 12,
+                simd_compiled: cfg!(feature = "simd"),
+            },
+        });
     }
 
     #[test]

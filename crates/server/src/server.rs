@@ -1,18 +1,44 @@
 //! The TCP server: accept loop, worker pool, per-connection sessions.
 
-use crate::proto::{self, is_unknown_opcode, ErrorCode, QuerySpec, QueryTarget, Request, Response};
+use crate::proto::{
+    self, is_unknown_opcode, ErrorCode, QuerySpec, QueryTarget, Request, Response, ServerStats,
+};
 use crate::{NetError, Result};
 use mbxq_storage::{NodeId, PagedDoc};
 use mbxq_txn::{Catalog, Shard, TxnError};
-use mbxq_xpath::{Bindings, EvalOptions, Value};
+use mbxq_xpath::{Bindings, EvalOptions, EvalStats, Value};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Server-wide cumulative executor counters: every session's queries
+/// evaluate with a private [`EvalStats`] (its cells are not `Sync`)
+/// whose deltas are folded in here afterwards. Reported by the `Stats`
+/// opcode alongside the catalog's plan-cache and pool counters.
+#[derive(Default)]
+struct EvalCounters {
+    par_steps: AtomicU64,
+    morsels: AtomicU64,
+    pred_par_steps: AtomicU64,
+    simd_steps: AtomicU64,
+}
+
+impl EvalCounters {
+    fn fold(&self, s: &EvalStats) {
+        self.par_steps
+            .fetch_add(s.par_steps.get(), Ordering::Relaxed);
+        self.morsels.fetch_add(s.morsels.get(), Ordering::Relaxed);
+        self.pred_par_steps
+            .fetch_add(s.pred_par_steps.get(), Ordering::Relaxed);
+        self.simd_steps
+            .fetch_add(s.simd_steps.get(), Ordering::Relaxed);
+    }
+}
 
 /// Server tuning knobs. The defaults suit tests and benchmarks: an
 /// ephemeral loopback port, a small worker pool, frames capped at
@@ -78,6 +104,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(EvalCounters::default());
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.workers.max(1))
@@ -86,7 +113,10 @@ impl Server {
                 let catalog = catalog.clone();
                 let config = config.clone();
                 let shutdown = shutdown.clone();
-                std::thread::spawn(move || worker_loop(&rx, &catalog, &config, &shutdown))
+                let counters = counters.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &catalog, &config, &shutdown, &counters)
+                })
             })
             .collect();
         let accept_shutdown = shutdown.clone();
@@ -154,6 +184,7 @@ fn worker_loop(
     catalog: &Arc<Catalog>,
     config: &ServerConfig,
     shutdown: &AtomicBool,
+    counters: &Arc<EvalCounters>,
 ) {
     loop {
         // The receiver lock (a temporary in the scrutinee) is released
@@ -169,7 +200,7 @@ fn worker_loop(
         // take the worker down with it — the stream drops, the one
         // session dies, the worker serves the next connection.
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            let _ = serve_connection(stream, catalog, config, shutdown);
+            let _ = serve_connection(stream, catalog, config, shutdown, counters);
         }));
     }
 }
@@ -329,6 +360,7 @@ fn serve_connection(
     catalog: &Arc<Catalog>,
     config: &ServerConfig,
     shutdown: &AtomicBool,
+    counters: &Arc<EvalCounters>,
 ) -> Result<()> {
     stream.set_nodelay(true).ok();
     // Short read timeouts turn blocking reads into shutdown-poll ticks;
@@ -353,7 +385,7 @@ fn serve_connection(
             Err(_) => return Ok(()), // torn frame / timeout / shutdown
         };
         let reply = match Request::decode(&payload) {
-            Ok(req) => handle_request(req, catalog, &mut session, config),
+            Ok(req) => handle_request(req, catalog, &mut session, config, counters),
             Err(e) => {
                 let code = if is_unknown_opcode(&payload) {
                     ErrorCode::UnknownOpcode
@@ -410,9 +442,31 @@ fn handle_request(
     catalog: &Arc<Catalog>,
     session: &mut Session,
     config: &ServerConfig,
+    counters: &Arc<EvalCounters>,
 ) -> Reply {
     match req {
         Request::Ping => Reply::ok(Response::Pong),
+        Request::Stats => {
+            let plan = catalog.plan_cache_stats();
+            let pool = catalog.pool_stats();
+            Reply::ok(Response::Stats {
+                stats: ServerStats {
+                    plan_hits: plan.hits,
+                    plan_misses: plan.misses,
+                    plan_evictions: plan.evictions,
+                    plan_entries: plan.entries as u64,
+                    pool_threads: pool.threads as u32,
+                    pool_spawned: pool.spawned,
+                    pool_steals: pool.steals,
+                    morsel_overhead_ns: pool.morsel_overhead_ns,
+                    par_steps: counters.par_steps.load(Ordering::Relaxed),
+                    morsels: counters.morsels.load(Ordering::Relaxed),
+                    pred_par_steps: counters.pred_par_steps.load(Ordering::Relaxed),
+                    simd_steps: counters.simd_steps.load(Ordering::Relaxed),
+                    simd_compiled: mbxq_xpath::simd_compiled(),
+                },
+            })
+        }
         Request::CreateDoc { name, xml } => match catalog.create_doc(&name, &xml) {
             Ok(_) => Reply::ok(Response::Ok),
             Err(e) => txn_error_reply(&e),
@@ -424,7 +478,7 @@ fn handle_request(
         Request::ListDocs => Reply::ok(Response::Docs {
             names: catalog.doc_names(),
         }),
-        Request::Query(spec) => handle_query(&spec, catalog, session, config),
+        Request::Query(spec) => handle_query(&spec, catalog, session, config, counters),
         Request::XUpdate { doc, script } => handle_xupdate(&doc, &script, catalog),
         Request::Fetch { cursor } => {
             let Some(cur) = session.cursors.get_mut(&cursor) else {
@@ -505,6 +559,22 @@ fn handle_query(
     catalog: &Arc<Catalog>,
     session: &mut Session,
     config: &ServerConfig,
+    counters: &Arc<EvalCounters>,
+) -> Reply {
+    // Queries count into a request-private stats set (the cells are not
+    // `Sync`), folded into the server-wide counters afterwards —
+    // including on error paths, where partial work still ran.
+    let stats = EvalStats::default();
+    let reply = handle_query_stats(spec, catalog, session, &stats);
+    counters.fold(&stats);
+    reply.limit_frame(config)
+}
+
+fn handle_query_stats(
+    spec: &QuerySpec,
+    catalog: &Arc<Catalog>,
+    session: &mut Session,
+    stats: &EvalStats,
 ) -> Reply {
     let mut bindings = Bindings::new();
     for (name, value) in &spec.bindings {
@@ -514,7 +584,8 @@ fn handle_query(
         .bindings(&bindings)
         .axis(spec.axis)
         .value(spec.value)
-        .par(spec.par);
+        .par(spec.par)
+        .stats(stats);
     let page = if spec.page_size == 0 {
         DEFAULT_PAGE_ROWS
     } else {
@@ -627,7 +698,6 @@ fn handle_query(
             open_cursor(session, docs, rows, page)
         }
     }
-    .limit_frame(config)
 }
 
 impl Reply {

@@ -73,6 +73,34 @@ impl PreChunk<'_> {
             None => true,
         }
     }
+
+    /// The `kinds` column as raw bytes — the layout guarantee the SIMD
+    /// chunk kernels build on. [`Kind`] is `#[repr(u8)]`, so the column
+    /// can be compared 16 lanes at a time with byte-wide vector
+    /// instructions. No *alignment* is guaranteed beyond the element
+    /// size (chunks start at arbitrary slice offsets inside a page), so
+    /// kernels must use unaligned loads; what **is** guaranteed is that
+    /// a chunk never spans a page boundary — every column slice is
+    /// contiguous memory of one page.
+    #[inline]
+    pub fn kinds_bytes(&self) -> &[u8] {
+        const _: () = assert!(std::mem::size_of::<Kind>() == 1);
+        // SAFETY: Kind is #[repr(u8)] with size and alignment 1, so a
+        // &[Kind] reinterprets losslessly as &[u8] of the same length.
+        unsafe { std::slice::from_raw_parts(self.kinds.as_ptr() as *const u8, self.kinds.len()) }
+    }
+
+    /// The liveness column as raw bytes (`1` = live, `0` = unused), or
+    /// `None` for dense schemas. `bool` is guaranteed to be one byte
+    /// holding exactly `0x00`/`0x01`, so the mask combines directly
+    /// with byte-compare results in the vector kernels.
+    #[inline]
+    pub fn used_bytes(&self) -> Option<&[u8]> {
+        self.used.map(|u| {
+            // SAFETY: bool is one byte with the values 0 and 1.
+            unsafe { std::slice::from_raw_parts(u.as_ptr() as *const u8, u.len()) }
+        })
+    }
 }
 
 /// Read access to a document in pre/size/level form.

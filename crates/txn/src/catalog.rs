@@ -144,7 +144,10 @@ impl Catalog {
         Catalog {
             dir: None,
             config,
-            pool: Arc::new(QueryPool::new(config.store.query_threads)),
+            pool: Arc::new(QueryPool::with_overhead(
+                config.store.query_threads,
+                config.store.morsel_overhead_ns,
+            )),
             inner: Mutex::new(Inner {
                 docs: Vec::new(),
                 index: HashMap::new(),
@@ -174,7 +177,10 @@ impl Catalog {
         } else {
             Vec::new()
         };
-        let pool = Arc::new(QueryPool::new(config.store.query_threads));
+        let pool = Arc::new(QueryPool::with_overhead(
+            config.store.query_threads,
+            config.store.morsel_overhead_ns,
+        ));
         let mut docs = Vec::with_capacity(entries.len());
         let mut next_id = 0u64;
         for (id, name) in entries {
@@ -238,6 +244,22 @@ impl Catalog {
     /// Counters of the one worker pool all shards share.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Plan-cache counters summed over every document's shard — the
+    /// catalog-wide view a server reports (see
+    /// [`Shard::plan_cache_stats`] for the per-document form).
+    pub fn plan_cache_stats(&self) -> crate::PlanCacheStats {
+        let inner = self.inner.lock().unwrap();
+        let mut total = crate::PlanCacheStats::default();
+        for e in &inner.docs {
+            let s = e.shard.plan_cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        total
     }
 
     /// Number of documents.

@@ -264,6 +264,11 @@ pub struct StoreConfig {
     /// [`mbxq_xpath::WorkerPool`] of this width on the first query and
     /// injects it into every [`Shard::query_opts`] evaluation.
     pub query_threads: usize,
+    /// Pins the pool's per-morsel dispatch overhead (nanoseconds) used
+    /// by the executor's parallel break-even cost model. `None` (the
+    /// default) measures it with a calibration loop when the pool
+    /// spawns; tests pin it for deterministic cost decisions.
+    pub morsel_overhead_ns: Option<u64>,
 }
 
 impl Default for StoreConfig {
@@ -274,6 +279,7 @@ impl Default for StoreConfig {
             validate_on_commit: false,
             pipeline: CommitPipeline::Short,
             query_threads: 0,
+            morsel_overhead_ns: None,
         }
     }
 }

@@ -19,6 +19,7 @@ use std::sync::OnceLock;
 /// ever spawned.
 pub struct QueryPool {
     threads: usize,
+    overhead_ns: Option<u64>,
     inner: OnceLock<mbxq_xpath::WorkerPool>,
 }
 
@@ -34,9 +35,18 @@ impl std::fmt::Debug for QueryPool {
 impl QueryPool {
     /// A pool of `threads` total execution threads (`threads - 1`
     /// spawned workers plus the submitting thread), not yet spawned.
+    /// Per-morsel overhead is measured by a calibration loop at spawn.
     pub fn new(threads: usize) -> QueryPool {
+        QueryPool::with_overhead(threads, None)
+    }
+
+    /// Like [`QueryPool::new`] but with the per-morsel dispatch
+    /// overhead pinned (`Some(ns)`) instead of calibrated at spawn —
+    /// see [`StoreConfig::morsel_overhead_ns`](crate::StoreConfig).
+    pub fn with_overhead(threads: usize, overhead_ns: Option<u64>) -> QueryPool {
         QueryPool {
             threads,
+            overhead_ns,
             inner: OnceLock::new(),
         }
     }
@@ -57,10 +67,9 @@ impl QueryPool {
         if self.threads < 2 {
             return None;
         }
-        Some(
-            self.inner
-                .get_or_init(|| mbxq_xpath::WorkerPool::new(self.threads)),
-        )
+        Some(self.inner.get_or_init(|| {
+            mbxq_xpath::WorkerPool::with_overhead_ns(self.threads, self.overhead_ns)
+        }))
     }
 
     /// A live snapshot of the pool counters.
@@ -72,6 +81,10 @@ impl QueryPool {
                 .inner
                 .get()
                 .map_or(0, mbxq_xpath::WorkerPool::steals_total),
+            morsel_overhead_ns: self
+                .inner
+                .get()
+                .map_or(0, mbxq_xpath::WorkerPool::morsel_overhead_ns),
         }
     }
 }
@@ -85,6 +98,10 @@ pub struct PoolStats {
     pub spawned: bool,
     /// Cumulative cross-queue morsel steals since spawn.
     pub steals: u64,
+    /// The pool's per-morsel dispatch overhead (calibrated or pinned at
+    /// spawn; `0` before the pool exists) feeding the executor's
+    /// parallel break-even cost model.
+    pub morsel_overhead_ns: u64,
 }
 
 #[cfg(test)]
@@ -102,7 +119,8 @@ mod tests {
                 PoolStats {
                     threads,
                     spawned: false,
-                    steals: 0
+                    steals: 0,
+                    morsel_overhead_ns: 0
                 }
             );
         }
@@ -117,5 +135,16 @@ mod tests {
         assert_eq!(a, b, "one pool, reused");
         assert!(pool.spawned());
         assert_eq!(pool.stats().threads, 2);
+        assert!(
+            pool.stats().morsel_overhead_ns > 0,
+            "spawn must calibrate a nonzero morsel overhead"
+        );
+    }
+
+    #[test]
+    fn pinned_overhead_passes_through_to_the_worker_pool() {
+        let pool = QueryPool::with_overhead(2, Some(750));
+        assert_eq!(pool.get().unwrap().morsel_overhead_ns(), 750);
+        assert_eq!(pool.stats().morsel_overhead_ns, 750);
     }
 }

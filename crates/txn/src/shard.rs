@@ -108,7 +108,10 @@ impl Shard {
     /// Opens a standalone shard over an already-shredded document, with
     /// a private query pool of [`StoreConfig::query_threads`] width.
     pub fn open(doc: PagedDoc, wal: Wal, config: StoreConfig) -> Shard {
-        let pool = Arc::new(QueryPool::new(config.query_threads));
+        let pool = Arc::new(QueryPool::with_overhead(
+            config.query_threads,
+            config.morsel_overhead_ns,
+        ));
         Shard::open_named(None, doc, wal, config, pool)
     }
 

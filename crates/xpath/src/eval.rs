@@ -19,8 +19,8 @@ use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
 use crate::plan::{ValueCmp, ValuePred, ValueSource};
 use crate::{AxisChoice, Bindings, EvalStats, Result, ValueChoice, XPathError};
 use mbxq_axes::{
-    descendant_scan_ranges, exists_step, range_semijoin, scan_ranges, step_lifted, Axis,
-    ContextSeq, NodeTest,
+    descendant_scan_ranges, exists_step, in_range_mask, range_semijoin, scan_ranges_arm,
+    simd_compiled, step_lifted_with, Axis, ContextSeq, KernelArm, NodeTest,
 };
 use mbxq_storage::{QnId, TreeView};
 use std::sync::Mutex;
@@ -672,6 +672,7 @@ pub(crate) struct Exec<'a, V: TreeView + ?Sized> {
     pub(crate) par: ParChoice,
     pub(crate) threads: usize,
     pub(crate) morsel_rows: usize,
+    pub(crate) kernel: KernelArm,
 }
 
 impl<V: TreeView + ?Sized> Exec<'_, V> {
@@ -1039,12 +1040,7 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                 // Pushed-down predicate: provably non-positional, so no
                 // position vectors and no per-context-node expansion —
                 // each candidate row is its own iteration.
-                let sub = Domain::Rows {
-                    nodes: &cs.pres,
-                    pred: None,
-                };
-                let v = self.scalar(pred, &sub)?;
-                let keep: Vec<bool> = (0..cs.len()).map(|i| v.value_at(i).to_boolean()).collect();
+                let keep = self.pred_flags(pred, &cs.pres, &cs.iters, None)?;
                 Ok(RelOut::Nodes(cs.retain_rows(&keep)))
             }
             PhysRel::GroupFilter { input, preds } => {
@@ -1234,14 +1230,70 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
     }
 
     // -- morsel-parallel execution -------------------------------------
+    //
+    // Auto-mode parallelism gates are **break-even thresholds**, not
+    // fixed volumes: splitting a job of `work_ns` sequential nanoseconds
+    // over `f` threads saves `work_ns · (1 − 1/f)` but pays a fixed
+    // `morsels · overhead + merge` (overhead measured per pool at spawn,
+    // see [`WorkerPool::new`]). Solving for the work that breaks even
+    // gives, per work-unit class,
+    //
+    //   threshold_units = (morsels · overhead + merge) · 10 · f
+    //                     / (unit_ns_x10 · (f − 1))
+    //
+    // so the gate adapts to live pool width, this host's measured morsel
+    // overhead, and the kernel arm's throughput class — a wide pool with
+    // cheap dispatch splits smaller jobs; a simd scan needs more slots
+    // than a scalar one before splitting pays (each slot is cheaper, so
+    // the same fixed cost amortizes over less saved time).
 
-    /// Minimum estimated scanned slots before [`ParChoice::Auto`]
-    /// splits a staircase step.
-    const PAR_SCAN_SLOTS: u64 = 1 << 16;
-    /// Minimum context rows before [`ParChoice::Auto`] splits a
-    /// semijoin (its per-row cost is two binary searches — far below a
-    /// subtree scan, hence the higher bar).
-    const PAR_SEMIJOIN_ROWS: usize = 1 << 12;
+    /// Estimated sequential cost of one scanned slot under the scalar
+    /// chunk kernel, in tenths of a nanosecond.
+    const SCALAR_SLOT_NS_X10: u64 = 10;
+    /// One scanned slot under the compiled vector kernel (16 byte lanes
+    /// per compare), in tenths of a nanosecond.
+    const SIMD_SLOT_NS_X10: u64 = 3;
+    /// One semijoin context row (two binary searches), x10 ns.
+    const SEMIJOIN_ROW_NS_X10: u64 = 600;
+    /// One predicate evaluation row (scalar-plan dispatch per row —
+    /// far heavier than a scan slot), x10 ns.
+    const PRED_ROW_NS_X10: u64 = 1500;
+    /// Fixed cost of merging per-morsel results, in nanoseconds.
+    const MERGE_NS: u64 = 2_000;
+
+    /// The scan-slot cost class of the active kernel arm. Forcing
+    /// [`KernelArm::Simd`] without compiled vector instructions runs
+    /// the hand-unrolled scalar twin, which costs like the scalar arm.
+    fn scan_slot_ns_x10(&self) -> u64 {
+        if self.kernel == KernelArm::Simd && simd_compiled() {
+            Self::SIMD_SLOT_NS_X10
+        } else {
+            Self::SCALAR_SLOT_NS_X10
+        }
+    }
+
+    /// Minimum work units (of `unit_ns_x10` each) before a parallel
+    /// split breaks even on this pool at this fan-out — the formula in
+    /// the module comment above. `u64::MAX` when there is no pool to
+    /// split on.
+    fn par_threshold_units(&self, unit_ns_x10: u64, fanout: usize) -> u64 {
+        let Some(pool) = self.pool else {
+            return u64::MAX;
+        };
+        let f = fanout as u64;
+        if f < 2 {
+            return u64::MAX;
+        }
+        let morsels = (fanout * 4) as u64;
+        let fixed_ns = morsels
+            .saturating_mul(pool.morsel_overhead_ns())
+            .saturating_add(Self::MERGE_NS);
+        fixed_ns
+            .saturating_mul(10)
+            .saturating_mul(f)
+            .div_ceil(unit_ns_x10 * (f - 1))
+            .max(1)
+    }
 
     /// Threads a parallel region may occupy: 1 (= stay sequential)
     /// without a pool or under [`ParChoice::ForceSequential`], else the
@@ -1291,6 +1343,17 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
         }
     }
 
+    /// Counts one scan-shaped operator dispatched to the vector kernel
+    /// arm (whether hardware simd or its scalar twin — the counter
+    /// tracks dispatch, [`simd_compiled`] tells which code ran).
+    fn note_simd(&self) {
+        if self.kernel == KernelArm::Simd {
+            if let Some(stats) = self.stats {
+                stats.simd_steps.set(stats.simd_steps.get() + 1);
+            }
+        }
+    }
+
     /// Runs `f` over group-aligned morsels of `ctx` on the pool and
     /// concatenates the per-morsel relations in morsel order — which is
     /// group order, so the merged result is bit-identical to `f(ctx)`
@@ -1335,10 +1398,19 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
     /// region (`//desc` from the root is one group and would otherwise
     /// never parallelize).
     fn staircase_step(&self, ctx: &ContextSeq, axis: Axis, test: &NodeTest) -> ContextSeq {
+        if matches!(
+            axis,
+            Axis::Descendant | Axis::DescendantOrSelf | Axis::Following
+        ) {
+            // Scan-shaped axes route through the chunk kernels.
+            self.note_simd();
+        }
+        let kernel = self.kernel;
         let fanout = self.fanout();
         if fanout >= 2 && !ctx.is_empty() {
-            let eligible = self.par == ParChoice::ForceParallel
-                || self.scan_work_clears(ctx, Self::PAR_SCAN_SLOTS);
+            let threshold = self.par_threshold_units(self.scan_slot_ns_x10(), fanout);
+            let eligible =
+                self.par == ParChoice::ForceParallel || self.scan_work_clears(ctx, threshold);
             if eligible {
                 let or_self = match axis {
                     Axis::Descendant => Some(false),
@@ -1352,14 +1424,14 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                     }
                 }
                 let view = self.view;
-                if let Some(out) =
-                    self.par_relation(ctx, fanout, &|sub| step_lifted(view, sub, axis, test))
-                {
+                if let Some(out) = self.par_relation(ctx, fanout, &|sub| {
+                    step_lifted_with(view, sub, axis, test, kernel)
+                }) {
                     return out;
                 }
             }
         }
-        step_lifted(self.view, ctx, axis, test)
+        step_lifted_with(self.view, ctx, axis, test, kernel)
     }
 
     /// Region-split parallel descendant scan for a single-group
@@ -1386,10 +1458,11 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             return None;
         }
         let view = self.view;
+        let kernel = self.kernel;
         let results: Mutex<Vec<(usize, Vec<u64>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
         let steals = pool.run(chunks.len(), &|m| {
             let mut out = Vec::new();
-            scan_ranges(view, &chunks[m], test, &mut out);
+            scan_ranges_arm(view, &chunks[m], test, kernel, &mut out);
             results.lock().unwrap().push((m, out));
         });
         let mut results = results.into_inner().unwrap();
@@ -1411,7 +1484,8 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
         let fanout = self.fanout();
         if fanout >= 2
             && !cands.is_empty()
-            && (self.par == ParChoice::ForceParallel || ctx.len() >= Self::PAR_SEMIJOIN_ROWS)
+            && (self.par == ParChoice::ForceParallel
+                || ctx.len() as u64 >= self.par_threshold_units(Self::SEMIJOIN_ROW_NS_X10, fanout))
         {
             let view = self.view;
             if let Some(out) =
@@ -1424,28 +1498,69 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
     }
 
     /// The cost model: the staircase arm scans the context regions
-    /// (≈ Σ subtree sizes, where every visited slot pays several view
-    /// indirections — kind/level/name reads through the page swizzle —
-    /// hence the scan weight); the index arm touches the precomputed
+    /// (≈ Σ subtree sizes, where every visited slot pays one pass of a
+    /// tight chunk-kernel loop); the index arm touches the precomputed
     /// probe list once plus two binary searches per context node.
     /// Statistics come from the live view at execution time, so cached
     /// plans re-cost on every run as the document changes.
+    ///
+    /// The scan weight is no longer a single constant: the vector
+    /// kernel arm discounts the per-slot cost (16 byte lanes per
+    /// compare vs one), and when the query pool would split the scan,
+    /// its estimate is divided by the live fan-out and charged the
+    /// pool's measured per-morsel overhead — so staircase-vs-index
+    /// decisions stop assuming a sequential scalar executor. One cost
+    /// unit is calibrated at ≈ 0.125 ns (a scalar slot = 8 units ≈
+    /// 1 ns; costs run in x4 fixed-point so the vector discount can be
+    /// fractional).
     fn index_cheaper(&self, ctx: &ContextSeq, axis: Axis, k: u64) -> bool {
         let _ = axis;
-        /// Relative cost of one scanned slot vs one probed list entry.
-        /// Recalibrated 4 → 2 for the columnar batch kernels: a scanned
-        /// slot is now one pass of a tight loop over a contiguous page
-        /// slice, not a per-slot page swizzle plus pool lookup, so the
-        /// scan arm stays competitive up to larger regions.
-        const SCAN_WEIGHT: u64 = 2;
-        let mut scan_cost: u64 = 0;
-        let index_cost = k + (ctx.len() as u64) * 8;
+        // Per-slot scan weight by kernel throughput class, in x4
+        // fixed-point. The scalar value keeps the pre-vectorization
+        // calibration (8 = the old weight 2: a tight columnar loop
+        // over a contiguous page slice); the vector arm discounts
+        // 12.5 % — byte compares collapse 16 slots into one compare,
+        // but a staircase step's emit, probe-resolution, horizon and
+        // tail halves stay scalar, so measured end-to-end step cost
+        // drops far less than lane width suggests (plan_cost's
+        // auto-vs-best assertion is the empirical guard on this
+        // constant).
+        let scan_weight: u64 = if self.kernel == KernelArm::Simd && simd_compiled() {
+            7
+        } else {
+            8
+        };
+        let fanout = self.fanout() as u64;
+        // Both arms pay per-context-node fixed work — the probe its two
+        // binary searches, the staircase its horizon/cursor bookkeeping
+        // — so both sides carry the same 8-per-node charge and the
+        // comparison reduces to posting-list length vs scan volume.
+        // (The seed model charged only the index arm, which made tiny
+        // staircase steps look free and cost q15_deep_path ~2x.)
+        let per_node = (ctx.len() as u64) * 8 * 4;
+        let mut scan_cost: u64 = per_node;
+        let index_cost = k * 4 + per_node;
+        // Early-out cap: once the *parallel-adjusted* scan estimate
+        // already dwarfs the probe we can stop summing subtree sizes.
+        let cap = index_cost.saturating_mul(2).saturating_mul(fanout);
         for &c in &ctx.pres {
             scan_cost =
-                scan_cost.saturating_add((self.view.size(c) + 1).saturating_mul(SCAN_WEIGHT));
-            if scan_cost > index_cost.saturating_mul(2) {
-                // Early out: the scan estimate already dwarfs the probe.
+                scan_cost.saturating_add((self.view.size(c) + 1).saturating_mul(scan_weight));
+            if scan_cost > cap {
                 return true;
+            }
+        }
+        if fanout >= 2 {
+            // Would this scan actually split? Mirror the staircase
+            // gate; if it clears, cost the scan at its parallel shape.
+            let slots = scan_cost / scan_weight;
+            if slots >= self.par_threshold_units(self.scan_slot_ns_x10(), fanout as usize) {
+                let overhead_ns = self.pool.map_or(0, |p| p.morsel_overhead_ns());
+                let fixed_ns = (fanout * 4)
+                    .saturating_mul(overhead_ns)
+                    .saturating_add(Self::MERGE_NS);
+                // 1 cost unit ≈ 0.125 ns, so fixed ns count 8x.
+                scan_cost = scan_cost / fanout + fixed_ns.saturating_mul(8);
             }
         }
         index_cost < scan_cost
@@ -1624,13 +1739,46 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             return cands;
         }
         let pool = self.view.pool();
-        let keep: Vec<bool> = match &pred.source {
-            ValueSource::SelfValue => cands
+        let keep: Vec<bool> = match (&pred.source, &pred.cmp) {
+            // Numeric range tests gather the parsed values into one
+            // f64 column and run the chunk kernel's range mask over it
+            // (two lanes per compare under the vector arm).
+            (ValueSource::SelfValue, ValueCmp::InRange(r)) => {
+                let vals: Vec<f64> = cands
+                    .pres
+                    .iter()
+                    .map(|&p| str_to_number(&self.view.string_value(p)))
+                    .collect();
+                self.note_simd();
+                let mut keep = Vec::new();
+                in_range_mask(&vals, r, self.kernel, &mut keep);
+                keep
+            }
+            (ValueSource::Attr(a), ValueCmp::InRange(r)) => match pool.lookup_qname(a) {
+                None => vec![false; cands.len()],
+                Some(aqn) => {
+                    // A missing or unparsable attribute becomes NaN,
+                    // which fails every range compare — the columnar
+                    // twin of "no attribute → no match".
+                    let vals: Vec<f64> = cands
+                        .pres
+                        .iter()
+                        .map(|&p| {
+                            attr_value(self.view, p, aqn).map_or(f64::NAN, |v| str_to_number(&v))
+                        })
+                        .collect();
+                    self.note_simd();
+                    let mut keep = Vec::new();
+                    in_range_mask(&vals, r, self.kernel, &mut keep);
+                    keep
+                }
+            },
+            (ValueSource::SelfValue, _) => cands
                 .pres
                 .iter()
                 .map(|&p| self.string_value_matches(p, &pred.cmp))
                 .collect(),
-            ValueSource::Attr(a) => match pool.lookup_qname(a) {
+            (ValueSource::Attr(a), _) => match pool.lookup_qname(a) {
                 None => vec![false; cands.len()],
                 Some(aqn) => cands
                     .pres
@@ -1640,7 +1788,7 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                     })
                     .collect(),
             },
-            ValueSource::Child(c) => match pool.lookup_qname(c) {
+            (ValueSource::Child(c), _) => match pool.lookup_qname(c) {
                 None => vec![false; cands.len()],
                 Some(cqn) => cands
                     .pres
@@ -1685,26 +1833,152 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             PhysPred::Last => Ok(pick_per_group(&cands, reverse)),
             PhysPred::Expr(s) => {
                 let (pos, last) = cands.positions(reverse);
-                let info = PredInfo {
-                    pos: &pos,
-                    last: &last,
-                };
-                let sub = Domain::Rows {
-                    nodes: &cands.pres,
-                    pred: Some(&info),
-                };
-                let v = self.scalar(s, &sub)?;
-                // A bare number predicate means position() = n.
-                let keep: Vec<bool> = match &v {
-                    Lifted::Const(Value::Number(n)) => pos.iter().map(|&p| p == *n).collect(),
-                    Lifted::Numbers(ns) => ns.iter().zip(&pos).map(|(&n, &p)| p == n).collect(),
-                    other => (0..cands.len())
-                        .map(|i| other.value_at(i).to_boolean())
-                        .collect(),
-                };
+                let keep = self.pred_flags(s, &cands.pres, &cands.iters, Some((&pos, &last)))?;
                 Ok(cands.retain_rows(&keep))
             }
         }
+    }
+
+    // -- intra-morsel predicate parallelism ----------------------------
+
+    /// Evaluates a predicate plan over a candidate relation and returns
+    /// per-row keep flags, splitting the rows across the pool when the
+    /// relation clears the predicate break-even threshold. `groups` are
+    /// the rows' iteration tags (morsel cuts stay group-aligned);
+    /// `positions` carries the scope's precomputed `(position(),
+    /// last())` vectors when the predicate sits in step brackets.
+    ///
+    /// Safe to parallelize because `Domain::Rows` evaluation is
+    /// row-independent — every verdict depends only on the row's own
+    /// node and its (already global) position vectors — so slicing the
+    /// relation and concatenating flag vectors in morsel order is
+    /// bit-identical to one sequential pass.
+    fn pred_flags(
+        &self,
+        pred: &PhysScalar,
+        nodes: &[u64],
+        groups: &[u32],
+        positions: Option<(&[f64], &[f64])>,
+    ) -> Result<Vec<bool>> {
+        let n = nodes.len();
+        let fanout = self.fanout();
+        if fanout >= 2 && n > 0 {
+            let eligible = self.par == ParChoice::ForceParallel
+                || n as u64 >= self.par_threshold_units(Self::PRED_ROW_NS_X10, fanout);
+            if eligible {
+                if let Some(res) = self.par_pred_flags(pred, nodes, groups, positions, fanout) {
+                    return res;
+                }
+            }
+        }
+        self.pred_flags_range(pred, nodes, positions, 0, n)
+    }
+
+    /// The sequential predicate kernel over one row range `[lo, hi)`:
+    /// one scalar-plan evaluation with the sliced rows and positions.
+    fn pred_flags_range(
+        &self,
+        pred: &PhysScalar,
+        nodes: &[u64],
+        positions: Option<(&[f64], &[f64])>,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<bool>> {
+        let nodes = &nodes[lo..hi];
+        let sliced = positions.map(|(pos, last)| (&pos[lo..hi], &last[lo..hi]));
+        let info = sliced.map(|(pos, last)| PredInfo { pos, last });
+        let d = Domain::Rows {
+            nodes,
+            pred: info.as_ref(),
+        };
+        let v = self.scalar(pred, &d)?;
+        Ok(keep_flags(&v, sliced.map(|(pos, _)| pos), nodes.len()))
+    }
+
+    /// The morsel-parallel predicate path: group-aligned morsels, each
+    /// evaluated by a worker-private sequential executor (the shared
+    /// `EvalStats` cells are not `Sync`, so every morsel counts into a
+    /// private sink absorbed afterwards in morsel order). Flag vectors
+    /// concatenate in morsel order; on failure the first error in
+    /// morsel order wins, matching the sequential pass. Returns `None`
+    /// when the relation does not actually split.
+    fn par_pred_flags(
+        &self,
+        pred: &PhysScalar,
+        nodes: &[u64],
+        groups: &[u32],
+        positions: Option<(&[f64], &[f64])>,
+        fanout: usize,
+    ) -> Option<Result<Vec<bool>>> {
+        let pool = self.pool?;
+        let ranges = par::morsel_ranges(groups, self.morsel_parts(nodes.len(), fanout));
+        if ranges.len() < 2 {
+            return None;
+        }
+        let view = self.view;
+        let bindings = self.bindings;
+        let choice = self.choice;
+        let value_choice = self.value_choice;
+        let kernel = self.kernel;
+        type MorselOut = (usize, Result<Vec<bool>>, EvalStats);
+        let results: Mutex<Vec<MorselOut>> = Mutex::new(Vec::with_capacity(ranges.len()));
+        let steals = pool.run(ranges.len(), &|m| {
+            let (start, end) = ranges[m];
+            let private = EvalStats::default();
+            let sub = Exec {
+                view,
+                bindings,
+                choice,
+                value_choice,
+                stats: Some(&private),
+                pool: None,
+                par: ParChoice::ForceSequential,
+                threads: 1,
+                morsel_rows: 0,
+                kernel,
+            };
+            let out = sub.pred_flags_range(pred, nodes, positions, start, end);
+            results.lock().unwrap().push((m, out, private));
+        });
+        let mut results = results.into_inner().unwrap();
+        results.sort_unstable_by_key(|&(m, _, _)| m);
+        let mut flags = Vec::with_capacity(nodes.len());
+        let mut first_err = None;
+        for (_, out, private) in results {
+            if let Some(stats) = self.stats {
+                stats.absorb(&private);
+            }
+            match out {
+                Ok(part) => flags.extend_from_slice(&part),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        self.note_par(ranges.len(), steals);
+        if let Some(stats) = self.stats {
+            stats.pred_par_steps.set(stats.pred_par_steps.get() + 1);
+        }
+        Some(match first_err {
+            Some(e) => Err(e),
+            None => Ok(flags),
+        })
+    }
+}
+
+/// Per-row boolean verdicts of a lifted predicate value. With position
+/// vectors in scope a bare numeric predicate abbreviates
+/// `position() = n` (the XPath rule); everything else takes the
+/// effective boolean value.
+fn keep_flags(v: &Lifted, pos: Option<&[f64]>, n: usize) -> Vec<bool> {
+    match (v, pos) {
+        (Lifted::Const(Value::Number(want)), Some(pos)) => {
+            pos.iter().map(|&p| p == *want).collect()
+        }
+        (Lifted::Numbers(ns), Some(pos)) => ns.iter().zip(pos).map(|(&x, &p)| p == x).collect(),
+        (other, _) => (0..n).map(|i| other.value_at(i).to_boolean()).collect(),
     }
 }
 

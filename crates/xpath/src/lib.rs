@@ -61,6 +61,7 @@ pub mod rewrite;
 
 pub use ast::{Expr, PathExpr, Step, StepTest};
 pub use eval::Value;
+pub use mbxq_axes::{simd_compiled, simd_width, KernelArm};
 pub use par::{ParChoice, WorkerPool};
 
 use mbxq_storage::TreeView;
@@ -180,6 +181,35 @@ pub enum ValueChoice {
     ForceProbe,
 }
 
+/// Which chunk-kernel arm scan operators run —
+/// [`KernelChoice::Auto`] picks the vectorized arm whenever this build
+/// compiled real vector instructions ([`simd_compiled`]); the forced
+/// arms exist for the kernel-equivalence oracle and the `par_scaling`
+/// micro-bench grid. Both arms are always available: without the
+/// `simd` feature the vectorized arm is a hand-unrolled scalar twin
+/// with identical results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// [`KernelArm::auto`] (the default).
+    #[default]
+    Auto,
+    /// Always the plain scalar chunk loops.
+    ForceScalar,
+    /// Always the vectorized ([`KernelArm::Simd`]) chunk loops.
+    ForceSimd,
+}
+
+impl KernelChoice {
+    /// The concrete arm this choice resolves to.
+    pub fn arm(self) -> KernelArm {
+        match self {
+            KernelChoice::Auto => KernelArm::auto(),
+            KernelChoice::ForceScalar => KernelArm::Scalar,
+            KernelChoice::ForceSimd => KernelArm::Simd,
+        }
+    }
+}
+
 /// Per-evaluation counters of the strategy decisions actually taken
 /// (shared-cell based so one immutable `EvalOptions` can thread them
 /// through the executor).
@@ -199,6 +229,11 @@ pub struct EvalStats {
     pub steals: Cell<u64>,
     /// Physical operators that actually ran morsel-parallel.
     pub par_steps: Cell<u64>,
+    /// Filter/GroupFilter predicates whose row evaluation fanned out
+    /// across the worker pool.
+    pub pred_par_steps: Cell<u64>,
+    /// Scan operators that ran on the vectorized kernel arm.
+    pub simd_steps: Cell<u64>,
 }
 
 impl EvalStats {
@@ -220,6 +255,10 @@ impl EvalStats {
         self.steals.set(self.steals.get() + other.steals.get());
         self.par_steps
             .set(self.par_steps.get() + other.par_steps.get());
+        self.pred_par_steps
+            .set(self.pred_par_steps.get() + other.pred_par_steps.get());
+        self.simd_steps
+            .set(self.simd_steps.get() + other.simd_steps.get());
     }
 }
 
@@ -242,6 +281,7 @@ pub struct EvalOptions<'a> {
     pub(crate) pool: Option<&'a par::WorkerPool>,
     pub(crate) par: ParChoice,
     pub(crate) morsel_rows: usize,
+    pub(crate) kernel: KernelChoice,
 }
 
 impl<'a> EvalOptions<'a> {
@@ -312,6 +352,12 @@ impl<'a> EvalOptions<'a> {
         self
     }
 
+    /// Chunk-kernel arm override (auto / forced-scalar / forced-simd).
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// The decision-counter sink set on these options, if any. Fan-out
     /// layers (the catalog's cross-document queries) read it to know
     /// where per-document counters should be folded: each document
@@ -341,6 +387,7 @@ impl<'a> EvalOptions<'a> {
             pool: self.pool,
             par: self.par,
             morsel_rows: self.morsel_rows,
+            kernel: self.kernel,
         }
     }
 }
@@ -359,6 +406,7 @@ pub struct SharedOptions<'a> {
     pool: Option<&'a par::WorkerPool>,
     par: ParChoice,
     morsel_rows: usize,
+    kernel: KernelChoice,
 }
 
 impl<'a> SharedOptions<'a> {
@@ -378,6 +426,7 @@ impl<'a> SharedOptions<'a> {
             pool: self.pool,
             par: self.par,
             morsel_rows: self.morsel_rows,
+            kernel: self.kernel,
         }
     }
 }
@@ -458,6 +507,7 @@ impl XPath {
             par: opts.par,
             threads: opts.threads,
             morsel_rows: opts.morsel_rows,
+            kernel: opts.kernel.arm(),
         };
         exec.run(&self.physical, context)
     }

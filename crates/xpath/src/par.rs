@@ -102,8 +102,20 @@ pub struct WorkerPool {
     /// Serializes runs; a busy pool makes later submitters run inline.
     run_lock: Mutex<()>,
     threads: usize,
+    /// Fixed cost of dispatching one morsel through the pool, in
+    /// nanoseconds — measured once at spawn (see [`WorkerPool::new`])
+    /// and read by the executor's break-even cost model.
+    morsel_overhead_ns: u64,
     handles: Vec<JoinHandle<()>>,
 }
+
+/// Calibration floor: queue ops alone cost this much even on an
+/// unloaded host, and a spuriously tiny measurement would make the
+/// cost model parallelize everything.
+const MORSEL_OVERHEAD_MIN_NS: u64 = 200;
+/// Calibration ceiling: a de-scheduled calibration round on a loaded
+/// host must not convince the cost model parallelism never pays.
+const MORSEL_OVERHEAD_MAX_NS: u64 = 1_000_000;
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -118,7 +130,22 @@ impl WorkerPool {
     /// 1` spawned workers plus the submitting thread. `threads` is
     /// clamped to at least 1 (a 1-thread pool spawns nothing and `run`
     /// degenerates to a sequential loop).
+    ///
+    /// Spawning runs a short **calibration loop** — a few rounds of
+    /// empty morsels — to measure the fixed per-morsel dispatch cost on
+    /// this host. The executor's cost model multiplies that number by
+    /// the planned morsel count when deciding whether a split's
+    /// speedup beats its coordination overhead, replacing the fixed
+    /// scan-volume threshold that assumed one overhead fits all hosts.
     pub fn new(threads: usize) -> WorkerPool {
+        Self::with_overhead_ns(threads, None)
+    }
+
+    /// [`WorkerPool::new`] with the per-morsel overhead pinned instead
+    /// of calibrated — reproducible plan choice in tests and benches,
+    /// and the escape hatch `StoreConfig::morsel_overhead_ns` plumbs
+    /// through.
+    pub fn with_overhead_ns(threads: usize, overhead_ns: Option<u64>) -> WorkerPool {
         let threads = threads.max(1);
         let shared = std::sync::Arc::new(Shared {
             state: Mutex::new(PoolState {
@@ -145,17 +172,48 @@ impl WorkerPool {
                     .expect("spawn query worker")
             })
             .collect();
-        WorkerPool {
+        let mut pool = WorkerPool {
             shared,
             run_lock: Mutex::new(()),
             threads,
+            morsel_overhead_ns: 0,
             handles,
+        };
+        pool.morsel_overhead_ns = match overhead_ns {
+            Some(ns) => ns.clamp(MORSEL_OVERHEAD_MIN_NS, MORSEL_OVERHEAD_MAX_NS),
+            None => pool.calibrate(),
+        };
+        pool
+    }
+
+    /// Measures the fixed dispatch cost of one morsel: a warm-up round
+    /// (first touch pays thread wake-up and allocator noise), then the
+    /// minimum over a few timed rounds of empty morsels, clamped to a
+    /// sane band so scheduler hiccups on loaded hosts cannot poison
+    /// every subsequent plan choice.
+    fn calibrate(&self) -> u64 {
+        const MORSELS: usize = 64;
+        const ROUNDS: usize = 4;
+        self.run(MORSELS, &|_| {});
+        let mut best = u64::MAX;
+        for _ in 0..ROUNDS {
+            let t = std::time::Instant::now();
+            self.run(MORSELS, &|_| {});
+            let per = (t.elapsed().as_nanos() as u64) / MORSELS as u64;
+            best = best.min(per);
         }
+        best.clamp(MORSEL_OVERHEAD_MIN_NS, MORSEL_OVERHEAD_MAX_NS)
     }
 
     /// Total threads a run can occupy (spawned workers + submitter).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The calibrated (or pinned) fixed cost of dispatching one morsel,
+    /// in nanoseconds. Always within `[200, 1_000_000]`.
+    pub fn morsel_overhead_ns(&self) -> u64 {
+        self.morsel_overhead_ns
     }
 
     /// Cumulative cross-queue steals over the pool's lifetime (each
@@ -554,5 +612,124 @@ mod tests {
                 assert!(lo < hi, "empty range ({lo}, {hi}) in {chunks:?}");
             }
         }
+    }
+
+    /// Minimal deterministic xorshift for the property tests below.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// Seeded generator over the morsel splitter: random group shapes
+    /// (single-row groups, long runs, tag gaps — "empty groups" in tag
+    /// space) × random fan-outs must always yield a contiguous,
+    /// group-aligned cover with no empty or out-of-order ranges.
+    #[test]
+    fn morsel_ranges_properties_hold_on_random_shapes() {
+        for seed in 1..=200u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9e3779b97f4a7c15));
+            let n_groups = rng.below(12) as usize;
+            let mut groups: Vec<u32> = Vec::new();
+            let mut tag = 0u32;
+            for _ in 0..n_groups {
+                // Gaps in tag space model iterations whose step result
+                // was empty; run length 1 models single-row groups.
+                tag += 1 + rng.below(3) as u32;
+                let run = 1 + rng.below(9) as usize;
+                groups.extend(std::iter::repeat_n(tag, run));
+            }
+            let parts = rng.below(10) as usize;
+            let ranges = morsel_ranges(&groups, parts);
+            if groups.is_empty() || parts == 0 {
+                assert!(ranges.is_empty(), "seed {seed}");
+                continue;
+            }
+            assert!(ranges.len() <= parts, "seed {seed}: at most `parts` ranges");
+            assert_eq!(ranges.first().unwrap().0, 0, "seed {seed}");
+            assert_eq!(ranges.last().unwrap().1, groups.len(), "seed {seed}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "seed {seed}: contiguous cover");
+            }
+            for &(start, end) in &ranges {
+                assert!(start < end, "seed {seed}: no empty morsel");
+                if end < groups.len() {
+                    assert_ne!(
+                        groups[end - 1],
+                        groups[end],
+                        "seed {seed}: cut splits a group"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Seeded generator over the volume splitter: random disjoint
+    /// ascending range lists (adjacent ranges, unit-width ranges, huge
+    /// skew) × random fan-outs. Volume is conserved exactly, order and
+    /// disjointness survive flattening, no chunk is empty, and no
+    /// degenerate `(lo, lo)` range appears even when cuts land exactly
+    /// on range boundaries (the PR 6 regression, now fuzzed).
+    #[test]
+    fn range_chunks_properties_hold_on_random_shapes() {
+        for seed in 1..=200u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x2545f4914f6cdd1d));
+            let n_ranges = rng.below(8) as usize;
+            let mut ranges: Vec<(u64, u64)> = Vec::new();
+            let mut lo = 0u64;
+            for _ in 0..n_ranges {
+                // `below(3) == 0` keeps ranges adjacent — cuts land on
+                // boundaries; widths are skewed by squaring.
+                lo += rng.below(3) * rng.below(40);
+                let w = rng.below(12);
+                let width = 1 + w * w;
+                ranges.push((lo, lo + width));
+                lo += width;
+            }
+            let parts = rng.below(7) as usize;
+            let chunks = range_chunks(&ranges, parts);
+            if ranges.is_empty() || parts == 0 {
+                assert!(chunks.is_empty(), "seed {seed}");
+                continue;
+            }
+            assert!(chunks.len() <= parts, "seed {seed}");
+            let total: u64 = ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+            let vol: u64 = chunks.iter().flatten().map(|&(lo, hi)| hi - lo).sum();
+            assert_eq!(vol, total, "seed {seed}: volume conserved");
+            assert!(
+                chunks.iter().all(|c| !c.is_empty()),
+                "seed {seed}: no empty chunk in {chunks:?}"
+            );
+            let flat: Vec<(u64, u64)> = chunks.iter().flatten().copied().collect();
+            for &(lo, hi) in &flat {
+                assert!(lo < hi, "seed {seed}: degenerate ({lo}, {hi})");
+            }
+            for w in flat.windows(2) {
+                assert!(w[0].1 <= w[1].0, "seed {seed}: order at {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_calibrated_or_pinned_within_band() {
+        let calibrated = WorkerPool::new(2);
+        let ns = calibrated.morsel_overhead_ns();
+        assert!((200..=1_000_000).contains(&ns), "calibrated {ns}");
+        let pinned = WorkerPool::with_overhead_ns(2, Some(5_000));
+        assert_eq!(pinned.morsel_overhead_ns(), 5_000);
+        // Out-of-band pins are clamped, not trusted.
+        assert_eq!(
+            WorkerPool::with_overhead_ns(1, Some(1)).morsel_overhead_ns(),
+            200
+        );
     }
 }

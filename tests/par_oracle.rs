@@ -22,7 +22,9 @@ mod common;
 
 use common::{rand_name, rand_text, rand_tree, TestRng};
 use mbxq::{InsertPosition, Kind, NaiveDoc, PagedDoc, QName, ReadOnlyDoc, TreeView};
-use mbxq_xpath::{Bindings, EvalOptions, ParChoice, Value, WorkerPool, XPath};
+use mbxq_axes::{in_range_mask, scan_range_arm, KernelArm, NodeTest};
+use mbxq_storage::NumRange;
+use mbxq_xpath::{Bindings, EvalOptions, KernelChoice, ParChoice, Value, WorkerPool, XPath};
 
 /// NaN-tolerant value equality (`NaN != NaN` under `PartialEq`, but the
 /// oracle wants "both NaN" to count as agreement).
@@ -87,6 +89,34 @@ fn check_query<V: TreeView>(
             "{seed_info}: '{}' seq/par diverged in failure: {s:?} vs {p:?}",
             xp.source()
         ),
+    }
+    // Kernel equivalence: both forced chunk-kernel arms must reproduce
+    // the auto-dispatched sequential result bit-for-bit (with the
+    // `simd` feature off, ForceSimd exercises the unrolled twin).
+    for (arm, kernel) in [
+        ("scalar-kernel", KernelChoice::ForceScalar),
+        ("simd-kernel", KernelChoice::ForceSimd),
+    ] {
+        let got = xp.eval_opts(
+            view,
+            &root,
+            &EvalOptions::new()
+                .bindings(bindings)
+                .par(ParChoice::ForceSequential)
+                .kernel(kernel),
+        );
+        match (&seq, &got) {
+            (Ok(s), Ok(g)) => assert!(
+                values_equal(s, g),
+                "{seed_info}: '{}' {arm} arm\n  auto:   {s:?}\n  forced: {g:?}",
+                xp.source()
+            ),
+            (Err(_), Err(_)) => {}
+            (s, g) => panic!(
+                "{seed_info}: '{}' {arm} arm diverged in failure: {s:?} vs {g:?}",
+                xp.source()
+            ),
+        }
     }
 }
 
@@ -248,6 +278,137 @@ fn parallel_execution_survives_update_batches() {
                     &format!("seed {seed} batch {batch}"),
                 );
             }
+        }
+    }
+}
+
+/// Per-pre reference for the chunk scan kernels: walk used slots one at
+/// a time and apply the node test — no chunks, no vectorization.
+fn scan_reference(view: &dyn TreeView, lo: u64, hi: u64, test: &NodeTest) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut p = lo;
+    while let Some(q) = view.next_used_at_or_after(p) {
+        if q >= hi {
+            break;
+        }
+        if test.matches(view, q) {
+            out.push(q);
+        }
+        p = q + 1;
+    }
+    out
+}
+
+/// The chunk kernels (scalar and vector arm) must agree with the
+/// per-node reference on arbitrary `[lo, hi)` slices of the pre plane —
+/// misaligned starts, partial tails shorter than one vector lane, empty
+/// slices, and slices crossing page boundaries and deletion holes all
+/// occur across the seeds.
+#[test]
+fn chunk_kernels_agree_on_random_slice_offsets() {
+    for seed in 0..25u64 {
+        let mut rng = TestRng::new(0xc4a2 ^ (seed << 5));
+        let tree = rand_tree(&mut rng, 4, 5);
+        let ro = ReadOnlyDoc::from_tree(&tree).unwrap();
+        let cfg = *rng.pick(&common::page_configs());
+        let mut up = PagedDoc::from_tree(&tree, cfg).unwrap();
+        // Punch holes in the paged pre plane so slices cross unused
+        // slots, not just page boundaries.
+        for _ in 0..3 {
+            let used: Vec<u64> = {
+                let mut v = Vec::new();
+                let mut p = 1; // keep the root
+                while let Some(q) = up.next_used_at_or_after(p) {
+                    v.push(q);
+                    p = q + 1;
+                }
+                v
+            };
+            if used.is_empty() {
+                break;
+            }
+            let target = *rng.pick(&used);
+            if let Ok(node) = up.pre_to_node(target) {
+                let _ = up.delete(node);
+            }
+        }
+        let tests = [
+            NodeTest::AnyNode,
+            NodeTest::AnyElement,
+            NodeTest::Text,
+            NodeTest::Name(QName::local("a")),
+            NodeTest::Name(QName::local(rand_name(&mut rng))),
+        ];
+        let views: [&dyn TreeView; 2] = [&ro, &up];
+        for view in views {
+            let end = view.pre_end();
+            for test in &tests {
+                for _ in 0..8 {
+                    let lo = rng.below(end as usize + 2) as u64;
+                    let hi = lo.max((lo + rng.below(end as usize + 2) as u64).min(end));
+                    let want = scan_reference(view, lo, hi, test);
+                    for arm in [KernelArm::Scalar, KernelArm::Simd] {
+                        let mut got = Vec::new();
+                        scan_range_arm(view, lo, hi, test, arm, &mut got);
+                        assert_eq!(
+                            got, want,
+                            "seed {seed}: [{lo}, {hi}) {test:?} on the {arm:?} arm"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Guard for the feature chain: when the workspace is tested with
+/// `--features simd` on x86_64, the flag must actually reach the axes
+/// crate and light up the vector arm — a broken forward in any
+/// intermediate `Cargo.toml` would silently demote every "simd" run of
+/// this suite to the scalar twin.
+#[test]
+fn umbrella_simd_feature_reaches_the_kernels() {
+    if cfg!(all(feature = "simd", target_arch = "x86_64")) {
+        assert!(
+            mbxq_axes::simd_compiled(),
+            "umbrella simd feature did not propagate to mbxq-axes"
+        );
+        assert_eq!(mbxq_axes::simd_width(), 16);
+    } else {
+        assert_eq!(mbxq_axes::simd_width(), 1);
+    }
+}
+
+/// The numeric range-mask kernels must agree with [`NumRange::contains`]
+/// element-wise on random value columns — NaN (unparsable strings),
+/// infinities, exact bounds, inverted ranges, and odd lengths that leave
+/// a partial vector tail.
+#[test]
+fn range_mask_kernels_agree_on_random_values() {
+    let bounds = [f64::NEG_INFINITY, -5.0, 0.0, 1.25, 7.0, f64::INFINITY];
+    for seed in 0..40u64 {
+        let mut rng = TestRng::new(0x3f91 ^ (seed * 131));
+        let n = rng.below(70);
+        let vals: Vec<f64> = (0..n)
+            .map(|_| match rng.below(8) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                _ => rng.below(40) as f64 - 20.0 + rng.below(4) as f64 * 0.25,
+            })
+            .collect();
+        let range = NumRange {
+            lo: *rng.pick(&bounds),
+            hi: *rng.pick(&bounds),
+            lo_incl: rng.chance(1, 2),
+            hi_incl: rng.chance(1, 2),
+        };
+        let want: Vec<bool> = vals.iter().map(|&v| range.contains(v)).collect();
+        for arm in [KernelArm::Scalar, KernelArm::Simd] {
+            let mut keep = Vec::new();
+            in_range_mask(&vals, &range, arm, &mut keep);
+            assert_eq!(keep, want, "seed {seed}: {range:?} on the {arm:?} arm");
         }
     }
 }

@@ -311,3 +311,57 @@ fn document_lifecycle_over_the_wire() {
     assert!(cl.drop_doc("two").is_err());
     assert_eq!(cl.query_nodes("one", "//x", None).unwrap().len(), 1);
 }
+
+/// The Stats opcode: server-wide plan-cache, pool and kernel counters
+/// over the wire. The counters are cumulative across every session, so
+/// the test asserts monotonic growth and internal consistency rather
+/// than absolute values.
+#[test]
+fn stats_opcode_reports_pool_and_kernel_counters() {
+    let cat = xmark_catalog();
+    let server = Server::start(cat.clone(), ServerConfig::default()).unwrap();
+    let mut cl = Client::connect(server.addr()).unwrap();
+
+    let st0 = cl.stats().unwrap();
+    assert_eq!(st0.pool_threads, 4, "catalog config width on the wire");
+    assert_eq!(
+        st0.simd_compiled,
+        mbxq_axes::simd_compiled(),
+        "the server must report the kernel arm it was actually built with"
+    );
+
+    // A full-document element scan: no name index serves `//*`, so the
+    // executor takes the staircase scan the chunk kernels back — and
+    // repeating it must hit the shard's plan cache.
+    let first = cl.query_nodes(DOCS[0], "//*", None).unwrap();
+    assert!(!first.is_empty());
+    assert_eq!(cl.query_nodes(DOCS[0], "//*", None).unwrap(), first);
+
+    let st1 = cl.stats().unwrap();
+    assert!(st1.plan_entries >= 1, "the scan's plan must be cached");
+    assert!(
+        st1.plan_hits > st0.plan_hits,
+        "repeating a query must hit the plan cache ({} -> {})",
+        st0.plan_hits,
+        st1.plan_hits
+    );
+    if mbxq_axes::simd_compiled() {
+        assert!(
+            st1.simd_steps > st0.simd_steps,
+            "a staircase scan on a simd build must count vector dispatches"
+        );
+    } else {
+        assert_eq!(st1.simd_steps, 0, "nothing forces the simd arm here");
+    }
+    if st1.pool_spawned {
+        assert!(
+            st1.morsel_overhead_ns > 0,
+            "a spawned pool must report its calibrated per-morsel overhead"
+        );
+    }
+    // Cumulative counters never go backwards.
+    assert!(st1.plan_misses >= st0.plan_misses);
+    assert!(st1.par_steps >= st0.par_steps && st1.morsels >= st0.morsels);
+    assert!(st1.pred_par_steps >= st0.pred_par_steps);
+    cl.goodbye().unwrap();
+}
