@@ -26,6 +26,7 @@ use mbxq_storage::{Kind, TreeView};
 use mbxq_xml::QName;
 
 pub mod batch;
+pub mod intersect;
 mod iterators;
 pub mod loop_lifted;
 pub mod semijoin;
@@ -34,6 +35,7 @@ pub use batch::{
     descendant_scan_ranges, in_range_mask, scan_range, scan_range_arm, scan_ranges,
     scan_ranges_arm, simd_compiled, simd_width, KernelArm,
 };
+pub use intersect::{intersect_pair, intersect_sorted};
 pub use iterators::{children, descendants, following_siblings};
 pub use loop_lifted::{step_lifted, step_lifted_with, ContextSeq};
 pub use semijoin::{exists_step, range_semijoin};

@@ -1,0 +1,278 @@
+//! Multi-predicate strategy ablation — the measurement behind the
+//! posting-list intersection layer. Merges its rows into
+//! `BENCH_plan.json` (tagged `"bench": "multi_pred"`).
+//!
+//! Every query carries 2–3 indexable predicates on one step, collected
+//! by the rewriter into a single `MultiProbe` operator; each runs four
+//! ways on both storage schemas:
+//!
+//! * **scan** — [`MultiChoice::ForceScan`]: the axis step runs, then
+//!   every predicate is evaluated against every candidate;
+//! * **probe** — [`MultiChoice::ForceBestProbe`]: only the cheapest
+//!   posting list is probed, the remaining predicates verify per
+//!   candidate (what the planner did before this layer);
+//! * **intersect** — [`MultiChoice::ForceIntersect`]: every predicate's
+//!   posting list is materialized and intersected by the k-way
+//!   galloping kernel before the range semijoin;
+//! * **cost** — [`MultiChoice::Auto`]: pessimistic degree bounds rank
+//!   the lists and grow the intersection prefix greedily.
+//!
+//! All four arms must select identical nodes (asserted). The summary
+//! checks the PR's claims: the intersection beats the best single probe
+//! on at least one query where every predicate is selective, and the
+//! cost-chosen arm stays within 1.35x of the best forced arm on every
+//! query. A skew-injected document (one hot key holding > 50 % of its
+//! index's postings) then shows the estimator steering the join order
+//! around the hot list, and [`ReplanMode::Default`] recovering from a
+//! poisoned estimate within one replan. `--smoke` runs a tiny scale
+//! once (CI guard; no JSON rewrite).
+
+use mbxq_bench::{build_both, merge_bench_rows, time_min};
+use mbxq_storage::{ReadOnlyDoc, TreeView};
+use mbxq_xpath::{
+    EvalOptions, EvalStats, MultiChoice, MultiStrategy, PlanFeedback, ReplanMode, StepFeedback,
+    XPath,
+};
+use std::fmt::Write as _;
+
+/// The ablation query set: attr + child-text sources, exact and
+/// numeric-range comparisons, two and three predicates per step.
+const QUERIES: &[(&str, &str)] = &[
+    ("attr_child_point", "//item[@id = \"item0\"][quantity = 1]"),
+    (
+        "child_pair_item",
+        "//item[quantity = 1][location = \"United States\"]",
+    ),
+    (
+        "range_pair_price",
+        "//closed_auction[price > 100][price < 120]",
+    ),
+    ("eq_range_same_key", "//item[quantity = 1][quantity < 3]"),
+    (
+        "triple_item",
+        "//item[quantity = 1][quantity < 3][location = \"United States\"]",
+    ),
+    (
+        "range_pair_narrow",
+        "//closed_auction[price > 195][price < 199]",
+    ),
+];
+
+fn arm_opts(multi: MultiChoice) -> EvalOptions<'static> {
+    EvalOptions::new().multi(multi)
+}
+
+/// One hot key (`<k>hot</k>`) holding 60 % of the `k` index's postings,
+/// every `<u>` value unique — the shape where intersecting in the wrong
+/// order materializes a giant list for a one-row answer.
+fn skew_doc() -> ReadOnlyDoc {
+    let mut xml = String::from("<root>");
+    for i in 0..1000 {
+        if i % 10 < 6 {
+            let _ = write!(xml, "<p><k>hot</k><u>u{i}</u></p>");
+        } else {
+            let _ = write!(xml, "<p><k>k{i}</k><u>u{i}</u></p>");
+        }
+    }
+    xml.push_str("</root>");
+    ReadOnlyDoc::parse_str(&xml).expect("skew doc is well-formed")
+}
+
+/// The skew scenario of the acceptance criteria: the pessimistic
+/// estimator must keep the hot list out of the intersection prefix, and
+/// a poisoned estimate must heal in exactly one replan.
+fn skew_scenario() {
+    let doc = skew_doc();
+    // i = 5 is a hot row, so both predicates really must combine.
+    let xp = XPath::parse("//p[k = \"hot\"][u = \"u5\"]").unwrap();
+    assert!(
+        xp.explain_physical().contains("multi-probe"),
+        "skew query must lower to a multi-probe"
+    );
+
+    let fb = PlanFeedback::new();
+    let stats = EvalStats::default();
+    let hits = xp
+        .select_from_root_opts(&doc, &EvalOptions::new().feedback(&fb).stats(&stats))
+        .unwrap();
+    assert_eq!(hits.len(), 1, "exactly one row is both hot and u5");
+    assert_eq!(stats.multi_probe_steps.get(), 1);
+    let snap = fb.snapshot();
+    assert_eq!(snap.len(), 1);
+    match &snap[0].strategy {
+        MultiStrategy::Probe(prefix) => {
+            assert_eq!(
+                prefix,
+                &[1],
+                "the unique-key predicate must lead and the hot list must \
+                 stay out of the intersection prefix, got probe{prefix:?}"
+            );
+        }
+        MultiStrategy::Scan => panic!("a one-row probe must beat the 1000-row scan"),
+    }
+    println!(
+        "skew: hot key holds 600/1000 postings; auto chose probe(#1) \
+         est {} obs {} — hot list never materialized",
+        snap[0].estimated, snap[0].observed
+    );
+
+    // Poison the estimate; one Default-mode execution must replan,
+    // record a healthy estimate, and a second run must reuse it.
+    fb.record(
+        0,
+        StepFeedback {
+            estimated: 100_000,
+            observed: 1,
+            strategy: MultiStrategy::Scan,
+            pred_lists: vec![None, None],
+        },
+    );
+    assert!(fb.any_diverged());
+    let replan_stats = EvalStats::default();
+    let healed = xp
+        .select_from_root_opts(
+            &doc,
+            &EvalOptions::new()
+                .feedback(&fb)
+                .stats(&replan_stats)
+                .replan(ReplanMode::Default),
+        )
+        .unwrap();
+    assert_eq!(healed, hits);
+    assert_eq!(
+        replan_stats.replans.get(),
+        1,
+        "a poisoned estimate must heal in exactly one replan"
+    );
+    assert!(!fb.any_diverged(), "the replan recorded a healthy estimate");
+    let reuse_stats = EvalStats::default();
+    xp.select_from_root_opts(
+        &doc,
+        &EvalOptions::new()
+            .feedback(&fb)
+            .stats(&reuse_stats)
+            .replan(ReplanMode::Default),
+    )
+    .unwrap();
+    assert_eq!(reuse_stats.replans.get(), 0, "healthy feedback is reused");
+    println!("skew: poisoned estimate recovered in 1 replan, then reused");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 0.003 } else { 0.03 };
+    let reps = if smoke { 2 } else { 9 };
+
+    let (ro, up, bytes) = build_both(scale, 42);
+    println!("XMark scale {scale} ({bytes} B, {} nodes)", ro.used_count());
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut max_auto_over_best = 0.0f64;
+    let mut intersect_wins = 0usize;
+
+    for &(label, path) in QUERIES {
+        let xp = XPath::parse(path).expect(path);
+        assert!(
+            xp.explain_physical().contains("multi-probe"),
+            "{label}: query must lower to a multi-probe:\n{}",
+            xp.explain_physical()
+        );
+
+        // Correctness first: all four arms agree on both schemas.
+        let want_ro = xp
+            .select_from_root_opts(&ro, &arm_opts(MultiChoice::ForceScan))
+            .expect(path);
+        let want_up = xp
+            .select_from_root_opts(&up, &arm_opts(MultiChoice::ForceScan))
+            .expect(path);
+        for arm in [
+            MultiChoice::ForceBestProbe,
+            MultiChoice::ForceIntersect,
+            MultiChoice::Auto,
+        ] {
+            let got = xp.select_from_root_opts(&ro, &arm_opts(arm)).expect(path);
+            assert_eq!(got, want_ro, "{label}: {arm:?} diverged on ro");
+            let got = xp.select_from_root_opts(&up, &arm_opts(arm)).expect(path);
+            assert_eq!(got, want_up, "{label}: {arm:?} diverged on paged");
+        }
+
+        let time = |view: &dyn TreeView, arm: MultiChoice| {
+            time_min(reps, || {
+                xp.select_from_root_opts(view, &arm_opts(arm))
+                    .unwrap()
+                    .len()
+            })
+            .as_nanos()
+        };
+        let scan_ro = time(&ro, MultiChoice::ForceScan);
+        let probe_ro = time(&ro, MultiChoice::ForceBestProbe);
+        let inter_ro = time(&ro, MultiChoice::ForceIntersect);
+        let auto_ro = time(&ro, MultiChoice::Auto);
+        let scan_up = time(&up, MultiChoice::ForceScan);
+        let probe_up = time(&up, MultiChoice::ForceBestProbe);
+        let inter_up = time(&up, MultiChoice::ForceIntersect);
+        let auto_up = time(&up, MultiChoice::Auto);
+
+        // What the cost model actually did.
+        let stats = EvalStats::default();
+        xp.select_from_root_opts(&ro, &EvalOptions::new().stats(&stats))
+            .unwrap();
+        let multi_steps = stats.multi_probe_steps.get();
+        let auto_inter_rows = stats.intersect_rows.get();
+
+        let best_ro = scan_ro.min(probe_ro).min(inter_ro);
+        let auto_over_best = auto_ro as f64 / best_ro.max(1) as f64;
+        max_auto_over_best = max_auto_over_best.max(auto_over_best);
+        if inter_ro < probe_ro {
+            intersect_wins += 1;
+        }
+
+        println!(
+            "{label:<18} rows {:>5}  ro: scan {scan_ro:>9}ns probe {probe_ro:>9}ns \
+             intersect {inter_ro:>9}ns auto {auto_ro:>9}ns (x{auto_over_best:>4.2} of best)  \
+             up: scan {scan_up:>9}ns probe {probe_up:>9}ns intersect {inter_up:>9}ns \
+             auto {auto_up:>9}ns  [auto: {multi_steps} multi-step, {auto_inter_rows} ∩-rows]",
+            want_ro.len()
+        );
+
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"bench\": \"multi_pred\", \"label\": \"{label}\", \"path\": {path:?}, \
+             \"rows\": {}, \"ro_scan_ns\": {scan_ro}, \"ro_probe_ns\": {probe_ro}, \
+             \"ro_intersect_ns\": {inter_ro}, \"ro_cost_ns\": {auto_ro}, \
+             \"up_scan_ns\": {scan_up}, \"up_probe_ns\": {probe_up}, \
+             \"up_intersect_ns\": {inter_up}, \"up_cost_ns\": {auto_up}, \
+             \"cost_over_best_ro\": {auto_over_best:.4}, \
+             \"auto_multi_steps\": {multi_steps}, \"auto_intersect_rows\": {auto_inter_rows}, \
+             {host}}}",
+            want_ro.len(),
+            host = mbxq_bench::host_json_fields()
+        );
+        rows.push(row);
+    }
+
+    println!(
+        "\nsummary: intersection beats the best single probe on {intersect_wins}/{} \
+         queries; cost-chosen worst-case {max_auto_over_best:.2}x of the best arm",
+        QUERIES.len()
+    );
+
+    skew_scenario();
+
+    if !smoke {
+        assert!(
+            intersect_wins >= 1,
+            "the intersection must beat the single probe on at least one \
+             doubly-selective query"
+        );
+        assert!(
+            max_auto_over_best <= 1.35,
+            "the cost model strayed {max_auto_over_best:.2}x from the best arm"
+        );
+        merge_bench_rows("BENCH_plan.json", "multi_pred", &rows).expect("write BENCH_plan.json");
+        println!("merged {} rows into BENCH_plan.json", rows.len());
+    } else {
+        println!("smoke mode: skipping BENCH_plan.json");
+    }
+}

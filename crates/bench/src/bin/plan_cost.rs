@@ -17,7 +17,7 @@
 //! strays far from the best ablation arm. `--smoke` runs a tiny scale
 //! once (CI guard that the binary keeps working; no JSON rewrite).
 
-use mbxq_bench::{build_both, time_min};
+use mbxq_bench::{build_both, merge_bench_rows, time_min};
 use mbxq_storage::TreeView;
 use mbxq_xmark::QUERY_PATHS;
 use mbxq_xpath::{AxisChoice, EvalOptions, EvalStats, XPath};
@@ -35,10 +35,10 @@ fn main() {
     let (ro, up, bytes) = build_both(scale, 42);
     println!("XMark scale {scale} ({bytes} B, {} nodes)", ro.used_count());
 
-    let mut json = String::from("[\n");
-    let mut first = true;
+    let mut rows: Vec<String> = Vec::new();
     // (auto-vs-best ratio, index beat staircase) per query, ro view.
     let mut max_auto_over_best = 0.0f64;
+    let mut log_sum_auto_over_best = 0.0f64;
     let mut index_wins = 0usize;
 
     for &(label, path) in QUERY_PATHS {
@@ -110,6 +110,7 @@ fn main() {
         let best_ro = stair_ro.min(index_ro);
         let auto_over_best = auto_ro as f64 / best_ro.max(1) as f64;
         max_auto_over_best = max_auto_over_best.max(auto_over_best);
+        log_sum_auto_over_best += auto_over_best.max(f64::MIN_POSITIVE).ln();
         if index_ro < stair_ro {
             index_wins += 1;
         }
@@ -122,13 +123,11 @@ fn main() {
             want_ro.len()
         );
 
-        if !first {
-            json.push_str(",\n");
-        }
-        first = false;
+        let mut row = String::new();
         let _ = write!(
-            json,
-            "  {{\"label\": \"{label}\", \"path\": {path:?}, \"rows\": {}, \
+            row,
+            "{{\"bench\": \"plan_cost\", \"label\": \"{label}\", \"path\": {path:?}, \
+             \"rows\": {}, \
              \"ro_staircase_ns\": {stair_ro}, \"ro_index_ns\": {index_ro}, \
              \"ro_cost_ns\": {auto_ro}, \"up_staircase_ns\": {stair_up}, \
              \"up_index_ns\": {index_up}, \"up_cost_ns\": {auto_up}, \
@@ -137,12 +136,14 @@ fn main() {
             want_ro.len(),
             host = mbxq_bench::host_json_fields()
         );
+        rows.push(row);
     }
-    json.push_str("\n]\n");
 
+    let geomean = (log_sum_auto_over_best / QUERY_PATHS.len() as f64).exp();
     println!(
         "\nsummary: index beats forced-staircase on {index_wins}/{} queries; \
-         cost-chosen worst-case {max_auto_over_best:.2}x of the best arm",
+         cost-chosen worst-case {max_auto_over_best:.2}x of the best arm \
+         (geomean {geomean:.3}x)",
         QUERY_PATHS.len()
     );
     if !smoke {
@@ -154,8 +155,15 @@ fn main() {
             max_auto_over_best <= 1.5,
             "the cost model strayed {max_auto_over_best:.2}x from the best arm"
         );
-        std::fs::write("BENCH_plan.json", &json).expect("write BENCH_plan.json");
-        println!("wrote BENCH_plan.json");
+        // The per-query cap tolerates one noisy outlier; the aggregate
+        // guard catches a fleet-wide recalibration drift that stays
+        // under the cap on every individual query.
+        assert!(
+            geomean <= 1.15,
+            "the cost model drifted to {geomean:.3}x of best across the corpus"
+        );
+        merge_bench_rows("BENCH_plan.json", "plan_cost", &rows).expect("write BENCH_plan.json");
+        println!("merged {} rows into BENCH_plan.json", rows.len());
     } else {
         println!("smoke mode: skipping BENCH_plan.json");
     }

@@ -54,6 +54,40 @@ pub fn host_json_fields() -> String {
     )
 }
 
+/// Merges freshly measured rows into a shared `BENCH_*.json` array:
+/// previous rows carrying the same `"bench"` tag are replaced, rows
+/// from other binaries are kept (both `plan_cost` and `multi_pred`
+/// write into `BENCH_plan.json`). Every row must be a single line —
+/// the merge is line-oriented.
+pub fn merge_bench_rows(path: &str, tag: &str, rows: &[String]) -> std::io::Result<()> {
+    let marker = format!("\"bench\": \"{tag}\"");
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let t = line.trim();
+            // Untagged rows predate the shared-file format; they are
+            // stale duplicates of whatever binary wrote them — drop.
+            if t.starts_with('{') && t.contains("\"bench\": \"") && !t.contains(&marker) {
+                kept.push(t.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    kept.extend(
+        rows.iter()
+            .map(|r| r.trim().trim_end_matches(',').to_string()),
+    );
+    let mut out = String::from("[\n");
+    for (i, row) in kept.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(row);
+    }
+    out.push_str("\n]\n");
+    std::fs::write(path, out)
+}
+
 /// Builds the same XMark document in both schemas.
 pub fn build_both(scale: f64, seed: u64) -> (ReadOnlyDoc, PagedDoc, usize) {
     let xml = generate(&XMarkConfig::scaled(scale, seed));

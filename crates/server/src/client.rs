@@ -283,8 +283,10 @@ impl Client {
     /// Server-wide execution statistics: the catalog's aggregated plan
     /// cache, the shared query pool (width, spawn state, steal count,
     /// calibrated per-morsel overhead) and the cumulative executor
-    /// counters — morsel-parallel steps, parallel predicates, and
-    /// vectorized-kernel dispatches — across every session.
+    /// counters — morsel-parallel steps, parallel predicates,
+    /// vectorized-kernel dispatches, multi-predicate steps with their
+    /// posting-list intersection rows, and adaptive replans — across
+    /// every session.
     pub fn stats(&mut self) -> Result<ServerStats> {
         match self.call(&Request::Stats)? {
             Response::Stats { stats } => Ok(stats),

@@ -237,6 +237,14 @@ pub struct ServerStats {
     pub pred_par_steps: u64,
     /// Scan operators dispatched to the vectorized kernel arm.
     pub simd_steps: u64,
+    /// Multi-predicate steps executed (posting-list intersection or a
+    /// cost-rejected fallback arm).
+    pub multi_probe_steps: u64,
+    /// Rows produced by posting-list intersections.
+    pub intersect_rows: u64,
+    /// Multi-predicate strategies recompiled because the recorded
+    /// cardinality feedback diverged (or a replan was forced).
+    pub replans: u64,
     /// Whether this server binary carries compiled vector instructions
     /// (the `simd` feature on a supported target); when `false` the
     /// Simd arm runs its scalar twin.
@@ -714,6 +722,9 @@ impl Response {
                     stats.morsels,
                     stats.pred_par_steps,
                     stats.simd_steps,
+                    stats.multi_probe_steps,
+                    stats.intersect_rows,
+                    stats.replans,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -782,6 +793,9 @@ impl Response {
                     morsels: r.u64()?,
                     pred_par_steps: r.u64()?,
                     simd_steps: r.u64()?,
+                    multi_probe_steps: r.u64()?,
+                    intersect_rows: r.u64()?,
+                    replans: r.u64()?,
                     pool_threads: r.u32()?,
                     pool_spawned: r.u8()? != 0,
                     simd_compiled: r.u8()? != 0,
@@ -911,6 +925,9 @@ mod tests {
                 morsels: 64,
                 pred_par_steps: 3,
                 simd_steps: 12,
+                multi_probe_steps: 5,
+                intersect_rows: 40,
+                replans: 2,
                 simd_compiled: cfg!(feature = "simd"),
             },
         });

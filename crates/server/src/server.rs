@@ -26,6 +26,9 @@ struct EvalCounters {
     morsels: AtomicU64,
     pred_par_steps: AtomicU64,
     simd_steps: AtomicU64,
+    multi_probe_steps: AtomicU64,
+    intersect_rows: AtomicU64,
+    replans: AtomicU64,
 }
 
 impl EvalCounters {
@@ -37,6 +40,11 @@ impl EvalCounters {
             .fetch_add(s.pred_par_steps.get(), Ordering::Relaxed);
         self.simd_steps
             .fetch_add(s.simd_steps.get(), Ordering::Relaxed);
+        self.multi_probe_steps
+            .fetch_add(s.multi_probe_steps.get(), Ordering::Relaxed);
+        self.intersect_rows
+            .fetch_add(s.intersect_rows.get(), Ordering::Relaxed);
+        self.replans.fetch_add(s.replans.get(), Ordering::Relaxed);
     }
 }
 
@@ -463,6 +471,9 @@ fn handle_request(
                     morsels: counters.morsels.load(Ordering::Relaxed),
                     pred_par_steps: counters.pred_par_steps.load(Ordering::Relaxed),
                     simd_steps: counters.simd_steps.load(Ordering::Relaxed),
+                    multi_probe_steps: counters.multi_probe_steps.load(Ordering::Relaxed),
+                    intersect_rows: counters.intersect_rows.load(Ordering::Relaxed),
+                    replans: counters.replans.load(Ordering::Relaxed),
                     simd_compiled: mbxq_xpath::simd_compiled(),
                 },
             })

@@ -362,6 +362,53 @@ pub fn check_paged(doc: &PagedDoc) -> Result<()> {
                 )));
             }
         }
+        // Degree statistics never under-estimate a full scan: for every
+        // key space the maintained (distinct, total, max) figures must
+        // bound the exact values recomputed from the tree — the
+        // contract the pessimistic cardinality estimator relies on
+        // staying true under COW index deltas.
+        {
+            let scan_degrees = |scan: &HashMap<(QnId, String), Vec<u64>>| {
+                let mut per_qn: HashMap<QnId, (u64, u64, u64)> = HashMap::new();
+                for ((qn, _), pres) in scan {
+                    let e = per_qn.entry(*qn).or_default();
+                    e.0 += 1;
+                    e.1 += pres.len() as u64;
+                    e.2 = e.2.max(pres.len() as u64);
+                }
+                per_qn
+            };
+            for (aqn, (distinct, total, max)) in scan_degrees(&attr_scan) {
+                let got = doc
+                    .attr_degree_stats(aqn)
+                    .expect("paged docs maintain a content index");
+                if got.distinct_keys < distinct
+                    || got.total_postings < total
+                    || got.max_postings < max
+                {
+                    return Err(corrupt(format!(
+                        "attr degree stats for qn {} under-estimate: \
+                         {got:?} vs scanned ({distinct}, {total}, {max})",
+                        aqn.0
+                    )));
+                }
+            }
+            for (tqn, (distinct, total, max)) in scan_degrees(&text_scan) {
+                let got = doc
+                    .text_degree_stats(tqn)
+                    .expect("paged docs maintain a content index");
+                if got.distinct_keys < distinct
+                    || got.total_postings < total
+                    || got.max_postings < max
+                {
+                    return Err(corrupt(format!(
+                        "text degree stats for qn {} under-estimate: \
+                         {got:?} vs scanned ({distinct}, {total}, {max})",
+                        tqn.0
+                    )));
+                }
+            }
+        }
     }
 
     // Attribute index points at live nodes and matching rows.

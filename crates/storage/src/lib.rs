@@ -59,7 +59,7 @@ pub use snapshot::ArcCell;
 pub use types::{Kind, NodeId, PageConfig, StorageError, ValueRef};
 pub use update::{DeleteReport, InsertCase, InsertPosition, InsertReport};
 pub use vacuum::VacuumReport;
-pub use values::{xpath_number, NumRange, PropId, QnId, TextProbe, ValuePool};
+pub use values::{xpath_number, DegreeStats, NumRange, PropId, QnId, TextProbe, ValuePool};
 pub use view::{PreChunk, TreeView};
 
 /// Result alias for storage operations.

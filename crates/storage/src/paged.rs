@@ -862,6 +862,14 @@ impl TreeView for PagedDoc {
         Some(self.content_index.text_range_count(qn, range))
     }
 
+    fn attr_degree_stats(&self, attr: QnId) -> Option<crate::values::DegreeStats> {
+        Some(self.content_index.attr_degree_stats(attr))
+    }
+
+    fn text_degree_stats(&self, qn: QnId) -> Option<crate::values::DegreeStats> {
+        Some(self.content_index.text_degree_stats(qn))
+    }
+
     fn pre_chunk(&self, pre: u64, end: u64) -> Option<crate::view::PreChunk<'_>> {
         let total = self.pre_end();
         if pre >= total {

@@ -307,6 +307,14 @@ impl TreeView for ReadOnlyDoc {
         Some(self.content_index.text_range_count(qn, range))
     }
 
+    fn attr_degree_stats(&self, attr: QnId) -> Option<crate::values::DegreeStats> {
+        Some(self.content_index.attr_degree_stats(attr))
+    }
+
+    fn text_degree_stats(&self, qn: QnId) -> Option<crate::values::DegreeStats> {
+        Some(self.content_index.text_degree_stats(qn))
+    }
+
     // Dense encoding: every slot used, so the generic helpers collapse.
     fn next_used_at_or_after(&self, pre: u64) -> Option<u64> {
         if pre < self.pre_end() {

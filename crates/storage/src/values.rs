@@ -415,6 +415,35 @@ impl NumRange {
     }
 }
 
+/// Per-key degree statistics of one content-index key space — the raw
+/// material of the planner's pessimistic cardinality estimator. All
+/// three figures are **upper bounds** under deltas (added entries are
+/// counted in full, tombstones are not subtracted), matching the
+/// count-estimator convention: over-estimating a probe keeps the
+/// multi-predicate chooser conservative as documents skew.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Distinct values keyed under this name (≥ the true count).
+    pub distinct_keys: u64,
+    /// Total postings across all values (≥ the true count).
+    pub total_postings: u64,
+    /// Longest single posting list — the *degree bound*: no probe on
+    /// this key space can return more rows than this for any one value.
+    pub max_postings: u64,
+}
+
+impl DegreeStats {
+    /// Average postings per distinct key, rounded up (1 when empty) —
+    /// the expected-case figure the pessimistic bound is compared to.
+    pub fn avg_postings(&self) -> u64 {
+        if self.distinct_keys == 0 {
+            1
+        } else {
+            self.total_postings.div_ceil(self.distinct_keys)
+        }
+    }
+}
+
 /// Result of an element-text content probe: the `exact` arm is
 /// authoritative (string values match by construction); the `unindexed`
 /// arm lists the name's complex-content elements, which the caller must
@@ -443,6 +472,27 @@ struct ValueBase {
     /// qn → `(number, node)` sorted by number (then node) — only values
     /// that parse under [`xpath_number`].
     numeric: HashMap<QnId, Vec<(f64, u64)>>,
+    /// qn → degree statistics of the exact arm, computed once per base
+    /// rebuild so estimator probes stay O(1) + O(delta).
+    stats: HashMap<QnId, DegreeStats>,
+}
+
+/// Degree statistics of an exact-arm base (one pass per rebuild).
+fn base_degree_stats(
+    exact: &HashMap<QnId, HashMap<String, Vec<u64>>>,
+) -> HashMap<QnId, DegreeStats> {
+    exact
+        .iter()
+        .map(|(&qn, bucket)| {
+            let mut s = DegreeStats::default();
+            for list in bucket.values() {
+                s.distinct_keys += 1;
+                s.total_postings += list.len() as u64;
+                s.max_postings = s.max_postings.max(list.len() as u64);
+            }
+            (qn, s)
+        })
+        .collect()
 }
 
 /// Per-qn overlay. The mutation protocol is remove-then-add: every
@@ -646,7 +696,12 @@ impl ValueIndex {
                 numeric.insert(qn, nums);
             }
         }
-        self.base = Arc::new(ValueBase { exact, numeric });
+        let stats = base_degree_stats(&exact);
+        self.base = Arc::new(ValueBase {
+            exact,
+            numeric,
+            stats,
+        });
     }
 
     /// Entries added/tombstoned since the last compaction (diagnostic).
@@ -657,12 +712,31 @@ impl ValueIndex {
             .sum()
     }
 
+    /// Degree statistics for key space `qn`: the base's precomputed
+    /// figures widened by the delta's `added` entries (each added entry
+    /// may be a new distinct value and may extend the longest list, so
+    /// all three bounds grow by the added count — upper bounds, like
+    /// the probe-count estimators; tombstones are not subtracted).
+    fn degree_stats(&self, qn: QnId) -> DegreeStats {
+        let mut s = self.base.stats.get(&qn).copied().unwrap_or_default();
+        if let Some(d) = self.delta.get(&qn) {
+            let added = d.added.len() as u64;
+            if added > 0 {
+                s.distinct_keys += added;
+                s.total_postings += added;
+                s.max_postings += added;
+            }
+        }
+        s
+    }
+
     /// A clone sharing no storage (the clone-the-world baseline).
     fn deep_clone(&self) -> ValueIndex {
         ValueIndex {
             base: Arc::new(ValueBase {
                 exact: self.base.exact.clone(),
                 numeric: self.base.numeric.clone(),
+                stats: self.base.stats.clone(),
             }),
             delta: self.delta.clone(),
         }
@@ -818,6 +892,26 @@ impl ContentIndex {
         self.texts.count_range(qn, range) + self.complex.count_upper(qn)
     }
 
+    /// Degree statistics of the attribute key space for `@qn`.
+    pub(crate) fn attr_degree_stats(&self, qn: QnId) -> DegreeStats {
+        self.attrs.degree_stats(qn)
+    }
+
+    /// Degree statistics of the element-text key space for name `qn`.
+    /// The name's complex-content elements widen `total` and `max` —
+    /// every text probe returns them as unverified candidates, so they
+    /// bound the probe's cardinality exactly like indexed postings.
+    pub(crate) fn text_degree_stats(&self, qn: QnId) -> DegreeStats {
+        let mut s = self.texts.degree_stats(qn);
+        let complex = self.complex.count_upper(qn);
+        if complex > 0 {
+            s.total_postings += complex;
+            s.max_postings += complex;
+            s.distinct_keys = s.distinct_keys.max(1);
+        }
+        s
+    }
+
     fn complex_pres(&self, qn: QnId, pre_of: impl FnMut(u64) -> Option<u64>) -> Vec<u64> {
         self.complex
             .nodes_by_pre(qn, pre_of)
@@ -962,8 +1056,13 @@ impl ValueIndex {
                 numeric.insert(qn, nums);
             }
         }
+        let stats = base_degree_stats(&exact);
         ValueIndex {
-            base: Arc::new(ValueBase { exact, numeric }),
+            base: Arc::new(ValueBase {
+                exact,
+                numeric,
+                stats,
+            }),
             delta: HashMap::new(),
         }
     }

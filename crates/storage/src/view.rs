@@ -18,7 +18,7 @@
 //! join "to skip over unused tuples quickly" (§3).
 
 use crate::types::{Kind, NodeId, ValueRef};
-use crate::values::{NumRange, PropId, QnId, TextProbe, ValuePool};
+use crate::values::{DegreeStats, NumRange, PropId, QnId, TextProbe, ValuePool};
 
 /// A contiguous run of pre slots exposed as raw column slices — the
 /// batch-kernel view of the pre plane.
@@ -228,6 +228,22 @@ pub trait TreeView: Sync {
     /// [`TreeView::elements_with_text_range`].
     fn elements_with_text_range_count(&self, qn: QnId, range: &NumRange) -> Option<u64> {
         let _ = (qn, range);
+        None
+    }
+
+    /// Degree statistics of the attribute-value key space for `@attr`
+    /// (distinct values, total and max postings — all upper bounds
+    /// under index deltas); `None` without a content index.
+    fn attr_degree_stats(&self, attr: QnId) -> Option<DegreeStats> {
+        let _ = attr;
+        None
+    }
+
+    /// Degree statistics of the element-text key space for name `qn`
+    /// (complex-content candidates included); `None` without a content
+    /// index.
+    fn text_degree_stats(&self, qn: QnId) -> Option<DegreeStats> {
+        let _ = qn;
         None
     }
 

@@ -564,6 +564,22 @@ impl Catalog {
         self.shard_or_err(name)?.query_nodes_opts(text, opts)
     }
 
+    /// One document's feedback-annotated physical plan for `text` (see
+    /// [`Shard::explain_query`]).
+    pub fn explain_query(&self, name: &str, text: &str) -> Result<String> {
+        self.shard_or_err(name)?.explain_query(text)
+    }
+
+    /// One document's recorded multi-predicate feedback for `text` (see
+    /// [`Shard::plan_feedback`]).
+    pub fn plan_feedback(
+        &self,
+        name: &str,
+        text: &str,
+    ) -> Result<Option<Vec<mbxq_xpath::StepFeedback>>> {
+        Ok(self.shard_or_err(name)?.plan_feedback(text))
+    }
+
     /// Evaluates `text` against **every** document, in parallel over the
     /// shared worker pool when it exists, and merges the results in
     /// (document, document-order): documents appear in creation order,

@@ -404,6 +404,35 @@ mod tests {
         )
     }
 
+    /// The plan cache's adaptive memory: an Auto query records
+    /// estimated-vs-observed cardinality for its multi-predicate step,
+    /// the annotated explain renders it, later queries reuse the entry
+    /// (same feedback store), and a vacuum's epoch bump discards the
+    /// observations together with the compiled plan.
+    #[test]
+    fn plan_cache_feedback_and_annotated_explain() {
+        let s = store(AncestorLockMode::Delta);
+        let q = "//person[@id = \"p0\"][name = \"Ann\"]";
+        assert!(s.plan_feedback(q).is_none(), "never compiled yet");
+        let v = s.query(q).unwrap();
+        let fb = s.plan_feedback(q).unwrap();
+        assert_eq!(fb.len(), 1, "one multi-predicate step");
+        assert_eq!(fb[0].observed, 1);
+        assert!(fb[0].estimated >= fb[0].observed, "bound is pessimistic");
+        let annotated = s.explain_query(q).unwrap();
+        assert!(annotated.contains("multi-probe"), "{annotated}");
+        assert!(annotated.contains("cardinality est≈"), "{annotated}");
+        assert!(annotated.contains("obs=1"), "{annotated}");
+        let v2 = s.query(q).unwrap();
+        assert_eq!(v, v2);
+        assert!(s.plan_cache_stats().hits >= 1);
+        s.vacuum().unwrap();
+        assert!(
+            s.plan_feedback(q).is_none(),
+            "vacuum must invalidate the entry and its observations"
+        );
+    }
+
     #[test]
     fn commit_becomes_visible_atomically() {
         let s = store(AncestorLockMode::Delta);

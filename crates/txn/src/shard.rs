@@ -100,6 +100,12 @@ struct PlanCache {
 struct CachedPlan {
     epoch: u64,
     plan: Arc<XPath>,
+    /// Adaptive-execution memory for this entry: estimated vs observed
+    /// cardinality per multi-predicate step, written by every Auto
+    /// evaluation and consulted by the next one (see
+    /// [`mbxq_xpath::ReplanMode`]). Dies with the entry, so a vacuum's
+    /// epoch bump discards the observations along with the plan.
+    feedback: Arc<mbxq_xpath::PlanFeedback>,
     /// [`PlanCache::tick`] of the most recent use (LRU victim choice).
     last_used: u64,
 }
@@ -397,9 +403,9 @@ impl Shard {
         text: &str,
         opts: &mbxq_xpath::EvalOptions<'_>,
     ) -> Result<mbxq_xpath::Value> {
-        let plan = self.cached_plan(text)?;
+        let (plan, feedback) = self.cached_plan(text)?;
         let root: Vec<u64> = snapshot.root_pre().into_iter().collect();
-        let opts = self.inject_pool(*opts);
+        let opts = self.inject_pool(*opts).or_feedback(&feedback);
         Ok(plan.eval_opts(snapshot, &root, &opts)?)
     }
 
@@ -412,8 +418,8 @@ impl Shard {
         text: &str,
         opts: &mbxq_xpath::EvalOptions<'_>,
     ) -> Result<Vec<NodeId>> {
-        let plan = self.cached_plan(text)?;
-        let opts = self.inject_pool(*opts);
+        let (plan, feedback) = self.cached_plan(text)?;
+        let opts = self.inject_pool(*opts).or_feedback(&feedback);
         let pres = plan.select_from_root_opts(snapshot, &opts)?;
         pres.iter()
             .map(|&p| snapshot.pre_to_node(p).map_err(TxnError::from))
@@ -453,7 +459,7 @@ impl Shard {
     /// cache evicts **single entries, least-recently-used first** (a
     /// stale-epoch entry is preferred as the victim — it can never hit
     /// again), so a hot query survives any storm of one-shot texts.
-    fn cached_plan(&self, text: &str) -> Result<Arc<XPath>> {
+    fn cached_plan(&self, text: &str) -> Result<(Arc<XPath>, Arc<mbxq_xpath::PlanFeedback>)> {
         let epoch = self.layout_epoch();
         {
             let mut plans = self.plans.lock().unwrap();
@@ -463,7 +469,7 @@ impl Shard {
                 if entry.epoch == epoch {
                     entry.last_used = tick;
                     self.plan_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(entry.plan.clone());
+                    return Ok((entry.plan.clone(), entry.feedback.clone()));
                 }
             }
         }
@@ -492,15 +498,40 @@ impl Shard {
         }
         plans.tick += 1;
         let tick = plans.tick;
+        let feedback = Arc::new(mbxq_xpath::PlanFeedback::new());
         plans.map.insert(
             text.to_string(),
             CachedPlan {
                 epoch,
                 plan: plan.clone(),
+                feedback: feedback.clone(),
                 last_used: tick,
             },
         );
-        Ok(plan)
+        Ok((plan, feedback))
+    }
+
+    /// The recorded multi-predicate feedback for a cached query text:
+    /// estimated vs observed candidate cardinality per step, in
+    /// execution order. `None` when the text was never compiled (or its
+    /// entry was evicted / epoch-invalidated).
+    pub fn plan_feedback(&self, text: &str) -> Option<Vec<mbxq_xpath::StepFeedback>> {
+        let epoch = self.layout_epoch();
+        let plans = self.plans.lock().unwrap();
+        let entry = plans.map.get(text)?;
+        if entry.epoch != epoch {
+            return None;
+        }
+        Some(entry.feedback.snapshot())
+    }
+
+    /// Explains the compiled physical plan for `text`, annotated with
+    /// this shard's recorded estimated-vs-observed cardinalities for
+    /// every multi-predicate step (compiling and caching the plan if
+    /// needed) — the adaptive-execution introspection surface.
+    pub fn explain_query(&self, text: &str) -> Result<String> {
+        let (plan, feedback) = self.cached_plan(text)?;
+        Ok(plan.explain_physical_annotated(&feedback.snapshot()))
     }
 
     /// Plan-cache counters.

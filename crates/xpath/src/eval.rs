@@ -17,12 +17,16 @@ use crate::ast::{ArithOp, CmpOp};
 use crate::par::{self, ParChoice, WorkerPool};
 use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
 use crate::plan::{ValueCmp, ValuePred, ValueSource};
-use crate::{AxisChoice, Bindings, EvalStats, Result, ValueChoice, XPathError};
-use mbxq_axes::{
-    descendant_scan_ranges, exists_step, in_range_mask, range_semijoin, scan_ranges_arm,
-    simd_compiled, step_lifted_with, Axis, ContextSeq, KernelArm, NodeTest,
+use crate::{
+    AxisChoice, Bindings, EvalStats, MultiChoice, MultiStrategy, PlanFeedback, ReplanMode, Result,
+    StepFeedback, ValueChoice, XPathError,
 };
-use mbxq_storage::{QnId, TreeView};
+use mbxq_axes::{
+    descendant_scan_ranges, exists_step, in_range_mask, intersect_sorted, range_semijoin,
+    scan_ranges_arm, simd_compiled, step_lifted_with, Axis, ContextSeq, KernelArm, NodeTest,
+};
+use mbxq_storage::{DegreeStats, QnId, TreeView};
+use std::cell::Cell;
 use std::sync::Mutex;
 
 /// An XPath 1.0 value.
@@ -673,6 +677,12 @@ pub(crate) struct Exec<'a, V: TreeView + ?Sized> {
     pub(crate) threads: usize,
     pub(crate) morsel_rows: usize,
     pub(crate) kernel: KernelArm,
+    pub(crate) multi_choice: MultiChoice,
+    pub(crate) replan: ReplanMode,
+    pub(crate) feedback: Option<&'a PlanFeedback>,
+    /// Execution-order index of the next multi-predicate step — the
+    /// key into the [`PlanFeedback`] store.
+    pub(crate) multi_seq: Cell<usize>,
 }
 
 impl<V: TreeView + ?Sized> Exec<'_, V> {
@@ -1083,6 +1093,16 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             } => {
                 let ctx = self.rel_nodes(input, d)?;
                 self.value_probe_step(&ctx, *axis, test, pred)
+                    .map(RelOut::Nodes)
+            }
+            PhysRel::MultiProbe {
+                input,
+                axis,
+                test,
+                preds,
+            } => {
+                let ctx = self.rel_nodes(input, d)?;
+                self.multi_probe_step(&ctx, *axis, test, preds)
                     .map(RelOut::Nodes)
             }
             PhysRel::Union { left, right } => {
@@ -1515,6 +1535,28 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
     /// fractional).
     fn index_cheaper(&self, ctx: &ContextSeq, axis: Axis, k: u64) -> bool {
         let _ = axis;
+        let fanout = self.fanout() as u64;
+        // Both arms pay per-context-node fixed work — the probe its two
+        // binary searches, the staircase its horizon/cursor bookkeeping
+        // — so both sides carry the same 8-per-node charge and the
+        // comparison reduces to posting-list length vs scan volume.
+        // (The seed model charged only the index arm, which made tiny
+        // staircase steps look free and cost q15_deep_path ~2x.)
+        let per_node = (ctx.len() as u64) * 8 * 4;
+        let index_cost = k * 4 + per_node;
+        // Early-out cap: once the *parallel-adjusted* scan estimate
+        // already dwarfs the probe we can stop summing subtree sizes.
+        let cap = index_cost.saturating_mul(2).saturating_mul(fanout);
+        index_cost < self.scan_units(ctx, cap)
+    }
+
+    /// The scan side of the cost model: Σ (context subtree size + 1)
+    /// slots at the kernel arm's per-slot weight, plus the per-node
+    /// charge, adjusted to the parallel shape when the pool would split
+    /// the scan. Summation stops early once the running estimate
+    /// clears `cap` — callers only compare against costs at or below
+    /// it, so "bigger than cap" is as good as the exact figure.
+    fn scan_units(&self, ctx: &ContextSeq, cap: u64) -> u64 {
         // Per-slot scan weight by kernel throughput class, in x4
         // fixed-point. The scalar value keeps the pre-vectorization
         // calibration (8 = the old weight 2: a tight columnar loop
@@ -1531,23 +1573,12 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
             8
         };
         let fanout = self.fanout() as u64;
-        // Both arms pay per-context-node fixed work — the probe its two
-        // binary searches, the staircase its horizon/cursor bookkeeping
-        // — so both sides carry the same 8-per-node charge and the
-        // comparison reduces to posting-list length vs scan volume.
-        // (The seed model charged only the index arm, which made tiny
-        // staircase steps look free and cost q15_deep_path ~2x.)
-        let per_node = (ctx.len() as u64) * 8 * 4;
-        let mut scan_cost: u64 = per_node;
-        let index_cost = k * 4 + per_node;
-        // Early-out cap: once the *parallel-adjusted* scan estimate
-        // already dwarfs the probe we can stop summing subtree sizes.
-        let cap = index_cost.saturating_mul(2).saturating_mul(fanout);
+        let mut scan_cost: u64 = (ctx.len() as u64) * 8 * 4;
         for &c in &ctx.pres {
             scan_cost =
                 scan_cost.saturating_add((self.view.size(c) + 1).saturating_mul(scan_weight));
             if scan_cost > cap {
-                return true;
+                return scan_cost;
             }
         }
         if fanout >= 2 {
@@ -1563,7 +1594,7 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                 scan_cost = scan_cost / fanout + fixed_ns.saturating_mul(8);
             }
         }
-        index_cost < scan_cost
+        scan_cost
     }
 
     fn count_step(&self, index: bool) {
@@ -1738,14 +1769,22 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
         if cands.is_empty() {
             return cands;
         }
+        let keep = self.value_pred_mask(&cands.pres, pred);
+        cands.retain_rows(&keep)
+    }
+
+    /// Per-candidate verification of one recognized value predicate:
+    /// `keep[i]` iff the node at `pres[i]` satisfies `pred`. The
+    /// columnar half of the scan arm and the residual-verify pass of
+    /// multi-predicate steps.
+    fn value_pred_mask(&self, pres: &[u64], pred: &ValuePred) -> Vec<bool> {
         let pool = self.view.pool();
-        let keep: Vec<bool> = match (&pred.source, &pred.cmp) {
+        match (&pred.source, &pred.cmp) {
             // Numeric range tests gather the parsed values into one
             // f64 column and run the chunk kernel's range mask over it
             // (two lanes per compare under the vector arm).
             (ValueSource::SelfValue, ValueCmp::InRange(r)) => {
-                let vals: Vec<f64> = cands
-                    .pres
+                let vals: Vec<f64> = pres
                     .iter()
                     .map(|&p| str_to_number(&self.view.string_value(p)))
                     .collect();
@@ -1755,13 +1794,12 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                 keep
             }
             (ValueSource::Attr(a), ValueCmp::InRange(r)) => match pool.lookup_qname(a) {
-                None => vec![false; cands.len()],
+                None => vec![false; pres.len()],
                 Some(aqn) => {
                     // A missing or unparsable attribute becomes NaN,
                     // which fails every range compare — the columnar
                     // twin of "no attribute → no match".
-                    let vals: Vec<f64> = cands
-                        .pres
+                    let vals: Vec<f64> = pres
                         .iter()
                         .map(|&p| {
                             attr_value(self.view, p, aqn).map_or(f64::NAN, |v| str_to_number(&v))
@@ -1773,15 +1811,13 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                     keep
                 }
             },
-            (ValueSource::SelfValue, _) => cands
-                .pres
+            (ValueSource::SelfValue, _) => pres
                 .iter()
                 .map(|&p| self.string_value_matches(p, &pred.cmp))
                 .collect(),
             (ValueSource::Attr(a), _) => match pool.lookup_qname(a) {
-                None => vec![false; cands.len()],
-                Some(aqn) => cands
-                    .pres
+                None => vec![false; pres.len()],
+                Some(aqn) => pres
                     .iter()
                     .map(|&p| {
                         attr_value(self.view, p, aqn).is_some_and(|v| cmp_value(&v, &pred.cmp))
@@ -1789,9 +1825,8 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                     .collect(),
             },
             (ValueSource::Child(c), _) => match pool.lookup_qname(c) {
-                None => vec![false; cands.len()],
-                Some(cqn) => cands
-                    .pres
+                None => vec![false; pres.len()],
+                Some(cqn) => pres
                     .iter()
                     .map(|&p| {
                         mbxq_axes::children(self.view, p)
@@ -1800,8 +1835,7 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                     })
                     .collect(),
             },
-        };
-        cands.retain_rows(&keep)
+        }
     }
 
     fn count_value_step(&self, probe: bool) {
@@ -1814,6 +1848,298 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                 stats.value_scan_steps.set(stats.value_scan_steps.get() + 1);
             }
         }
+    }
+
+    // -- multi-predicate steps -----------------------------------------
+
+    /// Cost units (0.125 ns each) to verify one residual predicate
+    /// against one candidate node: an attribute/child lookup plus a
+    /// string or parsed-number compare, ≈ 50 ns. Far below the general
+    /// predicate-row charge (`PRED_ROW_NS_X10`) because a recognized
+    /// value predicate skips the whole lifted-expression machinery.
+    const VERIFY_ROW_UNITS: u64 = 400;
+
+    /// Cost units to materialize one posting row of a candidate list:
+    /// the index walk (range gathers touch a key run, point lookups
+    /// copy a posting vector, both merge COW deltas) plus the sort
+    /// guarantee, ≈ 35 ns measured on the `multi_pred` corpus. Close
+    /// enough to [`Exec::VERIFY_ROW_UNITS`] that a list longer than
+    /// ~1.4x the running candidate bound stays out of the
+    /// intersection prefix — materializing it would cost more than
+    /// verifying its predicate per candidate.
+    const MATERIALIZE_ROW_UNITS: u64 = 280;
+
+    /// Pessimistic cardinality bound for one recognized predicate: the
+    /// content index's posting estimate capped by the per-index degree
+    /// statistics — `max_postings` for a point predicate can never be
+    /// exceeded by any single key, `total_postings` bounds any range.
+    /// Both figures stay upper bounds under COW index deltas, so the
+    /// bound errs large, never small (the Sidorenko-style pessimistic
+    /// guarantee: a plan ranked safe is safe). An `observed` list
+    /// length recorded by a previous execution overrides the
+    /// statistics — replans correct from evidence, not re-guesses.
+    fn multi_pred_bound(&self, test: &NodeTest, pred: &ValuePred, observed: Option<u64>) -> u64 {
+        if let Some(n) = observed {
+            return n;
+        }
+        self.value_probe_estimate(test, pred)
+            .min(self.degree_cap(test, pred))
+    }
+
+    /// The degree-statistics half of [`Exec::multi_pred_bound`];
+    /// `u64::MAX` when the view keeps no statistics for the source.
+    fn degree_cap(&self, test: &NodeTest, pred: &ValuePred) -> u64 {
+        fn cap_of(stats: DegreeStats, cmp: &ValueCmp) -> u64 {
+            match cmp {
+                ValueCmp::Eq(_) => stats.max_postings,
+                ValueCmp::InRange(_) => stats.total_postings,
+            }
+        }
+        let pool = self.view.pool();
+        let name = match &pred.source {
+            ValueSource::Attr(a) => {
+                return pool
+                    .lookup_qname(a)
+                    .and_then(|q| self.view.attr_degree_stats(q))
+                    .map_or(u64::MAX, |s| cap_of(s, &pred.cmp))
+            }
+            ValueSource::SelfValue => match test {
+                NodeTest::Name(t) => t,
+                _ => return u64::MAX,
+            },
+            ValueSource::Child(c) => c,
+        };
+        pool.lookup_qname(name)
+            .and_then(|q| self.view.text_degree_stats(q))
+            .map_or(u64::MAX, |s| cap_of(s, &pred.cmp))
+    }
+
+    /// The join-order search for one multi-predicate step. Predicates
+    /// are ranked ascending by their pessimistic bound; the
+    /// intersection prefix then grows greedily — the next-ranked list
+    /// joins while materializing it (its postings plus the galloping
+    /// probes into it) costs less than verifying the running candidate
+    /// bound against its predicate per node. A hot-key list (skew: one
+    /// key holding most postings) ranks last and fails that test, so
+    /// the search steers around the bad intersection order by
+    /// construction. The winning probe shape then competes with the
+    /// scalar scan on the same unit scale as [`Exec::index_cheaper`].
+    /// Returns the strategy and the pessimistic bound on candidate
+    /// rows (the minimum over every predicate's bound — intersection
+    /// and residual verification only shrink the set).
+    fn choose_multi(
+        &self,
+        choice: MultiChoice,
+        ctx: &ContextSeq,
+        test: &NodeTest,
+        preds: &[ValuePred],
+        pred_obs: &[Option<u64>],
+    ) -> (MultiStrategy, u64) {
+        let bounds: Vec<u64> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| self.multi_pred_bound(test, p, pred_obs.get(i).copied().flatten()))
+            .collect();
+        let mut order: Vec<usize> = (0..preds.len()).collect();
+        order.sort_by_key(|&i| bounds[i]);
+        let est = bounds[order[0]];
+        match choice {
+            MultiChoice::ForceScan => return (MultiStrategy::Scan, est),
+            MultiChoice::ForceBestProbe => return (MultiStrategy::Probe(vec![order[0]]), est),
+            MultiChoice::ForceIntersect => return (MultiStrategy::Probe(order), est),
+            MultiChoice::Auto => {}
+        }
+        let mut prefix = vec![order[0]];
+        let mut bound = est;
+        let mut probe_cost = est.saturating_mul(Self::MATERIALIZE_ROW_UNITS);
+        for &j in &order[1..] {
+            let k = bounds[j];
+            // Galloping probes: the running candidate set binary-walks
+            // the next list, ~log2(k) touches per candidate.
+            let gallop = 64 - k.max(2).leading_zeros() as u64;
+            let materialize = k
+                .saturating_mul(Self::MATERIALIZE_ROW_UNITS)
+                .saturating_add(bound.saturating_mul(gallop * 4));
+            let verify = bound.saturating_mul(Self::VERIFY_ROW_UNITS);
+            if materialize < verify {
+                prefix.push(j);
+                probe_cost = probe_cost.saturating_add(materialize);
+                bound = bound.min(k);
+            } else {
+                probe_cost = probe_cost.saturating_add(verify);
+            }
+        }
+        let per_node = (ctx.len() as u64) * 8 * 4;
+        let index_cost = probe_cost.saturating_add(per_node);
+        let cap = index_cost
+            .saturating_mul(2)
+            .saturating_mul(self.fanout() as u64);
+        if index_cost < self.scan_units(ctx, cap) {
+            (MultiStrategy::Probe(prefix), bound)
+        } else {
+            (MultiStrategy::Scan, bound)
+        }
+    }
+
+    /// One multi-predicate step (`PhysRel::MultiProbe`): decide a
+    /// strategy (reused from plan feedback, replanned, or derived
+    /// fresh — see [`crate::ReplanMode`]), execute it, and record the
+    /// estimated-vs-observed candidate cardinality back into the
+    /// feedback store.
+    fn multi_probe_step(
+        &self,
+        ctx: &ContextSeq,
+        axis: Axis,
+        test: &NodeTest,
+        preds: &[ValuePred],
+    ) -> Result<ContextSeq> {
+        let seq = self.multi_seq.get();
+        self.multi_seq.set(seq + 1);
+        if ctx.is_empty() {
+            return Ok(ContextSeq::new());
+        }
+        if let Some(stats) = self.stats {
+            stats
+                .multi_probe_steps
+                .set(stats.multi_probe_steps.get() + 1);
+        }
+        let recorded = self.feedback.and_then(|f| f.step(seq));
+        // The per-step value override composes: forcing the scalar scan
+        // or the index probe for single-predicate steps forces the
+        // matching multi-predicate arm too, so the existing scan/probe
+        // ablation harnesses stay meaningful on multi-pred queries.
+        let choice = match (self.multi_choice, self.value_choice) {
+            (MultiChoice::Auto, ValueChoice::ForceScan) => MultiChoice::ForceScan,
+            (MultiChoice::Auto, ValueChoice::ForceProbe) => MultiChoice::ForceIntersect,
+            (m, _) => m,
+        };
+        let mut replanned = false;
+        let (strategy, estimated) = if !self.view.has_content_index() {
+            // No index: every arm degenerates to the scan.
+            (MultiStrategy::Scan, 0)
+        } else if choice != MultiChoice::Auto {
+            self.choose_multi(choice, ctx, test, preds, &[])
+        } else {
+            match (&recorded, self.replan) {
+                (Some(r), ReplanMode::Skip) => (r.strategy.clone(), r.estimated),
+                (Some(r), ReplanMode::Default) if !r.diverged() => {
+                    (r.strategy.clone(), r.estimated)
+                }
+                (Some(r), ReplanMode::Default) => {
+                    replanned = true;
+                    self.choose_multi(choice, ctx, test, preds, &r.pred_lists)
+                }
+                (Some(_), ReplanMode::Force) => {
+                    replanned = true;
+                    self.choose_multi(choice, ctx, test, preds, &[])
+                }
+                (None, _) => self.choose_multi(choice, ctx, test, preds, &[]),
+            }
+        };
+        if replanned {
+            if let Some(stats) = self.stats {
+                stats.replans.set(stats.replans.get() + 1);
+            }
+        }
+        let mut pred_lists: Vec<Option<u64>> = vec![None; preds.len()];
+        let observed;
+        let out = match &strategy {
+            MultiStrategy::Scan => {
+                let step_strategy = match test {
+                    NodeTest::Name(n) => StepStrategy::Cost(n.clone()),
+                    _ => StepStrategy::Staircase,
+                };
+                let mut cands = self.step_relation(ctx, axis, test, &step_strategy);
+                for pred in preds {
+                    if cands.is_empty() {
+                        break;
+                    }
+                    let keep = self.value_pred_mask(&cands.pres, pred);
+                    cands = cands.retain_rows(&keep);
+                }
+                // The scan produces context-joined rows directly, so
+                // "observed" counts result rows here — still a valid
+                // lower-bound signal for the document-wide estimate.
+                observed = cands.len() as u64;
+                cands
+            }
+            MultiStrategy::Probe(prefix) => {
+                let lists: Vec<Vec<u64>> = prefix
+                    .iter()
+                    .map(|&i| {
+                        let l = self.value_probe_candidates(test, &preds[i]);
+                        pred_lists[i] = Some(l.len() as u64);
+                        l
+                    })
+                    .collect();
+                let mut cands: Vec<u64> = if lists.len() == 1 {
+                    lists.into_iter().next().unwrap()
+                } else {
+                    let refs: Vec<&[u64]> = lists.iter().map(Vec::as_slice).collect();
+                    self.note_simd();
+                    let inter = intersect_sorted(&refs, self.kernel);
+                    if let Some(stats) = self.stats {
+                        stats
+                            .intersect_rows
+                            .set(stats.intersect_rows.get() + inter.len() as u64);
+                    }
+                    inter
+                };
+                // Residual verification: predicates outside the
+                // intersection prefix, applied per candidate.
+                for (i, pred) in preds.iter().enumerate() {
+                    if prefix.contains(&i) || cands.is_empty() {
+                        continue;
+                    }
+                    let keep = self.value_pred_mask(&cands, pred);
+                    let mut kept = Vec::with_capacity(cands.len());
+                    for (idx, &p) in cands.iter().enumerate() {
+                        if keep[idx] {
+                            kept.push(p);
+                        }
+                    }
+                    cands = kept;
+                }
+                observed = cands.len() as u64;
+                self.semijoin_rel(ctx, &cands, axis)
+            }
+        };
+        if let Some(f) = self.feedback {
+            // Forced arms are ablation probes; only Auto executions
+            // may teach the cached plan.
+            if choice == MultiChoice::Auto {
+                if let Some(r) = &recorded {
+                    // Keep evidence from earlier runs for lists this
+                    // execution did not materialize.
+                    for (slot, old) in pred_lists.iter_mut().zip(&r.pred_lists) {
+                        if slot.is_none() {
+                            *slot = *old;
+                        }
+                    }
+                }
+                // A replan that re-derives the same strategy from
+                // observed evidence has learned everything the model
+                // can offer: the remaining estimate-vs-observed gap is
+                // the conjunction's real selectivity, not a
+                // mis-estimate. Record the observation as the new
+                // estimate so the step stops replanning (and resumes
+                // only if the document shifts the observation again).
+                let confirmed = replanned
+                    && recorded
+                        .as_ref()
+                        .is_some_and(|r| r.strategy == strategy && r.estimated == estimated);
+                f.record(
+                    seq,
+                    StepFeedback {
+                        estimated: if confirmed { observed } else { estimated },
+                        observed,
+                        strategy,
+                        pred_lists,
+                    },
+                );
+            }
+        }
+        Ok(out)
     }
 
     fn probe(&self, name: &mbxq_xml::QName) -> Option<Vec<u64>> {
@@ -1936,6 +2262,12 @@ impl<V: TreeView + ?Sized> Exec<'_, V> {
                 threads: 1,
                 morsel_rows: 0,
                 kernel,
+                // Morsels evaluate predicate scalars only; a MultiProbe
+                // step never nests inside one.
+                multi_choice: MultiChoice::Auto,
+                replan: ReplanMode::Default,
+                feedback: None,
+                multi_seq: Cell::new(0),
             };
             let out = sub.pred_flags_range(pred, nodes, positions, start, end);
             results.lock().unwrap().push((m, out, private));

@@ -9,6 +9,7 @@
 
 use crate::physical::{PhysPred, PhysRel, PhysScalar, StepStrategy};
 use crate::plan::{AggKind, Pred, Rel, Scalar, ValueCmp, ValuePred, ValueSource};
+use crate::{MultiStrategy, StepFeedback};
 use mbxq_axes::{Axis, NodeTest};
 use std::fmt::Write as _;
 
@@ -58,11 +59,14 @@ fn value_pred_label(pred: &ValuePred) -> String {
     }
 }
 
-struct Printer {
+struct Printer<'a> {
     out: String,
+    /// Recorded multi-predicate feedback, indexed by execution order
+    /// (set only by [`physical_annotated`]).
+    feedback: Option<&'a [StepFeedback]>,
 }
 
-impl Printer {
+impl Printer<'_> {
     fn line(&mut self, depth: usize, label: &str) {
         for _ in 0..depth {
             self.out.push_str("  ");
@@ -77,7 +81,10 @@ impl Printer {
 
 /// Renders a logical plan.
 pub fn logical(s: &Scalar) -> String {
-    let mut p = Printer { out: String::new() };
+    let mut p = Printer {
+        out: String::new(),
+        feedback: None,
+    };
     scalar(&mut p, s, 0);
     p.out
 }
@@ -216,6 +223,23 @@ fn rel(p: &mut Printer, r: &Rel, d: usize) {
             );
             rel(p, input, d + 1);
         }
+        Rel::MultiProbe {
+            input,
+            axis,
+            test,
+            preds,
+        } => {
+            let labels: String = preds.iter().map(value_pred_label).collect();
+            p.line(
+                d,
+                &format!(
+                    "multi-probe {}::{}{labels}",
+                    axis_name(*axis),
+                    test_name(test),
+                ),
+            );
+            rel(p, input, d + 1);
+        }
         Rel::Semijoin { input, probe, axis } => {
             p.line(d, &format!("semijoin {}", axis_name(*axis)));
             rel(p, probe, d + 1);
@@ -244,9 +268,94 @@ fn rel(p: &mut Printer, r: &Rel, d: usize) {
 
 /// Renders a physical plan, strategy slots included.
 pub fn physical(s: &PhysScalar) -> String {
-    let mut p = Printer { out: String::new() };
+    let mut p = Printer {
+        out: String::new(),
+        feedback: None,
+    };
     phys_scalar(&mut p, s, 0);
     p.out
+}
+
+/// Renders a physical plan with each multi-predicate step annotated by
+/// its recorded estimated-vs-observed cardinality and the strategy that
+/// ran (from a [`crate::PlanFeedback`] snapshot, indexed by execution
+/// order — inputs execute before the steps consuming them, so a step's
+/// index is the number of multi-probe operators below it).
+pub fn physical_annotated(s: &PhysScalar, feedback: &[StepFeedback]) -> String {
+    let mut p = Printer {
+        out: String::new(),
+        feedback: Some(feedback),
+    };
+    phys_scalar(&mut p, s, 0);
+    p.out
+}
+
+/// `scalar-scan` / `probe(#i)` / `intersect(#i ∩ #j …)` rendering of a
+/// recorded [`MultiStrategy`].
+fn multi_strategy_label(s: &MultiStrategy) -> String {
+    match s {
+        MultiStrategy::Scan => "scalar-scan".into(),
+        MultiStrategy::Probe(order) if order.len() == 1 => format!("probe(#{})", order[0]),
+        MultiStrategy::Probe(order) => {
+            let joined: Vec<String> = order.iter().map(|i| format!("#{i}")).collect();
+            format!("intersect({})", joined.join(" ∩ "))
+        }
+    }
+}
+
+/// Multi-probe operators in the subtree under `r` — the execution-order
+/// index of the operator directly above it (every input runs first).
+fn count_multi_rel(r: &PhysRel) -> usize {
+    match r {
+        PhysRel::Context | PhysRel::Root | PhysRel::NameProbe { .. } => 0,
+        PhysRel::Step { input, preds, .. } => {
+            let nested: usize = preds
+                .iter()
+                .map(|pr| match pr {
+                    PhysPred::Expr(s) => count_multi_scalar(s),
+                    _ => 0,
+                })
+                .sum();
+            count_multi_rel(input) + nested
+        }
+        PhysRel::GroupFilter { input, preds } => {
+            let nested: usize = preds
+                .iter()
+                .map(|pr| match pr {
+                    PhysPred::Expr(s) => count_multi_scalar(s),
+                    _ => 0,
+                })
+                .sum();
+            count_multi_rel(input) + nested
+        }
+        PhysRel::AttrStep { input, .. } => count_multi_rel(input),
+        PhysRel::Filter { input, pred } => count_multi_rel(input) + count_multi_scalar(pred),
+        PhysRel::ValueProbe { input, .. } => count_multi_rel(input),
+        PhysRel::MultiProbe { input, .. } => count_multi_rel(input) + 1,
+        PhysRel::Semijoin { input, probe, .. } => count_multi_rel(input) + count_multi_rel(probe),
+        PhysRel::Union { left, right } => count_multi_rel(left) + count_multi_rel(right),
+        PhysRel::FromValue { value } => count_multi_scalar(value),
+        PhysRel::Const(inner) => count_multi_rel(inner),
+        PhysRel::Unsupported { .. } => 0,
+    }
+}
+
+fn count_multi_scalar(s: &PhysScalar) -> usize {
+    match s {
+        PhysScalar::Literal(_) | PhysScalar::Number(_) | PhysScalar::Var(_) => 0,
+        PhysScalar::Or(a, b) | PhysScalar::And(a, b) => {
+            count_multi_scalar(a) + count_multi_scalar(b)
+        }
+        PhysScalar::Compare(_, a, b) | PhysScalar::Arith(_, a, b) => {
+            count_multi_scalar(a) + count_multi_scalar(b)
+        }
+        PhysScalar::Neg(e) | PhysScalar::Const(e) => count_multi_scalar(e),
+        PhysScalar::Call(_, args) => args.iter().map(count_multi_scalar).sum(),
+        PhysScalar::Count(r)
+        | PhysScalar::Sum(r)
+        | PhysScalar::Exists(r)
+        | PhysScalar::Nodes(r) => count_multi_rel(r),
+    }
 }
 
 fn phys_scalar(p: &mut Printer, s: &PhysScalar, d: usize) {
@@ -390,6 +499,48 @@ fn phys_rel(p: &mut Printer, r: &PhysRel, d: usize) {
                     value_pred_label(pred)
                 ),
             );
+            phys_rel(p, input, d + 1);
+        }
+        PhysRel::MultiProbe {
+            input,
+            axis,
+            test,
+            preds,
+        } => {
+            p.line(
+                d,
+                &format!(
+                    "multi-probe {}::{} [cost-chosen: scalar-scan vs best-probe vs intersect]",
+                    axis_name(*axis),
+                    test_name(test),
+                ),
+            );
+            for (i, pred) in preds.iter().enumerate() {
+                let mut label = format!("pred #{i} {}", value_pred_label(pred));
+                if let Some(fb) = p.feedback {
+                    let seq = count_multi_rel(input);
+                    if let Some(Some(n)) = fb.get(seq).and_then(|s| s.pred_lists.get(i)) {
+                        let _ = write!(label, " — postings={n}");
+                    }
+                }
+                p.line(d + 1, &label);
+            }
+            if let Some(fb) = p.feedback {
+                let seq = count_multi_rel(input);
+                match fb.get(seq) {
+                    Some(s) => p.line(
+                        d + 1,
+                        &format!(
+                            "cardinality est≈{} obs={} via {}{}",
+                            s.estimated,
+                            s.observed,
+                            multi_strategy_label(&s.strategy),
+                            if s.diverged() { " (diverged)" } else { "" },
+                        ),
+                    ),
+                    None => p.line(d + 1, "cardinality not yet observed"),
+                }
+            }
             phys_rel(p, input, d + 1);
         }
         PhysRel::Semijoin { input, probe, axis } => {

@@ -181,6 +181,141 @@ pub enum ValueChoice {
     ForceProbe,
 }
 
+/// Which arm multi-predicate steps ([`physical::PhysRel::MultiProbe`])
+/// execute. [`MultiChoice::Auto`] runs the join-order search: rank the
+/// predicates by their pessimistic degree-bound cardinality estimate,
+/// grow the intersection prefix greedily while materializing the next
+/// posting list is cheaper than verifying it per candidate, and compare
+/// the result against the scalar scan. The forced arms exist for the
+/// `multi_pred` ablation benchmark and the oracle tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MultiChoice {
+    /// Per-step cost decision from live statistics (the default).
+    #[default]
+    Auto,
+    /// Always the scalar scan (step + per-candidate evaluation).
+    ForceScan,
+    /// Always probe the single cheapest predicate and verify the rest
+    /// per candidate (no intersection).
+    ForceBestProbe,
+    /// Always intersect every predicate's posting list (ranked order).
+    ForceIntersect,
+}
+
+/// When a cached plan's multi-predicate strategy is re-derived from
+/// live statistics — the adaptive-replan policy threaded through
+/// [`EvalOptions::replan`] and recorded in a [`PlanFeedback`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplanMode {
+    /// Reuse the recorded strategy while its estimated cardinality
+    /// tracked what was observed; re-derive (one replan) when the two
+    /// diverge beyond the threshold (the default).
+    #[default]
+    Default,
+    /// Re-derive the strategy on every execution, discarding whatever
+    /// the feedback recorded.
+    Force,
+    /// Always reuse the recorded strategy, however wrong its estimate
+    /// turned out to be.
+    Skip,
+}
+
+/// The strategy a multi-predicate step settled on — recorded per step
+/// in a [`PlanFeedback`] so later executions can reuse or revisit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiStrategy {
+    /// Scalar scan: one axis step, every predicate verified per
+    /// candidate.
+    Scan,
+    /// Probe the listed predicates (indices into the step's predicate
+    /// vector, cheapest first), intersect their posting lists, verify
+    /// the remaining predicates per candidate. A one-element list is
+    /// the single-best-probe arm.
+    Probe(Vec<usize>),
+}
+
+/// Estimated-vs-observed record of one multi-predicate step execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepFeedback {
+    /// The pessimistic cardinality bound the estimator chose the
+    /// strategy under (candidate rows, before the context semijoin).
+    pub estimated: u64,
+    /// Candidate rows actually produced.
+    pub observed: u64,
+    /// The strategy that ran.
+    pub strategy: MultiStrategy,
+    /// Observed posting-list length per predicate — `Some` only for
+    /// lists the execution materialized. Replans substitute these for
+    /// the statistics-derived bounds, so a wrong estimate is corrected
+    /// from evidence rather than re-guessed.
+    pub pred_lists: Vec<Option<u64>>,
+}
+
+impl StepFeedback {
+    /// Whether the observation diverged from the estimate far enough
+    /// to trigger a replan under [`ReplanMode::Default`]: a 4x ratio
+    /// with at least 32 rows of absolute difference (tiny steps never
+    /// replan — any strategy is cheap on them).
+    pub fn diverged(&self) -> bool {
+        let hi = self.estimated.max(self.observed);
+        let lo = self.estimated.min(self.observed);
+        hi - lo > 32 && hi > lo.saturating_mul(4)
+    }
+}
+
+/// Per-plan feedback store: one [`StepFeedback`] per multi-predicate
+/// step, in execution order. A plan cache attaches one of these to each
+/// cached plan ([`EvalOptions::feedback`]); the executor reads it to
+/// reuse strategies and writes back what it observed. Mutex-held so the
+/// cache can share one instance across sessions.
+#[derive(Debug, Default)]
+pub struct PlanFeedback {
+    steps: std::sync::Mutex<Vec<StepFeedback>>,
+}
+
+impl PlanFeedback {
+    /// An empty feedback store.
+    pub fn new() -> PlanFeedback {
+        PlanFeedback::default()
+    }
+
+    /// The recorded feedback for the `idx`-th multi-predicate step.
+    pub fn step(&self, idx: usize) -> Option<StepFeedback> {
+        self.steps.lock().unwrap().get(idx).cloned()
+    }
+
+    /// Records (or overwrites) the `idx`-th step's feedback.
+    pub fn record(&self, idx: usize, fb: StepFeedback) {
+        let mut steps = self.steps.lock().unwrap();
+        if steps.len() <= idx {
+            steps.resize(
+                idx + 1,
+                StepFeedback {
+                    estimated: 0,
+                    observed: 0,
+                    strategy: MultiStrategy::Scan,
+                    pred_lists: Vec::new(),
+                },
+            );
+        }
+        steps[idx] = fb;
+    }
+
+    /// Snapshot of every recorded step, in execution order.
+    pub fn snapshot(&self) -> Vec<StepFeedback> {
+        self.steps.lock().unwrap().clone()
+    }
+
+    /// Whether any recorded step diverged beyond the replan threshold.
+    pub fn any_diverged(&self) -> bool {
+        self.steps
+            .lock()
+            .unwrap()
+            .iter()
+            .any(StepFeedback::diverged)
+    }
+}
+
 /// Which chunk-kernel arm scan operators run —
 /// [`KernelChoice::Auto`] picks the vectorized arm whenever this build
 /// compiled real vector instructions ([`simd_compiled`]); the forced
@@ -234,6 +369,14 @@ pub struct EvalStats {
     pub pred_par_steps: Cell<u64>,
     /// Scan operators that ran on the vectorized kernel arm.
     pub simd_steps: Cell<u64>,
+    /// Multi-predicate steps executed (any strategy).
+    pub multi_probe_steps: Cell<u64>,
+    /// Candidate rows surviving posting-list intersections.
+    pub intersect_rows: Cell<u64>,
+    /// Multi-predicate strategies re-derived after their recorded
+    /// estimate diverged from observation (or under
+    /// [`ReplanMode::Force`]).
+    pub replans: Cell<u64>,
 }
 
 impl EvalStats {
@@ -259,6 +402,11 @@ impl EvalStats {
             .set(self.pred_par_steps.get() + other.pred_par_steps.get());
         self.simd_steps
             .set(self.simd_steps.get() + other.simd_steps.get());
+        self.multi_probe_steps
+            .set(self.multi_probe_steps.get() + other.multi_probe_steps.get());
+        self.intersect_rows
+            .set(self.intersect_rows.get() + other.intersect_rows.get());
+        self.replans.set(self.replans.get() + other.replans.get());
     }
 }
 
@@ -282,6 +430,9 @@ pub struct EvalOptions<'a> {
     pub(crate) par: ParChoice,
     pub(crate) morsel_rows: usize,
     pub(crate) kernel: KernelChoice,
+    pub(crate) multi: MultiChoice,
+    pub(crate) replan: ReplanMode,
+    pub(crate) feedback: Option<&'a PlanFeedback>,
 }
 
 impl<'a> EvalOptions<'a> {
@@ -358,6 +509,43 @@ impl<'a> EvalOptions<'a> {
         self
     }
 
+    /// Multi-predicate strategy override (auto / forced-scan /
+    /// forced-best-probe / forced-intersect).
+    pub fn multi(mut self, multi: MultiChoice) -> Self {
+        self.multi = multi;
+        self
+    }
+
+    /// Replan policy for cached multi-predicate strategies. Only
+    /// meaningful with a [`EvalOptions::feedback`] store attached.
+    pub fn replan(mut self, replan: ReplanMode) -> Self {
+        self.replan = replan;
+        self
+    }
+
+    /// Attaches the plan's feedback store: recorded strategies are
+    /// reused or replanned per [`EvalOptions::replan`], and this
+    /// execution's estimated/observed cardinalities are written back.
+    pub fn feedback(mut self, feedback: &'a PlanFeedback) -> Self {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// Sets the feedback store only if none is set yet — how a plan
+    /// cache attaches its per-entry store without overriding an
+    /// explicit caller choice.
+    pub fn or_feedback(mut self, feedback: &'a PlanFeedback) -> Self {
+        if self.feedback.is_none() {
+            self.feedback = Some(feedback);
+        }
+        self
+    }
+
+    /// The feedback store set on these options, if any.
+    pub fn feedback_ref(&self) -> Option<&'a PlanFeedback> {
+        self.feedback
+    }
+
     /// The decision-counter sink set on these options, if any. Fan-out
     /// layers (the catalog's cross-document queries) read it to know
     /// where per-document counters should be folded: each document
@@ -388,6 +576,9 @@ impl<'a> EvalOptions<'a> {
             par: self.par,
             morsel_rows: self.morsel_rows,
             kernel: self.kernel,
+            multi: self.multi,
+            replan: self.replan,
+            feedback: self.feedback,
         }
     }
 }
@@ -407,6 +598,9 @@ pub struct SharedOptions<'a> {
     par: ParChoice,
     morsel_rows: usize,
     kernel: KernelChoice,
+    multi: MultiChoice,
+    replan: ReplanMode,
+    feedback: Option<&'a PlanFeedback>,
 }
 
 impl<'a> SharedOptions<'a> {
@@ -427,6 +621,9 @@ impl<'a> SharedOptions<'a> {
             par: self.par,
             morsel_rows: self.morsel_rows,
             kernel: self.kernel,
+            multi: self.multi,
+            replan: self.replan,
+            feedback: self.feedback,
         }
     }
 }
@@ -472,6 +669,14 @@ impl XPath {
         explain::physical(&self.physical)
     }
 
+    /// Renders the physical plan with every multi-predicate step
+    /// annotated from a [`PlanFeedback`] snapshot: per-predicate
+    /// posting-list sizes, the strategy that ran, and the recorded
+    /// estimated-vs-observed candidate cardinality.
+    pub fn explain_physical_annotated(&self, feedback: &[StepFeedback]) -> String {
+        explain::physical_annotated(&self.physical, feedback)
+    }
+
     /// Evaluates the compiled plan with `context` as the context node
     /// set (sorted pre ranks; for absolute paths the document root is
     /// used regardless).
@@ -508,6 +713,10 @@ impl XPath {
             threads: opts.threads,
             morsel_rows: opts.morsel_rows,
             kernel: opts.kernel.arm(),
+            multi_choice: opts.multi,
+            replan: opts.replan,
+            feedback: opts.feedback,
+            multi_seq: Cell::new(0),
         };
         exec.run(&self.physical, context)
     }
@@ -1128,5 +1337,161 @@ mod tests {
         let d = doc();
         let p = XPath::parse("sum(//person/age)").unwrap();
         assert_eq!(p.eval(&d, &[0]).unwrap(), Value::Number(46.0));
+    }
+
+    /// Stacked recognizable value predicates fold into one multi-probe
+    /// step; an unrecognizable predicate in the stack stays a filter
+    /// above it without un-fusing the recognized ones.
+    #[test]
+    fn multi_predicates_lower_to_multi_probe() {
+        let two = XPath::parse("//person[@id = \"p1\"][name = \"Bob\"]").unwrap();
+        let l = two.explain();
+        assert!(l.contains("multi-probe descendant::person"), "{l}");
+        assert!(
+            l.contains("[@id = \"p1\"]") && l.contains("[name = \"Bob\"]"),
+            "{l}"
+        );
+        let phys = two.explain_physical();
+        assert!(
+            phys.contains("scalar-scan vs best-probe vs intersect"),
+            "{phys}"
+        );
+        let three = XPath::parse("//person[@id = \"p1\"][name = \"Bob\"][age = 9]").unwrap();
+        let l3 = three.explain();
+        assert!(l3.contains("multi-probe"), "{l3}");
+        assert!(l3.contains("[age in [9, 9]]"), "{l3}");
+        let mixed = XPath::parse("//person[@id = \"p1\"][contains(name, \"o\")]").unwrap();
+        let lm = mixed.explain();
+        assert!(lm.contains("filter"), "{lm}");
+        assert!(lm.contains("value-probe descendant::person"), "{lm}");
+        assert!(!lm.contains("multi-probe"), "{lm}");
+    }
+
+    /// Every multi-predicate strategy arm must select the same nodes on
+    /// every schema; the counters prove the arms physically diverge
+    /// (the intersect arm actually intersects posting lists).
+    #[test]
+    fn multi_probe_arms_agree_and_are_taken() {
+        let ro = doc();
+        let up = PagedDoc::parse_str(DOC, PageConfig::new(8, 75).unwrap()).unwrap();
+        for src in [
+            "//person[@id = \"p1\"][name = \"Bob\"]",
+            "//person[@id = \"p1\"][name = \"Ann\"]",
+            "//person[name = \"Ann\"][age = 37]",
+            "//person[age > 5][age < 20]",
+            "//item[@id = \"i1\"][name = \"Vase\"]",
+            "//person[@id = \"p1\"][name = \"Bob\"][age = 9]",
+            "//person[age >= 9][name = \"Ann\"]",
+        ] {
+            let p = XPath::parse(src).unwrap();
+            let arms = [
+                MultiChoice::ForceScan,
+                MultiChoice::ForceBestProbe,
+                MultiChoice::ForceIntersect,
+            ];
+            for view in [&ro as &dyn TreeView, &up] {
+                let auto = p.select_from_root(view).unwrap();
+                let interp = p.eval_interpreted(view, &[0]).unwrap();
+                assert_eq!(interp, Value::Nodes(auto.clone()), "{src}: interpreter");
+                for arm in arms {
+                    let stats = EvalStats::default();
+                    let got = p
+                        .select_from_root_opts(view, &EvalOptions::new().multi(arm).stats(&stats))
+                        .unwrap();
+                    assert_eq!(auto, got, "{src}: {arm:?} diverged");
+                    assert!(
+                        stats.multi_probe_steps.get() > 0,
+                        "{src}: {arm:?} skipped the multi step"
+                    );
+                }
+            }
+            // The intersect arm must actually run the kernel.
+            let stats = EvalStats::default();
+            let hits = p
+                .select_from_root_opts(
+                    &ro,
+                    &EvalOptions::new()
+                        .multi(MultiChoice::ForceIntersect)
+                        .stats(&stats),
+                )
+                .unwrap();
+            assert_eq!(stats.intersect_rows.get(), hits.len() as u64, "{src}");
+        }
+    }
+
+    /// Feedback wiring: an Auto execution records estimated vs
+    /// observed cardinality per multi step; `Skip` reuses the recorded
+    /// strategy verbatim, `Force` replans every execution, and
+    /// `Default` replans exactly when the record diverges.
+    #[test]
+    fn replan_feedback_records_and_replans() {
+        let d = doc();
+        let p = XPath::parse("//person[@id = \"p1\"][name = \"Bob\"]").unwrap();
+        let fb = PlanFeedback::new();
+        let stats = EvalStats::default();
+        let first = p
+            .select_from_root_opts(&d, &EvalOptions::new().feedback(&fb).stats(&stats))
+            .unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(stats.replans.get(), 0, "first execution is not a replan");
+        let snap = fb.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].observed, 1);
+        assert!(
+            snap[0].estimated >= snap[0].observed,
+            "bound must be pessimistic"
+        );
+        assert!(!snap[0].diverged());
+        // Skip: reuse the recorded strategy, never replan.
+        let s2 = EvalStats::default();
+        let second = p
+            .select_from_root_opts(
+                &d,
+                &EvalOptions::new()
+                    .feedback(&fb)
+                    .replan(ReplanMode::Skip)
+                    .stats(&s2),
+            )
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s2.replans.get(), 0);
+        // Default with a non-diverged record: also reuse.
+        let s3 = EvalStats::default();
+        p.select_from_root_opts(&d, &EvalOptions::new().feedback(&fb).stats(&s3))
+            .unwrap();
+        assert_eq!(s3.replans.get(), 0);
+        // Force: replan even though the record is healthy.
+        let s4 = EvalStats::default();
+        let fourth = p
+            .select_from_root_opts(
+                &d,
+                &EvalOptions::new()
+                    .feedback(&fb)
+                    .replan(ReplanMode::Force)
+                    .stats(&s4),
+            )
+            .unwrap();
+        assert_eq!(first, fourth);
+        assert_eq!(s4.replans.get(), 1);
+        // Default with a diverged record: replan once, and the refresh
+        // leaves a healthy record behind (recovery within one replan).
+        let poisoned = PlanFeedback::new();
+        poisoned.record(
+            0,
+            StepFeedback {
+                estimated: 100_000,
+                observed: 1,
+                strategy: MultiStrategy::Scan,
+                pred_lists: vec![None, None],
+            },
+        );
+        assert!(poisoned.any_diverged());
+        let s5 = EvalStats::default();
+        let fifth = p
+            .select_from_root_opts(&d, &EvalOptions::new().feedback(&poisoned).stats(&s5))
+            .unwrap();
+        assert_eq!(first, fifth);
+        assert_eq!(s5.replans.get(), 1);
+        assert!(!poisoned.any_diverged(), "replan must repair the record");
     }
 }

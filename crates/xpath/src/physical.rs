@@ -121,6 +121,25 @@ pub enum PhysRel {
         /// The recognized value predicate.
         pred: ValuePred,
     },
+    /// Multi-predicate value step: `axis::test` from the context with
+    /// **all** of `preds` conjoined. The strategy is decided per
+    /// execution from the pessimistic degree-bound estimator
+    /// (per-index max/avg-postings statistics): rank the indexable
+    /// predicates by their cardinality bound, then choose between a
+    /// ranked posting-list intersection + range semijoin, the single
+    /// best probe with residual verification, or the scalar scan.
+    /// Forceable via [`crate::ValueChoice`]; counted in
+    /// [`crate::EvalStats`].
+    MultiProbe {
+        /// Context relation.
+        input: Box<PhysRel>,
+        /// `Child`, `Descendant` or `DescendantOrSelf`.
+        axis: Axis,
+        /// The step's node test.
+        test: NodeTest,
+        /// The recognized value predicates (≥ 2).
+        preds: Vec<ValuePred>,
+    },
     /// Probe ⋉ context-region semijoin.
     Semijoin {
         /// Context relation.
@@ -252,6 +271,17 @@ fn lower_rel(r: &Rel) -> PhysRel {
             axis: *axis,
             test: test.clone(),
             pred: pred.clone(),
+        },
+        Rel::MultiProbe {
+            input,
+            axis,
+            test,
+            preds,
+        } => PhysRel::MultiProbe {
+            input: Box::new(lower_rel(input)),
+            axis: *axis,
+            test: test.clone(),
+            preds: preds.clone(),
         },
         Rel::Semijoin { input, probe, axis } => {
             // An explicit logical semijoin with a name probe is the

@@ -159,6 +159,27 @@ pub enum Rel {
         /// The recognized predicate.
         pred: ValuePred,
     },
+    /// Multi-predicate content-index probe: the elements matching
+    /// `axis::test` from the context that satisfy **all** of `preds`
+    /// (two or more statically recognized value predicates on one
+    /// step, `//person[@id = "x"][profile/age > 30]`-shaped after
+    /// pushdown). Produced by the rewriter when a second recognizable
+    /// predicate lands on a [`Rel::ValueProbe`]; executes as a ranked
+    /// posting-list intersection + range semijoin, a single best probe
+    /// with residual verification, or the scalar scan — chosen per
+    /// execution from the pessimistic degree-bound estimator.
+    MultiProbe {
+        /// Context relation.
+        input: Box<Rel>,
+        /// `Child`, `Descendant` or `DescendantOrSelf`.
+        axis: Axis,
+        /// The step's node test (`Name`; `AnyElement` for pure
+        /// attribute-source predicate sets).
+        test: NodeTest,
+        /// The recognized predicates (all must hold; order as written,
+        /// re-ranked by the estimator at execution time).
+        preds: Vec<ValuePred>,
+    },
     /// Semijoin of a probe relation back to the context regions: the
     /// probe rows standing in `axis` relation to each context node.
     Semijoin {
@@ -443,7 +464,8 @@ pub fn rel_invariant(r: &Rel) -> bool {
         | Rel::AttrStep { input, .. }
         | Rel::Filter { input, .. }
         | Rel::GroupFilter { input, .. }
-        | Rel::ValueProbe { input, .. } => rel_invariant(input),
+        | Rel::ValueProbe { input, .. }
+        | Rel::MultiProbe { input, .. } => rel_invariant(input),
         Rel::Semijoin { input, probe, .. } => rel_invariant(input) && rel_invariant(probe),
         Rel::Union { left, right } => rel_invariant(left) && rel_invariant(right),
         Rel::FromValue { value } => scalar_invariant(value),

@@ -197,6 +197,17 @@ fn rw_rel(r: Rel) -> Rel {
             test,
             pred,
         },
+        Rel::MultiProbe {
+            input,
+            axis,
+            test,
+            preds,
+        } => Rel::MultiProbe {
+            input: Box::new(rw_rel(*input)),
+            axis,
+            test,
+            preds,
+        },
         Rel::GroupFilter { input, preds } => {
             let input = rw_rel(*input);
             let preds: Vec<Pred> = preds.into_iter().map(rw_pred).collect();
@@ -239,7 +250,14 @@ fn rw_rel(r: Rel) -> Rel {
 /// Builds a pushed-down row filter — lowering it into a
 /// [`Rel::ValueProbe`] when the input is a predicate-free indexable
 /// step and the predicate is a recognizable literal comparison
-/// (rule 5 of the module docs).
+/// (rule 5 of the module docs). Because pushdown folds a step's
+/// predicates through here one at a time, a *second* recognizable
+/// predicate lands on the just-built `ValueProbe` and upgrades it to a
+/// [`Rel::MultiProbe`]; third and later ones append. The fold is
+/// order-safe: pushdown already proved every predicate non-positional,
+/// so they are pure per-candidate filters over one candidate set and
+/// conjunction commutes. Unrecognizable predicates wrap the probe in a
+/// plain `Filter` as before (the residual verify pass).
 fn make_filter(input: Rel, pred: Scalar) -> Rel {
     let input = match input {
         Rel::Step {
@@ -270,6 +288,49 @@ fn make_filter(input: Rel, pred: Scalar) -> Rel {
                 },
             }
         }
+        Rel::ValueProbe {
+            input: probe_in,
+            axis,
+            test,
+            pred: first,
+        } => match value_pred_of(&pred, &test) {
+            Some(vp) => {
+                return Rel::MultiProbe {
+                    input: probe_in,
+                    axis,
+                    test,
+                    preds: vec![first, vp],
+                }
+            }
+            None => Rel::ValueProbe {
+                input: probe_in,
+                axis,
+                test,
+                pred: first,
+            },
+        },
+        Rel::MultiProbe {
+            input: probe_in,
+            axis,
+            test,
+            mut preds,
+        } => match value_pred_of(&pred, &test) {
+            Some(vp) => {
+                preds.push(vp);
+                return Rel::MultiProbe {
+                    input: probe_in,
+                    axis,
+                    test,
+                    preds,
+                };
+            }
+            None => Rel::MultiProbe {
+                input: probe_in,
+                axis,
+                test,
+                preds,
+            },
+        },
         other => other,
     };
     Rel::Filter {
@@ -512,6 +573,17 @@ fn hoist_rel(r: Rel) -> Rel {
             axis,
             test,
             pred,
+        },
+        Rel::MultiProbe {
+            input,
+            axis,
+            test,
+            preds,
+        } => Rel::MultiProbe {
+            input: Box::new(hoist_rel(*input)),
+            axis,
+            test,
+            preds,
         },
         Rel::GroupFilter { input, preds } => Rel::GroupFilter {
             input: Box::new(hoist_rel(*input)),

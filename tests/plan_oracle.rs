@@ -4,12 +4,15 @@
 //! Seeded property test over random trees and a generated query
 //! corpus. Every query runs through both arms on three storage schemas
 //! (naive, read-only, paged) and under all three axis-strategy choices
-//! (cost-chosen, forced staircase, forced index); the planned result
-//! must equal the interpreter's on the same view — same node sets,
-//! same values, or both failing. Afterwards, random update batches hit
-//! the paged view and the comparison repeats, with the element-name
-//! index cross-checked against a full scan (the index must stay
-//! consistent under inserts, deletes and renames).
+//! (cost-chosen, forced staircase, forced index); multi-predicate
+//! queries additionally cross every forced multi-probe strategy
+//! (scan / best-probe / intersect / cost) with every replan mode over
+//! a shared feedback store. The planned result must equal the
+//! interpreter's on the same view — same node sets, same values, or
+//! both failing. Afterwards, random update batches hit the paged view
+//! and the comparison repeats, with the element-name index and the
+//! per-index degree statistics cross-checked against a full scan (both
+//! must stay consistent under inserts, deletes and renames).
 
 mod common;
 
@@ -17,7 +20,10 @@ use common::{rand_name, rand_text, rand_tree, TestRng};
 use mbxq::{
     InsertPosition, Kind, NaiveDoc, Node, PageConfig, PagedDoc, QName, ReadOnlyDoc, TreeView,
 };
-use mbxq_xpath::{AxisChoice, Bindings, EvalOptions, Value, ValueChoice, XPath};
+use mbxq_xpath::{
+    AxisChoice, Bindings, EvalOptions, MultiChoice, PlanFeedback, ReplanMode, Value, ValueChoice,
+    XPath,
+};
 
 /// NaN-tolerant value equality (`NaN != NaN` under `PartialEq`, but the
 /// oracle wants "both NaN" to count as agreement).
@@ -57,6 +63,43 @@ fn check_query<V: TreeView>(view: &V, xp: &XPath, bindings: &Bindings, seed_info
             (Err(_), Err(_)) => {}
             (w, g) => panic!(
                 "{seed_info}: '{}' under {axis:?}/{value:?} diverged in failure: \
+                 interpreter {w:?} vs planned {g:?}",
+                xp.source()
+            ),
+        }
+    }
+    // Multi-predicate steps: cross every forced strategy with every
+    // replan mode, sharing one feedback store so the Skip/Force modes
+    // really reuse (or re-derive) what an earlier Auto run recorded.
+    if !xp.explain_physical().contains("multi-probe") {
+        return;
+    }
+    let feedback = PlanFeedback::new();
+    for (multi, replan) in [
+        (MultiChoice::ForceScan, ReplanMode::Default),
+        (MultiChoice::ForceBestProbe, ReplanMode::Default),
+        (MultiChoice::ForceIntersect, ReplanMode::Default),
+        (MultiChoice::Auto, ReplanMode::Default),
+        (MultiChoice::Auto, ReplanMode::Skip),
+        (MultiChoice::Auto, ReplanMode::Force),
+    ] {
+        let opts = EvalOptions::new()
+            .bindings(bindings)
+            .multi(multi)
+            .replan(replan)
+            .feedback(&feedback);
+        let got = xp.eval_opts(view, &root, &opts);
+        match (&want, &got) {
+            (Ok(w), Ok(g)) => assert!(
+                values_equal(w, g),
+                "{seed_info}: '{}' under {multi:?}/{replan:?}\n  interpreter: {w:?}\n  \
+                 planned:     {g:?}\nphysical plan:\n{}",
+                xp.source(),
+                xp.explain_physical()
+            ),
+            (Err(_), Err(_)) => {}
+            (w, g) => panic!(
+                "{seed_info}: '{}' under {multi:?}/{replan:?} diverged in failure: \
                  interpreter {w:?} vs planned {g:?}",
                 xp.source()
             ),
@@ -114,6 +157,20 @@ fn query_corpus(rng: &mut TestRng) -> Vec<String> {
         "//a[@x = \"t\"][b]".to_string(),
         "//a[normalize-space() = \"t\"]".to_string(),
         "//a[string-length() = 1]".to_string(),
+        // Multi-predicate steps — the join-order-search corpus: mixed
+        // exact + numeric-range, attr + child-text, 2–3 predicates.
+        "//a[@x = \"t\"][b = \"t\"]".to_string(),
+        "//a[b = \"t\"][c = \"t\"]".to_string(),
+        "//a[b > 2][b < 8]".to_string(),
+        "//item[. > 3][. < 9]".to_string(),
+        "//a[@x = \"t\"][b > 2]".to_string(),
+        "//a[@x > 2][@x < 9]".to_string(),
+        "//a[@x = \"t\"][@y = \"t\"]".to_string(),
+        "//a[b = \"t\"][c > 1][@x = \"t\"]".to_string(),
+        "//a[b = 5][c = \"t\"]".to_string(),
+        "//a[name = \"t\"][b < 10]".to_string(),
+        "//item[. = 7][@x = \"t\"]".to_string(),
+        "//a[@x = \"\"][b = \"t\"]".to_string(),
     ];
     // Random simple paths: 1-3 steps, optional predicate.
     for _ in 0..6 {
@@ -208,6 +265,14 @@ fn planned_execution_survives_update_batches() {
             "//a[b = \"t\"]",
             "//item[. > 3]",
             "//a[@x = 7]",
+            // Multi-predicate steps: the intersection and its degree
+            // statistics must stay consistent under COW deltas
+            // (`check_paged` cross-checks the stats after each batch).
+            "//a[@x = \"t\"][b = \"t\"]",
+            "//a[b > 2][b < 8]",
+            "//a[@x = 7][b = \"t\"]",
+            "//item[. > 3][. < 9]",
+            "//a[@x = \"t\"][b > 2][c = \"t\"]",
         ]
         .iter()
         .map(|q| XPath::parse(q).unwrap())

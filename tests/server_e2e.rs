@@ -363,5 +363,35 @@ fn stats_opcode_reports_pool_and_kernel_counters() {
     assert!(st1.plan_misses >= st0.plan_misses);
     assert!(st1.par_steps >= st0.par_steps && st1.morsels >= st0.morsels);
     assert!(st1.pred_par_steps >= st0.pred_par_steps);
+
+    // A multi-predicate step over the wire: the auto and probe-forced
+    // arms must agree, and the cumulative multi-step / intersection
+    // counters must grow (value=ForceProbe forces the intersect arm of
+    // a multi-predicate step, so the kernel really runs).
+    let mq = "//item[quantity > 0][quantity < 7]";
+    let auto = cl.query_nodes(DOCS[0], mq, None).unwrap();
+    assert!(!auto.is_empty(), "every item carries a quantity");
+    let mut spec = QuerySpec::new(QueryTarget::Doc(DOCS[0].to_string()), mq);
+    spec.value = mbxq_xpath::ValueChoice::ForceProbe;
+    let forced = match cl.query_spec(spec).unwrap() {
+        QueryReply::Cursor(cur) => {
+            let mut per_doc = cl.drain(&cur).unwrap();
+            per_doc.pop().map(|(_, nodes)| nodes).unwrap_or_default()
+        }
+        QueryReply::Scalar(v) => panic!("expected a node set, got {v:?}"),
+    };
+    assert_eq!(auto, forced, "multi-predicate arms diverged over the wire");
+    let st2 = cl.stats().unwrap();
+    assert!(
+        st2.multi_probe_steps >= st1.multi_probe_steps + 2,
+        "both evaluations must count their multi-predicate step ({} -> {})",
+        st1.multi_probe_steps,
+        st2.multi_probe_steps
+    );
+    assert!(
+        st2.intersect_rows > st1.intersect_rows,
+        "the forced intersection produced rows that must be counted"
+    );
+    assert!(st2.replans >= st1.replans, "replans are cumulative");
     cl.goodbye().unwrap();
 }
